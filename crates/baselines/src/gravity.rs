@@ -1,0 +1,291 @@
+//! The Gravity baseline (§V-F).
+//!
+//! "The total trip number from region i to j is calculated as
+//! `g_ij = k p_i p_j / d_ij^2` ... k is tuned by grid search, and kept
+//! same across time intervals."
+//!
+//! The gravity shape comes from the network's (synthetic) census
+//! populations and region centroid distances. The scale `k` is grid
+//! searched against the speed observation: from the training corpus we fit
+//! a tiny monotone surrogate mapping *total demand per interval* to
+//! *city-wide mean speed*, then pick the `k` whose implied demand explains
+//! the observed mean speed best. As the paper notes, the method cannot
+//! express temporal variation — the recovered TOD is constant over `t`.
+
+use ovs_core::{EstimatorInput, TodEstimator};
+use roadnet::{OdPairId, Result, RoadnetError, TodTensor};
+
+/// The Gravity estimator.
+#[derive(Debug, Default)]
+pub struct GravityEstimator {
+    /// Grid-search resolution (candidates per decade).
+    pub grid_points: usize,
+    /// Apply doubly-constrained IPF balancing against census production /
+    /// attraction marginals when census totals are available (the
+    /// doubly-constrained gravity model of Jin et al. the paper cites).
+    pub doubly_constrained: bool,
+}
+
+impl GravityEstimator {
+    /// Creates the estimator with the default grid.
+    pub fn new() -> Self {
+        Self {
+            grid_points: 40,
+            doubly_constrained: false,
+        }
+    }
+
+    /// Enables IPF balancing against census marginals.
+    pub fn doubly_constrained() -> Self {
+        Self {
+            grid_points: 40,
+            doubly_constrained: true,
+        }
+    }
+
+    /// The unscaled gravity weights `p_o p_d / d^2` per OD pair.
+    fn gravity_weights(input: &EstimatorInput<'_>) -> Result<Vec<f64>> {
+        let net = input.net;
+        let mut weights = Vec::with_capacity(input.ods.len());
+        for (_, pair) in input.ods.iter() {
+            let ro = net.region(pair.origin)?;
+            let rd = net.region(pair.destination)?;
+            let d = match (ro.centroid(net), rd.centroid(net)) {
+                (Some(a), Some(b)) => a.distance(&b).max(100.0),
+                _ => {
+                    return Err(RoadnetError::InvalidSpec(format!(
+                        "region {} or {} has no nodes",
+                        pair.origin, pair.destination
+                    )))
+                }
+            };
+            weights.push(ro.population.max(1.0) * rd.population.max(1.0) / (d * d));
+        }
+        Ok(weights)
+    }
+}
+
+/// Piecewise-linear interpolation of mean speed as a function of total
+/// demand, fitted on `(total_demand, mean_speed)` points from the corpus.
+struct SpeedCurve {
+    /// Points sorted by demand.
+    points: Vec<(f64, f64)>,
+}
+
+impl SpeedCurve {
+    fn fit(input: &EstimatorInput<'_>) -> Self {
+        let mut points: Vec<(f64, f64)> = input
+            .train
+            .iter()
+            .map(|s| {
+                let demand = s.tod.total();
+                let speed =
+                    s.speed.total() / s.speed.as_slice().len().max(1) as f64;
+                (demand, speed)
+            })
+            .collect();
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        Self { points }
+    }
+
+    /// Predicted mean speed at total demand `d` (clamped extrapolation).
+    fn speed_at(&self, d: f64) -> f64 {
+        match self.points.len() {
+            0 => 0.0,
+            1 => self.points[0].1,
+            _ => {
+                if d <= self.points[0].0 {
+                    return self.points[0].1;
+                }
+                for w in self.points.windows(2) {
+                    let ((d0, s0), (d1, s1)) = (w[0], w[1]);
+                    if d <= d1 {
+                        let f = if d1 > d0 { (d - d0) / (d1 - d0) } else { 0.0 };
+                        return s0 + f * (s1 - s0);
+                    }
+                }
+                self.points.last().expect("non-empty").1
+            }
+        }
+    }
+}
+
+/// Iterative proportional fitting: scales `weights` (indexed by OD pair)
+/// until its region production and attraction marginals match the targets
+/// derived from `census` daily totals. Returns balanced weights.
+fn ipf_balance(
+    input: &EstimatorInput<'_>,
+    weights: &[f64],
+    census: &[f64],
+    rounds: usize,
+) -> Vec<f64> {
+    let k = input.net.num_regions();
+    // Marginal targets from census totals.
+    let mut prod_target = vec![0.0; k];
+    let mut attr_target = vec![0.0; k];
+    for ((_, pair), &c) in input.ods.iter().zip(census) {
+        prod_target[pair.origin.index()] += c;
+        attr_target[pair.destination.index()] += c;
+    }
+    let mut w = weights.to_vec();
+    for _ in 0..rounds {
+        // Row (production) scaling.
+        let mut prod = vec![0.0; k];
+        for ((_, pair), &v) in input.ods.iter().zip(&w) {
+            prod[pair.origin.index()] += v;
+        }
+        for ((_, pair), v) in input.ods.iter().zip(w.iter_mut()) {
+            let p = prod[pair.origin.index()];
+            if p > 1e-12 {
+                *v *= prod_target[pair.origin.index()] / p;
+            }
+        }
+        // Column (attraction) scaling.
+        let mut attr = vec![0.0; k];
+        for ((_, pair), &v) in input.ods.iter().zip(&w) {
+            attr[pair.destination.index()] += v;
+        }
+        for ((_, pair), v) in input.ods.iter().zip(w.iter_mut()) {
+            let a = attr[pair.destination.index()];
+            if a > 1e-12 {
+                *v *= attr_target[pair.destination.index()] / a;
+            }
+        }
+    }
+    w
+}
+
+impl TodEstimator for GravityEstimator {
+    fn name(&self) -> &'static str {
+        "Gravity"
+    }
+
+    fn estimate(&mut self, input: &EstimatorInput<'_>) -> Result<TodTensor> {
+        ovs_core::estimator::validate_input(input)?;
+        let mut weights = Self::gravity_weights(input)?;
+        if self.doubly_constrained {
+            if let Some(census) = input.census_totals {
+                weights = ipf_balance(input, &weights, census, 20);
+            }
+        }
+        let weight_sum: f64 = weights.iter().sum();
+        if weight_sum <= 0.0 {
+            return Err(RoadnetError::InvalidSpec(
+                "gravity weights vanished: populations not set?".into(),
+            ));
+        }
+        let t = input.n_intervals();
+        let curve = SpeedCurve::fit(input);
+        let observed_mean = input.observed_speed.total()
+            / input.observed_speed.as_slice().len().max(1) as f64;
+
+        // Grid search k: candidate total demand spans the corpus range.
+        let max_total = input
+            .train
+            .iter()
+            .map(|s| s.tod.total())
+            .fold(1.0f64, f64::max);
+        let grid = self.grid_points.max(2);
+        let mut best = (f64::INFINITY, max_total / 2.0);
+        for gi in 0..grid {
+            let total = max_total * (gi as f64 + 1.0) / grid as f64 * 1.5;
+            let err = (curve.speed_at(total) - observed_mean).powi(2);
+            if err < best.0 {
+                best = (err, total);
+            }
+        }
+        let total_demand = best.1;
+        // k such that sum over (i, t) of k * w_i equals total_demand.
+        let k = total_demand / (weight_sum * t as f64);
+
+        let mut tod = TodTensor::zeros(input.n_od(), t);
+        for (i, &w) in weights.iter().enumerate() {
+            for ti in 0..t {
+                tod.set(OdPairId(i), ti, k * w);
+            }
+        }
+        Ok(tod)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_curve_interpolates_and_clamps() {
+        let c = SpeedCurve {
+            points: vec![(0.0, 12.0), (100.0, 6.0)],
+        };
+        assert_eq!(c.speed_at(-5.0), 12.0);
+        assert_eq!(c.speed_at(200.0), 6.0);
+        assert!((c.speed_at(50.0) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_curve_degenerate_cases() {
+        assert_eq!(SpeedCurve { points: vec![] }.speed_at(3.0), 0.0);
+        assert_eq!(
+            SpeedCurve {
+                points: vec![(5.0, 7.0)]
+            }
+            .speed_at(100.0),
+            7.0
+        );
+    }
+
+    #[test]
+    fn name_matches() {
+        assert_eq!(GravityEstimator::new().name(), "Gravity");
+    }
+
+    #[test]
+    fn ipf_matches_marginals() {
+        use datagen::dataset::DatasetSpec;
+        use datagen::{Dataset, TodPattern};
+        use ovs_core::estimator::TrainTriple;
+        let spec = DatasetSpec {
+            t: 3,
+            interval_s: 120.0,
+            train_samples: 3,
+            demand_scale: 0.1,
+            seed: 2,
+        };
+        let ds = Dataset::synthetic(TodPattern::Random, &spec).unwrap();
+        let triples: Vec<TrainTriple> = ds
+            .train
+            .iter()
+            .map(|s| TrainTriple {
+                tod: s.tod.clone(),
+                volume: s.volume.clone(),
+                speed: s.speed.clone(),
+            })
+            .collect();
+        let census: Vec<f64> = ds.census.as_slice().to_vec();
+        let input = EstimatorInput {
+            net: &ds.net,
+            ods: &ds.ods,
+            interval_s: 120.0,
+            sim_seed: 2,
+            train: &triples,
+            observed_speed: &ds.observed_speed,
+            census_totals: Some(&census),
+            cameras: None,
+        };
+        // Need populations for the gravity weights.
+        let weights = vec![1.0; ds.ods.len()];
+        let balanced = ipf_balance(&input, &weights, &census, 30);
+        // After balancing, production marginals match the census-derived
+        // targets.
+        let k = ds.net.num_regions();
+        let mut prod = vec![0.0; k];
+        let mut target = vec![0.0; k];
+        for ((_, pair), (&b, &c)) in ds.ods.iter().zip(balanced.iter().zip(&census)) {
+            prod[pair.origin.index()] += b;
+            target[pair.origin.index()] += c;
+        }
+        for (p, t) in prod.iter().zip(&target) {
+            assert!((p - t).abs() / t.max(1.0) < 0.01, "{p} vs {t}");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # baselines — the six comparison methods of the paper's §V-F
+//!
+//! Every baseline implements [`ovs_core::TodEstimator`], so the evaluation
+//! harness treats them interchangeably with OVS:
+//!
+//! | Method   | Idea (paper's description)                                            |
+//! |----------|------------------------------------------------------------------------|
+//! | Gravity  | trips proportional to `p_i p_j / d_ij^2`; `k` grid-searched, static    |
+//! | Genetic  | population search for the TOD whose *simulated* speed matches best     |
+//! | GLS      | linear assignment matrix TOD->volume (least squares) + NN speed head   |
+//! | EM       | iterative Gaussian estimation of TOD given a linear speed-deficit model|
+//! | NN       | two FC layers predicting TOD from speed, per interval                  |
+//! | LSTM     | two LSTM layers predicting the TOD sequence from the speed sequence    |
+//!
+//! Dense linear algebra (ridge regression via Cholesky-free Gaussian
+//! elimination) lives in [`linalg`]; no external solver crates are used.
+
+#![warn(missing_docs)]
+
+pub mod em;
+pub mod genetic;
+pub mod gls;
+pub mod gravity;
+pub mod linalg;
+pub mod lstm;
+pub mod nn;
+
+pub use em::EmEstimator;
+pub use genetic::GeneticEstimator;
+pub use gls::GlsEstimator;
+pub use gravity::GravityEstimator;
+pub use lstm::LstmEstimator;
+pub use nn::NnEstimator;
+
+use ovs_core::TodEstimator;
+
+/// All six baselines with default settings, in the paper's table order.
+pub fn all_baselines(seed: u64) -> Vec<Box<dyn TodEstimator>> {
+    vec![
+        Box::new(GravityEstimator::new()),
+        Box::new(GeneticEstimator::new(seed)),
+        Box::new(GlsEstimator::new(seed)),
+        Box::new(EmEstimator::new()),
+        Box::new(NnEstimator::new(seed)),
+        Box::new(LstmEstimator::new(seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_names_match_paper_tables() {
+        let names: Vec<&str> = all_baselines(0).iter().map(|b| b.name()).collect();
+        assert_eq!(names, ["Gravity", "Genetic", "GLS", "EM", "NN", "LSTM"]);
+    }
+}

@@ -1,0 +1,128 @@
+//! The NN baseline (§V-F).
+//!
+//! "This method uses a neural network to predict the TOD, given the speed
+//! data on each road segment. This network contains two fully connected
+//! layers."
+//!
+//! A direct inverse regression: per interval, the speed vector over all
+//! links is mapped to the TOD vector over all OD pairs by
+//! `Dense(M -> H) -> Sigmoid -> Dense(H -> N)`. Trained on the
+//! per-interval snapshots of the corpus; applied to the observed speed
+//! column by column. No temporal structure — that is the LSTM baseline's
+//! job.
+
+use neural::layers::{ActKind, Activation, Dense, Layer, Sequential};
+use neural::loss::mse;
+use neural::optim::{Adam, Optimizer};
+use neural::rng::Rng64;
+use neural::Matrix;
+use ovs_core::estimator::{link_to_matrix, tod_to_matrix};
+use ovs_core::{EstimatorInput, TodEstimator};
+use roadnet::{OdPairId, Result, RoadnetError, TodTensor};
+
+/// The NN estimator.
+#[derive(Debug)]
+pub struct NnEstimator {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Training steps.
+    pub steps: usize,
+    /// Learning rate.
+    pub lr: f64,
+    seed: u64,
+}
+
+impl NnEstimator {
+    /// Creates the estimator.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            hidden: 64,
+            steps: 400,
+            lr: 0.01,
+            seed,
+        }
+    }
+}
+
+impl TodEstimator for NnEstimator {
+    fn name(&self) -> &'static str {
+        "NN"
+    }
+
+    fn estimate(&mut self, input: &EstimatorInput<'_>) -> Result<TodTensor> {
+        ovs_core::estimator::validate_input(input)?;
+        if input.train.is_empty() {
+            return Err(RoadnetError::InvalidSpec(
+                "NN requires a training corpus".into(),
+            ));
+        }
+        let n = input.n_od();
+        let m = input.n_links();
+        let t = input.n_intervals();
+        let mut rng = Rng64::new(self.seed);
+
+        // Per-interval snapshots: x (samples*t, m) speed, y (samples*t, n) TOD.
+        let rows = input.train.len() * t;
+        let mut x = Matrix::zeros(rows, m);
+        let mut y = Matrix::zeros(rows, n);
+        for (s, sample) in input.train.iter().enumerate() {
+            let vm = link_to_matrix(&sample.speed);
+            let gm = tod_to_matrix(&sample.tod);
+            for ti in 0..t {
+                let r = s * t + ti;
+                for j in 0..m {
+                    x.set(r, j, vm.get(j, ti));
+                }
+                for i in 0..n {
+                    y.set(r, i, gm.get(i, ti));
+                }
+            }
+        }
+        // Normalise both sides for stable training.
+        let v_scale = 1.0 / x.as_slice().iter().cloned().fold(1.0, f64::max);
+        let g_scale = y.as_slice().iter().cloned().fold(1.0, f64::max);
+        x.scale(v_scale);
+        y.scale(1.0 / g_scale);
+
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(m, self.hidden, &mut rng)),
+            Box::new(Activation::new(ActKind::Sigmoid)),
+            Box::new(Dense::new(self.hidden, n, &mut rng)),
+        ]);
+        let mut opt = Adam::new(self.lr);
+        for _ in 0..self.steps {
+            let pred = net.forward(&x, true);
+            let (_, grad) = mse(&pred, &y);
+            net.backward(&grad);
+            opt.step(&mut net);
+            net.zero_grad();
+        }
+
+        // Apply to the observation, interval by interval.
+        let v_obs = link_to_matrix(input.observed_speed); // (m, t)
+        let mut x_obs = Matrix::zeros(t, m);
+        for ti in 0..t {
+            for j in 0..m {
+                x_obs.set(ti, j, v_obs.get(j, ti) * v_scale);
+            }
+        }
+        let pred = net.forward(&x_obs, false); // (t, n), normalised
+        let mut tod = TodTensor::zeros(n, t);
+        for ti in 0..t {
+            for i in 0..n {
+                tod.set(OdPairId(i), ti, (pred.get(ti, i) * g_scale).max(0.0));
+            }
+        }
+        Ok(tod)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_matches() {
+        assert_eq!(NnEstimator::new(0).name(), "NN");
+    }
+}

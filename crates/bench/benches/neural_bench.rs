@@ -1,0 +1,46 @@
+//! Neural-layer hot paths: the matmul kernel, LSTM and Conv1d
+//! forward/backward at the shapes the OVS pipeline uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neural::layers::{Conv1d, Lstm, SeqLayer};
+use neural::rng::Rng64;
+use neural::{Matrix, Tensor3};
+
+fn bench_neural(c: &mut Criterion) {
+    let mut rng = Rng64::new(0);
+    let mut group = c.benchmark_group("neural");
+
+    let a = Matrix::from_fn(128, 64, |r, q| ((r * 31 + q) % 17) as f64 * 0.1);
+    let b = Matrix::from_fn(64, 128, |r, q| ((r * 13 + q) % 11) as f64 * 0.1);
+    group.bench_function("matmul_128x64x128", |bch| bch.iter(|| a.matmul(&b)));
+
+    // V2S shape: batch = links (360 for Manhattan), T = 12, hidden 32.
+    let mut lstm = Lstm::new(1, 32, &mut rng);
+    let mut x = Tensor3::zeros(360, 12, 1);
+    rng.fill_normal(x.as_mut_slice());
+    group.bench_function("lstm_forward_360x12_h32", |bch| {
+        bch.iter(|| lstm.forward(&x, true))
+    });
+    group.bench_function("lstm_forward_backward_360x12_h32", |bch| {
+        bch.iter(|| {
+            let y = lstm.forward(&x, true);
+            lstm.backward(&y)
+        })
+    });
+
+    // Route-e shape: batch = OD pairs (72), T = 12.
+    let mut conv = Conv1d::new(1, 4, 3, &mut rng);
+    let mut xc = Tensor3::zeros(72, 12, 1);
+    rng.fill_normal(xc.as_mut_slice());
+    group.bench_function("conv1d_forward_backward_72x12", |bch| {
+        bch.iter(|| {
+            let y = conv.forward(&xc, true);
+            conv.backward(&y)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_neural);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! OVS module costs: the dynamic-attention TOD->volume mapping and one
+//! full generative forward/backward pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neural::rng::Rng64;
+use neural::Matrix;
+use ovs_core::routes::RouteTable;
+use ovs_core::tod2v::TodVolumeMapping;
+use ovs_core::{OvsConfig, OvsModel};
+use roadnet::presets::{manhattan, synthetic_grid};
+use roadnet::OdSet;
+
+fn bench_ovs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ovs");
+    group.sample_size(20);
+
+    // Attention on the synthetic grid (72 ODs, 24 links).
+    let grid = synthetic_grid();
+    let grid_ods = OdSet::all_pairs(&grid);
+    let cfg = OvsConfig::default();
+    let routes = RouteTable::build(&grid, &grid_ods, 600.0).unwrap();
+    let mut rng = Rng64::new(0);
+    let mut tod2v = TodVolumeMapping::new(routes, 12, &cfg, &mut rng);
+    let g = Matrix::filled(grid_ods.len(), 12, 8.0);
+    group.bench_function("attention_forward_backward_grid", |b| {
+        b.iter(|| {
+            let q = tod2v.forward(&g, true);
+            tod2v.backward(&q)
+        })
+    });
+
+    // Full generative pass on Manhattan (72 ODs, 360 links).
+    let city = manhattan().network;
+    let city_ods = OdSet::all_pairs(&city);
+    let mut model = OvsModel::new(&city, &city_ods, 12, 600.0, cfg).unwrap();
+    group.bench_function("full_forward_manhattan", |b| {
+        b.iter(|| model.forward_full(true))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ovs);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Routing costs: Dijkstra and Yen's k-shortest on the Manhattan preset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use roadnet::presets::manhattan;
+use roadnet::routing::{fastest_path, k_shortest_paths, shortest_path};
+use roadnet::NodeId;
+
+fn bench_routing(c: &mut Criterion) {
+    let net = manhattan().network;
+    let from = NodeId(0);
+    let to = NodeId(net.num_nodes() - 1);
+    let mut group = c.benchmark_group("routing");
+
+    group.bench_function("dijkstra_shortest_manhattan", |b| {
+        b.iter(|| shortest_path(&net, from, to).unwrap())
+    });
+    group.bench_function("dijkstra_fastest_manhattan", |b| {
+        b.iter(|| fastest_path(&net, from, to).unwrap())
+    });
+    group.bench_function("yen_k4_manhattan", |b| {
+        b.iter(|| k_shortest_paths(&net, from, to, 4, &|l| l.length_m).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

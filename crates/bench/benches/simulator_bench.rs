@@ -1,0 +1,34 @@
+//! Microscopic-simulator throughput: full runs on the synthetic grid and a
+//! mid-size city, the substrate cost behind every experiment table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use roadnet::presets::{hangzhou, synthetic_grid};
+use roadnet::{OdSet, TodTensor};
+use simulator::{SimConfig, Simulation};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+
+    let grid = synthetic_grid();
+    let grid_ods = OdSet::all_pairs(&grid);
+    let grid_tod = TodTensor::filled(grid_ods.len(), 4, 5.0);
+    let cfg = SimConfig::default().with_intervals(4).with_interval_s(300.0);
+    group.bench_function("grid3x3_20min", |b| {
+        let mut sim = Simulation::new(&grid, &grid_ods, cfg.clone()).unwrap();
+        b.iter(|| sim.run(&grid_tod).unwrap());
+    });
+
+    let city = hangzhou().network;
+    let city_ods = OdSet::all_pairs(&city);
+    let city_tod = TodTensor::filled(city_ods.len(), 4, 3.0);
+    group.bench_function("hangzhou_20min", |b| {
+        let mut sim = Simulation::new(&city, &city_ods, cfg.clone()).unwrap();
+        b.iter(|| sim.run(&city_tod).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Design-choice ablations beyond the paper's Table IX: the knobs this
+//! reproduction added (documented in DESIGN.md / EXPERIMENTS.md) measured
+//! one at a time against the default configuration.
+//!
+//! * Gaussian-prior weight on the test-time fit (`w_prior`, §IV-B);
+//! * fit-ensemble restarts (`fit_restarts`, the multiple-solutions issue);
+//! * stage-2 volume anchoring (`w_volume_stage2`, Fig 8);
+//! * multi-route TOD-Volume mapping (`k_routes`, the paper's future work).
+//!
+//! Run: `cargo run --release -p bench --bin ablation_design`
+
+use datagen::{Dataset, TodPattern};
+use eval::harness::{run_method, DatasetInput};
+use eval::report::{ExperimentReport, NamedSeries};
+use ovs_core::trainer::OvsEstimator;
+use ovs_core::OvsConfig;
+
+fn main() {
+    let profile = bench::start("ablation_design", "reproduction design-choice ablations");
+    let ds = Dataset::synthetic(TodPattern::Gaussian, &profile.spec).expect("dataset builds");
+    let owned = DatasetInput::new(&ds);
+    let input = owned.input(&ds, false);
+
+    let base = profile.ovs.clone();
+    let variants: Vec<(String, OvsConfig)> = vec![
+        ("default".into(), base.clone()),
+        ("prior off (w_prior=0)".into(), OvsConfig { w_prior: 0.0, ..base.clone() }),
+        ("prior strong (w_prior=1)".into(), OvsConfig { w_prior: 1.0, ..base.clone() }),
+        ("single fit (restarts=1)".into(), OvsConfig { fit_restarts: 1, ..base.clone() }),
+        (
+            "no volume anchor (s2 speed-only)".into(),
+            OvsConfig { w_volume_stage2: 0.0, ..base.clone() },
+        ),
+        ("multi-route (k=2)".into(), OvsConfig { k_routes: 2, ..base.clone() }),
+        ("Eq.3 OD-Route FC on".into(), OvsConfig { od_route_fc: true, ..base.clone() }),
+    ];
+
+    let mut report = ExperimentReport::new("ablation_design", "Design-choice ablations");
+    println!(
+        "{:<34} {:>10} {:>10} {:>10} {:>9}",
+        "Variant", "TOD", "vol", "speed", "time(s)"
+    );
+    for (name, cfg) in variants {
+        let mut est = OvsEstimator::new(cfg);
+        let (res, _) = run_method(&mut est, &ds, &input).expect("variant runs");
+        println!(
+            "{:<34} {:>10.2} {:>10.2} {:>10.3} {:>9.2}",
+            name, res.rmse.tod, res.rmse.volume, res.rmse.speed, res.seconds
+        );
+        report.series.push(NamedSeries {
+            name,
+            points: vec![
+                (0.0, res.rmse.tod),
+                (1.0, res.rmse.volume),
+                (2.0, res.rmse.speed),
+            ],
+        });
+    }
+
+    report.notes = format!("profile={}, dataset={}", profile.name, ds.name);
+    let path = report.write_json(bench::results_dir()).expect("report written");
+    println!("# report -> {}", path.display());
+}

@@ -1,0 +1,69 @@
+//! Figure 9: OVS training time against the number of intersections
+//! (10 / 50 / 100 / 500 / 1000).
+//!
+//! Run: `cargo run --release -p bench --bin fig09_scalability`
+
+use datagen::dataset::DatasetSpec;
+use datagen::Dataset;
+use eval::harness::{run_method, DatasetInput};
+use eval::report::{ExperimentReport, NamedSeries};
+use eval::tables;
+use ovs_core::trainer::OvsEstimator;
+use roadnet::generators::GridSpec;
+use roadnet::OdSet;
+
+fn main() {
+    let profile = bench::start("fig09", "training time vs intersections");
+    // A reduced horizon keeps the 1000-intersection point tractable; the
+    // figure is about *scaling*, not absolute time.
+    let spec = DatasetSpec {
+        t: 4,
+        interval_s: 300.0,
+        train_samples: 4,
+        demand_scale: profile.spec.demand_scale,
+        seed: profile.seed,
+    };
+    let mut ovs_cfg = profile.ovs.clone();
+    ovs_cfg.epochs_v2s = 100;
+    ovs_cfg.epochs_tod2v = 60;
+    ovs_cfg.epochs_fit = 200;
+    ovs_cfg.fit_restarts = 1;
+
+    let sizes: &[(usize, usize)] = &[(2, 5), (5, 10), (10, 10), (20, 25), (25, 40)];
+    let mut points = Vec::new();
+    for &(rows, cols) in sizes {
+        let n = rows * cols;
+        let net = GridSpec::new(rows, cols).with_regions(3, 3).build(profile.seed);
+        let ods = OdSet::all_pairs(&net);
+        let mut rng = neural::rng::Rng64::new(profile.seed);
+        let gt = datagen::TodPattern::Gaussian.generate(
+            ods.len(),
+            spec.t,
+            spec.interval_s / 60.0,
+            spec.demand_scale,
+            &mut rng,
+        );
+        let ds = Dataset::assemble(format!("grid-{n}"), net, ods, gt, &spec)
+            .expect("grid dataset builds");
+        let owned = DatasetInput::new(&ds);
+        let input = owned.input(&ds, false);
+        let mut ovs = OvsEstimator::new(ovs_cfg.clone());
+        let (res, _) = run_method(&mut ovs, &ds, &input).expect("OVS runs");
+        points.push((n as f64, res.seconds));
+        println!("intersections={n:<5} time={:.2}s", res.seconds);
+    }
+    println!();
+    println!(
+        "{}",
+        tables::render_series("Figure 9", "intersections", "train seconds", &points)
+    );
+
+    let mut report = ExperimentReport::new("fig09", "Figure 9: scalability");
+    report.series.push(NamedSeries {
+        name: "ovs_training_time".into(),
+        points,
+    });
+    report.notes = format!("profile={} (reduced horizon)", profile.name);
+    let path = report.write_json(bench::results_dir()).expect("report written");
+    println!("# report -> {}", path.display());
+}

@@ -1,0 +1,80 @@
+//! Figure 10 (RQ2): census data as an auxiliary constraint.
+//!
+//! Two ODs whose origins are similar-population residential regions should
+//! have similar recovered daily totals. Without the census loss OVS may
+//! pick any of the many speed-consistent solutions; with it the totals are
+//! pulled to the census values. We print the recovered daily-sum per OD
+//! (normalised so the census value is 100, as in the paper's figure).
+//!
+//! Run: `cargo run --release -p bench --bin fig10_census`
+
+use datagen::Dataset;
+use eval::harness::{run_method, DatasetInput};
+use eval::report::{ExperimentReport, NamedSeries};
+use ovs_core::trainer::OvsEstimator;
+use roadnet::presets;
+
+fn main() {
+    let profile = bench::start("fig10", "census constraint (RQ2)");
+    let ds = Dataset::city(presets::manhattan(), &profile.spec).expect("dataset builds");
+    let owned = DatasetInput::new(&ds);
+
+    // Two ODs with similar census totals (the paper picks two residential
+    // regions with similar population).
+    let census = ds.census.as_slice();
+    // Only consider ODs with substantial demand: the comparison is about
+    // *similar-population residential regions*, not empty pairs.
+    let mut sorted: Vec<f64> = census.iter().copied().filter(|&c| c > 0.0).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let threshold = sorted
+        .get(sorted.len() * 3 / 4)
+        .copied()
+        .unwrap_or(1.0)
+        .max(1.0);
+    let (mut best_i, mut best_j, mut best_gap) = (0usize, 1usize, f64::INFINITY);
+    for i in 0..census.len() {
+        for j in (i + 1)..census.len() {
+            if census[i] < threshold || census[j] < threshold {
+                continue;
+            }
+            let gap = (census[i] - census[j]).abs() / census[i].max(1e-9);
+            if gap < best_gap {
+                best_gap = gap;
+                best_i = i;
+                best_j = j;
+            }
+        }
+    }
+    println!(
+        "# picked OD {best_i} (census {:.1}) and OD {best_j} (census {:.1})",
+        census[best_i], census[best_j]
+    );
+
+    let mut report = ExperimentReport::new("fig10", "Figure 10: census constraint");
+    println!(
+        "{:<22} {:>12} {:>12} {:>18}",
+        "Setting", "OD A total", "OD B total", "(normalised: 100)"
+    );
+    for (label, w_census) in [("without census", 0.0), ("with census", 0.5)] {
+        let cfg = profile.ovs.clone().with_aux_weights(w_census, 0.0);
+        let mut est = OvsEstimator::new(cfg);
+        let input = owned.input(&ds, w_census > 0.0);
+        let (_, tod) = run_method(&mut est, &ds, &input).expect("OVS runs");
+        let norm_a = 100.0 * tod.row_total(roadnet::OdPairId(best_i)) / census[best_i];
+        let norm_b = 100.0 * tod.row_total(roadnet::OdPairId(best_j)) / census[best_j];
+        println!("{label:<22} {norm_a:>12.1} {norm_b:>12.1}");
+        report.series.push(NamedSeries {
+            name: label.into(),
+            points: vec![(0.0, norm_a), (1.0, norm_b)],
+        });
+    }
+    println!("# closer to 100 on both = constraint satisfied");
+
+    report.notes = format!(
+        "profile={}, ODs {best_i}/{best_j}, census gap {:.1}%",
+        profile.name,
+        best_gap * 100.0
+    );
+    let path = report.write_json(bench::results_dir()).expect("report written");
+    println!("# report -> {}", path.display());
+}

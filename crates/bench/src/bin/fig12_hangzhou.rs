@@ -1,0 +1,85 @@
+//! Figure 12 (RQ4, case study 1): Hangzhou Sunday — recovered TOD curves
+//! between a residential region A and a commercial region B.
+//!
+//! The check: the recovered A->B series shows the two shopping peaks
+//! (~10:00 and ~18:00) and B->A the late-evening return, from speed alone.
+//!
+//! Run: `cargo run --release -p bench --bin fig12_hangzhou`
+
+use datagen::casestudy::hangzhou_sunday;
+use datagen::Dataset;
+use eval::harness::{run_method, DatasetInput};
+use eval::report::{ExperimentReport, NamedSeries};
+use eval::tables;
+use ovs_core::trainer::OvsEstimator;
+use roadnet::{presets, OdSet};
+
+fn main() {
+    let profile = bench::start("fig12", "Hangzhou Sunday case study");
+    let mut spec = profile.spec.clone();
+    spec.t = 24; // one compressed day, hourly intervals
+
+    let preset = presets::hangzhou();
+    let ods = OdSet::all_pairs(&preset.network);
+    let case = hangzhou_sunday(
+        &preset.network,
+        &ods,
+        spec.t,
+        40.0 * spec.demand_scale,
+        spec.seed,
+    );
+    let truth_ab: Vec<f64> = case.tod.row(case.a_to_b).to_vec();
+    let truth_ba: Vec<f64> = case.tod.row(case.b_to_a).to_vec();
+    let ds = Dataset::assemble("Hangzhou Sunday", preset.network, ods, case.tod, &spec)
+        .expect("dataset builds");
+
+    let owned = DatasetInput::new(&ds);
+    let input = owned.input(&ds, false);
+    let mut ovs = OvsEstimator::new(profile.ovs.clone());
+    let (res, tod) = run_method(&mut ovs, &ds, &input).expect("OVS runs");
+    println!("# OVS RMSE: tod {:.2}, speed {:.3}", res.rmse.tod, res.rmse.speed);
+
+    let mut report = ExperimentReport::new("fig12", "Figure 12: Hangzhou Sunday TOD");
+    for (name, od, truth) in [
+        ("A->B (res->com)", case.a_to_b, &truth_ab),
+        ("B->A (com->res)", case.b_to_a, &truth_ba),
+    ] {
+        let rec = tod.row(od);
+        let pts: Vec<(f64, f64)> = rec
+            .iter()
+            .enumerate()
+            .map(|(h, &v)| (h as f64, v))
+            .collect();
+        println!(
+            "{}",
+            tables::render_series(&format!("recovered {name}"), "hour", "trips", &pts)
+        );
+        report.series.push(NamedSeries {
+            name: format!("recovered {name}"),
+            points: pts,
+        });
+        report.series.push(NamedSeries {
+            name: format!("truth {name}"),
+            points: truth
+                .iter()
+                .enumerate()
+                .map(|(h, &v)| (h as f64, v))
+                .collect(),
+        });
+    }
+
+    // Shape checks mirrored in EXPERIMENTS.md: morning + evening peaks.
+    let rec_ab = tod.row(case.a_to_b);
+    let rec_ba = tod.row(case.b_to_a);
+    let ab_10_vs_6 = rec_ab[10] / rec_ab[6].max(1e-9);
+    let ba_22_vs_10 = rec_ba[22] / rec_ba[10].max(1e-9);
+    println!("# A->B 10:00 vs 06:00 ratio: {ab_10_vs_6:.2} (>1 expected)");
+    println!("# B->A 22:00 vs 10:00 ratio: {ba_22_vs_10:.2} (>1 expected)");
+
+    report.notes = format!(
+        "profile={}, ab_10_vs_6={ab_10_vs_6:.2}, ba_22_vs_10={ba_22_vs_10:.2}",
+        profile.name
+    );
+    let path = report.write_json(bench::results_dir()).expect("report written");
+    println!("# report -> {}", path.display());
+}

@@ -1,0 +1,53 @@
+//! Seed-robustness check: the Table VIII comparison repeated over several
+//! independent dataset draws, reported as mean +- std per method. The
+//! paper reports single numbers; this binary shows how stable our
+//! reproduction's ordering is.
+//!
+//! Run: `cargo run --release -p bench --bin robustness_seeds`
+
+use datagen::dataset::DatasetSpec;
+use datagen::{Dataset, TodPattern};
+use eval::compare_multi_seed;
+use eval::report::{ExperimentReport, NamedSeries};
+
+fn main() {
+    let profile = bench::start("robustness_seeds", "multi-seed stability of the comparison");
+    let seeds = [7u64, 17, 27];
+    let base = profile.spec.clone();
+    let agg = compare_multi_seed(
+        |seed| {
+            let spec = DatasetSpec { seed, ..base.clone() };
+            Dataset::synthetic(TodPattern::Gaussian, &spec)
+        },
+        &seeds,
+        &profile.ovs,
+        false,
+    )
+    .expect("multi-seed comparison runs");
+
+    println!(
+        "{:<10} {:>16} {:>16} {:>16}   ({} seeds)",
+        "Method", "TOD", "vol", "speed", seeds.len()
+    );
+    let mut report = ExperimentReport::new("robustness_seeds", "Multi-seed stability");
+    for a in &agg {
+        println!(
+            "{:<10} {:>8.2}+-{:<6.2} {:>8.2}+-{:<6.2} {:>8.3}+-{:<6.3}",
+            a.name, a.mean.tod, a.std.tod, a.mean.volume, a.std.volume, a.mean.speed, a.std.speed
+        );
+        report.series.push(NamedSeries {
+            name: a.name.clone(),
+            points: vec![
+                (0.0, a.mean.tod),
+                (1.0, a.std.tod),
+                (2.0, a.mean.volume),
+                (3.0, a.std.volume),
+                (4.0, a.mean.speed),
+                (5.0, a.std.speed),
+            ],
+        });
+    }
+    report.notes = format!("profile={}, seeds={seeds:?}", profile.name);
+    let path = report.write_json(bench::results_dir()).expect("report written");
+    println!("# report -> {}", path.display());
+}

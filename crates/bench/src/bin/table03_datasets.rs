@@ -1,0 +1,36 @@
+//! Table III: dataset statistics (intersections, roads, trajectories).
+//!
+//! Run: `cargo run -p bench --bin table03_datasets`
+
+use roadnet::presets::all_cities;
+
+fn main() {
+    println!("# table03: dataset information (paper Table III)");
+    println!(
+        "{:<15} {:>13} {:>8} {:>14} {:>9} {:>8}",
+        "Dataset", "Intersections", "# roads", "# trajectories", "# regions", "# links"
+    );
+    for city in all_cities() {
+        println!(
+            "{:<15} {:>13} {:>8} {:>14} {:>9} {:>8}",
+            city.name,
+            city.network.num_nodes(),
+            city.network.num_roads(),
+            city.trajectories
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
+            city.network.num_regions(),
+            city.network.num_links(),
+        );
+    }
+    let grid = roadnet::presets::synthetic_grid();
+    println!(
+        "{:<15} {:>13} {:>8} {:>14} {:>9} {:>8}",
+        "synthetic 3x3",
+        grid.num_nodes(),
+        grid.num_roads(),
+        "-",
+        grid.num_regions(),
+        grid.num_links(),
+    );
+}

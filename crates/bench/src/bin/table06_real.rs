@@ -1,0 +1,29 @@
+//! Table VI: RMSE of all seven methods on the three city datasets
+//! (Hangzhou, Porto, Manhattan).
+//!
+//! Run: `cargo run --release -p bench --bin table06_real`
+
+use datagen::Dataset;
+use eval::report::ExperimentReport;
+use eval::{harness, tables};
+use roadnet::presets;
+
+fn main() {
+    let profile = bench::start("table06", "real-city comparison");
+    let datasets: Vec<Dataset> = [presets::hangzhou(), presets::porto(), presets::manhattan()]
+        .into_iter()
+        .map(|p| Dataset::city(p, &profile.spec).expect("city dataset builds"))
+        .collect();
+
+    let blocks =
+        harness::compare_datasets_parallel(&datasets, &profile.ovs, profile.seed, false)
+            .expect("comparison runs");
+
+    println!("{}", tables::render_multi(&blocks));
+
+    let mut report = ExperimentReport::new("table06", "Table VI: real datasets");
+    report.comparisons = blocks;
+    report.notes = format!("profile={}", profile.name);
+    let path = report.write_json(bench::results_dir()).expect("report written");
+    println!("# report -> {}", path.display());
+}

@@ -1,0 +1,34 @@
+//! Table VII: OVS running time (seconds) on the three city datasets.
+//!
+//! Run: `cargo run --release -p bench --bin table07_runtime`
+
+use datagen::Dataset;
+use eval::harness::{run_method, DatasetInput};
+use eval::report::{ExperimentReport, NamedSeries};
+use ovs_core::trainer::OvsEstimator;
+use roadnet::presets;
+
+fn main() {
+    let profile = bench::start("table07", "OVS running time on real datasets");
+    let mut points = Vec::new();
+    println!("{:<15} {:>10}", "Dataset", "Time (s)");
+    for preset in [presets::hangzhou(), presets::porto(), presets::manhattan()] {
+        let name = preset.name;
+        let ds = Dataset::city(preset, &profile.spec).expect("city dataset builds");
+        let owned = DatasetInput::new(&ds);
+        let input = owned.input(&ds, false);
+        let mut ovs = OvsEstimator::new(profile.ovs.clone());
+        let (res, _) = run_method(&mut ovs, &ds, &input).expect("OVS runs");
+        println!("{:<15} {:>10.2}", name, res.seconds);
+        points.push((ds.n_links() as f64, res.seconds));
+    }
+
+    let mut report = ExperimentReport::new("table07", "Table VII: running time");
+    report.series.push(NamedSeries {
+        name: "links_vs_seconds".into(),
+        points,
+    });
+    report.notes = format!("profile={}", profile.name);
+    let path = report.write_json(bench::results_dir()).expect("report written");
+    println!("# report -> {}", path.display());
+}

@@ -1,0 +1,32 @@
+//! Table VIII: RMSE of all seven methods on the five synthetic TOD
+//! patterns (3x3 grid, §V-B / §V-H).
+//!
+//! Run: `cargo run --release -p bench --bin table08_synthetic`
+
+use datagen::{Dataset, TodPattern};
+use eval::report::ExperimentReport;
+use eval::{harness, tables};
+
+fn main() {
+    let profile = bench::start("table08", "synthetic patterns comparison");
+    let datasets: Vec<Dataset> = TodPattern::ALL
+        .iter()
+        .map(|&p| Dataset::synthetic(p, &profile.spec).expect("synthetic dataset builds"))
+        .collect();
+
+    let blocks = harness::compare_datasets_parallel(
+        &datasets,
+        &profile.ovs,
+        profile.seed,
+        false,
+    )
+    .expect("comparison runs");
+
+    println!("{}", tables::render_multi(&blocks));
+
+    let mut report = ExperimentReport::new("table08", "Table VIII: synthetic patterns");
+    report.comparisons = blocks;
+    report.notes = format!("profile={}", profile.name);
+    let path = report.write_json(bench::results_dir()).expect("report written");
+    println!("# report -> {}", path.display());
+}

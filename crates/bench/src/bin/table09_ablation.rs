@@ -1,0 +1,48 @@
+//! Table IX: ablation study on the synthetic Random pattern — the full
+//! OVS against variants with one module replaced.
+//!
+//! Run: `cargo run --release -p bench --bin table09_ablation`
+
+use datagen::{Dataset, TodPattern};
+use eval::harness::{run_method, DatasetInput, MethodResult};
+use eval::report::ExperimentReport;
+use eval::tables;
+use ovs_core::trainer::OvsEstimator;
+use ovs_core::OvsVariant;
+
+fn main() {
+    let profile = bench::start("table09", "ablation study (synthetic Random)");
+    let ds = Dataset::synthetic(TodPattern::Random, &profile.spec).expect("dataset builds");
+    let owned = DatasetInput::new(&ds);
+    let input = owned.input(&ds, false);
+
+    let mut results: Vec<MethodResult> = Vec::new();
+    for variant in [
+        OvsVariant::Full,
+        OvsVariant::NoTodGen,
+        OvsVariant::NoTod2V,
+        OvsVariant::NoV2S,
+    ] {
+        let mut est = OvsEstimator::new(profile.ovs.clone().with_variant(variant));
+        let (res, _) = run_method(&mut est, &ds, &input).expect("variant runs");
+        results.push(res);
+    }
+
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10}",
+        "Method", "TOD", "vol", "speed", "time(s)"
+    );
+    for r in &results {
+        println!(
+            "{:<14} {:>10.2} {:>10.2} {:>10.3} {:>10.2}",
+            r.name, r.rmse.tod, r.rmse.volume, r.rmse.speed, r.seconds
+        );
+    }
+    let _ = tables::render_comparison; // table rendered manually (no Improve row)
+
+    let mut report = ExperimentReport::new("table09", "Table IX: ablation");
+    report.comparisons.push((ds.name.clone(), results));
+    report.notes = format!("profile={}", profile.name);
+    let path = report.write_json(bench::results_dir()).expect("report written");
+    println!("# report -> {}", path.display());
+}

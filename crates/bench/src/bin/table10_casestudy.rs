@@ -1,0 +1,82 @@
+//! Table X: speed-fit RMSE of every method on the two case studies
+//! (Hangzhou Sunday, State College football game).
+//!
+//! The paper cannot score TOD/volume here (no ground truth for real map
+//! feeds); it reports how well each method's recovered TOD reproduces the
+//! observed speed. We do the same — and, because our case-study demand is
+//! synthetic, EXPERIMENTS.md additionally records the hidden TOD errors.
+//!
+//! Run: `cargo run --release -p bench --bin table10_casestudy`
+
+use datagen::casestudy::{football_game, hangzhou_sunday};
+use datagen::Dataset;
+use eval::harness::{run_method, DatasetInput, MethodResult};
+use eval::report::ExperimentReport;
+use roadnet::{presets, OdSet};
+
+fn case_dataset(profile: &bench::Profile, which: usize) -> Dataset {
+    let mut spec = profile.spec.clone();
+    // A compressed day: 24 intervals for case 1, 12 for case 2 (06:00-12:00).
+    match which {
+        1 => {
+            spec.t = 24;
+            let preset = presets::hangzhou();
+            let ods = OdSet::all_pairs(&preset.network);
+            let case = hangzhou_sunday(
+                &preset.network,
+                &ods,
+                spec.t,
+                40.0 * spec.demand_scale,
+                spec.seed,
+            );
+            Dataset::assemble("Case 1 (Hangzhou Sunday)", preset.network, ods, case.tod, &spec)
+                .expect("case dataset builds")
+        }
+        _ => {
+            spec.t = 12;
+            let preset = presets::state_college();
+            let ods = OdSet::all_pairs(&preset.network);
+            let case = football_game(
+                &preset.network,
+                &ods,
+                spec.t,
+                60.0 * spec.demand_scale,
+                spec.seed,
+            );
+            Dataset::assemble("Case 2 (football game)", preset.network, ods, case.tod, &spec)
+                .expect("case dataset builds")
+        }
+    }
+}
+
+fn main() {
+    let profile = bench::start("table10", "case-study speed fit");
+    let mut report = ExperimentReport::new("table10", "Table X: case-study RMSE_speed");
+
+    println!("{:<10} {:>14} {:>14}", "Method", "Case 1 speed", "Case 2 speed");
+    let cases: Vec<Vec<MethodResult>> = [1usize, 2]
+        .iter()
+        .map(|&which| {
+            let ds = case_dataset(&profile, which);
+            let owned = DatasetInput::new(&ds);
+            let input = owned.input(&ds, false);
+            let results: Vec<MethodResult> =
+                eval::default_methods(profile.ovs.clone(), profile.seed)
+                    .into_iter()
+                    .map(|mut m| run_method(m.as_mut(), &ds, &input).expect("method runs").0)
+                    .collect();
+            report.comparisons.push((ds.name.clone(), results.clone()));
+            results
+        })
+        .collect();
+    for i in 0..cases[0].len() {
+        println!(
+            "{:<10} {:>14.3} {:>14.3}",
+            cases[0][i].name, cases[0][i].rmse.speed, cases[1][i].rmse.speed
+        );
+    }
+
+    report.notes = format!("profile={}", profile.name);
+    let path = report.write_json(bench::results_dir()).expect("report written");
+    println!("# report -> {}", path.display());
+}

@@ -1,0 +1,79 @@
+//! Hyperparameter sweep scratchpad: OVS vs the strongest baseline (LSTM)
+//! across the five synthetic patterns. Development tool, not a paper
+//! experiment. Knobs via env: TUNE_DEMAND, TUNE_PRIOR, TUNE_H, TUNE_V2S,
+//! TUNE_FIT, TUNE_TRAIN, TUNE_T.
+
+use baselines::LstmEstimator;
+use datagen::dataset::DatasetSpec;
+use datagen::{Dataset, TodPattern};
+use eval::harness::{run_method, DatasetInput};
+use ovs_core::trainer::OvsEstimator;
+use ovs_core::OvsConfig;
+
+fn envf(k: &str, d: f64) -> f64 {
+    std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+}
+
+fn main() {
+    let demand = envf("TUNE_DEMAND", 0.15);
+    let spec = DatasetSpec {
+        t: envf("TUNE_T", 6.0) as usize,
+        interval_s: 300.0,
+        train_samples: envf("TUNE_TRAIN", 6.0) as usize,
+        demand_scale: demand,
+        seed: 7,
+    };
+    let ovs_cfg = OvsConfig {
+        lstm_hidden: envf("TUNE_H", 16.0) as usize,
+        epochs_v2s: envf("TUNE_V2S", 300.0) as usize,
+        epochs_tod2v: 300,
+        epochs_fit: envf("TUNE_FIT", 800.0) as usize,
+        w_prior: envf("TUNE_PRIOR", 0.5),
+        ..OvsConfig::default()
+    };
+    println!(
+        "demand={demand} prior={} H={} v2s={} fit={}",
+        ovs_cfg.w_prior, ovs_cfg.lstm_hidden, ovs_cfg.epochs_v2s, ovs_cfg.epochs_fit
+    );
+    println!("{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}", "dataset", "LSTM tod", "EM tod", "OVS tod", "LSTM spd", "EM spd", "OVS spd");
+    let mut datasets: Vec<Dataset> = Vec::new();
+    match std::env::var("TUNE_CITY").as_deref() {
+        Ok("state_college") => {
+            datasets.push(Dataset::city(roadnet::presets::state_college(), &spec).unwrap())
+        }
+        Ok("hangzhou") => {
+            datasets.push(Dataset::city(roadnet::presets::hangzhou(), &spec).unwrap())
+        }
+        Ok("manhattan") => {
+            datasets.push(Dataset::city(roadnet::presets::manhattan(), &spec).unwrap())
+        }
+        _ => {
+            for p in TodPattern::ALL {
+                datasets.push(Dataset::synthetic(p, &spec).unwrap());
+            }
+        }
+    }
+    for ds in datasets {
+        let owned = DatasetInput::new(&ds);
+        let input = owned.input(&ds, false);
+        let mut lstm = LstmEstimator::new(7);
+        let (rl, _) = run_method(&mut lstm, &ds, &input).unwrap();
+        let mut grav = baselines::GravityEstimator::new();
+        let (rg, _) = run_method(&mut grav, &ds, &input).unwrap();
+        print!("grav tod {:.2} vol {:.2} spd {:.3} | ", rg.rmse.tod, rg.rmse.volume, rg.rmse.speed);
+        let mut em = baselines::EmEstimator::new();
+        let (re, _) = run_method(&mut em, &ds, &input).unwrap();
+        let mut ovs = OvsEstimator::new(ovs_cfg.clone());
+        let (ro, _) = run_method(&mut ovs, &ds, &input).unwrap();
+        println!(
+            "{:<12} {:>10.2} {:>10.2} {:>10.2} {:>10.3} {:>10.3} {:>10.3}",
+            ds.name,
+            rl.rmse.tod,
+            re.rmse.tod,
+            ro.rmse.tod,
+            rl.rmse.speed,
+            re.rmse.speed,
+            ro.rmse.speed
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! # bench — experiment binaries and micro-benchmarks
+//!
+//! One binary per paper table/figure (see DESIGN.md §3 for the index) and
+//! Criterion micro-benchmarks for the hot paths. This library holds the
+//! shared experiment profile machinery.
+//!
+//! Profiles are selected with the `CITYOD_PROFILE` environment variable:
+//!
+//! * `quick` — minutes-scale smoke profile (small horizons, few epochs);
+//! * `standard` (default) — the profile EXPERIMENTS.md numbers were
+//!   recorded with; tens of minutes for the full suite;
+//! * `full` — the paper's hyperparameters (LSTM(128), 10 000 epochs);
+//!   hours. Provided for completeness.
+
+#![warn(missing_docs)]
+
+use datagen::dataset::DatasetSpec;
+use ovs_core::OvsConfig;
+use std::path::PathBuf;
+
+/// A named experiment profile.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Profile name.
+    pub name: &'static str,
+    /// Dataset generation parameters.
+    pub spec: DatasetSpec,
+    /// OVS hyperparameters.
+    pub ovs: OvsConfig,
+    /// Seed shared by stochastic estimators.
+    pub seed: u64,
+}
+
+impl Profile {
+    /// The minutes-scale profile.
+    pub fn quick() -> Self {
+        Self {
+            name: "quick",
+            spec: DatasetSpec {
+                t: 6,
+                interval_s: 300.0,
+                train_samples: 6,
+                demand_scale: 0.15,
+                seed: 7,
+            },
+            ovs: OvsConfig {
+                lstm_hidden: 16,
+                ..OvsConfig::default()
+            },
+            seed: 7,
+        }
+    }
+
+    /// The default profile used for the recorded EXPERIMENTS.md numbers.
+    pub fn standard() -> Self {
+        Self {
+            name: "standard",
+            spec: DatasetSpec {
+                t: 12,
+                interval_s: 600.0,
+                train_samples: 10,
+                demand_scale: 0.15,
+                seed: 7,
+            },
+            ovs: OvsConfig {
+                epochs_v2s: 900,
+                epochs_tod2v: 400,
+                epochs_fit: 2000,
+                ..OvsConfig::default()
+            },
+            seed: 7,
+        }
+    }
+
+    /// The paper's hyperparameters (slow).
+    pub fn full() -> Self {
+        Self {
+            name: "full",
+            spec: DatasetSpec {
+                t: 12,
+                interval_s: 600.0,
+                train_samples: 20,
+                demand_scale: 0.15,
+                seed: 7,
+            },
+            ovs: OvsConfig::paper(),
+            seed: 7,
+        }
+    }
+
+    /// Reads `CITYOD_PROFILE` (quick | standard | full); defaults to
+    /// standard, panics on unknown values so typos do not silently run
+    /// the wrong experiment.
+    pub fn from_env() -> Self {
+        match std::env::var("CITYOD_PROFILE").as_deref() {
+            Ok("quick") => Self::quick(),
+            Ok("full") => Self::full(),
+            Ok("standard") | Err(_) => Self::standard(),
+            Ok(other) => panic!("unknown CITYOD_PROFILE '{other}' (quick|standard|full)"),
+        }
+    }
+}
+
+/// Directory the experiment binaries drop their JSON reports into.
+pub fn results_dir() -> PathBuf {
+    std::env::var("CITYOD_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Standard preamble: prints the experiment header and returns the
+/// profile.
+pub fn start(id: &str, title: &str) -> Profile {
+    let profile = Profile::from_env();
+    println!("# {id}: {title}");
+    println!(
+        "# profile = {} (t={}, interval={}s, train={}, demand={}, ovs epochs {}/{}/{})",
+        profile.name,
+        profile.spec.t,
+        profile.spec.interval_s,
+        profile.spec.train_samples,
+        profile.spec.demand_scale,
+        profile.ovs.epochs_v2s,
+        profile.ovs.epochs_tod2v,
+        profile.ovs.epochs_fit,
+    );
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered_by_cost() {
+        let q = Profile::quick();
+        let s = Profile::standard();
+        let f = Profile::full();
+        assert!(q.spec.t <= s.spec.t);
+        assert!(s.ovs.epochs_v2s <= f.ovs.epochs_v2s);
+        assert_eq!(f.ovs.lstm_hidden, 128);
+    }
+
+    #[test]
+    fn results_dir_defaults_to_results() {
+        // Only check the default path shape (env may be set in CI).
+        if std::env::var("CITYOD_RESULTS").is_err() {
+            assert_eq!(results_dir(), PathBuf::from("results"));
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Taxi-like ground-truth demand for the city presets.
+//!
+//! The paper builds its "real" TOD tensors by scaling taxi trajectories to
+//! the full fleet (§V-B). We have no taxi data (see DESIGN.md), so we
+//! synthesise demand with the same statistical character:
+//!
+//! * region populations drive trip magnitudes (gravity backbone),
+//! * a per-OD heterogeneity factor breaks the pure gravity structure (so
+//!   the Gravity baseline stays competitive but beatable, as in Table VI),
+//! * region *roles* (residential / commercial / mixed) shape the temporal
+//!   profile: residential -> commercial flows peak in the morning, the
+//!   reverse in the evening, mirroring commuter behaviour.
+
+use neural::rng::Rng64;
+use roadnet::{OdSet, RegionId, RoadNetwork, TodTensor};
+
+/// Functional role a region plays in the demand model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionRole {
+    /// People start their mornings here.
+    Residential,
+    /// Work/shopping destination.
+    Commercial,
+    /// No strong temporal bias.
+    Mixed,
+}
+
+/// Assigns roles round-robin so every city has all three kinds.
+pub fn assign_roles(net: &RoadNetwork) -> Vec<RegionRole> {
+    (0..net.num_regions())
+        .map(|i| match i % 3 {
+            0 => RegionRole::Residential,
+            1 => RegionRole::Commercial,
+            _ => RegionRole::Mixed,
+        })
+        .collect()
+}
+
+/// Populates `net`'s regions with synthetic census populations
+/// proportional to their node counts (with deterministic jitter), and
+/// returns the populations.
+pub fn synthesize_populations(net: &mut RoadNetwork, rng: &mut Rng64) -> Vec<f64> {
+    let pops: Vec<f64> = net
+        .regions()
+        .iter()
+        .map(|r| (r.nodes.len() as f64) * 1000.0 * rng.uniform_in(0.6, 1.6))
+        .collect();
+    for (i, &p) in pops.iter().enumerate() {
+        net.set_region_population(RegionId(i), p)
+            .expect("region ids are dense");
+    }
+    pops
+}
+
+/// Morning/evening commuter profile over `t` intervals mapped onto one
+/// day, depending on origin/destination roles. Normalised to mean 1.
+fn time_profile(origin: RegionRole, dest: RegionRole, frac: f64) -> f64 {
+    // frac in [0, 1): position within the simulated horizon.
+    let bump = |center: f64, width: f64| {
+        let d = (frac - center) / width;
+        (-0.5 * d * d).exp()
+    };
+    let base = 0.4;
+    match (origin, dest) {
+        (RegionRole::Residential, RegionRole::Commercial) => base + 1.8 * bump(0.25, 0.12),
+        (RegionRole::Commercial, RegionRole::Residential) => base + 1.8 * bump(0.75, 0.12),
+        _ => base + 0.9 * bump(0.5, 0.25),
+    }
+}
+
+/// Parameters of the city demand synthesiser.
+#[derive(Debug, Clone)]
+pub struct CityDemandSpec {
+    /// Overall demand scale: trips per interval for the busiest OD, before
+    /// heterogeneity.
+    pub peak_trips_per_interval: f64,
+    /// RNG seed for heterogeneity and noise.
+    pub seed: u64,
+    /// Multiplicative per-cell noise sigma (lognormal-ish), 0 disables.
+    pub noise_sigma: f64,
+    /// Fraction of OD pairs with (near-)zero demand. Real taxi OD
+    /// matrices are sparse and heavy-tailed; a pure gravity surface is
+    /// not (and would hand the Gravity baseline the answer).
+    pub sparsity: f64,
+    /// Sigma of the lognormal per-OD heterogeneity factor.
+    pub heterogeneity_sigma: f64,
+    /// Sigma of the lognormal per-region trip-rate factors: census
+    /// populations measure residents, not trip production/attraction, so
+    /// real demand deviates from any census-derived gravity surface at
+    /// the region level too.
+    pub trip_rate_sigma: f64,
+}
+
+impl Default for CityDemandSpec {
+    fn default() -> Self {
+        Self {
+            peak_trips_per_interval: 30.0,
+            seed: 42,
+            noise_sigma: 0.15,
+            sparsity: 0.4,
+            heterogeneity_sigma: 1.0,
+            trip_rate_sigma: 0.6,
+        }
+    }
+}
+
+/// Synthesises a taxi-like ground-truth TOD tensor for `net` over `ods`.
+/// Region populations must already be set (see
+/// [`synthesize_populations`]).
+pub fn city_groundtruth_tod(
+    net: &RoadNetwork,
+    ods: &OdSet,
+    t: usize,
+    spec: &CityDemandSpec,
+) -> TodTensor {
+    let mut rng = Rng64::new(spec.seed);
+    let roles = assign_roles(net);
+    // Region-level trip-rate factors (production / attraction): the link
+    // between census population and actual trip-making.
+    let k = net.num_regions();
+    let production: Vec<f64> = (0..k)
+        .map(|_| rng.normal_with(0.0, spec.trip_rate_sigma).exp())
+        .collect();
+    let attraction: Vec<f64> = (0..k)
+        .map(|_| rng.normal_with(0.0, spec.trip_rate_sigma).exp())
+        .collect();
+    // Gravity backbone: base_i = p_o * p_d / d^2, normalised to
+    // peak_trips, times region trip rates and a per-OD heterogeneity
+    // factor.
+    let mut base = Vec::with_capacity(ods.len());
+    let mut max_base: f64 = 0.0;
+    for (_, pair) in ods.iter() {
+        let ro = net.region(pair.origin).expect("validated");
+        let rd = net.region(pair.destination).expect("validated");
+        let co = ro.centroid(net);
+        let cd = rd.centroid(net);
+        let d = match (co, cd) {
+            (Some(a), Some(b)) => a.distance(&b).max(100.0),
+            _ => 1000.0,
+        };
+        let g = ro.population * production[pair.origin.index()]
+            * rd.population
+            * attraction[pair.destination.index()]
+            / (d * d);
+        // Heavy-tailed heterogeneity + sparsity: real OD matrices deviate
+        // strongly from the smooth gravity surface.
+        let het = rng.normal_with(0.0, spec.heterogeneity_sigma).exp();
+        let alive = if rng.uniform() < spec.sparsity { 0.02 } else { 1.0 };
+        let b = g * het * alive;
+        max_base = max_base.max(b);
+        base.push(b);
+    }
+    let norm = if max_base > 0.0 {
+        spec.peak_trips_per_interval / max_base
+    } else {
+        0.0
+    };
+
+    let mut tod = TodTensor::zeros(ods.len(), t);
+    for (i, (id, pair)) in ods.iter().enumerate() {
+        let role_o = roles[pair.origin.index()];
+        let role_d = roles[pair.destination.index()];
+        // Per-OD phase jitter: peaks shift a little between OD pairs.
+        let phase = rng.normal_with(0.0, 0.04);
+        for ti in 0..t {
+            let frac = ((ti as f64 + 0.5) / t as f64 + phase).clamp(0.0, 1.0);
+            let profile = time_profile(role_o, role_d, frac);
+            let noise = if spec.noise_sigma > 0.0 {
+                (rng.normal_with(0.0, spec.noise_sigma)).exp()
+            } else {
+                1.0
+            };
+            tod.set(id, ti, (base[i] * norm * profile * noise).max(0.0));
+        }
+    }
+    tod
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::presets;
+
+    fn prepared() -> (RoadNetwork, OdSet) {
+        let mut preset = presets::manhattan();
+        let mut rng = Rng64::new(0);
+        synthesize_populations(&mut preset.network, &mut rng);
+        let ods = OdSet::all_pairs(&preset.network);
+        (preset.network, ods)
+    }
+
+    #[test]
+    fn populations_are_positive_and_set() {
+        let (net, _) = prepared();
+        for r in net.regions() {
+            assert!(r.population > 0.0, "region {} population", r.id);
+        }
+    }
+
+    #[test]
+    fn groundtruth_shape_and_sanity() {
+        let (net, ods) = prepared();
+        let tod = city_groundtruth_tod(&net, &ods, 12, &CityDemandSpec::default());
+        assert_eq!(tod.rows(), ods.len());
+        assert_eq!(tod.num_intervals(), 12);
+        assert!(tod.is_non_negative());
+        assert!(tod.is_finite());
+        assert!(tod.total() > 0.0);
+        // peak OD is near the requested scale (profile can exceed mean 1)
+        let max = tod.as_slice().iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(max > 5.0 && max < 300.0, "peak {max}");
+    }
+
+    #[test]
+    fn commuter_structure_present() {
+        let (net, ods) = prepared();
+        let roles = assign_roles(&net);
+        let tod = city_groundtruth_tod(&net, &ods, 12, &CityDemandSpec::default());
+        // Aggregate residential->commercial flows: morning (first half)
+        // must dominate evening (second half), and vice versa.
+        let mut rc_morning = 0.0;
+        let mut rc_evening = 0.0;
+        let mut cr_morning = 0.0;
+        let mut cr_evening = 0.0;
+        for (id, pair) in ods.iter() {
+            let (ro, rd) = (roles[pair.origin.index()], roles[pair.destination.index()]);
+            let row = tod.row(id);
+            let first: f64 = row[..6].iter().sum();
+            let second: f64 = row[6..].iter().sum();
+            match (ro, rd) {
+                (RegionRole::Residential, RegionRole::Commercial) => {
+                    rc_morning += first;
+                    rc_evening += second;
+                }
+                (RegionRole::Commercial, RegionRole::Residential) => {
+                    cr_morning += first;
+                    cr_evening += second;
+                }
+                _ => {}
+            }
+        }
+        assert!(rc_morning > rc_evening, "{rc_morning} vs {rc_evening}");
+        assert!(cr_evening > cr_morning, "{cr_morning} vs {cr_evening}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (net, ods) = prepared();
+        let spec = CityDemandSpec::default();
+        let a = city_groundtruth_tod(&net, &ods, 6, &spec);
+        let b = city_groundtruth_tod(&net, &ods, 6, &spec);
+        assert_eq!(a, b);
+        let other = CityDemandSpec {
+            seed: 43,
+            ..CityDemandSpec::default()
+        };
+        assert_ne!(a, city_groundtruth_tod(&net, &ods, 6, &other));
+    }
+
+    #[test]
+    fn roles_cover_all_kinds() {
+        let (net, _) = prepared();
+        let roles = assign_roles(&net);
+        assert!(roles.contains(&RegionRole::Residential));
+        assert!(roles.contains(&RegionRole::Commercial));
+        assert!(roles.contains(&RegionRole::Mixed));
+    }
+}

@@ -1,0 +1,31 @@
+//! # datagen — synthetic workloads for the city-od reproduction
+//!
+//! The paper's data pipeline (§V-B, §V-D, Fig 7) never trains on real TOD:
+//! it (1) generates random TOD tensors over the dataset's OD pairs,
+//! (2) simulates them to obtain matched (TOD, volume, speed) triples for
+//! training, and (3) hides the real TOD behind simulated speed for
+//! testing. This crate implements every generator that pipeline needs:
+//!
+//! * the five synthetic TOD patterns of §V-B ([`patterns`]),
+//! * taxi-like ground-truth demand with commuter structure for the city
+//!   presets ([`city`]),
+//! * synthetic census/LEHD and surveillance-camera auxiliary data
+//!   ([`aux`]; see Table II of the paper),
+//! * the two case-study demand scripts — Hangzhou Sunday shopping and the
+//!   State College football game ([`casestudy`]),
+//! * the taxi-trajectory sampling + scaling estimator of §V-B
+//!   ([`taxi`]),
+//! * dataset assembly: simulate TOD tensors into training triples and test
+//!   observations ([`dataset`]).
+
+#![warn(missing_docs)]
+
+pub mod aux;
+pub mod casestudy;
+pub mod city;
+pub mod dataset;
+pub mod patterns;
+pub mod taxi;
+
+pub use dataset::{Dataset, TrainingSample};
+pub use patterns::TodPattern;

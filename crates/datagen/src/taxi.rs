@@ -1,0 +1,186 @@
+//! Taxi-trajectory sampling — the paper's §V-B data acquisition step.
+//!
+//! "For Hangzhou, Porto and Manhattan, we collect the taxi trajectory
+//! data, scale them with city-specific factor (# all vehicles / # taxi) to
+//! represent the trajectories of all vehicles, and get the corresponding
+//! TOD tensors."
+//!
+//! Our simulator can emit one [`simulator::engine::TripRecord`] per
+//! vehicle; sampling a fraction `1 / taxi_scale` of them reproduces a taxi
+//! fleet's partial view, and [`trips_to_tod`] rebuilds the TOD tensor by
+//! counting and re-scaling — exactly the paper's estimator. Its sampling
+//! error is what separates "TOD derived from taxi data" from the true TOD.
+
+use neural::rng::Rng64;
+use roadnet::{OdSet, Result, RoadNetwork, RoadnetError, TodTensor};
+use simulator::engine::TripRecord;
+use simulator::{SimConfig, Simulation};
+
+/// Simulates `tod` and returns every trip record (the "all vehicles" set).
+pub fn record_all_trips(
+    net: &RoadNetwork,
+    ods: &OdSet,
+    cfg: &SimConfig,
+    tod: &TodTensor,
+) -> Result<Vec<TripRecord>> {
+    let mut cfg = cfg.clone();
+    cfg.record_trips = true;
+    let out = Simulation::new(net, ods, cfg)?.run(tod)?;
+    Ok(out.trips)
+}
+
+/// Samples a taxi-fleet view: each trip is kept independently with
+/// probability `1 / taxi_scale` (a fleet `taxi_scale` times smaller than
+/// all vehicles).
+pub fn sample_taxi_fleet(
+    trips: &[TripRecord],
+    taxi_scale: f64,
+    rng: &mut Rng64,
+) -> Vec<TripRecord> {
+    let keep = (1.0 / taxi_scale.max(1.0)).clamp(0.0, 1.0);
+    trips
+        .iter()
+        .copied()
+        .filter(|_| rng.uniform() < keep)
+        .collect()
+}
+
+/// Rebuilds a TOD tensor from (sampled) trip records: trips are counted
+/// per OD and departure interval, then multiplied by `taxi_scale` — the
+/// paper's scaling step.
+pub fn trips_to_tod(
+    trips: &[TripRecord],
+    n_od: usize,
+    t: usize,
+    ticks_per_interval: u64,
+    taxi_scale: f64,
+) -> Result<TodTensor> {
+    if ticks_per_interval == 0 {
+        return Err(RoadnetError::InvalidAttribute(
+            "ticks_per_interval must be positive".into(),
+        ));
+    }
+    let mut tod = TodTensor::zeros(n_od, t);
+    for trip in trips {
+        if trip.od.index() >= n_od {
+            return Err(RoadnetError::UnknownOdPair(trip.od));
+        }
+        let interval = (trip.depart_tick / ticks_per_interval) as usize;
+        if interval < t {
+            tod.add_at(trip.od, interval, taxi_scale);
+        }
+    }
+    Ok(tod)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::presets::synthetic_grid;
+
+    fn setup() -> (RoadNetwork, OdSet, SimConfig, TodTensor) {
+        let net = synthetic_grid();
+        let ods = OdSet::all_pairs(&net);
+        let cfg = SimConfig::default().with_intervals(3).with_interval_s(120.0);
+        let tod = TodTensor::filled(ods.len(), 3, 4.0);
+        (net, ods, cfg, tod)
+    }
+
+    #[test]
+    fn full_records_rebuild_the_spawned_tod() {
+        let (net, ods, cfg, tod) = setup();
+        let trips = record_all_trips(&net, &ods, &cfg, &tod).unwrap();
+        assert!(!trips.is_empty());
+        let rebuilt =
+            trips_to_tod(&trips, ods.len(), 3, cfg.ticks_per_interval(), 1.0).unwrap();
+        // Spawner may carry a fractional trip across interval boundaries
+        // and queue a few entries, so allow a small per-cell tolerance.
+        let err = tod.rmse(&rebuilt).unwrap();
+        assert!(err < 1.0, "full-records rebuild error {err}");
+        // Totals match the vehicles that departed within the horizon
+        // (queued trips admitted during the cooldown fall outside it).
+        let horizon = 3 * cfg.ticks_per_interval();
+        let in_horizon = trips.iter().filter(|t| t.depart_tick < horizon).count();
+        assert_eq!(rebuilt.total(), in_horizon as f64);
+        assert!(in_horizon as f64 >= trips.len() as f64 * 0.95);
+    }
+
+    #[test]
+    fn sampled_and_scaled_tod_is_unbiased() {
+        let (net, ods, cfg, tod) = setup();
+        let trips = record_all_trips(&net, &ods, &cfg, &tod).unwrap();
+        let scale = 4.0;
+        // Average over several fleet draws: the scaled estimate converges
+        // to the full count.
+        let mut mean_total = 0.0;
+        let draws = 30;
+        for s in 0..draws {
+            let mut rng = Rng64::new(s);
+            let fleet = sample_taxi_fleet(&trips, scale, &mut rng);
+            let est =
+                trips_to_tod(&fleet, ods.len(), 3, cfg.ticks_per_interval(), scale).unwrap();
+            mean_total += est.total();
+        }
+        mean_total /= draws as f64;
+        let truth = trips.len() as f64;
+        assert!(
+            (mean_total - truth).abs() / truth < 0.1,
+            "mean {mean_total} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn smaller_fleet_higher_variance() {
+        let (net, ods, cfg, tod) = setup();
+        let trips = record_all_trips(&net, &ods, &cfg, &tod).unwrap();
+        let variance = |scale: f64| {
+            let truth =
+                trips_to_tod(&trips, ods.len(), 3, cfg.ticks_per_interval(), 1.0).unwrap();
+            let mut acc = 0.0;
+            for s in 0..20u64 {
+                let mut rng = Rng64::new(s);
+                let fleet = sample_taxi_fleet(&trips, scale, &mut rng);
+                let est =
+                    trips_to_tod(&fleet, ods.len(), 3, cfg.ticks_per_interval(), scale)
+                        .unwrap();
+                acc += truth.rmse(&est).unwrap();
+            }
+            acc / 20.0
+        };
+        assert!(
+            variance(10.0) > variance(2.0),
+            "sparser taxi fleets must reconstruct worse"
+        );
+    }
+
+    #[test]
+    fn trips_to_tod_validates_inputs() {
+        let (_, ods, _, _) = setup();
+        assert!(trips_to_tod(&[], ods.len(), 3, 0, 1.0).is_err());
+        let bad = TripRecord {
+            od: roadnet::OdPairId(999),
+            from: roadnet::NodeId(0),
+            to: roadnet::NodeId(1),
+            depart_tick: 0,
+            arrive_tick: None,
+        };
+        assert!(trips_to_tod(&[bad], ods.len(), 3, 10, 1.0).is_err());
+    }
+
+    #[test]
+    fn sampling_fraction_respected() {
+        let trips: Vec<TripRecord> = (0..10_000)
+            .map(|k| TripRecord {
+                od: roadnet::OdPairId(0),
+                from: roadnet::NodeId(0),
+                to: roadnet::NodeId(1),
+                depart_tick: k,
+                arrive_tick: None,
+            })
+            .collect();
+        let mut rng = Rng64::new(1);
+        let fleet = sample_taxi_fleet(&trips, 5.0, &mut rng);
+        let frac = fleet.len() as f64 / trips.len() as f64;
+        assert!((frac - 0.2).abs() < 0.02, "kept {frac}");
+    }
+}

@@ -1,0 +1,325 @@
+//! The estimator-comparison harness.
+
+use crate::metrics::{evaluate_tod, RmseTriple};
+use baselines::all_baselines;
+use datagen::Dataset;
+use ovs_core::estimator::TrainTriple;
+use ovs_core::trainer::OvsEstimator;
+use ovs_core::{EstimatorInput, OvsConfig, TodEstimator};
+use roadnet::{Result, TodTensor};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Owned view of a dataset's estimator inputs (the `EstimatorInput`
+/// borrows; this owns the converted triples and auxiliary slices).
+pub struct DatasetInput {
+    triples: Vec<TrainTriple>,
+    census: Vec<f64>,
+}
+
+impl DatasetInput {
+    /// Converts a dataset's corpus into estimator form.
+    pub fn new(ds: &Dataset) -> Self {
+        let triples = ds
+            .train
+            .iter()
+            .map(|s| TrainTriple {
+                tod: s.tod.clone(),
+                volume: s.volume.clone(),
+                speed: s.speed.clone(),
+            })
+            .collect();
+        Self {
+            triples,
+            census: ds.census.as_slice().to_vec(),
+        }
+    }
+
+    /// Borrowed estimator input. `with_aux` exposes census and camera
+    /// data (RQ2); without it estimators see only speed.
+    pub fn input<'a>(&'a self, ds: &'a Dataset, with_aux: bool) -> EstimatorInput<'a> {
+        EstimatorInput {
+            net: &ds.net,
+            ods: &ds.ods,
+            interval_s: ds.sim_config.interval_s,
+            sim_seed: ds.sim_config.seed,
+            train: &self.triples,
+            observed_speed: &ds.observed_speed,
+            census_totals: with_aux.then_some(self.census.as_slice()),
+            cameras: with_aux.then_some((
+                ds.cameras.links.as_slice(),
+                ds.cameras.volumes.as_slice(),
+            )),
+        }
+    }
+}
+
+/// One method's scores on one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodResult {
+    /// Method name as printed in the tables.
+    pub name: String,
+    /// The three RMSE metrics.
+    pub rmse: RmseTriple,
+    /// Wall-clock seconds of the estimate call (Table VII / Fig 9).
+    pub seconds: f64,
+}
+
+/// Runs one estimator on one dataset, timing the estimate and evaluating
+/// it per §V-G. Also returns the recovered TOD for downstream plots.
+pub fn run_method(
+    est: &mut dyn TodEstimator,
+    ds: &Dataset,
+    input: &EstimatorInput<'_>,
+) -> Result<(MethodResult, TodTensor)> {
+    let start = Instant::now();
+    let tod = est.estimate(input)?;
+    let seconds = start.elapsed().as_secs_f64();
+    let rmse = evaluate_tod(ds, &tod)?;
+    Ok((
+        MethodResult {
+            name: est.name().to_string(),
+            rmse,
+            seconds,
+        },
+        tod,
+    ))
+}
+
+/// The paper's method line-up: the six baselines followed by OVS.
+pub fn default_methods(ovs_cfg: OvsConfig, seed: u64) -> Vec<Box<dyn TodEstimator>> {
+    let mut methods = all_baselines(seed);
+    methods.push(Box::new(OvsEstimator::new(ovs_cfg)));
+    methods
+}
+
+/// Runs a full comparison (all baselines + OVS) on one dataset. Methods
+/// see auxiliary data only when `with_aux` is set.
+pub fn compare(
+    ds: &Dataset,
+    ovs_cfg: OvsConfig,
+    seed: u64,
+    with_aux: bool,
+) -> Result<Vec<MethodResult>> {
+    let owned = DatasetInput::new(ds);
+    let input = owned.input(ds, with_aux);
+    let mut results = Vec::new();
+    for mut method in default_methods(ovs_cfg, seed) {
+        let (res, _) = run_method(method.as_mut(), ds, &input)?;
+        results.push(res);
+    }
+    Ok(results)
+}
+
+/// Runs [`compare`] over several datasets in parallel (one rayon task per
+/// dataset; estimators are constructed inside each task, so nothing needs
+/// to be `Send` across the boundary except the datasets themselves).
+pub fn compare_datasets_parallel(
+    datasets: &[Dataset],
+    ovs_cfg: &OvsConfig,
+    seed: u64,
+    with_aux: bool,
+) -> Result<Vec<(String, Vec<MethodResult>)>> {
+    use rayon::prelude::*;
+    datasets
+        .par_iter()
+        .map(|ds| {
+            let results = compare(ds, ovs_cfg.clone(), seed, with_aux)?;
+            Ok((ds.name.clone(), results))
+        })
+        .collect()
+}
+
+/// Aggregate of one method's scores over several dataset draws.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AggregateResult {
+    /// Method name.
+    pub name: String,
+    /// Per-metric means.
+    pub mean: RmseTriple,
+    /// Per-metric sample standard deviations.
+    pub std: RmseTriple,
+    /// Number of draws aggregated.
+    pub runs: usize,
+}
+
+/// Runs the full comparison over several independently drawn datasets
+/// (one per seed, built by `make_dataset`, in parallel) and aggregates
+/// each method's metrics into mean +- std. This is the repetition layer
+/// the paper's single-number tables lack.
+pub fn compare_multi_seed(
+    make_dataset: impl Fn(u64) -> Result<Dataset> + Sync,
+    seeds: &[u64],
+    ovs_cfg: &OvsConfig,
+    with_aux: bool,
+) -> Result<Vec<AggregateResult>> {
+    use rayon::prelude::*;
+    let per_seed: Vec<Vec<MethodResult>> = seeds
+        .par_iter()
+        .map(|&seed| {
+            let ds = make_dataset(seed)?;
+            compare(&ds, ovs_cfg.clone().with_seed(seed), seed, with_aux)
+        })
+        .collect::<Result<_>>()?;
+    let Some(first) = per_seed.first() else {
+        return Ok(Vec::new());
+    };
+    let runs = per_seed.len();
+    let agg = (0..first.len())
+        .map(|mi| {
+            let name = first[mi].name.clone();
+            let collect = |f: fn(&RmseTriple) -> f64| -> (f64, f64) {
+                let vals: Vec<f64> = per_seed.iter().map(|r| f(&r[mi].rmse)).collect();
+                let mean = vals.iter().sum::<f64>() / runs as f64;
+                let var = if runs > 1 {
+                    vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (runs - 1) as f64
+                } else {
+                    0.0
+                };
+                (mean, var.sqrt())
+            };
+            let (t_m, t_s) = collect(|r| r.tod);
+            let (v_m, v_s) = collect(|r| r.volume);
+            let (s_m, s_s) = collect(|r| r.speed);
+            AggregateResult {
+                name,
+                mean: RmseTriple {
+                    tod: t_m,
+                    volume: v_m,
+                    speed: s_m,
+                },
+                std: RmseTriple {
+                    tod: t_s,
+                    volume: v_s,
+                    speed: s_s,
+                },
+                runs,
+            }
+        })
+        .collect();
+    Ok(agg)
+}
+
+/// Relative improvement of the last row (OVS) over the best other row,
+/// per metric: `(tod, volume, speed)`, as fractions (0.3 = 30 %).
+pub fn improvement(results: &[MethodResult]) -> Option<(f64, f64, f64)> {
+    let (ovs, rest) = results.split_last()?;
+    if rest.is_empty() {
+        return None;
+    }
+    let best = |f: fn(&RmseTriple) -> f64| -> f64 {
+        rest.iter()
+            .map(|r| f(&r.rmse))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let rel = |best: f64, ours: f64| {
+        if best > 0.0 {
+            (best - ours) / best
+        } else {
+            0.0
+        }
+    };
+    Some((
+        rel(best(|r| r.tod), ovs.rmse.tod),
+        rel(best(|r| r.volume), ovs.rmse.volume),
+        rel(best(|r| r.speed), ovs.rmse.speed),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::dataset::DatasetSpec;
+    use datagen::TodPattern;
+
+    fn tiny() -> Dataset {
+        let spec = DatasetSpec {
+            t: 3,
+            interval_s: 120.0,
+            train_samples: 3,
+            demand_scale: 0.1,
+            seed: 4,
+        };
+        Dataset::synthetic(TodPattern::Gaussian, &spec).unwrap()
+    }
+
+    #[test]
+    fn run_method_times_and_scores() {
+        let ds = tiny();
+        let owned = DatasetInput::new(&ds);
+        let input = owned.input(&ds, false);
+        let mut grav = baselines::GravityEstimator::new();
+        let (res, tod) = run_method(&mut grav, &ds, &input).unwrap();
+        assert_eq!(res.name, "Gravity");
+        assert!(res.seconds >= 0.0);
+        assert!(res.rmse.is_finite());
+        assert_eq!(tod.rows(), ds.n_od());
+    }
+
+    #[test]
+    fn input_aux_toggle() {
+        let ds = tiny();
+        let owned = DatasetInput::new(&ds);
+        assert!(owned.input(&ds, false).census_totals.is_none());
+        assert!(owned.input(&ds, true).census_totals.is_some());
+        assert!(owned.input(&ds, true).cameras.is_some());
+    }
+
+    #[test]
+    fn default_lineup_matches_paper_order() {
+        let names: Vec<String> = default_methods(OvsConfig::tiny(), 0)
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            ["Gravity", "Genetic", "GLS", "EM", "NN", "LSTM", "OVS"]
+        );
+    }
+
+    #[test]
+    fn multi_seed_aggregation_is_consistent() {
+        let base = DatasetSpec {
+            t: 3,
+            interval_s: 120.0,
+            train_samples: 3,
+            demand_scale: 0.1,
+            seed: 0,
+        };
+        let agg = compare_multi_seed(
+            |seed| Dataset::synthetic(TodPattern::Random, &DatasetSpec { seed, ..base.clone() }),
+            &[1, 2],
+            &OvsConfig::tiny(),
+            false,
+        )
+        .unwrap();
+        assert_eq!(agg.len(), 7);
+        for a in &agg {
+            assert_eq!(a.runs, 2);
+            assert!(a.mean.is_finite());
+            assert!(a.std.tod >= 0.0);
+        }
+        // different seeds yield different draws, so at least one method
+        // must show nonzero spread
+        assert!(agg.iter().any(|a| a.std.tod > 0.0));
+    }
+
+    #[test]
+    fn improvement_computation() {
+        let mk = |name: &str, tod: f64| MethodResult {
+            name: name.into(),
+            rmse: RmseTriple {
+                tod,
+                volume: tod * 2.0,
+                speed: tod / 10.0,
+            },
+            seconds: 0.0,
+        };
+        let results = vec![mk("A", 20.0), mk("B", 10.0), mk("OVS", 5.0)];
+        let (t, v, s) = improvement(&results).unwrap();
+        assert!((t - 0.5).abs() < 1e-12);
+        assert!((v - 0.5).abs() < 1e-12);
+        assert!((s - 0.5).abs() < 1e-12);
+        assert!(improvement(&[mk("only", 1.0)]).is_none());
+    }
+}

@@ -1,0 +1,26 @@
+//! # eval — the paper's evaluation harness
+//!
+//! Implements §V-G's metrics and the comparison pipeline every experiment
+//! binary uses:
+//!
+//! * [`metrics`] — `RMSE_TOD`, `RMSE_volume`, `RMSE_speed`, computed by
+//!   feeding the recovered TOD back through the simulator exactly as the
+//!   paper does ("We feed the recovered TOD tensors into the simulator and
+//!   get the volume and speed tensors");
+//! * [`harness`] — run any set of [`ovs_core::TodEstimator`]s on a
+//!   [`datagen::Dataset`], with wall-clock timing (Table VII / Fig 9);
+//! * [`tables`] — fixed-width table rendering matching the paper's layout,
+//!   including the "Improve" row (relative improvement of OVS over the
+//!   best baseline);
+//! * [`report`] — serde-serialisable result records the experiment
+//!   binaries dump as JSON for EXPERIMENTS.md bookkeeping.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod metrics;
+pub mod report;
+pub mod tables;
+
+pub use harness::{compare, compare_multi_seed, default_methods, AggregateResult, DatasetInput, MethodResult};
+pub use metrics::{evaluate_tod, RmseTriple};

@@ -1,0 +1,89 @@
+//! The paper's metrics (§V-G).
+//!
+//! All three RMSEs share the same form: mean over intervals of the
+//! per-interval root-mean-square error over rows (OD pairs or links).
+//! The tensor type already implements that formula
+//! ([`roadnet::TodTensor::rmse`]); this module adds the full §V-G
+//! procedure: simulate the recovered TOD and compare all three levels.
+
+use datagen::dataset::simulate;
+use datagen::Dataset;
+use roadnet::{Result, TodTensor};
+use serde::{Deserialize, Serialize};
+
+/// The three RMSE numbers of one table cell group.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RmseTriple {
+    /// RMSE of the recovered TOD against the hidden ground truth.
+    pub tod: f64,
+    /// RMSE of the re-simulated volumes against the ground-truth volumes.
+    pub volume: f64,
+    /// RMSE of the re-simulated speeds against the observed speeds.
+    pub speed: f64,
+}
+
+impl RmseTriple {
+    /// All three errors are finite.
+    pub fn is_finite(&self) -> bool {
+        self.tod.is_finite() && self.volume.is_finite() && self.speed.is_finite()
+    }
+}
+
+/// Evaluates a recovered TOD tensor against a dataset: re-simulates it and
+/// reports the three RMSEs (§V-G: groundtruth volume and speed are the
+/// simulator outputs of the groundtruth TOD).
+pub fn evaluate_tod(ds: &Dataset, recovered: &TodTensor) -> Result<RmseTriple> {
+    let tod = ds.groundtruth_tod.rmse(recovered)?;
+    let out = simulate(&ds.net, &ds.ods, &ds.sim_config, recovered)?;
+    let volume = ds.groundtruth_volume.rmse(&out.volume)?;
+    let speed = ds.observed_speed.rmse(&out.speed)?;
+    Ok(RmseTriple { tod, volume, speed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::dataset::DatasetSpec;
+    use datagen::TodPattern;
+
+    fn ds() -> Dataset {
+        let spec = DatasetSpec {
+            t: 3,
+            interval_s: 120.0,
+            train_samples: 2,
+            demand_scale: 0.1,
+            seed: 2,
+        };
+        Dataset::synthetic(TodPattern::Random, &spec).unwrap()
+    }
+
+    #[test]
+    fn groundtruth_scores_zero_everywhere() {
+        let ds = ds();
+        let r = evaluate_tod(&ds, &ds.groundtruth_tod).unwrap();
+        assert_eq!(r.tod, 0.0);
+        assert_eq!(r.volume, 0.0);
+        assert_eq!(r.speed, 0.0);
+        assert!(r.is_finite());
+    }
+
+    #[test]
+    fn worse_tod_scores_worse() {
+        let ds = ds();
+        let zero = TodTensor::zeros(ds.n_od(), 3);
+        let r = evaluate_tod(&ds, &zero).unwrap();
+        assert!(r.tod > 0.0);
+        assert!(r.speed > 0.0, "empty network must mis-predict speeds");
+    }
+
+    #[test]
+    fn slightly_perturbed_tod_scores_between() {
+        let ds = ds();
+        let mut near = ds.groundtruth_tod.clone();
+        near.map_inplace(|v| v * 1.05);
+        let r_near = evaluate_tod(&ds, &near).unwrap();
+        let r_zero = evaluate_tod(&ds, &TodTensor::zeros(ds.n_od(), 3)).unwrap();
+        assert!(r_near.tod < r_zero.tod);
+        assert!(r_near.tod > 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! JSON result records for EXPERIMENTS.md bookkeeping.
+//!
+//! Every experiment binary writes one [`ExperimentReport`] under
+//! `results/` so the paper-vs-measured tables in EXPERIMENTS.md can be
+//! regenerated mechanically.
+
+use crate::harness::MethodResult;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One experiment's machine-readable output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id, e.g. "table06" or "fig09".
+    pub id: String,
+    /// Human title, e.g. "Table VI: real datasets".
+    pub title: String,
+    /// Per-dataset method results (empty for series experiments).
+    #[serde(default)]
+    pub comparisons: Vec<(String, Vec<MethodResult>)>,
+    /// Named series, e.g. recovered TOD curves or scalability points.
+    #[serde(default)]
+    pub series: Vec<NamedSeries>,
+    /// Free-form notes (profile used, caveats).
+    #[serde(default)]
+    pub notes: String,
+}
+
+/// A named `(x, y)` series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NamedSeries {
+    /// Series label.
+    pub name: String,
+    /// Points in order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            comparisons: Vec::new(),
+            series: Vec::new(),
+            notes: String::new(),
+        }
+    }
+
+    /// Writes the report as pretty JSON under `dir/<id>.json`, creating
+    /// the directory when needed.
+    pub fn write_json(&self, dir: impl AsRef<Path>) -> std::io::Result<std::path::PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RmseTriple;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = ExperimentReport::new("table06", "Table VI");
+        r.comparisons.push((
+            "Hangzhou".into(),
+            vec![MethodResult {
+                name: "OVS".into(),
+                rmse: RmseTriple {
+                    tod: 1.0,
+                    volume: 2.0,
+                    speed: 0.5,
+                },
+                seconds: 3.25,
+            }],
+        ));
+        r.series.push(NamedSeries {
+            name: "fit".into(),
+            points: vec![(0.0, 1.0), (1.0, 0.5)],
+        });
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, "table06");
+        assert_eq!(back.comparisons[0].1[0].rmse.speed, 0.5);
+        assert_eq!(back.series[0].points.len(), 2);
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let dir = std::env::temp_dir().join("cityod-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = ExperimentReport::new("t", "T");
+        let path = r.write_json(&dir).unwrap();
+        assert!(path.exists());
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("\"id\": \"t\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,99 @@
+//! Fixed-width table rendering in the paper's layout.
+
+use crate::harness::{improvement, MethodResult};
+
+/// Renders one dataset's comparison block (method rows x TOD/vol/speed
+/// columns) with the paper's "Improve" footer.
+pub fn render_comparison(title: &str, results: &[MethodResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}\n",
+        "Method", "TOD", "vol", "speed", "time(s)"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<10} {:>10.2} {:>10.2} {:>10.3} {:>10.2}\n",
+            r.name, r.rmse.tod, r.rmse.volume, r.rmse.speed, r.seconds
+        ));
+    }
+    if let Some((t, v, s)) = improvement(results) {
+        out.push_str(&format!(
+            "{:<10} {:>9.1}% {:>9.1}% {:>9.1}%\n",
+            "Improve",
+            t * 100.0,
+            v * 100.0,
+            s * 100.0
+        ));
+    }
+    out
+}
+
+/// Renders several dataset blocks side by side, one after the other.
+pub fn render_multi(blocks: &[(String, Vec<MethodResult>)]) -> String {
+    blocks
+        .iter()
+        .map(|(title, results)| render_comparison(title, results))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Renders a simple two-column series (Figure-style data dump).
+pub fn render_series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let mut out = format!("== {title} ==\n{x_label:>12} {y_label:>14}\n");
+    for (x, y) in points {
+        out.push_str(&format!("{x:>12.2} {y:>14.4}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RmseTriple;
+
+    fn results() -> Vec<MethodResult> {
+        ["Gravity", "LSTM", "OVS"]
+            .iter()
+            .enumerate()
+            .map(|(i, name)| MethodResult {
+                name: name.to_string(),
+                rmse: RmseTriple {
+                    tod: 30.0 - 10.0 * i as f64,
+                    volume: 40.0 - 10.0 * i as f64,
+                    speed: 2.0 - 0.5 * i as f64,
+                },
+                seconds: i as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comparison_contains_all_rows_and_improve() {
+        let s = render_comparison("Hangzhou", &results());
+        assert!(s.contains("Hangzhou"));
+        assert!(s.contains("Gravity"));
+        assert!(s.contains("OVS"));
+        assert!(s.contains("Improve"));
+        // OVS 10 vs best baseline 20 -> 50% improvement
+        assert!(s.contains("50.0%"), "{s}");
+    }
+
+    #[test]
+    fn series_renders_points() {
+        let s = render_series("Fig 9", "intersections", "seconds", &[(10.0, 1.5)]);
+        assert!(s.contains("Fig 9"));
+        assert!(s.contains("10.00"));
+        assert!(s.contains("1.5000"));
+    }
+
+    #[test]
+    fn multi_joins_blocks() {
+        let blocks = vec![
+            ("A".to_string(), results()),
+            ("B".to_string(), results()),
+        ];
+        let s = render_multi(&blocks);
+        assert!(s.contains("== A ==") && s.contains("== B =="));
+    }
+}

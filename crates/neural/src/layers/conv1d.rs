@@ -1,0 +1,205 @@
+//! 1-D convolution over the time axis.
+//!
+//! The paper's Route-e sub-module applies two 1x3 convolutions to the route
+//! trip-count series (Eqs. 5-6, Table IV): "The convolution layers are
+//! configured with 1x3 filters, and stride of 1." We implement stride-1,
+//! zero-padded ("same") convolution via im2col so forward and backward are
+//! plain matrix products.
+
+use super::{xavier, SeqLayer};
+use crate::matrix::Matrix;
+use crate::rng::Rng64;
+use crate::tensor3::Tensor3;
+use serde::{Deserialize, Serialize};
+
+/// Stride-1, same-padded 1-D convolution `(b, t, c_in) -> (b, t, c_out)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv1d {
+    c_in: usize,
+    c_out: usize,
+    k: usize,
+    /// Weight laid out `(c_in * k, c_out)`: column-major over output
+    /// channels so forward is `im2col @ w`.
+    w: Matrix,
+    b: Matrix,
+    dw: Matrix,
+    db: Matrix,
+    #[serde(skip)]
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug, Clone)]
+struct ConvCache {
+    im2col: Matrix,
+    batch: usize,
+    time: usize,
+}
+
+impl Conv1d {
+    /// Creates a Xavier-initialised convolution with odd kernel size `k`.
+    pub fn new(c_in: usize, c_out: usize, k: usize, rng: &mut Rng64) -> Self {
+        assert!(k % 2 == 1, "same-padding requires an odd kernel, got {k}");
+        Self {
+            c_in,
+            c_out,
+            k,
+            w: xavier(c_in * k, c_out, rng),
+            b: Matrix::zeros(1, c_out),
+            dw: Matrix::zeros(c_in * k, c_out),
+            db: Matrix::zeros(1, c_out),
+            cache: None,
+        }
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// Builds the `(b*t, c_in*k)` im2col matrix with zero padding.
+    fn im2col(&self, x: &Tensor3) -> Matrix {
+        let (b, t, f) = x.shape();
+        debug_assert_eq!(f, self.c_in);
+        let pad = self.k / 2;
+        let mut out = Matrix::zeros(b * t, self.c_in * self.k);
+        for bi in 0..b {
+            for ti in 0..t {
+                let row = out.row_mut(bi * t + ti);
+                for ki in 0..self.k {
+                    let src_t = ti as isize + ki as isize - pad as isize;
+                    if src_t < 0 || src_t >= t as isize {
+                        continue; // zero padding
+                    }
+                    let step = x.step(bi, src_t as usize);
+                    row[ki * self.c_in..(ki + 1) * self.c_in].copy_from_slice(step);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl SeqLayer for Conv1d {
+    fn forward(&mut self, x: &Tensor3, _train: bool) -> Tensor3 {
+        let (b, t, _) = x.shape();
+        let cols = self.im2col(x);
+        let mut y = cols.matmul(&self.w);
+        y.add_row_broadcast(&self.b);
+        self.cache = Some(ConvCache {
+            im2col: cols,
+            batch: b,
+            time: t,
+        });
+        Tensor3::unflatten_time(b, t, &y).expect("conv output shape is consistent")
+    }
+
+    fn backward(&mut self, dy: &Tensor3) -> Tensor3 {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("backward called before forward");
+        let (b, t) = (cache.batch, cache.time);
+        let dy_flat = dy.flatten_time(); // (b*t, c_out)
+        self.dw.add_assign(&cache.im2col.matmul_at_b(&dy_flat));
+        self.db.add_assign(&dy_flat.sum_rows());
+
+        // d(im2col) = dy @ w^T, then scatter-add back through the padding.
+        let dcols = dy_flat.matmul_a_bt(&self.w); // (b*t, c_in*k)
+        let pad = self.k / 2;
+        let mut dx = Tensor3::zeros(b, t, self.c_in);
+        for bi in 0..b {
+            for ti in 0..t {
+                let row = dcols.row(bi * t + ti);
+                for ki in 0..self.k {
+                    let src_t = ti as isize + ki as isize - pad as isize;
+                    if src_t < 0 || src_t >= t as isize {
+                        continue;
+                    }
+                    let dst = dx.step_mut(bi, src_t as usize);
+                    for (d, &g) in dst.iter_mut().zip(&row[ki * self.c_in..(ki + 1) * self.c_in])
+                    {
+                        *d += g;
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        f(&mut self.w, &mut self.dw);
+        f(&mut self.b, &mut self.db);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{check_seq_layer_input, check_seq_layer_params};
+
+    #[test]
+    fn output_shape() {
+        let mut rng = Rng64::new(0);
+        let mut c = Conv1d::new(2, 3, 3, &mut rng);
+        let x = Tensor3::zeros(4, 7, 2);
+        let y = c.forward(&x, true);
+        assert_eq!(y.shape(), (4, 7, 3));
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let mut rng = Rng64::new(0);
+        let mut c = Conv1d::new(1, 1, 3, &mut rng);
+        // kernel [0, 1, 0] -> identity
+        c.w.fill_zero();
+        c.w.set(1, 0, 1.0);
+        let x = Tensor3::from_vec(1, 5, 1, vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let y = c.forward(&x, true);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn shift_kernel_pads_with_zero() {
+        let mut rng = Rng64::new(0);
+        let mut c = Conv1d::new(1, 1, 3, &mut rng);
+        // kernel [1, 0, 0]: output_t = input_{t-1}
+        c.w.fill_zero();
+        c.w.set(0, 0, 1.0);
+        let x = Tensor3::from_vec(1, 4, 1, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = c.forward(&x, true);
+        assert_eq!(y.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn averaging_kernel() {
+        let mut rng = Rng64::new(0);
+        let mut c = Conv1d::new(1, 1, 3, &mut rng);
+        for i in 0..3 {
+            c.w.set(i, 0, 1.0 / 3.0);
+        }
+        c.b.set(0, 0, 0.0);
+        let x = Tensor3::from_vec(1, 3, 1, vec![3.0, 3.0, 3.0]).unwrap();
+        let y = c.forward(&x, true);
+        // middle element sees all three
+        assert!((y.get(0, 1, 0) - 3.0).abs() < 1e-12);
+        // edges see two values + zero pad
+        assert!((y.get(0, 0, 0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = Rng64::new(1);
+        let mut c = Conv1d::new(2, 3, 3, &mut rng);
+        let mut x = Tensor3::zeros(2, 5, 2);
+        rng.fill_normal(x.as_mut_slice());
+        assert!(check_seq_layer_input(&mut c, &x, 1e-6, 1e-6));
+        assert!(check_seq_layer_params(&mut c, &x, 1e-6, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn even_kernel_rejected() {
+        let mut rng = Rng64::new(0);
+        let _ = Conv1d::new(1, 1, 4, &mut rng);
+    }
+}

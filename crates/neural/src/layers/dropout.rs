@@ -1,0 +1,109 @@
+//! Inverted dropout.
+
+use super::Layer;
+use crate::matrix::Matrix;
+use crate::rng::Rng64;
+
+/// Inverted dropout: during training each unit is zeroed with probability
+/// `rate` and survivors are scaled by `1/(1-rate)`; at evaluation time the
+/// layer is the identity. The paper trains with dropout 0.3 (Table V).
+#[derive(Debug)]
+pub struct Dropout {
+    rate: f64,
+    rng: Rng64,
+    mask: Option<Matrix>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer; `rate` is clamped into `[0, 0.95]`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        Self {
+            rate: rate.clamp(0.0, 0.95),
+            rng: Rng64::new(seed),
+            mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        if !train || self.rate == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let mask = Matrix::from_fn(x.rows(), x.cols(), |_, _| {
+            if self.rng.uniform() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        let y = x.hadamard(&mask);
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, dy: &Matrix) -> Matrix {
+        match &self.mask {
+            None => dy.clone(),
+            Some(mask) => dy.hadamard(mask),
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        let x = Matrix::filled(4, 4, 2.0);
+        assert_eq!(d.forward(&x, false), x);
+        assert_eq!(d.backward(&x), x);
+    }
+
+    #[test]
+    fn rate_zero_is_identity_even_in_train() {
+        let mut d = Dropout::new(0.0, 0);
+        let x = Matrix::filled(4, 4, 2.0);
+        assert_eq!(d.forward(&x, true), x);
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 1);
+        let x = Matrix::filled(100, 100, 1.0);
+        let y = d.forward(&x, true);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "inverted scaling, mean {mean}");
+        // some units dropped
+        assert!(y.as_slice().iter().any(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Matrix::filled(10, 10, 1.0);
+        let y = d.forward(&x, true);
+        let dx = d.backward(&Matrix::filled(10, 10, 1.0));
+        // gradient flows exactly where activations survived
+        for (a, b) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(*a == 0.0, *b == 0.0);
+        }
+    }
+
+    #[test]
+    fn rate_is_clamped() {
+        assert_eq!(Dropout::new(2.0, 0).rate(), 0.95);
+        assert_eq!(Dropout::new(-1.0, 0).rate(), 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Long short-term memory layer with full backpropagation through time.
+//!
+//! The paper's Volume-Speed mapping stacks two LSTMs and a fully connected
+//! head, shared across all links (§IV-D, Eqs. 9-11). The LSTM baseline of
+//! §V-F reuses this layer as well.
+
+use super::{xavier, SeqLayer};
+use crate::matrix::Matrix;
+use crate::rng::Rng64;
+use crate::tensor3::Tensor3;
+use serde::{Deserialize, Serialize};
+
+/// A standard LSTM: `(b, t, in) -> (b, t, hidden)`, zero initial state,
+/// gate order `[input, forget, cell, output]`, forget-gate bias
+/// initialised to +1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lstm {
+    input: usize,
+    hidden: usize,
+    /// `(in, 4H)`
+    wx: Matrix,
+    /// `(H, 4H)`
+    wh: Matrix,
+    /// `(1, 4H)`
+    b: Matrix,
+    dwx: Matrix,
+    dwh: Matrix,
+    db: Matrix,
+    #[serde(skip)]
+    cache: Option<LstmCache>,
+}
+
+#[derive(Debug, Clone)]
+struct LstmCache {
+    /// Per time step: x_t.
+    xs: Vec<Matrix>,
+    /// h_{t-1} entering each step (h_0 = 0 first).
+    h_prevs: Vec<Matrix>,
+    /// c_{t-1} entering each step.
+    c_prevs: Vec<Matrix>,
+    /// Gate activations per step: (i, f, g, o).
+    gates: Vec<(Matrix, Matrix, Matrix, Matrix)>,
+    /// tanh(c_t) per step.
+    tanh_cs: Vec<Matrix>,
+}
+
+impl Lstm {
+    /// Creates a Xavier-initialised LSTM.
+    pub fn new(input: usize, hidden: usize, rng: &mut Rng64) -> Self {
+        let mut b = Matrix::zeros(1, 4 * hidden);
+        // Forget-gate bias +1: standard initialisation that avoids
+        // vanishing memory early in training.
+        for h in 0..hidden {
+            b.set(0, hidden + h, 1.0);
+        }
+        Self {
+            input,
+            hidden,
+            wx: xavier(input, 4 * hidden, rng),
+            wh: xavier(hidden, 4 * hidden, rng),
+            b,
+            dwx: Matrix::zeros(input, 4 * hidden),
+            dwh: Matrix::zeros(hidden, 4 * hidden),
+            db: Matrix::zeros(1, 4 * hidden),
+            cache: None,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl SeqLayer for Lstm {
+    fn forward(&mut self, x: &Tensor3, _train: bool) -> Tensor3 {
+        let (batch, time, feat) = x.shape();
+        assert_eq!(feat, self.input, "LSTM input width mismatch");
+        let h = self.hidden;
+        let mut out = Tensor3::zeros(batch, time, h);
+        let mut h_t = Matrix::zeros(batch, h);
+        let mut c_t = Matrix::zeros(batch, h);
+        let mut cache = LstmCache {
+            xs: Vec::with_capacity(time),
+            h_prevs: Vec::with_capacity(time),
+            c_prevs: Vec::with_capacity(time),
+            gates: Vec::with_capacity(time),
+            tanh_cs: Vec::with_capacity(time),
+        };
+        for t in 0..time {
+            let x_t = x.time_slice(t);
+            let mut a = x_t.matmul(&self.wx);
+            a.add_assign(&h_t.matmul(&self.wh));
+            a.add_row_broadcast(&self.b);
+
+            let mut i_g = Matrix::zeros(batch, h);
+            let mut f_g = Matrix::zeros(batch, h);
+            let mut g_g = Matrix::zeros(batch, h);
+            let mut o_g = Matrix::zeros(batch, h);
+            for bi in 0..batch {
+                let ar = a.row(bi);
+                for hi in 0..h {
+                    i_g.set(bi, hi, sigmoid(ar[hi]));
+                    f_g.set(bi, hi, sigmoid(ar[h + hi]));
+                    g_g.set(bi, hi, ar[2 * h + hi].tanh());
+                    o_g.set(bi, hi, sigmoid(ar[3 * h + hi]));
+                }
+            }
+
+            cache.h_prevs.push(h_t.clone());
+            cache.c_prevs.push(c_t.clone());
+
+            // c_t = f * c_{t-1} + i * g
+            let mut c_new = f_g.hadamard(&c_t);
+            c_new.add_assign(&i_g.hadamard(&g_g));
+            let tanh_c = c_new.map(f64::tanh);
+            // h_t = o * tanh(c_t)
+            let h_new = o_g.hadamard(&tanh_c);
+
+            out.set_time_slice(t, &h_new);
+            cache.xs.push(x_t);
+            cache.gates.push((i_g, f_g, g_g, o_g));
+            cache.tanh_cs.push(tanh_c);
+            h_t = h_new;
+            c_t = c_new;
+        }
+        self.cache = Some(cache);
+        out
+    }
+
+    fn backward(&mut self, dy: &Tensor3) -> Tensor3 {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("backward called before forward");
+        let time = cache.xs.len();
+        let batch = dy.batch();
+        let h = self.hidden;
+        assert_eq!(dy.features(), h, "LSTM upstream gradient width mismatch");
+
+        let mut dx = Tensor3::zeros(batch, time, self.input);
+        let mut dh_next = Matrix::zeros(batch, h);
+        let mut dc_next = Matrix::zeros(batch, h);
+
+        for t in (0..time).rev() {
+            let (i_g, f_g, g_g, o_g) = &cache.gates[t];
+            let tanh_c = &cache.tanh_cs[t];
+            let c_prev = &cache.c_prevs[t];
+            let h_prev = &cache.h_prevs[t];
+            let x_t = &cache.xs[t];
+
+            // dh = dy_t + dh carried from t+1
+            let mut dh = dy.time_slice(t);
+            dh.add_assign(&dh_next);
+
+            // dc = dh * o * (1 - tanh_c^2) + dc carried
+            let mut dc = dh.hadamard(o_g);
+            for (v, &tc) in dc.as_mut_slice().iter_mut().zip(tanh_c.as_slice()) {
+                *v *= 1.0 - tc * tc;
+            }
+            dc.add_assign(&dc_next);
+
+            // Gate pre-activation gradients.
+            let mut da = Matrix::zeros(batch, 4 * h);
+            for bi in 0..batch {
+                for hi in 0..h {
+                    let dhv = dh.get(bi, hi);
+                    let dcv = dc.get(bi, hi);
+                    let iv = i_g.get(bi, hi);
+                    let fv = f_g.get(bi, hi);
+                    let gv = g_g.get(bi, hi);
+                    let ov = o_g.get(bi, hi);
+                    let tc = tanh_c.get(bi, hi);
+                    // do
+                    da.set(bi, 3 * h + hi, dhv * tc * ov * (1.0 - ov));
+                    // di
+                    da.set(bi, hi, dcv * gv * iv * (1.0 - iv));
+                    // df
+                    da.set(bi, h + hi, dcv * c_prev.get(bi, hi) * fv * (1.0 - fv));
+                    // dg
+                    da.set(bi, 2 * h + hi, dcv * iv * (1.0 - gv * gv));
+                }
+            }
+
+            self.dwx.add_assign(&x_t.matmul_at_b(&da));
+            self.dwh.add_assign(&h_prev.matmul_at_b(&da));
+            self.db.add_assign(&da.sum_rows());
+
+            dx.set_time_slice(t, &da.matmul_a_bt(&self.wx));
+            dh_next = da.matmul_a_bt(&self.wh);
+            dc_next = dc.hadamard(f_g);
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        f(&mut self.wx, &mut self.dwx);
+        f(&mut self.wh, &mut self.dwh);
+        f(&mut self.b, &mut self.db);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{check_seq_layer_input, check_seq_layer_params};
+    use crate::layers::SeqLayer;
+
+    #[test]
+    fn output_shape_and_finiteness() {
+        let mut rng = Rng64::new(0);
+        let mut l = Lstm::new(2, 5, &mut rng);
+        let mut x = Tensor3::zeros(3, 7, 2);
+        rng.fill_normal(x.as_mut_slice());
+        let y = l.forward(&x, true);
+        assert_eq!(y.shape(), (3, 7, 5));
+        assert!(y.is_finite());
+        // hidden states stay in (-1, 1): h = o * tanh(c)
+        assert!(y.as_slice().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn zero_input_zero_bias_gives_near_zero_output() {
+        let mut rng = Rng64::new(0);
+        let mut l = Lstm::new(1, 3, &mut rng);
+        l.b.fill_zero(); // remove forget bias for this test
+        let x = Tensor3::zeros(2, 4, 1);
+        let y = l.forward(&x, true);
+        // gates are sigmoid(0)=0.5, tanh(0)=0 -> c stays 0 -> h stays 0
+        assert!(y.as_slice().iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = Rng64::new(1);
+        let mut l = Lstm::new(2, 4, &mut rng);
+        let mut x = Tensor3::zeros(2, 5, 2);
+        rng.fill_normal(x.as_mut_slice());
+        assert!(check_seq_layer_input(&mut l, &x, 1e-6, 1e-6));
+        assert!(check_seq_layer_params(&mut l, &x, 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn memory_carries_information_forward() {
+        // An impulse at t=0 must influence the output at later steps.
+        let mut rng = Rng64::new(2);
+        let mut l = Lstm::new(1, 4, &mut rng);
+        let mut x0 = Tensor3::zeros(1, 6, 1);
+        let x1 = Tensor3::zeros(1, 6, 1);
+        x0.set(0, 0, 0, 5.0);
+        let y0 = l.forward(&x0, true);
+        let y1 = l.forward(&x1, true);
+        let diff_late: f64 = (0..4)
+            .map(|h| (y0.get(0, 5, h) - y1.get(0, 5, h)).abs())
+            .sum();
+        assert!(diff_late > 1e-6, "impulse must persist through memory");
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let mut rng = Rng64::new(0);
+        let l = Lstm::new(1, 3, &mut rng);
+        for h in 0..3 {
+            assert_eq!(l.b.get(0, 3 + h), 1.0);
+            assert_eq!(l.b.get(0, h), 0.0);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Layer containers: flat stacks, sequence stacks and the bridge between
+//! them.
+
+use super::{Layer, SeqLayer};
+use crate::matrix::Matrix;
+use crate::tensor3::Tensor3;
+
+/// A stack of [`Layer`]s applied in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a stack from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut cur = x.clone();
+        for l in &mut self.layers {
+            cur = l.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let mut cur = dy.clone();
+        for l in self.layers.iter_mut().rev() {
+            cur = l.backward(&cur);
+        }
+        cur
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        for l in &mut self.layers {
+            l.visit_params(f);
+        }
+    }
+}
+
+/// A stack of [`SeqLayer`]s applied in order.
+pub struct SeqSequential {
+    layers: Vec<Box<dyn SeqLayer>>,
+}
+
+impl SeqSequential {
+    /// Creates a stack from boxed sequence layers.
+    pub fn new(layers: Vec<Box<dyn SeqLayer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl SeqLayer for SeqSequential {
+    fn forward(&mut self, x: &Tensor3, train: bool) -> Tensor3 {
+        let mut cur = x.clone();
+        for l in &mut self.layers {
+            cur = l.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, dy: &Tensor3) -> Tensor3 {
+        let mut cur = dy.clone();
+        for l in self.layers.iter_mut().rev() {
+            cur = l.backward(&cur);
+        }
+        cur
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        for l in &mut self.layers {
+            l.visit_params(f);
+        }
+    }
+}
+
+/// Applies a flat [`Layer`] independently at every time step by reshaping
+/// `(b, t, f)` to `(b*t, f)` — e.g. the fully connected head after the
+/// LSTM stack in the Volume-Speed mapping (Eq. 11).
+pub struct TimeDistributed<L: Layer> {
+    inner: L,
+    shape: Option<(usize, usize)>,
+}
+
+impl<L: Layer> TimeDistributed<L> {
+    /// Wraps a flat layer.
+    pub fn new(inner: L) -> Self {
+        Self { inner, shape: None }
+    }
+
+    /// The wrapped layer.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+}
+
+impl<L: Layer> SeqLayer for TimeDistributed<L> {
+    fn forward(&mut self, x: &Tensor3, train: bool) -> Tensor3 {
+        let (b, t, _) = x.shape();
+        self.shape = Some((b, t));
+        let y = self.inner.forward(&x.flatten_time(), train);
+        Tensor3::unflatten_time(b, t, &y).expect("inner layer preserves row count")
+    }
+
+    fn backward(&mut self, dy: &Tensor3) -> Tensor3 {
+        let (b, t) = self.shape.expect("backward called before forward");
+        let dx = self.inner.backward(&dy.flatten_time());
+        Tensor3::unflatten_time(b, t, &dx).expect("inner layer preserves row count")
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        self.inner.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{check_layer_input, check_seq_layer_input};
+    use crate::layers::{ActKind, Activation, Dense};
+    use crate::rng::Rng64;
+
+    #[test]
+    fn sequential_composes() {
+        let mut rng = Rng64::new(0);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(3, 4, &mut rng)),
+            Box::new(Activation::new(ActKind::Tanh)),
+            Box::new(Dense::new(4, 2, &mut rng)),
+        ]);
+        let x = Matrix::filled(5, 3, 0.3);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), (5, 2));
+        assert_eq!(net.len(), 3);
+        assert_eq!(Layer::param_count(&mut net), 3 * 4 + 4 + 4 * 2 + 2);
+    }
+
+    #[test]
+    fn sequential_gradcheck() {
+        let mut rng = Rng64::new(1);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(3, 4, &mut rng)),
+            Box::new(Activation::new(ActKind::Sigmoid)),
+            Box::new(Dense::new(4, 2, &mut rng)),
+        ]);
+        let mut x = Matrix::zeros(4, 3);
+        rng.fill_normal(x.as_mut_slice());
+        assert!(check_layer_input(&mut net, &x, 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn time_distributed_matches_flat_application() {
+        let mut rng = Rng64::new(2);
+        let dense = Dense::new(2, 3, &mut rng);
+        let mut td = TimeDistributed::new(dense.clone());
+        let mut flat = dense;
+        let mut x = Tensor3::zeros(2, 4, 2);
+        rng.fill_normal(x.as_mut_slice());
+        let y = td.forward(&x, true);
+        let y_flat = flat.forward(&x.flatten_time(), true);
+        assert_eq!(y.flatten_time(), y_flat);
+    }
+
+    #[test]
+    fn time_distributed_gradcheck() {
+        let mut rng = Rng64::new(3);
+        let mut td = TimeDistributed::new(Dense::new(2, 2, &mut rng));
+        let mut x = Tensor3::zeros(2, 3, 2);
+        rng.fill_normal(x.as_mut_slice());
+        assert!(check_seq_layer_input(&mut td, &x, 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn seq_sequential_composes() {
+        let mut rng = Rng64::new(4);
+        let mut net = SeqSequential::new(vec![
+            Box::new(crate::layers::Conv1d::new(1, 2, 3, &mut rng)),
+            Box::new(crate::layers::SeqActivation::new(ActKind::Relu)),
+            Box::new(TimeDistributed::new(Dense::new(2, 1, &mut rng))),
+        ]);
+        let x = Tensor3::zeros(2, 5, 1);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), (2, 5, 1));
+        assert_eq!(net.len(), 3);
+    }
+}

@@ -1,0 +1,577 @@
+//! Dense row-major `f64` matrices and the linear-algebra kernel set the
+//! layers are built from.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error for shape violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError(pub String);
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of shape `(rows, cols)`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Wraps a row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError(format!(
+                "expected {rows}x{cols}={} values, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Builds from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// A single-row matrix from a slice.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for a 0-element matrix.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major view.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable row-major view.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix product `self @ rhs`; `(m,k) @ (k,n) -> (m,n)`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: ({},{}) @ ({},{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        // i-k-j order: streams through rhs rows, cache friendly.
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(p);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T @ rhs`; `(k,m)^T @ (k,n) -> (m,n)`. Avoids materialising the
+    /// transpose (used for weight gradients `x^T @ dy`).
+    pub fn matmul_at_b(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_at_b shape mismatch: ({},{})^T @ ({},{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (k, m, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = rhs.row(p);
+            for (i, &a) in a_row.iter().enumerate().take(m) {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ rhs^T`; `(m,k) @ (n,k)^T -> (m,n)`. Used for input gradients
+    /// `dy @ W^T`.
+    pub fn matmul_a_bt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_a_bt shape mismatch: ({},{}) @ ({},{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, n) = (self.rows, rhs.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate().take(n) {
+                let b_row = rhs.row(j);
+                *o = dot(a_row, b_row);
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Element-wise in-place addition.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise in-place subtraction.
+    pub fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "sub_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+
+    /// In-place `self += alpha * rhs`.
+    pub fn axpy(&mut self, alpha: f64, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Element-wise (Hadamard) product, in place.
+    pub fn hadamard_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a *= b;
+        }
+    }
+
+    /// Element-wise product, allocating.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.hadamard_assign(rhs);
+        out
+    }
+
+    /// Scales all elements in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Applies `f` element-wise, allocating.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` element-wise in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Adds a row vector (bias) to every row.
+    pub fn add_row_broadcast(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
+            for (a, b) in row.iter_mut().zip(&bias.data) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Sums rows into a `(1, cols)` vector (bias gradients).
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Sets every element to zero, retaining the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// True when all elements are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Horizontal concatenation `[self | rhs]`.
+    pub fn hcat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "hcat row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(rhs.row(r));
+        }
+        out
+    }
+
+    /// Column slice `[c0, c1)` as a new matrix.
+    pub fn col_slice(&self, c0: usize, c1: usize) -> Matrix {
+        assert!(c0 <= c1 && c1 <= self.cols, "col_slice out of range");
+        let mut out = Matrix::zeros(self.rows, c1 - c0);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[c0..c1]);
+        }
+        out
+    }
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Row-wise softmax in place; numerically stabilised by row-max shifting.
+pub fn softmax_rows(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+}
+
+/// Backward pass of row-wise softmax: given the softmax output `y` and the
+/// upstream gradient `dy`, returns `dx` where
+/// `dx = y * (dy - sum(dy * y, per row))`.
+pub fn softmax_rows_backward(y: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(y.shape(), dy.shape(), "softmax backward shape mismatch");
+    let mut dx = Matrix::zeros(y.rows(), y.cols());
+    for r in 0..y.rows() {
+        let yr = y.row(r);
+        let dyr = dy.row(r);
+        let s: f64 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+        for (o, (&yv, &dyv)) in dx.row_mut(r).iter_mut().zip(yr.iter().zip(dyr)) {
+            *o = yv * (dyv - s);
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_shape() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.len(), 6);
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        let f = Matrix::from_fn(2, 2, |r, c| (r * 10 + c) as f64);
+        assert_eq!(f.get(1, 0), 10.0);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let i = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_transpose_variants_agree() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r + c) as f64 + 0.5);
+        let b = Matrix::from_fn(3, 5, |r, c| (r * c) as f64 - 1.0);
+        // a^T @ b two ways
+        let direct = a.transpose().matmul(&b);
+        let fused = a.matmul_at_b(&b);
+        assert_eq!(direct, fused);
+        // a @ b^T two ways
+        let c = Matrix::from_fn(5, 4, |r, c| (r as f64) - (c as f64) * 0.3);
+        let direct = a.matmul(&c.transpose());
+        let fused = a.matmul_a_bt(&c);
+        for (x, y) in direct.as_slice().iter().zip(fused.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let mut a = Matrix::filled(2, 2, 3.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        a.add_assign(&b);
+        assert_eq!(a.get(0, 0), 5.0);
+        a.sub_assign(&b);
+        assert_eq!(a.get(1, 1), 3.0);
+        a.hadamard_assign(&b);
+        assert_eq!(a.get(0, 1), 6.0);
+        a.scale(0.5);
+        assert_eq!(a.get(0, 0), 3.0);
+        a.axpy(2.0, &b);
+        assert_eq!(a.get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn broadcast_and_sums() {
+        let mut a = Matrix::zeros(3, 2);
+        let bias = Matrix::row_vector(&[1.0, -1.0]);
+        a.add_row_broadcast(&bias);
+        assert_eq!(a.row(2), &[1.0, -1.0]);
+        let s = a.sum_rows();
+        assert_eq!(s.as_slice(), &[3.0, -3.0]);
+        assert_eq!(a.sum(), 0.0);
+        assert_eq!(a.mean(), 0.0);
+    }
+
+    #[test]
+    fn norm_is_frobenius() {
+        let a = Matrix::from_vec(1, 2, vec![3.0, 4.0]).unwrap();
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hcat_and_col_slice_roundtrip() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r * 2 + c) as f64);
+        let b = Matrix::from_fn(2, 3, |r, c| 10.0 + (r * 3 + c) as f64);
+        let cat = a.hcat(&b);
+        assert_eq!(cat.shape(), (2, 5));
+        assert_eq!(cat.col_slice(0, 2), a);
+        assert_eq!(cat.col_slice(2, 5), b);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        softmax_rows(&mut m);
+        for r in 0..2 {
+            let s: f64 = m.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(m.row(r).iter().all(|&v| v > 0.0));
+        }
+        // monotone: larger logits, larger probabilities
+        assert!(m.get(0, 2) > m.get(0, 1) && m.get(0, 1) > m.get(0, 0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        let mut b = Matrix::row_vector(&[101.0, 102.0, 103.0]);
+        softmax_rows(&mut a);
+        softmax_rows(&mut b);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let mut m = Matrix::row_vector(&[1000.0, 0.0, -1000.0]);
+        softmax_rows(&mut m);
+        assert!(m.is_finite());
+        assert!((m.get(0, 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let logits = Matrix::row_vector(&[0.3, -0.7, 1.2, 0.1]);
+        // Loss: sum of softmax output times fixed weights.
+        let w = [0.5, -1.0, 2.0, 0.25];
+        let f = |m: &Matrix| {
+            let mut y = m.clone();
+            softmax_rows(&mut y);
+            y.as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+        };
+        let mut y = logits.clone();
+        softmax_rows(&mut y);
+        let dy = Matrix::row_vector(&w);
+        let dx = softmax_rows_backward(&y, &dy);
+        let eps = 1e-6;
+        for i in 0..4 {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let num = (f(&plus) - f(&minus)) / (2.0 * eps);
+            assert!(
+                (num - dx.as_slice()[i]).abs() < 1e-7,
+                "component {i}: numeric {num} vs analytic {}",
+                dx.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r + c) as f64 * 1.5);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,379 @@
+//! Optimisers.
+//!
+//! The paper trains with learning rate 1e-3 (Table V); we provide plain
+//! SGD (with optional momentum) and Adam. Optimiser state (momentum /
+//! moment estimates) is kept per parameter *slot*, identified by the
+//! deterministic order `visit_params` yields — so an optimiser must be
+//! paired with one model for its lifetime.
+
+use crate::layers::{Layer, SeqLayer};
+use crate::matrix::Matrix;
+
+/// Common optimiser interface over both layer families.
+pub trait Optimizer {
+    /// Called once per optimisation step before any [`Optimizer::apply`].
+    fn begin_step(&mut self);
+
+    /// Updates one `(param, grad)` slot.
+    fn apply(&mut self, slot: usize, p: &mut Matrix, g: &Matrix);
+
+    /// Steps every parameter of a flat layer/stack.
+    fn step(&mut self, layer: &mut dyn Layer)
+    where
+        Self: Sized,
+    {
+        self.begin_step();
+        let mut slot = 0usize;
+        layer.visit_params(&mut |p, g| {
+            self.apply(slot, p, g);
+            slot += 1;
+        });
+    }
+
+    /// Steps every parameter of a sequence layer/stack.
+    fn step_seq(&mut self, layer: &mut dyn SeqLayer)
+    where
+        Self: Sized,
+    {
+        self.begin_step();
+        let mut slot = 0usize;
+        layer.visit_params(&mut |p, g| {
+            self.apply(slot, p, g);
+            slot += 1;
+        });
+    }
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Adjusts the learning rate (schedules).
+    pub fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn begin_step(&mut self) {}
+
+    fn apply(&mut self, slot: usize, p: &mut Matrix, g: &Matrix) {
+        if self.momentum == 0.0 {
+            p.axpy(-self.lr, g);
+            return;
+        }
+        while self.velocity.len() <= slot {
+            self.velocity.push(Matrix::zeros(0, 0));
+        }
+        let v = &mut self.velocity[slot];
+        if v.shape() != p.shape() {
+            *v = Matrix::zeros(p.rows(), p.cols());
+        }
+        v.scale(self.momentum);
+        v.axpy(-self.lr, g);
+        p.add_assign(v);
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Adjusts the learning rate (schedules).
+    pub fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Adam {
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn apply(&mut self, slot: usize, p: &mut Matrix, g: &Matrix) {
+        while self.m.len() <= slot {
+            self.m.push(Matrix::zeros(0, 0));
+            self.v.push(Matrix::zeros(0, 0));
+        }
+        if self.m[slot].shape() != p.shape() {
+            self.m[slot] = Matrix::zeros(p.rows(), p.cols());
+            self.v[slot] = Matrix::zeros(p.rows(), p.cols());
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (m, v) = (&mut self.m[slot], &mut self.v[slot]);
+        for ((pv, gv), (mv, vv)) in p
+            .as_mut_slice()
+            .iter_mut()
+            .zip(g.as_slice())
+            .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()))
+        {
+            *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+            *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+            let m_hat = *mv / bc1;
+            let v_hat = *vv / bc2;
+            *pv -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// RMSProp (Tieleman & Hinton 2012): per-parameter learning rates from an
+/// exponential moving average of squared gradients.
+#[derive(Debug, Clone)]
+pub struct RmsProp {
+    lr: f64,
+    decay: f64,
+    eps: f64,
+    v: Vec<Matrix>,
+}
+
+impl RmsProp {
+    /// RMSProp with the customary decay of 0.9.
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            decay: 0.9,
+            eps: 1e-8,
+            v: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Adjusts the learning rate (schedules).
+    pub fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn begin_step(&mut self) {}
+
+    fn apply(&mut self, slot: usize, p: &mut Matrix, g: &Matrix) {
+        while self.v.len() <= slot {
+            self.v.push(Matrix::zeros(0, 0));
+        }
+        if self.v[slot].shape() != p.shape() {
+            self.v[slot] = Matrix::zeros(p.rows(), p.cols());
+        }
+        let v = &mut self.v[slot];
+        for ((pv, gv), vv) in p
+            .as_mut_slice()
+            .iter_mut()
+            .zip(g.as_slice())
+            .zip(v.as_mut_slice().iter_mut())
+        {
+            *vv = self.decay * *vv + (1.0 - self.decay) * gv * gv;
+            *pv -= self.lr * gv / (vv.sqrt() + self.eps);
+        }
+    }
+}
+
+/// Step-decay learning-rate schedule: multiplies the base rate by
+/// `gamma` every `period` steps.
+#[derive(Debug, Clone)]
+pub struct StepDecay {
+    base_lr: f64,
+    gamma: f64,
+    period: usize,
+}
+
+impl StepDecay {
+    /// Creates a schedule. `period` must be positive; `gamma` in (0, 1].
+    pub fn new(base_lr: f64, gamma: f64, period: usize) -> Self {
+        Self {
+            base_lr,
+            gamma: gamma.clamp(1e-6, 1.0),
+            period: period.max(1),
+        }
+    }
+
+    /// The learning rate at `step` (0-based).
+    pub fn lr_at(&self, step: usize) -> f64 {
+        self.base_lr * self.gamma.powi((step / self.period) as i32)
+    }
+}
+
+/// Scales all gradients of `layer` so their global L2 norm is at most
+/// `max_norm`. Returns the pre-clip norm.
+pub fn clip_grad_norm(layer: &mut dyn Layer, max_norm: f64) -> f64 {
+    let mut sq = 0.0;
+    layer.visit_params(&mut |_, g| sq += g.as_slice().iter().map(|v| v * v).sum::<f64>());
+    let norm = sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        layer.visit_params(&mut |_, g| g.scale(scale));
+    }
+    norm
+}
+
+/// Sequence-layer variant of [`clip_grad_norm`].
+pub fn clip_grad_norm_seq(layer: &mut dyn SeqLayer, max_norm: f64) -> f64 {
+    let mut sq = 0.0;
+    layer.visit_params(&mut |_, g| sq += g.as_slice().iter().map(|v| v * v).sum::<f64>());
+    let norm = sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        layer.visit_params(&mut |_, g| g.scale(scale));
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{ActKind, Activation, Dense, Sequential};
+    use crate::loss::mse;
+    use crate::rng::Rng64;
+
+    /// A convex quadratic fit: y = 2x - 1 learned by a linear layer.
+    fn train_linear(opt: &mut impl Optimizer, steps: usize) -> f64 {
+        let mut rng = Rng64::new(0);
+        let mut net = Dense::new(1, 1, &mut rng);
+        let x = Matrix::from_vec(8, 1, (0..8).map(|i| i as f64 / 4.0).collect()).unwrap();
+        let y = x.map(|v| 2.0 * v - 1.0);
+        let mut last = f64::INFINITY;
+        for _ in 0..steps {
+            let pred = net.forward(&x, true);
+            let (loss, grad) = mse(&pred, &y);
+            net.backward(&grad);
+            opt.step(&mut net);
+            net.zero_grad();
+            last = loss;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_fit() {
+        let mut opt = Sgd::new(0.1);
+        assert!(train_linear(&mut opt, 500) < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates_sgd() {
+        let mut plain = Sgd::new(0.02);
+        let mut fancy = Sgd::with_momentum(0.02, 0.9);
+        let slow = train_linear(&mut plain, 100);
+        let fast = train_linear(&mut fancy, 100);
+        assert!(fast < slow, "momentum {fast} should beat plain {slow}");
+    }
+
+    #[test]
+    fn adam_converges_on_linear_fit() {
+        let mut opt = Adam::new(0.05);
+        assert!(train_linear(&mut opt, 400) < 1e-3);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the very first Adam update has magnitude
+        // ~lr regardless of gradient scale.
+        let mut opt = Adam::new(0.1);
+        let mut p = Matrix::filled(1, 1, 0.0);
+        let g = Matrix::filled(1, 1, 1234.0);
+        opt.begin_step();
+        opt.apply(0, &mut p, &g);
+        assert!((p.get(0, 0).abs() - 0.1).abs() < 1e-6, "{}", p.get(0, 0));
+    }
+
+    #[test]
+    fn rmsprop_converges_on_linear_fit() {
+        let mut opt = RmsProp::new(0.01);
+        assert!(train_linear(&mut opt, 500) < 1e-3);
+    }
+
+    #[test]
+    fn step_decay_schedule() {
+        let s = StepDecay::new(0.1, 0.5, 100);
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(99), 0.1);
+        assert!((s.lr_at(100) - 0.05).abs() < 1e-12);
+        assert!((s.lr_at(250) - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_grad_norm_caps_and_reports() {
+        let mut rng = Rng64::new(1);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(2, 2, &mut rng)),
+            Box::new(Activation::new(ActKind::Tanh)),
+        ]);
+        let x = Matrix::filled(4, 2, 1.0);
+        let y = net.forward(&x, true);
+        net.backward(&y);
+        let pre = clip_grad_norm(&mut net, 1e-3);
+        assert!(pre > 1e-3);
+        let mut sq = 0.0;
+        net.visit_params(&mut |_, g| sq += g.as_slice().iter().map(|v| v * v).sum::<f64>());
+        assert!((sq.sqrt() - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lr_setters() {
+        let mut s = Sgd::new(0.1);
+        s.set_lr(0.01);
+        assert_eq!(s.lr(), 0.01);
+        let mut a = Adam::new(0.1);
+        a.set_lr(0.5);
+        assert_eq!(a.lr(), 0.5);
+    }
+}

@@ -1,0 +1,636 @@
+//! Training and testing pipeline (paper §V-E, Figure 8).
+//!
+//! 1. **Stage 1** — fit the Volume-Speed mapping on generated
+//!    `(volume, speed)` pairs.
+//! 2. **Stage 2** — freeze V2S; fit the TOD-Volume mapping by pushing
+//!    generated TOD tensors through both mappings and comparing *speeds*
+//!    (the paper deliberately uses only the speed loss here: "we only use
+//!    the main loss ... the hardest case").
+//! 3. **Test-time fit** — freeze both mappings; optimise the TOD
+//!    generator against the *observed* speed tensor, optionally with the
+//!    census/camera auxiliary losses of Eq. 13. The generator's output is
+//!    the recovered TOD.
+//!
+//! "Epochs" here are gradient steps; stages 1-2 cycle through the training
+//! corpus one sample per step.
+
+use crate::aux::{camera_loss, census_loss, speed_limit_loss};
+use crate::config::OvsConfig;
+use crate::estimator::{
+    link_to_matrix, matrix_to_tod, tod_to_matrix, validate_input, EstimatorInput, TodEstimator,
+};
+use crate::model::OvsModel;
+use neural::loss::{huber, mse};
+use neural::optim::{Adam, Optimizer};
+use neural::Matrix;
+use roadnet::{Result, RoadnetError, TodTensor};
+
+/// Loss traces of a full train + fit run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Stage-1 loss per step.
+    pub v2s_losses: Vec<f64>,
+    /// Stage-2 loss per step.
+    pub tod2v_losses: Vec<f64>,
+    /// Test-time fit loss per step (main + weighted auxiliary).
+    pub fit_losses: Vec<f64>,
+}
+
+impl TrainReport {
+    /// Final stage-1 loss.
+    pub fn final_v2s(&self) -> Option<f64> {
+        self.v2s_losses.last().copied()
+    }
+
+    /// Final test-time fit loss.
+    pub fn final_fit(&self) -> Option<f64> {
+        self.fit_losses.last().copied()
+    }
+}
+
+/// Steps an Adam optimiser over a module exposed through a
+/// `visit_params`-style closure.
+fn adam_step(
+    opt: &mut Adam,
+    visit: &mut dyn FnMut(&mut dyn FnMut(&mut Matrix, &mut Matrix)),
+) {
+    opt.begin_step();
+    let mut slot = 0usize;
+    visit(&mut |p, g| {
+        opt.apply(slot, p, g);
+        slot += 1;
+    });
+}
+
+/// Clips the global gradient norm of a module; returns the pre-clip norm.
+fn clip_grads(
+    visit: &mut dyn FnMut(&mut dyn FnMut(&mut Matrix, &mut Matrix)),
+    max_norm: f64,
+) -> f64 {
+    let mut sq = 0.0;
+    visit(&mut |_, g| sq += g.as_slice().iter().map(|v| v * v).sum::<f64>());
+    let norm = sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        visit(&mut |_, g| g.scale(scale));
+    }
+    norm
+}
+
+/// Estimates the per-cell demand level of the hidden scenario by
+/// interpolating the corpus (total demand -> city mean speed) curve at the
+/// observed mean speed.
+pub fn calibrate_demand_level(input: &EstimatorInput<'_>) -> f64 {
+    // Robust city-speed statistic: the *median* link's time-mean speed.
+    // Demand level moves every link; localised disruptions (road work,
+    // incidents — RQ3) move only a few, so the median barely shifts while
+    // the mean would mis-calibrate the prior under such scenarios.
+    fn median_link_speed(t: &roadnet::LinkTensor) -> f64 {
+        let t_len = t.num_intervals().max(1) as f64;
+        let mut means: Vec<f64> = (0..t.rows())
+            .map(|j| t.row(roadnet::LinkId(j)).iter().sum::<f64>() / t_len)
+            .collect();
+        if means.is_empty() {
+            return 0.0;
+        }
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        means[means.len() / 2]
+    }
+    let mut points: Vec<(f64, f64)> = input
+        .train
+        .iter()
+        .map(|s| (s.tod.total(), median_link_speed(&s.speed)))
+        .collect();
+    if points.is_empty() {
+        return 0.0;
+    }
+    points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let obs = median_link_speed(input.observed_speed);
+    // Scan a fine demand grid, predict mean speed by piecewise-linear
+    // interpolation, keep the best-matching total.
+    let max_total = points.last().expect("non-empty").0.max(1.0);
+    let speed_at = |d: f64| -> f64 {
+        if d <= points[0].0 {
+            return points[0].1;
+        }
+        for w in points.windows(2) {
+            let ((d0, s0), (d1, s1)) = (w[0], w[1]);
+            if d <= d1 {
+                let f = if d1 > d0 { (d - d0) / (d1 - d0) } else { 0.0 };
+                return s0 + f * (s1 - s0);
+            }
+        }
+        points.last().expect("non-empty").1
+    };
+    let mut best = (f64::INFINITY, max_total * 0.5);
+    for k in 1..=120 {
+        let total = max_total * 1.5 * k as f64 / 120.0;
+        let err = (speed_at(total) - obs).abs();
+        if err < best.0 {
+            best = (err, total);
+        }
+    }
+    let cells = input.n_od() * input.n_intervals();
+    best.1 / cells.max(1) as f64
+}
+
+/// The two-stage trainer plus test-time fitter.
+pub struct OvsTrainer {
+    cfg: OvsConfig,
+}
+
+impl OvsTrainer {
+    /// Creates a trainer with the model's configuration.
+    pub fn new(cfg: OvsConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Stage 1: fit V2S on the generated corpus. Returns per-step losses.
+    pub fn train_v2s(
+        &self,
+        model: &mut OvsModel,
+        train: &[crate::estimator::TrainTriple],
+    ) -> Result<Vec<f64>> {
+        if train.is_empty() {
+            return Err(RoadnetError::InvalidSpec(
+                "stage 1 requires at least one training triple".into(),
+            ));
+        }
+        // Full-batch training: the V2S weights are shared across links, so
+        // every link of every sample is just another batch row. One big
+        // (M * S, T) matrix keeps the loss surface smooth.
+        let m = train[0].volume.rows();
+        let t = train[0].volume.num_intervals();
+        let rows = m * train.len();
+        let mut q_all = Matrix::zeros(rows, t);
+        let mut v_all = Matrix::zeros(rows, t);
+        for (s, sample) in train.iter().enumerate() {
+            for j in 0..m {
+                q_all.row_mut(s * m + j).copy_from_slice(
+                    &link_to_matrix(&sample.volume).row(j)[..t],
+                );
+                v_all.row_mut(s * m + j).copy_from_slice(
+                    &link_to_matrix(&sample.speed).row(j)[..t],
+                );
+            }
+        }
+        let mut opt = Adam::new(self.cfg.lr * 10.0);
+        let mut losses = Vec::with_capacity(self.cfg.epochs_v2s);
+        for _ in 0..self.cfg.epochs_v2s {
+            let v_pred = model.v2s.forward(&q_all, true);
+            let (loss, grad) = mse(&v_pred, &v_all);
+            model.v2s.backward(&grad);
+            clip_grads(&mut |f| model.v2s.visit_params(f), self.cfg.grad_clip);
+            adam_step(&mut opt, &mut |f| model.v2s.visit_params(f));
+            model.v2s.zero_grad();
+            losses.push(loss);
+        }
+        Ok(losses)
+    }
+
+    /// Stage 2: freeze V2S, fit TOD2V through it using the speed loss.
+    pub fn train_tod2v(
+        &self,
+        model: &mut OvsModel,
+        train: &[crate::estimator::TrainTriple],
+    ) -> Result<Vec<f64>> {
+        if train.is_empty() {
+            return Err(RoadnetError::InvalidSpec(
+                "stage 2 requires at least one training triple".into(),
+            ));
+        }
+        let mut opt = Adam::new(self.cfg.lr * 30.0);
+        let mut losses = Vec::with_capacity(self.cfg.epochs_tod2v);
+        // Full-batch epochs: gradients accumulate over every sample before
+        // one optimiser step; per-sample cycling oscillates because the
+        // five TOD patterns pull the mapping in different directions.
+        for _ in 0..self.cfg.epochs_tod2v {
+            let mut epoch_loss = 0.0;
+            for sample in train {
+                let g = tod_to_matrix(&sample.tod);
+                let v_target = link_to_matrix(&sample.speed);
+                let q_target = link_to_matrix(&sample.volume);
+                let q_pred = model.tod2v.forward(&g, true);
+                let v_pred = model.v2s.forward(&q_pred, true);
+                let (speed_loss, dv) = mse(&v_pred, &v_target);
+                let mut dq = model.v2s.backward(&dv);
+                // Volume anchoring (Fig 8: the TOD-Volume mapping is
+                // trained with generated TOD, volume AND speed).
+                // Normalised by the volume scale so the weight is
+                // unit-free.
+                let mut loss = speed_loss;
+                if self.cfg.w_volume_stage2 > 0.0 {
+                    let (vol_loss, mut dq_vol) = mse(&q_pred, &q_target);
+                    let scale = self.cfg.w_volume_stage2
+                        * (self.cfg.v_max / self.cfg.q_norm).powi(2);
+                    loss += scale * vol_loss;
+                    dq_vol.scale(scale);
+                    dq.add_assign(&dq_vol);
+                }
+                model.tod2v.backward(&dq);
+                // Only the TOD2V parameters move; V2S gradients are
+                // discarded.
+                model.v2s.zero_grad();
+                epoch_loss += loss;
+            }
+            clip_grads(&mut |f| model.tod2v.visit_params(f), self.cfg.grad_clip);
+            adam_step(&mut opt, &mut |f| model.tod2v.visit_params(f));
+            model.tod2v.zero_grad();
+            losses.push(epoch_loss / train.len() as f64);
+        }
+        Ok(losses)
+    }
+
+    /// Test-time fit of the TOD generator against the observed speed
+    /// (plus auxiliary losses when enabled and available).
+    pub fn fit_tod_gen(
+        &self,
+        model: &mut OvsModel,
+        input: &EstimatorInput<'_>,
+    ) -> Result<Vec<f64>> {
+        let v_obs = link_to_matrix(input.observed_speed);
+        // Gaussian prior centre (SS IV-B): the demand *level* implied by
+        // the observation itself — the corpus demand->mean-speed curve
+        // inverted at the observed mean speed. Using the raw corpus mean
+        // instead would bias the fit whenever the hidden scenario is much
+        // lighter or heavier than the average generated tensor.
+        let prior_mu = calibrate_demand_level(input);
+        let prior_scale =
+            self.cfg.w_prior * (self.cfg.v_max / self.cfg.g_max.max(1e-9)).powi(2);
+        let limits: Vec<f64> = input
+            .net
+            .links()
+            .iter()
+            .map(|l| l.speed_limit_mps)
+            .collect();
+        let mut opt = Adam::new(self.cfg.lr * 30.0);
+        let mut losses = Vec::with_capacity(self.cfg.epochs_fit);
+        // Early stopping: once the speed evidence stops improving the fit,
+        // further steps only chase forward-model bias (the multiple-
+        // solution problem of SS I). Patience scales with the budget.
+        let patience = (self.cfg.epochs_fit / 8).max(50);
+        let mut best = f64::INFINITY;
+        let mut since_best = 0usize;
+        for _ in 0..self.cfg.epochs_fit {
+            let (g, q, v) = model.forward_full(true);
+            let (main, dv) = if self.cfg.fit_huber_delta > 0.0 {
+                huber(&v, &v_obs, self.cfg.fit_huber_delta)
+            } else {
+                mse(&v, &v_obs)
+            };
+            let mut total = main;
+
+            // Speed-limit constraint (Eq. 13's w_v term): folded into the
+            // speed gradient before it enters V2S.
+            let mut dv = dv;
+            if self.cfg.w_speed_limit > 0.0 {
+                let (l_lim, mut d_lim) = speed_limit_loss(&v, &limits);
+                total += self.cfg.w_speed_limit * l_lim;
+                d_lim.scale(self.cfg.w_speed_limit);
+                dv.add_assign(&d_lim);
+            }
+
+            // d loss / d q: through V2S plus the camera constraint.
+            let mut dq = model.v2s.backward(&dv);
+            if self.cfg.w_camera > 0.0 {
+                if let Some((links, obs)) = input.cameras {
+                    let (l_cam, mut d_cam) = camera_loss(&q, links, obs);
+                    total += self.cfg.w_camera * l_cam;
+                    d_cam.scale(self.cfg.w_camera);
+                    dq.add_assign(&d_cam);
+                }
+            }
+
+            // d loss / d g: through TOD2V plus the census constraint.
+            let mut dg = model.tod2v.backward(&dq);
+            if self.cfg.w_census > 0.0 {
+                if let Some(totals) = input.census_totals {
+                    let (l_cen, mut d_cen) = census_loss(&g, totals);
+                    total += self.cfg.w_census * l_cen;
+                    d_cen.scale(self.cfg.w_census);
+                    dg.add_assign(&d_cen);
+                }
+            }
+
+            // Gaussian prior on the generated TOD.
+            if prior_scale > 0.0 {
+                let n = g.len().max(1) as f64;
+                let mut prior_loss = 0.0;
+                for (dgv, &gv) in dg.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                    let diff = gv - prior_mu;
+                    prior_loss += diff * diff;
+                    *dgv += prior_scale * 2.0 * diff / n;
+                }
+                total += prior_scale * prior_loss / n;
+            }
+
+            model.tod_gen.backward(&dg);
+            // Frozen mappings: discard their gradients.
+            model.v2s.zero_grad();
+            model.tod2v.zero_grad();
+            clip_grads(&mut |f| model.tod_gen.visit_params(f), self.cfg.grad_clip);
+            adam_step(&mut opt, &mut |f| model.tod_gen.visit_params(f));
+            model.tod_gen.zero_grad();
+            losses.push(total);
+            if total < best * 0.995 {
+                best = total;
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best >= patience {
+                    break;
+                }
+            }
+        }
+        Ok(losses)
+    }
+
+    /// The full pipeline: stages 1-2 on the corpus, then the test-time
+    /// fit. Returns the trained model and the loss traces.
+    pub fn run(
+        &self,
+        input: &EstimatorInput<'_>,
+    ) -> Result<(OvsModel, TrainReport)> {
+        validate_input(input)?;
+        // Adapt the sigmoid scales to the corpus so the generator starts
+        // inside the data range instead of saturating.
+        let cfg = self.cfg.clone().adapted_to_corpus(input.train);
+        let trainer = OvsTrainer::new(cfg.clone());
+        let mut model = OvsModel::new(
+            input.net,
+            input.ods,
+            input.n_intervals(),
+            input.interval_s,
+            cfg,
+        )?;
+        // Start the generator at the observation-calibrated demand level.
+        let level = calibrate_demand_level(input);
+        model
+            .tod_gen
+            .set_output_level(level / model.config().g_max.max(1e-9));
+        let mut report = TrainReport::default();
+        report.v2s_losses = trainer.train_v2s(&mut model, input.train)?;
+        report.tod2v_losses = trainer.train_tod2v(&mut model, input.train)?;
+        report.fit_losses = trainer.fit_tod_gen(&mut model, input)?;
+        Ok((model, report))
+    }
+
+    /// Like [`OvsTrainer::run`], but additionally averages the recovered
+    /// TOD over `fit_restarts` independent test-time fits. Returns the
+    /// model (holding the last fit), the averaged recovered TOD and the
+    /// report of the first fit.
+    pub fn run_ensembled(
+        &self,
+        input: &EstimatorInput<'_>,
+    ) -> Result<(OvsModel, Matrix, TrainReport)> {
+        let (mut model, report) = self.run(input)?;
+        let restarts = self.cfg.fit_restarts.max(1);
+        let mut mean = model.recovered_tod();
+        let corpus_level = calibrate_demand_level(input);
+        for r in 1..restarts {
+            model.reset_generator(self.cfg.seed.wrapping_add(r as u64 * 7919));
+            model
+                .tod_gen
+                .set_output_level(corpus_level / model.config().g_max.max(1e-9));
+            self.fit_tod_gen(&mut model, input)?;
+            mean.add_assign(&model.recovered_tod());
+        }
+        mean.scale(1.0 / restarts as f64);
+        Ok((model, mean, report))
+    }
+}
+
+/// OVS as a [`TodEstimator`] — the form the evaluation harness consumes.
+pub struct OvsEstimator {
+    cfg: OvsConfig,
+}
+
+impl OvsEstimator {
+    /// Creates the estimator.
+    pub fn new(cfg: OvsConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl TodEstimator for OvsEstimator {
+    fn name(&self) -> &'static str {
+        self.cfg.variant.name()
+    }
+
+    fn estimate(&mut self, input: &EstimatorInput<'_>) -> Result<TodTensor> {
+        let trainer = OvsTrainer::new(self.cfg.clone());
+        let (_, mean_tod, _) = trainer.run_ensembled(input)?;
+        Ok(matrix_to_tod(&mean_tod))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OvsVariant;
+    use crate::estimator::TrainTriple;
+    use datagen::{Dataset, TodPattern};
+
+    fn tiny_dataset() -> Dataset {
+        let spec = datagen::dataset::DatasetSpec {
+            t: 4,
+            interval_s: 120.0,
+            train_samples: 4,
+            demand_scale: 0.05,
+            seed: 3,
+        };
+        Dataset::synthetic(TodPattern::Gaussian, &spec).unwrap()
+    }
+
+    fn to_input<'a>(
+        ds: &'a Dataset,
+        triples: &'a [TrainTriple],
+        census: Option<&'a [f64]>,
+    ) -> EstimatorInput<'a> {
+        EstimatorInput {
+            net: &ds.net,
+            ods: &ds.ods,
+            interval_s: ds.sim_config.interval_s,
+            sim_seed: ds.sim_config.seed,
+            train: triples,
+            observed_speed: &ds.observed_speed,
+            census_totals: census,
+            cameras: None,
+        }
+    }
+
+    fn triples(ds: &Dataset) -> Vec<TrainTriple> {
+        ds.train
+            .iter()
+            .map(|s| TrainTriple {
+                tod: s.tod.clone(),
+                volume: s.volume.clone(),
+                speed: s.speed.clone(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stage1_reduces_v2s_loss() {
+        let ds = tiny_dataset();
+        let tr = triples(&ds);
+        let input = to_input(&ds, &tr, None);
+        let cfg = OvsConfig::tiny();
+        let mut model =
+            OvsModel::new(&ds.net, &ds.ods, 4, input.interval_s, cfg.clone()).unwrap();
+        let trainer = OvsTrainer::new(cfg);
+        let losses = trainer.train_v2s(&mut model, &tr).unwrap();
+        let head: f64 = losses[..5].iter().sum::<f64>() / 5.0;
+        let tail: f64 = losses[losses.len() - 5..].iter().sum::<f64>() / 5.0;
+        assert!(tail < head, "stage 1: {head} -> {tail}");
+    }
+
+    #[test]
+    fn full_pipeline_runs_and_fit_loss_drops() {
+        let ds = tiny_dataset();
+        let tr = triples(&ds);
+        let input = to_input(&ds, &tr, None);
+        let trainer = OvsTrainer::new(OvsConfig::tiny());
+        let (mut model, report) = trainer.run(&input).unwrap();
+        let fit = &report.fit_losses;
+        assert!(fit.last().unwrap() < fit.first().unwrap(), "{fit:?}");
+        let tod = model.recovered_tod();
+        assert_eq!(tod.shape(), (ds.n_od(), 4));
+        assert!(tod.is_finite());
+    }
+
+    #[test]
+    fn estimator_interface_produces_valid_tod() {
+        let ds = tiny_dataset();
+        let tr = triples(&ds);
+        let input = to_input(&ds, &tr, None);
+        let mut est = OvsEstimator::new(OvsConfig::tiny());
+        assert_eq!(est.name(), "OVS");
+        let tod = est.estimate(&input).unwrap();
+        assert_eq!(tod.rows(), ds.n_od());
+        assert!(tod.is_non_negative());
+        assert!(tod.is_finite());
+    }
+
+    #[test]
+    fn census_loss_pushes_daily_totals_toward_census() {
+        let ds = tiny_dataset();
+        let tr = triples(&ds);
+        let census: Vec<f64> = ds.census.as_slice().to_vec();
+
+        // Without the constraint:
+        let input_plain = to_input(&ds, &tr, None);
+        let mut est = OvsEstimator::new(OvsConfig::tiny().with_seed(5));
+        let tod_plain = est.estimate(&input_plain).unwrap();
+
+        // With the constraint:
+        let input_census = to_input(&ds, &tr, Some(&census));
+        let mut est =
+            OvsEstimator::new(OvsConfig::tiny().with_seed(5).with_aux_weights(0.05, 0.0));
+        let tod_census = est.estimate(&input_census).unwrap();
+
+        let err = |tod: &TodTensor| -> f64 {
+            (0..tod.rows())
+                .map(|i| {
+                    let s = tod.row_total(roadnet::OdPairId(i));
+                    (s - census[i]).powi(2)
+                })
+                .sum::<f64>()
+                / tod.rows() as f64
+        };
+        assert!(
+            err(&tod_census) < err(&tod_plain),
+            "census-constrained totals must sit closer to census: {} vs {}",
+            err(&tod_census),
+            err(&tod_plain)
+        );
+    }
+
+    #[test]
+    fn demand_calibration_tracks_observed_speed() {
+        // Build two observations from the same corpus: a light scenario
+        // and a heavy one. The calibrated level must be larger for the
+        // heavy (slower) observation.
+        let ds = tiny_dataset();
+        let tr = triples(&ds);
+        let (mut light_idx, mut heavy_idx) = (0usize, 0usize);
+        for (k, s) in ds.train.iter().enumerate() {
+            if s.tod.total() < ds.train[light_idx].tod.total() {
+                light_idx = k;
+            }
+            if s.tod.total() > ds.train[heavy_idx].tod.total() {
+                heavy_idx = k;
+            }
+        }
+        let mut input_l = to_input(&ds, &tr, None);
+        input_l.observed_speed = &ds.train[light_idx].speed;
+        let mut input_h = to_input(&ds, &tr, None);
+        input_h.observed_speed = &ds.train[heavy_idx].speed;
+        let level_l = calibrate_demand_level(&input_l);
+        let level_h = calibrate_demand_level(&input_h);
+        assert!(
+            level_h > level_l,
+            "heavier scenario must calibrate higher: {level_h} vs {level_l}"
+        );
+        // And the levels bracket the corresponding true mean cells
+        // loosely (within the corpus range).
+        let cells = (ds.n_od() * ds.n_intervals()) as f64;
+        let mean_l = ds.train[light_idx].tod.total() / cells;
+        let mean_h = ds.train[heavy_idx].tod.total() / cells;
+        assert!(level_l < mean_h && level_h > mean_l);
+    }
+
+    #[test]
+    fn huber_fit_configuration_runs() {
+        let ds = tiny_dataset();
+        let tr = triples(&ds);
+        let input = to_input(&ds, &tr, None);
+        let mut cfg = OvsConfig::tiny();
+        cfg.fit_huber_delta = 0.0; // plain MSE path
+        let (mut m0, _) = OvsTrainer::new(cfg.clone()).run(&input).unwrap();
+        cfg.fit_huber_delta = 1.0;
+        let (mut m1, _) = OvsTrainer::new(cfg).run(&input).unwrap();
+        assert!(m0.recovered_tod().is_finite());
+        assert!(m1.recovered_tod().is_finite());
+        // The two losses optimise different objectives; outputs differ.
+        assert_ne!(m0.recovered_tod(), m1.recovered_tod());
+    }
+
+    #[test]
+    fn speed_limit_aux_keeps_fit_physical() {
+        let ds = tiny_dataset();
+        let tr = triples(&ds);
+        let input = to_input(&ds, &tr, None);
+        let cfg = OvsConfig {
+            w_speed_limit: 1.0,
+            ..OvsConfig::tiny()
+        };
+        let trainer = OvsTrainer::new(cfg);
+        let (mut model, report) = trainer.run(&input).unwrap();
+        assert!(report.final_fit().unwrap().is_finite());
+        let (_, _, v) = model.forward_full(false);
+        // Sigmoid-bounded output cannot exceed v_max anyway; the aux loss
+        // must at least not destabilise anything.
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn empty_corpus_is_an_error() {
+        let ds = tiny_dataset();
+        let input = to_input(&ds, &[], None);
+        let trainer = OvsTrainer::new(OvsConfig::tiny());
+        assert!(trainer.run(&input).is_err());
+    }
+
+    #[test]
+    fn ablated_variants_run_end_to_end() {
+        let ds = tiny_dataset();
+        let tr = triples(&ds);
+        let input = to_input(&ds, &tr, None);
+        for variant in [OvsVariant::NoTodGen, OvsVariant::NoTod2V, OvsVariant::NoV2S] {
+            let mut est = OvsEstimator::new(OvsConfig::tiny().with_variant(variant));
+            let tod = est.estimate(&input).unwrap();
+            assert!(tod.is_finite(), "{variant:?}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type shared by the road-network substrate.
+
+use crate::ids::{LinkId, NodeId, OdPairId, RegionId};
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RoadnetError>;
+
+/// Errors produced while building or querying road networks and tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoadnetError {
+    /// A node id referenced an index outside the network.
+    UnknownNode(NodeId),
+    /// A link id referenced an index outside the network.
+    UnknownLink(LinkId),
+    /// A region id referenced an index outside the network.
+    UnknownRegion(RegionId),
+    /// An OD pair id referenced an index outside the OD set.
+    UnknownOdPair(OdPairId),
+    /// No path exists between the requested endpoints.
+    NoPath {
+        /// Origin node of the failed query.
+        from: NodeId,
+        /// Destination node of the failed query.
+        to: NodeId,
+    },
+    /// A tensor was constructed or accessed with an inconsistent shape.
+    ShapeMismatch {
+        /// What was expected, e.g. "n_od * t = 24".
+        expected: String,
+        /// What was actually provided.
+        actual: String,
+    },
+    /// A generator was asked for an impossible topology.
+    InvalidSpec(String),
+    /// A numeric attribute was out of its legal domain (negative length, ...).
+    InvalidAttribute(String),
+}
+
+impl fmt::Display for RoadnetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownNode(id) => write!(f, "unknown node {id}"),
+            Self::UnknownLink(id) => write!(f, "unknown link {id}"),
+            Self::UnknownRegion(id) => write!(f, "unknown region {id}"),
+            Self::UnknownOdPair(id) => write!(f, "unknown OD pair {id}"),
+            Self::NoPath { from, to } => write!(f, "no path from {from} to {to}"),
+            Self::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            Self::InvalidSpec(msg) => write!(f, "invalid network spec: {msg}"),
+            Self::InvalidAttribute(msg) => write!(f, "invalid attribute: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RoadnetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RoadnetError::NoPath {
+            from: NodeId(1),
+            to: NodeId(2),
+        };
+        assert_eq!(e.to_string(), "no path from n1 to n2");
+        let e = RoadnetError::ShapeMismatch {
+            expected: "12".into(),
+            actual: "13".into(),
+        };
+        assert!(e.to_string().contains("expected 12"));
+    }
+}

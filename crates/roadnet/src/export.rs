@@ -1,0 +1,102 @@
+//! Network export: Graphviz DOT and GeoJSON.
+//!
+//! Generated networks are easiest to sanity-check visually; these exports
+//! plug into standard tooling (`dot -Tsvg`, any GeoJSON viewer). Link
+//! observations can be attached as GeoJSON properties for choropleth-style
+//! congestion maps.
+
+use crate::network::RoadNetwork;
+use crate::tensor::LinkTensor;
+
+/// Renders the network as a Graphviz DOT digraph. Node positions are
+/// embedded as `pos` attributes (in points, `neato -n` compatible).
+pub fn to_dot(net: &RoadNetwork) -> String {
+    let mut out = String::from("digraph roadnet {\n  node [shape=point];\n");
+    for n in net.nodes() {
+        out.push_str(&format!(
+            "  n{} [pos=\"{:.1},{:.1}!\"];\n",
+            n.id.index(),
+            n.point.x / 10.0,
+            n.point.y / 10.0
+        ));
+    }
+    for l in net.links() {
+        out.push_str(&format!(
+            "  n{} -> n{} [label=\"l{}\"];\n",
+            l.from.index(),
+            l.to.index(),
+            l.id.index()
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the network as a GeoJSON `FeatureCollection` of `LineString`
+/// links (local metric coordinates). When `speeds` is provided, each
+/// feature carries `speed_t<k>` properties with that link's series —
+/// ready for congestion colouring.
+pub fn to_geojson(net: &RoadNetwork, speeds: Option<&LinkTensor>) -> String {
+    let mut features = Vec::with_capacity(net.num_links());
+    for l in net.links() {
+        let a = net.nodes()[l.from.index()].point;
+        let b = net.nodes()[l.to.index()].point;
+        let mut props = format!(
+            "\"link\":{},\"lanes\":{},\"speed_limit\":{:.1},\"length_m\":{:.1}",
+            l.id.index(),
+            l.lanes,
+            l.speed_limit_mps,
+            l.length_m
+        );
+        if let Some(sp) = speeds {
+            for t in 0..sp.num_intervals() {
+                props.push_str(&format!(",\"speed_t{t}\":{:.2}", sp.get(l.id, t)));
+            }
+        }
+        features.push(format!(
+            "{{\"type\":\"Feature\",\"geometry\":{{\"type\":\"LineString\",\"coordinates\":[[{:.1},{:.1}],[{:.1},{:.1}]]}},\"properties\":{{{props}}}}}",
+            a.x, a.y, b.x, b.y
+        ));
+    }
+    format!(
+        "{{\"type\":\"FeatureCollection\",\"features\":[{}]}}",
+        features.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::GridSpec;
+
+    #[test]
+    fn dot_lists_every_node_and_link() {
+        let net = GridSpec::new(2, 2).build(0);
+        let dot = to_dot(&net);
+        assert!(dot.starts_with("digraph roadnet {"));
+        for n in net.nodes() {
+            assert!(dot.contains(&format!("n{} [pos=", n.id.index())));
+        }
+        assert_eq!(dot.matches(" -> ").count(), net.num_links());
+    }
+
+    #[test]
+    fn geojson_is_valid_json_with_all_links() {
+        let net = GridSpec::new(2, 3).build(0);
+        let speeds = LinkTensor::filled(net.num_links(), 2, 9.5);
+        let gj = to_geojson(&net, Some(&speeds));
+        let parsed: serde_json::Value = serde_json::from_str(&gj).expect("valid JSON");
+        let feats = parsed["features"].as_array().expect("feature array");
+        assert_eq!(feats.len(), net.num_links());
+        assert_eq!(feats[0]["properties"]["speed_t1"], 9.5);
+        assert_eq!(feats[0]["geometry"]["type"], "LineString");
+    }
+
+    #[test]
+    fn geojson_without_speeds_omits_series() {
+        let net = GridSpec::new(2, 2).build(0);
+        let gj = to_geojson(&net, None);
+        assert!(!gj.contains("speed_t0"));
+        let _: serde_json::Value = serde_json::from_str(&gj).expect("valid JSON");
+    }
+}

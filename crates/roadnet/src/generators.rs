@@ -1,0 +1,453 @@
+//! Parameterised road-network generators.
+//!
+//! The paper evaluates on a 3x3 synthetic grid (§V-B) plus four real city
+//! networks pulled from OpenStreetMap (Table III). We generate all of them
+//! (see DESIGN.md substitution table): [`GridSpec`] produces regular
+//! Manhattan-style grids of any size, and [`IrregularSpec`] produces
+//! organically-shaped networks with *exact* intersection and road counts so
+//! the presets can match Table III precisely.
+
+use crate::error::{Result, RoadnetError};
+use crate::geometry::Point;
+use crate::ids::NodeId;
+use crate::network::{NetworkBuilder, RoadNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default urban block edge length, metres.
+pub const DEFAULT_SPACING_M: f64 = 300.0;
+/// Default urban speed limit, metres per second (~40 km/h).
+pub const DEFAULT_SPEED_MPS: f64 = 11.0;
+/// Default arterial speed limit, metres per second (~60 km/h).
+pub const DEFAULT_ARTERIAL_SPEED_MPS: f64 = 16.7;
+
+/// Specification of a regular `rows x cols` grid network.
+///
+/// Every interior street is bidirectional. Optionally, evenly spaced
+/// arterial rows/columns get extra lanes and a higher speed limit, which
+/// gives the heterogeneous congestion patterns the OVS attention module is
+/// designed to capture.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Number of intersection rows.
+    pub rows: usize,
+    /// Number of intersection columns.
+    pub cols: usize,
+    /// Block edge length in metres.
+    pub spacing_m: f64,
+    /// Lanes on ordinary streets.
+    pub lanes: u8,
+    /// Speed limit on ordinary streets (m/s).
+    pub speed_mps: f64,
+    /// Every `arterial_every`-th row/column becomes an arterial
+    /// (0 disables arterials).
+    pub arterial_every: usize,
+    /// Lanes on arterials.
+    pub arterial_lanes: u8,
+    /// Speed limit on arterials (m/s).
+    pub arterial_speed_mps: f64,
+    /// Region partition (`rows x cols` of region cells).
+    pub region_grid: (usize, usize),
+}
+
+impl GridSpec {
+    /// A plain grid with library defaults and a 3x3 region partition
+    /// (capped by the grid size).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            spacing_m: DEFAULT_SPACING_M,
+            lanes: 1,
+            speed_mps: DEFAULT_SPEED_MPS,
+            arterial_every: 0,
+            arterial_lanes: 2,
+            arterial_speed_mps: DEFAULT_ARTERIAL_SPEED_MPS,
+            region_grid: (rows.min(3), cols.min(3)),
+        }
+    }
+
+    /// Enables arterials on every `n`-th row/column.
+    pub fn with_arterials(mut self, n: usize) -> Self {
+        self.arterial_every = n;
+        self
+    }
+
+    /// Overrides the region partition.
+    pub fn with_regions(mut self, rows: usize, cols: usize) -> Self {
+        self.region_grid = (rows, cols);
+        self
+    }
+
+    /// Builds the network. `seed` only perturbs node placement slightly
+    /// (sub-metre jitter) so distinct seeds stay topologically identical.
+    pub fn build(&self, seed: u64) -> RoadNetwork {
+        assert!(self.rows >= 1 && self.cols >= 1, "grid must be non-empty");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = NetworkBuilder::new();
+        let mut ids = Vec::with_capacity(self.rows * self.cols);
+        for y in 0..self.rows {
+            for x in 0..self.cols {
+                let jx: f64 = rng.gen_range(-0.5..0.5);
+                let jy: f64 = rng.gen_range(-0.5..0.5);
+                ids.push(b.add_node(Point::new(
+                    x as f64 * self.spacing_m + jx,
+                    y as f64 * self.spacing_m + jy,
+                )));
+            }
+        }
+        let is_arterial = |idx: usize| -> bool {
+            self.arterial_every != 0 && idx % self.arterial_every == 0
+        };
+        for y in 0..self.rows {
+            for x in 0..self.cols {
+                let i = y * self.cols + x;
+                if x + 1 < self.cols {
+                    let (lanes, speed) = if is_arterial(y) {
+                        (self.arterial_lanes, self.arterial_speed_mps)
+                    } else {
+                        (self.lanes, self.speed_mps)
+                    };
+                    b.add_road(ids[i], ids[i + 1], lanes, speed)
+                        .expect("grid road is valid");
+                }
+                if y + 1 < self.rows {
+                    let (lanes, speed) = if is_arterial(x) {
+                        (self.arterial_lanes, self.arterial_speed_mps)
+                    } else {
+                        (self.lanes, self.speed_mps)
+                    };
+                    b.add_road(ids[i], ids[i + self.cols], lanes, speed)
+                        .expect("grid road is valid");
+                }
+            }
+        }
+        b.assign_regions_grid(self.region_grid.0, self.region_grid.1)
+            .build()
+            .expect("grid spec always yields a valid network")
+    }
+}
+
+/// Specification of an irregular network with exact node and road counts.
+///
+/// Nodes are placed uniformly at random in a square; a greedy spanning tree
+/// over nearest neighbours guarantees connectivity; the remaining road
+/// budget is spent on the geometrically shortest unused node pairs, which
+/// yields planar-ish, organically-shaped street patterns.
+#[derive(Debug, Clone)]
+pub struct IrregularSpec {
+    /// Exact number of intersections.
+    pub nodes: usize,
+    /// Exact number of bidirectional roads; must be >= nodes - 1.
+    pub roads: usize,
+    /// Side of the square the city occupies, metres.
+    pub extent_m: f64,
+    /// Lanes on every street.
+    pub lanes: u8,
+    /// Speed limit (m/s).
+    pub speed_mps: f64,
+    /// Region partition.
+    pub region_grid: (usize, usize),
+}
+
+impl IrregularSpec {
+    /// Creates a spec with library defaults and a 2x2 region partition.
+    pub fn new(nodes: usize, roads: usize) -> Self {
+        Self {
+            nodes,
+            roads,
+            extent_m: (nodes as f64).sqrt() * DEFAULT_SPACING_M,
+            lanes: 1,
+            speed_mps: DEFAULT_SPEED_MPS,
+            region_grid: (2, 2),
+        }
+    }
+
+    /// Overrides the region partition.
+    pub fn with_regions(mut self, rows: usize, cols: usize) -> Self {
+        self.region_grid = (rows, cols);
+        self
+    }
+
+    /// Builds the network deterministically from `seed`.
+    pub fn build(&self, seed: u64) -> Result<RoadNetwork> {
+        if self.nodes < 2 {
+            return Err(RoadnetError::InvalidSpec(
+                "irregular network needs at least 2 nodes".into(),
+            ));
+        }
+        if self.roads < self.nodes - 1 {
+            return Err(RoadnetError::InvalidSpec(format!(
+                "{} roads cannot connect {} nodes",
+                self.roads, self.nodes
+            )));
+        }
+        let max_roads = self.nodes * (self.nodes - 1) / 2;
+        if self.roads > max_roads {
+            return Err(RoadnetError::InvalidSpec(format!(
+                "{} roads exceeds the {} possible pairs of {} nodes",
+                self.roads, max_roads, self.nodes
+            )));
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<Point> = (0..self.nodes)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..self.extent_m),
+                    rng.gen_range(0.0..self.extent_m),
+                )
+            })
+            .collect();
+
+        // Greedy nearest-neighbour spanning tree (Prim).
+        let mut in_tree = vec![false; self.nodes];
+        in_tree[0] = true;
+        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(self.roads);
+        for _ in 1..self.nodes {
+            let mut best: Option<(usize, usize, f64)> = None;
+            for (a, pa) in points.iter().enumerate().filter(|&(a, _)| in_tree[a]) {
+                for (b, pb) in points.iter().enumerate().filter(|&(b, _)| !in_tree[b]) {
+                    let d = pa.distance_sq(pb);
+                    if best.map_or(true, |(.., bd)| d < bd) {
+                        best = Some((a, b, d));
+                    }
+                }
+            }
+            let (a, b, _) = best.expect("tree incomplete implies a candidate exists");
+            in_tree[b] = true;
+            edges.push((a.min(b), a.max(b)));
+        }
+
+        // Spend the remaining budget on the shortest unused pairs.
+        let mut remaining: Vec<(usize, usize, f64)> = Vec::new();
+        for a in 0..self.nodes {
+            for b in (a + 1)..self.nodes {
+                if !edges.contains(&(a, b)) {
+                    remaining.push((a, b, points[a].distance_sq(&points[b])));
+                }
+            }
+        }
+        remaining.sort_by(|x, y| x.2.partial_cmp(&y.2).unwrap_or(std::cmp::Ordering::Equal));
+        for &(a, b, _) in remaining.iter().take(self.roads - edges.len()) {
+            edges.push((a, b));
+        }
+
+        let mut builder = NetworkBuilder::new();
+        for p in &points {
+            builder.add_node(*p);
+        }
+        for (a, b) in edges {
+            builder.add_road(NodeId(a), NodeId(b), self.lanes, self.speed_mps)?;
+        }
+        builder
+            .assign_regions_grid(self.region_grid.0, self.region_grid.1)
+            .build()
+    }
+}
+
+/// Specification of a radial-ring network: `rings` concentric ring roads
+/// crossed by `spokes` radial arterials meeting at a centre node —
+/// the classic European-city topology, complementing [`GridSpec`]'s
+/// American grid.
+#[derive(Debug, Clone)]
+pub struct RadialSpec {
+    /// Number of concentric rings (>= 1).
+    pub rings: usize,
+    /// Number of radial spokes (>= 3).
+    pub spokes: usize,
+    /// Radial distance between consecutive rings, metres.
+    pub ring_spacing_m: f64,
+    /// Lanes on ring roads.
+    pub ring_lanes: u8,
+    /// Speed limit on ring roads (m/s).
+    pub ring_speed_mps: f64,
+    /// Lanes on the radial spokes (arterials).
+    pub spoke_lanes: u8,
+    /// Speed limit on the spokes (m/s).
+    pub spoke_speed_mps: f64,
+    /// Region partition.
+    pub region_grid: (usize, usize),
+}
+
+impl RadialSpec {
+    /// Creates a spec with library defaults and a 3x3 region partition.
+    pub fn new(rings: usize, spokes: usize) -> Self {
+        Self {
+            rings,
+            spokes,
+            ring_spacing_m: DEFAULT_SPACING_M,
+            ring_lanes: 1,
+            ring_speed_mps: DEFAULT_SPEED_MPS,
+            spoke_lanes: 2,
+            spoke_speed_mps: DEFAULT_ARTERIAL_SPEED_MPS,
+            region_grid: (3, 3),
+        }
+    }
+
+    /// Overrides the region partition.
+    pub fn with_regions(mut self, rows: usize, cols: usize) -> Self {
+        self.region_grid = (rows, cols);
+        self
+    }
+
+    /// Builds the network: 1 centre node + rings x spokes intersection
+    /// nodes; every ring is a closed loop, every spoke runs centre ->
+    /// outermost ring. All roads are bidirectional.
+    pub fn build(&self, seed: u64) -> Result<RoadNetwork> {
+        if self.rings < 1 {
+            return Err(RoadnetError::InvalidSpec("need at least 1 ring".into()));
+        }
+        if self.spokes < 3 {
+            return Err(RoadnetError::InvalidSpec("need at least 3 spokes".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = NetworkBuilder::new();
+        let centre = b.add_node(Point::new(0.0, 0.0));
+        // ids[ring][spoke]
+        let mut ids = vec![vec![NodeId(0); self.spokes]; self.rings];
+        for (r, ring_row) in ids.iter_mut().enumerate() {
+            let radius = (r + 1) as f64 * self.ring_spacing_m;
+            for (s, slot) in ring_row.iter_mut().enumerate() {
+                let theta = 2.0 * std::f64::consts::PI * s as f64 / self.spokes as f64;
+                let jitter: f64 = rng.gen_range(-0.5..0.5);
+                *slot = b.add_node(Point::new(
+                    (radius + jitter) * theta.cos(),
+                    (radius + jitter) * theta.sin(),
+                ));
+            }
+        }
+        // Spokes: centre -> ring1 -> ... -> outermost.
+        for s in 0..self.spokes {
+            b.add_road(centre, ids[0][s], self.spoke_lanes, self.spoke_speed_mps)?;
+            for r in 1..self.rings {
+                b.add_road(
+                    ids[r - 1][s],
+                    ids[r][s],
+                    self.spoke_lanes,
+                    self.spoke_speed_mps,
+                )?;
+            }
+        }
+        // Rings: closed loops.
+        for ring_row in &ids {
+            for s in 0..self.spokes {
+                b.add_road(
+                    ring_row[s],
+                    ring_row[(s + 1) % self.spokes],
+                    self.ring_lanes,
+                    self.ring_speed_mps,
+                )?;
+            }
+        }
+        b.assign_regions_grid(self.region_grid.0, self.region_grid.1)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts() {
+        let net = GridSpec::new(3, 3).build(0);
+        assert_eq!(net.num_nodes(), 9);
+        // 3x3 grid: 2*3 horizontal + 3*2 vertical = 12 roads = 24 links
+        assert_eq!(net.num_roads(), 12);
+        assert_eq!(net.num_links(), 24);
+        assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    fn grid_10x10_matches_manhattan_counts() {
+        let net = GridSpec::new(10, 10).build(0);
+        assert_eq!(net.num_nodes(), 100);
+        assert_eq!(net.num_roads(), 180);
+    }
+
+    #[test]
+    fn grid_is_deterministic_per_seed() {
+        let a = GridSpec::new(4, 4).build(42);
+        let b = GridSpec::new(4, 4).build(42);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn arterials_get_more_lanes() {
+        let net = GridSpec::new(5, 5).with_arterials(2).build(0);
+        let lanes: Vec<u8> = net.links().iter().map(|l| l.lanes).collect();
+        assert!(lanes.iter().any(|&l| l == 1));
+        assert!(lanes.iter().any(|&l| l == 2));
+    }
+
+    #[test]
+    fn irregular_exact_counts() {
+        for &(n, r) in &[(14usize, 16usize), (46, 63), (70, 100)] {
+            let net = IrregularSpec::new(n, r).build(7).unwrap();
+            assert_eq!(net.num_nodes(), n, "nodes for ({n},{r})");
+            assert_eq!(net.num_roads(), r, "roads for ({n},{r})");
+            assert!(net.is_strongly_connected(), "connected for ({n},{r})");
+        }
+    }
+
+    #[test]
+    fn irregular_rejects_impossible_specs() {
+        assert!(IrregularSpec::new(1, 0).build(0).is_err());
+        assert!(IrregularSpec::new(10, 8).build(0).is_err()); // < n-1
+        assert!(IrregularSpec::new(4, 7).build(0).is_err()); // > n(n-1)/2
+    }
+
+    #[test]
+    fn irregular_is_deterministic_per_seed() {
+        let a = IrregularSpec::new(20, 30).build(5).unwrap();
+        let b = IrregularSpec::new(20, 30).build(5).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        let c = IrregularSpec::new(20, 30).build(6).unwrap();
+        assert_ne!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&c).unwrap()
+        );
+    }
+
+    #[test]
+    fn radial_counts_and_connectivity() {
+        let net = RadialSpec::new(3, 6).build(0).unwrap();
+        // nodes: 1 centre + 3 rings x 6 spokes
+        assert_eq!(net.num_nodes(), 19);
+        // roads: spokes 6 x 3 segments + rings 3 x 6 segments
+        assert_eq!(net.num_roads(), 36);
+        assert!(net.is_strongly_connected());
+        // spokes are arterials: some links have 2 lanes
+        assert!(net.links().iter().any(|l| l.lanes == 2));
+        assert!(net.links().iter().any(|l| l.lanes == 1));
+    }
+
+    #[test]
+    fn radial_rejects_degenerate_specs() {
+        assert!(RadialSpec::new(0, 6).build(0).is_err());
+        assert!(RadialSpec::new(2, 2).build(0).is_err());
+    }
+
+    #[test]
+    fn radial_deterministic_per_seed() {
+        let a = RadialSpec::new(2, 5).build(3).unwrap();
+        let b = RadialSpec::new(2, 5).build(3).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn region_partition_is_honoured() {
+        let net = GridSpec::new(6, 6).with_regions(3, 3).build(0);
+        assert_eq!(net.num_regions(), 9);
+    }
+}

@@ -1,0 +1,96 @@
+//! Typed identifiers for the entities of a road network.
+//!
+//! Each identifier is a thin newtype over a dense `usize` index so it can be
+//! used directly to index the owning collection, while preventing a node
+//! index from being accidentally used as a link index (the classic
+//! "stringly/intly typed" bug the newtype pattern exists to kill).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The dense index backing this identifier.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+dense_id!(
+    /// Identifier of an intersection (graph node).
+    NodeId,
+    "n"
+);
+dense_id!(
+    /// Identifier of a directed road segment ("link" in the paper's terms:
+    /// each direction of one road segment is a separate link).
+    LinkId,
+    "l"
+);
+dense_id!(
+    /// Identifier of a city region (the paper's `r \in R`; TOD is defined
+    /// between regions).
+    RegionId,
+    "r"
+);
+dense_id!(
+    /// Identifier of an origin-destination pair (the paper's OD index `i`).
+    OdPairId,
+    "od"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(0).to_string(), "l0");
+        assert_eq!(RegionId(12).to_string(), "r12");
+        assert_eq!(OdPairId(7).to_string(), "od7");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let id = LinkId::from(42usize);
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(RegionId(5), RegionId(5));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&LinkId(9)).unwrap();
+        assert_eq!(json, "9");
+        let back: LinkId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, LinkId(9));
+    }
+}

@@ -1,0 +1,161 @@
+//! City presets matching the paper's Table III.
+//!
+//! | Dataset       | Intersections | # roads | # trajectories |
+//! |---------------|---------------|---------|----------------|
+//! | Hangzhou      | 46            | 63      | 9,656          |
+//! | Porto         | 70            | 100     | 2,576          |
+//! | Manhattan     | 100           | 180     | 1,242,408      |
+//! | State College | 14            | 16      | —              |
+//!
+//! Manhattan is a literal 10x10 grid (which has exactly 100 intersections
+//! and 180 roads — the historical reason Table III is so round); Hangzhou,
+//! Porto and State College use the irregular generator with exact counts.
+//! Trajectory counts are carried as metadata so `datagen` can synthesise
+//! taxi-sized samples and Table III can be reprinted.
+
+use crate::generators::{GridSpec, IrregularSpec};
+use crate::network::RoadNetwork;
+
+/// Metadata + network for one of the paper's datasets.
+#[derive(Debug, Clone)]
+pub struct CityPreset {
+    /// Dataset name as printed in Table III.
+    pub name: &'static str,
+    /// The generated road network.
+    pub network: RoadNetwork,
+    /// Number of taxi trajectories in the original dataset (None for
+    /// State College, which the paper leaves blank).
+    pub trajectories: Option<u64>,
+    /// Taxi-to-full-fleet scale factor (#all vehicles / #taxis, §V-B).
+    pub taxi_scale: f64,
+}
+
+/// Fixed seed per city so every run of the reproduction sees identical
+/// networks.
+const HANGZHOU_SEED: u64 = 0xA001;
+const PORTO_SEED: u64 = 0xA002;
+const MANHATTAN_SEED: u64 = 0xA003;
+const STATE_COLLEGE_SEED: u64 = 0xA004;
+
+/// Hangzhou: 46 intersections, 63 roads, big commercial city.
+pub fn hangzhou() -> CityPreset {
+    let network = IrregularSpec::new(46, 63)
+        .with_regions(3, 3)
+        .build(HANGZHOU_SEED)
+        .expect("preset spec is valid");
+    CityPreset {
+        name: "Hangzhou",
+        network,
+        trajectories: Some(9_656),
+        taxi_scale: 8.0,
+    }
+}
+
+/// Porto: 70 intersections, 100 roads.
+pub fn porto() -> CityPreset {
+    let network = IrregularSpec::new(70, 100)
+        .with_regions(3, 3)
+        .build(PORTO_SEED)
+        .expect("preset spec is valid");
+    CityPreset {
+        name: "Porto",
+        network,
+        trajectories: Some(2_576),
+        taxi_scale: 10.0,
+    }
+}
+
+/// Manhattan: 100 intersections, 180 roads — a literal 10x10 grid with
+/// arterial avenues every 3rd column/row.
+pub fn manhattan() -> CityPreset {
+    let network = GridSpec::new(10, 10)
+        .with_arterials(3)
+        .with_regions(3, 3)
+        .build(MANHATTAN_SEED);
+    CityPreset {
+        name: "Manhattan",
+        network,
+        trajectories: Some(1_242_408),
+        taxi_scale: 4.0,
+    }
+}
+
+/// State College: 14 intersections, 16 roads, college town (case study #2).
+pub fn state_college() -> CityPreset {
+    let network = IrregularSpec::new(14, 16)
+        .with_regions(2, 2)
+        .build(STATE_COLLEGE_SEED)
+        .expect("preset spec is valid");
+    CityPreset {
+        name: "State College",
+        network,
+        trajectories: None,
+        taxi_scale: 1.0,
+    }
+}
+
+/// The 3x3 synthetic grid of §V-B (9 intersections, 12 roads).
+pub fn synthetic_grid() -> RoadNetwork {
+    GridSpec::new(3, 3).with_regions(3, 3).build(0)
+}
+
+/// All four real-city presets in Table III order.
+pub fn all_cities() -> Vec<CityPreset> {
+    vec![hangzhou(), porto(), manhattan(), state_college()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_counts_hold() {
+        let cases = [
+            (hangzhou(), 46, 63),
+            (porto(), 70, 100),
+            (manhattan(), 100, 180),
+            (state_college(), 14, 16),
+        ];
+        for (preset, nodes, roads) in cases {
+            assert_eq!(preset.network.num_nodes(), nodes, "{}", preset.name);
+            assert_eq!(preset.network.num_roads(), roads, "{}", preset.name);
+            assert!(
+                preset.network.is_strongly_connected(),
+                "{} must be strongly connected",
+                preset.name
+            );
+        }
+    }
+
+    #[test]
+    fn trajectories_match_table_iii() {
+        assert_eq!(hangzhou().trajectories, Some(9_656));
+        assert_eq!(porto().trajectories, Some(2_576));
+        assert_eq!(manhattan().trajectories, Some(1_242_408));
+        assert_eq!(state_college().trajectories, None);
+    }
+
+    #[test]
+    fn presets_are_stable_across_calls() {
+        let a = hangzhou().network;
+        let b = hangzhou().network;
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn synthetic_grid_is_3x3() {
+        let net = synthetic_grid();
+        assert_eq!(net.num_nodes(), 9);
+        assert_eq!(net.num_roads(), 12);
+        assert_eq!(net.num_regions(), 9, "one region per block");
+    }
+
+    #[test]
+    fn all_cities_in_order() {
+        let names: Vec<_> = all_cities().iter().map(|c| c.name).collect();
+        assert_eq!(names, ["Hangzhou", "Porto", "Manhattan", "State College"]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Yen's k-shortest loopless paths.
+//!
+//! Supports the multi-route form of the paper's TOD-Volume mapping (Eq. 3):
+//! an OD pair may correspond to several plausible routes, and the OD-Route
+//! layer distributes trip counts over them.
+
+use super::dijkstra::{dijkstra_with_bans, CostFn};
+use super::path::Route;
+use crate::error::{Result, RoadnetError};
+use crate::ids::NodeId;
+use crate::network::RoadNetwork;
+use std::collections::HashSet;
+
+/// Returns up to `k` loopless paths from `from` to `to` in non-decreasing
+/// cost order. Returns an error only when *no* path exists at all; fewer
+/// than `k` paths is not an error.
+pub fn k_shortest_paths(
+    net: &RoadNetwork,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
+    cost: CostFn<'_>,
+) -> Result<Vec<Route>> {
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let first = dijkstra_with_bans(net, from, to, cost, &|_| false, &|_| false)?;
+    let mut accepted: Vec<Route> = vec![first];
+    let mut candidates: Vec<Route> = Vec::new();
+
+    while accepted.len() < k {
+        let last = accepted.last().expect("accepted is non-empty").clone();
+        let last_nodes = last.nodes(net);
+
+        // Deviate at every spur node of the previous accepted path.
+        for spur_idx in 0..last.links.len() {
+            let spur_node = if spur_idx == 0 {
+                from
+            } else {
+                last_nodes[spur_idx]
+            };
+            let root_links = &last.links[..spur_idx];
+
+            // Ban links that would recreate an already-accepted path with
+            // the same root.
+            let mut banned_links = HashSet::new();
+            for p in &accepted {
+                if p.links.len() > spur_idx && p.links[..spur_idx] == *root_links {
+                    banned_links.insert(p.links[spur_idx]);
+                }
+            }
+            // Ban root nodes (except the spur node) to keep paths loopless.
+            let banned_nodes: HashSet<NodeId> =
+                last_nodes[..spur_idx].iter().copied().collect();
+
+            let spur = match dijkstra_with_bans(
+                net,
+                spur_node,
+                to,
+                cost,
+                &|l| banned_links.contains(&l),
+                &|n| banned_nodes.contains(&n),
+            ) {
+                Ok(p) => p,
+                Err(RoadnetError::NoPath { .. }) => continue,
+                Err(e) => return Err(e),
+            };
+
+            let mut links = root_links.to_vec();
+            links.extend_from_slice(&spur.links);
+            let total_cost: f64 = links
+                .iter()
+                .map(|&l| cost(&net.links()[l.index()]))
+                .sum();
+            let candidate = Route {
+                links,
+                cost: total_cost,
+            };
+            if !candidate.is_simple(net) {
+                continue;
+            }
+            if !accepted.iter().any(|p| p.links == candidate.links)
+                && !candidates.iter().any(|p| p.links == candidate.links)
+            {
+                candidates.push(candidate);
+            }
+        }
+
+        if candidates.is_empty() {
+            break;
+        }
+        // Pop the cheapest candidate.
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                a.1.cost
+                    .partial_cmp(&b.1.cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .expect("candidates is non-empty");
+        accepted.push(candidates.swap_remove(best));
+    }
+
+    Ok(accepted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::routing::shortest_path;
+    use crate::Point;
+
+    /// 3x3 grid with uniform attributes; many equal-length alternatives.
+    fn grid3() -> (RoadNetwork, NodeId, NodeId) {
+        let mut b = NetworkBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                ids.push(b.add_node(Point::new(x as f64 * 100.0, y as f64 * 100.0)));
+            }
+        }
+        for y in 0..3usize {
+            for x in 0..3usize {
+                let i = y * 3 + x;
+                if x + 1 < 3 {
+                    b.add_road(ids[i], ids[i + 1], 1, 10.0).unwrap();
+                }
+                if y + 1 < 3 {
+                    b.add_road(ids[i], ids[i + 3], 1, 10.0).unwrap();
+                }
+            }
+        }
+        (b.build().unwrap(), ids[0], ids[8])
+    }
+
+    #[test]
+    fn k1_matches_dijkstra() {
+        let (net, a, z) = grid3();
+        let ks = k_shortest_paths(&net, a, z, 1, &|l| l.length_m).unwrap();
+        let d = shortest_path(&net, a, z).unwrap();
+        assert_eq!(ks.len(), 1);
+        assert!((ks[0].cost - d.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paths_are_sorted_unique_simple_connected() {
+        let (net, a, z) = grid3();
+        let ks = k_shortest_paths(&net, a, z, 6, &|l| l.length_m).unwrap();
+        assert_eq!(ks.len(), 6, "3x3 grid has 6 monotone corner paths");
+        for w in ks.windows(2) {
+            assert!(w[0].cost <= w[1].cost + 1e-9);
+            assert_ne!(w[0].links, w[1].links);
+        }
+        for p in &ks {
+            assert!(p.is_connected(&net));
+            assert!(p.is_simple(&net));
+            // all corner-to-corner monotone paths are 400 m
+            assert!((p.cost - 400.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_path_count_returns_all() {
+        // Two nodes, one road: exactly one simple path.
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(100.0, 0.0));
+        b.add_road(a, c, 1, 10.0).unwrap();
+        let net = b.build().unwrap();
+        let ks = k_shortest_paths(&net, a, c, 5, &|l| l.length_m).unwrap();
+        assert_eq!(ks.len(), 1);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let (net, a, z) = grid3();
+        assert!(k_shortest_paths(&net, a, z, 0, &|l| l.length_m)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn no_path_is_error() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(100.0, 0.0));
+        b.add_link(c, a, 1, 10.0).unwrap();
+        let net = b.build().unwrap();
+        assert!(k_shortest_paths(&net, a, c, 3, &|l| l.length_m).is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! Routing over road networks.
+//!
+//! The paper's TOD-Volume module assumes a routing policy `pi` that maps
+//! each OD pair to one or more routes (§IV-C): "people will choose the
+//! shortest or fastest route based on real-time traffic conditions". This
+//! module provides:
+//!
+//! * [`shortest_path`] / [`fastest_path`] — static Dijkstra by length or
+//!   free-flow travel time;
+//! * [`k_shortest_paths`] — Yen's algorithm for the multi-route variant
+//!   (Eq. 3 allows several routes per OD);
+//! * [`time_dependent::fastest_path_at`] — fastest path under observed
+//!   per-interval link speeds, the "based on real-time traffic conditions"
+//!   policy used by the simulator's en-route vehicles.
+
+mod dijkstra;
+mod ksp;
+mod path;
+pub mod time_dependent;
+
+pub use dijkstra::{dijkstra, fastest_path, shortest_path, CostFn};
+pub use ksp::k_shortest_paths;
+pub use path::Route;

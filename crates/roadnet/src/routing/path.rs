@@ -1,0 +1,59 @@
+//! Route representation.
+
+use crate::ids::{LinkId, NodeId};
+use crate::network::RoadNetwork;
+use serde::{Deserialize, Serialize};
+
+/// A route: a connected sequence of links from an origin node to a
+/// destination node, with its total cost under the metric that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// Links in traversal order.
+    pub links: Vec<LinkId>,
+    /// Total cost (metres for shortest, seconds for fastest).
+    pub cost: f64,
+}
+
+impl Route {
+    /// Node sequence of the route including both endpoints; empty routes
+    /// yield an empty sequence.
+    pub fn nodes(&self, net: &RoadNetwork) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.links.len() + 1);
+        for (i, &lid) in self.links.iter().enumerate() {
+            let l = &net.links()[lid.index()];
+            if i == 0 {
+                out.push(l.from);
+            }
+            out.push(l.to);
+        }
+        out
+    }
+
+    /// Total length of the route in metres.
+    pub fn length_m(&self, net: &RoadNetwork) -> f64 {
+        self.links
+            .iter()
+            .map(|&l| net.links()[l.index()].length_m)
+            .sum()
+    }
+
+    /// True when consecutive links share endpoints (the route is connected).
+    pub fn is_connected(&self, net: &RoadNetwork) -> bool {
+        self.links.windows(2).all(|w| {
+            net.links()[w[0].index()].to == net.links()[w[1].index()].from
+        })
+    }
+
+    /// True when the route visits no node twice (simple path).
+    pub fn is_simple(&self, net: &RoadNetwork) -> bool {
+        let nodes = self.nodes(net);
+        let mut seen = std::collections::HashSet::with_capacity(nodes.len());
+        nodes.iter().all(|n| seen.insert(*n))
+    }
+
+    /// True when the route passes through `link`. This is the paper's
+    /// "OD `i` contains link `l_j`" relation (§III).
+    pub fn contains_link(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+}

@@ -1,0 +1,139 @@
+//! Time-dependent fastest paths.
+//!
+//! Implements the paper's "fastest route based on real-time traffic
+//! conditions" routing policy: link travel times are taken from an observed
+//! per-interval speed tensor instead of the static speed limit. Vehicles
+//! departing in interval `t` are routed with the speeds of interval `t`
+//! (a snapshot policy — the standard approximation when routing decisions
+//! are made at departure time).
+
+use super::dijkstra::dijkstra;
+use super::path::Route;
+use crate::error::{Result, RoadnetError};
+use crate::ids::NodeId;
+use crate::network::RoadNetwork;
+use crate::tensor::LinkTensor;
+
+/// Minimum speed (m/s) used when an observation reports a fully stopped
+/// link, so travel times stay finite.
+pub const MIN_SPEED_MPS: f64 = 0.5;
+
+/// Fastest path from `from` to `to` using the speeds observed during
+/// interval `t` of `speeds` (shape `M x T`). Links with missing (<= 0 or
+/// non-finite) observations fall back to their speed limit.
+pub fn fastest_path_at(
+    net: &RoadNetwork,
+    speeds: &LinkTensor,
+    t: usize,
+    from: NodeId,
+    to: NodeId,
+) -> Result<Route> {
+    if speeds.rows() != net.num_links() {
+        return Err(RoadnetError::ShapeMismatch {
+            expected: format!("{} link rows", net.num_links()),
+            actual: format!("{} rows", speeds.rows()),
+        });
+    }
+    if t >= speeds.num_intervals() {
+        return Err(RoadnetError::ShapeMismatch {
+            expected: format!("interval < {}", speeds.num_intervals()),
+            actual: format!("interval {t}"),
+        });
+    }
+    dijkstra(net, from, to, &|l| {
+        let obs = speeds.get(l.id, t);
+        let v = if obs.is_finite() && obs > 0.0 {
+            obs.min(l.speed_limit_mps).max(MIN_SPEED_MPS)
+        } else {
+            l.speed_limit_mps
+        };
+        l.length_m / v
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LinkId;
+    use crate::network::NetworkBuilder;
+    use crate::Point;
+
+    /// Diamond: a -> b -> d (north) and a -> c -> d (south), equal lengths.
+    fn diamond() -> (RoadNetwork, NodeId, NodeId) {
+        let mut b = NetworkBuilder::new();
+        let na = b.add_node(Point::new(0.0, 0.0));
+        let nb = b.add_node(Point::new(100.0, 100.0));
+        let nc = b.add_node(Point::new(100.0, -100.0));
+        let nd = b.add_node(Point::new(200.0, 0.0));
+        b.add_road(na, nb, 1, 15.0).unwrap();
+        b.add_road(nb, nd, 1, 15.0).unwrap();
+        b.add_road(na, nc, 1, 15.0).unwrap();
+        b.add_road(nc, nd, 1, 15.0).unwrap();
+        (b.build().unwrap(), na, nd)
+    }
+
+    #[test]
+    fn congestion_redirects_route() {
+        let (net, a, d) = diamond();
+        let m = net.num_links();
+        // Interval 0: north congested, interval 1: south congested.
+        let mut speeds = LinkTensor::filled(m, 2, 15.0);
+        // Identify the a->b link (north first hop) and a->c (south first hop).
+        let north = net.out_links(a)[0];
+        let south = net.out_links(a)[1];
+        speeds.set(north, 0, 1.0);
+        speeds.set(south, 1, 1.0);
+
+        let r0 = fastest_path_at(&net, &speeds, 0, a, d).unwrap();
+        let r1 = fastest_path_at(&net, &speeds, 1, a, d).unwrap();
+        assert!(r0.contains_link(south) && !r0.contains_link(north));
+        assert!(r1.contains_link(north) && !r1.contains_link(south));
+    }
+
+    #[test]
+    fn missing_observation_falls_back_to_limit() {
+        let (net, a, d) = diamond();
+        let speeds = LinkTensor::zeros(net.num_links(), 1); // all missing
+        let r = fastest_path_at(&net, &speeds, 0, a, d).unwrap();
+        // With fallback, cost equals free-flow time of a 2-hop route.
+        let expected: f64 = r
+            .links
+            .iter()
+            .map(|&l| net.links()[l.index()].free_flow_time_s())
+            .sum();
+        assert!((r.cost - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observation_cannot_exceed_speed_limit() {
+        let (net, a, d) = diamond();
+        let speeds = LinkTensor::filled(net.num_links(), 1, 100.0); // implausible
+        let r = fastest_path_at(&net, &speeds, 0, a, d).unwrap();
+        let free_flow: f64 = r
+            .links
+            .iter()
+            .map(|&l| net.links()[l.index()].free_flow_time_s())
+            .sum();
+        assert!(r.cost >= free_flow - 1e-9, "capped at free flow");
+    }
+
+    #[test]
+    fn stopped_link_stays_finite() {
+        let (net, a, d) = diamond();
+        let mut speeds = LinkTensor::filled(net.num_links(), 1, 15.0);
+        for lid in 0..net.num_links() {
+            speeds.set(LinkId(lid), 0, 1e-12);
+        }
+        let r = fastest_path_at(&net, &speeds, 0, a, d).unwrap();
+        assert!(r.cost.is_finite());
+    }
+
+    #[test]
+    fn shape_errors_reported() {
+        let (net, a, d) = diamond();
+        let bad_rows = LinkTensor::zeros(net.num_links() + 1, 1);
+        assert!(fastest_path_at(&net, &bad_rows, 0, a, d).is_err());
+        let speeds = LinkTensor::zeros(net.num_links(), 2);
+        assert!(fastest_path_at(&net, &speeds, 5, a, d).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Network statistics — the descriptive numbers a user checks before
+//! trusting a generated network (degree distribution, diameter, total
+//! lane-kilometres).
+
+use crate::ids::NodeId;
+use crate::network::RoadNetwork;
+use crate::routing::shortest_path;
+
+/// Summary statistics of a road network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Number of intersections.
+    pub nodes: usize,
+    /// Number of directed links.
+    pub links: usize,
+    /// Number of physical roads.
+    pub roads: usize,
+    /// Number of regions.
+    pub regions: usize,
+    /// Total directed link length, kilometres.
+    pub total_length_km: f64,
+    /// Total lane-kilometres.
+    pub lane_km: f64,
+    /// Minimum out-degree over nodes.
+    pub min_out_degree: usize,
+    /// Maximum out-degree over nodes.
+    pub max_out_degree: usize,
+    /// Mean out-degree.
+    pub mean_out_degree: f64,
+    /// Network diameter in metres (longest shortest path over a node
+    /// sample; exact when `nodes <= sample`).
+    pub diameter_m: f64,
+}
+
+/// Maximum number of source nodes the diameter estimate runs Dijkstra
+/// from; beyond this the estimate uses an evenly spread sample.
+pub const DIAMETER_SAMPLE: usize = 32;
+
+/// Computes summary statistics for `net`.
+pub fn network_stats(net: &RoadNetwork) -> NetworkStats {
+    let nodes = net.num_nodes();
+    let links = net.num_links();
+    let total_length_km = net.links().iter().map(|l| l.length_m).sum::<f64>() / 1000.0;
+    let lane_km = net
+        .links()
+        .iter()
+        .map(|l| l.length_m * l.lanes as f64)
+        .sum::<f64>()
+        / 1000.0;
+    let degrees: Vec<usize> = (0..nodes).map(|i| net.out_links(NodeId(i)).len()).collect();
+    let min_out_degree = degrees.iter().copied().min().unwrap_or(0);
+    let max_out_degree = degrees.iter().copied().max().unwrap_or(0);
+    let mean_out_degree = if nodes == 0 {
+        0.0
+    } else {
+        degrees.iter().sum::<usize>() as f64 / nodes as f64
+    };
+
+    // Diameter: longest shortest path from a spread of source nodes.
+    let stride = (nodes / DIAMETER_SAMPLE).max(1);
+    let mut diameter_m = 0.0f64;
+    for src in (0..nodes).step_by(stride) {
+        for dst in 0..nodes {
+            if src == dst {
+                continue;
+            }
+            if let Ok(p) = shortest_path(net, NodeId(src), NodeId(dst)) {
+                diameter_m = diameter_m.max(p.cost);
+            }
+        }
+    }
+
+    NetworkStats {
+        nodes,
+        links,
+        roads: net.num_roads(),
+        regions: net.num_regions(),
+        total_length_km,
+        lane_km,
+        min_out_degree,
+        max_out_degree,
+        mean_out_degree,
+        diameter_m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::GridSpec;
+
+    #[test]
+    fn grid_stats_are_exact() {
+        let net = GridSpec::new(3, 3).build(0);
+        let s = network_stats(&net);
+        assert_eq!(s.nodes, 9);
+        assert_eq!(s.links, 24);
+        assert_eq!(s.roads, 12);
+        // corner nodes have out-degree 2, centre 4
+        assert_eq!(s.min_out_degree, 2);
+        assert_eq!(s.max_out_degree, 4);
+        assert!((s.mean_out_degree - 24.0 / 9.0).abs() < 1e-12);
+        // 12 roads x 2 directions x ~300 m
+        assert!((s.total_length_km - 7.2).abs() < 0.05);
+        assert!((s.lane_km - s.total_length_km).abs() < 1e-9, "1 lane each");
+        // corner-to-corner: 4 blocks x 300 m
+        assert!((s.diameter_m - 1200.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn lane_km_counts_lanes() {
+        let net = GridSpec::new(3, 3).with_arterials(1).build(0);
+        let s = network_stats(&net);
+        assert!(s.lane_km > s.total_length_km, "arterials have 2 lanes");
+    }
+
+    #[test]
+    fn stats_on_presets_are_consistent_with_table_iii() {
+        let city = crate::presets::porto();
+        let s = network_stats(&city.network);
+        assert_eq!(s.nodes, 70);
+        assert_eq!(s.roads, 100);
+        assert!(s.diameter_m > 0.0);
+        assert!(s.mean_out_degree >= 2.0, "bidirectional roads");
+    }
+}

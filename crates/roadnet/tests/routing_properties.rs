@@ -1,0 +1,102 @@
+//! Property-based tests for the routing substrate: Dijkstra against a
+//! brute-force enumeration on random small networks, and structural
+//! invariants of Yen's algorithm.
+
+use proptest::prelude::*;
+use roadnet::generators::IrregularSpec;
+use roadnet::routing::{dijkstra, k_shortest_paths, shortest_path};
+use roadnet::{NodeId, RoadNetwork};
+
+/// All simple paths from `from` to `to` by DFS (small graphs only).
+fn brute_force_shortest(net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<f64> {
+    fn dfs(
+        net: &RoadNetwork,
+        cur: NodeId,
+        to: NodeId,
+        visited: &mut Vec<bool>,
+        cost: f64,
+        best: &mut Option<f64>,
+    ) {
+        if cur == to {
+            *best = Some(best.map_or(cost, |b: f64| b.min(cost)));
+            return;
+        }
+        if let Some(b) = *best {
+            if cost >= b {
+                return; // prune
+            }
+        }
+        visited[cur.index()] = true;
+        for &lid in net.out_links(cur) {
+            let l = &net.links()[lid.index()];
+            if !visited[l.to.index()] {
+                dfs(net, l.to, to, visited, cost + l.length_m, best);
+            }
+        }
+        visited[cur.index()] = false;
+    }
+    let mut best = None;
+    let mut visited = vec![false; net.num_nodes()];
+    dfs(net, from, to, &mut visited, 0.0, &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dijkstra's cost equals the brute-force optimum on random networks.
+    #[test]
+    fn dijkstra_is_optimal(seed in 0u64..500, nodes in 4usize..9) {
+        let roads = nodes + 2;
+        let net = IrregularSpec::new(nodes, roads).build(seed).unwrap();
+        let from = NodeId(0);
+        let to = NodeId(nodes - 1);
+        let d = shortest_path(&net, from, to).unwrap();
+        let brute = brute_force_shortest(&net, from, to).unwrap();
+        prop_assert!((d.cost - brute).abs() < 1e-9, "dijkstra {} vs brute {}", d.cost, brute);
+        prop_assert!(d.is_connected(&net));
+        prop_assert!(d.is_simple(&net));
+    }
+
+    /// Yen's paths are sorted, unique, simple, connected, and the first
+    /// one matches Dijkstra.
+    #[test]
+    fn yen_structural_invariants(seed in 0u64..500, nodes in 5usize..9, k in 1usize..5) {
+        let roads = nodes + 3;
+        let net = IrregularSpec::new(nodes, roads).build(seed).unwrap();
+        let from = NodeId(0);
+        let to = NodeId(nodes - 1);
+        let cost_fn = |l: &roadnet::Link| l.length_m;
+        let paths = k_shortest_paths(&net, from, to, k, &cost_fn).unwrap();
+        prop_assert!(!paths.is_empty() && paths.len() <= k);
+        let d = dijkstra(&net, from, to, &cost_fn).unwrap();
+        prop_assert!((paths[0].cost - d.cost).abs() < 1e-9);
+        for w in paths.windows(2) {
+            prop_assert!(w[0].cost <= w[1].cost + 1e-9);
+            prop_assert!(w[0].links != w[1].links);
+        }
+        for p in &paths {
+            prop_assert!(p.is_connected(&net));
+            prop_assert!(p.is_simple(&net));
+            // reported cost matches the link costs
+            let actual: f64 = p.links.iter().map(|&l| net.links()[l.index()].length_m).sum();
+            prop_assert!((p.cost - actual).abs() < 1e-9);
+        }
+    }
+
+    /// Generated irregular networks always meet their spec.
+    #[test]
+    fn irregular_generator_meets_spec(seed in 0u64..300, nodes in 4usize..20) {
+        let roads = (nodes + seed as usize % 5).min(nodes * (nodes - 1) / 2);
+        let net = IrregularSpec::new(nodes, roads).build(seed).unwrap();
+        prop_assert_eq!(net.num_nodes(), nodes);
+        prop_assert_eq!(net.num_roads(), roads);
+        prop_assert!(net.is_strongly_connected());
+        // link lengths positive, attributes sane
+        for l in net.links() {
+            prop_assert!(l.length_m > 0.0);
+            prop_assert!(l.lanes >= 1);
+            prop_assert!(l.speed_limit_mps > 0.0);
+        }
+    }
+}

@@ -1,0 +1,623 @@
+//! The simulation engine.
+//!
+//! A discrete-time (1 s tick) microscopic simulation. Each tick:
+//!
+//! 1. **Spawn** — trips demanded by the TOD tensor are admitted onto the
+//!    first link of their route when its entrance is clear; otherwise they
+//!    wait in a FIFO queue (driveway queueing).
+//! 2. **Move** — vehicles advance under the car-following rule
+//!    ([`crate::vehicle::follow`]), front-to-back per link, respecting the
+//!    scenario-adjusted attainable speed.
+//! 3. **Transfer** — vehicles stopped at a link's end cross the
+//!    intersection when the signal is green, the link's saturation-flow
+//!    budget allows, and the downstream link has space. A full downstream
+//!    link blocks the transfer — congestion spills back, which is the
+//!    upstream-delay effect the paper's attention module models (Fig 4).
+//! 4. **Observe** — per-link volume (entries) and space-mean speed are
+//!    accumulated into the interval tensors.
+//!
+//! The run is fully deterministic given `SimConfig::seed`.
+
+use crate::config::{RoutingPolicy, SignalControl, SimConfig};
+use crate::demand::{DemandSpawner, SpawnRequest};
+use crate::observe::Observer;
+use crate::scenario::Scenario;
+use crate::signal::{ActuatedPlan, SignalPlan};
+use crate::vehicle::{follow, Vehicle, VehicleClass, VehicleId};
+use roadnet::routing::{dijkstra, fastest_path, shortest_path};
+use roadnet::{LinkId, LinkTensor, NodeId, OdSet, Result, RoadNetwork, RoadnetError, TodTensor};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Summary counters of one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Vehicles that entered the network.
+    pub spawned: u64,
+    /// Vehicles that reached their destination.
+    pub arrived: u64,
+    /// Vehicles still en route when the run ended.
+    pub active_at_end: u64,
+    /// Trips still waiting to enter when the run ended.
+    pub queued_at_end: u64,
+    /// Trips dropped because no route existed.
+    pub unroutable: u64,
+    /// Sum of completed-trip travel times, seconds.
+    pub total_travel_time_s: f64,
+}
+
+impl SimStats {
+    /// Mean travel time of completed trips, seconds.
+    pub fn mean_travel_time_s(&self) -> f64 {
+        if self.arrived == 0 {
+            0.0
+        } else {
+            self.total_travel_time_s / self.arrived as f64
+        }
+    }
+
+    /// Every spawned vehicle must be accounted for.
+    pub fn is_conserved(&self) -> bool {
+        self.spawned == self.arrived + self.active_at_end
+    }
+}
+
+/// One completed or in-progress trip (recorded when
+/// [`crate::SimConfig::record_trips`] is set) — the simulator-side
+/// equivalent of one taxi-trajectory record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TripRecord {
+    /// OD pair the trip belongs to.
+    pub od: roadnet::OdPairId,
+    /// Concrete origin node.
+    pub from: NodeId,
+    /// Concrete destination node.
+    pub to: NodeId,
+    /// Tick the vehicle entered the network.
+    pub depart_tick: u64,
+    /// Tick the vehicle arrived, if it finished within the run.
+    pub arrive_tick: Option<u64>,
+}
+
+/// Output of one run: the paper's observation tensors plus run statistics.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    /// `q_{j,t}`: vehicles entering link `j` during interval `t`.
+    pub volume: LinkTensor,
+    /// `v_{j,t}`: average speed on link `j` during interval `t` (m/s).
+    pub speed: LinkTensor,
+    /// Time-mean vehicle count on link `j` during interval `t` (the
+    /// density axis of a macroscopic fundamental diagram).
+    pub occupancy: LinkTensor,
+    /// Run statistics.
+    pub stats: SimStats,
+    /// Per-trip records, in spawn order (empty unless
+    /// [`crate::SimConfig::record_trips`] is set).
+    pub trips: Vec<TripRecord>,
+}
+
+/// A configured simulation, reusable across TOD tensors (route caches for
+/// static policies persist between runs).
+pub struct Simulation<'a> {
+    net: &'a RoadNetwork,
+    ods: &'a OdSet,
+    cfg: SimConfig,
+    scenario: Scenario,
+    plan: SignalPlan,
+    // Scenario-adjusted static link attributes, indexed by LinkId.
+    len_m: Vec<f64>,
+    desired_mps: Vec<f64>,
+    capacity: Vec<usize>,
+    sat_flow_per_tick: Vec<f64>,
+    lanes: Vec<f64>,
+    /// Route cache for static routing policies.
+    static_routes: HashMap<(NodeId, NodeId), Option<Arc<Vec<LinkId>>>>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation with the regular (no disruption) scenario.
+    pub fn new(net: &'a RoadNetwork, ods: &'a OdSet, cfg: SimConfig) -> Result<Self> {
+        Self::with_scenario(net, ods, cfg, Scenario::regular())
+    }
+
+    /// Creates a simulation with a disruption scenario (RQ3).
+    pub fn with_scenario(
+        net: &'a RoadNetwork,
+        ods: &'a OdSet,
+        cfg: SimConfig,
+        scenario: Scenario,
+    ) -> Result<Self> {
+        ods.validate(net)?;
+        if cfg.tick_s <= 0.0 || cfg.interval_s <= 0.0 {
+            return Err(RoadnetError::InvalidAttribute(
+                "tick and interval lengths must be positive".into(),
+            ));
+        }
+        let cycle_ticks = (cfg.signal_cycle_s / cfg.tick_s).round().max(2.0) as u64;
+        let plan = SignalPlan::new(net, cycle_ticks);
+        let m = net.num_links();
+        let mut len_m = Vec::with_capacity(m);
+        let mut desired_mps = Vec::with_capacity(m);
+        let mut capacity = Vec::with_capacity(m);
+        let mut sat_flow = Vec::with_capacity(m);
+        let mut lanes = Vec::with_capacity(m);
+        for l in net.links() {
+            let (sf, ff, cf) = scenario.factors(l.id);
+            len_m.push(l.length_m);
+            desired_mps.push(l.speed_limit_mps * sf);
+            capacity.push(((l.storage_capacity() as f64 * cf).floor() as usize).max(1));
+            sat_flow.push(l.lanes as f64 * cfg.saturation_flow_per_lane * ff * cfg.tick_s);
+            lanes.push(l.lanes as f64);
+        }
+        Ok(Self {
+            net,
+            ods,
+            cfg,
+            scenario,
+            plan,
+            len_m,
+            desired_mps,
+            capacity,
+            sat_flow_per_tick: sat_flow,
+            lanes,
+            static_routes: HashMap::new(),
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The scenario in use.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs the simulation for `tod` and returns observation tensors.
+    pub fn run(&mut self, tod: &TodTensor) -> Result<SimOutput> {
+        if tod.rows() != self.ods.len() {
+            return Err(RoadnetError::ShapeMismatch {
+                expected: format!("{} OD rows", self.ods.len()),
+                actual: format!("{} rows", tod.rows()),
+            });
+        }
+        if tod.num_intervals() != self.cfg.intervals {
+            return Err(RoadnetError::ShapeMismatch {
+                expected: format!("{} intervals", self.cfg.intervals),
+                actual: format!("{} intervals", tod.num_intervals()),
+            });
+        }
+
+        let m = self.net.num_links();
+        let t_obs = self.cfg.intervals;
+        let tpi = self.cfg.ticks_per_interval();
+        let dt = self.cfg.tick_s;
+
+        let mut spawner = DemandSpawner::new(self.net, self.ods, self.cfg.seed)?;
+        let mut observer = Observer::new(m, t_obs, tpi);
+        let mut links: Vec<VecDeque<Vehicle>> = vec![VecDeque::new(); m];
+        let mut exit_budget = vec![0.0f64; m];
+        let mut pending: VecDeque<SpawnRequest> = VecDeque::new();
+        let mut actuated = match self.cfg.signal_control {
+            SignalControl::Actuated => Some(ActuatedPlan::new(self.net)),
+            SignalControl::FixedTime => None,
+        };
+        let mut stats = SimStats::default();
+        let mut next_vid = 0u64;
+        let mut trips: Vec<TripRecord> = Vec::new();
+        // Dedicated stream for class assignment keeps spawn-node choices
+        // identical whether or not trucks are enabled.
+        use rand::{Rng as _, SeedableRng as _};
+        let mut class_rng = rand::rngs::StdRng::seed_from_u64(self.cfg.seed ^ 0x5EED_70C5);
+        // Per-interval route cache for the time-dependent policy.
+        let mut dyn_routes: HashMap<(NodeId, NodeId, usize), Option<Arc<Vec<LinkId>>>> =
+            HashMap::new();
+
+        for tick in 0..self.cfg.total_ticks() {
+            let interval = (tick / tpi) as usize;
+
+            // --- 1. demand -------------------------------------------------
+            if interval < t_obs {
+                pending.extend(spawner.tick(tod, interval, tpi)?);
+            }
+            let mut still_pending = VecDeque::with_capacity(pending.len());
+            while let Some(req) = pending.pop_front() {
+                let route = self.route_for(req, interval, &observer, &mut dyn_routes);
+                let Some(route) = route else {
+                    stats.unroutable += 1;
+                    continue;
+                };
+                let first = route[0];
+                if entrance_clear(&links[first.index()], self.capacity[first.index()]) {
+                    let class = if self.cfg.truck_fraction > 0.0
+                        && class_rng.gen::<f64>() < self.cfg.truck_fraction
+                    {
+                        VehicleClass::Truck
+                    } else {
+                        VehicleClass::Car
+                    };
+                    let veh = Vehicle {
+                        id: VehicleId(next_vid),
+                        route,
+                        leg: 0,
+                        pos_m: 0.0,
+                        speed_mps: 0.0,
+                        spawn_tick: tick,
+                        class,
+                    };
+                    next_vid += 1;
+                    links[first.index()].push_back(veh);
+                    observer.record_entry(first, interval);
+                    stats.spawned += 1;
+                    if self.cfg.record_trips {
+                        trips.push(TripRecord {
+                            od: req.od,
+                            from: req.from,
+                            to: req.to,
+                            depart_tick: tick,
+                            arrive_tick: None,
+                        });
+                    }
+                } else {
+                    still_pending.push_back(req);
+                }
+            }
+            pending = still_pending;
+
+            // --- 2. movement ----------------------------------------------
+            for (li, deque) in links.iter_mut().enumerate() {
+                let len = self.len_m[li];
+                let desired = self.desired_mps[li];
+                let mut speed_sum = 0.0;
+                let mut count = 0usize;
+                // (position, footprint) of the vehicle ahead.
+                let mut leader: Option<(f64, f64)> = None;
+                for veh in deque.iter_mut() {
+                    let headroom = match leader {
+                        None => len - veh.pos_m,
+                        Some((lp, lf)) => (lp - lf - veh.pos_m).max(0.0),
+                    };
+                    let (v, dx) = follow(
+                        veh.speed_mps,
+                        desired,
+                        headroom,
+                        self.cfg.max_accel * veh.class.accel_factor(),
+                        self.cfg.max_decel,
+                        dt,
+                    );
+                    veh.speed_mps = v;
+                    veh.pos_m = (veh.pos_m + dx).min(len);
+                    leader = Some((veh.pos_m, veh.class.footprint_m()));
+                    speed_sum += v;
+                    count += 1;
+                }
+                observer.record_tick(LinkId(li), interval, speed_sum, count, desired);
+            }
+
+            // --- 3. transfers ----------------------------------------------
+            // Actuated control: detect queues within 30 m of each stop
+            // line, then advance the controllers one tick.
+            if let Some(plan) = actuated.as_mut() {
+                let len_m = &self.len_m;
+                plan.update(&|lid: LinkId| {
+                    links[lid.index()]
+                        .front()
+                        .map(|v| v.pos_m >= len_m[lid.index()] - 30.0)
+                        .unwrap_or(false)
+                });
+            }
+            for li in 0..m {
+                exit_budget[li] =
+                    (exit_budget[li] + self.sat_flow_per_tick[li]).min(self.lanes[li].max(1.0));
+                loop {
+                    let Some(front) = links[li].front() else { break };
+                    if front.pos_m < self.len_m[li] - 1e-9 {
+                        break;
+                    }
+                    if front.on_last_leg() {
+                        // Arrival consumes no intersection capacity.
+                        let veh = links[li].pop_front().expect("front exists");
+                        stats.arrived += 1;
+                        stats.total_travel_time_s += (tick - veh.spawn_tick) as f64 * dt;
+                        if self.cfg.record_trips {
+                            trips[veh.id.0 as usize].arrive_tick = Some(tick);
+                        }
+                        continue;
+                    }
+                    let green = match &actuated {
+                        Some(plan) => plan.is_green(LinkId(li)),
+                        None => self.plan.is_green(LinkId(li), tick),
+                    };
+                    if !green || exit_budget[li] < 1.0 {
+                        break;
+                    }
+                    let next = front.next_link().expect("not on last leg");
+                    let ni = next.index();
+                    if !entrance_clear(&links[ni], self.capacity[ni]) {
+                        break; // spillback
+                    }
+                    exit_budget[li] -= 1.0;
+                    let mut veh = links[li].pop_front().expect("front exists");
+                    veh.leg += 1;
+                    veh.pos_m = 0.0;
+                    veh.speed_mps = veh.speed_mps.min(self.desired_mps[ni]);
+                    links[ni].push_back(veh);
+                    observer.record_entry(next, interval);
+                }
+            }
+        }
+
+        stats.active_at_end = links.iter().map(|d| d.len() as u64).sum();
+        stats.queued_at_end = pending.len() as u64;
+        let (volume, speed, occupancy) = observer.finalize();
+        Ok(SimOutput {
+            volume,
+            speed,
+            occupancy,
+            stats,
+            trips,
+        })
+    }
+
+    /// Resolves the route for a spawn request under the configured policy.
+    fn route_for(
+        &mut self,
+        req: SpawnRequest,
+        interval: usize,
+        observer: &Observer,
+        dyn_routes: &mut HashMap<(NodeId, NodeId, usize), Option<Arc<Vec<LinkId>>>>,
+    ) -> Option<Arc<Vec<LinkId>>> {
+        match self.cfg.routing {
+            RoutingPolicy::Shortest | RoutingPolicy::FreeFlowFastest => {
+                let key = (req.from, req.to);
+                if let Some(cached) = self.static_routes.get(&key) {
+                    return cached.clone();
+                }
+                let route = match self.cfg.routing {
+                    RoutingPolicy::Shortest => shortest_path(self.net, req.from, req.to),
+                    _ => fastest_path(self.net, req.from, req.to),
+                };
+                let entry = route
+                    .ok()
+                    .filter(|r| !r.links.is_empty())
+                    .map(|r| Arc::new(r.links));
+                self.static_routes.insert(key, entry.clone());
+                entry
+            }
+            RoutingPolicy::TimeDependent => {
+                let key = (req.from, req.to, interval);
+                if let Some(cached) = dyn_routes.get(&key) {
+                    return cached.clone();
+                }
+                let route = if interval == 0 {
+                    fastest_path(self.net, req.from, req.to)
+                } else {
+                    let prev = (interval - 1).min(self.cfg.intervals.saturating_sub(1));
+                    let desired = &self.desired_mps;
+                    dijkstra(self.net, req.from, req.to, &|l| {
+                        let obs = observer.mean_speed(l.id, prev);
+                        let v = if obs.is_finite() && obs > 0.0 {
+                            obs.min(desired[l.id.index()]).max(0.5)
+                        } else {
+                            desired[l.id.index()]
+                        };
+                        l.length_m / v
+                    })
+                };
+                let entry = route
+                    .ok()
+                    .filter(|r| !r.links.is_empty())
+                    .map(|r| Arc::new(r.links));
+                dyn_routes.insert(key, entry.clone());
+                entry
+            }
+        }
+    }
+}
+
+/// True when a new vehicle fits at the link's entrance: the link is under
+/// capacity and the most recently entered vehicle has cleared the stop bar
+/// by its own footprint.
+fn entrance_clear(deque: &VecDeque<Vehicle>, capacity: usize) -> bool {
+    if deque.len() >= capacity {
+        return false;
+    }
+    match deque.back() {
+        None => true,
+        Some(last) => last.pos_m >= last.class.footprint_m(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::presets::synthetic_grid;
+
+    fn setup() -> (RoadNetwork, OdSet) {
+        let net = synthetic_grid();
+        let ods = OdSet::all_pairs(&net);
+        (net, ods)
+    }
+
+    fn quick_cfg(t: usize) -> SimConfig {
+        SimConfig::default()
+            .with_intervals(t)
+            .with_interval_s(120.0)
+    }
+
+    #[test]
+    fn shapes_match_network_and_config() {
+        let (net, ods) = setup();
+        let tod = TodTensor::filled(ods.len(), 3, 1.0);
+        let out = Simulation::new(&net, &ods, quick_cfg(3))
+            .unwrap()
+            .run(&tod)
+            .unwrap();
+        assert_eq!(out.volume.rows(), net.num_links());
+        assert_eq!(out.volume.num_intervals(), 3);
+        assert_eq!(out.speed.rows(), net.num_links());
+        assert!(out.volume.is_non_negative());
+        assert!(out.speed.is_finite());
+    }
+
+    #[test]
+    fn vehicles_are_conserved() {
+        let (net, ods) = setup();
+        let tod = TodTensor::filled(ods.len(), 2, 3.0);
+        let out = Simulation::new(&net, &ods, quick_cfg(2))
+            .unwrap()
+            .run(&tod)
+            .unwrap();
+        assert!(out.stats.is_conserved(), "{:?}", out.stats);
+        assert!(out.stats.spawned > 0);
+        assert!(out.stats.arrived > 0, "light traffic should mostly clear");
+    }
+
+    #[test]
+    fn zero_demand_reports_free_flow() {
+        let (net, ods) = setup();
+        let tod = TodTensor::zeros(ods.len(), 2);
+        let out = Simulation::new(&net, &ods, quick_cfg(2))
+            .unwrap()
+            .run(&tod)
+            .unwrap();
+        assert_eq!(out.stats.spawned, 0);
+        assert_eq!(out.volume.total(), 0.0);
+        for l in net.links() {
+            for t in 0..2 {
+                assert!(
+                    (out.speed.get(l.id, t) - l.speed_limit_mps).abs() < 1e-9,
+                    "empty link reports its speed limit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let (net, ods) = setup();
+        let tod = TodTensor::filled(ods.len(), 2, 4.0);
+        let run = |seed: u64| {
+            Simulation::new(&net, &ods, quick_cfg(2).with_seed(seed))
+                .unwrap()
+                .run(&tod)
+                .unwrap()
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a.volume, b.volume);
+        assert_eq!(a.speed, b.speed);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn heavier_demand_slows_network() {
+        let (net, ods) = setup();
+        let light = TodTensor::filled(ods.len(), 3, 0.5);
+        let heavy = TodTensor::filled(ods.len(), 3, 30.0);
+        let cfg = SimConfig::default().with_intervals(3).with_interval_s(300.0);
+        let out_l = Simulation::new(&net, &ods, cfg.clone())
+            .unwrap()
+            .run(&light)
+            .unwrap();
+        let out_h = Simulation::new(&net, &ods, cfg).unwrap().run(&heavy).unwrap();
+        let mean = |t: &LinkTensor| t.total() / t.as_slice().len() as f64;
+        assert!(
+            mean(&out_h.speed) < mean(&out_l.speed),
+            "heavy {} vs light {}",
+            mean(&out_h.speed),
+            mean(&out_l.speed)
+        );
+        assert!(out_h.volume.total() > out_l.volume.total());
+    }
+
+    #[test]
+    fn road_work_slows_affected_link() {
+        let (net, ods) = setup();
+        let tod = TodTensor::filled(ods.len(), 2, 2.0);
+        let cfg = quick_cfg(2);
+        let target = LinkId(0);
+        let regular = Simulation::new(&net, &ods, cfg.clone())
+            .unwrap()
+            .run(&tod)
+            .unwrap();
+        let scenario =
+            Scenario::with_disruptions(vec![crate::scenario::LinkDisruption::road_work(target)]);
+        let disrupted = Simulation::with_scenario(&net, &ods, cfg, scenario)
+            .unwrap()
+            .run(&tod)
+            .unwrap();
+        let mean_reg: f64 = regular.speed.row(target).iter().sum::<f64>() / 2.0;
+        let mean_dis: f64 = disrupted.speed.row(target).iter().sum::<f64>() / 2.0;
+        assert!(
+            mean_dis < mean_reg,
+            "disrupted link must be slower: {mean_dis} vs {mean_reg}"
+        );
+    }
+
+    #[test]
+    fn tod_shape_validated() {
+        let (net, ods) = setup();
+        let mut sim = Simulation::new(&net, &ods, quick_cfg(2)).unwrap();
+        assert!(sim.run(&TodTensor::zeros(3, 2)).is_err());
+        assert!(sim.run(&TodTensor::zeros(ods.len(), 5)).is_err());
+    }
+
+    #[test]
+    fn time_dependent_routing_runs() {
+        let (net, ods) = setup();
+        let tod = TodTensor::filled(ods.len(), 2, 2.0);
+        let out = Simulation::new(
+            &net,
+            &ods,
+            quick_cfg(2).with_routing(RoutingPolicy::TimeDependent),
+        )
+        .unwrap()
+        .run(&tod)
+        .unwrap();
+        assert!(out.stats.spawned > 0);
+        assert!(out.stats.is_conserved());
+    }
+
+    #[test]
+    fn speeds_never_exceed_limits() {
+        let (net, ods) = setup();
+        let tod = TodTensor::filled(ods.len(), 2, 5.0);
+        let out = Simulation::new(&net, &ods, quick_cfg(2))
+            .unwrap()
+            .run(&tod)
+            .unwrap();
+        for l in net.links() {
+            for t in 0..2 {
+                assert!(out.speed.get(l.id, t) <= l.speed_limit_mps + 1e-9);
+                assert!(out.speed.get(l.id, t) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn reusing_simulation_is_consistent() {
+        let (net, ods) = setup();
+        let tod = TodTensor::filled(ods.len(), 2, 2.0);
+        let mut sim = Simulation::new(&net, &ods, quick_cfg(2)).unwrap();
+        let a = sim.run(&tod).unwrap();
+        let b = sim.run(&tod).unwrap();
+        assert_eq!(a.volume, b.volume, "route cache must not change results");
+        assert_eq!(a.speed, b.speed);
+    }
+
+    #[test]
+    fn stats_travel_time_sane() {
+        let (net, ods) = setup();
+        let tod = TodTensor::filled(ods.len(), 2, 1.0);
+        let out = Simulation::new(&net, &ods, quick_cfg(2))
+            .unwrap()
+            .run(&tod)
+            .unwrap();
+        if out.stats.arrived > 0 {
+            let mtt = out.stats.mean_travel_time_s();
+            assert!(mtt > 0.0 && mtt < 3600.0, "mean travel time {mtt}");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! What-if analysis — the paper's motivating application (§I): once the
+//! TOD is recovered, the rebuilt traffic system can answer questions
+//! prediction-from-history cannot, e.g. "what happens to travel times if
+//! these roads close for construction?".
+//!
+//! We recover the TOD from speed, then re-simulate it under a road-work
+//! scenario that never occurred in the data.
+//!
+//! Run: `cargo run --release --example what_if`
+
+use city_od::datagen::dataset::DatasetSpec;
+use city_od::datagen::{Dataset, TodPattern};
+use city_od::eval::harness::{run_method, DatasetInput};
+use city_od::ovs_core::trainer::OvsEstimator;
+use city_od::ovs_core::OvsConfig;
+use city_od::simulator::{LinkDisruption, Scenario, Simulation};
+use city_od::roadnet::LinkId;
+
+fn main() {
+    let spec = DatasetSpec {
+        t: 6,
+        interval_s: 300.0,
+        train_samples: 6,
+        demand_scale: 0.15,
+        seed: 3,
+    };
+    let ds = Dataset::synthetic(TodPattern::Gaussian, &spec).expect("dataset builds");
+
+    // 1. Recover the demand from the observed speeds.
+    let owned = DatasetInput::new(&ds);
+    let input = owned.input(&ds, false);
+    let mut ovs = OvsEstimator::new(OvsConfig {
+        lstm_hidden: 16,
+        ..OvsConfig::default()
+    });
+    let (res, recovered) = run_method(&mut ovs, &ds, &input).expect("OVS runs");
+    println!("recovered TOD (RMSE {:.2}) — now asking: what if we close two roads?", res.rmse.tod);
+
+    // 2. Re-simulate the recovered demand under road work on two central
+    //    links that was never present in the observation.
+    let closures = vec![
+        LinkDisruption::road_work(LinkId(4)),
+        LinkDisruption::road_work(LinkId(9)),
+    ];
+    let baseline = Simulation::new(&ds.net, &ds.ods, ds.sim_config.clone())
+        .expect("sim builds")
+        .run(&recovered)
+        .expect("sim runs");
+    let what_if = Simulation::with_scenario(
+        &ds.net,
+        &ds.ods,
+        ds.sim_config.clone(),
+        Scenario::with_disruptions(closures),
+    )
+    .expect("sim builds")
+    .run(&recovered)
+    .expect("sim runs");
+
+    let mean = |t: &city_od::roadnet::LinkTensor| t.total() / t.as_slice().len() as f64;
+    println!("\n                      today      with road work");
+    println!(
+        "mean link speed   {:>8.2} m/s {:>10.2} m/s",
+        mean(&baseline.speed),
+        mean(&what_if.speed)
+    );
+    println!(
+        "mean travel time  {:>8.0} s   {:>10.0} s",
+        baseline.stats.mean_travel_time_s(),
+        what_if.stats.mean_travel_time_s()
+    );
+    let delay = what_if.stats.mean_travel_time_s() - baseline.stats.mean_travel_time_s();
+    println!("\npredicted impact: +{delay:.0}s per trip — computable only because the\nTOD (not just historical speed) was recovered.");
+}

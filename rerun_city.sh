@@ -1,0 +1,6 @@
+#!/bin/bash
+set -u
+for bin in table06_real table07_runtime table10_casestudy fig10_census fig12_hangzhou fig13_football robustness_seeds; do
+  echo "=== $bin ==="
+  CITYOD_PROFILE=quick cargo run --release -p bench --bin "$bin" 2>&1 | tee "results/logs/$bin.txt"
+done

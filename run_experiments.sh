@@ -1,0 +1,10 @@
+#!/bin/bash
+# Regenerates every paper table/figure. CITYOD_PROFILE controls cost.
+set -u
+PROFILE="${CITYOD_PROFILE:-standard}"
+BINS="table03_datasets table04_config table08_synthetic table09_ablation table06_real table07_runtime table10_casestudy fig09_scalability fig10_census fig11_roadwork fig12_hangzhou fig13_football ablation_design robustness_seeds table06_aux"
+for bin in $BINS; do
+  echo "=== $bin (profile=$PROFILE) ==="
+  CITYOD_PROFILE=$PROFILE cargo run --release -p bench --bin "$bin" 2>&1 | tee "results/logs/$bin.txt"
+  echo
+done

@@ -1,0 +1,243 @@
+//! `cityod` — command-line front end for the city-od workspace.
+//!
+//! ```text
+//! cityod networks                         list available road networks
+//! cityod simulate <net> [--t N] [--demand F] [--seed S]
+//! cityod recover  <net> [--method M] [--t N] [--demand F] [--seed S] [--aux]
+//! cityod checkpoint <net> <path>          train OVS and save its weights
+//! ```
+//!
+//! Networks: `grid3x3`, `hangzhou`, `porto`, `manhattan`, `state_college`.
+//! Methods: `ovs` (default), `gravity`, `genetic`, `gls`, `em`, `nn`,
+//! `lstm`, or `all`.
+
+use city_od::baselines;
+use city_od::datagen::dataset::DatasetSpec;
+use city_od::datagen::{Dataset, TodPattern};
+use city_od::eval::harness::{run_method, DatasetInput};
+use city_od::eval::{default_methods, tables};
+use city_od::ovs_core::trainer::{OvsEstimator, OvsTrainer};
+use city_od::ovs_core::{OvsConfig, TodEstimator};
+use city_od::roadnet::presets;
+use std::process::ExitCode;
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+    switches: std::collections::HashSet<String>,
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut switches = std::collections::HashSet::new();
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(name.to_string(), it.next().expect("peeked"));
+                }
+                _ => {
+                    switches.insert(name.to_string());
+                }
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+    Args {
+        positional,
+        flags,
+        switches,
+    }
+}
+
+impl Args {
+    fn flag_f64(&self, name: &str, default: f64) -> f64 {
+        self.flags
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+    fn flag_usize(&self, name: &str, default: usize) -> usize {
+        self.flags
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  cityod networks\n  cityod simulate <net> [--t N] [--demand F] [--seed S]\n  cityod recover <net> [--method ovs|gravity|genetic|gls|em|nn|lstm|all] [--t N] [--demand F] [--seed S] [--aux]\n  cityod checkpoint <net> <path.json> [--t N] [--demand F] [--seed S]\nnetworks: grid3x3 hangzhou porto manhattan state_college"
+    );
+    ExitCode::from(2)
+}
+
+fn build_dataset(net_name: &str, spec: &DatasetSpec) -> Option<Dataset> {
+    let ds = match net_name {
+        "grid3x3" => Dataset::synthetic(TodPattern::Gaussian, spec),
+        "hangzhou" => Dataset::city(presets::hangzhou(), spec),
+        "porto" => Dataset::city(presets::porto(), spec),
+        "manhattan" => Dataset::city(presets::manhattan(), spec),
+        "state_college" => Dataset::city(presets::state_college(), spec),
+        other => {
+            eprintln!("unknown network '{other}'");
+            return None;
+        }
+    };
+    match ds {
+        Ok(ds) => Some(ds),
+        Err(e) => {
+            eprintln!("failed to build dataset: {e}");
+            None
+        }
+    }
+}
+
+fn method_by_name(name: &str, seed: u64, ovs: OvsConfig) -> Option<Box<dyn TodEstimator>> {
+    Some(match name {
+        "ovs" => Box::new(OvsEstimator::new(ovs)),
+        "gravity" => Box::new(baselines::GravityEstimator::new()),
+        "genetic" => Box::new(baselines::GeneticEstimator::new(seed)),
+        "gls" => Box::new(baselines::GlsEstimator::new(seed)),
+        "em" => Box::new(baselines::EmEstimator::new()),
+        "nn" => Box::new(baselines::NnEstimator::new(seed)),
+        "lstm" => Box::new(baselines::LstmEstimator::new(seed)),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let Some(cmd) = args.positional.first().map(String::as_str) else {
+        return usage();
+    };
+    match cmd {
+        "networks" => {
+            println!("{:<15} {:>13} {:>8} {:>9}", "network", "intersections", "roads", "regions");
+            let grid = presets::synthetic_grid();
+            println!(
+                "{:<15} {:>13} {:>8} {:>9}",
+                "grid3x3",
+                grid.num_nodes(),
+                grid.num_roads(),
+                grid.num_regions()
+            );
+            for c in presets::all_cities() {
+                println!(
+                    "{:<15} {:>13} {:>8} {:>9}",
+                    c.name.to_lowercase().replace(' ', "_"),
+                    c.network.num_nodes(),
+                    c.network.num_roads(),
+                    c.network.num_regions()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "simulate" | "recover" | "checkpoint" => {
+            let Some(net_name) = args.positional.get(1) else {
+                return usage();
+            };
+            let spec = DatasetSpec {
+                t: args.flag_usize("t", 6),
+                interval_s: args.flag_f64("interval", 300.0),
+                train_samples: args.flag_usize("train", 6),
+                demand_scale: args.flag_f64("demand", 0.15),
+                seed: args.flag_usize("seed", 7) as u64,
+            };
+            let Some(ds) = build_dataset(net_name, &spec) else {
+                return ExitCode::FAILURE;
+            };
+            let ovs_cfg = OvsConfig {
+                lstm_hidden: 16,
+                seed: spec.seed,
+                ..OvsConfig::default()
+            };
+            match cmd {
+                "simulate" => {
+                    println!(
+                        "{}: {} links, {} OD pairs, {:.0} trips demanded",
+                        ds.name,
+                        ds.n_links(),
+                        ds.n_od(),
+                        ds.groundtruth_tod.total()
+                    );
+                    let mean_speed =
+                        ds.observed_speed.total() / ds.observed_speed.as_slice().len() as f64;
+                    println!("observed mean speed: {mean_speed:.2} m/s");
+                    for ti in 0..ds.n_intervals() {
+                        let mut s = 0.0;
+                        for j in 0..ds.n_links() {
+                            s += ds.observed_speed.get(city_od::roadnet::LinkId(j), ti);
+                        }
+                        println!("  interval {ti}: mean speed {:.2} m/s", s / ds.n_links() as f64);
+                    }
+                    ExitCode::SUCCESS
+                }
+                "recover" => {
+                    let owned = DatasetInput::new(&ds);
+                    let with_aux = args.switches.contains("aux");
+                    let input = owned.input(&ds, with_aux);
+                    let method = args
+                        .flags
+                        .get("method")
+                        .map(String::as_str)
+                        .unwrap_or("ovs");
+                    let mut results = Vec::new();
+                    if method == "all" {
+                        for mut m in default_methods(ovs_cfg, spec.seed) {
+                            match run_method(m.as_mut(), &ds, &input) {
+                                Ok((r, _)) => results.push(r),
+                                Err(e) => eprintln!("{} failed: {e}", m.name()),
+                            }
+                        }
+                    } else {
+                        let Some(mut m) = method_by_name(method, spec.seed, ovs_cfg) else {
+                            eprintln!("unknown method '{method}'");
+                            return ExitCode::FAILURE;
+                        };
+                        match run_method(m.as_mut(), &ds, &input) {
+                            Ok((r, _)) => results.push(r),
+                            Err(e) => {
+                                eprintln!("{method} failed: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    println!("{}", tables::render_comparison(&ds.name, &results));
+                    ExitCode::SUCCESS
+                }
+                _ => {
+                    // checkpoint
+                    let Some(path) = args.positional.get(2) else {
+                        return usage();
+                    };
+                    let owned = DatasetInput::new(&ds);
+                    let input = owned.input(&ds, false);
+                    let trainer = OvsTrainer::new(ovs_cfg);
+                    match trainer.run(&input) {
+                        Ok((mut model, report)) => {
+                            let json = model.weights_to_json();
+                            if let Err(e) = std::fs::write(path, json) {
+                                eprintln!("write failed: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                            println!(
+                                "trained OVS (final fit loss {:.4}), checkpoint -> {path}",
+                                report.final_fit().unwrap_or(f64::NAN)
+                            );
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("training failed: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,13 @@
+//! # city-od — facade crate
+//!
+//! Re-exports the full public API of the *Rebuilding City-Wide Traffic
+//! Origin Destination from Road Speed Data* (ICDE 2021) reproduction. See
+//! the README for a tour and `examples/` for runnable entry points.
+
+pub use baselines;
+pub use datagen;
+pub use eval;
+pub use neural;
+pub use ovs_core;
+pub use roadnet;
+pub use simulator;

@@ -1,0 +1,66 @@
+//! End-to-end determinism: every stage of the pipeline is reproducible
+//! from its seeds — a hard requirement for the recorded EXPERIMENTS.md
+//! numbers to be re-derivable.
+
+use city_od::datagen::dataset::{simulate, DatasetSpec};
+use city_od::datagen::{Dataset, TodPattern};
+use city_od::eval::harness::{run_method, DatasetInput};
+use city_od::ovs_core::trainer::OvsEstimator;
+use city_od::ovs_core::OvsConfig;
+
+fn spec(seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        t: 3,
+        interval_s: 120.0,
+        train_samples: 3,
+        demand_scale: 0.15,
+        seed,
+    }
+}
+
+#[test]
+fn dataset_assembly_is_deterministic() {
+    let a = Dataset::synthetic(TodPattern::Poisson, &spec(9)).unwrap();
+    let b = Dataset::synthetic(TodPattern::Poisson, &spec(9)).unwrap();
+    assert_eq!(a.groundtruth_tod, b.groundtruth_tod);
+    assert_eq!(a.observed_speed, b.observed_speed);
+    assert_eq!(a.census.as_slice(), b.census.as_slice());
+    let c = Dataset::synthetic(TodPattern::Poisson, &spec(10)).unwrap();
+    assert_ne!(a.groundtruth_tod, c.groundtruth_tod);
+}
+
+#[test]
+fn simulation_replay_matches_dataset() {
+    let ds = Dataset::synthetic(TodPattern::Increasing, &spec(4)).unwrap();
+    for sample in &ds.train {
+        let out = simulate(&ds.net, &ds.ods, &ds.sim_config, &sample.tod).unwrap();
+        assert_eq!(out.volume, sample.volume);
+        assert_eq!(out.speed, sample.speed);
+    }
+}
+
+#[test]
+fn ovs_estimate_is_deterministic() {
+    let ds = Dataset::synthetic(TodPattern::Gaussian, &spec(2)).unwrap();
+    let owned = DatasetInput::new(&ds);
+    let input = owned.input(&ds, false);
+    let run = || {
+        let mut est = OvsEstimator::new(OvsConfig::tiny().with_seed(3));
+        run_method(&mut est, &ds, &input).unwrap().1
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn baselines_are_deterministic() {
+    let ds = Dataset::synthetic(TodPattern::Random, &spec(6)).unwrap();
+    let owned = DatasetInput::new(&ds);
+    let input = owned.input(&ds, false);
+    for maker in [0usize, 1, 2, 3, 4, 5] {
+        let run = || {
+            let mut methods = city_od::baselines::all_baselines(11);
+            methods[maker].estimate(&input).unwrap()
+        };
+        assert_eq!(run(), run(), "baseline {maker} must be deterministic");
+    }
+}

@@ -1,0 +1,80 @@
+//! Cross-crate integration: the full paper pipeline from dataset assembly
+//! through estimation to metrics.
+
+use city_od::datagen::dataset::DatasetSpec;
+use city_od::datagen::{Dataset, TodPattern};
+use city_od::eval::harness::{improvement, run_method, DatasetInput};
+use city_od::eval::metrics::evaluate_tod;
+use city_od::eval::{compare, default_methods};
+use city_od::ovs_core::OvsConfig;
+
+fn tiny_spec() -> DatasetSpec {
+    DatasetSpec {
+        t: 4,
+        interval_s: 120.0,
+        train_samples: 4,
+        demand_scale: 0.15,
+        seed: 5,
+    }
+}
+
+fn tiny_ovs() -> OvsConfig {
+    OvsConfig::tiny()
+}
+
+#[test]
+fn full_comparison_produces_finite_results_for_every_method() {
+    let ds = Dataset::synthetic(TodPattern::Gaussian, &tiny_spec()).unwrap();
+    let results = compare(&ds, tiny_ovs(), 5, false).unwrap();
+    assert_eq!(results.len(), 7, "six baselines + OVS");
+    for r in &results {
+        assert!(r.rmse.is_finite(), "{}", r.name);
+        assert!(r.seconds >= 0.0);
+    }
+    assert_eq!(results.last().unwrap().name, "OVS");
+    assert!(improvement(&results).is_some());
+}
+
+#[test]
+fn metrics_rank_better_estimates_higher() {
+    let ds = Dataset::synthetic(TodPattern::Random, &tiny_spec()).unwrap();
+    // Ground truth beats a scaled copy beats zeros.
+    let exact = evaluate_tod(&ds, &ds.groundtruth_tod).unwrap();
+    let mut scaled = ds.groundtruth_tod.clone();
+    scaled.scale(1.3);
+    let off = evaluate_tod(&ds, &scaled).unwrap();
+    let zero = evaluate_tod(
+        &ds,
+        &city_od::roadnet::TodTensor::zeros(ds.n_od(), ds.n_intervals()),
+    )
+    .unwrap();
+    assert_eq!(exact.tod, 0.0);
+    assert!(off.tod > 0.0 && off.tod < zero.tod);
+}
+
+#[test]
+fn city_pipeline_runs_end_to_end_with_aux_data() {
+    let ds = Dataset::city(city_od::roadnet::presets::state_college(), &tiny_spec()).unwrap();
+    let owned = DatasetInput::new(&ds);
+    let input = owned.input(&ds, true);
+    assert!(input.census_totals.is_some());
+    assert!(input.cameras.is_some());
+    let mut ovs = city_od::ovs_core::trainer::OvsEstimator::new(
+        tiny_ovs().with_aux_weights(0.1, 0.1),
+    );
+    let (res, tod) = run_method(&mut ovs, &ds, &input).unwrap();
+    assert!(res.rmse.is_finite());
+    assert!(tod.is_non_negative());
+}
+
+#[test]
+fn method_lineup_is_stable() {
+    let names: Vec<String> = default_methods(tiny_ovs(), 0)
+        .iter()
+        .map(|m| m.name().to_string())
+        .collect();
+    assert_eq!(
+        names,
+        ["Gravity", "Genetic", "GLS", "EM", "NN", "LSTM", "OVS"]
+    );
+}
