@@ -54,7 +54,7 @@ impl EmEstimator {
 }
 
 impl TodEstimator for EmEstimator {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "EM"
     }
 
@@ -92,23 +92,22 @@ impl TodEstimator for EmEstimator {
                 for i in 0..n {
                     g_snap.set(r, i, gm.get(i, ti));
                 }
-                for j in 0..m {
-                    d_snap.set(r, j, (v_free[j] - vm.get(j, ti)).max(0.0));
+                for (j, &vf) in v_free.iter().enumerate() {
+                    d_snap.set(r, j, (vf - vm.get(j, ti)).max(0.0));
                 }
             }
         }
 
         // Influence matrix B: deficit = g @ B, B is (n, m).
-        let b = ridge(&g_snap, &d_snap, self.lambda_b).ok_or_else(|| {
-            RoadnetError::InvalidSpec("influence-matrix solve failed".into())
-        })?;
+        let b = ridge(&g_snap, &d_snap, self.lambda_b)
+            .ok_or_else(|| RoadnetError::InvalidSpec("influence-matrix solve failed".into()))?;
 
         // Observed deficits per interval.
         let v_obs = link_to_matrix(input.observed_speed); // (m, t)
         let mut d_obs = Matrix::zeros(t, m);
         for ti in 0..t {
-            for j in 0..m {
-                d_obs.set(ti, j, (v_free[j] - v_obs.get(j, ti)).max(0.0));
+            for (j, &vf) in v_free.iter().enumerate() {
+                d_obs.set(ti, j, (vf - v_obs.get(j, ti)).max(0.0));
             }
         }
 

@@ -52,7 +52,7 @@ impl GeneticEstimator {
 }
 
 impl TodEstimator for GeneticEstimator {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Genetic"
     }
 
@@ -91,9 +91,7 @@ impl TodEstimator for GeneticEstimator {
                 TodTensor::filled(n, t, mean_cell)
             };
             if k >= input.train.len() {
-                cand.map_inplace(|v| {
-                    (v + rng.normal_with(0.0, mean_cell * 0.5)).max(0.0)
-                });
+                cand.map_inplace(|v| (v + rng.normal_with(0.0, mean_cell * 0.5)).max(0.0));
             }
             pop.push(cand);
         }
@@ -132,9 +130,7 @@ impl TodEstimator for GeneticEstimator {
                     Ok((f, cand))
                 })
                 .collect::<Result<Vec<_>>>()?;
-            scored.sort_by(|a, b| {
-                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
-            });
+            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         }
 
         Ok(scored.remove(0).1)

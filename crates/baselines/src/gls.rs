@@ -103,7 +103,7 @@ fn fit_speed_inverse(q: &Matrix, v: &Matrix) -> Vec<(f64, f64)> {
 }
 
 impl TodEstimator for GlsEstimator {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "GLS"
     }
 
@@ -120,17 +120,15 @@ impl TodEstimator for GlsEstimator {
 
         // 1. assignment matrix: q_row = g_row @ A, A is (n, m).
         let (g_snap, q_snap, v_snap) = snapshots(input);
-        let a = ridge(&g_snap, &q_snap, self.lambda_a).ok_or_else(|| {
-            RoadnetError::InvalidSpec("assignment-matrix solve failed".into())
-        })?;
+        let a = ridge(&g_snap, &q_snap, self.lambda_a)
+            .ok_or_else(|| RoadnetError::InvalidSpec("assignment-matrix solve failed".into()))?;
 
         // 2. invert the observed speeds into volume estimates.
         let inv = fit_speed_inverse(&q_snap, &v_snap);
         let v_obs = link_to_matrix(input.observed_speed); // (m, t)
         let mut q_est = Matrix::zeros(t, m);
         for ti in 0..t {
-            for j in 0..m {
-                let (c0, c1) = inv[j];
+            for (j, &(c0, c1)) in inv.iter().enumerate() {
                 q_est.set(ti, j, (c0 + c1 * v_obs.get(j, ti)).max(0.0));
             }
         }
@@ -158,9 +156,8 @@ impl TodEstimator for GlsEstimator {
                     acc
                 })
                 .collect();
-            let sol = solve(&aat, &rhs).ok_or_else(|| {
-                RoadnetError::InvalidSpec("per-interval TOD solve failed".into())
-            })?;
+            let sol = solve(&aat, &rhs)
+                .ok_or_else(|| RoadnetError::InvalidSpec("per-interval TOD solve failed".into()))?;
             for (i, g) in sol.into_iter().enumerate() {
                 tod.set(OdPairId(i), ti, g.max(0.0));
             }

@@ -79,8 +79,7 @@ impl SpeedCurve {
             .iter()
             .map(|s| {
                 let demand = s.tod.total();
-                let speed =
-                    s.speed.total() / s.speed.as_slice().len().max(1) as f64;
+                let speed = s.speed.total() / s.speed.as_slice().len().max(1) as f64;
                 (demand, speed)
             })
             .collect();
@@ -156,7 +155,7 @@ fn ipf_balance(
 }
 
 impl TodEstimator for GravityEstimator {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Gravity"
     }
 
@@ -176,8 +175,8 @@ impl TodEstimator for GravityEstimator {
         }
         let t = input.n_intervals();
         let curve = SpeedCurve::fit(input);
-        let observed_mean = input.observed_speed.total()
-            / input.observed_speed.as_slice().len().max(1) as f64;
+        let observed_mean =
+            input.observed_speed.total() / input.observed_speed.as_slice().len().max(1) as f64;
 
         // Grid search k: candidate total demand spans the corpus range.
         let max_total = input
@@ -243,7 +242,6 @@ mod tests {
     fn ipf_matches_marginals() {
         use datagen::dataset::DatasetSpec;
         use datagen::{Dataset, TodPattern};
-        use ovs_core::estimator::TrainTriple;
         let spec = DatasetSpec {
             t: 3,
             interval_s: 120.0,
@@ -252,26 +250,14 @@ mod tests {
             seed: 2,
         };
         let ds = Dataset::synthetic(TodPattern::Random, &spec).unwrap();
-        let triples: Vec<TrainTriple> = ds
-            .train
-            .iter()
-            .map(|s| TrainTriple {
-                tod: s.tod.clone(),
-                volume: s.volume.clone(),
-                speed: s.speed.clone(),
-            })
-            .collect();
         let census: Vec<f64> = ds.census.as_slice().to_vec();
-        let input = EstimatorInput {
-            net: &ds.net,
-            ods: &ds.ods,
-            interval_s: 120.0,
-            sim_seed: 2,
-            train: &triples,
-            observed_speed: &ds.observed_speed,
-            census_totals: Some(&census),
-            cameras: None,
-        };
+        let input = EstimatorInput::builder(&ds.net, &ds.ods)
+            .interval_s(120.0)
+            .sim_seed(2)
+            .train(&ds.train)
+            .observed_speed(&ds.observed_speed)
+            .census(&census)
+            .build();
         // Need populations for the gravity weights.
         let weights = vec![1.0; ds.ods.len()];
         let balanced = ipf_balance(&input, &weights, &census, 30);

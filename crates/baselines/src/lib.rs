@@ -52,7 +52,8 @@ mod tests {
 
     #[test]
     fn baseline_names_match_paper_tables() {
-        let names: Vec<&str> = all_baselines(0).iter().map(|b| b.name()).collect();
+        let methods = all_baselines(0);
+        let names: Vec<&str> = methods.iter().map(|b| b.name()).collect();
         assert_eq!(names, ["Gravity", "Genetic", "GLS", "EM", "NN", "LSTM"]);
     }
 }

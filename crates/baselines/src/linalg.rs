@@ -41,6 +41,9 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
             if factor == 0.0 {
                 continue;
             }
+            // Two rows of `m` are read and written in lockstep; an index
+            // loop sidesteps the aliasing dance.
+            #[allow(clippy::needless_range_loop)]
             for c in col..=n {
                 let sub = factor * m[col][c];
                 m[r][c] -= sub;

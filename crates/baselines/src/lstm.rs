@@ -66,7 +66,7 @@ fn tod_to_seq(g: &Matrix, scale: f64) -> Tensor3 {
 }
 
 impl TodEstimator for LstmEstimator {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "LSTM"
     }
 

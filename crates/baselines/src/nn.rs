@@ -45,7 +45,7 @@ impl NnEstimator {
 }
 
 impl TodEstimator for NnEstimator {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "NN"
     }
 

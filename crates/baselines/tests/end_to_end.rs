@@ -18,35 +18,19 @@ fn tiny_dataset() -> Dataset {
     Dataset::synthetic(TodPattern::Gaussian, &spec).unwrap()
 }
 
-fn triples(ds: &Dataset) -> Vec<TrainTriple> {
-    ds.train
-        .iter()
-        .map(|s| TrainTriple {
-            tod: s.tod.clone(),
-            volume: s.volume.clone(),
-            speed: s.speed.clone(),
-        })
-        .collect()
-}
-
 fn input<'a>(ds: &'a Dataset, tr: &'a [TrainTriple]) -> EstimatorInput<'a> {
-    EstimatorInput {
-        net: &ds.net,
-        ods: &ds.ods,
-        interval_s: ds.sim_config.interval_s,
-        sim_seed: ds.sim_config.seed,
-        train: tr,
-        observed_speed: &ds.observed_speed,
-        census_totals: None,
-        cameras: None,
-    }
+    EstimatorInput::builder(&ds.net, &ds.ods)
+        .interval_s(ds.sim_config.interval_s)
+        .sim_seed(ds.sim_config.seed)
+        .train(tr)
+        .observed_speed(&ds.observed_speed)
+        .build()
 }
 
 #[test]
 fn every_baseline_produces_valid_tod() {
     let ds = tiny_dataset();
-    let tr = triples(&ds);
-    let inp = input(&ds, &tr);
+    let inp = input(&ds, &ds.train);
     for mut b in all_baselines(3) {
         let tod = b
             .estimate(&inp)
@@ -55,21 +39,24 @@ fn every_baseline_produces_valid_tod() {
         assert_eq!(tod.num_intervals(), 4, "{}", b.name());
         assert!(tod.is_finite(), "{}", b.name());
         assert!(tod.is_non_negative(), "{}", b.name());
-        assert!(tod.total() > 0.0, "{} must not predict zero demand", b.name());
+        assert!(
+            tod.total() > 0.0,
+            "{} must not predict zero demand",
+            b.name()
+        );
     }
 }
 
 #[test]
 fn learned_baselines_beat_zero_guess() {
     let ds = tiny_dataset();
-    let tr = triples(&ds);
-    let inp = input(&ds, &tr);
+    let inp = input(&ds, &ds.train);
     let zero = TodTensor::zeros(ds.n_od(), 4);
     let zero_err = ds.groundtruth_tod.rmse(&zero).unwrap();
     // The regression baselines (NN, LSTM, EM, GLS) should comfortably
     // beat predicting nothing.
     for mut b in all_baselines(3) {
-        let name = b.name();
+        let name = b.name().to_string();
         if name == "Gravity" || name == "Genetic" {
             continue; // structural methods; checked elsewhere
         }
@@ -87,7 +74,7 @@ fn baselines_without_corpus_fail_cleanly() {
     let ds = tiny_dataset();
     let inp = input(&ds, &[]);
     for mut b in all_baselines(0) {
-        let name = b.name();
+        let name = b.name().to_string();
         if name == "Gravity" || name == "Genetic" {
             continue; // these tolerate an empty corpus
         }
@@ -107,8 +94,7 @@ fn gravity_reflects_population_structure() {
         seed: 4,
     };
     let ds = Dataset::city(roadnet::presets::state_college(), &spec).unwrap();
-    let tr = triples(&ds);
-    let inp = input(&ds, &tr);
+    let inp = input(&ds, &ds.train);
     let mut grav = baselines::GravityEstimator::new();
     let tod = grav.estimate(&inp).unwrap();
     // Constant over time.
@@ -119,11 +105,7 @@ fn gravity_reflects_population_structure() {
         }
     }
     // Row totals ordered like the gravity weights: spot-check extremes.
-    let totals: Vec<f64> = ds
-        .ods
-        .iter()
-        .map(|(id, _)| tod.row_total(id))
-        .collect();
+    let totals: Vec<f64> = ds.ods.iter().map(|(id, _)| tod.row_total(id)).collect();
     let max = totals.iter().cloned().fold(f64::MIN, f64::max);
     let min = totals.iter().cloned().fold(f64::MAX, f64::min);
     assert!(max > min, "gravity must differentiate OD pairs");
@@ -134,8 +116,7 @@ fn genetic_final_candidate_fits_speed_well() {
     // The GA's winner must fit the observed speed better than an average
     // corpus tensor does.
     let ds = tiny_dataset();
-    let tr = triples(&ds);
-    let inp = input(&ds, &tr);
+    let inp = input(&ds, &ds.train);
     let mut gen = baselines::GeneticEstimator::new(3).with_budget(8, 5);
     let tod = gen.estimate(&inp).unwrap();
     let fit = |t: &TodTensor| {
@@ -146,8 +127,7 @@ fn genetic_final_candidate_fits_speed_well() {
             .unwrap()
     };
     let winner = fit(&tod);
-    let corpus_avg: f64 =
-        tr.iter().map(|s| fit(&s.tod)).sum::<f64>() / tr.len() as f64;
+    let corpus_avg: f64 = ds.train.iter().map(|s| fit(&s.tod)).sum::<f64>() / ds.train.len() as f64;
     assert!(
         winner <= corpus_avg + 1e-9,
         "GA winner {winner} must beat the corpus average {corpus_avg}"
@@ -159,9 +139,8 @@ fn nn_and_lstm_fit_training_distribution() {
     // Applied to a *training* sample's speed, the learned inverses should
     // recover that sample's TOD far better than the zero guess.
     let ds = tiny_dataset();
-    let tr = triples(&ds);
     let sample = &ds.train[0];
-    let mut inp = input(&ds, &tr);
+    let mut inp = input(&ds, &ds.train);
     inp.observed_speed = &sample.speed;
     for name in ["NN", "LSTM"] {
         let mut m: Box<dyn ovs_core::TodEstimator> = if name == "NN" {
@@ -188,7 +167,6 @@ fn em_recovers_scaled_training_scenario() {
     // heavy corpus sample yields a heavier TOD estimate than feeding the
     // speed of a light one.
     let ds = tiny_dataset();
-    let tr = triples(&ds);
     let (mut light_idx, mut heavy_idx) = (0usize, 0usize);
     for (k, s) in ds.train.iter().enumerate() {
         if s.tod.total() < ds.train[light_idx].tod.total() {
@@ -199,12 +177,12 @@ fn em_recovers_scaled_training_scenario() {
         }
     }
     let mut est_light = baselines::EmEstimator::new();
-    let mut inp_l = input(&ds, &tr);
+    let mut inp_l = input(&ds, &ds.train);
     inp_l.observed_speed = &ds.train[light_idx].speed;
     let tod_l = est_light.estimate(&inp_l).unwrap();
 
     let mut est_heavy = baselines::EmEstimator::new();
-    let mut inp_h = input(&ds, &tr);
+    let mut inp_h = input(&ds, &ds.train);
     inp_h.observed_speed = &ds.train[heavy_idx].speed;
     let tod_h = est_heavy.estimate(&inp_h).unwrap();
 

@@ -1,0 +1,47 @@
+//! Parallel data-generation throughput: `Dataset::assemble` builds its
+//! training corpus with one independent RNG stream and one simulation
+//! clone per sample, so the corpus parallelises perfectly. This bench
+//! pins the pool to 1 and 4 workers on the same spec — the acceptance
+//! bar for the parallel layer is >= 2x on 4 threads with bit-identical
+//! output (asserted in `datagen/tests/parallel_determinism.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::dataset::DatasetSpec;
+use datagen::{Dataset, TodPattern};
+use roadnet::Parallelism;
+
+fn spec() -> DatasetSpec {
+    DatasetSpec {
+        t: 4,
+        interval_s: 120.0,
+        train_samples: 16,
+        demand_scale: 0.05,
+        seed: 7,
+    }
+}
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+
+    let spec = spec();
+    group.bench_function("assemble_16_samples_serial", |b| {
+        b.iter(|| {
+            Parallelism::Serial
+                .run(|| Dataset::synthetic(TodPattern::Gaussian, &spec))
+                .unwrap()
+        });
+    });
+    group.bench_function("assemble_16_samples_4_threads", |b| {
+        b.iter(|| {
+            Parallelism::Threads(4)
+                .run(|| Dataset::synthetic(TodPattern::Gaussian, &spec))
+                .unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_datagen);
+criterion_main!(benches);

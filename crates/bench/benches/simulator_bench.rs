@@ -13,7 +13,9 @@ fn bench_simulator(c: &mut Criterion) {
     let grid = synthetic_grid();
     let grid_ods = OdSet::all_pairs(&grid);
     let grid_tod = TodTensor::filled(grid_ods.len(), 4, 5.0);
-    let cfg = SimConfig::default().with_intervals(4).with_interval_s(300.0);
+    let cfg = SimConfig::default()
+        .with_intervals(4)
+        .with_interval_s(300.0);
     group.bench_function("grid3x3_20min", |b| {
         let mut sim = Simulation::new(&grid, &grid_ods, cfg.clone()).unwrap();
         b.iter(|| sim.run(&grid_tod).unwrap());

@@ -24,15 +24,48 @@ fn main() {
     let base = profile.ovs.clone();
     let variants: Vec<(String, OvsConfig)> = vec![
         ("default".into(), base.clone()),
-        ("prior off (w_prior=0)".into(), OvsConfig { w_prior: 0.0, ..base.clone() }),
-        ("prior strong (w_prior=1)".into(), OvsConfig { w_prior: 1.0, ..base.clone() }),
-        ("single fit (restarts=1)".into(), OvsConfig { fit_restarts: 1, ..base.clone() }),
+        (
+            "prior off (w_prior=0)".into(),
+            OvsConfig {
+                w_prior: 0.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "prior strong (w_prior=1)".into(),
+            OvsConfig {
+                w_prior: 1.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "single fit (restarts=1)".into(),
+            OvsConfig {
+                fit_restarts: 1,
+                ..base.clone()
+            },
+        ),
         (
             "no volume anchor (s2 speed-only)".into(),
-            OvsConfig { w_volume_stage2: 0.0, ..base.clone() },
+            OvsConfig {
+                w_volume_stage2: 0.0,
+                ..base.clone()
+            },
         ),
-        ("multi-route (k=2)".into(), OvsConfig { k_routes: 2, ..base.clone() }),
-        ("Eq.3 OD-Route FC on".into(), OvsConfig { od_route_fc: true, ..base.clone() }),
+        (
+            "multi-route (k=2)".into(),
+            OvsConfig {
+                k_routes: 2,
+                ..base.clone()
+            },
+        ),
+        (
+            "Eq.3 OD-Route FC on".into(),
+            OvsConfig {
+                od_route_fc: true,
+                ..base.clone()
+            },
+        ),
     ];
 
     let mut report = ExperimentReport::new("ablation_design", "Design-choice ablations");
@@ -58,6 +91,8 @@ fn main() {
     }
 
     report.notes = format!("profile={}, dataset={}", profile.name, ds.name);
-    let path = report.write_json(bench::results_dir()).expect("report written");
+    let path = report
+        .write_json(bench::results_dir())
+        .expect("report written");
     println!("# report -> {}", path.display());
 }

@@ -20,12 +20,14 @@ fn main() {
         .iter()
         .fold(0.0f64, |a, &b| a.max(b));
     println!("groundtruth TOD: mean {gt_mean:.2}, max {gt_max:.2}");
-    let obs_mean =
-        ds.observed_speed.total() / ds.observed_speed.as_slice().len() as f64;
+    let obs_mean = ds.observed_speed.total() / ds.observed_speed.as_slice().len() as f64;
     println!("observed speed: mean {obs_mean:.2}");
 
     let cfg = profile.ovs.clone();
-    println!("cfg: g_max={}, epochs {}/{}/{}", cfg.g_max, cfg.epochs_v2s, cfg.epochs_tod2v, cfg.epochs_fit);
+    println!(
+        "cfg: g_max={}, epochs {}/{}/{}",
+        cfg.g_max, cfg.epochs_v2s, cfg.epochs_tod2v, cfg.epochs_fit
+    );
     let trainer = OvsTrainer::new(cfg);
     let (mut model, report) = trainer.run(&input).unwrap();
     let trace = |name: &str, l: &[f64]| {
@@ -75,11 +77,23 @@ fn main() {
                     }
                 }
             }
-            println!("sample0 q_delta vs q_target RMSE: {:.2}", rmse(&q_delta, &q_target));
+            println!(
+                "sample0 q_delta vs q_target RMSE: {:.2}",
+                rmse(&q_delta, &q_target)
+            );
         }
-        println!("sample0 q_pred vs q_target RMSE: {:.2}", rmse(&q_pred, &q_target));
-        println!("sample0 v(model q) vs v_target RMSE: {:.2}", rmse(&v_pred_model, &v_target));
-        println!("sample0 v(true q) vs v_target RMSE: {:.2}", rmse(&v_pred_truevol, &v_target));
+        println!(
+            "sample0 q_pred vs q_target RMSE: {:.2}",
+            rmse(&q_pred, &q_target)
+        );
+        println!(
+            "sample0 v(model q) vs v_target RMSE: {:.2}",
+            rmse(&v_pred_model, &v_target)
+        );
+        println!(
+            "sample0 v(true q) vs v_target RMSE: {:.2}",
+            rmse(&v_pred_truevol, &v_target)
+        );
     }
 
     let rec = model.recovered_tod();
@@ -90,5 +104,8 @@ fn main() {
     );
     let tod = matrix_to_tod(&rec);
     let r = evaluate_tod(&ds, &tod).unwrap();
-    println!("RMSE: tod {:.2}, vol {:.2}, speed {:.3}", r.tod, r.volume, r.speed);
+    println!(
+        "RMSE: tod {:.2}, vol {:.2}, speed {:.3}",
+        r.tod, r.volume, r.speed
+    );
 }

@@ -33,7 +33,9 @@ fn main() {
     let mut points = Vec::new();
     for &(rows, cols) in sizes {
         let n = rows * cols;
-        let net = GridSpec::new(rows, cols).with_regions(3, 3).build(profile.seed);
+        let net = GridSpec::new(rows, cols)
+            .with_regions(3, 3)
+            .build(profile.seed);
         let ods = OdSet::all_pairs(&net);
         let mut rng = neural::rng::Rng64::new(profile.seed);
         let gt = datagen::TodPattern::Gaussian.generate(
@@ -64,6 +66,8 @@ fn main() {
         points,
     });
     report.notes = format!("profile={} (reduced horizon)", profile.name);
-    let path = report.write_json(bench::results_dir()).expect("report written");
+    let path = report
+        .write_json(bench::results_dir())
+        .expect("report written");
     println!("# report -> {}", path.display());
 }

@@ -75,6 +75,8 @@ fn main() {
         profile.name,
         best_gap * 100.0
     );
-    let path = report.write_json(bench::results_dir()).expect("report written");
+    let path = report
+        .write_json(bench::results_dir())
+        .expect("report written");
     println!("# report -> {}", path.display());
 }

@@ -72,6 +72,8 @@ fn main() {
     println!("# lower shift = robust to the road-work factor (paper: OVS ~stable, LSTM drifts)");
 
     report.notes = format!("profile={}, obs shift {obs_shift:.3}", profile.name);
-    let path = report.write_json(bench::results_dir()).expect("report written");
+    let path = report
+        .write_json(bench::results_dir())
+        .expect("report written");
     println!("# report -> {}", path.display());
 }

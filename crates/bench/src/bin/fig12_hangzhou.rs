@@ -37,7 +37,10 @@ fn main() {
     let input = owned.input(&ds, false);
     let mut ovs = OvsEstimator::new(profile.ovs.clone());
     let (res, tod) = run_method(&mut ovs, &ds, &input).expect("OVS runs");
-    println!("# OVS RMSE: tod {:.2}, speed {:.3}", res.rmse.tod, res.rmse.speed);
+    println!(
+        "# OVS RMSE: tod {:.2}, speed {:.3}",
+        res.rmse.tod, res.rmse.speed
+    );
 
     let mut report = ExperimentReport::new("fig12", "Figure 12: Hangzhou Sunday TOD");
     for (name, od, truth) in [
@@ -80,6 +83,8 @@ fn main() {
         "profile={}, ab_10_vs_6={ab_10_vs_6:.2}, ba_22_vs_10={ba_22_vs_10:.2}",
         profile.name
     );
-    let path = report.write_json(bench::results_dir()).expect("report written");
+    let path = report
+        .write_json(bench::results_dir())
+        .expect("report written");
     println!("# report -> {}", path.display());
 }

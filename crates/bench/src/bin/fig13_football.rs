@@ -37,7 +37,10 @@ fn main() {
     let input = owned.input(&ds, false);
     let mut ovs = OvsEstimator::new(profile.ovs.clone());
     let (res, tod) = run_method(&mut ovs, &ds, &input).expect("OVS runs");
-    println!("# OVS RMSE: tod {:.2}, speed {:.3}", res.rmse.tod, res.rmse.speed);
+    println!(
+        "# OVS RMSE: tod {:.2}, speed {:.3}",
+        res.rmse.tod, res.rmse.speed
+    );
 
     let mut report = ExperimentReport::new("fig13", "Figure 13: football game TOD");
     let hour = |ti: usize| 6.0 + 6.0 * (ti as f64 + 0.5) / spec.t as f64;
@@ -50,7 +53,12 @@ fn main() {
             .collect();
         println!(
             "{}",
-            tables::render_series(&format!("recovered O{} -> stadium", k + 1), "hour", "trips", &pts)
+            tables::render_series(
+                &format!("recovered O{} -> stadium", k + 1),
+                "hour",
+                "trips",
+                &pts
+            )
         );
         report.series.push(NamedSeries {
             name: format!("recovered O{}", k + 1),
@@ -89,6 +97,8 @@ fn main() {
         totals[2],
         hour(peak_idx)
     );
-    let path = report.write_json(bench::results_dir()).expect("report written");
+    let path = report
+        .write_json(bench::results_dir())
+        .expect("report written");
     println!("# report -> {}", path.display());
 }

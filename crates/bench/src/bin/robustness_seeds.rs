@@ -16,7 +16,10 @@ fn main() {
     let base = profile.spec.clone();
     let agg = compare_multi_seed(
         |seed| {
-            let spec = DatasetSpec { seed, ..base.clone() };
+            let spec = DatasetSpec {
+                seed,
+                ..base.clone()
+            };
             Dataset::synthetic(TodPattern::Gaussian, &spec)
         },
         &seeds,
@@ -27,7 +30,11 @@ fn main() {
 
     println!(
         "{:<10} {:>16} {:>16} {:>16}   ({} seeds)",
-        "Method", "TOD", "vol", "speed", seeds.len()
+        "Method",
+        "TOD",
+        "vol",
+        "speed",
+        seeds.len()
     );
     let mut report = ExperimentReport::new("robustness_seeds", "Multi-seed stability");
     for a in &agg {
@@ -48,6 +55,8 @@ fn main() {
         });
     }
     report.notes = format!("profile={}, seeds={seeds:?}", profile.name);
-    let path = report.write_json(bench::results_dir()).expect("report written");
+    let path = report
+        .write_json(bench::results_dir())
+        .expect("report written");
     println!("# report -> {}", path.display());
 }

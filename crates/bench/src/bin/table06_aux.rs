@@ -36,11 +36,11 @@ fn main() {
             "{:<15} {:>14.2} {:>14.2} {:>14.3} {:>14.3}",
             ds.name, rg.rmse.tod, ro.rmse.tod, rg.rmse.speed, ro.rmse.speed
         );
-        report
-            .comparisons
-            .push((ds.name.clone(), vec![rg, ro]));
+        report.comparisons.push((ds.name.clone(), vec![rg, ro]));
     }
     report.notes = format!("profile={}", profile.name);
-    let path = report.write_json(bench::results_dir()).expect("report written");
+    let path = report
+        .write_json(bench::results_dir())
+        .expect("report written");
     println!("# report -> {}", path.display());
 }

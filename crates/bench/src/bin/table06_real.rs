@@ -15,15 +15,16 @@ fn main() {
         .map(|p| Dataset::city(p, &profile.spec).expect("city dataset builds"))
         .collect();
 
-    let blocks =
-        harness::compare_datasets_parallel(&datasets, &profile.ovs, profile.seed, false)
-            .expect("comparison runs");
+    let blocks = harness::compare_datasets_parallel(&datasets, &profile.ovs, profile.seed, false)
+        .expect("comparison runs");
 
     println!("{}", tables::render_multi(&blocks));
 
     let mut report = ExperimentReport::new("table06", "Table VI: real datasets");
     report.comparisons = blocks;
     report.notes = format!("profile={}", profile.name);
-    let path = report.write_json(bench::results_dir()).expect("report written");
+    let path = report
+        .write_json(bench::results_dir())
+        .expect("report written");
     println!("# report -> {}", path.display());
 }

@@ -29,6 +29,8 @@ fn main() {
         points,
     });
     report.notes = format!("profile={}", profile.name);
-    let path = report.write_json(bench::results_dir()).expect("report written");
+    let path = report
+        .write_json(bench::results_dir())
+        .expect("report written");
     println!("# report -> {}", path.display());
 }

@@ -14,19 +14,16 @@ fn main() {
         .map(|&p| Dataset::synthetic(p, &profile.spec).expect("synthetic dataset builds"))
         .collect();
 
-    let blocks = harness::compare_datasets_parallel(
-        &datasets,
-        &profile.ovs,
-        profile.seed,
-        false,
-    )
-    .expect("comparison runs");
+    let blocks = harness::compare_datasets_parallel(&datasets, &profile.ovs, profile.seed, false)
+        .expect("comparison runs");
 
     println!("{}", tables::render_multi(&blocks));
 
     let mut report = ExperimentReport::new("table08", "Table VIII: synthetic patterns");
     report.comparisons = blocks;
     report.notes = format!("profile={}", profile.name);
-    let path = report.write_json(bench::results_dir()).expect("report written");
+    let path = report
+        .write_json(bench::results_dir())
+        .expect("report written");
     println!("# report -> {}", path.display());
 }

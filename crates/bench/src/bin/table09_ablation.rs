@@ -43,6 +43,8 @@ fn main() {
     let mut report = ExperimentReport::new("table09", "Table IX: ablation");
     report.comparisons.push((ds.name.clone(), results));
     report.notes = format!("profile={}", profile.name);
-    let path = report.write_json(bench::results_dir()).expect("report written");
+    let path = report
+        .write_json(bench::results_dir())
+        .expect("report written");
     println!("# report -> {}", path.display());
 }

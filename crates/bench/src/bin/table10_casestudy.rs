@@ -29,8 +29,14 @@ fn case_dataset(profile: &bench::Profile, which: usize) -> Dataset {
                 40.0 * spec.demand_scale,
                 spec.seed,
             );
-            Dataset::assemble("Case 1 (Hangzhou Sunday)", preset.network, ods, case.tod, &spec)
-                .expect("case dataset builds")
+            Dataset::assemble(
+                "Case 1 (Hangzhou Sunday)",
+                preset.network,
+                ods,
+                case.tod,
+                &spec,
+            )
+            .expect("case dataset builds")
         }
         _ => {
             spec.t = 12;
@@ -43,8 +49,14 @@ fn case_dataset(profile: &bench::Profile, which: usize) -> Dataset {
                 60.0 * spec.demand_scale,
                 spec.seed,
             );
-            Dataset::assemble("Case 2 (football game)", preset.network, ods, case.tod, &spec)
-                .expect("case dataset builds")
+            Dataset::assemble(
+                "Case 2 (football game)",
+                preset.network,
+                ods,
+                case.tod,
+                &spec,
+            )
+            .expect("case dataset builds")
         }
     }
 }
@@ -53,7 +65,10 @@ fn main() {
     let profile = bench::start("table10", "case-study speed fit");
     let mut report = ExperimentReport::new("table10", "Table X: case-study RMSE_speed");
 
-    println!("{:<10} {:>14} {:>14}", "Method", "Case 1 speed", "Case 2 speed");
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "Method", "Case 1 speed", "Case 2 speed"
+    );
     let cases: Vec<Vec<MethodResult>> = [1usize, 2]
         .iter()
         .map(|&which| {
@@ -69,14 +84,16 @@ fn main() {
             results
         })
         .collect();
-    for i in 0..cases[0].len() {
+    for (regular, disrupted) in cases[0].iter().zip(&cases[1]) {
         println!(
             "{:<10} {:>14.3} {:>14.3}",
-            cases[0][i].name, cases[0][i].rmse.speed, cases[1][i].rmse.speed
+            regular.name, regular.rmse.speed, disrupted.rmse.speed
         );
     }
 
     report.notes = format!("profile={}", profile.name);
-    let path = report.write_json(bench::results_dir()).expect("report written");
+    let path = report
+        .write_json(bench::results_dir())
+        .expect("report written");
     println!("# report -> {}", path.display());
 }

@@ -11,7 +11,10 @@ use ovs_core::trainer::OvsEstimator;
 use ovs_core::OvsConfig;
 
 fn envf(k: &str, d: f64) -> f64 {
-    std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+    std::env::var(k)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(d)
 }
 
 fn main() {
@@ -35,7 +38,10 @@ fn main() {
         "demand={demand} prior={} H={} v2s={} fit={}",
         ovs_cfg.w_prior, ovs_cfg.lstm_hidden, ovs_cfg.epochs_v2s, ovs_cfg.epochs_fit
     );
-    println!("{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}", "dataset", "LSTM tod", "EM tod", "OVS tod", "LSTM spd", "EM spd", "OVS spd");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "dataset", "LSTM tod", "EM tod", "OVS tod", "LSTM spd", "EM spd", "OVS spd"
+    );
     let mut datasets: Vec<Dataset> = Vec::new();
     match std::env::var("TUNE_CITY").as_deref() {
         Ok("state_college") => {
@@ -60,7 +66,10 @@ fn main() {
         let (rl, _) = run_method(&mut lstm, &ds, &input).unwrap();
         let mut grav = baselines::GravityEstimator::new();
         let (rg, _) = run_method(&mut grav, &ds, &input).unwrap();
-        print!("grav tod {:.2} vol {:.2} spd {:.3} | ", rg.rmse.tod, rg.rmse.volume, rg.rmse.speed);
+        print!(
+            "grav tod {:.2} vol {:.2} spd {:.3} | ",
+            rg.rmse.tod, rg.rmse.volume, rg.rmse.speed
+        );
         let mut em = baselines::EmEstimator::new();
         let (re, _) = run_method(&mut em, &ds, &input).unwrap();
         let mut ovs = OvsEstimator::new(ovs_cfg.clone());

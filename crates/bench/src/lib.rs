@@ -108,11 +108,14 @@ pub fn results_dir() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("results"))
 }
 
-/// Standard preamble: prints the experiment header and returns the
-/// profile.
+/// Standard preamble: pins the worker-thread count (`CITYOD_THREADS`,
+/// defaulting to the machine's core count), prints the experiment header
+/// and returns the profile.
 pub fn start(id: &str, title: &str) -> Profile {
+    let workers = roadnet::parallel::init_global(None);
     let profile = Profile::from_env();
     println!("# {id}: {title}");
+    println!("# threads = {workers}");
     println!(
         "# profile = {} (t={}, interval={}s, train={}, demand={}, ovs epochs {}/{}/{})",
         profile.name,

@@ -88,7 +88,7 @@ impl CameraObservations {
     ) -> Self {
         let m = groundtruth_volume.rows();
         let count = count.min(m);
-        let stride = if count == 0 { 1 } else { (m / count).max(1) };
+        let stride = m.checked_div(count).map_or(1, |s| s.max(1));
         let links: Vec<LinkId> = (0..m).step_by(stride).take(count).map(LinkId).collect();
         let volumes = links
             .iter()
@@ -141,7 +141,11 @@ mod tests {
         let t = tod();
         let mut rng = Rng64::new(0);
         let c = CensusOdTotals::from_groundtruth(&t, 0.05, &mut rng);
-        for (n, e) in c.as_slice().iter().zip(CensusOdTotals::exact(&t).as_slice()) {
+        for (n, e) in c
+            .as_slice()
+            .iter()
+            .zip(CensusOdTotals::exact(&t).as_slice())
+        {
             assert!(*n >= 0.0);
             if *e > 0.0 {
                 assert!((n - e).abs() / e < 0.3, "noisy {n} vs exact {e}");

@@ -186,7 +186,10 @@ mod tests {
         assert!(sunday_a_to_b(10.0) > sunday_a_to_b(2.0));
         // B->A peaks late evening; must exceed its morning values
         assert!(sunday_b_to_a(22.0) > sunday_b_to_a(10.0));
-        assert!(sunday_b_to_a(0.5) > sunday_b_to_a(10.0), "wraps past midnight");
+        assert!(
+            sunday_b_to_a(0.5) > sunday_b_to_a(10.0),
+            "wraps past midnight"
+        );
     }
 
     #[test]

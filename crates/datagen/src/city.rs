@@ -138,14 +138,19 @@ pub fn city_groundtruth_tod(
             (Some(a), Some(b)) => a.distance(&b).max(100.0),
             _ => 1000.0,
         };
-        let g = ro.population * production[pair.origin.index()]
+        let g = ro.population
+            * production[pair.origin.index()]
             * rd.population
             * attraction[pair.destination.index()]
             / (d * d);
         // Heavy-tailed heterogeneity + sparsity: real OD matrices deviate
         // strongly from the smooth gravity surface.
         let het = rng.normal_with(0.0, spec.heterogeneity_sigma).exp();
-        let alive = if rng.uniform() < spec.sparsity { 0.02 } else { 1.0 };
+        let alive = if rng.uniform() < spec.sparsity {
+            0.02
+        } else {
+            1.0
+        };
         let b = g * het * alive;
         max_base = max_base.max(b);
         base.push(b);

@@ -13,22 +13,25 @@
 
 use crate::aux::{CameraObservations, CensusOdTotals};
 use crate::city::{city_groundtruth_tod, synthesize_populations, CityDemandSpec};
-use crate::patterns::{mixed_training_set, TodPattern};
+use crate::patterns::TodPattern;
 use neural::rng::Rng64;
+use rayon::prelude::*;
 use roadnet::presets::CityPreset;
 use roadnet::{LinkTensor, OdSet, Result, RoadNetwork, TodTensor};
 use simulator::{SimConfig, SimOutput, Simulation};
 
 /// One matched training triple.
-#[derive(Debug, Clone)]
-pub struct TrainingSample {
-    /// Generated TOD tensor.
-    pub tod: TodTensor,
-    /// Simulated link volumes.
-    pub volume: LinkTensor,
-    /// Simulated link speeds.
-    pub speed: LinkTensor,
-}
+///
+/// Re-export of the shared [`roadnet::TrainTriple`]; `ovs_core::estimator`
+/// re-exports the same type, so datasets feed estimators without a
+/// clone-and-convert step.
+pub use roadnet::TrainTriple as TrainingSample;
+
+/// RNG stream index reserved for census noise (cannot collide with a
+/// training-sample index: corpora are far smaller than `u64::MAX`).
+const CENSUS_STREAM: u64 = u64::MAX;
+/// RNG stream index reserved for camera sampling.
+const CAMERA_STREAM: u64 = u64::MAX - 1;
 
 /// Generation parameters for a dataset.
 #[derive(Debug, Clone)]
@@ -113,33 +116,48 @@ impl Dataset {
         spec: &DatasetSpec,
     ) -> Result<Self> {
         let cfg = spec.sim_config();
-        let mut rng = Rng64::new(spec.seed ^ 0x9E3779B97F4A7C15);
+        let corpus_seed = spec.seed ^ 0x9E3779B97F4A7C15;
 
-        // Training corpus (one reusable Simulation keeps route caches warm).
-        let tods = mixed_training_set(
-            spec.train_samples,
-            ods.len(),
-            spec.t,
-            spec.interval_s / 60.0,
-            spec.demand_scale,
-            &mut rng,
-        );
-        let mut sim = Simulation::new(&net, &ods, cfg.clone())?;
-        let mut train = Vec::with_capacity(tods.len());
-        for tod in tods {
-            let out = sim.run(&tod)?;
-            train.push(TrainingSample {
-                tod,
-                volume: out.volume,
-                speed: out.speed,
-            });
-        }
+        // Training corpus, generated in parallel. Every sample `k` draws
+        // from its own RNG stream `Rng64::for_index(corpus_seed, k)` and
+        // runs its own clone of one warm template simulation, so the
+        // result is a pure function of `k` — bit-identical for any thread
+        // count, including fully serial execution. Patterns cycle in the
+        // paper's order ("every 20% of TOD tensors has a specific
+        // pattern", §V-D).
+        let template = Simulation::new(&net, &ods, cfg.clone())?;
+        let train: Vec<TrainingSample> = (0..spec.train_samples)
+            .into_par_iter()
+            .map(|k| {
+                let mut rng = Rng64::for_index(corpus_seed, k as u64);
+                let pattern = TodPattern::ALL[k % TodPattern::ALL.len()];
+                let tod = pattern.generate(
+                    ods.len(),
+                    spec.t,
+                    spec.interval_s / 60.0,
+                    spec.demand_scale,
+                    &mut rng,
+                );
+                let mut sim = template.clone();
+                let out = sim.run(&tod)?;
+                Ok(TrainingSample {
+                    tod,
+                    volume: out.volume,
+                    speed: out.speed,
+                })
+            })
+            .collect::<Result<_>>()?;
 
         // Test observation from the hidden ground truth.
+        let mut sim = template;
         let observed = sim.run(&groundtruth_tod)?;
 
-        let census = CensusOdTotals::from_groundtruth(&groundtruth_tod, 0.05, &mut rng);
-        let cameras = CameraObservations::sample(&observed.volume, 10, 0.05, &mut rng);
+        // Auxiliary data draw from reserved streams so their noise is
+        // independent of the corpus size.
+        let mut census_rng = Rng64::for_index(corpus_seed, CENSUS_STREAM);
+        let census = CensusOdTotals::from_groundtruth(&groundtruth_tod, 0.05, &mut census_rng);
+        let mut camera_rng = Rng64::for_index(corpus_seed, CAMERA_STREAM);
+        let cameras = CameraObservations::sample(&observed.volume, 10, 0.05, &mut camera_rng);
 
         Ok(Self {
             name: name.into(),

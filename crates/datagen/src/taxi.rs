@@ -81,7 +81,9 @@ mod tests {
     fn setup() -> (RoadNetwork, OdSet, SimConfig, TodTensor) {
         let net = synthetic_grid();
         let ods = OdSet::all_pairs(&net);
-        let cfg = SimConfig::default().with_intervals(3).with_interval_s(120.0);
+        let cfg = SimConfig::default()
+            .with_intervals(3)
+            .with_interval_s(120.0);
         let tod = TodTensor::filled(ods.len(), 3, 4.0);
         (net, ods, cfg, tod)
     }
@@ -91,8 +93,7 @@ mod tests {
         let (net, ods, cfg, tod) = setup();
         let trips = record_all_trips(&net, &ods, &cfg, &tod).unwrap();
         assert!(!trips.is_empty());
-        let rebuilt =
-            trips_to_tod(&trips, ods.len(), 3, cfg.ticks_per_interval(), 1.0).unwrap();
+        let rebuilt = trips_to_tod(&trips, ods.len(), 3, cfg.ticks_per_interval(), 1.0).unwrap();
         // Spawner may carry a fractional trip across interval boundaries
         // and queue a few entries, so allow a small per-cell tolerance.
         let err = tod.rmse(&rebuilt).unwrap();
@@ -117,8 +118,7 @@ mod tests {
         for s in 0..draws {
             let mut rng = Rng64::new(s);
             let fleet = sample_taxi_fleet(&trips, scale, &mut rng);
-            let est =
-                trips_to_tod(&fleet, ods.len(), 3, cfg.ticks_per_interval(), scale).unwrap();
+            let est = trips_to_tod(&fleet, ods.len(), 3, cfg.ticks_per_interval(), scale).unwrap();
             mean_total += est.total();
         }
         mean_total /= draws as f64;
@@ -134,15 +134,13 @@ mod tests {
         let (net, ods, cfg, tod) = setup();
         let trips = record_all_trips(&net, &ods, &cfg, &tod).unwrap();
         let variance = |scale: f64| {
-            let truth =
-                trips_to_tod(&trips, ods.len(), 3, cfg.ticks_per_interval(), 1.0).unwrap();
+            let truth = trips_to_tod(&trips, ods.len(), 3, cfg.ticks_per_interval(), 1.0).unwrap();
             let mut acc = 0.0;
             for s in 0..20u64 {
                 let mut rng = Rng64::new(s);
                 let fleet = sample_taxi_fleet(&trips, scale, &mut rng);
                 let est =
-                    trips_to_tod(&fleet, ods.len(), 3, cfg.ticks_per_interval(), scale)
-                        .unwrap();
+                    trips_to_tod(&fleet, ods.len(), 3, cfg.ticks_per_interval(), scale).unwrap();
                 acc += truth.rmse(&est).unwrap();
             }
             acc / 20.0

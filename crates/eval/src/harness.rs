@@ -3,34 +3,24 @@
 use crate::metrics::{evaluate_tod, RmseTriple};
 use baselines::all_baselines;
 use datagen::Dataset;
-use ovs_core::estimator::TrainTriple;
 use ovs_core::trainer::OvsEstimator;
 use ovs_core::{EstimatorInput, OvsConfig, TodEstimator};
 use roadnet::{Result, TodTensor};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Owned view of a dataset's estimator inputs (the `EstimatorInput`
-/// borrows; this owns the converted triples and auxiliary slices).
+/// Owned view of a dataset's auxiliary estimator inputs. The training
+/// corpus itself is borrowed straight from the dataset — `Dataset::train`
+/// stores the shared [`roadnet::TrainTriple`] type, so no conversion is
+/// needed.
 pub struct DatasetInput {
-    triples: Vec<TrainTriple>,
     census: Vec<f64>,
 }
 
 impl DatasetInput {
-    /// Converts a dataset's corpus into estimator form.
+    /// Captures the auxiliary slices of a dataset in estimator form.
     pub fn new(ds: &Dataset) -> Self {
-        let triples = ds
-            .train
-            .iter()
-            .map(|s| TrainTriple {
-                tod: s.tod.clone(),
-                volume: s.volume.clone(),
-                speed: s.speed.clone(),
-            })
-            .collect();
         Self {
-            triples,
             census: ds.census.as_slice().to_vec(),
         }
     }
@@ -38,19 +28,17 @@ impl DatasetInput {
     /// Borrowed estimator input. `with_aux` exposes census and camera
     /// data (RQ2); without it estimators see only speed.
     pub fn input<'a>(&'a self, ds: &'a Dataset, with_aux: bool) -> EstimatorInput<'a> {
-        EstimatorInput {
-            net: &ds.net,
-            ods: &ds.ods,
-            interval_s: ds.sim_config.interval_s,
-            sim_seed: ds.sim_config.seed,
-            train: &self.triples,
-            observed_speed: &ds.observed_speed,
-            census_totals: with_aux.then_some(self.census.as_slice()),
-            cameras: with_aux.then_some((
-                ds.cameras.links.as_slice(),
-                ds.cameras.volumes.as_slice(),
-            )),
+        let mut b = EstimatorInput::builder(&ds.net, &ds.ods)
+            .interval_s(ds.sim_config.interval_s)
+            .sim_seed(ds.sim_config.seed)
+            .train(&ds.train)
+            .observed_speed(&ds.observed_speed);
+        if with_aux {
+            b = b
+                .census(&self.census)
+                .cameras(&ds.cameras.links, &ds.cameras.volumes);
         }
+        b.build()
     }
 }
 
@@ -95,20 +83,27 @@ pub fn default_methods(ovs_cfg: OvsConfig, seed: u64) -> Vec<Box<dyn TodEstimato
 
 /// Runs a full comparison (all baselines + OVS) on one dataset. Methods
 /// see auxiliary data only when `with_aux` is set.
+///
+/// The panel runs in parallel — every method is an independent job on the
+/// current rayon pool (`TodEstimator: Send` makes the boxed methods
+/// movable across threads). Each job times its own `estimate` call, so
+/// the per-method `seconds` in the results measure the method alone, not
+/// the panel. Results come back in the paper's method order regardless of
+/// completion order.
 pub fn compare(
     ds: &Dataset,
     ovs_cfg: OvsConfig,
     seed: u64,
     with_aux: bool,
 ) -> Result<Vec<MethodResult>> {
+    use rayon::prelude::*;
     let owned = DatasetInput::new(ds);
     let input = owned.input(ds, with_aux);
-    let mut results = Vec::new();
-    for mut method in default_methods(ovs_cfg, seed) {
-        let (res, _) = run_method(method.as_mut(), ds, &input)?;
-        results.push(res);
-    }
-    Ok(results)
+    let mut methods = default_methods(ovs_cfg, seed);
+    methods
+        .par_iter_mut()
+        .map(|method| run_method(method.as_mut(), ds, &input).map(|(res, _)| res))
+        .collect()
 }
 
 /// Runs [`compare`] over several datasets in parallel (one rayon task per
@@ -287,7 +282,15 @@ mod tests {
             seed: 0,
         };
         let agg = compare_multi_seed(
-            |seed| Dataset::synthetic(TodPattern::Random, &DatasetSpec { seed, ..base.clone() }),
+            |seed| {
+                Dataset::synthetic(
+                    TodPattern::Random,
+                    &DatasetSpec {
+                        seed,
+                        ..base.clone()
+                    },
+                )
+            },
             &[1, 2],
             &OvsConfig::tiny(),
             false,

@@ -22,5 +22,7 @@ pub mod metrics;
 pub mod report;
 pub mod tables;
 
-pub use harness::{compare, compare_multi_seed, default_methods, AggregateResult, DatasetInput, MethodResult};
+pub use harness::{
+    compare, compare_multi_seed, default_methods, AggregateResult, DatasetInput, MethodResult,
+};
 pub use metrics::{evaluate_tod, RmseTriple};

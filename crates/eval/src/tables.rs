@@ -89,10 +89,7 @@ mod tests {
 
     #[test]
     fn multi_joins_blocks() {
-        let blocks = vec![
-            ("A".to_string(), results()),
-            ("B".to_string(), results()),
-        ];
+        let blocks = vec![("A".to_string(), results()), ("B".to_string(), results())];
         let s = render_multi(&blocks);
         assert!(s.contains("== A ==") && s.contains("== B =="));
     }

@@ -1,0 +1,101 @@
+//! Thread-safety audit and behavioural checks for the parallel
+//! evaluation layer: the estimator panel fans one rayon job per method,
+//! so every type that crosses that boundary must be `Send` (and the
+//! shared borrows `Sync`). The compile-time assertions below are the
+//! audit; the tests check the panel itself.
+
+use datagen::dataset::DatasetSpec;
+use datagen::{Dataset, TodPattern};
+use eval::harness::{compare, DatasetInput};
+use ovs_core::{EstimatorInput, OvsConfig, TodEstimator};
+use roadnet::Parallelism;
+
+// --- Send + Sync audit (fails to compile if a field regresses) ----------
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn parallel_boundary_types_are_thread_safe() {
+    assert_send::<roadnet::RoadNetwork>();
+    assert_sync::<roadnet::RoadNetwork>();
+    assert_send::<Dataset>();
+    assert_sync::<Dataset>();
+    assert_send::<simulator::Simulation<'_>>();
+    assert_send::<datagen::TrainingSample>();
+    assert_sync::<datagen::TrainingSample>();
+    assert_sync::<EstimatorInput<'_>>();
+    // Boxed methods move into rayon jobs; Send is a supertrait of the
+    // estimator contract.
+    assert_send::<Box<dyn TodEstimator>>();
+}
+
+// --- behaviour ----------------------------------------------------------
+
+fn tiny() -> Dataset {
+    let spec = DatasetSpec {
+        t: 3,
+        interval_s: 120.0,
+        train_samples: 3,
+        demand_scale: 0.1,
+        seed: 4,
+    };
+    Dataset::synthetic(TodPattern::Gaussian, &spec).unwrap()
+}
+
+#[test]
+fn panel_results_keep_paper_order_under_parallelism() {
+    let ds = tiny();
+    let results = Parallelism::Threads(4)
+        .run(|| compare(&ds, OvsConfig::tiny(), 4, false))
+        .unwrap();
+    let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["Gravity", "Genetic", "GLS", "EM", "NN", "LSTM", "OVS"]
+    );
+    for r in &results {
+        assert!(r.rmse.is_finite(), "{}", r.name);
+        assert!(r.seconds >= 0.0, "{}", r.name);
+    }
+}
+
+#[test]
+fn panel_scores_match_between_serial_and_parallel() {
+    // Deterministic estimators must score identically whether the panel
+    // runs on one worker or four.
+    let ds = tiny();
+    let serial = Parallelism::Serial
+        .run(|| compare(&ds, OvsConfig::tiny(), 4, false))
+        .unwrap();
+    let parallel = Parallelism::Threads(4)
+        .run(|| compare(&ds, OvsConfig::tiny(), 4, false))
+        .unwrap();
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.name, p.name);
+        assert_eq!(s.rmse.tod.to_bits(), p.rmse.tod.to_bits(), "{}", s.name);
+        assert_eq!(
+            s.rmse.volume.to_bits(),
+            p.rmse.volume.to_bits(),
+            "{}",
+            s.name
+        );
+        assert_eq!(s.rmse.speed.to_bits(), p.rmse.speed.to_bits(), "{}", s.name);
+    }
+}
+
+#[test]
+fn builder_input_carries_aux_only_when_asked() {
+    let ds = tiny();
+    let owned = DatasetInput::new(&ds);
+    let plain = owned.input(&ds, false);
+    assert!(plain.census_totals.is_none());
+    assert!(plain.cameras.is_none());
+    let aux = owned.input(&ds, true);
+    assert!(aux.census_totals.is_some());
+    assert!(aux.cameras.is_some());
+    // The corpus is borrowed from the dataset, not copied.
+    assert_eq!(aux.train.len(), ds.train.len());
+    assert!(std::ptr::eq(aux.train.as_ptr(), ds.train.as_ptr()));
+}

@@ -80,21 +80,17 @@ pub fn check_layer_params(layer: &mut dyn Layer, x: &Matrix, eps: f64, tol: f64)
     layer.visit_params(&mut |_, g| grads.push(g.clone()));
 
     let mut ok = true;
-    let n_params = grads.len();
-    for pi in 0..n_params {
-        let plen = grads[pi].len();
-        for idx in 0..plen {
+    for (pi, grad) in grads.iter().enumerate() {
+        for idx in 0..grad.len() {
             perturb_flat(layer, pi, idx, eps);
             let lp = half_sq_matrix(&layer.forward(x, false));
             perturb_flat(layer, pi, idx, -2.0 * eps);
             let lm = half_sq_matrix(&layer.forward(x, false));
             perturb_flat(layer, pi, idx, eps); // restore
             let numeric = (lp - lm) / (2.0 * eps);
-            let analytic = grads[pi].as_slice()[idx];
+            let analytic = grad.as_slice()[idx];
             if !close(analytic, numeric, tol) {
-                eprintln!(
-                    "param {pi}[{idx}] mismatch: analytic {analytic} vs numeric {numeric}"
-                );
+                eprintln!("param {pi}[{idx}] mismatch: analytic {analytic} vs numeric {numeric}");
                 ok = false;
             }
         }
@@ -134,15 +130,15 @@ pub fn check_seq_layer_params(layer: &mut dyn SeqLayer, x: &Tensor3, eps: f64, t
     layer.visit_params(&mut |_, g| grads.push(g.clone()));
 
     let mut ok = true;
-    for pi in 0..grads.len() {
-        for idx in 0..grads[pi].len() {
+    for (pi, grad) in grads.iter().enumerate() {
+        for idx in 0..grad.len() {
             perturb_seq(layer, pi, idx, eps);
             let lp = half_sq_tensor(&layer.forward(x, false));
             perturb_seq(layer, pi, idx, -2.0 * eps);
             let lm = half_sq_tensor(&layer.forward(x, false));
             perturb_seq(layer, pi, idx, eps);
             let numeric = (lp - lm) / (2.0 * eps);
-            let analytic = grads[pi].as_slice()[idx];
+            let analytic = grad.as_slice()[idx];
             if !close(analytic, numeric, tol) {
                 eprintln!(
                     "seq param {pi}[{idx}] mismatch: analytic {analytic} vs numeric {numeric}"

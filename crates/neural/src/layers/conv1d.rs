@@ -94,10 +94,7 @@ impl SeqLayer for Conv1d {
     }
 
     fn backward(&mut self, dy: &Tensor3) -> Tensor3 {
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("backward called before forward");
+        let cache = self.cache.as_ref().expect("backward called before forward");
         let (b, t) = (cache.batch, cache.time);
         let dy_flat = dy.flatten_time(); // (b*t, c_out)
         self.dw.add_assign(&cache.im2col.matmul_at_b(&dy_flat));
@@ -116,7 +113,9 @@ impl SeqLayer for Conv1d {
                         continue;
                     }
                     let dst = dx.step_mut(bi, src_t as usize);
-                    for (d, &g) in dst.iter_mut().zip(&row[ki * self.c_in..(ki + 1) * self.c_in])
+                    for (d, &g) in dst
+                        .iter_mut()
+                        .zip(&row[ki * self.c_in..(ki + 1) * self.c_in])
                     {
                         *d += g;
                     }

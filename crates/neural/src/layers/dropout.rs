@@ -86,7 +86,7 @@ mod tests {
         let mean = y.mean();
         assert!((mean - 1.0).abs() < 0.05, "inverted scaling, mean {mean}");
         // some units dropped
-        assert!(y.as_slice().iter().any(|&v| v == 0.0));
+        assert!(y.as_slice().contains(&0.0));
     }
 
     #[test]

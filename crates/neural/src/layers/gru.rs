@@ -116,11 +116,7 @@ impl SeqLayer for Gru {
             for bi in 0..batch {
                 for hi in 0..h {
                     let z = z_g.get(bi, hi);
-                    h_new.set(
-                        bi,
-                        hi,
-                        (1.0 - z) * n_g.get(bi, hi) + z * h_t.get(bi, hi),
-                    );
+                    h_new.set(bi, hi, (1.0 - z) * n_g.get(bi, hi) + z * h_t.get(bi, hi));
                 }
             }
             out.set_time_slice(t, &h_new);
@@ -133,10 +129,7 @@ impl SeqLayer for Gru {
     }
 
     fn backward(&mut self, dy: &Tensor3) -> Tensor3 {
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("backward called before forward");
+        let cache = self.cache.as_ref().expect("backward called before forward");
         let time = cache.xs.len();
         let batch = dy.batch();
         let h = self.hidden;

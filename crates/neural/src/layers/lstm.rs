@@ -133,10 +133,7 @@ impl SeqLayer for Lstm {
     }
 
     fn backward(&mut self, dy: &Tensor3) -> Tensor3 {
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("backward called before forward");
+        let cache = self.cache.as_ref().expect("backward called before forward");
         let time = cache.xs.len();
         let batch = dy.batch();
         let h = self.hidden;

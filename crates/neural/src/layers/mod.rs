@@ -27,7 +27,7 @@ pub use dense::Dense;
 pub use dropout::Dropout;
 pub use gru::Gru;
 pub use lstm::Lstm;
-pub use sequential::{Sequential, SeqSequential, TimeDistributed};
+pub use sequential::{SeqSequential, Sequential, TimeDistributed};
 
 use crate::matrix::Matrix;
 use crate::tensor3::Tensor3;

@@ -137,8 +137,10 @@ mod tests {
         let t = Matrix::zeros(1, 1);
         let (_, g_small) = huber(&Matrix::filled(1, 1, 5.0), &t, 1.0);
         let (_, g_large) = huber(&Matrix::filled(1, 1, 500.0), &t, 1.0);
-        assert!((g_small.get(0, 0) - g_large.get(0, 0)).abs() < 1e-12,
-            "gradient magnitude is capped at 2*delta/n");
+        assert!(
+            (g_small.get(0, 0) - g_large.get(0, 0)).abs() < 1e-12,
+            "gradient magnitude is capped at 2*delta/n"
+        );
     }
 
     #[test]

@@ -1,8 +1,26 @@
 //! Dense row-major `f64` matrices and the linear-algebra kernel set the
 //! layers are built from.
+//!
+//! The three matmul kernels and the row-wise softmax fan out across rayon
+//! workers once a product is large enough to amortise the dispatch (see
+//! [`PAR_MIN_FLOPS`]). Parallel results are **bit-identical** to serial
+//! ones: work is split by output row and every row accumulates its terms
+//! in the same order either way, so thread count never changes numerics.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Minimum multiply-add count before a matmul fans out across threads;
+/// below this the dispatch overhead outweighs the work.
+pub const PAR_MIN_FLOPS: usize = 1 << 17;
+
+/// True when a kernel touching `flops` multiply-adds over `rows` output
+/// rows should run in parallel.
+#[inline]
+fn should_parallelise(rows: usize, flops: usize) -> bool {
+    rows > 1 && flops >= PAR_MIN_FLOPS && rayon::current_num_threads() > 1
+}
 
 /// Error for shape violations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,6 +162,9 @@ impl Matrix {
     }
 
     /// Matrix product `self @ rhs`; `(m,k) @ (k,n) -> (m,n)`.
+    ///
+    /// Large products run row-parallel; results are bit-identical to the
+    /// serial execution (see the module docs).
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
@@ -152,25 +173,29 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Matrix::zeros(m, n);
+        let flops = m.saturating_mul(k).saturating_mul(n);
+        if should_parallelise(m, flops) {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, out_row)| {
+                    matmul_row_into(&self.data[i * k..(i + 1) * k], rhs, out_row);
+                });
+            return out;
+        }
         // i-k-j order: streams through rhs rows, cache friendly.
         for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (p, &a) in a_row.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(p);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+            matmul_row_into(self.row(i), rhs, out.row_mut(i));
         }
         out
     }
 
     /// `self^T @ rhs`; `(k,m)^T @ (k,n) -> (m,n)`. Avoids materialising the
     /// transpose (used for weight gradients `x^T @ dy`).
+    ///
+    /// The parallel path splits by output row; every output element sums
+    /// its terms in ascending `p` order on both paths, so results are
+    /// bit-identical regardless of thread count.
     pub fn matmul_at_b(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, rhs.rows,
@@ -179,6 +204,26 @@ impl Matrix {
         );
         let (k, m, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Matrix::zeros(m, n);
+        let flops = m.saturating_mul(k).saturating_mul(n);
+        if should_parallelise(m, flops) {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, out_row)| {
+                    for p in 0..k {
+                        let a = self.data[p * m + i];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = rhs.row(p);
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
+                });
+            return out;
+        }
+        // Serial: p-outer streams both operands row-major.
         for p in 0..k {
             let a_row = self.row(p);
             let b_row = rhs.row(p);
@@ -196,15 +241,29 @@ impl Matrix {
     }
 
     /// `self @ rhs^T`; `(m,k) @ (n,k)^T -> (m,n)`. Used for input gradients
-    /// `dy @ W^T`.
+    /// `dy @ W^T`. Row-parallel above the size threshold, bit-identical to
+    /// serial.
     pub fn matmul_a_bt(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_a_bt shape mismatch: ({},{}) @ ({},{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let (m, n) = (self.rows, rhs.rows);
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
         let mut out = Matrix::zeros(m, n);
+        let flops = m.saturating_mul(k).saturating_mul(n);
+        if should_parallelise(m, flops) {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, out_row)| {
+                    let a_row = &self.data[i * k..(i + 1) * k];
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        *o = dot(a_row, rhs.row(j));
+                    }
+                });
+            return out;
+        }
         for i in 0..m {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
@@ -362,20 +421,50 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-/// Row-wise softmax in place; numerically stabilised by row-max shifting.
-pub fn softmax_rows(m: &mut Matrix) {
-    for r in 0..m.rows() {
-        let row = m.row_mut(r);
-        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
+/// Accumulates `a_row @ rhs` into `out_row` (one output row of a matmul);
+/// shared by the serial and parallel paths so both produce identical bits.
+#[inline]
+fn matmul_row_into(a_row: &[f64], rhs: &Matrix, out_row: &mut [f64]) {
+    for (p, &a) in a_row.iter().enumerate() {
+        if a == 0.0 {
+            continue;
         }
-        if sum > 0.0 {
-            for v in row.iter_mut() {
-                *v /= sum;
-            }
+        let b_row = rhs.row(p);
+        for (o, &b) in out_row.iter_mut().zip(b_row) {
+            *o += a * b;
+        }
+    }
+}
+
+/// Row-wise softmax in place; numerically stabilised by row-max shifting.
+/// Rows are independent, so large matrices run row-parallel with
+/// bit-identical results.
+pub fn softmax_rows(m: &mut Matrix) {
+    let cols = m.cols();
+    // An exp costs roughly an order of magnitude more than a multiply-add,
+    // so weight elements accordingly against the flop threshold.
+    if cols > 0 && should_parallelise(m.rows(), m.len().saturating_mul(16)) {
+        m.as_mut_slice()
+            .par_chunks_mut(cols)
+            .for_each(softmax_row_inplace);
+        return;
+    }
+    for r in 0..m.rows() {
+        softmax_row_inplace(m.row_mut(r));
+    }
+}
+
+#[inline]
+fn softmax_row_inplace(row: &mut [f64]) {
+    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
         }
     }
 }
@@ -534,11 +623,7 @@ mod tests {
         let f = |m: &Matrix| {
             let mut y = m.clone();
             softmax_rows(&mut y);
-            y.as_slice()
-                .iter()
-                .zip(&w)
-                .map(|(a, b)| a * b)
-                .sum::<f64>()
+            y.as_slice().iter().zip(&w).map(|(a, b)| a * b).sum::<f64>()
         };
         let mut y = logits.clone();
         softmax_rows(&mut y);
@@ -557,6 +642,42 @@ mod tests {
                 dx.as_slice()[i]
             );
         }
+    }
+
+    #[test]
+    fn parallel_kernels_are_bit_identical_to_serial() {
+        // Shapes above PAR_MIN_FLOPS so the parallel path engages.
+        let a = Matrix::from_fn(96, 80, |r, c| ((r * 31 + c * 7) % 23) as f64 * 0.37 - 3.0);
+        let b = Matrix::from_fn(80, 64, |r, c| ((r * 13 + c * 5) % 19) as f64 * 0.21 - 1.5);
+        let bt = b.transpose();
+        let serial_pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let par_pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+
+        let serial = serial_pool.install(|| a.matmul(&b));
+        let parallel = par_pool.install(|| a.matmul(&b));
+        assert_eq!(serial.as_slice(), parallel.as_slice());
+
+        let serial = serial_pool.install(|| a.matmul_a_bt(&bt));
+        let parallel = par_pool.install(|| a.matmul_a_bt(&bt));
+        assert_eq!(serial.as_slice(), parallel.as_slice());
+
+        // (k, m)^T @ (k, n): 96 x 80 transposed against 96 x 64.
+        let c = Matrix::from_fn(96, 64, |r, q| ((r * 3 + q) % 29) as f64 * 0.11 - 1.0);
+        let serial = serial_pool.install(|| a.matmul_at_b(&c));
+        let parallel = par_pool.install(|| a.matmul_at_b(&c));
+        assert_eq!(serial.as_slice(), parallel.as_slice());
+
+        let mut s1 = Matrix::from_fn(128, 96, |r, q| ((r + q * 11) % 37) as f64 * 0.5 - 9.0);
+        let mut s2 = s1.clone();
+        serial_pool.install(|| softmax_rows(&mut s1));
+        par_pool.install(|| softmax_rows(&mut s2));
+        assert_eq!(s1.as_slice(), s2.as_slice());
     }
 
     #[test]

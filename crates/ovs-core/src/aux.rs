@@ -68,11 +68,7 @@ pub fn camera_loss(q: &Matrix, links: &[LinkId], observations: &[Vec<f64>]) -> (
 /// whenever predictions are physical, so the term only activates when the
 /// learned V2S extrapolates badly.
 pub fn speed_limit_loss(v: &Matrix, limits: &[f64]) -> (f64, Matrix) {
-    assert_eq!(
-        v.rows(),
-        limits.len(),
-        "one speed limit per link required"
-    );
+    assert_eq!(v.rows(), limits.len(), "one speed limit per link required");
     let cells = v.len().max(1) as f64;
     let mut grad = Matrix::zeros(v.rows(), v.cols());
     let mut loss = 0.0;
@@ -122,8 +118,7 @@ mod tests {
             gp.as_mut_slice()[idx] += eps;
             let mut gm = g.clone();
             gm.as_mut_slice()[idx] -= eps;
-            let num =
-                (census_loss(&gp, &totals).0 - census_loss(&gm, &totals).0) / (2.0 * eps);
+            let num = (census_loss(&gp, &totals).0 - census_loss(&gm, &totals).0) / (2.0 * eps);
             assert!((num - grad.as_slice()[idx]).abs() < 1e-6);
         }
     }
@@ -180,8 +175,8 @@ mod tests {
             vp.as_mut_slice()[i] += eps;
             let mut vm = v.clone();
             vm.as_mut_slice()[i] -= eps;
-            let num = (speed_limit_loss(&vp, &limits).0 - speed_limit_loss(&vm, &limits).0)
-                / (2.0 * eps);
+            let num =
+                (speed_limit_loss(&vp, &limits).0 - speed_limit_loss(&vm, &limits).0) / (2.0 * eps);
             assert!((num - grad.as_slice()[i]).abs() < 1e-6);
         }
     }
@@ -199,8 +194,7 @@ mod tests {
             let mut qm = q.clone();
             qm.as_mut_slice()[idx] -= eps;
             let num =
-                (camera_loss(&qp, &links, &obs).0 - camera_loss(&qm, &links, &obs).0)
-                    / (2.0 * eps);
+                (camera_loss(&qp, &links, &obs).0 - camera_loss(&qm, &links, &obs).0) / (2.0 * eps);
             assert!((num - grad.as_slice()[idx]).abs() < 1e-6);
         }
     }

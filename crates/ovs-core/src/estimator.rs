@@ -11,20 +11,14 @@
 use neural::Matrix;
 use roadnet::{LinkId, LinkTensor, OdSet, Result, RoadNetwork, TodTensor};
 
-/// One generated training triple (mirrors `datagen::TrainingSample`
-/// without depending on that crate).
-#[derive(Debug, Clone)]
-pub struct TrainTriple {
-    /// Generated TOD tensor.
-    pub tod: TodTensor,
-    /// Simulated link volumes.
-    pub volume: LinkTensor,
-    /// Simulated link speeds.
-    pub speed: LinkTensor,
-}
+pub use roadnet::TrainTriple;
 
 /// Everything an estimator may look at.
+///
+/// Construct instances with [`EstimatorInput::builder`]; the struct is
+/// `#[non_exhaustive]` so fields can be added without breaking callers.
 #[derive(Clone)]
+#[non_exhaustive]
 pub struct EstimatorInput<'a> {
     /// The road network.
     pub net: &'a RoadNetwork,
@@ -48,6 +42,22 @@ pub struct EstimatorInput<'a> {
 }
 
 impl<'a> EstimatorInput<'a> {
+    /// Starts building an input over `net` and `ods`. The observed speed
+    /// tensor is the only other mandatory piece; everything else has a
+    /// sensible default (600 s intervals, seed 0, empty corpus, no aux).
+    pub fn builder(net: &'a RoadNetwork, ods: &'a OdSet) -> EstimatorInputBuilder<'a> {
+        EstimatorInputBuilder {
+            net,
+            ods,
+            interval_s: 600.0,
+            sim_seed: 0,
+            train: &[],
+            observed_speed: None,
+            census_totals: None,
+            cameras: None,
+        }
+    }
+
     /// Number of OD pairs.
     pub fn n_od(&self) -> usize {
         self.ods.len()
@@ -64,10 +74,85 @@ impl<'a> EstimatorInput<'a> {
     }
 }
 
+/// Builder for [`EstimatorInput`] (see [`EstimatorInput::builder`]).
+#[derive(Clone)]
+pub struct EstimatorInputBuilder<'a> {
+    net: &'a RoadNetwork,
+    ods: &'a OdSet,
+    interval_s: f64,
+    sim_seed: u64,
+    train: &'a [TrainTriple],
+    observed_speed: Option<&'a LinkTensor>,
+    census_totals: Option<&'a [f64]>,
+    cameras: Option<(&'a [LinkId], &'a [Vec<f64>])>,
+}
+
+impl<'a> EstimatorInputBuilder<'a> {
+    /// Sets the interval length in seconds (default 600).
+    pub fn interval_s(mut self, interval_s: f64) -> Self {
+        self.interval_s = interval_s;
+        self
+    }
+
+    /// Sets the simulator seed of the observed scenario (default 0).
+    pub fn sim_seed(mut self, sim_seed: u64) -> Self {
+        self.sim_seed = sim_seed;
+        self
+    }
+
+    /// Sets the generated training corpus (default empty).
+    pub fn train(mut self, train: &'a [TrainTriple]) -> Self {
+        self.train = train;
+        self
+    }
+
+    /// Sets the observed speed tensor (mandatory).
+    pub fn observed_speed(mut self, observed_speed: &'a LinkTensor) -> Self {
+        self.observed_speed = Some(observed_speed);
+        self
+    }
+
+    /// Exposes census daily OD totals (default none).
+    pub fn census(mut self, census_totals: &'a [f64]) -> Self {
+        self.census_totals = Some(census_totals);
+        self
+    }
+
+    /// Exposes camera observations (default none).
+    pub fn cameras(mut self, links: &'a [LinkId], volumes: &'a [Vec<f64>]) -> Self {
+        self.cameras = Some((links, volumes));
+        self
+    }
+
+    /// Finishes the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`observed_speed`](Self::observed_speed) was never set —
+    /// the observed speed tensor is the one signal every estimator needs.
+    pub fn build(self) -> EstimatorInput<'a> {
+        EstimatorInput {
+            net: self.net,
+            ods: self.ods,
+            interval_s: self.interval_s,
+            sim_seed: self.sim_seed,
+            train: self.train,
+            observed_speed: self.observed_speed.expect(
+                "EstimatorInput requires observed_speed; call .observed_speed(..) before .build()",
+            ),
+            census_totals: self.census_totals,
+            cameras: self.cameras,
+        }
+    }
+}
+
 /// A method that recovers a TOD tensor from speed observations.
-pub trait TodEstimator {
+///
+/// `Send` is a supertrait so boxed estimators can cross thread boundaries:
+/// the evaluation harness runs its method panel in parallel.
+pub trait TodEstimator: Send {
     /// Method name as printed in the paper's tables.
-    fn name(&self) -> &'static str;
+    fn name(&self) -> &str;
 
     /// Recovers the TOD tensor for `input`.
     fn estimate(&mut self, input: &EstimatorInput<'_>) -> Result<TodTensor>;

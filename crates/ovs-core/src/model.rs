@@ -111,7 +111,8 @@ impl OvsModel {
         use roadnet::RoadnetError;
         // Validate first.
         let mut shapes = Vec::new();
-        self.tod_gen.visit_params(&mut |p, _| shapes.push(p.shape()));
+        self.tod_gen
+            .visit_params(&mut |p, _| shapes.push(p.shape()));
         self.tod2v.visit_params(&mut |p, _| shapes.push(p.shape()));
         self.v2s.visit_params(&mut |p, _| shapes.push(p.shape()));
         if shapes.len() != weights.len() {
@@ -214,14 +215,7 @@ mod tests {
         // A differently-seeded model produces different outputs...
         let net = synthetic_grid();
         let ods = OdSet::all_pairs(&net);
-        let mut b = OvsModel::new(
-            &net,
-            &ods,
-            6,
-            600.0,
-            OvsConfig::tiny().with_seed(99),
-        )
-        .unwrap();
+        let mut b = OvsModel::new(&net, &ods, 6, 600.0, OvsConfig::tiny().with_seed(99)).unwrap();
         let (_, _, v_b) = b.forward_full(false);
         assert_ne!(v_a, v_b);
         // ...until the checkpoint is restored. (The generator's Gaussian

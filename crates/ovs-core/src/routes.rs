@@ -49,12 +49,7 @@ impl RouteTable {
     /// Multi-route variant (the paper's future-work direction): up to `k`
     /// loopless fastest routes per OD (Yen's algorithm), each indexed by
     /// `route_idx` so the OD-Route layer can learn a split over them.
-    pub fn build_with_k(
-        net: &RoadNetwork,
-        ods: &OdSet,
-        interval_s: f64,
-        k: usize,
-    ) -> Result<Self> {
+    pub fn build_with_k(net: &RoadNetwork, ods: &OdSet, interval_s: f64, k: usize) -> Result<Self> {
         ods.validate(net)?;
         let k = k.max(1);
         let m = net.num_links();
@@ -186,11 +181,7 @@ mod tests {
         for (id, _) in ods.iter() {
             let mut last = 0usize;
             for &lid in table.route(id) {
-                let inc = table
-                    .incident(lid)
-                    .iter()
-                    .find(|inc| inc.od == id)
-                    .unwrap();
+                let inc = table.incident(lid).iter().find(|inc| inc.od == id).unwrap();
                 assert!(inc.delay_intervals >= last);
                 last = inc.delay_intervals;
             }

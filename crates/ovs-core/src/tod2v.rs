@@ -33,8 +33,7 @@
 use crate::config::{OvsConfig, OvsVariant};
 use crate::routes::RouteTable;
 use neural::layers::{
-    ActKind, Activation, Conv1d, Dense, Layer, SeqActivation, SeqLayer, SeqSequential,
-    Sequential,
+    ActKind, Activation, Conv1d, Dense, Layer, SeqActivation, SeqLayer, SeqSequential, Sequential,
 };
 use neural::matrix::Matrix;
 use neural::rng::Rng64;
@@ -226,11 +225,9 @@ impl TodVolumeMapping {
                 for inc in incident {
                     let delta = inc.delay_intervals;
                     for (tau, l) in logits.iter_mut().enumerate().take(w) {
-                        *l = s.get(ti, tau)
-                            + self.beta.get(0, self.beta_index(tau, delta));
+                        *l = s.get(ti, tau) + self.beta.get(0, self.beta_index(tau, delta));
                     }
-                    logits[w] =
-                        self.sink.get(0, 0) + self.sink.get(0, 1) * delta as f64;
+                    logits[w] = self.sink.get(0, 0) + self.sink.get(0, 1) * delta as f64;
                     let alpha = softmax_vec(&logits);
                     let share = if self.k_routes > 1 {
                         shares.get(inc.od.index(), inc.route_idx)
@@ -309,11 +306,7 @@ impl TodVolumeMapping {
                     for (tau, d) in dalpha.iter_mut().enumerate().take(w) {
                         *d = if ti >= tau {
                             let pv = cache.p.get(inc.od.index(), ti - tau);
-                            dp.add_at_rc(
-                                inc.od.index(),
-                                ti - tau,
-                                dqv * share * alpha[tau],
-                            );
+                            dp.add_at_rc(inc.od.index(), ti - tau, dqv * share * alpha[tau]);
                             dqv * share * pv
                         } else {
                             0.0
@@ -341,8 +334,7 @@ impl TodVolumeMapping {
         self.dsink.add_assign(&dsink_local);
         // Route-share softmax backward per OD row.
         if self.k_routes > 1 {
-            let dlogits =
-                neural::matrix::softmax_rows_backward(&cache.shares, &dshare_pre);
+            let dlogits = neural::matrix::softmax_rows_backward(&cache.shares, &dshare_pre);
             self.dshare.add_assign(&dlogits);
         }
 
@@ -457,11 +449,7 @@ mod tests {
         let n_od = ods.len();
         let m = net.num_links();
         let mut rng = Rng64::new(0);
-        (
-            TodVolumeMapping::new(routes, 6, &cfg, &mut rng),
-            n_od,
-            m,
-        )
+        (TodVolumeMapping::new(routes, 6, &cfg, &mut rng), n_od, m)
     }
 
     #[test]
@@ -615,9 +603,7 @@ mod tests {
         let routes = RouteTable::build_with_k(&net, &ods, 600.0, 2).unwrap();
         assert!(routes.max_routes() == 2);
         // At least some ODs on a grid have two distinct routes.
-        assert!(ods
-            .iter()
-            .any(|(id, _)| routes.routes_of(id).len() == 2));
+        assert!(ods.iter().any(|(id, _)| routes.routes_of(id).len() == 2));
         let mut rng = Rng64::new(5);
         let mut m = TodVolumeMapping::new(routes, 6, &cfg, &mut rng);
         let mut g = Matrix::filled(ods.len(), 6, 8.0);
@@ -697,7 +683,8 @@ mod tests {
         let r = od.index();
         m.share_logits.set(r, 0, m.share_logits.get(r, 0) + eps);
         let lp = loss(&mut m, &g);
-        m.share_logits.set(r, 0, m.share_logits.get(r, 0) - 2.0 * eps);
+        m.share_logits
+            .set(r, 0, m.share_logits.get(r, 0) - 2.0 * eps);
         let lm = loss(&mut m, &g);
         m.share_logits.set(r, 0, m.share_logits.get(r, 0) + eps);
         let numeric = (lp - lm) / (2.0 * eps);

@@ -32,7 +32,11 @@ enum TodGenInner {
     Structured { seeds: Matrix, net: Sequential },
     /// Ablation: a free parameter tensor (sigmoid-squashed so outputs stay
     /// bounded, but with no shared structure across ODs).
-    Free { logits: Matrix, grad: Matrix, cache_y: Option<Matrix> },
+    Free {
+        logits: Matrix,
+        grad: Matrix,
+        cache_y: Option<Matrix>,
+    },
 }
 
 impl TodGeneration {
@@ -76,7 +80,9 @@ impl TodGeneration {
                 g.scale(self.g_max);
                 g
             }
-            TodGenInner::Free { logits, cache_y, .. } => {
+            TodGenInner::Free {
+                logits, cache_y, ..
+            } => {
                 let y = logits.map(|v| 1.0 / (1.0 + (-v).exp()));
                 *cache_y = Some(y.clone());
                 let mut g = y;

@@ -48,12 +48,13 @@ impl TrainReport {
     }
 }
 
+/// A `visit_params`-style closure: calls its argument once per
+/// `(param, grad)` pair of a module.
+type ParamVisitor<'v> = dyn FnMut(&mut dyn FnMut(&mut Matrix, &mut Matrix)) + 'v;
+
 /// Steps an Adam optimiser over a module exposed through a
 /// `visit_params`-style closure.
-fn adam_step(
-    opt: &mut Adam,
-    visit: &mut dyn FnMut(&mut dyn FnMut(&mut Matrix, &mut Matrix)),
-) {
+fn adam_step(opt: &mut Adam, visit: &mut ParamVisitor<'_>) {
     opt.begin_step();
     let mut slot = 0usize;
     visit(&mut |p, g| {
@@ -63,10 +64,7 @@ fn adam_step(
 }
 
 /// Clips the global gradient norm of a module; returns the pre-clip norm.
-fn clip_grads(
-    visit: &mut dyn FnMut(&mut dyn FnMut(&mut Matrix, &mut Matrix)),
-    max_norm: f64,
-) -> f64 {
+fn clip_grads(visit: &mut ParamVisitor<'_>, max_norm: f64) -> f64 {
     let mut sq = 0.0;
     visit(&mut |_, g| sq += g.as_slice().iter().map(|v| v * v).sum::<f64>());
     let norm = sq.sqrt();
@@ -166,12 +164,12 @@ impl OvsTrainer {
         let mut v_all = Matrix::zeros(rows, t);
         for (s, sample) in train.iter().enumerate() {
             for j in 0..m {
-                q_all.row_mut(s * m + j).copy_from_slice(
-                    &link_to_matrix(&sample.volume).row(j)[..t],
-                );
-                v_all.row_mut(s * m + j).copy_from_slice(
-                    &link_to_matrix(&sample.speed).row(j)[..t],
-                );
+                q_all
+                    .row_mut(s * m + j)
+                    .copy_from_slice(&link_to_matrix(&sample.volume).row(j)[..t]);
+                v_all
+                    .row_mut(s * m + j)
+                    .copy_from_slice(&link_to_matrix(&sample.speed).row(j)[..t]);
             }
         }
         let mut opt = Adam::new(self.cfg.lr * 10.0);
@@ -221,8 +219,8 @@ impl OvsTrainer {
                 let mut loss = speed_loss;
                 if self.cfg.w_volume_stage2 > 0.0 {
                     let (vol_loss, mut dq_vol) = mse(&q_pred, &q_target);
-                    let scale = self.cfg.w_volume_stage2
-                        * (self.cfg.v_max / self.cfg.q_norm).powi(2);
+                    let scale =
+                        self.cfg.w_volume_stage2 * (self.cfg.v_max / self.cfg.q_norm).powi(2);
                     loss += scale * vol_loss;
                     dq_vol.scale(scale);
                     dq.add_assign(&dq_vol);
@@ -255,8 +253,7 @@ impl OvsTrainer {
         // instead would bias the fit whenever the hidden scenario is much
         // lighter or heavier than the average generated tensor.
         let prior_mu = calibrate_demand_level(input);
-        let prior_scale =
-            self.cfg.w_prior * (self.cfg.v_max / self.cfg.g_max.max(1e-9)).powi(2);
+        let prior_scale = self.cfg.w_prior * (self.cfg.v_max / self.cfg.g_max.max(1e-9)).powi(2);
         let limits: Vec<f64> = input
             .net
             .links()
@@ -347,10 +344,7 @@ impl OvsTrainer {
 
     /// The full pipeline: stages 1-2 on the corpus, then the test-time
     /// fit. Returns the trained model and the loss traces.
-    pub fn run(
-        &self,
-        input: &EstimatorInput<'_>,
-    ) -> Result<(OvsModel, TrainReport)> {
+    pub fn run(&self, input: &EstimatorInput<'_>) -> Result<(OvsModel, TrainReport)> {
         validate_input(input)?;
         // Adapt the sigmoid scales to the corpus so the generator starts
         // inside the data range instead of saturating.
@@ -368,10 +362,11 @@ impl OvsTrainer {
         model
             .tod_gen
             .set_output_level(level / model.config().g_max.max(1e-9));
-        let mut report = TrainReport::default();
-        report.v2s_losses = trainer.train_v2s(&mut model, input.train)?;
-        report.tod2v_losses = trainer.train_tod2v(&mut model, input.train)?;
-        report.fit_losses = trainer.fit_tod_gen(&mut model, input)?;
+        let report = TrainReport {
+            v2s_losses: trainer.train_v2s(&mut model, input.train)?,
+            tod2v_losses: trainer.train_tod2v(&mut model, input.train)?,
+            fit_losses: trainer.fit_tod_gen(&mut model, input)?,
+        };
         Ok((model, report))
     }
 
@@ -413,7 +408,7 @@ impl OvsEstimator {
 }
 
 impl TodEstimator for OvsEstimator {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         self.cfg.variant.name()
     }
 
@@ -447,39 +442,25 @@ mod tests {
         triples: &'a [TrainTriple],
         census: Option<&'a [f64]>,
     ) -> EstimatorInput<'a> {
-        EstimatorInput {
-            net: &ds.net,
-            ods: &ds.ods,
-            interval_s: ds.sim_config.interval_s,
-            sim_seed: ds.sim_config.seed,
-            train: triples,
-            observed_speed: &ds.observed_speed,
-            census_totals: census,
-            cameras: None,
+        let mut b = EstimatorInput::builder(&ds.net, &ds.ods)
+            .interval_s(ds.sim_config.interval_s)
+            .sim_seed(ds.sim_config.seed)
+            .train(triples)
+            .observed_speed(&ds.observed_speed);
+        if let Some(c) = census {
+            b = b.census(c);
         }
-    }
-
-    fn triples(ds: &Dataset) -> Vec<TrainTriple> {
-        ds.train
-            .iter()
-            .map(|s| TrainTriple {
-                tod: s.tod.clone(),
-                volume: s.volume.clone(),
-                speed: s.speed.clone(),
-            })
-            .collect()
+        b.build()
     }
 
     #[test]
     fn stage1_reduces_v2s_loss() {
         let ds = tiny_dataset();
-        let tr = triples(&ds);
-        let input = to_input(&ds, &tr, None);
+        let input = to_input(&ds, &ds.train, None);
         let cfg = OvsConfig::tiny();
-        let mut model =
-            OvsModel::new(&ds.net, &ds.ods, 4, input.interval_s, cfg.clone()).unwrap();
+        let mut model = OvsModel::new(&ds.net, &ds.ods, 4, input.interval_s, cfg.clone()).unwrap();
         let trainer = OvsTrainer::new(cfg);
-        let losses = trainer.train_v2s(&mut model, &tr).unwrap();
+        let losses = trainer.train_v2s(&mut model, &ds.train).unwrap();
         let head: f64 = losses[..5].iter().sum::<f64>() / 5.0;
         let tail: f64 = losses[losses.len() - 5..].iter().sum::<f64>() / 5.0;
         assert!(tail < head, "stage 1: {head} -> {tail}");
@@ -488,8 +469,7 @@ mod tests {
     #[test]
     fn full_pipeline_runs_and_fit_loss_drops() {
         let ds = tiny_dataset();
-        let tr = triples(&ds);
-        let input = to_input(&ds, &tr, None);
+        let input = to_input(&ds, &ds.train, None);
         let trainer = OvsTrainer::new(OvsConfig::tiny());
         let (mut model, report) = trainer.run(&input).unwrap();
         let fit = &report.fit_losses;
@@ -502,8 +482,7 @@ mod tests {
     #[test]
     fn estimator_interface_produces_valid_tod() {
         let ds = tiny_dataset();
-        let tr = triples(&ds);
-        let input = to_input(&ds, &tr, None);
+        let input = to_input(&ds, &ds.train, None);
         let mut est = OvsEstimator::new(OvsConfig::tiny());
         assert_eq!(est.name(), "OVS");
         let tod = est.estimate(&input).unwrap();
@@ -515,18 +494,16 @@ mod tests {
     #[test]
     fn census_loss_pushes_daily_totals_toward_census() {
         let ds = tiny_dataset();
-        let tr = triples(&ds);
         let census: Vec<f64> = ds.census.as_slice().to_vec();
 
         // Without the constraint:
-        let input_plain = to_input(&ds, &tr, None);
+        let input_plain = to_input(&ds, &ds.train, None);
         let mut est = OvsEstimator::new(OvsConfig::tiny().with_seed(5));
         let tod_plain = est.estimate(&input_plain).unwrap();
 
         // With the constraint:
-        let input_census = to_input(&ds, &tr, Some(&census));
-        let mut est =
-            OvsEstimator::new(OvsConfig::tiny().with_seed(5).with_aux_weights(0.05, 0.0));
+        let input_census = to_input(&ds, &ds.train, Some(&census));
+        let mut est = OvsEstimator::new(OvsConfig::tiny().with_seed(5).with_aux_weights(0.05, 0.0));
         let tod_census = est.estimate(&input_census).unwrap();
 
         let err = |tod: &TodTensor| -> f64 {
@@ -552,7 +529,6 @@ mod tests {
         // and a heavy one. The calibrated level must be larger for the
         // heavy (slower) observation.
         let ds = tiny_dataset();
-        let tr = triples(&ds);
         let (mut light_idx, mut heavy_idx) = (0usize, 0usize);
         for (k, s) in ds.train.iter().enumerate() {
             if s.tod.total() < ds.train[light_idx].tod.total() {
@@ -562,9 +538,9 @@ mod tests {
                 heavy_idx = k;
             }
         }
-        let mut input_l = to_input(&ds, &tr, None);
+        let mut input_l = to_input(&ds, &ds.train, None);
         input_l.observed_speed = &ds.train[light_idx].speed;
-        let mut input_h = to_input(&ds, &tr, None);
+        let mut input_h = to_input(&ds, &ds.train, None);
         input_h.observed_speed = &ds.train[heavy_idx].speed;
         let level_l = calibrate_demand_level(&input_l);
         let level_h = calibrate_demand_level(&input_h);
@@ -583,8 +559,7 @@ mod tests {
     #[test]
     fn huber_fit_configuration_runs() {
         let ds = tiny_dataset();
-        let tr = triples(&ds);
-        let input = to_input(&ds, &tr, None);
+        let input = to_input(&ds, &ds.train, None);
         let mut cfg = OvsConfig::tiny();
         cfg.fit_huber_delta = 0.0; // plain MSE path
         let (mut m0, _) = OvsTrainer::new(cfg.clone()).run(&input).unwrap();
@@ -599,8 +574,7 @@ mod tests {
     #[test]
     fn speed_limit_aux_keeps_fit_physical() {
         let ds = tiny_dataset();
-        let tr = triples(&ds);
-        let input = to_input(&ds, &tr, None);
+        let input = to_input(&ds, &ds.train, None);
         let cfg = OvsConfig {
             w_speed_limit: 1.0,
             ..OvsConfig::tiny()
@@ -625,8 +599,7 @@ mod tests {
     #[test]
     fn ablated_variants_run_end_to_end() {
         let ds = tiny_dataset();
-        let tr = triples(&ds);
-        let input = to_input(&ds, &tr, None);
+        let input = to_input(&ds, &ds.train, None);
         for variant in [OvsVariant::NoTodGen, OvsVariant::NoTod2V, OvsVariant::NoV2S] {
             let mut est = OvsEstimator::new(OvsConfig::tiny().with_variant(variant));
             let tod = est.estimate(&input).unwrap();

@@ -97,7 +97,7 @@ impl GridSpec {
             }
         }
         let is_arterial = |idx: usize| -> bool {
-            self.arterial_every != 0 && idx % self.arterial_every == 0
+            self.arterial_every != 0 && idx.is_multiple_of(self.arterial_every)
         };
         for y in 0..self.rows {
             for x in 0..self.cols {
@@ -209,7 +209,7 @@ impl IrregularSpec {
             for (a, pa) in points.iter().enumerate().filter(|&(a, _)| in_tree[a]) {
                 for (b, pb) in points.iter().enumerate().filter(|&(b, _)| !in_tree[b]) {
                     let d = pa.distance_sq(pb);
-                    if best.map_or(true, |(.., bd)| d < bd) {
+                    if best.is_none_or(|(.., bd)| d < bd) {
                         best = Some((a, b, d));
                     }
                 }
@@ -318,8 +318,8 @@ impl RadialSpec {
             }
         }
         // Spokes: centre -> ring1 -> ... -> outermost.
-        for s in 0..self.spokes {
-            b.add_road(centre, ids[0][s], self.spoke_lanes, self.spoke_speed_mps)?;
+        for (s, &innermost) in ids[0].iter().enumerate() {
+            b.add_road(centre, innermost, self.spoke_lanes, self.spoke_speed_mps)?;
             for r in 1..self.rings {
                 b.add_road(
                     ids[r - 1][s],
@@ -380,8 +380,8 @@ mod tests {
     fn arterials_get_more_lanes() {
         let net = GridSpec::new(5, 5).with_arterials(2).build(0);
         let lanes: Vec<u8> = net.links().iter().map(|l| l.lanes).collect();
-        assert!(lanes.iter().any(|&l| l == 1));
-        assert!(lanes.iter().any(|&l| l == 2));
+        assert!(lanes.contains(&1));
+        assert!(lanes.contains(&2));
     }
 
     #[test]

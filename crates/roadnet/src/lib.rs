@@ -35,8 +35,10 @@ pub mod geometry;
 pub mod ids;
 pub mod network;
 pub mod od;
+pub mod parallel;
 pub mod presets;
 pub mod routing;
+pub mod sample;
 pub mod stats;
 pub mod tensor;
 
@@ -45,4 +47,6 @@ pub use geometry::Point;
 pub use ids::{LinkId, NodeId, OdPairId, RegionId};
 pub use network::{Link, Node, Region, RoadNetwork};
 pub use od::{OdPair, OdSet};
+pub use parallel::Parallelism;
+pub use sample::TrainTriple;
 pub use tensor::{LinkTensor, TodTensor};

@@ -319,7 +319,13 @@ impl NetworkBuilder {
     }
 
     /// Adds a single directed link; length is the Euclidean node distance.
-    pub fn add_link(&mut self, from: NodeId, to: NodeId, lanes: u8, speed_mps: f64) -> Result<LinkId> {
+    pub fn add_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        lanes: u8,
+        speed_mps: f64,
+    ) -> Result<LinkId> {
         let pf = *self
             .points
             .get(from.index())
@@ -336,7 +342,7 @@ impl NetworkBuilder {
         if lanes == 0 {
             return Err(RoadnetError::InvalidAttribute("lanes must be >= 1".into()));
         }
-        if !(speed_mps > 0.0) {
+        if speed_mps.is_nan() || speed_mps <= 0.0 {
             return Err(RoadnetError::InvalidAttribute(format!(
                 "speed limit must be positive, got {speed_mps}"
             )));

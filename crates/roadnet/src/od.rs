@@ -209,8 +209,7 @@ mod tests {
     #[test]
     fn validate_rejects_unknown_regions() {
         let net = three_region_net();
-        let set =
-            OdSet::from_pairs(vec![OdPair::new(RegionId(0), RegionId(9)).unwrap()]).unwrap();
+        let set = OdSet::from_pairs(vec![OdPair::new(RegionId(0), RegionId(9)).unwrap()]).unwrap();
         assert!(set.validate(&net).is_err());
     }
 }

@@ -197,14 +197,9 @@ mod tests {
     fn banned_link_forces_detour() {
         let (net, a, _b, c) = triangle();
         let direct = shortest_path(&net, a, c).unwrap().links[0];
-        let r = dijkstra_with_bans(
-            &net,
-            a,
-            c,
-            &|l| l.length_m,
-            &|lid| lid == direct,
-            &|_| false,
-        )
+        let r = dijkstra_with_bans(&net, a, c, &|l| l.length_m, &|lid| lid == direct, &|_| {
+            false
+        })
         .unwrap();
         assert_eq!(r.links.len(), 2);
         assert!(!r.contains_link(direct));

@@ -50,8 +50,7 @@ pub fn k_shortest_paths(
                 }
             }
             // Ban root nodes (except the spur node) to keep paths loopless.
-            let banned_nodes: HashSet<NodeId> =
-                last_nodes[..spur_idx].iter().copied().collect();
+            let banned_nodes: HashSet<NodeId> = last_nodes[..spur_idx].iter().copied().collect();
 
             let spur = match dijkstra_with_bans(
                 net,
@@ -68,10 +67,7 @@ pub fn k_shortest_paths(
 
             let mut links = root_links.to_vec();
             links.extend_from_slice(&spur.links);
-            let total_cost: f64 = links
-                .iter()
-                .map(|&l| cost(&net.links()[l.index()]))
-                .sum();
+            let total_cost: f64 = links.iter().map(|&l| cost(&net.links()[l.index()])).sum();
             let candidate = Route {
                 links,
                 cost: total_cost,

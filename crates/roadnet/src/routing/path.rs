@@ -39,9 +39,9 @@ impl Route {
 
     /// True when consecutive links share endpoints (the route is connected).
     pub fn is_connected(&self, net: &RoadNetwork) -> bool {
-        self.links.windows(2).all(|w| {
-            net.links()[w[0].index()].to == net.links()[w[1].index()].from
-        })
+        self.links
+            .windows(2)
+            .all(|w| net.links()[w[0].index()].to == net.links()[w[1].index()].from)
     }
 
     /// True when the route visits no node twice (simple path).

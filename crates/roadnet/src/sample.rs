@@ -1,0 +1,22 @@
+//! The matched training triple shared across the workspace.
+//!
+//! The paper's data-preprocess pipeline (§V-D, Fig 7) produces corpora of
+//! `(TOD, volume, speed)` triples: a generated TOD tensor together with
+//! the link volumes and speeds the simulator produced for it. Both the
+//! data-generation side (`datagen`) and the estimator side (`ovs-core`)
+//! consume exactly this shape, so the type lives here in the substrate
+//! crate and is re-exported by both (as `datagen::TrainingSample` and
+//! `ovs_core::estimator::TrainTriple`).
+
+use crate::tensor::{LinkTensor, TodTensor};
+
+/// One matched `(TOD, volume, speed)` training triple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainTriple {
+    /// Generated TOD tensor (`N x T`).
+    pub tod: TodTensor,
+    /// Simulated link volumes (`M x T`).
+    pub volume: LinkTensor,
+    /// Simulated link speeds (`M x T`).
+    pub speed: LinkTensor,
+}

@@ -10,7 +10,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use roadnet::{NodeId, OdPair, OdPairId, OdSet, RoadNetwork, Result, RoadnetError, TodTensor};
+use roadnet::{NodeId, OdPair, OdPairId, OdSet, Result, RoadNetwork, RoadnetError, TodTensor};
 
 /// A trip ready to enter the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

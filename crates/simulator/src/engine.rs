@@ -29,6 +29,10 @@ use roadnet::{LinkId, LinkTensor, NodeId, OdSet, Result, RoadNetwork, RoadnetErr
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
+/// Route cache for the time-dependent routing policy, keyed by
+/// `(origin, destination, interval)`.
+type DynRouteCache = HashMap<(NodeId, NodeId, usize), Option<Arc<Vec<LinkId>>>>;
+
 /// Summary counters of one run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
@@ -98,6 +102,11 @@ pub struct SimOutput {
 
 /// A configured simulation, reusable across TOD tensors (route caches for
 /// static policies persist between runs).
+///
+/// `Clone` is cheap relative to a run (the route cache is shared via
+/// `Arc`), which lets parallel data generation hand each worker its own
+/// simulation cloned from one warm template.
+#[derive(Clone)]
 pub struct Simulation<'a> {
     net: &'a RoadNetwork,
     ods: &'a OdSet,
@@ -211,8 +220,7 @@ impl<'a> Simulation<'a> {
         use rand::{Rng as _, SeedableRng as _};
         let mut class_rng = rand::rngs::StdRng::seed_from_u64(self.cfg.seed ^ 0x5EED_70C5);
         // Per-interval route cache for the time-dependent policy.
-        let mut dyn_routes: HashMap<(NodeId, NodeId, usize), Option<Arc<Vec<LinkId>>>> =
-            HashMap::new();
+        let mut dyn_routes: DynRouteCache = HashMap::new();
 
         for tick in 0..self.cfg.total_ticks() {
             let interval = (tick / tpi) as usize;
@@ -310,8 +318,7 @@ impl<'a> Simulation<'a> {
             for li in 0..m {
                 exit_budget[li] =
                     (exit_budget[li] + self.sat_flow_per_tick[li]).min(self.lanes[li].max(1.0));
-                loop {
-                    let Some(front) = links[li].front() else { break };
+                while let Some(front) = links[li].front() {
                     if front.pos_m < self.len_m[li] - 1e-9 {
                         break;
                     }
@@ -366,7 +373,7 @@ impl<'a> Simulation<'a> {
         req: SpawnRequest,
         interval: usize,
         observer: &Observer,
-        dyn_routes: &mut HashMap<(NodeId, NodeId, usize), Option<Arc<Vec<LinkId>>>>,
+        dyn_routes: &mut DynRouteCache,
     ) -> Option<Arc<Vec<LinkId>>> {
         match self.cfg.routing {
             RoutingPolicy::Shortest | RoutingPolicy::FreeFlowFastest => {
@@ -516,12 +523,17 @@ mod tests {
         let (net, ods) = setup();
         let light = TodTensor::filled(ods.len(), 3, 0.5);
         let heavy = TodTensor::filled(ods.len(), 3, 30.0);
-        let cfg = SimConfig::default().with_intervals(3).with_interval_s(300.0);
+        let cfg = SimConfig::default()
+            .with_intervals(3)
+            .with_interval_s(300.0);
         let out_l = Simulation::new(&net, &ods, cfg.clone())
             .unwrap()
             .run(&light)
             .unwrap();
-        let out_h = Simulation::new(&net, &ods, cfg).unwrap().run(&heavy).unwrap();
+        let out_h = Simulation::new(&net, &ods, cfg)
+            .unwrap()
+            .run(&heavy)
+            .unwrap();
         let mean = |t: &LinkTensor| t.total() / t.as_slice().len() as f64;
         assert!(
             mean(&out_h.speed) < mean(&out_l.speed),

@@ -237,10 +237,10 @@ mod tests {
         let mut vertical = None;
         for &lid in ins {
             let l = &net.links()[lid.index()];
-            let dx = (net.nodes()[l.to.index()].point.x - net.nodes()[l.from.index()].point.x)
-                .abs();
-            let dy = (net.nodes()[l.to.index()].point.y - net.nodes()[l.from.index()].point.y)
-                .abs();
+            let dx =
+                (net.nodes()[l.to.index()].point.x - net.nodes()[l.from.index()].point.x).abs();
+            let dy =
+                (net.nodes()[l.to.index()].point.y - net.nodes()[l.from.index()].point.y).abs();
             if dx >= dy {
                 horizontal = Some(lid);
             } else {

@@ -35,8 +35,14 @@ fn scenario_round_trips() {
     let json = serde_json::to_string(&s).unwrap();
     let back: Scenario = serde_json::from_str(&json).unwrap();
     assert_eq!(back.disruptions().len(), 2);
-    assert_eq!(back.factors(roadnet::LinkId(3)), s.factors(roadnet::LinkId(3)));
-    assert_eq!(back.factors(roadnet::LinkId(7)), s.factors(roadnet::LinkId(7)));
+    assert_eq!(
+        back.factors(roadnet::LinkId(3)),
+        s.factors(roadnet::LinkId(3))
+    );
+    assert_eq!(
+        back.factors(roadnet::LinkId(7)),
+        s.factors(roadnet::LinkId(7))
+    );
 }
 
 #[test]
@@ -47,11 +53,16 @@ fn configs_affect_runs_but_serde_does_not() {
     let net = synthetic_grid();
     let ods = OdSet::all_pairs(&net);
     let tod = TodTensor::filled(ods.len(), 2, 2.0);
-    let cfg = SimConfig::default().with_intervals(2).with_interval_s(120.0);
+    let cfg = SimConfig::default()
+        .with_intervals(2)
+        .with_interval_s(120.0);
     let json = serde_json::to_string(&cfg).unwrap();
     let cfg2: SimConfig = serde_json::from_str(&json).unwrap();
     let a = Simulation::new(&net, &ods, cfg).unwrap().run(&tod).unwrap();
-    let b = Simulation::new(&net, &ods, cfg2).unwrap().run(&tod).unwrap();
+    let b = Simulation::new(&net, &ods, cfg2)
+        .unwrap()
+        .run(&tod)
+        .unwrap();
     assert_eq!(a.speed, b.speed);
     assert_eq!(a.volume, b.volume);
 }

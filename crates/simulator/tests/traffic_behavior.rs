@@ -30,7 +30,9 @@ fn corridor(n: usize) -> (roadnet::RoadNetwork, OdSet) {
 }
 
 fn cfg(t: usize) -> SimConfig {
-    SimConfig::default().with_intervals(t).with_interval_s(300.0)
+    SimConfig::default()
+        .with_intervals(t)
+        .with_interval_s(300.0)
 }
 
 #[test]
@@ -39,7 +41,10 @@ fn platoon_travels_downstream_with_delay() {
     // One burst of demand in the first interval only.
     let mut tod = TodTensor::zeros(1, 4);
     tod.set(roadnet::OdPairId(0), 0, 30.0);
-    let out = Simulation::new(&net, &ods, cfg(4)).unwrap().run(&tod).unwrap();
+    let out = Simulation::new(&net, &ods, cfg(4))
+        .unwrap()
+        .run(&tod)
+        .unwrap();
     // The first link sees its volume in interval 0; the last link sees a
     // nonzero share later (free-flow crossing of 6 x 300 m at 10 m/s is
     // 180 s < 300 s, but departures spread over the whole interval).
@@ -59,7 +64,10 @@ fn bottleneck_spills_back_upstream() {
     let (net, ods) = corridor(4);
     let t = 3;
     let tod = TodTensor::filled(1, t, 80.0);
-    let free = Simulation::new(&net, &ods, cfg(t)).unwrap().run(&tod).unwrap();
+    let free = Simulation::new(&net, &ods, cfg(t))
+        .unwrap()
+        .run(&tod)
+        .unwrap();
     // Choke the third link hard.
     let choke = LinkId(2);
     let scenario = Scenario::with_disruptions(vec![LinkDisruption {
@@ -75,9 +83,7 @@ fn bottleneck_spills_back_upstream() {
     // The *upstream* links must also slow down (spillback), even though
     // they are not disrupted themselves.
     let upstream = LinkId(1);
-    let mean = |o: &simulator::SimOutput, l: LinkId| {
-        o.speed.row(l).iter().sum::<f64>() / t as f64
-    };
+    let mean = |o: &simulator::SimOutput, l: LinkId| o.speed.row(l).iter().sum::<f64>() / t as f64;
     assert!(
         mean(&jam, upstream) < mean(&free, upstream) - 0.5,
         "spillback: upstream {:.2} (jam) vs {:.2} (free)",
@@ -111,7 +117,10 @@ fn signals_reduce_throughput() {
         .unwrap()])
         .unwrap();
         let tod = TodTensor::filled(1, 2, 20.0);
-        let out = Simulation::new(&net, &ods, cfg(2)).unwrap().run(&tod).unwrap();
+        let out = Simulation::new(&net, &ods, cfg(2))
+            .unwrap()
+            .run(&tod)
+            .unwrap();
         out.speed.total() / out.speed.as_slice().len() as f64
     };
     let free_flow = build(false);
@@ -131,8 +140,7 @@ fn storage_capacity_limits_entries() {
     let c = b.add_node(Point::new(150.0, 0.0));
     b.add_link(a, c, 1, 10.0).unwrap();
     let net = b.assign_regions_grid(1, 2).build().unwrap();
-    let ods =
-        OdSet::from_pairs(vec![OdPair::new(RegionId(0), RegionId(1)).unwrap()]).unwrap();
+    let ods = OdSet::from_pairs(vec![OdPair::new(RegionId(0), RegionId(1)).unwrap()]).unwrap();
     let tod = TodTensor::filled(1, 1, 500.0);
     let cfg = SimConfig {
         cooldown_s: 0.0,
@@ -160,8 +168,14 @@ fn cooldown_lets_late_vehicles_finish() {
         cooldown_s: 600.0,
         ..cfg(2)
     };
-    let a = Simulation::new(&net, &ods, no_cool).unwrap().run(&tod).unwrap();
-    let b = Simulation::new(&net, &ods, with_cool).unwrap().run(&tod).unwrap();
+    let a = Simulation::new(&net, &ods, no_cool)
+        .unwrap()
+        .run(&tod)
+        .unwrap();
+    let b = Simulation::new(&net, &ods, with_cool)
+        .unwrap()
+        .run(&tod)
+        .unwrap();
     assert!(b.stats.arrived > a.stats.arrived);
     // Observations must be identical: cooldown ticks are not recorded.
     assert_eq!(a.volume, b.volume);
@@ -233,7 +247,10 @@ fn trucks_slow_the_network() {
 fn truck_fraction_zero_is_bit_identical_to_default() {
     let (net, ods) = corridor(4);
     let tod = TodTensor::filled(1, 2, 10.0);
-    let a = Simulation::new(&net, &ods, cfg(2)).unwrap().run(&tod).unwrap();
+    let a = Simulation::new(&net, &ods, cfg(2))
+        .unwrap()
+        .run(&tod)
+        .unwrap();
     let b = Simulation::new(
         &net,
         &ods,
@@ -295,7 +312,10 @@ fn fundamental_diagram_emerges() {
     let mut samples: Vec<(f64, f64)> = Vec::new();
     for &demand in &[5.0, 20.0, 40.0, 80.0] {
         let tod = TodTensor::filled(1, 2, demand);
-        let out = Simulation::new(&net, &ods, cfg(2)).unwrap().run(&tod).unwrap();
+        let out = Simulation::new(&net, &ods, cfg(2))
+            .unwrap()
+            .run(&tod)
+            .unwrap();
         for j in 0..net.num_links() {
             for t in 0..2 {
                 let l = LinkId(j);

@@ -46,10 +46,15 @@ fn main() {
     });
     let (result, recovered) = run_method(&mut ovs, &ds, &input).expect("OVS runs");
 
-    println!("recovered demand:           {:.0} trips total", recovered.total());
+    println!(
+        "recovered demand:           {:.0} trips total",
+        recovered.total()
+    );
     println!(
         "RMSE  tod {:.2} | volume {:.2} | speed {:.3}  (trained in {:.1}s)",
         result.rmse.tod, result.rmse.volume, result.rmse.speed, result.seconds
     );
-    println!("lower is better; compare against `cargo run --release -p bench --bin table08_synthetic`");
+    println!(
+        "lower is better; compare against `cargo run --release -p bench --bin table08_synthetic`"
+    );
 }

@@ -39,7 +39,9 @@ fn main() {
     );
     println!("demand: {:.0} trips over {t} intervals", tod.total());
 
-    let cfg = SimConfig::default().with_intervals(t).with_interval_s(600.0);
+    let cfg = SimConfig::default()
+        .with_intervals(t)
+        .with_interval_s(600.0);
     let out = Simulation::new(&net, &ods, cfg)
         .expect("simulation builds")
         .run(&tod)

@@ -15,7 +15,9 @@ use neural::rng::Rng64;
 fn main() {
     let net = synthetic_grid();
     let ods = OdSet::all_pairs(&net);
-    let cfg = SimConfig::default().with_intervals(4).with_interval_s(300.0);
+    let cfg = SimConfig::default()
+        .with_intervals(4)
+        .with_interval_s(300.0);
     let mut rng = Rng64::new(5);
     let tod = TodPattern::Gaussian.generate(ods.len(), 4, 5.0, 0.2, &mut rng);
     println!(
@@ -32,8 +34,8 @@ fn main() {
     for &scale in &[1.0, 2.0, 5.0, 10.0, 20.0] {
         let mut rng = Rng64::new(9);
         let fleet = sample_taxi_fleet(&trips, scale, &mut rng);
-        let rebuilt = trips_to_tod(&fleet, ods.len(), 4, cfg.ticks_per_interval(), scale)
-            .expect("rebuild");
+        let rebuilt =
+            trips_to_tod(&fleet, ods.len(), 4, cfg.ticks_per_interval(), scale).expect("rebuild");
         let err = tod.rmse(&rebuilt).expect("same shape");
         println!("{scale:>10.0} {:>12} {:>18.2}", fleet.len(), err);
     }

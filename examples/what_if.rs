@@ -13,8 +13,8 @@ use city_od::datagen::{Dataset, TodPattern};
 use city_od::eval::harness::{run_method, DatasetInput};
 use city_od::ovs_core::trainer::OvsEstimator;
 use city_od::ovs_core::OvsConfig;
-use city_od::simulator::{LinkDisruption, Scenario, Simulation};
 use city_od::roadnet::LinkId;
+use city_od::simulator::{LinkDisruption, Scenario, Simulation};
 
 fn main() {
     let spec = DatasetSpec {
@@ -34,7 +34,10 @@ fn main() {
         ..OvsConfig::default()
     });
     let (res, recovered) = run_method(&mut ovs, &ds, &input).expect("OVS runs");
-    println!("recovered TOD (RMSE {:.2}) — now asking: what if we close two roads?", res.rmse.tod);
+    println!(
+        "recovered TOD (RMSE {:.2}) — now asking: what if we close two roads?",
+        res.rmse.tod
+    );
 
     // 2. Re-simulate the recovered demand under road work on two central
     //    links that was never present in the observation.

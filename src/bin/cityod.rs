@@ -10,6 +10,11 @@
 //! Networks: `grid3x3`, `hangzhou`, `porto`, `manhattan`, `state_college`.
 //! Methods: `ovs` (default), `gravity`, `genetic`, `gls`, `em`, `nn`,
 //! `lstm`, or `all`.
+//!
+//! Every command accepts `--threads N` to pin the worker-thread count of
+//! the parallel data-generation and evaluation layers (`CITYOD_THREADS`
+//! is the environment fallback; the machine's core count is the default).
+//! Results are bit-identical for every thread count.
 
 use city_od::baselines;
 use city_od::datagen::dataset::DatasetSpec;
@@ -70,7 +75,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cityod networks\n  cityod simulate <net> [--t N] [--demand F] [--seed S]\n  cityod recover <net> [--method ovs|gravity|genetic|gls|em|nn|lstm|all] [--t N] [--demand F] [--seed S] [--aux]\n  cityod checkpoint <net> <path.json> [--t N] [--demand F] [--seed S]\nnetworks: grid3x3 hangzhou porto manhattan state_college"
+        "usage:\n  cityod networks\n  cityod simulate <net> [--t N] [--demand F] [--seed S] [--threads N]\n  cityod recover <net> [--method ovs|gravity|genetic|gls|em|nn|lstm|all] [--t N] [--demand F] [--seed S] [--aux] [--threads N]\n  cityod checkpoint <net> <path.json> [--t N] [--demand F] [--seed S] [--threads N]\nnetworks: grid3x3 hangzhou porto manhattan state_college"
     );
     ExitCode::from(2)
 }
@@ -111,12 +116,19 @@ fn method_by_name(name: &str, seed: u64, ovs: OvsConfig) -> Option<Box<dyn TodEs
 
 fn main() -> ExitCode {
     let args = parse_args();
+    // Pin the worker-thread count before any parallel work is dispatched:
+    // --threads beats CITYOD_THREADS beats the machine's core count.
+    let requested = args.flags.get("threads").and_then(|v| v.parse().ok());
+    city_od::roadnet::parallel::init_global(requested);
     let Some(cmd) = args.positional.first().map(String::as_str) else {
         return usage();
     };
     match cmd {
         "networks" => {
-            println!("{:<15} {:>13} {:>8} {:>9}", "network", "intersections", "roads", "regions");
+            println!(
+                "{:<15} {:>13} {:>8} {:>9}",
+                "network", "intersections", "roads", "regions"
+            );
             let grid = presets::synthetic_grid();
             println!(
                 "{:<15} {:>13} {:>8} {:>9}",
@@ -172,7 +184,10 @@ fn main() -> ExitCode {
                         for j in 0..ds.n_links() {
                             s += ds.observed_speed.get(city_od::roadnet::LinkId(j), ti);
                         }
-                        println!("  interval {ti}: mean speed {:.2} m/s", s / ds.n_links() as f64);
+                        println!(
+                            "  interval {ti}: mean speed {:.2} m/s",
+                            s / ds.n_links() as f64
+                        );
                     }
                     ExitCode::SUCCESS
                 }

@@ -59,9 +59,8 @@ fn city_pipeline_runs_end_to_end_with_aux_data() {
     let input = owned.input(&ds, true);
     assert!(input.census_totals.is_some());
     assert!(input.cameras.is_some());
-    let mut ovs = city_od::ovs_core::trainer::OvsEstimator::new(
-        tiny_ovs().with_aux_weights(0.1, 0.1),
-    );
+    let mut ovs =
+        city_od::ovs_core::trainer::OvsEstimator::new(tiny_ovs().with_aux_weights(0.1, 0.1));
     let (res, tod) = run_method(&mut ovs, &ds, &input).unwrap();
     assert!(res.rmse.is_finite());
     assert!(tod.is_non_negative());

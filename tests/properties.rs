@@ -69,7 +69,9 @@ proptest! {
 fn congestion_monotonicity() {
     let net = grid_net();
     let ods = OdSet::all_pairs(&net);
-    let cfg = SimConfig::default().with_intervals(3).with_interval_s(300.0);
+    let cfg = SimConfig::default()
+        .with_intervals(3)
+        .with_interval_s(300.0);
     let mean_speed = |scale: f64| {
         let tod = TodTensor::filled(ods.len(), 3, scale);
         let out = Simulation::new(&net, &ods, cfg.clone())

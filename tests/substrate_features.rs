@@ -26,8 +26,7 @@ fn spec() -> DatasetSpec {
 #[test]
 fn taxi_pipeline_reconstructs_demand_from_trips() {
     let ds = Dataset::synthetic(TodPattern::Gaussian, &spec()).unwrap();
-    let trips =
-        record_all_trips(&ds.net, &ds.ods, &ds.sim_config, &ds.groundtruth_tod).unwrap();
+    let trips = record_all_trips(&ds.net, &ds.ods, &ds.sim_config, &ds.groundtruth_tod).unwrap();
     let rebuilt = trips_to_tod(
         &trips,
         ds.n_od(),
@@ -52,7 +51,9 @@ fn mixed_fleet_and_actuated_signals_compose() {
     let cfg = SimConfig {
         truck_fraction: 0.3,
         signal_control: SignalControl::Actuated,
-        ..SimConfig::default().with_intervals(2).with_interval_s(120.0)
+        ..SimConfig::default()
+            .with_intervals(2)
+            .with_interval_s(120.0)
     };
     let out = Simulation::new(&net, &ods, cfg).unwrap().run(&tod).unwrap();
     assert!(out.stats.is_conserved());

@@ -1,0 +1,548 @@
+//! Offline API-subset stand-in for the `rayon` crate.
+//!
+//! Implements the surface the workspace uses — thread pools with
+//! `install`, `current_num_threads`, and parallel iterators over ranges
+//! and slices supporting `map`/`enumerate`/`for_each`/`collect`, plus
+//! `par_chunks_mut` — on top of `std::thread::scope`. Work is split into
+//! one contiguous block per worker thread; a pool of size 1 (and the
+//! degenerate single-item case) runs inline on the calling thread.
+//!
+//! Like real rayon, `ThreadPool::install` scopes the worker count for
+//! parallel iterators run inside the closure, and `build_global` pins the
+//! default pool size for the whole process.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel iterators will use on this thread:
+/// the innermost `ThreadPool::install` scope if any, else the global pool
+/// size (`ThreadPoolBuilder::build_global`), else the machine parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    if installed != 0 {
+        return installed;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global != 0 {
+        return global;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error building a thread pool (only occurs when the global pool is
+/// initialised twice, mirroring rayon's contract).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(String);
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for thread pools.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (machine) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; 0 means machine parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds a scoped pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+
+    /// Initialises the process-global pool size. Errors if called twice.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        match GLOBAL_THREADS.compare_exchange(0, n, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => Ok(()),
+            Err(_) => Err(ThreadPoolBuildError(
+                "the global thread pool has already been initialized".into(),
+            )),
+        }
+    }
+}
+
+/// A pool of worker threads (logical: workers are spawned per operation).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count in effect for any parallel
+    /// iterators executed inside it.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.num_threads);
+            let out = op();
+            c.set(prev);
+            out
+        })
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Core executor: evaluates `f(0..len)` across the current worker count,
+/// one contiguous index block per worker, results in index order.
+fn execute<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (t, block) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let base = t * chunk;
+                for (off, slot) in block.iter_mut().enumerate() {
+                    *slot = Some(f(base + off));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Parallel iterators.
+pub mod iter {
+    use super::execute;
+    use std::ops::Range;
+
+    /// A finite, random-access parallel iterator ("indexed pull" model:
+    /// every adapter exposes its length and a pure per-index getter, and
+    /// terminal operations fan the index space out across workers).
+    pub trait ParallelIterator: Sized + Sync {
+        /// Item type.
+        type Item: Send;
+
+        /// Number of items.
+        fn par_len(&self) -> usize;
+
+        /// Produces the `i`-th item.
+        fn par_get(&self, i: usize) -> Self::Item;
+
+        /// Maps each item through `f`.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Pairs each item with its index.
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate { inner: self }
+        }
+
+        /// Runs `f` on every item in parallel.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            let _ = execute(self.par_len(), |i| f(self.par_get(i)));
+        }
+
+        /// Collects all items in index order.
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_ordered(execute(self.par_len(), |i| self.par_get(i)))
+        }
+    }
+
+    /// Conversion into a parallel iterator (owned).
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Conversion into a borrowing parallel iterator.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Iterates over `&self`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    /// Conversion into a mutably borrowing parallel iterator.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Item type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Iterates over `&mut self`.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    /// Collection from an ordered item vector.
+    pub trait FromParallelIterator<T> {
+        /// Builds the collection.
+        fn from_ordered(items: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+        fn from_ordered(items: Vec<Result<T, E>>) -> Self {
+            items.into_iter().collect()
+        }
+    }
+
+    /// Parallel iterator over a `Range<usize>`.
+    pub struct RangeIter {
+        start: usize,
+        len: usize,
+    }
+
+    impl ParallelIterator for RangeIter {
+        type Item = usize;
+        fn par_len(&self) -> usize {
+            self.len
+        }
+        fn par_get(&self, i: usize) -> usize {
+            self.start + i
+        }
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Item = usize;
+        type Iter = RangeIter;
+        fn into_par_iter(self) -> RangeIter {
+            RangeIter {
+                start: self.start,
+                len: self.end.saturating_sub(self.start),
+            }
+        }
+    }
+
+    /// Parallel iterator over slice elements.
+    pub struct SliceIter<'a, T: Sync> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+        type Item = &'a T;
+        fn par_len(&self) -> usize {
+            self.slice.len()
+        }
+        fn par_get(&self, i: usize) -> &'a T {
+            &self.slice[i]
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { slice: self }
+        }
+    }
+
+    /// Parallel iterator over mutable slice elements.
+    pub struct SliceIterMut<'a, T: Send> {
+        ptr: *mut T,
+        len: usize,
+        _marker: std::marker::PhantomData<&'a mut [T]>,
+    }
+
+    // SAFETY: the iterator only hands out disjoint `&mut` borrows (terminal
+    // operations call `par_get` exactly once per index), so sharing the
+    // raw base pointer across workers is sound for `T: Send`.
+    unsafe impl<T: Send> Sync for SliceIterMut<'_, T> {}
+
+    impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+        type Item = &'a mut T;
+        fn par_len(&self) -> usize {
+            self.len
+        }
+        fn par_get(&self, i: usize) -> &'a mut T {
+            assert!(i < self.len);
+            // SAFETY: `i` is in bounds and every index is produced at most
+            // once per terminal operation, so the `&mut` never aliases.
+            unsafe { &mut *self.ptr.add(i) }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        type Iter = SliceIterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+            SliceIterMut {
+                ptr: self.as_mut_ptr(),
+                len: self.len(),
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        type Iter = SliceIterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+            self.as_mut_slice().par_iter_mut()
+        }
+    }
+
+    /// `map` adapter.
+    pub struct Map<I, F> {
+        inner: I,
+        f: F,
+    }
+
+    impl<I, R, F> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync,
+    {
+        type Item = R;
+        fn par_len(&self) -> usize {
+            self.inner.par_len()
+        }
+        fn par_get(&self, i: usize) -> R {
+            (self.f)(self.inner.par_get(i))
+        }
+    }
+
+    /// `enumerate` adapter.
+    pub struct Enumerate<I> {
+        inner: I,
+    }
+
+    impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+        type Item = (usize, I::Item);
+        fn par_len(&self) -> usize {
+            self.inner.par_len()
+        }
+        fn par_get(&self, i: usize) -> (usize, I::Item) {
+            (i, self.inner.par_get(i))
+        }
+    }
+}
+
+/// Parallel operations on mutable slices.
+pub mod slice {
+    /// Extension trait adding `par_chunks_mut`.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Splits into chunks of `size` processed in parallel.
+        fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
+            assert!(size > 0, "chunk size must be positive");
+            ChunksMut { slice: self, size }
+        }
+    }
+
+    /// Parallel mutable-chunk iterator (terminal ops only).
+    pub struct ChunksMut<'a, T: Send> {
+        slice: &'a mut [T],
+        size: usize,
+    }
+
+    /// `enumerate` over mutable chunks.
+    pub struct EnumerateChunksMut<'a, T: Send> {
+        inner: ChunksMut<'a, T>,
+    }
+
+    impl<'a, T: Send> ChunksMut<'a, T> {
+        /// Pairs each chunk with its index.
+        pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+            EnumerateChunksMut { inner: self }
+        }
+
+        fn run<F>(self, f: F)
+        where
+            F: Fn(usize, &mut [T]) + Sync,
+        {
+            let chunks: Vec<&mut [T]> = self.slice.chunks_mut(self.size).collect();
+            let n = chunks.len();
+            let threads = super::current_num_threads().min(n.max(1));
+            if threads <= 1 || n <= 1 {
+                for (i, c) in chunks.into_iter().enumerate() {
+                    f(i, c);
+                }
+                return;
+            }
+            // One contiguous block of chunks per worker.
+            let mut slots: Vec<(usize, Option<&mut [T]>)> = chunks
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| (i, Some(c)))
+                .collect();
+            let block = n.div_ceil(threads);
+            std::thread::scope(|s| {
+                for part in slots.chunks_mut(block) {
+                    let f = &f;
+                    s.spawn(move || {
+                        for (i, c) in part.iter_mut() {
+                            if let Some(chunk) = c.take() {
+                                f(*i, chunk);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        /// Runs `f` on every chunk in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut [T]) + Sync,
+        {
+            self.run(|_, c| f(c));
+        }
+    }
+
+    impl<'a, T: Send> EnumerateChunksMut<'a, T> {
+        /// Runs `f` on every `(index, chunk)` pair in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &mut [T])) + Sync,
+        {
+            self.inner.run(|i, c| f((i, c)));
+        }
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
+    };
+    pub use crate::slice::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| (0..100).into_par_iter().map(|i| i * 2).collect());
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_collect_result() {
+        let items = vec![1u32, 2, 3, 4];
+        let ok: Result<Vec<u32>, String> =
+            items.par_iter().map(|&v| Ok::<_, String>(v + 1)).collect();
+        assert_eq!(ok.unwrap(), vec![2, 3, 4, 5]);
+        let err: Result<Vec<u32>, String> = items
+            .par_iter()
+            .map(|&v| {
+                if v == 3 {
+                    Err("three".to_string())
+                } else {
+                    Ok(v)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "three");
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let mut data = vec![0.0f64; 37];
+        pool.install(|| {
+            data.par_chunks_mut(5)
+                .enumerate()
+                .for_each(|(i, chunk)| chunk.iter_mut().for_each(|v| *v = i as f64));
+        });
+        for (k, v) in data.iter().enumerate() {
+            assert_eq!(*v, (k / 5) as f64);
+        }
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 7);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_every_element_once() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut data: Vec<u64> = (0..53).collect();
+        pool.install(|| data.par_iter_mut().for_each(|v| *v += 100));
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 100);
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Offline API-subset stand-in for the `serde` crate.
+//!
+//! Serialization is modelled directly on a JSON-like [`value::Value`]
+//! tree rather than serde's visitor architecture: `Serialize` renders a
+//! value tree, `Deserialize` reads one back. The derive macros (from the
+//! sibling `serde_derive` stub) cover named-field structs, newtype
+//! structs, unit enums, and the `transparent` / `skip` / `default` field
+//! attributes used in this workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// Serialization/deserialization error (message-only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The JSON-like data model serialization goes through.
+pub mod value {
+    /// A JSON-like value tree.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Signed integer (negative JSON numbers).
+        Int(i64),
+        /// Unsigned integer (non-negative JSON integers).
+        UInt(u64),
+        /// Floating-point number.
+        Float(f64),
+        /// String.
+        Str(String),
+        /// Array.
+        Arr(Vec<Value>),
+        /// Object with insertion-ordered keys.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object entries, if this is an object.
+        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// Array elements, if this is an array.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// Member lookup on objects.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_obj()
+                .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+        }
+
+        /// String content, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Numeric content as `f64` (coercing integers).
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::Int(v) => Some(v as f64),
+                Value::UInt(v) => Some(v as f64),
+                Value::Float(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// Numeric content as `u64`, if non-negative and integral.
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Value::UInt(v) => Some(v),
+                Value::Int(v) if v >= 0 => Some(v as u64),
+                _ => None,
+            }
+        }
+
+        /// Numeric content as `i64`.
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Value::Int(v) => Some(v),
+                Value::UInt(v) => i64::try_from(v).ok(),
+                _ => None,
+            }
+        }
+
+        /// Boolean content.
+        pub fn as_bool(&self) -> Option<bool> {
+            match *self {
+                Value::Bool(b) => Some(b),
+                _ => None,
+            }
+        }
+
+        /// serde_json-compatible alias for [`Value::as_arr`].
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+    }
+
+    impl PartialEq<f64> for Value {
+        fn eq(&self, other: &f64) -> bool {
+            self.as_f64() == Some(*other)
+        }
+    }
+
+    impl PartialEq<&str> for Value {
+        fn eq(&self, other: &&str) -> bool {
+            self.as_str() == Some(*other)
+        }
+    }
+
+    impl PartialEq<str> for Value {
+        fn eq(&self, other: &str) -> bool {
+            self.as_str() == Some(other)
+        }
+    }
+
+    impl PartialEq<u64> for Value {
+        fn eq(&self, other: &u64) -> bool {
+            self.as_u64() == Some(*other)
+        }
+    }
+
+    impl PartialEq<i64> for Value {
+        fn eq(&self, other: &i64) -> bool {
+            self.as_i64() == Some(*other)
+        }
+    }
+
+    impl PartialEq<bool> for Value {
+        fn eq(&self, other: &bool) -> bool {
+            self.as_bool() == Some(*other)
+        }
+    }
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+        fn index(&self, key: &str) -> &Value {
+            static NULL: Value = Value::Null;
+            self.get(key).unwrap_or(&NULL)
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+        fn index(&self, i: usize) -> &Value {
+            static NULL: Value = Value::Null;
+            self.as_arr().and_then(|a| a.get(i)).unwrap_or(&NULL)
+        }
+    }
+}
+
+use value::Value;
+
+/// Types renderable into the [`Value`] data model.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reads `Self` back from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// --- primitive impls ------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64().ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(raw).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64().ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(raw).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::custom("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+// --- composite impls ------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_arr()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(std::sync::Arc::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let a = v.as_arr().ok_or_else(|| Error::custom("expected tuple array"))?;
+                let mut it = a.iter();
+                Ok(($(
+                    $t::from_value(it.next().ok_or_else(|| Error::custom("tuple too short"))?)?,
+                )+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let v: Vec<f64> = Deserialize::from_value(&vec![1.0, 2.0].to_value()).unwrap();
+        assert_eq!(v, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn coercions() {
+        // A float field written as an integer literal deserializes.
+        assert_eq!(f64::from_value(&Value::UInt(3)).unwrap(), 3.0);
+        assert_eq!(usize::from_value(&Value::Int(9)).unwrap(), 9);
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let t = (1u32, "x".to_string());
+        let v = t.to_value();
+        assert_eq!(v.as_arr().unwrap().len(), 2);
+        let back: (u32, String) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, t);
+    }
+}

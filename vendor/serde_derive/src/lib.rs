@@ -1,0 +1,378 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`):
+//! the item is parsed with a small hand-rolled walker and the impls are
+//! emitted as source strings. Supported shapes — the ones this workspace
+//! uses:
+//!
+//! * structs with named fields, honouring `#[serde(skip)]` and
+//!   `#[serde(default)]` field attributes;
+//! * single-field tuple structs (newtypes), with or without
+//!   `#[serde(transparent)]` — both serialize as the inner value;
+//! * enums whose variants are all unit variants (externally tagged as a
+//!   plain string, which matches serde_json for unit variants).
+//!
+//! Anything else panics at expansion time with a clear message so the gap
+//! is obvious rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    skip: bool,
+    default: bool,
+    transparent: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    NewtypeStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Consumes leading attributes from `toks[*pos]`, folding any
+/// `#[serde(...)]` flags into the returned set.
+fn take_attrs(toks: &[TokenTree], pos: &mut usize) -> SerdeAttrs {
+    let mut out = SerdeAttrs::default();
+    while *pos < toks.len() {
+        let TokenTree::Punct(p) = &toks[*pos] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = toks.get(*pos + 1) else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(head)) = inner.first() {
+            if head.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(flag) = t {
+                            match flag.to_string().as_str() {
+                                "skip" => out.skip = true,
+                                "default" => out.default = true,
+                                "transparent" => out.transparent = true,
+                                other => panic!(
+                                    "serde stand-in derive: unsupported attribute `{other}` \
+                                     (supported: skip, default, transparent)"
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *pos += 2;
+    }
+    out
+}
+
+/// Parses the derive input into one of the supported item shapes.
+fn parse_item(input: TokenStream) -> (Item, SerdeAttrs) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let container_attrs = take_attrs(&toks, &mut pos);
+
+    // Skip visibility and any other modifiers until `struct` / `enum`.
+    let mut kind = None;
+    while pos < toks.len() {
+        if let TokenTree::Ident(id) = &toks[pos] {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                kind = Some(s);
+                pos += 1;
+                break;
+            }
+        }
+        pos += 1;
+    }
+    let kind = kind.expect("serde stand-in derive: expected `struct` or `enum`");
+
+    let name = match &toks[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stand-in derive: expected item name, found {other}"),
+    };
+    pos += 1;
+
+    if let Some(TokenTree::Punct(p)) = toks.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde stand-in derive: generic types are not supported ({name})");
+        }
+    }
+
+    let body = match toks.get(pos) {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde stand-in derive: expected item body for {name}, found {other:?}"),
+    };
+
+    let item = if kind == "struct" {
+        match body.delimiter() {
+            Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(body.stream()),
+            },
+            Delimiter::Parenthesis => {
+                let n_fields = count_tuple_fields(body.stream());
+                if n_fields != 1 {
+                    panic!(
+                        "serde stand-in derive: only single-field tuple structs are supported \
+                         ({name} has {n_fields})"
+                    );
+                }
+                Item::NewtypeStruct { name }
+            }
+            _ => panic!("serde stand-in derive: unsupported struct body for {name}"),
+        }
+    } else {
+        Item::UnitEnum {
+            variants: parse_unit_variants(body.stream(), &name),
+            name,
+        }
+    };
+    (item, container_attrs)
+}
+
+/// Parses `a: T, b: U, ...` with attributes, returning names + attrs.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < toks.len() {
+        let attrs = take_attrs(&toks, &mut pos);
+        // Skip visibility (`pub`, `pub(crate)`, ...).
+        while let Some(TokenTree::Ident(id)) = toks.get(pos) {
+            if id.to_string() == "pub" {
+                pos += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        pos += 1;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = toks.get(pos) else {
+            break;
+        };
+        fields.push(Field {
+            name: id.to_string(),
+            attrs,
+        });
+        pos += 1;
+        // Expect `:`, then consume the type up to a top-level comma
+        // (tracking `<`/`>` depth — angle brackets are punct, not groups).
+        let mut angle_depth: i32 = 0;
+        while pos < toks.len() {
+            if let TokenTree::Punct(p) = &toks[pos] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated fields of a tuple struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut n = 0;
+    let mut saw_any = false;
+    let mut angle_depth: i32 = 0;
+    for t in stream {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => n += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_any {
+        n + 1
+    } else {
+        0
+    }
+}
+
+/// Parses enum variants, requiring all of them to be unit variants.
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < toks.len() {
+        let _attrs = take_attrs(&toks, &mut pos);
+        let Some(TokenTree::Ident(id)) = toks.get(pos) else {
+            break;
+        };
+        variants.push(id.to_string());
+        pos += 1;
+        match toks.get(pos) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                pos += 1;
+            }
+            Some(TokenTree::Group(_)) => panic!(
+                "serde stand-in derive: enum {enum_name} has a data-carrying variant, \
+                 which is not supported"
+            ),
+            Some(other) => {
+                panic!("serde stand-in derive: unexpected token {other} in enum {enum_name}")
+            }
+        }
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "fields.push((::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::value::Value::Obj(fields)\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}\n"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!("{name}::{v} => \"{v}\",\n"));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         ::serde::value::Value::Str(::std::string::String::from(match self {{\n{arms}}}))\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let n = &f.name;
+                if f.attrs.skip {
+                    inits.push_str(&format!("{n}: ::std::default::Default::default(),\n"));
+                } else if f.attrs.default {
+                    inits.push_str(&format!(
+                        "{n}: match __obj.iter().find(|(k, _)| k == \"{n}\") {{\n\
+                             ::std::option::Option::Some((_, x)) => ::serde::Deserialize::from_value(x)?,\n\
+                             ::std::option::Option::None => ::std::default::Default::default(),\n\
+                         }},\n"
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: match __obj.iter().find(|(k, _)| k == \"{n}\") {{\n\
+                             ::std::option::Option::Some((_, x)) => ::serde::Deserialize::from_value(x)?,\n\
+                             ::std::option::Option::None => return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"missing field `{n}` in {name}\")),\n\
+                         }},\n"
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __obj = match v {{\n\
+                             ::serde::value::Value::Obj(m) => m,\n\
+                             _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected object for {name}\")),\n\
+                         }};\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}\n"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::value::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\"expected string for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+/// Derives the stand-in `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (item, _attrs) = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde stand-in derive: generated Serialize impl parses")
+}
+
+/// Derives the stand-in `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (item, _attrs) = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde stand-in derive: generated Deserialize impl parses")
+}
