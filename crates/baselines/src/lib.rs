@@ -29,8 +29,8 @@ pub use em::EmEstimator;
 pub use genetic::GeneticEstimator;
 pub use gls::GlsEstimator;
 pub use gravity::GravityEstimator;
-pub use lstm::LstmEstimator;
-pub use nn::NnEstimator;
+pub use lstm::{LstmEstimator, TrainedLstm};
+pub use nn::{NnEstimator, TrainedNn};
 
 use ovs_core::TodEstimator;
 

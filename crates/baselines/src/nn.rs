@@ -11,6 +11,8 @@
 //! column by column. No temporal structure — that is the LSTM baseline's
 //! job.
 
+use checkpoint::format::{Artifact, ArtifactBuilder};
+use checkpoint::CheckpointError;
 use neural::layers::{ActKind, Activation, Dense, Layer, Sequential};
 use neural::loss::mse;
 use neural::optim::{Adam, Optimizer};
@@ -18,7 +20,88 @@ use neural::rng::Rng64;
 use neural::Matrix;
 use ovs_core::estimator::{link_to_matrix, tod_to_matrix};
 use ovs_core::{EstimatorInput, TodEstimator};
-use roadnet::{OdPairId, Result, RoadnetError, TodTensor};
+use roadnet::{LinkTensor, OdPairId, Result, RoadnetError, TodTensor};
+
+/// Artifact kind of a trained NN baseline.
+pub const NN_KIND: &str = "baseline-nn";
+
+/// A fitted NN baseline: the trained two-layer net plus the corpus
+/// normalisation scales — everything inference needs, detached from the
+/// training corpus. Save/load round trips are bit-exact.
+pub struct TrainedNn {
+    net: Sequential,
+    m: usize,
+    hidden: usize,
+    n: usize,
+    v_scale: f64,
+    g_scale: f64,
+}
+
+impl TrainedNn {
+    fn build_net(m: usize, hidden: usize, n: usize) -> Sequential {
+        // Weights are immediately overwritten by training or an import;
+        // the RNG only satisfies the constructor.
+        let mut rng = Rng64::new(0);
+        Sequential::new(vec![
+            Box::new(Dense::new(m, hidden, &mut rng)),
+            Box::new(Activation::new(ActKind::Sigmoid)),
+            Box::new(Dense::new(hidden, n, &mut rng)),
+        ])
+    }
+
+    /// Predicts the TOD tensor for an observed speed tensor, interval by
+    /// interval.
+    pub fn predict(&mut self, observed_speed: &LinkTensor) -> TodTensor {
+        let v_obs = link_to_matrix(observed_speed); // (m, t)
+        let t = v_obs.cols();
+        let mut x_obs = Matrix::zeros(t, self.m);
+        for ti in 0..t {
+            for j in 0..self.m {
+                x_obs.set(ti, j, v_obs.get(j, ti) * self.v_scale);
+            }
+        }
+        let pred = self.net.forward(&x_obs, false); // (t, n), normalised
+        let mut tod = TodTensor::zeros(self.n, t);
+        for ti in 0..t {
+            for i in 0..self.n {
+                tod.set(OdPairId(i), ti, (pred.get(ti, i) * self.g_scale).max(0.0));
+            }
+        }
+        tod
+    }
+
+    /// Serialises the trained net into a `"baseline-nn"` artifact.
+    pub fn to_artifact(&mut self) -> ArtifactBuilder {
+        let mut b = ArtifactBuilder::new(NN_KIND);
+        b.add_f64s("dims", &[self.m as f64, self.hidden as f64, self.n as f64]);
+        b.add_f64s("scales", &[self.v_scale, self.g_scale]);
+        b.add_matrices("weights", &checkpoint::module::export_layer(&mut self.net));
+        b
+    }
+
+    /// Rebuilds a trained net from a `"baseline-nn"` artifact.
+    pub fn from_artifact(artifact: &Artifact) -> checkpoint::Result<Self> {
+        artifact.expect_kind(NN_KIND)?;
+        let dims = artifact.f64s("dims")?;
+        let scales = artifact.f64s("scales")?;
+        if dims.len() != 3 || dims.iter().any(|&d| d < 1.0) || scales.len() != 2 {
+            return Err(CheckpointError::Malformed(format!(
+                "baseline-nn dims/scales inconsistent: {dims:?} / {scales:?}"
+            )));
+        }
+        let (m, hidden, n) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
+        let mut net = Self::build_net(m, hidden, n);
+        checkpoint::module::import_layer(&mut net, &artifact.matrices("weights")?)?;
+        Ok(Self {
+            net,
+            m,
+            hidden,
+            n,
+            v_scale: scales[0],
+            g_scale: scales[1],
+        })
+    }
+}
 
 /// The NN estimator.
 #[derive(Debug)]
@@ -44,12 +127,11 @@ impl NnEstimator {
     }
 }
 
-impl TodEstimator for NnEstimator {
-    fn name(&self) -> &str {
-        "NN"
-    }
-
-    fn estimate(&mut self, input: &EstimatorInput<'_>) -> Result<TodTensor> {
+impl NnEstimator {
+    /// Trains the network on the input's corpus, returning the fitted
+    /// model (use [`TrainedNn::predict`] for inference, or
+    /// [`TrainedNn::to_artifact`] to persist it).
+    pub fn fit(&self, input: &EstimatorInput<'_>) -> Result<TrainedNn> {
         ovs_core::estimator::validate_input(input)?;
         if input.train.is_empty() {
             return Err(RoadnetError::InvalidSpec(
@@ -97,23 +179,25 @@ impl TodEstimator for NnEstimator {
             opt.step(&mut net);
             net.zero_grad();
         }
+        Ok(TrainedNn {
+            net,
+            m,
+            hidden: self.hidden,
+            n,
+            v_scale,
+            g_scale,
+        })
+    }
+}
 
-        // Apply to the observation, interval by interval.
-        let v_obs = link_to_matrix(input.observed_speed); // (m, t)
-        let mut x_obs = Matrix::zeros(t, m);
-        for ti in 0..t {
-            for j in 0..m {
-                x_obs.set(ti, j, v_obs.get(j, ti) * v_scale);
-            }
-        }
-        let pred = net.forward(&x_obs, false); // (t, n), normalised
-        let mut tod = TodTensor::zeros(n, t);
-        for ti in 0..t {
-            for i in 0..n {
-                tod.set(OdPairId(i), ti, (pred.get(ti, i) * g_scale).max(0.0));
-            }
-        }
-        Ok(tod)
+impl TodEstimator for NnEstimator {
+    fn name(&self) -> &str {
+        "NN"
+    }
+
+    fn estimate(&mut self, input: &EstimatorInput<'_>) -> Result<TodTensor> {
+        let mut trained = self.fit(input)?;
+        Ok(trained.predict(input.observed_speed))
     }
 }
 

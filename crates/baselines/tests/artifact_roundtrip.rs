@@ -1,0 +1,90 @@
+//! Save/load round trips for the trainable baselines: a reloaded NN or
+//! LSTM must predict bit-identically to the net that was saved, and a
+//! second save must be byte-identical to the first.
+
+use baselines::{LstmEstimator, NnEstimator, TrainedLstm, TrainedNn};
+use checkpoint::format::Artifact;
+use checkpoint::CheckpointError;
+use datagen::{Dataset, TodPattern};
+use ovs_core::EstimatorInput;
+
+fn tiny_dataset() -> Dataset {
+    let spec = datagen::dataset::DatasetSpec {
+        t: 4,
+        interval_s: 120.0,
+        train_samples: 4,
+        demand_scale: 0.25,
+        seed: 13,
+    };
+    Dataset::synthetic(TodPattern::Gaussian, &spec).unwrap()
+}
+
+fn input(ds: &Dataset) -> EstimatorInput<'_> {
+    EstimatorInput::builder(&ds.net, &ds.ods)
+        .interval_s(ds.sim_config.interval_s)
+        .sim_seed(ds.sim_config.seed)
+        .train(&ds.train)
+        .observed_speed(&ds.observed_speed)
+        .build()
+}
+
+#[test]
+fn trained_nn_round_trips_bit_exactly() {
+    let ds = tiny_dataset();
+    let inp = input(&ds);
+    let mut trained = NnEstimator::new(5).fit(&inp).unwrap();
+    let direct = trained.predict(&ds.observed_speed);
+
+    let bytes = trained.to_artifact().to_bytes();
+    let mut reloaded = TrainedNn::from_artifact(&Artifact::from_bytes(&bytes).unwrap()).unwrap();
+    let from_disk = reloaded.predict(&ds.observed_speed);
+
+    assert_eq!(direct.as_slice(), from_disk.as_slice());
+    // save -> load -> save is byte-identical
+    assert_eq!(reloaded.to_artifact().to_bytes(), bytes);
+}
+
+#[test]
+fn trained_lstm_round_trips_bit_exactly() {
+    let ds = tiny_dataset();
+    let inp = input(&ds);
+    let mut trained = LstmEstimator::new(5).fit(&inp).unwrap();
+    let direct = trained.predict(&ds.observed_speed);
+
+    let bytes = trained.to_artifact().to_bytes();
+    let mut reloaded = TrainedLstm::from_artifact(&Artifact::from_bytes(&bytes).unwrap()).unwrap();
+    let from_disk = reloaded.predict(&ds.observed_speed);
+
+    assert_eq!(direct.as_slice(), from_disk.as_slice());
+    assert_eq!(reloaded.to_artifact().to_bytes(), bytes);
+}
+
+#[test]
+fn baseline_kinds_are_not_interchangeable() {
+    let ds = tiny_dataset();
+    let inp = input(&ds);
+    let nn_artifact = Artifact::from_bytes(
+        &NnEstimator::new(1)
+            .fit(&inp)
+            .unwrap()
+            .to_artifact()
+            .to_bytes(),
+    )
+    .unwrap();
+    let lstm_artifact = Artifact::from_bytes(
+        &LstmEstimator::new(1)
+            .fit(&inp)
+            .unwrap()
+            .to_artifact()
+            .to_bytes(),
+    )
+    .unwrap();
+    assert!(matches!(
+        TrainedNn::from_artifact(&lstm_artifact),
+        Err(CheckpointError::WrongKind { .. })
+    ));
+    assert!(matches!(
+        TrainedLstm::from_artifact(&nn_artifact),
+        Err(CheckpointError::WrongKind { .. })
+    ));
+}

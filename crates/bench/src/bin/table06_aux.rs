@@ -8,6 +8,10 @@
 //! binary measures both methods with equal information.
 //!
 //! Run: `cargo run --release -p bench --bin table06_aux`
+//!
+//! Optional flags: `--save-model <path>` / `--load-model <path>` cache the
+//! trained OVS model per city (path gets a `-<city>` suffix) so re-runs
+//! with different render settings pay only the test-time fit.
 
 use baselines::GravityEstimator;
 use datagen::Dataset;
@@ -18,6 +22,7 @@ use roadnet::presets;
 
 fn main() {
     let profile = bench::start("table06_aux", "city comparison with census auxiliary data");
+    let cache = bench::ModelCache::from_args();
     let mut report = ExperimentReport::new("table06_aux", "Table VI + census aux");
     println!(
         "{:<15} {:>14} {:>14} {:>14} {:>14}",
@@ -30,8 +35,13 @@ fn main() {
         let mut grav = GravityEstimator::doubly_constrained();
         let (rg, _) = run_method(&mut grav, &ds, &input).expect("gravity runs");
         let cfg = profile.ovs.clone().with_aux_weights(0.3, 0.0);
-        let mut ovs = OvsEstimator::new(cfg);
-        let (ro, _) = run_method(&mut ovs, &ds, &input).expect("OVS runs");
+        let (ro, _) = if cache.is_active() {
+            let mut ovs = cache.for_dataset(&ds.name).ovs(cfg);
+            run_method(&mut ovs, &ds, &input).expect("OVS runs")
+        } else {
+            let mut ovs = OvsEstimator::new(cfg);
+            run_method(&mut ovs, &ds, &input).expect("OVS runs")
+        };
         println!(
             "{:<15} {:>14.2} {:>14.2} {:>14.3} {:>14.3}",
             ds.name, rg.rmse.tod, ro.rmse.tod, rg.rmse.speed, ro.rmse.speed

@@ -2,10 +2,14 @@
 //! (Hangzhou, Porto, Manhattan).
 //!
 //! Run: `cargo run --release -p bench --bin table06_real`
+//!
+//! Optional flags: `--save-model <path>` persists the trained OVS model
+//! per dataset (path gets a `-<dataset>` suffix); `--load-model <path>`
+//! warm-starts OVS from such artifacts instead of cold-training.
 
 use datagen::Dataset;
 use eval::report::ExperimentReport;
-use eval::{harness, tables};
+use eval::tables;
 use roadnet::presets;
 
 fn main() {
@@ -15,7 +19,7 @@ fn main() {
         .map(|p| Dataset::city(p, &profile.spec).expect("city dataset builds"))
         .collect();
 
-    let blocks = harness::compare_datasets_parallel(&datasets, &profile.ovs, profile.seed, false)
+    let blocks = bench::compare_datasets(&datasets, &profile.ovs, profile.seed, false)
         .expect("comparison runs");
 
     println!("{}", tables::render_multi(&blocks));

@@ -2,10 +2,14 @@
 //! patterns (3x3 grid, §V-B / §V-H).
 //!
 //! Run: `cargo run --release -p bench --bin table08_synthetic`
+//!
+//! Optional flags: `--save-model <path>` persists the trained OVS model
+//! per pattern (path gets a `-<pattern>` suffix); `--load-model <path>`
+//! warm-starts OVS from such artifacts instead of cold-training.
 
 use datagen::{Dataset, TodPattern};
 use eval::report::ExperimentReport;
-use eval::{harness, tables};
+use eval::tables;
 
 fn main() {
     let profile = bench::start("table08", "synthetic patterns comparison");
@@ -14,7 +18,7 @@ fn main() {
         .map(|&p| Dataset::synthetic(p, &profile.spec).expect("synthetic dataset builds"))
         .collect();
 
-    let blocks = harness::compare_datasets_parallel(&datasets, &profile.ovs, profile.seed, false)
+    let blocks = bench::compare_datasets(&datasets, &profile.ovs, profile.seed, false)
         .expect("comparison runs");
 
     println!("{}", tables::render_multi(&blocks));

@@ -14,8 +14,12 @@
 
 #![warn(missing_docs)]
 
+use checkpoint::format::Artifact;
 use datagen::dataset::DatasetSpec;
-use ovs_core::OvsConfig;
+use ovs_core::estimator::matrix_to_tod;
+use ovs_core::trainer::OvsTrainer;
+use ovs_core::{EstimatorInput, OvsConfig, TodEstimator};
+use roadnet::{Result, RoadnetError, TodTensor};
 use std::path::PathBuf;
 
 /// A named experiment profile.
@@ -101,6 +105,139 @@ impl Profile {
     }
 }
 
+/// Pre-trained model caching for the experiment binaries: `--save-model
+/// <path>` persists the trained OVS pipeline as a checkpoint artifact
+/// after a run, `--load-model <path>` warm-starts from one instead of
+/// retraining stages 1-2 — so a table binary re-run (different aux
+/// settings, different render) pays only the test-time fit.
+#[derive(Debug, Clone, Default)]
+pub struct ModelCache {
+    /// Write the trained model here after the run (`--save-model`).
+    pub save: Option<PathBuf>,
+    /// Warm-start from this artifact instead of cold-training
+    /// (`--load-model`).
+    pub load: Option<PathBuf>,
+}
+
+impl ModelCache {
+    /// Parses `--save-model <path>` and `--load-model <path>` from the
+    /// process arguments (both optional; all other arguments ignored).
+    pub fn from_args() -> Self {
+        let mut cache = Self::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--save-model" => cache.save = it.next().map(PathBuf::from),
+                "--load-model" => cache.load = it.next().map(PathBuf::from),
+                _ => {}
+            }
+        }
+        cache
+    }
+
+    /// True when either direction is configured.
+    pub fn is_active(&self) -> bool {
+        self.save.is_some() || self.load.is_some()
+    }
+
+    /// Derives a per-dataset cache: `models/t6.ckpt` becomes
+    /// `models/t6-hangzhou.ckpt` — so one `--save-model` flag serves a
+    /// binary that sweeps several datasets without collisions.
+    pub fn for_dataset(&self, dataset_name: &str) -> Self {
+        let slug: String = dataset_name
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        let retag = |p: &PathBuf| {
+            let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("model");
+            let ext = p.extension().and_then(|s| s.to_str()).unwrap_or("ckpt");
+            p.with_file_name(format!("{stem}-{slug}.{ext}"))
+        };
+        Self {
+            save: self.save.as_ref().map(retag),
+            load: self.load.as_ref().map(retag),
+        }
+    }
+
+    /// Wraps an OVS config into the estimator honouring this cache.
+    pub fn ovs(&self, cfg: OvsConfig) -> CachedOvsEstimator {
+        CachedOvsEstimator {
+            cfg,
+            cache: self.clone(),
+        }
+    }
+}
+
+fn ckpt_err(e: checkpoint::CheckpointError) -> RoadnetError {
+    RoadnetError::InvalidSpec(format!("model cache: {e}"))
+}
+
+/// [`ovs_core::trainer::OvsEstimator`] with [`ModelCache`] semantics:
+/// loads a checkpoint artifact to skip stages 1-2 (warm start), and/or
+/// saves the trained pipeline after estimating. Without cache paths it
+/// behaves exactly like the plain estimator.
+pub struct CachedOvsEstimator {
+    cfg: OvsConfig,
+    cache: ModelCache,
+}
+
+impl TodEstimator for CachedOvsEstimator {
+    fn name(&self) -> &str {
+        self.cfg.variant.name()
+    }
+
+    fn estimate(&mut self, input: &EstimatorInput<'_>) -> Result<TodTensor> {
+        let trainer = OvsTrainer::new(self.cfg.clone());
+        let (mut model, _report) = match &self.cache.load {
+            Some(path) => {
+                let artifact = Artifact::read_from(path).map_err(ckpt_err)?;
+                let weights =
+                    ovs_core::artifact::model_weights(&artifact, &self.cfg).map_err(ckpt_err)?;
+                trainer.run_warm(input, &weights)?
+            }
+            None => trainer.run(input)?,
+        };
+        let tod = matrix_to_tod(&model.recovered_tod());
+        if let Some(path) = &self.cache.save {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| RoadnetError::InvalidSpec(format!("model cache: {e}")))?;
+            }
+            ovs_core::artifact::save_model(&mut model, Some(&tod))
+                .and_then(|b| b.write_to(path))
+                .map_err(ckpt_err)?;
+        }
+        Ok(tod)
+    }
+}
+
+/// Runs the default seven-method panel over several datasets, honouring
+/// the process-level [`ModelCache`] flags: with `--save-model` /
+/// `--load-model` present, the plain OVS estimator is swapped for a
+/// [`CachedOvsEstimator`] with a per-dataset artifact path; without them
+/// this is exactly [`eval::harness::compare_datasets_parallel`].
+pub fn compare_datasets(
+    datasets: &[datagen::Dataset],
+    ovs_cfg: &OvsConfig,
+    seed: u64,
+    with_aux: bool,
+) -> Result<Vec<(String, Vec<eval::harness::MethodResult>)>> {
+    let cache = ModelCache::from_args();
+    if !cache.is_active() {
+        return eval::harness::compare_datasets_parallel(datasets, ovs_cfg, seed, with_aux);
+    }
+    datasets
+        .iter()
+        .map(|ds| {
+            let mut methods = baselines::all_baselines(seed);
+            methods.push(Box::new(cache.for_dataset(&ds.name).ovs(ovs_cfg.clone())));
+            let results = eval::harness::compare_methods(ds, methods, with_aux)?;
+            Ok((ds.name.clone(), results))
+        })
+        .collect()
+}
+
 /// Directory the experiment binaries drop their JSON reports into.
 pub fn results_dir() -> PathBuf {
     std::env::var("CITYOD_RESULTS")
@@ -142,6 +279,66 @@ mod tests {
         assert!(q.spec.t <= s.spec.t);
         assert!(s.ovs.epochs_v2s <= f.ovs.epochs_v2s);
         assert_eq!(f.ovs.lstm_hidden, 128);
+    }
+
+    #[test]
+    fn model_cache_paths_get_dataset_suffix() {
+        let cache = ModelCache {
+            save: Some(PathBuf::from("models/t6.ckpt")),
+            load: Some(PathBuf::from("base")),
+        };
+        let per = cache.for_dataset("synthetic/Gaussian");
+        assert_eq!(
+            per.save.unwrap(),
+            PathBuf::from("models/t6-synthetic-gaussian.ckpt")
+        );
+        assert_eq!(
+            per.load.unwrap(),
+            PathBuf::from("base-synthetic-gaussian.ckpt")
+        );
+        assert!(!ModelCache::default().is_active());
+    }
+
+    #[test]
+    fn cached_estimator_saves_then_warm_loads() {
+        use datagen::{Dataset, TodPattern};
+        let spec = DatasetSpec {
+            t: 3,
+            interval_s: 120.0,
+            train_samples: 3,
+            demand_scale: 0.1,
+            seed: 4,
+        };
+        let ds = Dataset::synthetic(TodPattern::Gaussian, &spec).unwrap();
+        let input = EstimatorInput::builder(&ds.net, &ds.ods)
+            .interval_s(ds.sim_config.interval_s)
+            .sim_seed(ds.sim_config.seed)
+            .train(&ds.train)
+            .observed_speed(&ds.observed_speed)
+            .build();
+        let dir = std::env::temp_dir().join("cityod-model-cache-test");
+        let path = dir.join("m.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let cfg = OvsConfig::tiny();
+
+        let mut cold = ModelCache {
+            save: Some(path.clone()),
+            load: None,
+        }
+        .ovs(cfg.clone());
+        let tod_cold = cold.estimate(&input).unwrap();
+        assert!(path.exists(), "--save-model must write the artifact");
+
+        let mut warm = ModelCache {
+            save: None,
+            load: Some(path.clone()),
+        }
+        .ovs(cfg);
+        let tod_warm = warm.estimate(&input).unwrap();
+        assert_eq!(tod_warm.rows(), tod_cold.rows());
+        assert_eq!(tod_warm.num_intervals(), tod_cold.num_intervals());
+        assert!(tod_warm.is_finite());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

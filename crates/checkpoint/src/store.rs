@@ -1,0 +1,455 @@
+//! The artifact registry: named, hashed, garbage-collected checkpoints
+//! under a workspace directory.
+//!
+//! An [`ArtifactStore`] is just a directory of `<name>.ckpt` files plus
+//! one `<name>.meta.json` provenance sidecar per artifact. The `.ckpt`
+//! files are fully self-describing (kind, sections, checksums), so the
+//! registry carries no separate index that could drift: listing is a
+//! directory scan, and every load re-verifies every section checksum.
+//!
+//! Provenance records *how* a model came to be — the exact config JSON,
+//! the RNG seed, `git describe` of the working tree, the parameter shape
+//! signature, and the loss traces of each training stage — which is what
+//! lets a loader refuse an artifact whose recorded shapes do not match
+//! the requesting configuration, before a single weight is copied.
+
+use crate::format::{crc32, Artifact, ArtifactBuilder};
+use crate::{CheckpointError, Result};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Environment variable overriding the default store directory.
+pub const STORE_ENV: &str = "CITYOD_ARTIFACTS";
+
+/// Default store directory (relative to the working directory).
+pub const DEFAULT_DIR: &str = "artifacts";
+
+/// File extension of checkpoint artifacts.
+const CKPT_EXT: &str = "ckpt";
+
+/// Suffix of provenance sidecar files.
+const META_SUFFIX: &str = ".meta.json";
+
+/// Provenance metadata recorded alongside every artifact: enough to
+/// reproduce (or refuse) the model without opening the weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Artifact kind, duplicated from the container for cheap listing.
+    pub kind: String,
+    /// The full config the model was built from, as JSON.
+    pub config_json: String,
+    /// RNG seed the training run used.
+    pub seed: u64,
+    /// `git describe --always --dirty` of the tree that produced the
+    /// artifact, or `"unknown"` outside a repository.
+    pub git: String,
+    /// Unix timestamp (seconds) of the save.
+    pub created_unix: u64,
+    /// `(rows, cols)` of every parameter slot, in `visit_params` order.
+    pub shape_sig: Vec<(usize, usize)>,
+    /// Per-step loss trace of the V2S fitting stage.
+    pub v2s_losses: Vec<f64>,
+    /// Per-step loss trace of the TOD2V fitting stage.
+    pub tod2v_losses: Vec<f64>,
+    /// Per-step loss trace of the test-time TOD-generator fit.
+    pub fit_losses: Vec<f64>,
+    /// Free-form operator note.
+    pub note: String,
+}
+
+impl Provenance {
+    /// A minimal provenance record; fill in traces and note as needed.
+    pub fn new(kind: &str, config_json: &str, seed: u64) -> Self {
+        Self {
+            kind: kind.to_string(),
+            config_json: config_json.to_string(),
+            seed,
+            git: git_describe(),
+            created_unix: unix_now(),
+            shape_sig: Vec::new(),
+            v2s_losses: Vec::new(),
+            tod2v_losses: Vec::new(),
+            fit_losses: Vec::new(),
+            note: String::new(),
+        }
+    }
+}
+
+/// `git describe --always --dirty`, or `"unknown"` when git or the
+/// repository is unavailable.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// One registry entry, as reported by [`ArtifactStore::list`] and
+/// [`ArtifactStore::inspect`].
+#[derive(Debug, Clone)]
+pub struct ArtifactRecord {
+    /// Artifact name (file stem).
+    pub name: String,
+    /// Absolute-ish path of the `.ckpt` file.
+    pub path: PathBuf,
+    /// Artifact kind from the container.
+    pub kind: String,
+    /// File size in bytes.
+    pub size: u64,
+    /// CRC32 of the whole file — the registry-level content hash.
+    pub content_crc: u32,
+    /// Section names in file order.
+    pub sections: Vec<String>,
+    /// Provenance sidecar, when present and parseable.
+    pub provenance: Option<Provenance>,
+}
+
+/// A directory-backed registry of checkpoint artifacts.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// Opens the default store: `$CITYOD_ARTIFACTS` when set, otherwise
+    /// `./artifacts`.
+    pub fn open_default() -> Result<Self> {
+        let dir = std::env::var(STORE_ENV).unwrap_or_else(|_| DEFAULT_DIR.to_string());
+        Self::open(dir)
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn ckpt_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.{CKPT_EXT}"))
+    }
+
+    fn meta_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}{META_SUFFIX}"))
+    }
+
+    /// Validates an artifact name: non-empty ASCII alphanumerics plus
+    /// `-`, `_` and `.` (no path separators, no hidden files).
+    pub fn validate_name(name: &str) -> Result<()> {
+        let ok = !name.is_empty()
+            && !name.starts_with('.')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+        if ok {
+            Ok(())
+        } else {
+            Err(CheckpointError::Malformed(format!(
+                "invalid artifact name '{name}': use alphanumerics, '-', '_', '.'"
+            )))
+        }
+    }
+
+    /// Saves an artifact under `name`, overwriting any previous version,
+    /// and writes its provenance sidecar. Returns the `.ckpt` path.
+    pub fn save(
+        &self,
+        name: &str,
+        builder: &ArtifactBuilder,
+        provenance: &Provenance,
+    ) -> Result<PathBuf> {
+        Self::validate_name(name)?;
+        let path = self.ckpt_path(name);
+        builder.write_to(&path)?;
+        let meta = serde_json::to_string(provenance)
+            .map_err(|e| CheckpointError::Malformed(format!("provenance encode: {e}")))?;
+        std::fs::write(self.meta_path(name), meta)?;
+        Ok(path)
+    }
+
+    /// Saves under the next free `"{family}-vNNN"` name, never
+    /// overwriting. Returns the assigned name.
+    pub fn save_versioned(
+        &self,
+        family: &str,
+        builder: &ArtifactBuilder,
+        provenance: &Provenance,
+    ) -> Result<String> {
+        Self::validate_name(family)?;
+        let next = self
+            .family_versions(family)?
+            .last()
+            .map(|&(v, _)| v + 1)
+            .unwrap_or(1);
+        let name = format!("{family}-v{next:03}");
+        self.save(&name, builder, provenance)?;
+        Ok(name)
+    }
+
+    /// Loads (and checksum-verifies) an artifact by name.
+    pub fn load(&self, name: &str) -> Result<Artifact> {
+        Self::validate_name(name)?;
+        let path = self.ckpt_path(name);
+        if !path.exists() {
+            return Err(CheckpointError::MissingSection {
+                name: format!("artifact '{name}' in {}", self.dir.display()),
+            });
+        }
+        Artifact::read_from(&path)
+    }
+
+    /// Loads an artifact's provenance sidecar, if one exists.
+    pub fn provenance(&self, name: &str) -> Result<Option<Provenance>> {
+        Self::validate_name(name)?;
+        let path = self.meta_path(name);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(&path)?;
+        serde_json::from_str(&text)
+            .map(Some)
+            .map_err(|e| CheckpointError::Malformed(format!("provenance decode: {e}")))
+    }
+
+    /// All artifact names in the store, sorted.
+    pub fn names(&self) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some(CKPT_EXT) {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    out.push(stem.to_string());
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Inspects one artifact: size, content hash, kind, sections and
+    /// provenance. Fails if the artifact is missing or corrupt.
+    pub fn inspect(&self, name: &str) -> Result<ArtifactRecord> {
+        let path = self.ckpt_path(name);
+        let bytes = std::fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                CheckpointError::MissingSection {
+                    name: format!("artifact '{name}' in {}", self.dir.display()),
+                }
+            } else {
+                CheckpointError::Io(e)
+            }
+        })?;
+        let artifact = Artifact::from_bytes(&bytes)?;
+        Ok(ArtifactRecord {
+            name: name.to_string(),
+            path,
+            kind: artifact.kind().to_string(),
+            size: bytes.len() as u64,
+            content_crc: crc32(&bytes),
+            sections: artifact
+                .section_names()
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+            provenance: self.provenance(name)?,
+        })
+    }
+
+    /// Lists every artifact in the store (sorted by name), skipping none:
+    /// a corrupt artifact fails the listing so damage is never silent.
+    pub fn list(&self) -> Result<Vec<ArtifactRecord>> {
+        self.names()?.iter().map(|n| self.inspect(n)).collect()
+    }
+
+    /// Verifies one artifact end-to-end (magic, version, every section
+    /// CRC). Returns its record on success.
+    pub fn verify(&self, name: &str) -> Result<ArtifactRecord> {
+        self.inspect(name)
+    }
+
+    /// Verifies every artifact, returning `(name, error-or-none)` pairs.
+    pub fn verify_all(&self) -> Result<Vec<(String, Option<CheckpointError>)>> {
+        Ok(self
+            .names()?
+            .into_iter()
+            .map(|n| {
+                let err = self.verify(&n).err();
+                (n, err)
+            })
+            .collect())
+    }
+
+    /// Removes an artifact and its provenance sidecar.
+    pub fn remove(&self, name: &str) -> Result<()> {
+        Self::validate_name(name)?;
+        let path = self.ckpt_path(name);
+        if !path.exists() {
+            return Err(CheckpointError::MissingSection {
+                name: format!("artifact '{name}' in {}", self.dir.display()),
+            });
+        }
+        std::fs::remove_file(path)?;
+        let meta = self.meta_path(name);
+        if meta.exists() {
+            std::fs::remove_file(meta)?;
+        }
+        Ok(())
+    }
+
+    /// Versioned members of a family, as `(version, name)` sorted
+    /// ascending by version.
+    fn family_versions(&self, family: &str) -> Result<Vec<(u32, String)>> {
+        let prefix = format!("{family}-v");
+        let mut out: Vec<(u32, String)> = self
+            .names()?
+            .into_iter()
+            .filter_map(|n| {
+                let v = n.strip_prefix(&prefix)?.parse::<u32>().ok()?;
+                Some((v, n))
+            })
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// Garbage-collects a version family, keeping only the newest `keep`
+    /// versions. Returns the names removed.
+    pub fn gc(&self, family: &str, keep: usize) -> Result<Vec<String>> {
+        Self::validate_name(family)?;
+        let versions = self.family_versions(family)?;
+        let drop_count = versions.len().saturating_sub(keep);
+        let mut removed = Vec::with_capacity(drop_count);
+        for (_, name) in versions.into_iter().take(drop_count) {
+            self.remove(&name)?;
+            removed.push(name);
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neural::Matrix;
+
+    fn tmp_store(tag: &str) -> ArtifactStore {
+        let dir =
+            std::env::temp_dir().join(format!("cityod-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactStore::open(dir).unwrap()
+    }
+
+    fn sample_builder() -> ArtifactBuilder {
+        let mut b = ArtifactBuilder::new("test-kind");
+        b.add_matrices("w", &[Matrix::filled(2, 2, 1.0)]);
+        b
+    }
+
+    #[test]
+    fn save_load_list_remove() {
+        let store = tmp_store("basic");
+        let mut prov = Provenance::new("test-kind", "{}", 7);
+        prov.shape_sig = vec![(2, 2)];
+        store.save("alpha", &sample_builder(), &prov).unwrap();
+        let a = store.load("alpha").unwrap();
+        assert_eq!(a.kind(), "test-kind");
+        let recs = store.list().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, "alpha");
+        assert_eq!(recs[0].kind, "test-kind");
+        assert_eq!(recs[0].provenance.as_ref().unwrap().seed, 7);
+        assert_eq!(recs[0].provenance.as_ref().unwrap().shape_sig, vec![(2, 2)]);
+        store.remove("alpha").unwrap();
+        assert!(store.list().unwrap().is_empty());
+        assert!(store.load("alpha").is_err());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn versioned_saves_and_gc() {
+        let store = tmp_store("gc");
+        let prov = Provenance::new("test-kind", "{}", 1);
+        for _ in 0..5 {
+            store
+                .save_versioned("model", &sample_builder(), &prov)
+                .unwrap();
+        }
+        assert_eq!(
+            store.names().unwrap(),
+            [
+                "model-v001",
+                "model-v002",
+                "model-v003",
+                "model-v004",
+                "model-v005"
+            ]
+        );
+        let removed = store.gc("model", 2).unwrap();
+        assert_eq!(removed, ["model-v001", "model-v002", "model-v003"]);
+        assert_eq!(store.names().unwrap(), ["model-v004", "model-v005"]);
+        // Next save continues the numbering past the survivors.
+        let name = store
+            .save_versioned("model", &sample_builder(), &prov)
+            .unwrap();
+        assert_eq!(name, "model-v006");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn bad_names_are_rejected() {
+        let store = tmp_store("names");
+        let prov = Provenance::new("k", "{}", 0);
+        for bad in ["", "../etc", "a/b", ".hidden", "sp ace"] {
+            assert!(store.save(bad, &sample_builder(), &prov).is_err(), "{bad}");
+        }
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_artifact_fails_verify_with_typed_error() {
+        let store = tmp_store("verify");
+        let prov = Provenance::new("test-kind", "{}", 0);
+        let path = store.save("ok", &sample_builder(), &prov).unwrap();
+        assert!(store.verify("ok").is_ok());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            store.verify("ok"),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+        let report = store.verify_all().unwrap();
+        assert_eq!(report.len(), 1);
+        assert!(report[0].1.is_some());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn provenance_round_trips_through_json() {
+        let mut p = Provenance::new("ovs-model", "{\"t\":4}", 99);
+        p.shape_sig = vec![(3, 4), (1, 4)];
+        p.v2s_losses = vec![1.0, 0.5];
+        p.note = "warm start source".to_string();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Provenance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

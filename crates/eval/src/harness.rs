@@ -96,10 +96,21 @@ pub fn compare(
     seed: u64,
     with_aux: bool,
 ) -> Result<Vec<MethodResult>> {
+    compare_methods(ds, default_methods(ovs_cfg, seed), with_aux)
+}
+
+/// Like [`compare`], but over a caller-supplied method line-up instead of
+/// the default panel — the hook that lets experiment binaries inject
+/// checkpoint-backed estimators (e.g. an OVS warm-started from a saved
+/// artifact) without rebuilding the harness.
+pub fn compare_methods(
+    ds: &Dataset,
+    mut methods: Vec<Box<dyn TodEstimator>>,
+    with_aux: bool,
+) -> Result<Vec<MethodResult>> {
     use rayon::prelude::*;
     let owned = DatasetInput::new(ds);
     let input = owned.input(ds, with_aux);
-    let mut methods = default_methods(ovs_cfg, seed);
     methods
         .par_iter_mut()
         .map(|method| run_method(method.as_mut(), ds, &input).map(|(res, _)| res))

@@ -17,7 +17,21 @@ pub trait Optimizer {
     /// Updates one `(param, grad)` slot.
     fn apply(&mut self, slot: usize, p: &mut Matrix, g: &Matrix);
 
+    /// Number of slots this optimiser currently holds state for (0 until
+    /// the first step for stateful optimisers, always 0 for stateless
+    /// ones). [`Optimizer::step`] uses it to detect a model whose
+    /// parameter list shrank after the optimiser was bound to it.
+    fn bound_slots(&self) -> usize {
+        0
+    }
+
     /// Steps every parameter of a flat layer/stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer exposes fewer parameter slots than the
+    /// optimiser holds state for — the optimiser was bound to a different
+    /// (larger) model and would silently mis-pair state otherwise.
     fn step(&mut self, layer: &mut dyn Layer)
     where
         Self: Sized,
@@ -28,9 +42,14 @@ pub trait Optimizer {
             self.apply(slot, p, g);
             slot += 1;
         });
+        check_slot_count(slot, self.bound_slots());
     }
 
     /// Steps every parameter of a sequence layer/stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a slot-count mismatch, as for [`Optimizer::step`].
     fn step_seq(&mut self, layer: &mut dyn SeqLayer)
     where
         Self: Sized,
@@ -41,7 +60,19 @@ pub trait Optimizer {
             self.apply(slot, p, g);
             slot += 1;
         });
+        check_slot_count(slot, self.bound_slots());
     }
+}
+
+/// Shared slot-count guard for [`Optimizer::step`]/[`Optimizer::step_seq`].
+fn check_slot_count(visited: usize, bound: usize) {
+    assert!(
+        visited >= bound,
+        "optimiser/model mismatch: optimiser holds state for {bound} parameter \
+         slots but the model exposes only {visited}; an optimiser must stay \
+         paired with one model for its lifetime (create a fresh optimiser \
+         after editing the model)"
+    );
 }
 
 /// Stochastic gradient descent with optional momentum.
@@ -80,10 +111,19 @@ impl Sgd {
     pub fn set_lr(&mut self, lr: f64) {
         self.lr = lr;
     }
+
+    /// Number of parameter slots with momentum state.
+    pub fn slot_count(&self) -> usize {
+        self.velocity.len()
+    }
 }
 
 impl Optimizer for Sgd {
     fn begin_step(&mut self) {}
+
+    fn bound_slots(&self) -> usize {
+        self.velocity.len()
+    }
 
     fn apply(&mut self, slot: usize, p: &mut Matrix, g: &Matrix) {
         if self.momentum == 0.0 {
@@ -95,6 +135,13 @@ impl Optimizer for Sgd {
         }
         let v = &mut self.velocity[slot];
         if v.shape() != p.shape() {
+            assert!(
+                v.is_empty(),
+                "SGD slot {slot} shape mismatch: momentum state is {:?} but the \
+                 parameter is {:?}; create a fresh optimiser after editing the model",
+                v.shape(),
+                p.shape()
+            );
             *v = Matrix::zeros(p.rows(), p.cols());
         }
         v.scale(self.momentum);
@@ -113,6 +160,28 @@ pub struct Adam {
     t: u64,
     m: Vec<Matrix>,
     v: Vec<Matrix>,
+}
+
+/// The complete state of an [`Adam`] optimiser — hyperparameters, step
+/// counter, and both moment estimates per slot. Restoring a snapshot with
+/// [`Adam::from_snapshot`] resumes training **bit-exactly**: the next
+/// update is identical to the one an uninterrupted optimiser would take.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamSnapshot {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Denominator stabiliser.
+    pub eps: f64,
+    /// Completed optimisation steps (drives bias correction).
+    pub t: u64,
+    /// First-moment estimate per parameter slot.
+    pub m: Vec<Matrix>,
+    /// Second-moment estimate per parameter slot.
+    pub v: Vec<Matrix>,
 }
 
 impl Adam {
@@ -138,11 +207,56 @@ impl Adam {
     pub fn set_lr(&mut self, lr: f64) {
         self.lr = lr;
     }
+
+    /// Number of parameter slots this optimiser holds moment state for.
+    /// Zero until the first step; afterwards it must match the slot count
+    /// of the model the optimiser is paired with.
+    pub fn slot_count(&self) -> usize {
+        self.m.len()
+    }
+
+    /// Captures the full optimiser state for checkpointing.
+    pub fn snapshot(&self) -> AdamSnapshot {
+        AdamSnapshot {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Rebuilds an optimiser from a [`snapshot`](Adam::snapshot), resuming
+    /// the moment estimates and step counter bit-exactly.
+    pub fn from_snapshot(s: AdamSnapshot) -> Self {
+        assert_eq!(
+            s.m.len(),
+            s.v.len(),
+            "Adam snapshot is inconsistent: {} first-moment vs {} second-moment slots",
+            s.m.len(),
+            s.v.len()
+        );
+        Self {
+            lr: s.lr,
+            beta1: s.beta1,
+            beta2: s.beta2,
+            eps: s.eps,
+            t: s.t,
+            m: s.m,
+            v: s.v,
+        }
+    }
 }
 
 impl Optimizer for Adam {
     fn begin_step(&mut self) {
         self.t += 1;
+    }
+
+    fn bound_slots(&self) -> usize {
+        self.m.len()
     }
 
     fn apply(&mut self, slot: usize, p: &mut Matrix, g: &Matrix) {
@@ -151,6 +265,19 @@ impl Optimizer for Adam {
             self.v.push(Matrix::zeros(0, 0));
         }
         if self.m[slot].shape() != p.shape() {
+            // A fresh (never-initialised) slot is lazily sized to the
+            // parameter; a slot that already carries moment state of a
+            // different shape means the optimiser is being applied to a
+            // model it was not paired with — refuse loudly instead of
+            // silently mis-pairing state.
+            assert!(
+                self.m[slot].is_empty(),
+                "Adam slot {slot} shape mismatch: optimiser state is {:?} but the \
+                 parameter is {:?}; an optimiser must stay paired with one model \
+                 for its lifetime (create a fresh optimiser after editing the model)",
+                self.m[slot].shape(),
+                p.shape()
+            );
             self.m[slot] = Matrix::zeros(p.rows(), p.cols());
             self.v[slot] = Matrix::zeros(p.rows(), p.cols());
         }
@@ -207,11 +334,22 @@ impl RmsProp {
 impl Optimizer for RmsProp {
     fn begin_step(&mut self) {}
 
+    fn bound_slots(&self) -> usize {
+        self.v.len()
+    }
+
     fn apply(&mut self, slot: usize, p: &mut Matrix, g: &Matrix) {
         while self.v.len() <= slot {
             self.v.push(Matrix::zeros(0, 0));
         }
         if self.v[slot].shape() != p.shape() {
+            assert!(
+                self.v[slot].is_empty(),
+                "RMSProp slot {slot} shape mismatch: state is {:?} but the \
+                 parameter is {:?}; create a fresh optimiser after editing the model",
+                self.v[slot].shape(),
+                p.shape()
+            );
             self.v[slot] = Matrix::zeros(p.rows(), p.cols());
         }
         let v = &mut self.v[slot];
@@ -365,6 +503,78 @@ mod tests {
         let mut sq = 0.0;
         net.visit_params(&mut |_, g| sq += g.as_slice().iter().map(|v| v * v).sum::<f64>());
         assert!((sq.sqrt() - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adam_snapshot_resume_is_bit_exact() {
+        // Train 2N steps in one go vs N steps, snapshot/restore, N more:
+        // both the parameters and every intermediate loss must match.
+        let mut rng = Rng64::new(7);
+        let mut a = Dense::new(2, 3, &mut rng);
+        let mut rng = Rng64::new(7);
+        let mut b = Dense::new(2, 3, &mut rng);
+        let x = Matrix::from_fn(4, 2, |r, c| (r + c) as f64 * 0.25);
+        let y = Matrix::from_fn(4, 3, |r, c| ((r * 3 + c) % 5) as f64 * 0.2);
+        let step = |net: &mut Dense, opt: &mut Adam| -> f64 {
+            let pred = net.forward(&x, true);
+            let (loss, grad) = mse(&pred, &y);
+            net.backward(&grad);
+            opt.step(net);
+            net.zero_grad();
+            loss
+        };
+        let mut opt_a = Adam::new(0.05);
+        let straight: Vec<f64> = (0..20).map(|_| step(&mut a, &mut opt_a)).collect();
+        let mut opt_b = Adam::new(0.05);
+        let mut resumed: Vec<f64> = (0..10).map(|_| step(&mut b, &mut opt_b)).collect();
+        let snap = opt_b.snapshot();
+        assert_eq!(snap.t, 10);
+        assert_eq!(snap.m.len(), opt_b.slot_count());
+        drop(opt_b);
+        let mut opt_b = Adam::from_snapshot(snap);
+        resumed.extend((0..10).map(|_| step(&mut b, &mut opt_b)));
+        assert_eq!(straight, resumed);
+        let mut wa = Vec::new();
+        a.visit_params(&mut |p, _| wa.push(p.clone()));
+        let mut wb = Vec::new();
+        b.visit_params(&mut |p, _| wb.push(p.clone()));
+        assert_eq!(wa, wb);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn adam_panics_on_repaired_model_shape() {
+        let mut opt = Adam::new(0.1);
+        let mut p = Matrix::filled(2, 2, 0.0);
+        let g = Matrix::filled(2, 2, 1.0);
+        opt.begin_step();
+        opt.apply(0, &mut p, &g);
+        // Same slot, different shape: the optimiser was bound to another
+        // model — must refuse instead of silently resetting state.
+        let mut p2 = Matrix::filled(3, 1, 0.0);
+        let g2 = Matrix::filled(3, 1, 1.0);
+        opt.begin_step();
+        opt.apply(0, &mut p2, &g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "optimiser/model mismatch")]
+    fn adam_panics_when_model_shrinks() {
+        let mut rng = Rng64::new(0);
+        let mut big = Sequential::new(vec![
+            Box::new(Dense::new(2, 2, &mut rng)),
+            Box::new(Dense::new(2, 2, &mut rng)),
+        ]);
+        let mut small = Dense::new(2, 2, &mut rng);
+        let x = Matrix::filled(1, 2, 1.0);
+        let mut opt = Adam::new(0.1);
+        let y = big.forward(&x, true);
+        big.backward(&y);
+        opt.step(&mut big);
+        assert_eq!(opt.slot_count(), 4);
+        let y = small.forward(&x, true);
+        small.backward(&y);
+        opt.step(&mut small); // 2 slots < 4 bound slots
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Checkpoint-artifact glue for the OVS model (see `crates/checkpoint`).
+//!
+//! Two artifact kinds live here:
+//!
+//! * `"ovs-model"` — a whole trained pipeline: the full config, every
+//!   parameter matrix of the three modules, and (optionally) the
+//!   recovered TOD tensor. [`load_model`] rebuilds the model from the
+//!   *recorded* config — including the RNG seed, so the generator's
+//!   Gaussian seeds regenerate identically and the reloaded model
+//!   reproduces the recovered TOD bit-exactly.
+//! * `"ovs-pipeline"` — an in-flight training snapshot
+//!   ([`crate::trainer::PipelineCheckpoint`]): full model weights, the
+//!   running stage's state (weights, Adam moments, loss trace,
+//!   early-stopping counters) and the traces of completed stages.
+//!
+//! Every loader validates the artifact's recorded structural
+//! configuration against the requesting one and refuses on mismatch
+//! *before* touching any weights — a checkpoint can never be silently
+//! grafted onto a differently-shaped model.
+
+use crate::config::OvsConfig;
+use crate::estimator::{matrix_to_tod, tod_to_matrix};
+use crate::model::OvsModel;
+use crate::trainer::{PipelineCheckpoint, Stage, StageState, TrainReport};
+use checkpoint::format::{Artifact, ArtifactBuilder};
+use checkpoint::store::Provenance;
+use checkpoint::CheckpointError;
+use roadnet::{OdSet, RoadNetwork, TodTensor};
+
+/// Artifact kind of a trained OVS model.
+pub const OVS_MODEL_KIND: &str = "ovs-model";
+
+/// Artifact kind of an in-flight pipeline snapshot.
+pub const PIPELINE_KIND: &str = "ovs-pipeline";
+
+/// JSON of only the *structural* configuration fields — the ones that
+/// determine parameter shapes and data flow. Two configs with equal
+/// structural JSON build weight-compatible models; training
+/// hyperparameters (learning rate, epochs, loss weights, scales) are
+/// deliberately excluded so a checkpoint can be fine-tuned under
+/// different training settings.
+pub fn structural_config_json(cfg: &OvsConfig) -> String {
+    format!(
+        concat!(
+            "{{\"tod_hidden\":{},\"route_hidden\":{},\"k_routes\":{},",
+            "\"od_route_fc\":{},\"conv_channels\":{},\"attention_window\":{},",
+            "\"lstm_hidden\":{},\"rnn_kind\":\"{:?}\",\"variant\":\"{:?}\"}}"
+        ),
+        cfg.tod_hidden,
+        cfg.route_hidden,
+        cfg.k_routes,
+        cfg.od_route_fc,
+        cfg.conv_channels,
+        cfg.attention_window,
+        cfg.lstm_hidden,
+        cfg.rnn_kind,
+        cfg.variant,
+    )
+}
+
+fn config_json(cfg: &OvsConfig) -> checkpoint::Result<String> {
+    serde_json::to_string(cfg)
+        .map_err(|e| CheckpointError::Malformed(format!("config encode: {e}")))
+}
+
+fn config_from_artifact(artifact: &Artifact) -> checkpoint::Result<OvsConfig> {
+    let json = artifact.str_section("config")?;
+    serde_json::from_str(&json)
+        .map_err(|e| CheckpointError::Malformed(format!("recorded config: {e}")))
+}
+
+/// Refuses an artifact whose recorded structural config differs from the
+/// requesting one.
+fn check_structure(recorded: &OvsConfig, requesting: &OvsConfig) -> checkpoint::Result<()> {
+    let rec = structural_config_json(recorded);
+    let req = structural_config_json(requesting);
+    if rec != req {
+        return Err(CheckpointError::ShapeMismatch {
+            expected: req,
+            actual: rec,
+        });
+    }
+    Ok(())
+}
+
+/// Serialises a trained model (and optionally its recovered TOD) into an
+/// `"ovs-model"` artifact.
+pub fn save_model(
+    model: &mut OvsModel,
+    recovered: Option<&TodTensor>,
+) -> checkpoint::Result<ArtifactBuilder> {
+    let mut b = ArtifactBuilder::new(OVS_MODEL_KIND);
+    b.add_str("config", &config_json(model.config())?);
+    b.add_f64s("geometry", &[model.intervals() as f64, model.interval_s()]);
+    b.add_matrices("weights", &model.export_weights());
+    if let Some(tod) = recovered {
+        b.add_matrix("recovered_tod", &tod_to_matrix(tod));
+    }
+    Ok(b)
+}
+
+/// Imports an `"ovs-model"` artifact's weights into an existing model of
+/// matching structure. The structural config is checked first; on any
+/// mismatch the model is left untouched.
+pub fn import_model(model: &mut OvsModel, artifact: &Artifact) -> checkpoint::Result<()> {
+    artifact.expect_kind(OVS_MODEL_KIND)?;
+    let recorded = config_from_artifact(artifact)?;
+    check_structure(&recorded, model.config())?;
+    let weights = artifact.matrices("weights")?;
+    model
+        .import_weights(&weights)
+        .map_err(|e| CheckpointError::ShapeMismatch {
+            expected: "weights matching the model's parameter slots".into(),
+            actual: e.to_string(),
+        })
+}
+
+/// Rebuilds a full model from an `"ovs-model"` artifact: the recorded
+/// config (seed included, so the generator's Gaussian seeds regenerate
+/// identically) plus the recorded weights. The reloaded model's
+/// `recovered_tod()` is bit-identical to the saved model's.
+pub fn load_model(
+    net: &RoadNetwork,
+    ods: &OdSet,
+    artifact: &Artifact,
+) -> checkpoint::Result<OvsModel> {
+    artifact.expect_kind(OVS_MODEL_KIND)?;
+    let cfg = config_from_artifact(artifact)?;
+    let geom = artifact.f64s("geometry")?;
+    if geom.len() != 2 || geom[0] < 1.0 || !geom[1].is_finite() {
+        return Err(CheckpointError::Malformed(format!(
+            "geometry section must be [intervals, interval_s], got {geom:?}"
+        )));
+    }
+    let mut model = OvsModel::new(net, ods, geom[0] as usize, geom[1], cfg)
+        .map_err(|e| CheckpointError::Malformed(format!("model rebuild: {e}")))?;
+    import_model(&mut model, artifact)?;
+    Ok(model)
+}
+
+/// Extracts an `"ovs-model"` artifact's weight matrices after validating
+/// its recorded structural config against `cfg` — the warm-start path:
+/// feed the result to [`crate::trainer::OvsTrainer::run_warm`].
+pub fn model_weights(
+    artifact: &Artifact,
+    cfg: &OvsConfig,
+) -> checkpoint::Result<Vec<neural::Matrix>> {
+    artifact.expect_kind(OVS_MODEL_KIND)?;
+    let recorded = config_from_artifact(artifact)?;
+    check_structure(&recorded, cfg)?;
+    artifact.matrices("weights")
+}
+
+/// The recovered TOD stored in an `"ovs-model"` artifact, if any.
+pub fn recovered_tod(artifact: &Artifact) -> checkpoint::Result<Option<TodTensor>> {
+    if !artifact.has("recovered_tod") {
+        return Ok(None);
+    }
+    Ok(Some(matrix_to_tod(&artifact.matrix("recovered_tod")?)))
+}
+
+/// Builds the provenance record for a trained model: config JSON, seed,
+/// parameter shape signature, and the loss traces of every stage.
+pub fn model_provenance(
+    model: &mut OvsModel,
+    report: &TrainReport,
+) -> checkpoint::Result<Provenance> {
+    let mut p = Provenance::new(
+        OVS_MODEL_KIND,
+        &config_json(model.config())?,
+        model.config().seed,
+    );
+    p.shape_sig = model.shape_signature();
+    p.v2s_losses = report.v2s_losses.clone();
+    p.tod2v_losses = report.tod2v_losses.clone();
+    p.fit_losses = report.fit_losses.clone();
+    Ok(p)
+}
+
+/// Serialises a whole-pipeline training snapshot into an
+/// `"ovs-pipeline"` artifact.
+pub fn save_pipeline(
+    cp: &PipelineCheckpoint,
+    cfg: &OvsConfig,
+) -> checkpoint::Result<ArtifactBuilder> {
+    let mut b = ArtifactBuilder::new(PIPELINE_KIND);
+    b.add_str("config", &config_json(cfg)?);
+    b.add_matrices("model_weights", &cp.model_weights);
+    b.add_str("stage", cp.state.stage.tag());
+    b.add_matrices("stage_weights", &cp.state.weights);
+    b.add_adam("stage_opt", &cp.state.opt);
+    b.add_f64s("stage_losses", &cp.state.losses);
+    // f64 holds every usize this loop could reach exactly (< 2^53), and
+    // `best` may be +inf, which the bit-pattern codec round-trips.
+    b.add_f64s(
+        "stage_scalars",
+        &[
+            cp.state.step as f64,
+            cp.state.best,
+            cp.state.since_best as f64,
+        ],
+    );
+    b.add_f64s("v2s_losses", &cp.v2s_losses);
+    b.add_f64s("tod2v_losses", &cp.tod2v_losses);
+    Ok(b)
+}
+
+/// Reconstructs a pipeline snapshot from an `"ovs-pipeline"` artifact,
+/// refusing if its recorded structural config mismatches `cfg` (the
+/// config of the run being resumed).
+pub fn load_pipeline(
+    artifact: &Artifact,
+    cfg: &OvsConfig,
+) -> checkpoint::Result<PipelineCheckpoint> {
+    artifact.expect_kind(PIPELINE_KIND)?;
+    let recorded = config_from_artifact(artifact)?;
+    check_structure(&recorded, cfg)?;
+    let tag = artifact.str_section("stage")?;
+    let stage = Stage::from_tag(&tag)
+        .ok_or_else(|| CheckpointError::Malformed(format!("unknown stage tag '{tag}'")))?;
+    let scalars = artifact.f64s("stage_scalars")?;
+    if scalars.len() != 3 || scalars[0] < 0.0 || scalars[2] < 0.0 {
+        return Err(CheckpointError::Malformed(format!(
+            "stage_scalars must be [step, best, since_best], got {scalars:?}"
+        )));
+    }
+    Ok(PipelineCheckpoint {
+        model_weights: artifact.matrices("model_weights")?,
+        state: StageState {
+            stage,
+            step: scalars[0] as usize,
+            weights: artifact.matrices("stage_weights")?,
+            opt: artifact.adam("stage_opt")?,
+            losses: artifact.f64s("stage_losses")?,
+            best: scalars[1],
+            since_best: scalars[2] as usize,
+        },
+        v2s_losses: artifact.f64s("v2s_losses")?,
+        tod2v_losses: artifact.f64s("tod2v_losses")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OvsVariant;
+    use roadnet::presets::synthetic_grid;
+
+    fn model_with(cfg: OvsConfig) -> (RoadNetwork, OdSet, OvsModel) {
+        let net = synthetic_grid();
+        let ods = OdSet::all_pairs(&net);
+        let model = OvsModel::new(&net, &ods, 6, 600.0, cfg).unwrap();
+        (net, ods, model)
+    }
+
+    #[test]
+    fn model_artifact_round_trip_is_bit_exact() {
+        let (net, ods, mut a) = model_with(OvsConfig::tiny().with_seed(11));
+        let tod = matrix_to_tod(&a.recovered_tod());
+        let bytes = save_model(&mut a, Some(&tod)).unwrap().to_bytes();
+        let artifact = Artifact::from_bytes(&bytes).unwrap();
+        let mut b = load_model(&net, &ods, &artifact).unwrap();
+        // Same weights, same Gaussian seeds -> identical recovered TOD.
+        assert_eq!(a.export_weights(), b.export_weights());
+        assert_eq!(a.recovered_tod(), b.recovered_tod());
+        let stored = recovered_tod(&artifact).unwrap().unwrap();
+        assert_eq!(tod_to_matrix(&stored), a.recovered_tod());
+        // And saving the reloaded model reproduces the identical bytes.
+        let bytes2 = save_model(&mut b, Some(&stored)).unwrap().to_bytes();
+        assert_eq!(bytes2, bytes);
+    }
+
+    #[test]
+    fn mismatched_structure_is_refused_before_weights() {
+        let (_, _, mut a) = model_with(OvsConfig::tiny());
+        let bytes = save_model(&mut a, None).unwrap().to_bytes();
+        let artifact = Artifact::from_bytes(&bytes).unwrap();
+        // Different hidden width.
+        let mut wide = OvsConfig::tiny();
+        wide.lstm_hidden *= 2;
+        let (_, _, mut b) = model_with(wide);
+        let before = b.export_weights();
+        assert!(matches!(
+            import_model(&mut b, &artifact),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
+        assert_eq!(b.export_weights(), before);
+        // Different variant.
+        let (_, _, mut c) = model_with(OvsConfig::tiny().with_variant(OvsVariant::NoV2S));
+        assert!(matches!(
+            import_model(&mut c, &artifact),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
+        // Wrong kind.
+        let other = Artifact::from_bytes(&ArtifactBuilder::new("baseline-nn").to_bytes()).unwrap();
+        assert!(matches!(
+            import_model(&mut a, &other),
+            Err(CheckpointError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn structural_json_ignores_training_hyperparameters() {
+        let a = OvsConfig::tiny();
+        let mut b = OvsConfig::tiny().with_seed(999);
+        b.lr *= 10.0;
+        b.epochs_fit += 100;
+        assert_eq!(structural_config_json(&a), structural_config_json(&b));
+        let mut c = OvsConfig::tiny();
+        c.attention_window += 1;
+        assert_ne!(structural_config_json(&a), structural_config_json(&c));
+    }
+}

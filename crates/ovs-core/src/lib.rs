@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod aux;
 pub mod config;
 pub mod estimator;
@@ -39,4 +40,4 @@ pub mod v2s;
 pub use config::{OvsConfig, OvsVariant};
 pub use estimator::{EstimatorInput, TodEstimator};
 pub use model::OvsModel;
-pub use trainer::{OvsTrainer, TrainReport};
+pub use trainer::{OvsTrainer, PipelineCheckpoint, Stage, StageOptions, StageState, TrainReport};

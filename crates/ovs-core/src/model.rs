@@ -21,6 +21,7 @@ pub struct OvsModel {
     pub v2s: VolumeSpeedMapping,
     cfg: OvsConfig,
     t: usize,
+    interval_s: f64,
 }
 
 impl OvsModel {
@@ -41,6 +42,7 @@ impl OvsModel {
             v2s: VolumeSpeedMapping::new(&cfg, &mut rng),
             cfg,
             t,
+            interval_s,
         })
     }
 
@@ -52,6 +54,11 @@ impl OvsModel {
     /// Number of intervals `T`.
     pub fn intervals(&self) -> usize {
         self.t
+    }
+
+    /// Interval length in seconds.
+    pub fn interval_s(&self) -> f64 {
+        self.interval_s
     }
 
     /// Full generative pass: seeds -> TOD -> volume -> speed. Returns
@@ -90,6 +97,18 @@ impl OvsModel {
         self.tod_gen.visit_params(&mut |p, _| n += p.len());
         self.tod2v.visit_params(&mut |p, _| n += p.len());
         n + self.v2s.param_count()
+    }
+
+    /// The `(rows, cols)` of every parameter slot in the deterministic
+    /// traversal order — the shape signature recorded in artifact
+    /// provenance and checked before a checkpoint is imported.
+    pub fn shape_signature(&mut self) -> Vec<(usize, usize)> {
+        let mut shapes = Vec::new();
+        self.tod_gen
+            .visit_params(&mut |p, _| shapes.push(p.shape()));
+        self.tod2v.visit_params(&mut |p, _| shapes.push(p.shape()));
+        self.v2s.visit_params(&mut |p, _| shapes.push(p.shape()));
+        shapes
     }
 
     /// Exports every parameter matrix in the deterministic traversal

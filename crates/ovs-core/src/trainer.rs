@@ -21,7 +21,7 @@ use crate::estimator::{
 };
 use crate::model::OvsModel;
 use neural::loss::{huber, mse};
-use neural::optim::{Adam, Optimizer};
+use neural::optim::{Adam, AdamSnapshot, Optimizer};
 use neural::Matrix;
 use roadnet::{Result, RoadnetError, TodTensor};
 
@@ -42,15 +42,148 @@ impl TrainReport {
         self.v2s_losses.last().copied()
     }
 
+    /// Final stage-2 loss.
+    pub fn final_tod2v(&self) -> Option<f64> {
+        self.tod2v_losses.last().copied()
+    }
+
     /// Final test-time fit loss.
     pub fn final_fit(&self) -> Option<f64> {
         self.fit_losses.last().copied()
     }
 }
 
+/// One stage of the training pipeline (§V-E, Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Stage 1: Volume-Speed fit.
+    V2s,
+    /// Stage 2: TOD-Volume fit through the frozen V2S.
+    Tod2v,
+    /// Test-time TOD-generator fit.
+    Fit,
+}
+
+impl Stage {
+    /// Stable identifier used in checkpoint artifacts.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Stage::V2s => "v2s",
+            Stage::Tod2v => "tod2v",
+            Stage::Fit => "fit",
+        }
+    }
+
+    /// Inverse of [`Stage::tag`].
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "v2s" => Some(Stage::V2s),
+            "tod2v" => Some(Stage::Tod2v),
+            "fit" => Some(Stage::Fit),
+            _ => None,
+        }
+    }
+}
+
+/// Everything needed to resume one training stage bit-exactly: the
+/// stage's module weights, the full Adam moment state, the loss trace so
+/// far, and the early-stopping counters. Restoring this mid-stage and
+/// finishing the remaining steps reproduces the uninterrupted loss trace
+/// exactly (provided dropout is disabled — the dropout RNG is the one
+/// piece of state a snapshot does not capture).
+#[derive(Debug, Clone)]
+pub struct StageState {
+    /// Which stage this state belongs to.
+    pub stage: Stage,
+    /// Gradient steps already taken.
+    pub step: usize,
+    /// The stage's module weights at `step` (in `visit_params` order).
+    pub weights: Vec<Matrix>,
+    /// The stage optimiser's full state at `step`.
+    pub opt: AdamSnapshot,
+    /// Per-step losses up to `step`.
+    pub losses: Vec<f64>,
+    /// Best early-stopping loss seen so far (`Fit` stage only).
+    pub best: f64,
+    /// Steps since `best` improved (`Fit` stage only).
+    pub since_best: usize,
+}
+
+/// Per-stage checkpoint/resume options for the `*_with` trainer entry
+/// points. The default (`resume: None`, `checkpoint_every: 0`) is the
+/// plain uninterrupted behaviour of [`OvsTrainer::train_v2s`] et al.
+#[derive(Default)]
+pub struct StageOptions<'h> {
+    /// Resume mid-stage from this state instead of starting at step 0.
+    pub resume: Option<StageState>,
+    /// Emit a checkpoint every this many steps (0 = never).
+    pub checkpoint_every: usize,
+    /// Called with the model and the stage state at each checkpoint; an
+    /// error aborts training.
+    #[allow(clippy::type_complexity)]
+    pub on_checkpoint: Option<&'h mut dyn FnMut(&mut OvsModel, &StageState) -> Result<()>>,
+}
+
+/// A whole-pipeline snapshot: the full model weights plus the in-flight
+/// stage's state and the traces of any completed stages. This is what
+/// [`OvsTrainer::run_resumable`] emits and accepts.
+#[derive(Debug, Clone)]
+pub struct PipelineCheckpoint {
+    /// Full model weights ([`OvsModel::export_weights`] order) at the
+    /// moment of the snapshot.
+    pub model_weights: Vec<Matrix>,
+    /// State of the stage that was running.
+    pub state: StageState,
+    /// Completed stage-1 loss trace (empty while stage 1 runs).
+    pub v2s_losses: Vec<f64>,
+    /// Completed stage-2 loss trace (empty until stage 2 finishes).
+    pub tod2v_losses: Vec<f64>,
+}
+
 /// A `visit_params`-style closure: calls its argument once per
 /// `(param, grad)` pair of a module.
 type ParamVisitor<'v> = dyn FnMut(&mut dyn FnMut(&mut Matrix, &mut Matrix)) + 'v;
+
+/// Restores a stage's module weights and optimiser from a [`StageState`],
+/// validating the stage tag and every weight shape first.
+fn restore_stage(
+    visit: &mut ParamVisitor<'_>,
+    state: &StageState,
+    expected: Stage,
+) -> Result<Adam> {
+    if state.stage != expected {
+        return Err(RoadnetError::InvalidSpec(format!(
+            "resume state is for stage '{}' but stage '{}' is running",
+            state.stage.tag(),
+            expected.tag()
+        )));
+    }
+    checkpoint::module::import_visit(visit, &state.weights)
+        .map_err(|e| RoadnetError::InvalidSpec(format!("resume state rejected: {e}")))?;
+    Ok(Adam::from_snapshot(state.opt.clone()))
+}
+
+/// Captures a stage's full state (module weights + optimiser + trace) at
+/// `step` for a later bit-exact resume.
+fn capture_stage(
+    visit: &mut ParamVisitor<'_>,
+    stage: Stage,
+    step: usize,
+    opt: &Adam,
+    losses: &[f64],
+    best: f64,
+    since_best: usize,
+) -> StageState {
+    StageState {
+        stage,
+        step,
+        weights: checkpoint::module::export_visit(visit),
+        opt: opt.snapshot(),
+        losses: losses.to_vec(),
+        best,
+        since_best,
+    }
+}
 
 /// Steps an Adam optimiser over a module exposed through a
 /// `visit_params`-style closure.
@@ -149,6 +282,16 @@ impl OvsTrainer {
         model: &mut OvsModel,
         train: &[crate::estimator::TrainTriple],
     ) -> Result<Vec<f64>> {
+        self.train_v2s_with(model, train, StageOptions::default())
+    }
+
+    /// [`OvsTrainer::train_v2s`] with mid-stage checkpointing and resume.
+    pub fn train_v2s_with(
+        &self,
+        model: &mut OvsModel,
+        train: &[crate::estimator::TrainTriple],
+        mut opts: StageOptions<'_>,
+    ) -> Result<Vec<f64>> {
         if train.is_empty() {
             return Err(RoadnetError::InvalidSpec(
                 "stage 1 requires at least one training triple".into(),
@@ -172,9 +315,18 @@ impl OvsTrainer {
                     .copy_from_slice(&link_to_matrix(&sample.speed).row(j)[..t]);
             }
         }
-        let mut opt = Adam::new(self.cfg.lr * 10.0);
-        let mut losses = Vec::with_capacity(self.cfg.epochs_v2s);
-        for _ in 0..self.cfg.epochs_v2s {
+        let (mut opt, mut losses, start) = match opts.resume.take() {
+            Some(state) => {
+                let opt = restore_stage(&mut |f| model.v2s.visit_params(f), &state, Stage::V2s)?;
+                (opt, state.losses, state.step)
+            }
+            None => (
+                Adam::new(self.cfg.lr * 10.0),
+                Vec::with_capacity(self.cfg.epochs_v2s),
+                0,
+            ),
+        };
+        for step in start..self.cfg.epochs_v2s {
             let v_pred = model.v2s.forward(&q_all, true);
             let (loss, grad) = mse(&v_pred, &v_all);
             model.v2s.backward(&grad);
@@ -182,6 +334,20 @@ impl OvsTrainer {
             adam_step(&mut opt, &mut |f| model.v2s.visit_params(f));
             model.v2s.zero_grad();
             losses.push(loss);
+            if opts.checkpoint_every > 0 && (step + 1) % opts.checkpoint_every == 0 {
+                if let Some(hook) = opts.on_checkpoint.as_mut() {
+                    let state = capture_stage(
+                        &mut |f| model.v2s.visit_params(f),
+                        Stage::V2s,
+                        step + 1,
+                        &opt,
+                        &losses,
+                        f64::INFINITY,
+                        0,
+                    );
+                    hook(model, &state)?;
+                }
+            }
         }
         Ok(losses)
     }
@@ -192,17 +358,37 @@ impl OvsTrainer {
         model: &mut OvsModel,
         train: &[crate::estimator::TrainTriple],
     ) -> Result<Vec<f64>> {
+        self.train_tod2v_with(model, train, StageOptions::default())
+    }
+
+    /// [`OvsTrainer::train_tod2v`] with mid-stage checkpointing and resume.
+    pub fn train_tod2v_with(
+        &self,
+        model: &mut OvsModel,
+        train: &[crate::estimator::TrainTriple],
+        mut opts: StageOptions<'_>,
+    ) -> Result<Vec<f64>> {
         if train.is_empty() {
             return Err(RoadnetError::InvalidSpec(
                 "stage 2 requires at least one training triple".into(),
             ));
         }
-        let mut opt = Adam::new(self.cfg.lr * 30.0);
-        let mut losses = Vec::with_capacity(self.cfg.epochs_tod2v);
+        let (mut opt, mut losses, start) = match opts.resume.take() {
+            Some(state) => {
+                let opt =
+                    restore_stage(&mut |f| model.tod2v.visit_params(f), &state, Stage::Tod2v)?;
+                (opt, state.losses, state.step)
+            }
+            None => (
+                Adam::new(self.cfg.lr * 30.0),
+                Vec::with_capacity(self.cfg.epochs_tod2v),
+                0,
+            ),
+        };
         // Full-batch epochs: gradients accumulate over every sample before
         // one optimiser step; per-sample cycling oscillates because the
         // five TOD patterns pull the mapping in different directions.
-        for _ in 0..self.cfg.epochs_tod2v {
+        for step in start..self.cfg.epochs_tod2v {
             let mut epoch_loss = 0.0;
             for sample in train {
                 let g = tod_to_matrix(&sample.tod);
@@ -235,6 +421,20 @@ impl OvsTrainer {
             adam_step(&mut opt, &mut |f| model.tod2v.visit_params(f));
             model.tod2v.zero_grad();
             losses.push(epoch_loss / train.len() as f64);
+            if opts.checkpoint_every > 0 && (step + 1) % opts.checkpoint_every == 0 {
+                if let Some(hook) = opts.on_checkpoint.as_mut() {
+                    let state = capture_stage(
+                        &mut |f| model.tod2v.visit_params(f),
+                        Stage::Tod2v,
+                        step + 1,
+                        &opt,
+                        &losses,
+                        f64::INFINITY,
+                        0,
+                    );
+                    hook(model, &state)?;
+                }
+            }
         }
         Ok(losses)
     }
@@ -245,6 +445,19 @@ impl OvsTrainer {
         &self,
         model: &mut OvsModel,
         input: &EstimatorInput<'_>,
+    ) -> Result<Vec<f64>> {
+        self.fit_tod_gen_with(model, input, StageOptions::default())
+    }
+
+    /// [`OvsTrainer::fit_tod_gen`] with mid-stage checkpointing and
+    /// resume. The early-stopping counters travel in the [`StageState`],
+    /// so a resumed fit stops at exactly the step the uninterrupted fit
+    /// would have.
+    pub fn fit_tod_gen_with(
+        &self,
+        model: &mut OvsModel,
+        input: &EstimatorInput<'_>,
+        mut opts: StageOptions<'_>,
     ) -> Result<Vec<f64>> {
         let v_obs = link_to_matrix(input.observed_speed);
         // Gaussian prior centre (SS IV-B): the demand *level* implied by
@@ -260,15 +473,25 @@ impl OvsTrainer {
             .iter()
             .map(|l| l.speed_limit_mps)
             .collect();
-        let mut opt = Adam::new(self.cfg.lr * 30.0);
-        let mut losses = Vec::with_capacity(self.cfg.epochs_fit);
         // Early stopping: once the speed evidence stops improving the fit,
         // further steps only chase forward-model bias (the multiple-
         // solution problem of SS I). Patience scales with the budget.
         let patience = (self.cfg.epochs_fit / 8).max(50);
-        let mut best = f64::INFINITY;
-        let mut since_best = 0usize;
-        for _ in 0..self.cfg.epochs_fit {
+        let (mut opt, mut losses, start, mut best, mut since_best) = match opts.resume.take() {
+            Some(state) => {
+                let opt =
+                    restore_stage(&mut |f| model.tod_gen.visit_params(f), &state, Stage::Fit)?;
+                (opt, state.losses, state.step, state.best, state.since_best)
+            }
+            None => (
+                Adam::new(self.cfg.lr * 30.0),
+                Vec::with_capacity(self.cfg.epochs_fit),
+                0,
+                f64::INFINITY,
+                0usize,
+            ),
+        };
+        for step in start..self.cfg.epochs_fit {
             let (g, q, v) = model.forward_full(true);
             let (main, dv) = if self.cfg.fit_huber_delta > 0.0 {
                 huber(&v, &v_obs, self.cfg.fit_huber_delta)
@@ -329,22 +552,38 @@ impl OvsTrainer {
             adam_step(&mut opt, &mut |f| model.tod_gen.visit_params(f));
             model.tod_gen.zero_grad();
             losses.push(total);
+            let mut stop = false;
             if total < best * 0.995 {
                 best = total;
                 since_best = 0;
             } else {
                 since_best += 1;
-                if since_best >= patience {
-                    break;
+                stop = since_best >= patience;
+            }
+            if opts.checkpoint_every > 0 && (step + 1) % opts.checkpoint_every == 0 && !stop {
+                if let Some(hook) = opts.on_checkpoint.as_mut() {
+                    let state = capture_stage(
+                        &mut |f| model.tod_gen.visit_params(f),
+                        Stage::Fit,
+                        step + 1,
+                        &opt,
+                        &losses,
+                        best,
+                        since_best,
+                    );
+                    hook(model, &state)?;
                 }
+            }
+            if stop {
+                break;
             }
         }
         Ok(losses)
     }
 
-    /// The full pipeline: stages 1-2 on the corpus, then the test-time
-    /// fit. Returns the trained model and the loss traces.
-    pub fn run(&self, input: &EstimatorInput<'_>) -> Result<(OvsModel, TrainReport)> {
+    /// Builds the corpus-adapted trainer and the freshly initialised,
+    /// demand-levelled model that every pipeline entry point starts from.
+    fn prepare(&self, input: &EstimatorInput<'_>) -> Result<(OvsTrainer, OvsModel)> {
         validate_input(input)?;
         // Adapt the sigmoid scales to the corpus so the generator starts
         // inside the data range instead of saturating.
@@ -362,12 +601,146 @@ impl OvsTrainer {
         model
             .tod_gen
             .set_output_level(level / model.config().g_max.max(1e-9));
+        Ok((trainer, model))
+    }
+
+    /// The full pipeline: stages 1-2 on the corpus, then the test-time
+    /// fit. Returns the trained model and the loss traces.
+    pub fn run(&self, input: &EstimatorInput<'_>) -> Result<(OvsModel, TrainReport)> {
+        let (trainer, mut model) = self.prepare(input)?;
         let report = TrainReport {
             v2s_losses: trainer.train_v2s(&mut model, input.train)?,
             tod2v_losses: trainer.train_tod2v(&mut model, input.train)?,
             fit_losses: trainer.fit_tod_gen(&mut model, input)?,
         };
         Ok((model, report))
+    }
+
+    /// [`OvsTrainer::run`] with periodic whole-pipeline checkpointing and
+    /// resume. `on_checkpoint` fires every `checkpoint_every` steps of
+    /// whichever stage is running, receiving a [`PipelineCheckpoint`]
+    /// that, passed back as `resume`, continues the run bit-exactly from
+    /// that step (completed stages are not re-run; their traces travel in
+    /// the checkpoint). With `checkpoint_every == 0` and `resume: None`
+    /// this is exactly [`OvsTrainer::run`].
+    pub fn run_resumable(
+        &self,
+        input: &EstimatorInput<'_>,
+        checkpoint_every: usize,
+        on_checkpoint: &mut dyn FnMut(&PipelineCheckpoint) -> Result<()>,
+        resume: Option<PipelineCheckpoint>,
+    ) -> Result<(OvsModel, TrainReport)> {
+        let (trainer, mut model) = self.prepare(input)?;
+        let (mut stage_resume, done_v2s, done_tod2v, start_stage) = match resume {
+            Some(cp) => {
+                model.import_weights(&cp.model_weights)?;
+                let stage = cp.state.stage;
+                (Some(cp.state), cp.v2s_losses, cp.tod2v_losses, stage)
+            }
+            None => (None, Vec::new(), Vec::new(), Stage::V2s),
+        };
+
+        let v2s_losses = if start_stage == Stage::V2s {
+            let mut hook = |m: &mut OvsModel, s: &StageState| {
+                on_checkpoint(&PipelineCheckpoint {
+                    model_weights: m.export_weights(),
+                    state: s.clone(),
+                    v2s_losses: Vec::new(),
+                    tod2v_losses: Vec::new(),
+                })
+            };
+            trainer.train_v2s_with(
+                &mut model,
+                input.train,
+                StageOptions {
+                    resume: stage_resume.take(),
+                    checkpoint_every,
+                    on_checkpoint: Some(&mut hook),
+                },
+            )?
+        } else {
+            done_v2s
+        };
+
+        let tod2v_losses = if matches!(start_stage, Stage::V2s | Stage::Tod2v) {
+            let mut hook = |m: &mut OvsModel, s: &StageState| {
+                on_checkpoint(&PipelineCheckpoint {
+                    model_weights: m.export_weights(),
+                    state: s.clone(),
+                    v2s_losses: v2s_losses.clone(),
+                    tod2v_losses: Vec::new(),
+                })
+            };
+            trainer.train_tod2v_with(
+                &mut model,
+                input.train,
+                StageOptions {
+                    resume: stage_resume.take(),
+                    checkpoint_every,
+                    on_checkpoint: Some(&mut hook),
+                },
+            )?
+        } else {
+            done_tod2v
+        };
+
+        let fit_losses = {
+            let mut hook = |m: &mut OvsModel, s: &StageState| {
+                on_checkpoint(&PipelineCheckpoint {
+                    model_weights: m.export_weights(),
+                    state: s.clone(),
+                    v2s_losses: v2s_losses.clone(),
+                    tod2v_losses: tod2v_losses.clone(),
+                })
+            };
+            trainer.fit_tod_gen_with(
+                &mut model,
+                input,
+                StageOptions {
+                    resume: stage_resume.take(),
+                    checkpoint_every,
+                    on_checkpoint: Some(&mut hook),
+                },
+            )?
+        };
+
+        Ok((
+            model,
+            TrainReport {
+                v2s_losses,
+                tod2v_losses,
+                fit_losses,
+            },
+        ))
+    }
+
+    /// Warm start: skip stages 1-2 entirely by importing the weights of a
+    /// model already trained on another scenario (same network topology
+    /// and shapes), then run only the test-time fit against this input's
+    /// observation. The imported generator is re-levelled to the new
+    /// observation's calibrated demand before fitting, so only the
+    /// fine-structure has to be re-learned — the step-count saving
+    /// `examples/warm_start.rs` measures.
+    pub fn run_warm(
+        &self,
+        input: &EstimatorInput<'_>,
+        source_weights: &[Matrix],
+    ) -> Result<(OvsModel, TrainReport)> {
+        let (trainer, mut model) = self.prepare(input)?;
+        model.import_weights(source_weights)?;
+        let level = calibrate_demand_level(input);
+        model
+            .tod_gen
+            .set_output_level(level / model.config().g_max.max(1e-9));
+        let fit_losses = trainer.fit_tod_gen(&mut model, input)?;
+        Ok((
+            model,
+            TrainReport {
+                v2s_losses: Vec::new(),
+                tod2v_losses: Vec::new(),
+                fit_losses,
+            },
+        ))
     }
 
     /// Like [`OvsTrainer::run`], but additionally averages the recovered

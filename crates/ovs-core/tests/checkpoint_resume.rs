@@ -1,0 +1,180 @@
+//! Resume-equivalence integration tests: training for 2N steps must be
+//! indistinguishable — loss trace and weights, bit for bit — from
+//! training N steps, checkpointing, and resuming for the remaining N.
+//! Also covers the warm-start path (skip stages 1-2 entirely) and the
+//! pipeline artifact round trip.
+
+use checkpoint::format::Artifact;
+use datagen::{Dataset, TodPattern};
+use ovs_core::trainer::{OvsTrainer, PipelineCheckpoint, Stage};
+use ovs_core::{artifact, EstimatorInput, OvsConfig};
+
+fn tiny_dataset() -> Dataset {
+    let spec = datagen::dataset::DatasetSpec {
+        t: 3,
+        interval_s: 120.0,
+        train_samples: 3,
+        demand_scale: 0.2,
+        seed: 9,
+    };
+    Dataset::synthetic(TodPattern::Gaussian, &spec).unwrap()
+}
+
+fn input(ds: &Dataset) -> EstimatorInput<'_> {
+    EstimatorInput::builder(&ds.net, &ds.ods)
+        .interval_s(ds.sim_config.interval_s)
+        .sim_seed(ds.sim_config.seed)
+        .train(&ds.train)
+        .observed_speed(&ds.observed_speed)
+        .build()
+}
+
+/// Deterministic config: dropout off, because the dropout RNG is not part
+/// of the checkpoint (documented in DESIGN.md §7).
+fn cfg() -> OvsConfig {
+    OvsConfig {
+        dropout: 0.0,
+        ..OvsConfig::tiny()
+    }
+}
+
+#[test]
+fn resume_reproduces_uninterrupted_training_bit_exactly() {
+    let ds = tiny_dataset();
+    let inp = input(&ds);
+    let trainer = OvsTrainer::new(cfg());
+
+    // Reference: one uninterrupted run.
+    let (mut ref_model, ref_report) = trainer.run(&inp).unwrap();
+    let ref_weights = ref_model.export_weights();
+
+    // Same run with periodic checkpoint capture — the hook must not
+    // perturb training.
+    let mut caps: Vec<PipelineCheckpoint> = Vec::new();
+    let (_, hooked_report) = trainer
+        .run_resumable(
+            &inp,
+            7,
+            &mut |cp| {
+                caps.push(cp.clone());
+                Ok(())
+            },
+            None,
+        )
+        .unwrap();
+    assert_eq!(hooked_report.v2s_losses, ref_report.v2s_losses);
+    assert_eq!(hooked_report.tod2v_losses, ref_report.tod2v_losses);
+    assert_eq!(hooked_report.fit_losses, ref_report.fit_losses);
+    assert!(
+        caps.len() >= 3,
+        "expected several checkpoints, got {}",
+        caps.len()
+    );
+    // All three stages should have produced at least one snapshot.
+    for stage in [Stage::V2s, Stage::Tod2v, Stage::Fit] {
+        assert!(
+            caps.iter().any(|cp| cp.state.stage == stage),
+            "no checkpoint captured during {stage:?}"
+        );
+    }
+
+    // Resume from an early, a middle, and a late snapshot: each resumed
+    // run must land on the exact same traces and weights.
+    for idx in [0, caps.len() / 2, caps.len() - 1] {
+        let cp = caps[idx].clone();
+        let stage = cp.state.stage;
+        let step = cp.state.step;
+        let (mut res_model, res_report) = trainer
+            .run_resumable(&inp, 0, &mut |_| Ok(()), Some(cp))
+            .unwrap();
+        assert_eq!(
+            res_report.v2s_losses, ref_report.v2s_losses,
+            "v2s trace diverged resuming from {stage:?} step {step}"
+        );
+        assert_eq!(
+            res_report.tod2v_losses, ref_report.tod2v_losses,
+            "tod2v trace diverged resuming from {stage:?} step {step}"
+        );
+        assert_eq!(
+            res_report.fit_losses, ref_report.fit_losses,
+            "fit trace diverged resuming from {stage:?} step {step}"
+        );
+        assert_eq!(
+            res_model.export_weights(),
+            ref_weights,
+            "weights diverged resuming from {stage:?} step {step}"
+        );
+    }
+}
+
+#[test]
+fn pipeline_checkpoint_survives_the_artifact_format() {
+    let ds = tiny_dataset();
+    let inp = input(&ds);
+    let trainer = OvsTrainer::new(cfg());
+
+    let mut caps: Vec<PipelineCheckpoint> = Vec::new();
+    trainer
+        .run_resumable(
+            &inp,
+            11,
+            &mut |cp| {
+                caps.push(cp.clone());
+                Ok(())
+            },
+            None,
+        )
+        .unwrap();
+    let cp = caps[caps.len() / 2].clone();
+
+    let bytes = artifact::save_pipeline(&cp, &cfg()).unwrap().to_bytes();
+    let parsed = Artifact::from_bytes(&bytes).unwrap();
+    let back = artifact::load_pipeline(&parsed, &cfg()).unwrap();
+
+    assert_eq!(back.state.stage, cp.state.stage);
+    assert_eq!(back.state.step, cp.state.step);
+    assert_eq!(back.state.losses, cp.state.losses);
+    assert_eq!(back.state.weights, cp.state.weights);
+    assert_eq!(back.state.opt.t, cp.state.opt.t);
+    assert_eq!(back.state.opt.m, cp.state.opt.m);
+    assert_eq!(back.state.opt.v, cp.state.opt.v);
+    assert_eq!(back.model_weights, cp.model_weights);
+    assert_eq!(back.v2s_losses, cp.v2s_losses);
+    assert_eq!(back.tod2v_losses, cp.tod2v_losses);
+
+    // And a resume from the decoded snapshot matches a resume from the
+    // in-memory one.
+    let (_, rep_mem) = trainer
+        .run_resumable(&inp, 0, &mut |_| Ok(()), Some(cp))
+        .unwrap();
+    let (_, rep_disk) = trainer
+        .run_resumable(&inp, 0, &mut |_| Ok(()), Some(back))
+        .unwrap();
+    assert_eq!(rep_mem.fit_losses, rep_disk.fit_losses);
+}
+
+#[test]
+fn warm_start_skips_stages_and_converges() {
+    let ds = tiny_dataset();
+    let inp = input(&ds);
+    let trainer = OvsTrainer::new(cfg());
+
+    let (mut cold_model, cold_report) = trainer.run(&inp).unwrap();
+    assert!(cold_report.final_tod2v().is_some());
+    let weights = cold_model.export_weights();
+
+    let (_, warm_report) = trainer.run_warm(&inp, &weights).unwrap();
+    assert!(warm_report.v2s_losses.is_empty());
+    assert!(warm_report.tod2v_losses.is_empty());
+    assert!(!warm_report.fit_losses.is_empty());
+    assert!(warm_report.final_fit().unwrap().is_finite());
+
+    let cold_steps = cold_report.v2s_losses.len()
+        + cold_report.tod2v_losses.len()
+        + cold_report.fit_losses.len();
+    let warm_steps = warm_report.fit_losses.len();
+    assert!(
+        warm_steps < cold_steps,
+        "warm start must save steps: {warm_steps} vs {cold_steps}"
+    );
+}

@@ -4,12 +4,22 @@
 //! cityod networks                         list available road networks
 //! cityod simulate <net> [--t N] [--demand F] [--seed S]
 //! cityod recover  <net> [--method M] [--t N] [--demand F] [--seed S] [--aux]
-//! cityod checkpoint <net> <path>          train OVS and save its weights
+//! cityod checkpoint save <net> <name>     train OVS, register the artifact
+//! cityod checkpoint list                  list registered artifacts
+//! cityod checkpoint inspect <name>        sections + provenance of one
+//! cityod checkpoint verify [<name>]       checksum-verify one or all
+//! cityod checkpoint gc <family> [--keep K]  drop old family versions
 //! ```
 //!
 //! Networks: `grid3x3`, `hangzhou`, `porto`, `manhattan`, `state_college`.
 //! Methods: `ovs` (default), `gravity`, `genetic`, `gls`, `em`, `nn`,
 //! `lstm`, or `all`.
+//!
+//! Checkpoint subcommands operate on an artifact registry directory:
+//! `--store DIR` beats the `CITYOD_ARTIFACTS` environment variable beats
+//! the default `artifacts/`. `checkpoint save` accepts the same dataset
+//! flags as `simulate`, plus `--versioned` to save under the next free
+//! `<name>-vNNN` instead of overwriting.
 //!
 //! Every command accepts `--threads N` to pin the worker-thread count of
 //! the parallel data-generation and evaluation layers (`CITYOD_THREADS`
@@ -17,12 +27,14 @@
 //! Results are bit-identical for every thread count.
 
 use city_od::baselines;
+use city_od::checkpoint::store::ArtifactStore;
 use city_od::datagen::dataset::DatasetSpec;
 use city_od::datagen::{Dataset, TodPattern};
 use city_od::eval::harness::{run_method, DatasetInput};
 use city_od::eval::{default_methods, tables};
+use city_od::ovs_core::estimator::matrix_to_tod;
 use city_od::ovs_core::trainer::{OvsEstimator, OvsTrainer};
-use city_od::ovs_core::{OvsConfig, TodEstimator};
+use city_od::ovs_core::{artifact, OvsConfig, TodEstimator};
 use city_od::roadnet::presets;
 use std::process::ExitCode;
 
@@ -75,7 +87,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cityod networks\n  cityod simulate <net> [--t N] [--demand F] [--seed S] [--threads N]\n  cityod recover <net> [--method ovs|gravity|genetic|gls|em|nn|lstm|all] [--t N] [--demand F] [--seed S] [--aux] [--threads N]\n  cityod checkpoint <net> <path.json> [--t N] [--demand F] [--seed S] [--threads N]\nnetworks: grid3x3 hangzhou porto manhattan state_college"
+        "usage:\n  cityod networks\n  cityod simulate <net> [--t N] [--demand F] [--seed S] [--threads N]\n  cityod recover <net> [--method ovs|gravity|genetic|gls|em|nn|lstm|all] [--t N] [--demand F] [--seed S] [--aux] [--threads N]\n  cityod checkpoint save <net> <name> [--versioned] [--t N] [--demand F] [--seed S] [--threads N] [--store DIR]\n  cityod checkpoint list [--store DIR]\n  cityod checkpoint inspect <name> [--store DIR]\n  cityod checkpoint verify [<name>] [--store DIR]\n  cityod checkpoint gc <family> [--keep K] [--store DIR]\nnetworks: grid3x3 hangzhou porto manhattan state_college\nstore: --store beats CITYOD_ARTIFACTS beats ./artifacts"
     );
     ExitCode::from(2)
 }
@@ -148,25 +160,16 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "simulate" | "recover" | "checkpoint" => {
+        "checkpoint" => checkpoint_cmd(&args),
+        "simulate" | "recover" => {
             let Some(net_name) = args.positional.get(1) else {
                 return usage();
             };
-            let spec = DatasetSpec {
-                t: args.flag_usize("t", 6),
-                interval_s: args.flag_f64("interval", 300.0),
-                train_samples: args.flag_usize("train", 6),
-                demand_scale: args.flag_f64("demand", 0.15),
-                seed: args.flag_usize("seed", 7) as u64,
-            };
+            let spec = dataset_spec(&args);
             let Some(ds) = build_dataset(net_name, &spec) else {
                 return ExitCode::FAILURE;
             };
-            let ovs_cfg = OvsConfig {
-                lstm_hidden: 16,
-                seed: spec.seed,
-                ..OvsConfig::default()
-            };
+            let ovs_cfg = cli_ovs_config(spec.seed);
             match cmd {
                 "simulate" => {
                     println!(
@@ -191,7 +194,8 @@ fn main() -> ExitCode {
                     }
                     ExitCode::SUCCESS
                 }
-                "recover" => {
+                _ => {
+                    // recover
                     let owned = DatasetInput::new(&ds);
                     let with_aux = args.switches.contains("aux");
                     let input = owned.input(&ds, with_aux);
@@ -224,35 +228,231 @@ fn main() -> ExitCode {
                     println!("{}", tables::render_comparison(&ds.name, &results));
                     ExitCode::SUCCESS
                 }
-                _ => {
-                    // checkpoint
-                    let Some(path) = args.positional.get(2) else {
-                        return usage();
-                    };
-                    let owned = DatasetInput::new(&ds);
-                    let input = owned.input(&ds, false);
-                    let trainer = OvsTrainer::new(ovs_cfg);
-                    match trainer.run(&input) {
-                        Ok((mut model, report)) => {
-                            let json = model.weights_to_json();
-                            if let Err(e) = std::fs::write(path, json) {
-                                eprintln!("write failed: {e}");
-                                return ExitCode::FAILURE;
-                            }
-                            println!(
-                                "trained OVS (final fit loss {:.4}), checkpoint -> {path}",
-                                report.final_fit().unwrap_or(f64::NAN)
-                            );
-                            ExitCode::SUCCESS
-                        }
-                        Err(e) => {
-                            eprintln!("training failed: {e}");
-                            ExitCode::FAILURE
-                        }
-                    }
-                }
             }
         }
         _ => usage(),
+    }
+}
+
+fn dataset_spec(args: &Args) -> DatasetSpec {
+    DatasetSpec {
+        t: args.flag_usize("t", 6),
+        interval_s: args.flag_f64("interval", 300.0),
+        train_samples: args.flag_usize("train", 6),
+        demand_scale: args.flag_f64("demand", 0.15),
+        seed: args.flag_usize("seed", 7) as u64,
+    }
+}
+
+fn cli_ovs_config(seed: u64) -> OvsConfig {
+    OvsConfig {
+        lstm_hidden: 16,
+        seed,
+        ..OvsConfig::default()
+    }
+}
+
+fn open_store(args: &Args) -> Option<ArtifactStore> {
+    let opened = match args.flags.get("store") {
+        Some(dir) => ArtifactStore::open(dir),
+        None => ArtifactStore::open_default(),
+    };
+    match opened {
+        Ok(store) => Some(store),
+        Err(e) => {
+            eprintln!("cannot open artifact store: {e}");
+            None
+        }
+    }
+}
+
+fn checkpoint_save(args: &Args, store: &ArtifactStore) -> ExitCode {
+    let (Some(net_name), Some(name)) = (args.positional.get(2), args.positional.get(3)) else {
+        return usage();
+    };
+    let spec = dataset_spec(args);
+    let Some(ds) = build_dataset(net_name, &spec) else {
+        return ExitCode::FAILURE;
+    };
+    let owned = DatasetInput::new(&ds);
+    let input = owned.input(&ds, false);
+    let trainer = OvsTrainer::new(cli_ovs_config(spec.seed));
+    let (mut model, report) = match trainer.run(&input) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("training failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tod = matrix_to_tod(&model.recovered_tod());
+    let saved = artifact::save_model(&mut model, Some(&tod)).and_then(|builder| {
+        let mut prov = artifact::model_provenance(&mut model, &report)?;
+        prov.note = format!("cityod checkpoint save {net_name}");
+        if args.switches.contains("versioned") {
+            store.save_versioned(name, &builder, &prov)
+        } else {
+            store.save(name, &builder, &prov).map(|_| name.to_string())
+        }
+    });
+    match saved {
+        Ok(assigned) => {
+            println!(
+                "trained OVS on {} (final fit loss {:.4}), artifact '{assigned}' -> {}",
+                ds.name,
+                report.final_fit().unwrap_or(f64::NAN),
+                store.dir().display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("save failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn checkpoint_cmd(args: &Args) -> ExitCode {
+    let Some(sub) = args.positional.get(1).map(String::as_str) else {
+        return usage();
+    };
+    let Some(store) = open_store(args) else {
+        return ExitCode::FAILURE;
+    };
+    match sub {
+        "save" => checkpoint_save(args, &store),
+        "list" => match store.list() {
+            Ok(records) => {
+                println!(
+                    "{:<28} {:<14} {:>10} {:>10} {:>9}",
+                    "name", "kind", "bytes", "crc32", "sections"
+                );
+                for r in &records {
+                    println!(
+                        "{:<28} {:<14} {:>10} {:>10} {:>9}",
+                        r.name,
+                        r.kind,
+                        r.size,
+                        format!("{:08x}", r.content_crc),
+                        r.sections.len()
+                    );
+                }
+                println!(
+                    "# {} artifact(s) in {}",
+                    records.len(),
+                    store.dir().display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("list failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "inspect" => {
+            let Some(name) = args.positional.get(2) else {
+                return usage();
+            };
+            match store.inspect(name) {
+                Ok(r) => {
+                    println!("name:     {}", r.name);
+                    println!("path:     {}", r.path.display());
+                    println!("kind:     {}", r.kind);
+                    println!("size:     {} bytes", r.size);
+                    println!("crc32:    {:08x}", r.content_crc);
+                    println!("sections: {}", r.sections.join(", "));
+                    if let Some(p) = &r.provenance {
+                        println!("seed:     {}", p.seed);
+                        println!("git:      {}", p.git);
+                        println!("created:  {} (unix)", p.created_unix);
+                        let params: usize = p.shape_sig.iter().map(|&(r, c)| r * c).sum();
+                        println!(
+                            "shapes:   {} tensors, {} parameters",
+                            p.shape_sig.len(),
+                            params
+                        );
+                        let trace = |name: &str, t: &[f64]| {
+                            if let Some(last) = t.last() {
+                                println!("{name}: {} steps, final loss {last:.6}", t.len());
+                            }
+                        };
+                        trace("v2s:    ", &p.v2s_losses);
+                        trace("tod2v:  ", &p.tod2v_losses);
+                        trace("fit:    ", &p.fit_losses);
+                        if !p.note.is_empty() {
+                            println!("note:     {}", p.note);
+                        }
+                    } else {
+                        println!("provenance: (none)");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("inspect failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "verify" => match args.positional.get(2) {
+            Some(name) => match store.verify(name) {
+                Ok(r) => {
+                    println!(
+                        "{}: OK ({} bytes, crc32 {:08x})",
+                        r.name, r.size, r.content_crc
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{name}: CORRUPT — {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            None => match store.verify_all() {
+                Ok(outcomes) => {
+                    let mut bad = 0usize;
+                    for (name, err) in &outcomes {
+                        match err {
+                            None => println!("{name}: OK"),
+                            Some(e) => {
+                                bad += 1;
+                                println!("{name}: CORRUPT — {e}");
+                            }
+                        }
+                    }
+                    println!("# {} artifact(s), {} corrupt", outcomes.len(), bad);
+                    if bad == 0 {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("verify failed: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+        },
+        "gc" => {
+            let Some(family) = args.positional.get(2) else {
+                return usage();
+            };
+            let keep = args.flag_usize("keep", 3);
+            match store.gc(family, keep) {
+                Ok(removed) => {
+                    for name in &removed {
+                        println!("removed {name}");
+                    }
+                    println!("# kept newest {keep} of family '{family}'");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("gc failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown checkpoint subcommand '{other}'");
+            usage()
+        }
     }
 }

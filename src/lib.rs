@@ -5,6 +5,7 @@
 //! the README for a tour and `examples/` for runnable entry points.
 
 pub use baselines;
+pub use checkpoint;
 pub use datagen;
 pub use eval;
 pub use neural;
