@@ -117,11 +117,15 @@ pub struct ModelCache {
     /// Warm-start from this artifact instead of cold-training
     /// (`--load-model`).
     pub load: Option<PathBuf>,
+    /// Also drop a `<save>.metrics.json` sidecar — the full process
+    /// metrics export — next to the saved artifact (`--metrics`).
+    pub metrics: bool,
 }
 
 impl ModelCache {
-    /// Parses `--save-model <path>` and `--load-model <path>` from the
-    /// process arguments (both optional; all other arguments ignored).
+    /// Parses `--save-model <path>`, `--load-model <path>` and the
+    /// `--metrics` switch from the process arguments (all optional; other
+    /// arguments ignored).
     pub fn from_args() -> Self {
         let mut cache = Self::default();
         let mut it = std::env::args().skip(1);
@@ -129,6 +133,7 @@ impl ModelCache {
             match arg.as_str() {
                 "--save-model" => cache.save = it.next().map(PathBuf::from),
                 "--load-model" => cache.load = it.next().map(PathBuf::from),
+                "--metrics" => cache.metrics = true,
                 _ => {}
             }
         }
@@ -157,6 +162,7 @@ impl ModelCache {
         Self {
             save: self.save.as_ref().map(retag),
             load: self.load.as_ref().map(retag),
+            metrics: self.metrics,
         }
     }
 
@@ -207,6 +213,14 @@ impl TodEstimator for CachedOvsEstimator {
             ovs_core::artifact::save_model(&mut model, Some(&tod))
                 .and_then(|b| b.write_to(path))
                 .map_err(ckpt_err)?;
+            if self.cache.metrics {
+                // Metrics sidecar rides along with the artifact: the full
+                // export (timings included) of everything the run
+                // recorded, for provenance alongside the checkpoint.
+                let sidecar = PathBuf::from(format!("{}.metrics.json", path.display()));
+                std::fs::write(&sidecar, obs::global().to_json(true))
+                    .map_err(|e| RoadnetError::InvalidSpec(format!("metrics sidecar: {e}")))?;
+            }
         }
         Ok(tod)
     }
@@ -286,6 +300,7 @@ mod tests {
         let cache = ModelCache {
             save: Some(PathBuf::from("models/t6.ckpt")),
             load: Some(PathBuf::from("base")),
+            metrics: false,
         };
         let per = cache.for_dataset("synthetic/Gaussian");
         assert_eq!(
@@ -324,14 +339,21 @@ mod tests {
         let mut cold = ModelCache {
             save: Some(path.clone()),
             load: None,
+            metrics: true,
         }
         .ovs(cfg.clone());
         let tod_cold = cold.estimate(&input).unwrap();
         assert!(path.exists(), "--save-model must write the artifact");
+        let sidecar = PathBuf::from(format!("{}.metrics.json", path.display()));
+        assert!(sidecar.exists(), "--metrics must write the sidecar");
+        let json = std::fs::read_to_string(&sidecar).unwrap();
+        assert!(json.contains("trainer_fit_steps_total"), "{json}");
+        let _ = std::fs::remove_file(&sidecar);
 
         let mut warm = ModelCache {
             save: None,
             load: Some(path.clone()),
+            metrics: false,
         }
         .ovs(cfg);
         let tod_warm = warm.estimate(&input).unwrap();

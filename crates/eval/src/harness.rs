@@ -53,9 +53,35 @@ pub struct MethodResult {
     pub seconds: f64,
 }
 
+/// Counter: completed estimator runs through the harness.
+pub const EVAL_RUNS: &str = "eval_runs_total";
+/// Timing gauge (per `method` label): wall-clock of the estimate call.
+pub const EVAL_SECONDS: &str = "eval_seconds";
+/// Stable gauges (per `method` label): the three RMSE residuals.
+pub const EVAL_RMSE_TOD: &str = "eval_rmse_tod";
+/// See [`EVAL_RMSE_TOD`].
+pub const EVAL_RMSE_VOLUME: &str = "eval_rmse_volume";
+/// See [`EVAL_RMSE_TOD`].
+pub const EVAL_RMSE_SPEED: &str = "eval_rmse_speed";
+
 /// Runs one estimator on one dataset, timing the estimate and evaluating
 /// it per §V-G. Also returns the recovered TOD for downstream plots.
+/// Records into the process-global metrics registry.
 pub fn run_method(
+    est: &mut dyn TodEstimator,
+    ds: &Dataset,
+    input: &EstimatorInput<'_>,
+) -> Result<(MethodResult, TodTensor)> {
+    run_method_obs(obs::global(), est, ds, input)
+}
+
+/// [`run_method`] recording into a caller-supplied registry: per-method
+/// wall-clock (timing gauge `eval_seconds{method=...}`) and metric
+/// residuals (stable gauges `eval_rmse_{tod,volume,speed}{method=...}`).
+/// The `method` label keeps each gauge single-writer — the determinism
+/// requirement for stable gauges — even when a panel runs in parallel.
+pub fn run_method_obs(
+    registry: &obs::Registry,
     est: &mut dyn TodEstimator,
     ds: &Dataset,
     input: &EstimatorInput<'_>,
@@ -64,9 +90,20 @@ pub fn run_method(
     let tod = est.estimate(input)?;
     let seconds = start.elapsed().as_secs_f64();
     let rmse = evaluate_tod(ds, &tod)?;
+    let name = est.name().to_string();
+    let labels: &[(&str, &str)] = &[("method", name.as_str())];
+    registry.counter(EVAL_RUNS).inc();
+    registry
+        .timing_gauge(&obs::Registry::key(EVAL_SECONDS, labels))
+        .set(seconds);
+    registry.gauge_with(EVAL_RMSE_TOD, labels).set(rmse.tod);
+    registry
+        .gauge_with(EVAL_RMSE_VOLUME, labels)
+        .set(rmse.volume);
+    registry.gauge_with(EVAL_RMSE_SPEED, labels).set(rmse.speed);
     Ok((
         MethodResult {
-            name: est.name().to_string(),
+            name,
             rmse,
             seconds,
         },
@@ -260,6 +297,31 @@ mod tests {
         assert!(res.seconds >= 0.0);
         assert!(res.rmse.is_finite());
         assert_eq!(tod.rows(), ds.n_od());
+    }
+
+    #[test]
+    fn run_method_obs_records_timings_and_residuals() {
+        let ds = tiny();
+        let owned = DatasetInput::new(&ds);
+        let input = owned.input(&ds, false);
+        let reg = obs::Registry::new();
+        let mut grav = baselines::GravityEstimator::new();
+        let (res, _) = run_method_obs(&reg, &mut grav, &ds, &input).unwrap();
+        assert_eq!(reg.counter(EVAL_RUNS).get(), 1);
+        let labels: &[(&str, &str)] = &[("method", "Gravity")];
+        assert_eq!(reg.gauge_with(EVAL_RMSE_TOD, labels).get(), res.rmse.tod);
+        assert_eq!(
+            reg.gauge_with(EVAL_RMSE_SPEED, labels).get(),
+            res.rmse.speed
+        );
+        let json = reg.to_json(true);
+        // The label's quotes arrive JSON-escaped inside the name string.
+        assert!(
+            json.contains("eval_seconds{method=\\\"Gravity\\\"}"),
+            "{json}"
+        );
+        // Wall-clock never leaks into the stable snapshot.
+        assert!(!reg.to_json_stable().contains("eval_seconds"));
     }
 
     #[test]

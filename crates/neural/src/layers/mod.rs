@@ -20,6 +20,7 @@ mod dropout;
 mod gru;
 mod lstm;
 mod sequential;
+mod softmax;
 
 pub use activation::{ActKind, Activation, SeqActivation};
 pub use conv1d::Conv1d;
@@ -28,6 +29,7 @@ pub use dropout::Dropout;
 pub use gru::Gru;
 pub use lstm::Lstm;
 pub use sequential::{SeqSequential, Sequential, TimeDistributed};
+pub use softmax::Softmax;
 
 use crate::matrix::Matrix;
 use crate::tensor3::Tensor3;

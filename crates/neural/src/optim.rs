@@ -9,6 +9,13 @@
 use crate::layers::{Layer, SeqLayer};
 use crate::matrix::Matrix;
 
+/// Global counter of completed [`Sgd`] steps (all instances).
+pub const SGD_STEPS_METRIC: &str = "optim_sgd_steps_total";
+/// Global counter of completed [`Adam`] steps (all instances).
+pub const ADAM_STEPS_METRIC: &str = "optim_adam_steps_total";
+/// Global counter of completed [`RmsProp`] steps (all instances).
+pub const RMSPROP_STEPS_METRIC: &str = "optim_rmsprop_steps_total";
+
 /// Common optimiser interface over both layer families.
 pub trait Optimizer {
     /// Called once per optimisation step before any [`Optimizer::apply`].
@@ -119,7 +126,9 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn begin_step(&mut self) {}
+    fn begin_step(&mut self) {
+        obs::global().counter(SGD_STEPS_METRIC).inc();
+    }
 
     fn bound_slots(&self) -> usize {
         self.velocity.len()
@@ -253,6 +262,7 @@ impl Adam {
 impl Optimizer for Adam {
     fn begin_step(&mut self) {
         self.t += 1;
+        obs::global().counter(ADAM_STEPS_METRIC).inc();
     }
 
     fn bound_slots(&self) -> usize {
@@ -332,7 +342,9 @@ impl RmsProp {
 }
 
 impl Optimizer for RmsProp {
-    fn begin_step(&mut self) {}
+    fn begin_step(&mut self) {
+        obs::global().counter(RMSPROP_STEPS_METRIC).inc();
+    }
 
     fn bound_slots(&self) -> usize {
         self.v.len()
@@ -471,6 +483,17 @@ mod tests {
         opt.begin_step();
         opt.apply(0, &mut p, &g);
         assert!((p.get(0, 0).abs() - 0.1).abs() < 1e-6, "{}", p.get(0, 0));
+    }
+
+    #[test]
+    fn optimiser_steps_are_counted_globally() {
+        // Other parallel tests also step optimisers, so only a lower
+        // bound on the global counter is checkable.
+        let before = obs::global().counter(ADAM_STEPS_METRIC).get();
+        let mut opt = Adam::new(0.05);
+        train_linear(&mut opt, 10);
+        let after = obs::global().counter(ADAM_STEPS_METRIC).get();
+        assert!(after >= before + 10, "{before} -> {after}");
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! # obs — metrics and tracing substrate
+//!
+//! A zero-dependency (std-only, in the spirit of the `vendor/` stand-ins)
+//! observability layer for the city-od workspace: counters, gauges,
+//! histograms with fixed bucket boundaries, monotonic span timers, and a
+//! thread-safe [`Registry`] whose snapshots are **byte-stable**: the same
+//! computation produces the identical JSON document on every run and on
+//! every worker-thread count.
+//!
+//! ## Determinism contract
+//!
+//! The workspace's parallel sections are bit-identical across thread
+//! counts (DESIGN.md §5b); this crate extends that contract to its
+//! metrics. Three mechanisms make a snapshot reproducible:
+//!
+//! 1. **Deterministic ordering** — the registry keys metrics by full name
+//!    (labels included) in a sorted map, so export order never depends on
+//!    registration or scheduling order.
+//! 2. **Commutative accumulation** — counters are integer adds, and
+//!    histograms accumulate bucket hits as integers and their value sum
+//!    in fixed-point micro-units (`round(v * 1e6)` as an integer add), so
+//!    concurrent writers from any interleaving produce the same totals.
+//!    Gauges are last-writer-wins and must be single-writer per name to
+//!    stay deterministic — instrumentation in this workspace follows that
+//!    rule (per-method / per-stage label keys).
+//! 3. **Stability classes** — every metric is either [`Stability::Stable`]
+//!    (derived from deterministic computation: event counts, losses,
+//!    residuals) or [`Stability::Timing`] (wall-clock measurements).
+//!    [`Registry::to_json_stable`] exports only the stable class, which is
+//!    what golden tests and the thread-invariance CI job compare
+//!    byte-for-byte; [`Registry::to_json`] includes timings for human
+//!    consumption (`cityod --metrics`).
+//!
+//! ## Usage
+//!
+//! ```
+//! let reg = obs::Registry::new();
+//! reg.counter("sim_spawned_total").add(3);
+//! reg.gauge_with("eval_rmse_tod", &[("method", "OVS")]).set(1.25);
+//! let h = reg.histogram("trainer_v2s_loss", obs::LOSS_BUCKETS);
+//! h.observe(0.02);
+//! {
+//!     let _span = reg.timer("stage_seconds"); // records on drop (Timing)
+//! }
+//! let json = reg.to_json_stable();
+//! assert!(json.contains("sim_spawned_total"));
+//! ```
+//!
+//! Components default to the process-global registry ([`global`]); tests
+//! that need isolation inject a local [`Registry`] instead (e.g.
+//! `Simulation::with_registry`, `OvsTrainer::with_registry`).
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod registry;
+
+pub use metrics::{Counter, Gauge, Histogram, Span, Stability};
+pub use registry::{BucketSnapshot, MetricSnapshot, Registry, SnapshotValue};
+
+use std::sync::OnceLock;
+
+/// Fixed bucket boundaries for loss-valued histograms (log-spaced).
+pub const LOSS_BUCKETS: &[f64] = &[
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 100.0, 1000.0,
+];
+
+/// Fixed bucket boundaries for gradient-norm histograms.
+pub const NORM_BUCKETS: &[f64] = &[1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0, 1000.0];
+
+/// Fixed bucket boundaries for vehicle-count histograms (occupancy,
+/// in-network population).
+pub const COUNT_BUCKETS: &[f64] = &[
+    0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+];
+
+/// Fixed bucket boundaries for duration histograms, in seconds.
+pub const DURATION_BUCKETS: &[f64] = &[
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 600.0,
+];
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry. Instrumented components write here unless
+/// a local registry is injected.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn global_is_a_singleton() {
+        let a = super::global();
+        let b = super::global();
+        a.counter("obs_selftest_total").inc();
+        assert!(b.counter("obs_selftest_total").get() >= 1);
+    }
+
+    #[test]
+    fn bucket_tables_are_sorted() {
+        for table in [
+            super::LOSS_BUCKETS,
+            super::NORM_BUCKETS,
+            super::COUNT_BUCKETS,
+            super::DURATION_BUCKETS,
+        ] {
+            assert!(table.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The metric primitives: counters, gauges, histograms, span timers.
+//!
+//! All handles are cheap `Arc` clones of shared state owned by the
+//! [`crate::Registry`] that created them, so instrumented code can resolve
+//! a handle once (outside the hot loop) and update it lock-free.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Whether a metric's value is reproducible across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stability {
+    /// Derived from deterministic computation — identical on every run
+    /// and thread count; included in byte-stable snapshots.
+    Stable,
+    /// Wall-clock measurement — varies run to run; excluded from
+    /// byte-stable snapshots.
+    Timing,
+}
+
+/// A monotonically increasing integer counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-writer-wins floating-point value.
+///
+/// Gauges must have a single logical writer per name to stay
+/// deterministic (use labels to split writers); concurrent `set`s race by
+/// design.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Scale of the fixed-point histogram value sum (micro-units).
+const SUM_SCALE: f64 = 1e6;
+
+/// Shared state of a [`Histogram`].
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// Finite upper bounds, strictly increasing; an implicit `+inf`
+    /// bucket follows.
+    pub(crate) bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries, the
+    /// last being the overflow bucket). Non-cumulative.
+    pub(crate) counts: Vec<AtomicU64>,
+    /// Total observations.
+    pub(crate) count: AtomicU64,
+    /// Sum of observed values in fixed-point micro-units. Integer adds
+    /// commute, so the sum is bit-identical under any thread
+    /// interleaving — the trade is ~1e-6 absolute resolution per
+    /// observation.
+    pub(crate) sum_micros: AtomicI64,
+}
+
+/// A histogram with fixed bucket boundaries.
+#[derive(Debug, Clone)]
+pub struct Histogram(pub(crate) Arc<HistogramCore>);
+
+impl Histogram {
+    pub(crate) fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing: {bounds:?}"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite: {bounds:?}"
+        );
+        Histogram(Arc::new(HistogramCore {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicI64::new(0),
+        }))
+    }
+
+    /// Records one observation. Non-finite values are counted in the
+    /// overflow bucket with zero sum contribution.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let core = &*self.0;
+        let idx = match core.bounds.iter().position(|&b| v <= b) {
+            Some(i) if v.is_finite() => i,
+            _ => core.bounds.len(),
+        };
+        core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            core.sum_micros
+                .fetch_add((v * SUM_SCALE).round() as i64, Ordering::Relaxed);
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values (fixed-point, ~1e-6 resolution).
+    pub fn sum(&self) -> f64 {
+        self.0.sum_micros.load(Ordering::Relaxed) as f64 / SUM_SCALE
+    }
+
+    /// The finite bucket bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+
+    /// Count of the bucket at `idx` (`bounds().len()` = overflow bucket).
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.0.counts[idx].load(Ordering::Relaxed)
+    }
+}
+
+/// A monotonic span timer: created by [`crate::Registry::timer`], records
+/// the elapsed wall-clock seconds into its gauge when dropped (or earlier
+/// via [`Span::stop`]).
+#[derive(Debug)]
+pub struct Span {
+    gauge: Gauge,
+    start: Instant,
+    stopped: bool,
+}
+
+impl Span {
+    pub(crate) fn new(gauge: Gauge) -> Self {
+        Span {
+            gauge,
+            start: Instant::now(),
+            stopped: false,
+        }
+    }
+
+    /// Seconds elapsed since the span started.
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Records the elapsed time now and disarms the drop recording.
+    /// Returns the elapsed seconds.
+    pub fn stop(mut self) -> f64 {
+        let s = self.elapsed_s();
+        self.gauge.set(s);
+        self.stopped = true;
+        s
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.stopped {
+            self.gauge.set(self.elapsed_s());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 6, "clones share state");
+    }
+
+    #[test]
+    fn gauge_last_writer_wins() {
+        let g = Gauge::default();
+        assert_eq!(g.get(), 0.0);
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5); // bucket 0
+        h.observe(1.0); // bucket 0 (le)
+        h.observe(5.0); // bucket 1
+        h.observe(100.0); // overflow
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(2), 1);
+        assert!((h.sum() - 106.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_ignores_nonfinite_sum() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket_count(1), 2);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn histogram_sum_is_fixed_point() {
+        let h = Histogram::new(&[1.0]);
+        // 0.1 is not exactly representable; the fixed-point sum rounds
+        // each observation to micro-units, so ten of them sum exactly.
+        for _ in 0..10 {
+            h.observe(0.1);
+        }
+        assert_eq!(h.sum(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let g = Gauge::default();
+        g.set(-1.0);
+        {
+            let _s = Span::new(g.clone());
+        }
+        assert!(g.get() >= 0.0);
+    }
+
+    #[test]
+    fn span_stop_disarms_drop() {
+        let g = Gauge::default();
+        let s = Span::new(g.clone());
+        let recorded = s.stop();
+        assert!(recorded >= 0.0);
+        assert_eq!(g.get(), recorded);
+    }
+}

@@ -24,6 +24,70 @@ use neural::loss::{huber, mse};
 use neural::optim::{Adam, AdamSnapshot, Optimizer};
 use neural::Matrix;
 use roadnet::{Result, RoadnetError, TodTensor};
+use std::time::Instant;
+
+/// Timing histogram: checkpoint-hook latency, shared by all stages.
+pub const CHECKPOINT_WRITE_SECONDS: &str = "trainer_checkpoint_write_seconds";
+
+/// Per-stage metric handles, resolved once so the step loop stays cheap.
+///
+/// Names are `trainer_{tag}_*` with the [`Stage::tag`] interpolated:
+/// `steps_total` (counter), `loss` / `grad_norm` (histograms),
+/// `final_loss` (stable gauge, one writer per stage), and the timing-class
+/// `seconds` / `steps_per_sec` gauges.
+struct StageMetrics {
+    steps: obs::Counter,
+    loss: obs::Histogram,
+    grad_norm: obs::Histogram,
+    final_loss: obs::Gauge,
+    seconds: obs::Gauge,
+    steps_per_sec: obs::Gauge,
+    ckpt_seconds: obs::Histogram,
+    start: Instant,
+}
+
+impl StageMetrics {
+    fn new(reg: &obs::Registry, stage: Stage) -> Self {
+        let tag = stage.tag();
+        Self {
+            steps: reg.counter(&format!("trainer_{tag}_steps_total")),
+            loss: reg.histogram(&format!("trainer_{tag}_loss"), obs::LOSS_BUCKETS),
+            grad_norm: reg.histogram(&format!("trainer_{tag}_grad_norm"), obs::NORM_BUCKETS),
+            final_loss: reg.gauge(&format!("trainer_{tag}_final_loss")),
+            seconds: reg.timing_gauge(&format!("trainer_{tag}_seconds")),
+            steps_per_sec: reg.timing_gauge(&format!("trainer_{tag}_steps_per_sec")),
+            ckpt_seconds: reg.timing_histogram(CHECKPOINT_WRITE_SECONDS, obs::DURATION_BUCKETS),
+            start: Instant::now(),
+        }
+    }
+
+    fn record_step(&self, loss: f64, grad_norm: f64) {
+        self.steps.inc();
+        self.loss.observe(loss);
+        self.grad_norm.observe(grad_norm);
+    }
+
+    /// Runs a checkpoint hook, timing the write.
+    fn record_checkpoint(&self, write: impl FnOnce() -> Result<()>) -> Result<()> {
+        let t0 = Instant::now();
+        let r = write();
+        self.ckpt_seconds.observe(t0.elapsed().as_secs_f64());
+        r
+    }
+
+    /// Publishes the stage's end-of-run summary. `steps_taken` counts only
+    /// the steps of this call (a resumed stage reports its own share).
+    fn finish(&self, losses: &[f64], steps_taken: usize) {
+        if let Some(&last) = losses.last() {
+            self.final_loss.set(last);
+        }
+        let elapsed = self.start.elapsed().as_secs_f64();
+        self.seconds.set(elapsed);
+        if elapsed > 0.0 {
+            self.steps_per_sec.set(steps_taken as f64 / elapsed);
+        }
+    }
+}
 
 /// Loss traces of a full train + fit run.
 #[derive(Debug, Clone, Default)]
@@ -268,12 +332,22 @@ pub fn calibrate_demand_level(input: &EstimatorInput<'_>) -> f64 {
 /// The two-stage trainer plus test-time fitter.
 pub struct OvsTrainer {
     cfg: OvsConfig,
+    obs: obs::Registry,
 }
 
 impl OvsTrainer {
     /// Creates a trainer with the model's configuration.
     pub fn new(cfg: OvsConfig) -> Self {
-        Self { cfg }
+        Self {
+            cfg,
+            obs: obs::global().clone(),
+        }
+    }
+
+    /// Redirects metrics to `registry` instead of the process-global one.
+    pub fn with_registry(mut self, registry: obs::Registry) -> Self {
+        self.obs = registry;
+        self
     }
 
     /// Stage 1: fit V2S on the generated corpus. Returns per-step losses.
@@ -326,14 +400,16 @@ impl OvsTrainer {
                 0,
             ),
         };
+        let mx = StageMetrics::new(&self.obs, Stage::V2s);
         for step in start..self.cfg.epochs_v2s {
             let v_pred = model.v2s.forward(&q_all, true);
             let (loss, grad) = mse(&v_pred, &v_all);
             model.v2s.backward(&grad);
-            clip_grads(&mut |f| model.v2s.visit_params(f), self.cfg.grad_clip);
+            let norm = clip_grads(&mut |f| model.v2s.visit_params(f), self.cfg.grad_clip);
             adam_step(&mut opt, &mut |f| model.v2s.visit_params(f));
             model.v2s.zero_grad();
             losses.push(loss);
+            mx.record_step(loss, norm);
             if opts.checkpoint_every > 0 && (step + 1) % opts.checkpoint_every == 0 {
                 if let Some(hook) = opts.on_checkpoint.as_mut() {
                     let state = capture_stage(
@@ -345,10 +421,11 @@ impl OvsTrainer {
                         f64::INFINITY,
                         0,
                     );
-                    hook(model, &state)?;
+                    mx.record_checkpoint(|| hook(model, &state))?;
                 }
             }
         }
+        mx.finish(&losses, self.cfg.epochs_v2s.saturating_sub(start));
         Ok(losses)
     }
 
@@ -388,6 +465,7 @@ impl OvsTrainer {
         // Full-batch epochs: gradients accumulate over every sample before
         // one optimiser step; per-sample cycling oscillates because the
         // five TOD patterns pull the mapping in different directions.
+        let mx = StageMetrics::new(&self.obs, Stage::Tod2v);
         for step in start..self.cfg.epochs_tod2v {
             let mut epoch_loss = 0.0;
             for sample in train {
@@ -417,10 +495,11 @@ impl OvsTrainer {
                 model.v2s.zero_grad();
                 epoch_loss += loss;
             }
-            clip_grads(&mut |f| model.tod2v.visit_params(f), self.cfg.grad_clip);
+            let norm = clip_grads(&mut |f| model.tod2v.visit_params(f), self.cfg.grad_clip);
             adam_step(&mut opt, &mut |f| model.tod2v.visit_params(f));
             model.tod2v.zero_grad();
             losses.push(epoch_loss / train.len() as f64);
+            mx.record_step(epoch_loss / train.len() as f64, norm);
             if opts.checkpoint_every > 0 && (step + 1) % opts.checkpoint_every == 0 {
                 if let Some(hook) = opts.on_checkpoint.as_mut() {
                     let state = capture_stage(
@@ -432,10 +511,11 @@ impl OvsTrainer {
                         f64::INFINITY,
                         0,
                     );
-                    hook(model, &state)?;
+                    mx.record_checkpoint(|| hook(model, &state))?;
                 }
             }
         }
+        mx.finish(&losses, self.cfg.epochs_tod2v.saturating_sub(start));
         Ok(losses)
     }
 
@@ -491,6 +571,8 @@ impl OvsTrainer {
                 0usize,
             ),
         };
+        let mx = StageMetrics::new(&self.obs, Stage::Fit);
+        let mut steps_taken = 0usize;
         for step in start..self.cfg.epochs_fit {
             let (g, q, v) = model.forward_full(true);
             let (main, dv) = if self.cfg.fit_huber_delta > 0.0 {
@@ -548,10 +630,12 @@ impl OvsTrainer {
             // Frozen mappings: discard their gradients.
             model.v2s.zero_grad();
             model.tod2v.zero_grad();
-            clip_grads(&mut |f| model.tod_gen.visit_params(f), self.cfg.grad_clip);
+            let norm = clip_grads(&mut |f| model.tod_gen.visit_params(f), self.cfg.grad_clip);
             adam_step(&mut opt, &mut |f| model.tod_gen.visit_params(f));
             model.tod_gen.zero_grad();
             losses.push(total);
+            mx.record_step(total, norm);
+            steps_taken += 1;
             let mut stop = false;
             if total < best * 0.995 {
                 best = total;
@@ -571,13 +655,14 @@ impl OvsTrainer {
                         best,
                         since_best,
                     );
-                    hook(model, &state)?;
+                    mx.record_checkpoint(|| hook(model, &state))?;
                 }
             }
             if stop {
                 break;
             }
         }
+        mx.finish(&losses, steps_taken);
         Ok(losses)
     }
 
@@ -588,7 +673,7 @@ impl OvsTrainer {
         // Adapt the sigmoid scales to the corpus so the generator starts
         // inside the data range instead of saturating.
         let cfg = self.cfg.clone().adapted_to_corpus(input.train);
-        let trainer = OvsTrainer::new(cfg.clone());
+        let trainer = OvsTrainer::new(cfg.clone()).with_registry(self.obs.clone());
         let mut model = OvsModel::new(
             input.net,
             input.ods,
@@ -771,12 +856,22 @@ impl OvsTrainer {
 /// OVS as a [`TodEstimator`] — the form the evaluation harness consumes.
 pub struct OvsEstimator {
     cfg: OvsConfig,
+    obs: obs::Registry,
 }
 
 impl OvsEstimator {
     /// Creates the estimator.
     pub fn new(cfg: OvsConfig) -> Self {
-        Self { cfg }
+        Self {
+            cfg,
+            obs: obs::global().clone(),
+        }
+    }
+
+    /// Redirects training metrics to `registry`.
+    pub fn with_registry(mut self, registry: obs::Registry) -> Self {
+        self.obs = registry;
+        self
     }
 }
 
@@ -786,7 +881,7 @@ impl TodEstimator for OvsEstimator {
     }
 
     fn estimate(&mut self, input: &EstimatorInput<'_>) -> Result<TodTensor> {
-        let trainer = OvsTrainer::new(self.cfg.clone());
+        let trainer = OvsTrainer::new(self.cfg.clone()).with_registry(self.obs.clone());
         let (_, mean_tod, _) = trainer.run_ensembled(input)?;
         Ok(matrix_to_tod(&mean_tod))
     }
@@ -862,6 +957,39 @@ mod tests {
         assert_eq!(tod.rows(), ds.n_od());
         assert!(tod.is_non_negative());
         assert!(tod.is_finite());
+    }
+
+    #[test]
+    fn trainer_records_per_stage_metrics() {
+        let ds = tiny_dataset();
+        let input = to_input(&ds, &ds.train, None);
+        let reg = obs::Registry::new();
+        let trainer = OvsTrainer::new(OvsConfig::tiny()).with_registry(reg.clone());
+        let (_, report) = trainer.run(&input).unwrap();
+        assert_eq!(
+            reg.counter("trainer_v2s_steps_total").get() as usize,
+            report.v2s_losses.len()
+        );
+        assert_eq!(
+            reg.counter("trainer_tod2v_steps_total").get() as usize,
+            report.tod2v_losses.len()
+        );
+        assert_eq!(
+            reg.counter("trainer_fit_steps_total").get() as usize,
+            report.fit_losses.len()
+        );
+        assert_eq!(
+            reg.gauge("trainer_fit_final_loss").get(),
+            *report.fit_losses.last().unwrap()
+        );
+        let hist = reg.histogram("trainer_v2s_loss", obs::LOSS_BUCKETS);
+        assert_eq!(hist.count() as usize, report.v2s_losses.len());
+        let norms = reg.histogram("trainer_fit_grad_norm", obs::NORM_BUCKETS);
+        assert_eq!(norms.count() as usize, report.fit_losses.len());
+        // Wall-clock gauges exist but stay out of the stable snapshot.
+        let stable = reg.to_json_stable();
+        assert!(stable.contains("trainer_v2s_final_loss"));
+        assert!(!stable.contains("trainer_v2s_seconds"));
     }
 
     #[test]

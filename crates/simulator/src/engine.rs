@@ -121,6 +121,23 @@ pub struct Simulation<'a> {
     lanes: Vec<f64>,
     /// Route cache for static routing policies.
     static_routes: HashMap<(NodeId, NodeId), Option<Arc<Vec<LinkId>>>>,
+    /// Metrics sink; defaults to the process-global registry.
+    obs: obs::Registry,
+}
+
+/// Per-run event tallies, flushed to the registry once at the end of
+/// [`Simulation::run`] so the hot loop never touches an atomic.
+#[derive(Default)]
+struct RunTally {
+    crossings: u64,
+    green_checks: u64,
+    red_checks: u64,
+    spillback_blocked: u64,
+    satflow_blocked: u64,
+    conservation_violations: u64,
+    link_conservation_violations: u64,
+    speed_clamp_violations: u64,
+    negative_volume_violations: u64,
 }
 
 impl<'a> Simulation<'a> {
@@ -170,7 +187,16 @@ impl<'a> Simulation<'a> {
             sat_flow_per_tick: sat_flow,
             lanes,
             static_routes: HashMap::new(),
+            obs: obs::global().clone(),
         })
+    }
+
+    /// Redirects metrics to `registry` instead of the process-global one.
+    /// Tests inject a local registry here so assertions see only their own
+    /// run's counters.
+    pub fn with_registry(mut self, registry: obs::Registry) -> Self {
+        self.obs = registry;
+        self
     }
 
     /// The configuration in use.
@@ -202,6 +228,17 @@ impl<'a> Simulation<'a> {
         let t_obs = self.cfg.intervals;
         let tpi = self.cfg.ticks_per_interval();
         let dt = self.cfg.tick_s;
+
+        let run_span = self.obs.timer(crate::metrics::RUN_SECONDS);
+        let step_hist = self
+            .obs
+            .histogram(crate::metrics::STEP_IN_NETWORK, obs::COUNT_BUCKETS);
+        let mut tally = RunTally::default();
+        // Transfer-phase bookkeeping buffers for the per-link conservation
+        // check, reused across ticks.
+        let mut len_before = vec![0usize; m];
+        let mut entries = vec![0u64; m];
+        let mut exits = vec![0u64; m];
 
         let mut spawner = DemandSpawner::new(self.net, self.ods, self.cfg.seed)?;
         let mut observer = Observer::new(m, t_obs, tpi);
@@ -316,6 +353,11 @@ impl<'a> Simulation<'a> {
                 });
             }
             for li in 0..m {
+                len_before[li] = links[li].len();
+                entries[li] = 0;
+                exits[li] = 0;
+            }
+            for li in 0..m {
                 exit_budget[li] =
                     (exit_budget[li] + self.sat_flow_per_tick[li]).min(self.lanes[li].max(1.0));
                 while let Some(front) = links[li].front() {
@@ -326,6 +368,7 @@ impl<'a> Simulation<'a> {
                         // Arrival consumes no intersection capacity.
                         let veh = links[li].pop_front().expect("front exists");
                         stats.arrived += 1;
+                        exits[li] += 1;
                         stats.total_travel_time_s += (tick - veh.spawn_tick) as f64 * dt;
                         if self.cfg.record_trips {
                             trips[veh.id.0 as usize].arrive_tick = Some(tick);
@@ -336,12 +379,19 @@ impl<'a> Simulation<'a> {
                         Some(plan) => plan.is_green(LinkId(li)),
                         None => self.plan.is_green(LinkId(li), tick),
                     };
-                    if !green || exit_budget[li] < 1.0 {
+                    if !green {
+                        tally.red_checks += 1;
+                        break;
+                    }
+                    tally.green_checks += 1;
+                    if exit_budget[li] < 1.0 {
+                        tally.satflow_blocked += 1;
                         break;
                     }
                     let next = front.next_link().expect("not on last leg");
                     let ni = next.index();
                     if !entrance_clear(&links[ni], self.capacity[ni]) {
+                        tally.spillback_blocked += 1;
                         break; // spillback
                     }
                     exit_budget[li] -= 1.0;
@@ -351,13 +401,56 @@ impl<'a> Simulation<'a> {
                     veh.speed_mps = veh.speed_mps.min(self.desired_mps[ni]);
                     links[ni].push_back(veh);
                     observer.record_entry(next, interval);
+                    tally.crossings += 1;
+                    exits[li] += 1;
+                    entries[ni] += 1;
                 }
             }
+
+            // --- invariant monitors ----------------------------------------
+            // Per-link transfer bookkeeping: a link's population changes
+            // exactly by its entries minus its exits.
+            let mut in_network = 0u64;
+            for li in 0..m {
+                let expected = len_before[li] as u64 + entries[li] - exits[li];
+                if links[li].len() as u64 != expected {
+                    tally.link_conservation_violations += 1;
+                }
+                in_network += links[li].len() as u64;
+            }
+            // Global conservation: every spawned vehicle is either still on
+            // some link or has arrived.
+            if stats.spawned != stats.arrived + in_network {
+                tally.conservation_violations += 1;
+            }
+            step_hist.observe(in_network as f64);
         }
 
         stats.active_at_end = links.iter().map(|d| d.len() as u64).sum();
         stats.queued_at_end = pending.len() as u64;
         let (volume, speed, occupancy) = observer.finalize();
+
+        // Finalized tensors must respect the physical ranges the paper's
+        // observation model assumes: speeds in [0, v_max], volumes >= 0.
+        let occ_hist = self
+            .obs
+            .histogram(crate::metrics::LINK_OCCUPANCY, obs::COUNT_BUCKETS);
+        for li in 0..m {
+            let v_max = self.desired_mps[li];
+            for t in 0..t_obs {
+                let v = speed.get(LinkId(li), t);
+                if !(0.0..=v_max + 1e-9).contains(&v) {
+                    tally.speed_clamp_violations += 1;
+                }
+                if volume.get(LinkId(li), t) < 0.0 {
+                    tally.negative_volume_violations += 1;
+                }
+                occ_hist.observe(occupancy.get(LinkId(li), t));
+            }
+        }
+        self.flush_metrics(&stats, &tally);
+        drop(run_span); // records wall-clock to the timing gauge
+
         Ok(SimOutput {
             volume,
             speed,
@@ -365,6 +458,34 @@ impl<'a> Simulation<'a> {
             stats,
             trips,
         })
+    }
+
+    /// Publishes one run's stats and event tallies to the registry.
+    fn flush_metrics(&self, stats: &SimStats, tally: &RunTally) {
+        use crate::metrics as m;
+        let reg = &self.obs;
+        reg.counter(m::RUNS).inc();
+        reg.counter(m::TICKS).add(self.cfg.total_ticks());
+        reg.counter(m::SPAWNED).add(stats.spawned);
+        reg.counter(m::ARRIVED).add(stats.arrived);
+        reg.counter(m::UNROUTABLE).add(stats.unroutable);
+        reg.counter(m::ACTIVE_AT_END).add(stats.active_at_end);
+        reg.counter(m::QUEUED_AT_END).add(stats.queued_at_end);
+        reg.counter(m::TRANSFER_CROSSINGS).add(tally.crossings);
+        reg.counter(m::SIGNAL_GREEN_TICKS).add(tally.green_checks);
+        reg.counter(m::SIGNAL_RED_TICKS).add(tally.red_checks);
+        reg.counter(m::SPILLBACK_BLOCKED_TICKS)
+            .add(tally.spillback_blocked);
+        reg.counter(m::SATFLOW_BLOCKED_TICKS)
+            .add(tally.satflow_blocked);
+        reg.counter(m::CONSERVATION_VIOLATIONS)
+            .add(tally.conservation_violations);
+        reg.counter(m::LINK_CONSERVATION_VIOLATIONS)
+            .add(tally.link_conservation_violations);
+        reg.counter(m::SPEED_CLAMP_VIOLATIONS)
+            .add(tally.speed_clamp_violations);
+        reg.counter(m::NEGATIVE_VOLUME_VIOLATIONS)
+            .add(tally.negative_volume_violations);
     }
 
     /// Resolves the route for a spawn request under the configured policy.

@@ -38,6 +38,7 @@
 pub mod config;
 pub mod demand;
 pub mod engine;
+pub mod metrics;
 pub mod observe;
 pub mod scenario;
 pub mod signal;

@@ -1,0 +1,59 @@
+//! Metric names the engine publishes through [`obs`].
+//!
+//! Names live here — not inline at the call sites — so the invariant
+//! tests (`tests/invariants.rs`), the golden snapshot, and the engine can
+//! never drift apart: all three reference the same constants.
+//!
+//! Counters ending in `_violations_total` are **invariant monitors**: the
+//! engine checks the corresponding physical law every tick and counts
+//! breaches. In a correct build every one of them is zero at all times;
+//! the invariant test suite (and any production alerting built on these
+//! metrics) asserts exactly that.
+
+/// Counter: vehicles that entered the network.
+pub const SPAWNED: &str = "sim_spawned_total";
+/// Counter: vehicles that reached their destination.
+pub const ARRIVED: &str = "sim_arrived_total";
+/// Counter: trips dropped because no route existed.
+pub const UNROUTABLE: &str = "sim_unroutable_total";
+/// Counter: vehicles still en route when runs ended.
+pub const ACTIVE_AT_END: &str = "sim_active_at_end_total";
+/// Counter: trips still queued outside the network when runs ended.
+pub const QUEUED_AT_END: &str = "sim_queued_at_end_total";
+/// Counter: completed simulation runs.
+pub const RUNS: &str = "sim_runs_total";
+/// Counter: simulated ticks.
+pub const TICKS: &str = "sim_ticks_total";
+
+/// Counter: ticks where `spawned != arrived + in_network` (conservation
+/// law breach — always zero in a correct engine).
+pub const CONSERVATION_VIOLATIONS: &str = "sim_conservation_violations_total";
+/// Counter: per-link, per-tick bookkeeping breaches of the transfer
+/// phase (`len_after != len_before + entries - exits`) — always zero.
+pub const LINK_CONSERVATION_VIOLATIONS: &str = "sim_link_conservation_violations_total";
+/// Counter: finalized speed cells outside `[0, v_max]` — always zero.
+pub const SPEED_CLAMP_VIOLATIONS: &str = "sim_speed_clamp_violations_total";
+/// Counter: negative finalized volume cells — always zero.
+pub const NEGATIVE_VOLUME_VIOLATIONS: &str = "sim_negative_volume_violations_total";
+
+/// Counter: vehicles that crossed an intersection.
+pub const TRANSFER_CROSSINGS: &str = "sim_transfer_crossings_total";
+/// Counter: stop-line checks that found the signal red (at most one per
+/// link-tick — a red light ends the link's transfer phase).
+pub const SIGNAL_RED_TICKS: &str = "sim_signal_red_ticks_total";
+/// Counter: stop-line checks that found the signal green (several
+/// vehicles can cross one stop line in one tick).
+pub const SIGNAL_GREEN_TICKS: &str = "sim_signal_green_ticks_total";
+/// Counter: link-ticks where a transfer was blocked by a full
+/// downstream link (spillback).
+pub const SPILLBACK_BLOCKED_TICKS: &str = "sim_spillback_blocked_ticks_total";
+/// Counter: link-ticks where the saturation-flow budget was exhausted.
+pub const SATFLOW_BLOCKED_TICKS: &str = "sim_satflow_blocked_ticks_total";
+
+/// Histogram: vehicles in the network, observed once per tick.
+pub const STEP_IN_NETWORK: &str = "sim_step_in_network";
+/// Histogram: finalized per-(link, interval) time-mean occupancy.
+pub const LINK_OCCUPANCY: &str = "sim_link_occupancy";
+
+/// Timing gauge: wall-clock seconds of the most recent run.
+pub const RUN_SECONDS: &str = "sim_run_seconds";

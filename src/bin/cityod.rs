@@ -25,6 +25,17 @@
 //! the parallel data-generation and evaluation layers (`CITYOD_THREADS`
 //! is the environment fallback; the machine's core count is the default).
 //! Results are bit-identical for every thread count.
+//!
+//! Every command also accepts `--metrics FILE` to export the full
+//! process-global metrics registry (simulator conservation counters,
+//! per-stage trainer losses, per-estimator eval timings) as JSON when the
+//! command finishes, and `--metrics-stable FILE` to export only the
+//! deterministic subset — byte-identical across runs and `--threads`
+//! settings, so two exports can be `diff`ed to audit determinism.
+//!
+//! Setting `CITYOD_OVS_TINY=1` swaps the CLI's OVS configuration for
+//! `OvsConfig::tiny()` — the integration-test hook that keeps CLI-driven
+//! training runs fast in debug builds.
 
 use city_od::baselines;
 use city_od::checkpoint::store::ArtifactStore;
@@ -87,7 +98,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cityod networks\n  cityod simulate <net> [--t N] [--demand F] [--seed S] [--threads N]\n  cityod recover <net> [--method ovs|gravity|genetic|gls|em|nn|lstm|all] [--t N] [--demand F] [--seed S] [--aux] [--threads N]\n  cityod checkpoint save <net> <name> [--versioned] [--t N] [--demand F] [--seed S] [--threads N] [--store DIR]\n  cityod checkpoint list [--store DIR]\n  cityod checkpoint inspect <name> [--store DIR]\n  cityod checkpoint verify [<name>] [--store DIR]\n  cityod checkpoint gc <family> [--keep K] [--store DIR]\nnetworks: grid3x3 hangzhou porto manhattan state_college\nstore: --store beats CITYOD_ARTIFACTS beats ./artifacts"
+        "usage:\n  cityod networks\n  cityod simulate <net> [--t N] [--demand F] [--seed S] [--threads N]\n  cityod recover <net> [--method ovs|gravity|genetic|gls|em|nn|lstm|all] [--t N] [--demand F] [--seed S] [--aux] [--threads N]\n  cityod checkpoint save <net> <name> [--versioned] [--t N] [--demand F] [--seed S] [--threads N] [--store DIR]\n  cityod checkpoint list [--store DIR]\n  cityod checkpoint inspect <name> [--store DIR]\n  cityod checkpoint verify [<name>] [--store DIR]\n  cityod checkpoint gc <family> [--keep K] [--store DIR]\nnetworks: grid3x3 hangzhou porto manhattan state_college\nstore: --store beats CITYOD_ARTIFACTS beats ./artifacts\nmetrics: every command accepts --metrics FILE (full JSON export) and\n         --metrics-stable FILE (deterministic subset only)"
     );
     ExitCode::from(2)
 }
@@ -132,6 +143,30 @@ fn main() -> ExitCode {
     // --threads beats CITYOD_THREADS beats the machine's core count.
     let requested = args.flags.get("threads").and_then(|v| v.parse().ok());
     city_od::roadnet::parallel::init_global(requested);
+    let code = run_command(&args);
+    match write_metrics(&args) {
+        Ok(()) => code,
+        Err(e) => {
+            eprintln!("metrics export failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Exports the process-global metrics registry after the command ran:
+/// `--metrics FILE` writes the full JSON (timings included),
+/// `--metrics-stable FILE` the deterministic subset only.
+fn write_metrics(args: &Args) -> std::io::Result<()> {
+    if let Some(path) = args.flags.get("metrics") {
+        std::fs::write(path, city_od::obs::global().to_json(true))?;
+    }
+    if let Some(path) = args.flags.get("metrics-stable") {
+        std::fs::write(path, city_od::obs::global().to_json_stable())?;
+    }
+    Ok(())
+}
+
+fn run_command(args: &Args) -> ExitCode {
     let Some(cmd) = args.positional.first().map(String::as_str) else {
         return usage();
     };
@@ -160,12 +195,12 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "checkpoint" => checkpoint_cmd(&args),
+        "checkpoint" => checkpoint_cmd(args),
         "simulate" | "recover" => {
             let Some(net_name) = args.positional.get(1) else {
                 return usage();
             };
-            let spec = dataset_spec(&args);
+            let spec = dataset_spec(args);
             let Some(ds) = build_dataset(net_name, &spec) else {
                 return ExitCode::FAILURE;
             };
@@ -245,6 +280,11 @@ fn dataset_spec(args: &Args) -> DatasetSpec {
 }
 
 fn cli_ovs_config(seed: u64) -> OvsConfig {
+    // Test hook: CITYOD_OVS_TINY swaps in the small configuration so
+    // CLI-driven training stays fast in debug integration tests.
+    if std::env::var_os("CITYOD_OVS_TINY").is_some() {
+        return OvsConfig::tiny().with_seed(seed);
+    }
     OvsConfig {
         lstm_hidden: 16,
         seed,

@@ -9,6 +9,7 @@ pub use checkpoint;
 pub use datagen;
 pub use eval;
 pub use neural;
+pub use obs;
 pub use ovs_core;
 pub use roadnet;
 pub use simulator;

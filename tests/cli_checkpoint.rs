@@ -1,0 +1,258 @@
+//! Integration tests for the `cityod` checkpoint subcommands and metrics
+//! export, driving the real binary via `CARGO_BIN_EXE_cityod`.
+//!
+//! Every invocation sets `CITYOD_OVS_TINY=1` so CLI-driven training uses
+//! `OvsConfig::tiny()` — the whole battery stays in the sub-second range
+//! per command even in debug builds. Each test owns its artifact
+//! directories under `std::env::temp_dir()`, so the suite is safe to run
+//! in parallel.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Dataset flags small enough for debug-build training runs.
+const TINY_FLAGS: &[&str] = &["--t", "2", "--train", "2", "--demand", "0.1", "--seed", "5"];
+
+struct TempDirs {
+    dirs: Vec<PathBuf>,
+}
+
+impl TempDirs {
+    fn new(tag: &str, n: usize) -> Self {
+        let dirs: Vec<PathBuf> = (0..n)
+            .map(|i| {
+                let d = std::env::temp_dir()
+                    .join(format!("cityod-cli-test-{tag}-{i}-{}", std::process::id()));
+                let _ = std::fs::remove_dir_all(&d);
+                d
+            })
+            .collect();
+        Self { dirs }
+    }
+}
+
+impl Drop for TempDirs {
+    fn drop(&mut self) {
+        for d in &self.dirs {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+}
+
+/// Runs the cityod binary with `CITYOD_OVS_TINY=1` and extra env vars.
+fn cityod(args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_cityod"));
+    cmd.args(args).env("CITYOD_OVS_TINY", "1");
+    // A stray developer setting must not redirect the tests' stores.
+    cmd.env_remove("CITYOD_ARTIFACTS");
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("cityod binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn assert_success(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed (status {:?}):\n{}",
+        out.status,
+        stderr(out)
+    );
+}
+
+fn save(name: &str, store: &Path, versioned: bool) -> Output {
+    let store = store.to_str().unwrap();
+    let mut args = vec!["checkpoint", "save", "grid3x3", name];
+    args.extend_from_slice(TINY_FLAGS);
+    args.extend_from_slice(&["--store", store]);
+    if versioned {
+        args.push("--versioned");
+    }
+    cityod(&args, &[])
+}
+
+#[test]
+fn save_list_inspect_verify_roundtrip() {
+    let tmp = TempDirs::new("roundtrip", 1);
+    let store = &tmp.dirs[0];
+    let st = store.to_str().unwrap();
+
+    let out = save("demo", store, false);
+    assert_success(&out, "checkpoint save");
+    assert!(stdout(&out).contains("artifact 'demo'"));
+    assert!(store.join("demo.ckpt").is_file(), "ckpt file written");
+    assert!(store.join("demo.meta.json").is_file(), "provenance written");
+
+    let out = cityod(&["checkpoint", "list", "--store", st], &[]);
+    assert_success(&out, "checkpoint list");
+    let listing = stdout(&out);
+    assert!(
+        listing.contains("demo"),
+        "list shows the artifact:\n{listing}"
+    );
+    assert!(listing.contains("# 1 artifact(s)"));
+
+    let out = cityod(&["checkpoint", "inspect", "demo", "--store", st], &[]);
+    assert_success(&out, "checkpoint inspect");
+    let info = stdout(&out);
+    assert!(info.contains("name:     demo"));
+    assert!(info.contains("seed:     5"), "provenance seed:\n{info}");
+    assert!(info.contains("fit:"), "per-stage loss traces:\n{info}");
+    assert!(info.contains("cityod checkpoint save grid3x3"));
+
+    let out = cityod(&["checkpoint", "verify", "demo", "--store", st], &[]);
+    assert_success(&out, "checkpoint verify");
+    assert!(stdout(&out).contains("demo: OK"));
+}
+
+#[test]
+fn gc_keeps_newest_versions() {
+    let tmp = TempDirs::new("gc", 1);
+    let store = &tmp.dirs[0];
+    let st = store.to_str().unwrap();
+
+    for expected in ["fam-v001", "fam-v002"] {
+        let out = save("fam", store, true);
+        assert_success(&out, "versioned save");
+        assert!(
+            stdout(&out).contains(&format!("artifact '{expected}'")),
+            "versioned save assigns {expected}:\n{}",
+            stdout(&out)
+        );
+    }
+
+    let out = cityod(
+        &["checkpoint", "gc", "fam", "--keep", "1", "--store", st],
+        &[],
+    );
+    assert_success(&out, "checkpoint gc");
+    assert!(stdout(&out).contains("removed fam-v001"));
+    assert!(!store.join("fam-v001.ckpt").exists(), "old version removed");
+    assert!(store.join("fam-v002.ckpt").is_file(), "newest version kept");
+}
+
+#[test]
+fn store_flag_beats_artifacts_env() {
+    let tmp = TempDirs::new("precedence", 2);
+    let (env_dir, flag_dir) = (&tmp.dirs[0], &tmp.dirs[1]);
+
+    // --store wins over CITYOD_ARTIFACTS: the artifact must land in the
+    // flag directory, and the env directory must not gain a .ckpt.
+    let st = flag_dir.to_str().unwrap();
+    let mut args = vec!["checkpoint", "save", "grid3x3", "where"];
+    args.extend_from_slice(TINY_FLAGS);
+    args.extend_from_slice(&["--store", st]);
+    let out = cityod(&args, &[("CITYOD_ARTIFACTS", env_dir.to_str().unwrap())]);
+    assert_success(&out, "save with --store and CITYOD_ARTIFACTS");
+    assert!(flag_dir.join("where.ckpt").is_file());
+    assert!(!env_dir.join("where.ckpt").exists());
+
+    // Without the flag, CITYOD_ARTIFACTS is honoured.
+    let out = cityod(
+        &["checkpoint", "list"],
+        &[("CITYOD_ARTIFACTS", flag_dir.to_str().unwrap())],
+    );
+    assert_success(&out, "list via CITYOD_ARTIFACTS");
+    assert!(stdout(&out).contains("where"));
+    assert!(stdout(&out).contains("# 1 artifact(s)"));
+}
+
+#[test]
+fn verify_detects_corruption() {
+    let tmp = TempDirs::new("corrupt", 1);
+    let store = &tmp.dirs[0];
+    let st = store.to_str().unwrap();
+
+    let out = save("victim", store, false);
+    assert_success(&out, "checkpoint save");
+
+    // Flip one payload byte in the middle of the .ckpt file.
+    let path = store.join("victim.ckpt");
+    let mut bytes = std::fs::read(&path).expect("read ckpt");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&path, bytes).expect("write corrupted ckpt");
+
+    let out = cityod(&["checkpoint", "verify", "victim", "--store", st], &[]);
+    assert!(!out.status.success(), "verify must fail on corruption");
+    assert!(
+        stderr(&out).contains("CORRUPT"),
+        "verify names the corruption:\n{}",
+        stderr(&out)
+    );
+
+    // verify-all reports the same corruption and exits non-zero.
+    let out = cityod(&["checkpoint", "verify", "--store", st], &[]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("victim: CORRUPT"));
+}
+
+#[test]
+fn recover_metrics_export_is_valid_json_with_all_subsystems() {
+    let tmp = TempDirs::new("metrics", 1);
+    let path = tmp.dirs[0].join("metrics.json");
+    std::fs::create_dir_all(&tmp.dirs[0]).unwrap();
+
+    let mut args = vec!["recover", "grid3x3", "--method", "ovs"];
+    args.extend_from_slice(TINY_FLAGS);
+    let path_s = path.to_str().unwrap().to_string();
+    args.extend_from_slice(&["--metrics", &path_s]);
+    let out = cityod(&args, &[]);
+    assert_success(&out, "recover --metrics");
+
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    let json: serde_json::Value = serde_json::from_str(&text).expect("export is valid JSON");
+    assert_eq!(json["format_version"], serde_json::Value::UInt(1));
+    let names: Vec<&str> = json["metrics"]
+        .as_array()
+        .expect("metrics array")
+        .iter()
+        .filter_map(|m| m["name"].as_str())
+        .collect();
+    for required in [
+        "sim_spawned_total", // simulator conservation counters
+        "sim_conservation_violations_total",
+        "trainer_fit_final_loss", // per-stage trainer losses
+        "trainer_v2s_steps_total",
+        "eval_seconds{method=\"OVS\"}", // per-estimator eval timings
+        "eval_rmse_tod{method=\"OVS\"}",
+    ] {
+        assert!(
+            names.contains(&required),
+            "export missing {required}; got {names:?}"
+        );
+    }
+}
+
+#[test]
+fn stable_metrics_export_is_identical_across_thread_counts() {
+    let tmp = TempDirs::new("stable", 1);
+    std::fs::create_dir_all(&tmp.dirs[0]).unwrap();
+
+    let export = |threads: &str, file: &str| {
+        let path = tmp.dirs[0].join(file);
+        let path_s = path.to_str().unwrap().to_string();
+        let mut args = vec!["recover", "grid3x3", "--method", "ovs"];
+        args.extend_from_slice(TINY_FLAGS);
+        let threads_args = ["--threads", threads, "--metrics-stable", &path_s];
+        args.extend_from_slice(&threads_args);
+        let out = cityod(&args, &[]);
+        assert_success(&out, "recover --metrics-stable");
+        std::fs::read(&path).expect("stable metrics file written")
+    };
+
+    let one = export("1", "stable-1.json");
+    let four = export("4", "stable-4.json");
+    assert_eq!(
+        one, four,
+        "stable export must be byte-identical for --threads 1 and 4"
+    );
+}

@@ -1,0 +1,109 @@
+//! Golden-file regression test for the observability layer.
+//!
+//! A fixed-seed end-to-end run (simulator pass + OVS training + two
+//! harness evaluations) records into a private registry whose *stable*
+//! JSON export is byte-compared against `tests/golden/metrics.json`.
+//! This pins three contracts at once:
+//!
+//! 1. the metric *schema* (names, labels, bucket boundaries) — renaming
+//!    a counter or changing histogram buckets fails the diff;
+//! 2. numeric *reproducibility* — conservation counters, loss curves,
+//!    and RMSE residuals must come out identical on every run;
+//! 3. *thread-invariance* — the same export must be byte-identical
+//!    whether the pipeline runs on one worker or four (the CI
+//!    `metrics-golden` job runs this file under both `CITYOD_THREADS`
+//!    settings).
+//!
+//! To re-bless after an intentional metrics change:
+//!
+//! ```text
+//! CITYOD_BLESS=1 cargo test --test metrics_golden
+//! ```
+
+use city_od::baselines::GravityEstimator;
+use city_od::datagen::dataset::DatasetSpec;
+use city_od::datagen::{Dataset, TodPattern};
+use city_od::eval::harness::{run_method_obs, DatasetInput};
+use city_od::obs;
+use city_od::ovs_core::trainer::OvsEstimator;
+use city_od::ovs_core::OvsConfig;
+use city_od::roadnet::parallel::Parallelism;
+use city_od::simulator::engine::Simulation;
+
+const GOLDEN_PATH: &str = "tests/golden/metrics.json";
+
+fn spec() -> DatasetSpec {
+    DatasetSpec {
+        t: 3,
+        interval_s: 120.0,
+        train_samples: 3,
+        demand_scale: 0.1,
+        seed: 4,
+    }
+}
+
+/// Runs the fixed-seed pipeline on `threads` workers, recording into a
+/// fresh registry, and returns the stable (timing-free) JSON export.
+fn stable_export(threads: usize) -> String {
+    let registry = obs::Registry::new();
+    let ds = Dataset::synthetic(TodPattern::Gaussian, &spec()).expect("synthetic dataset");
+    Parallelism::Threads(threads).run(|| {
+        // Simulator: one instrumented replay of the ground-truth TOD.
+        let mut sim = Simulation::new(&ds.net, &ds.ods, ds.sim_config.clone())
+            .expect("simulation construction")
+            .with_registry(registry.clone());
+        sim.run(&ds.groundtruth_tod).expect("simulation run");
+
+        // Harness: one baseline and the OVS estimator (trainer metrics
+        // flow through the estimator's registry).
+        let owned = DatasetInput::new(&ds);
+        let input = owned.input(&ds, false);
+        let mut gravity = GravityEstimator::new();
+        run_method_obs(&registry, &mut gravity, &ds, &input).expect("gravity run");
+        let mut ovs =
+            OvsEstimator::new(OvsConfig::tiny().with_seed(7)).with_registry(registry.clone());
+        run_method_obs(&registry, &mut ovs, &ds, &input).expect("ovs run");
+    });
+    registry.to_json_stable()
+}
+
+#[test]
+fn stable_metrics_match_golden_file() {
+    let got = stable_export(1);
+    if std::env::var_os("CITYOD_BLESS").is_some() {
+        std::fs::create_dir_all("tests/golden").expect("create golden dir");
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run `CITYOD_BLESS=1 cargo test --test metrics_golden`");
+    assert_eq!(
+        got, want,
+        "stable metrics drifted from {GOLDEN_PATH}; if the change is \
+         intentional, re-bless with CITYOD_BLESS=1"
+    );
+}
+
+#[test]
+fn stable_metrics_are_thread_invariant() {
+    assert_eq!(
+        stable_export(1),
+        stable_export(4),
+        "stable export must be byte-identical across worker counts"
+    );
+}
+
+#[test]
+fn golden_file_covers_all_subsystems() {
+    let got = stable_export(1);
+    for name in [
+        "sim_spawned_total",
+        "sim_conservation_violations_total",
+        "trainer_fit_final_loss",
+        // Label quotes appear JSON-escaped inside the exported name string.
+        "eval_rmse_tod{method=\\\"Gravity\\\"}",
+        "eval_rmse_tod{method=\\\"OVS\\\"}",
+    ] {
+        assert!(got.contains(name), "stable export is missing {name}");
+    }
+}
