@@ -1,0 +1,146 @@
+//! The panic-debt ratchet baseline.
+//!
+//! `baseline.toml` records, per crate and per panic-kind, how many rule-P
+//! findings are currently tolerated. The check fails when any count
+//! *exceeds* its budget and suggests tightening when a count drops below
+//! it — debt can only go down. Rules D, S and U have no budgets: their
+//! only escape hatch is an inline justified allow comment.
+//!
+//! The format is a deliberately tiny TOML subset (tables of integer
+//! keys, `#` comments) so the analyzer stays zero-dependency:
+//!
+//! ```toml
+//! [simulator]
+//! unwrap = 0
+//! expect = 2
+//! panic = 0
+//! indexing = 57
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Budget keys, in canonical order.
+pub const KINDS: [&str; 4] = ["unwrap", "expect", "panic", "indexing"];
+
+/// Per-crate, per-kind budgets. Missing entries mean zero budget.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// `crate -> kind -> budget`.
+    pub budgets: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl Baseline {
+    /// The budget for `(crate, kind)`; absent entries are 0.
+    pub fn budget(&self, crate_name: &str, kind: &str) -> u64 {
+        self.budgets
+            .get(crate_name)
+            .and_then(|m| m.get(kind))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Parses the TOML subset. Unknown lines are errors — a silently
+    /// ignored budget would defeat the ratchet.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut out = Baseline::default();
+        let mut current: Option<String> = None;
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim().to_string();
+                out.budgets.entry(name.clone()).or_default();
+                current = Some(name);
+                continue;
+            }
+            let Some((key, val)) = line.split_once('=') else {
+                return Err(format!("baseline line {}: expected `key = value`", ln + 1));
+            };
+            let Some(table) = current.clone() else {
+                return Err(format!(
+                    "baseline line {}: key outside a [crate] table",
+                    ln + 1
+                ));
+            };
+            let key = key.trim();
+            if !KINDS.contains(&key) {
+                return Err(format!(
+                    "baseline line {}: unknown kind `{key}` (expected one of {KINDS:?})",
+                    ln + 1
+                ));
+            }
+            let val: u64 = val.trim().parse().map_err(|_| {
+                format!(
+                    "baseline line {}: `{}` is not an integer",
+                    ln + 1,
+                    val.trim()
+                )
+            })?;
+            if let Some(t) = out.budgets.get_mut(&table) {
+                t.insert(key.to_string(), val);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serialises the baseline back to the TOML subset.
+    pub fn to_toml(&self) -> String {
+        let mut s = String::from(
+            "# cityod-lint panic-debt ratchet (rule P). Counts may only decrease.\n\
+             # Regenerate with: cargo run -p analyzer -- check --update-baseline\n",
+        );
+        for (crate_name, kinds) in &self.budgets {
+            s.push_str(&format!("\n[{crate_name}]\n"));
+            for k in KINDS {
+                let v = kinds.get(k).copied().unwrap_or(0);
+                s.push_str(&format!("{k} = {v}\n"));
+            }
+        }
+        s
+    }
+
+    /// Builds a baseline whose budgets equal the observed counts.
+    pub fn from_counts(counts: &BTreeMap<(String, String), u64>) -> Self {
+        let mut out = Baseline::default();
+        for ((crate_name, kind), &n) in counts {
+            out.budgets
+                .entry(crate_name.clone())
+                .or_default()
+                .insert(kind.clone(), n);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let text = "[simulator]\nunwrap = 1\nindexing = 40\n\n[roadnet]\nexpect = 3\n";
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.budget("simulator", "indexing"), 40);
+        assert_eq!(b.budget("simulator", "expect"), 0);
+        assert_eq!(b.budget("roadnet", "expect"), 3);
+        assert_eq!(b.budget("neural", "unwrap"), 0);
+        let b2 = Baseline::parse(&b.to_toml()).unwrap();
+        assert_eq!(b2.budget("simulator", "indexing"), 40);
+        assert_eq!(b2.budget("roadnet", "expect"), 3);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let b = Baseline::parse("# header\n\n[x]\nunwrap = 2 # inline\n").unwrap();
+        assert_eq!(b.budget("x", "unwrap"), 2);
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        assert!(Baseline::parse("[x]\nfoo = 1\n").is_err());
+        assert!(Baseline::parse("unwrap = 1\n").is_err());
+        assert!(Baseline::parse("[x]\nunwrap = lots\n").is_err());
+    }
+}

@@ -1,0 +1,402 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The rule passes need a *token* view of the source — one where string
+//! literals and comments can never produce false positives ("HashMap"
+//! inside a doc comment is not a determinism violation) and where every
+//! token knows its line. Full Rust grammar is not needed; the lexer
+//! understands exactly the surface forms that matter for linting:
+//!
+//! * line and (nested) block comments — stripped from the token stream but
+//!   retained in a side channel, because `// lint: allow(..)` and
+//!   `// SAFETY:` annotations live in comments;
+//! * string / raw-string / byte-string / char literals — collapsed to a
+//!   single `Str`/`Char` token so their contents are invisible to rules;
+//! * lifetimes vs char literals (`'a` vs `'a'`);
+//! * identifiers, numbers, and single-character punctuation.
+
+/// What a token is. Only the distinctions the rule passes need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// String, raw-string or byte-string literal (contents dropped).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime such as `'a` (contents dropped).
+    Lifetime,
+    /// One punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Kind of the token.
+    pub kind: TokKind,
+    /// Source text for `Ident`/`Num`/`Punct`; empty for literal kinds.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// A comment, kept out-of-band for allow/SAFETY annotation lookup.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus the comment side channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order, comments and literal bodies stripped.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Never fails: unterminated constructs consume to EOF,
+/// which is the forgiving behaviour a linter wants on mid-edit files.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($range:expr) => {
+            for &c in &b[$range] {
+                if c == b'\n' {
+                    line += 1;
+                }
+            }
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // --- whitespace ------------------------------------------------
+        if c.is_ascii_whitespace() {
+            if c == b'\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // --- comments --------------------------------------------------
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < b.len() && b[j] != b'\n' {
+                j += 1;
+            }
+            let text = src[start..j].trim_start_matches('/').trim().to_string();
+            out.comments.push(Comment { line, text });
+            i = j;
+            continue;
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start_line = line;
+            let start = i + 2;
+            let mut depth = 1u32;
+            let mut j = start;
+            while j < b.len() && depth > 0 {
+                if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(start);
+            out.comments.push(Comment {
+                line: start_line,
+                text: src[start..end].trim().to_string(),
+            });
+            bump_lines!(i..j);
+            i = j;
+            continue;
+        }
+        // --- raw / byte strings ---------------------------------------
+        if c == b'r' || c == b'b' {
+            if let Some((j, is_str)) = scan_raw_or_byte(b, i) {
+                out.tokens.push(Token {
+                    kind: if is_str { TokKind::Str } else { TokKind::Char },
+                    text: String::new(),
+                    line,
+                });
+                bump_lines!(i..j);
+                i = j;
+                continue;
+            }
+        }
+        // --- plain strings --------------------------------------------
+        if c == b'"' {
+            let j = scan_quoted(b, i + 1, b'"');
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line,
+            });
+            bump_lines!(i..j);
+            i = j;
+            continue;
+        }
+        // --- char literal vs lifetime ---------------------------------
+        if c == b'\'' {
+            if let Some(j) = scan_char_literal(b, i) {
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+                i = j;
+            } else {
+                // Lifetime: consume ident chars after the quote.
+                let mut j = i + 1;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: String::new(),
+                    line,
+                });
+                i = j;
+            }
+            continue;
+        }
+        // --- identifiers ----------------------------------------------
+        if c == b'_' || c.is_ascii_alphabetic() {
+            let start = i;
+            let mut j = i;
+            while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: src[start..j].to_string(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // --- numbers ---------------------------------------------------
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < b.len() {
+                let d = b[j];
+                if d.is_ascii_alphanumeric() || d == b'_' {
+                    // Exponent sign: `1e-9` / `1E+3`.
+                    if (d == b'e' || d == b'E')
+                        && j + 1 < b.len()
+                        && (b[j + 1] == b'+' || b[j + 1] == b'-')
+                        && j + 2 < b.len()
+                        && b[j + 2].is_ascii_digit()
+                    {
+                        j += 2;
+                    }
+                    j += 1;
+                } else if d == b'.' && j + 1 < b.len() && b[j + 1].is_ascii_digit() {
+                    // Decimal point, but not the start of a `..` range.
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Num,
+                text: src[start..j].to_string(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // --- punctuation -----------------------------------------------
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: (c as char).to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Scans a raw string `r"…"`/`r#"…"#`, byte string `b"…"`, raw byte string
+/// `br#"…"#` or byte char `b'…'` starting at `i`. Returns `(end, is_str)`
+/// or `None` when the prefix is just an identifier.
+fn scan_raw_or_byte(b: &[u8], i: usize) -> Option<(usize, bool)> {
+    let mut j = i + 1;
+    // `br` prefix.
+    if b[i] == b'b' && j < b.len() && b[j] == b'r' {
+        j += 1;
+    }
+    let raw = b[i] == b'r' || (j > i + 1);
+    if raw {
+        let mut hashes = 0usize;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'"' {
+            // Scan until `"` followed by `hashes` hashes.
+            j += 1;
+            while j < b.len() {
+                if b[j] == b'"'
+                    && b[j + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&h| h == b'#')
+                        .count()
+                        == hashes
+                {
+                    return Some((j + 1 + hashes, true));
+                }
+                j += 1;
+            }
+            return Some((b.len(), true));
+        }
+        return None;
+    }
+    // `b"…"` or `b'…'`.
+    if b[i] == b'b' && j < b.len() {
+        if b[j] == b'"' {
+            return Some((scan_quoted(b, j + 1, b'"'), true));
+        }
+        if b[j] == b'\'' {
+            return scan_char_literal(b, j).map(|e| (e, false));
+        }
+    }
+    None
+}
+
+/// Scans a quoted literal body starting *after* the opening quote;
+/// returns the index just past the closing quote (or EOF).
+fn scan_quoted(b: &[u8], mut j: usize, quote: u8) -> usize {
+    while j < b.len() {
+        if b[j] == b'\\' {
+            j += 2;
+        } else if b[j] == quote {
+            return j + 1;
+        } else {
+            j += 1;
+        }
+    }
+    b.len()
+}
+
+/// Tries to scan a char literal at `i` (pointing at the opening `'`).
+/// Returns the end index, or `None` when this is a lifetime instead.
+fn scan_char_literal(b: &[u8], i: usize) -> Option<usize> {
+    let j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == b'\\' {
+        // Escaped char: scan to the closing quote.
+        return Some(scan_quoted(b, j, b'\''));
+    }
+    // `'x'` — exactly one (possibly multi-byte) char then a quote.
+    let mut k = j + 1;
+    // Skip UTF-8 continuation bytes.
+    while k < b.len() && (b[k] & 0xC0) == 0x80 {
+        k += 1;
+    }
+    if k < b.len() && b[k] == b'\'' {
+        return Some(k + 1);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_stripped_but_kept() {
+        let l = lex("let x = 1; // HashMap here\n/* Instant */ let y = 2;");
+        assert!(idents("let x = 1; // HashMap here")
+            .iter()
+            .all(|i| i != "HashMap"));
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].text, "HashMap here");
+        assert_eq!(l.comments[1].text, "Instant");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert!(!idents(r#"let s = "HashMap::new()";"#).contains(&"HashMap".to_string()));
+        assert!(!idents(r##"let s = r#"unwrap()"#;"##).contains(&"unwrap".to_string()));
+        assert!(!idents(r#"let s = b"panic";"#).contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = l.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let l = lex("for i in 0..10 { let f = 1e-9; let g = 0.5..=1.0; }");
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1e-9", "0.5", "1.0"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_across_block_comments() {
+        let l = lex("a\n/*\n\n*/\nb");
+        assert_eq!(l.tokens[0].line, 1);
+        assert_eq!(l.tokens[1].line, 5);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still */ x");
+        assert_eq!(l.tokens.len(), 1);
+        assert!(l.tokens[0].is_ident("x"));
+    }
+}

@@ -1,0 +1,136 @@
+//! cityod-lint — static analysis for the city-od workspace.
+//!
+//! A zero-dependency linter enforcing the properties the OVS reproduction
+//! stakes its credibility on (see DESIGN.md §9):
+//!
+//! * **D — determinism**: no `HashMap`/`HashSet`, wall-clock, environment
+//!   or thread-identity reads in stable-output crates;
+//! * **P — panic-safety**: `unwrap`/`expect`/panicking macros/bare slice
+//!   indexing in hot-crate library code are budgeted by a committed
+//!   ratchet baseline and can only decrease;
+//! * **S — shape soundness**: `Sequential`/`SeqSequential` layer stacks
+//!   must chain their declared in/out dimensions;
+//! * **U — unsafe audit**: every `unsafe` requires a `// SAFETY:` comment.
+//!
+//! Run with `cargo run -p analyzer -- check [--json] [--rule D|P|S|U]
+//! [--baseline <path>] [--update-baseline]`.
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+use baseline::Baseline;
+use report::Report;
+use rules::{determinism_pass, panic_pass, shape_pass, unsafe_pass, Finding, Rule};
+use source::{FileKind, SourceFile};
+use std::path::{Path, PathBuf};
+
+/// Crates on the stable-output path: rule D (determinism) and rule P
+/// (panic-safety) apply to their non-test library code.
+pub const PROTECTED_CRATES: [&str; 6] = [
+    "simulator",
+    "roadnet",
+    "neural",
+    "ovs-core",
+    "checkpoint",
+    "obs",
+];
+
+/// Options for one check run.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOptions {
+    /// Restrict to one rule (`None` = all).
+    pub rule: Option<Rule>,
+    /// Baseline path override.
+    pub baseline: Option<PathBuf>,
+    /// Rewrite the baseline to the observed counts after checking.
+    pub update_baseline: bool,
+}
+
+/// Runs every applicable rule pass over one analysed file and applies
+/// allow-comment suppression. This is the single entry both the CLI
+/// driver and the fixture tests go through.
+pub fn check_file(file: &SourceFile, only: Option<Rule>) -> Vec<Finding> {
+    let protected = PROTECTED_CRATES.contains(&file.crate_name.as_str());
+    let mut findings = Vec::new();
+    let want = |r: Rule| only.is_none() || only == Some(r);
+    if want(Rule::Determinism) && protected && file.kind == FileKind::Lib {
+        findings.extend(determinism_pass(file));
+    }
+    if want(Rule::Panic) && protected && file.kind == FileKind::Lib {
+        findings.extend(panic_pass(file));
+    }
+    if want(Rule::Shape) {
+        findings.extend(shape_pass(file));
+    }
+    if want(Rule::UnsafeAudit) {
+        findings.extend(unsafe_pass(file));
+    }
+    findings.retain(|f| !file.is_allowed(f.rule, f.line));
+    findings
+}
+
+/// Analyses a whole workspace tree and builds the report.
+pub fn check_workspace(root: &Path, opts: &CheckOptions) -> Result<Report, String> {
+    let items = walk::discover(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    if items.is_empty() {
+        return Err(format!("no .rs files found under {}", root.display()));
+    }
+    let mut findings = Vec::new();
+    for item in &items {
+        let src =
+            std::fs::read_to_string(&item.abs).map_err(|e| format!("reading {}: {e}", item.rel))?;
+        let file = SourceFile::new(&item.rel, &item.crate_name, item.kind, &src);
+        findings.extend(check_file(&file, opts.rule));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    let baseline_path = baseline_path(root, opts);
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => {
+            Baseline::parse(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?
+        }
+        Err(_) => Baseline::default(),
+    };
+    let rep = Report::build(findings, &baseline);
+
+    if opts.update_baseline {
+        let next = Baseline::from_counts(&rep.counts);
+        std::fs::write(&baseline_path, next.to_toml())
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+    }
+    Ok(rep)
+}
+
+/// Resolves the baseline path: explicit flag, else `analyzer/baseline.toml`
+/// under the root when present (the ISSUE-documented location), else the
+/// crate-local `crates/analyzer/baseline.toml`.
+pub fn baseline_path(root: &Path, opts: &CheckOptions) -> PathBuf {
+    if let Some(p) = &opts.baseline {
+        return p.clone();
+    }
+    let issue_loc = root.join("analyzer/baseline.toml");
+    if issue_loc.exists() {
+        return issue_loc;
+    }
+    root.join("crates/analyzer/baseline.toml")
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

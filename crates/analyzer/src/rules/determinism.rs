@@ -1,0 +1,128 @@
+//! Rule D — determinism.
+//!
+//! The OVS pipeline's golden-file and resume-equivalence guarantees
+//! require that every byte of stable output is a pure function of config
+//! and seed. On the stable-output path this pass denies:
+//!
+//! * `HashMap` / `HashSet` — iteration order is randomised per process
+//!   (SipHash keys), so *any* use is one refactor away from leaking
+//!   nondeterministic order into output. Use `BTreeMap` / `BTreeSet`.
+//! * `SystemTime` / `Instant` — wall-clock reads.
+//! * `std::env::var` / `env::vars` — environment reads.
+//! * `thread::current` and `ThreadId` — thread-identity reads.
+//!
+//! Legitimate uses (timing-tagged metrics, provenance timestamps, thread
+//! pool sizing) carry `// lint: allow(determinism) — reason`.
+
+use super::{Finding, Rule};
+use crate::source::SourceFile;
+
+/// Runs the determinism pass over a file that is on the stable-output
+/// path. Test regions are skipped: test-only nondeterminism cannot leak
+/// into shipped output.
+pub fn determinism_pass(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in file.tokens.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        let (kind, what, instead): (&'static str, &str, &str) = if t.is_ident("HashMap") {
+            (
+                "hashmap",
+                "HashMap",
+                "BTreeMap (deterministic iteration order)",
+            )
+        } else if t.is_ident("HashSet") {
+            (
+                "hashset",
+                "HashSet",
+                "BTreeSet (deterministic iteration order)",
+            )
+        } else if t.is_ident("SystemTime") {
+            (
+                "wall-clock",
+                "SystemTime",
+                "data derived from config or seed",
+            )
+        } else if t.is_ident("Instant") {
+            (
+                "wall-clock",
+                "Instant",
+                "tick counters derived from the simulation clock",
+            )
+        } else if t.is_ident("ThreadId") {
+            ("thread-id", "ThreadId", "explicit worker indices")
+        } else if is_path_call(file, i, "env", &["var", "var_os", "vars"]) {
+            (
+                "env-read",
+                "env::var",
+                "explicit configuration plumbed through SimConfig",
+            )
+        } else if is_path_call(file, i, "thread", &["current"]) {
+            ("thread-id", "thread::current", "explicit worker indices")
+        } else {
+            continue;
+        };
+        out.push(Finding::new(
+            file,
+            Rule::Determinism,
+            kind,
+            t.line,
+            format!(
+                "`{what}` on the stable-output path ({}): prefer {instead}, or justify with \
+                 `// lint: allow(determinism) — reason`",
+                file.crate_name
+            ),
+        ));
+    }
+    out
+}
+
+/// True when token `i` is `base` followed by `:: member` with `member`
+/// in `members` (matches both `std::env::var(..)` and `env::var(..)`).
+fn is_path_call(file: &SourceFile, i: usize, base: &str, members: &[&str]) -> bool {
+    let t = &file.tokens[i];
+    if !t.is_ident(base) {
+        return false;
+    }
+    let c1 = file.tokens.get(i + 1);
+    let c2 = file.tokens.get(i + 2);
+    let m = file.tokens.get(i + 3);
+    matches!((c1, c2), (Some(a), Some(b)) if a.is_punct(':') && b.is_punct(':'))
+        && matches!(m, Some(t) if members.iter().any(|mm| t.is_ident(mm)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileKind, SourceFile};
+
+    fn run(src: &str) -> Vec<Finding> {
+        determinism_pass(&SourceFile::new("f.rs", "simulator", FileKind::Lib, src))
+    }
+
+    #[test]
+    fn flags_hashmap_and_wall_clock() {
+        let f = run("use std::collections::HashMap;\nlet t = std::time::Instant::now();");
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].kind, "hashmap");
+        assert_eq!(f[1].kind, "wall-clock");
+    }
+
+    #[test]
+    fn flags_env_reads_but_not_env_ident_alone() {
+        assert_eq!(run("let v = std::env::var(\"X\");").len(), 1);
+        assert_eq!(run("let env = 3; let w = env + 1;").len(), 0);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = run("#[cfg(test)]\nmod tests {\n use std::collections::HashMap;\n}");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn btree_is_fine() {
+        assert!(run("use std::collections::{BTreeMap, BTreeSet};").is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! The rule passes.
+//!
+//! Each pass walks a [`SourceFile`] token stream and emits [`Finding`]s.
+//! Suppression (`// lint: allow(<rule>) — reason`) and the panic-debt
+//! ratchet are applied by the driver in [`crate::run`], not here, so the
+//! passes stay pure and trivially testable.
+
+mod determinism;
+mod panic;
+mod shape;
+mod unsafety;
+
+pub use determinism::determinism_pass;
+pub use panic::panic_pass;
+pub use shape::shape_pass;
+pub use unsafety::unsafe_pass;
+
+use crate::source::SourceFile;
+
+/// The four rules, named as in the CLI (`--rule D|P|S|U`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D — determinism: no unordered-map iteration sources, wall-clock or
+    /// environment reads on the stable-output path.
+    Determinism,
+    /// P — panic-safety: no unwrap/expect/panic!/unreachable! or bare
+    /// slice indexing in non-test library code of the hot crates.
+    Panic,
+    /// S — shape soundness: layer-stack in/out dimensions must chain.
+    Shape,
+    /// U — unsafe audit: every `unsafe` needs a `// SAFETY:` comment.
+    UnsafeAudit,
+}
+
+impl Rule {
+    /// One-letter CLI code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::Determinism => "D",
+            Rule::Panic => "P",
+            Rule::Shape => "S",
+            Rule::UnsafeAudit => "U",
+        }
+    }
+
+    /// Human name, also used in allow annotations.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::Panic => "panic",
+            Rule::Shape => "shape",
+            Rule::UnsafeAudit => "unsafe",
+        }
+    }
+
+    /// Parses a CLI code or allow-annotation name.
+    pub fn from_name(s: &str) -> Option<Rule> {
+        match s {
+            "D" | "determinism" => Some(Rule::Determinism),
+            "P" | "panic" => Some(Rule::Panic),
+            "S" | "shape" => Some(Rule::Shape),
+            "U" | "unsafe" => Some(Rule::UnsafeAudit),
+            _ => None,
+        }
+    }
+
+    /// All rules, in report order.
+    pub fn all() -> [Rule; 4] {
+        [
+            Rule::Determinism,
+            Rule::Panic,
+            Rule::Shape,
+            Rule::UnsafeAudit,
+        ]
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule that fired.
+    pub rule: Rule,
+    /// Machine-readable sub-kind (`unwrap`, `hashmap`, `shape-mismatch`, …).
+    /// Panic-rule kinds are the ratchet-budget keys in `baseline.toml`.
+    pub kind: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Crate the file belongs to.
+    pub crate_name: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Trimmed source line.
+    pub snippet: String,
+    /// Explanation and suggested fix.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding, pulling the snippet out of `file`.
+    pub fn new(
+        file: &SourceFile,
+        rule: Rule,
+        kind: &'static str,
+        line: u32,
+        message: String,
+    ) -> Self {
+        Self {
+            rule,
+            kind,
+            file: file.path.clone(),
+            crate_name: file.crate_name.clone(),
+            line,
+            snippet: file.snippet(line),
+            message,
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Rule P — panic-safety.
+//!
+//! In non-test library code of the hot crates, a panic takes down the
+//! whole estimator (or poisons the obs registry mutex). This pass counts:
+//!
+//! * `.unwrap()`                       — kind `unwrap`
+//! * `.expect(..)`                     — kind `expect`
+//! * `panic! / unreachable! / todo! / unimplemented!` — kind `panic`
+//! * bare slice indexing `expr[..]`    — kind `indexing`
+//!
+//! Existing debt is *budgeted* per crate and kind in `baseline.toml`
+//! (the ratchet): counts may only go down. New code should return
+//! `Result` (or use `.get(..)`) instead.
+
+use super::{Finding, Rule};
+use crate::lexer::TokKind;
+use crate::source::{ends_expression, SourceFile};
+
+/// Runs the panic-safety pass over a hot-crate library file.
+pub fn panic_pass(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in file.tokens.iter().enumerate() {
+        if file.in_test[i] || t.kind != TokKind::Ident {
+            // Indexing is detected on `[`, a punct; handle it separately.
+            if !file.in_test[i] && t.is_punct('[') && is_indexing(file, i) {
+                out.push(Finding::new(
+                    file,
+                    Rule::Panic,
+                    "indexing",
+                    t.line,
+                    "bare slice indexing can panic on out-of-range: prefer `.get(..)` or \
+                     validate the index once at the boundary"
+                        .to_string(),
+                ));
+            }
+            continue;
+        }
+        let next = file.tokens.get(i + 1);
+        let prev = i.checked_sub(1).map(|p| &file.tokens[p]);
+        let dotted = matches!(prev, Some(p) if p.is_punct('.'));
+        let called = matches!(next, Some(n) if n.is_punct('('));
+        let banged = matches!(next, Some(n) if n.is_punct('!'));
+        let (kind, msg) = if t.text == "unwrap" && dotted && called {
+            (
+                "unwrap",
+                "`.unwrap()` panics without context: return `Result` or use \
+                 `.expect(\"actionable message\")` while burning down debt",
+            )
+        } else if t.text == "expect" && dotted && called {
+            (
+                "expect",
+                "`.expect(..)` still panics: prefer returning `Result`; keep only for \
+                 invariants that are provably unreachable",
+            )
+        } else if banged
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+        {
+            (
+                "panic",
+                "panicking macro in library code: return a typed error instead",
+            )
+        } else {
+            continue;
+        };
+        out.push(Finding::new(
+            file,
+            Rule::Panic,
+            kind,
+            t.line,
+            msg.to_string(),
+        ));
+    }
+    out
+}
+
+/// True when the `[` at token `i` indexes an expression (previous token
+/// ends an expression) rather than opening an array/slice literal, type,
+/// attribute or pattern.
+fn is_indexing(file: &SourceFile, i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).map(|p| &file.tokens[p]) else {
+        return false;
+    };
+    // `#[..]` attribute and `vec![..]` macro are not indexing; both are
+    // excluded because `#` / `!` do not end an expression.
+    ends_expression(prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileKind, SourceFile};
+
+    fn kinds(src: &str) -> Vec<&'static str> {
+        panic_pass(&SourceFile::new("f.rs", "roadnet", FileKind::Lib, src))
+            .into_iter()
+            .map(|f| f.kind)
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_expect_macros() {
+        assert_eq!(
+            kinds("fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"b\"); unreachable!(); }"),
+            ["unwrap", "expect", "panic", "panic"]
+        );
+    }
+
+    #[test]
+    fn unwrap_or_is_fine() {
+        assert!(kinds("fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); }").is_empty());
+    }
+
+    #[test]
+    fn indexing_detected_but_not_literals() {
+        assert_eq!(kinds("fn f() { let y = xs[i]; }"), ["indexing"]);
+        assert_eq!(kinds("fn f() { g()[0]; }"), ["indexing"]);
+        assert!(kinds("fn f() { let a = [0u64; 4]; let b = vec![1]; }").is_empty());
+        assert!(kinds("#[derive(Debug)]\nstruct S;").is_empty());
+        assert!(kinds("fn f(x: &[f64]) {}").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        assert!(kinds("#[test]\nfn t() { x.unwrap(); }").is_empty());
+    }
+}

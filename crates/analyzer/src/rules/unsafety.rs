@@ -1,0 +1,59 @@
+//! Rule U — unsafe audit.
+//!
+//! The workspace is currently 100% safe Rust, and any future `unsafe`
+//! (SIMD kernels, memory-mapped artifact loading) must explain why the
+//! compiler cannot check it: every `unsafe` keyword requires a
+//! `// SAFETY:` comment on the same line or within the three lines above.
+
+use super::{Finding, Rule};
+use crate::source::SourceFile;
+
+/// Runs the unsafe-audit pass. Applies everywhere — an unjustified
+/// `unsafe` in a test is just as unreviewable.
+pub fn unsafe_pass(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for t in &file.tokens {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        if file.comment_near(t.line, 3, "SAFETY:") {
+            continue;
+        }
+        out.push(Finding::new(
+            file,
+            Rule::UnsafeAudit,
+            "missing-safety",
+            t.line,
+            "`unsafe` without a `// SAFETY:` comment: state the invariant that makes \
+             this sound and why the compiler cannot verify it"
+                .to_string(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileKind, SourceFile};
+
+    fn run(src: &str) -> Vec<Finding> {
+        unsafe_pass(&SourceFile::new("f.rs", "neural", FileKind::Lib, src))
+    }
+
+    #[test]
+    fn bare_unsafe_is_flagged() {
+        assert_eq!(run("fn f(p: *const u8) -> u8 { unsafe { *p } }").len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_satisfies() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn safe_code_is_clean() {
+        assert!(run("fn f() { let x = 1; }").is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! BAD fixture: rule D violations in stable-output library code, plus an
+//! allow annotation with no reason (which must NOT suppress).
+
+use std::collections::HashMap;
+
+pub fn tally(keys: &[String]) -> HashMap<String, u64> {
+    let mut m = HashMap::new();
+    for k in keys {
+        *m.entry(k.clone()).or_insert(0) += 1;
+    }
+    m
+}
+
+// lint: allow(determinism)
+pub fn thread_count() -> usize {
+    std::env::var("WORKERS").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}

@@ -1,0 +1,19 @@
+//! BAD fixture: one of each panic-debt kind in non-test library code.
+
+pub fn head(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}
+
+pub fn tail(xs: &[u64]) -> u64 {
+    xs.last().copied().expect("caller checked non-empty")
+}
+
+pub fn pick(xs: &[u64], i: usize) -> u64 {
+    xs[i]
+}
+
+pub fn forbid(mode: &str) {
+    if mode == "legacy" {
+        panic!("legacy mode removed");
+    }
+}

@@ -1,0 +1,10 @@
+//! BAD fixture: a layer stack whose literal dimensions do not chain —
+//! the first Dense produces 8 features, the second expects 16.
+
+pub fn build(rng: &mut Rng) -> Sequential {
+    Sequential::new(vec![
+        Box::new(Dense::new(4, 8, rng)),
+        Box::new(Activation::new(ActKind::Relu)),
+        Box::new(Dense::new(16, 2, rng)),
+    ])
+}

@@ -1,0 +1,5 @@
+//! BAD fixture: an `unsafe` block with no safety comment nearby.
+
+pub fn transmute_len(xs: &[f64]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(xs.as_ptr().cast::<u8>(), xs.len() * 8) }
+}

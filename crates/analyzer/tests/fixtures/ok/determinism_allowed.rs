@@ -1,0 +1,14 @@
+//! OK fixture: a wall-clock read justified by an allow annotation with a
+//! reason. The suppression window covers the annotated line and the two
+//! lines below it.
+
+// lint: allow(determinism) — latency histogram is Timing-class, never
+// included in stable exports.
+use std::time::Instant;
+
+pub fn measure<F: FnOnce()>(f: F) -> f64 {
+    // lint: allow(determinism) — Timing-class measurement.
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}

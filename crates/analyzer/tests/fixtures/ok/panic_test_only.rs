@@ -1,0 +1,18 @@
+//! OK fixture: unwrap/expect/indexing confined to test code, which rule P
+//! deliberately exempts — tests are allowed to assert by panicking.
+
+pub fn double(x: u64) -> Option<u64> {
+    x.checked_mul(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles() {
+        let xs = vec![1u64, 2];
+        assert_eq!(double(xs[0]).unwrap(), 2);
+        assert_eq!(double(xs[1]).expect("small values never overflow"), 4);
+    }
+}

@@ -1,0 +1,8 @@
+//! OK fixture: an `unsafe` block documented by a `// SAFETY:` comment
+//! within the three lines above it.
+
+pub fn as_bytes(xs: &[f64]) -> &[u8] {
+    // SAFETY: f64 has no padding or invalid bit patterns; the length is
+    // scaled by size_of::<f64>() and the lifetime is tied to `xs`.
+    unsafe { std::slice::from_raw_parts(xs.as_ptr().cast::<u8>(), std::mem::size_of_val(xs)) }
+}

@@ -1,0 +1,27 @@
+//! CLI fixture workspace: one seeded violation of every rule, for the
+//! end-to-end exit-code and file:line reporting tests.
+
+use std::collections::HashMap;
+
+pub fn order(keys: &[u64]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        m.insert(*k, i as u64);
+    }
+    m
+}
+
+pub fn head(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}
+
+pub fn raw(xs: &[f64]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(xs.as_ptr().cast::<u8>(), xs.len() * 8) }
+}
+
+pub fn net(rng: &mut Rng) -> Sequential {
+    Sequential::new(vec![
+        Box::new(Dense::new(4, 8, rng)),
+        Box::new(Dense::new(16, 2, rng)),
+    ])
+}

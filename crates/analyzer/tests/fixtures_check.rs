@@ -1,0 +1,204 @@
+//! Fixture-driven self-tests: every rule catches its seeded `bad/`
+//! fixture, stays silent on the corresponding `ok/` fixture, and the
+//! ratchet fails the build when debt rises above the committed baseline.
+
+use analyzer::rules::Rule;
+use analyzer::source::{FileKind, SourceFile};
+use analyzer::{check_file, check_workspace, CheckOptions};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Loads a fixture as non-test library code of the protected `simulator`
+/// crate, so every rule pass applies.
+fn load(rel: &str) -> SourceFile {
+    let path = fixture_dir().join(rel);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()));
+    SourceFile::new(rel, "simulator", FileKind::Lib, &src)
+}
+
+fn kinds(findings: &[analyzer::rules::Finding]) -> Vec<&str> {
+    let mut k: Vec<&str> = findings.iter().map(|f| f.kind).collect();
+    k.sort_unstable();
+    k.dedup();
+    k
+}
+
+// ---- ok/ fixtures stay silent -------------------------------------------
+
+#[test]
+fn ok_fixtures_produce_no_findings() {
+    for rel in [
+        "ok/determinism_allowed.rs",
+        "ok/panic_test_only.rs",
+        "ok/shape_chain.rs",
+        "ok/unsafe_safety.rs",
+    ] {
+        let f = load(rel);
+        let findings = check_file(&f, None);
+        assert!(
+            findings.is_empty(),
+            "{rel} should be clean, got: {:?}",
+            findings
+                .iter()
+                .map(|f| format!("{}:{} {}", f.file, f.line, f.kind))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+// ---- bad/ fixtures are caught, one per rule ------------------------------
+
+#[test]
+fn bad_determinism_is_caught_and_reasonless_allow_does_not_suppress() {
+    let f = load("bad/determinism.rs");
+    let findings = check_file(&f, Some(Rule::Determinism));
+    assert_eq!(kinds(&findings), vec!["env-read", "hashmap"]);
+    // The `// lint: allow(determinism)` with no reason sits directly above
+    // the env::var call — it must not have suppressed the finding.
+    assert!(findings.iter().any(|f| f.kind == "env-read"));
+    // Findings carry real line numbers pointing at the violation.
+    let hm = findings.iter().find(|f| f.kind == "hashmap").unwrap();
+    assert!(f.snippet(hm.line).contains("HashMap"));
+}
+
+#[test]
+fn bad_panic_catches_every_kind() {
+    let f = load("bad/panic.rs");
+    let findings = check_file(&f, Some(Rule::Panic));
+    assert_eq!(
+        kinds(&findings),
+        vec!["expect", "indexing", "panic", "unwrap"]
+    );
+}
+
+#[test]
+fn bad_shape_mismatch_is_caught() {
+    let f = load("bad/shape.rs");
+    let findings = check_file(&f, Some(Rule::Shape));
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].kind, "shape-mismatch");
+    assert!(findings[0]
+        .message
+        .contains("panic at the first forward pass"));
+}
+
+#[test]
+fn bad_unsafe_without_safety_comment_is_caught() {
+    let f = load("bad/unsafety.rs");
+    let findings = check_file(&f, Some(Rule::UnsafeAudit));
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, Rule::UnsafeAudit);
+}
+
+// ---- ratchet semantics over a real workspace tree ------------------------
+
+#[test]
+fn ratchet_fails_above_baseline_and_passes_at_baseline() {
+    let root = fixture_dir().join("ws_ratchet");
+
+    let tight = CheckOptions {
+        baseline: Some(root.join("baseline_tight.toml")),
+        ..Default::default()
+    };
+    let rep = check_workspace(&root, &tight).expect("check runs");
+    assert_eq!(rep.exit_code(), 1, "2 unwraps over a budget of 1 must fail");
+    assert_eq!(rep.over_budget.len(), 1);
+    assert_eq!(rep.over_budget[0].count, 2);
+    assert_eq!(rep.over_budget[0].budget, 1);
+
+    let exact = CheckOptions {
+        baseline: Some(root.join("baseline_exact.toml")),
+        ..Default::default()
+    };
+    let rep = check_workspace(&root, &exact).expect("check runs");
+    assert_eq!(
+        rep.exit_code(),
+        0,
+        "2 unwraps within a budget of 2 must pass"
+    );
+    assert!(rep.over_budget.is_empty());
+}
+
+#[test]
+fn missing_baseline_means_zero_budget() {
+    let root = fixture_dir().join("ws_ratchet");
+    let rep = check_workspace(&root, &CheckOptions::default()).expect("check runs");
+    assert_eq!(
+        rep.exit_code(),
+        1,
+        "no baseline file = zero budget everywhere"
+    );
+}
+
+// ---- CLI end-to-end: exit codes and file:line output ---------------------
+
+#[test]
+fn cli_exits_nonzero_with_file_line_on_seeded_violations() {
+    let root = fixture_dir().join("ws_bad");
+    let out = Command::new(env!("CARGO_BIN_EXE_analyzer"))
+        .args(["check", "--root"])
+        .arg(&root)
+        .output()
+        .expect("analyzer binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("error[D/hashmap]"),
+        "determinism error: {text}"
+    );
+    assert!(text.contains("error[U/"), "unsafe error: {text}");
+    assert!(
+        text.contains("error[S/shape-mismatch]"),
+        "shape error: {text}"
+    );
+    assert!(text.contains("error[P/ratchet]"), "ratchet error: {text}");
+    assert!(
+        text.contains("crates/simulator/src/lib.rs:"),
+        "file:line locations: {text}"
+    );
+    assert!(text.contains("FAIL"));
+}
+
+#[test]
+fn cli_json_is_parseable_and_marks_failure() {
+    let root = fixture_dir().join("ws_bad");
+    let out = Command::new(env!("CARGO_BIN_EXE_analyzer"))
+        .args(["check", "--json", "--root"])
+        .arg(&root)
+        .output()
+        .expect("analyzer binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"ok\": false"));
+    assert!(text.contains("\"rule\": \"D\""));
+    assert!(text.contains("\"line\": "));
+}
+
+#[test]
+fn cli_single_rule_filter_narrows_findings() {
+    let root = fixture_dir().join("ws_bad");
+    let out = Command::new(env!("CARGO_BIN_EXE_analyzer"))
+        .args(["check", "--rule", "S", "--root"])
+        .arg(&root)
+        .output()
+        .expect("analyzer binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("error[S/shape-mismatch]"));
+    assert!(!text.contains("error[D/"), "rule filter leaked D: {text}");
+    assert!(!text.contains("error[P/"), "rule filter leaked P: {text}");
+}
+
+#[test]
+fn cli_bad_usage_exits_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_analyzer"))
+        .args(["check", "--rule", "Z"])
+        .output()
+        .expect("analyzer binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -90,6 +90,8 @@ pub fn git_describe() -> String {
 }
 
 fn unix_now() -> u64 {
+    // lint: allow(determinism) — provenance sidecar timestamp only; never
+    // read back into model state or stable exports.
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -133,6 +135,7 @@ impl ArtifactStore {
     /// Opens the default store: `$CITYOD_ARTIFACTS` when set, otherwise
     /// `./artifacts`.
     pub fn open_default() -> Result<Self> {
+        // lint: allow(determinism) — opt-in store location, not data.
         let dir = std::env::var(STORE_ENV).unwrap_or_else(|_| DEFAULT_DIR.to_string());
         Self::open(dir)
     }

@@ -6,6 +6,8 @@
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
+// lint: allow(determinism) — spans feed Timing-class metrics only, which
+// are excluded from byte-stable snapshots.
 use std::time::Instant;
 
 /// Whether a metric's value is reproducible across runs.
@@ -156,6 +158,7 @@ impl Histogram {
 #[derive(Debug)]
 pub struct Span {
     gauge: Gauge,
+    // lint: allow(determinism) — wall clock lands in a Timing-class gauge.
     start: Instant,
     stopped: bool,
 }
@@ -164,6 +167,7 @@ impl Span {
     pub(crate) fn new(gauge: Gauge) -> Self {
         Span {
             gauge,
+            // lint: allow(determinism) — Timing-class measurement.
             start: Instant::now(),
             stopped: false,
         }

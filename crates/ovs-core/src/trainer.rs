@@ -24,6 +24,8 @@ use neural::loss::{huber, mse};
 use neural::optim::{Adam, AdamSnapshot, Optimizer};
 use neural::Matrix;
 use roadnet::{Result, RoadnetError, TodTensor};
+// lint: allow(determinism) — wall clock feeds the trainer's Timing-class
+// gauges (seconds, steps_per_sec) only; losses and weights never see it.
 use std::time::Instant;
 
 /// Timing histogram: checkpoint-hook latency, shared by all stages.
@@ -43,6 +45,7 @@ struct StageMetrics {
     seconds: obs::Gauge,
     steps_per_sec: obs::Gauge,
     ckpt_seconds: obs::Histogram,
+    // lint: allow(determinism) — Timing-class stage stopwatch.
     start: Instant,
 }
 
@@ -57,6 +60,7 @@ impl StageMetrics {
             seconds: reg.timing_gauge(&format!("trainer_{tag}_seconds")),
             steps_per_sec: reg.timing_gauge(&format!("trainer_{tag}_steps_per_sec")),
             ckpt_seconds: reg.timing_histogram(CHECKPOINT_WRITE_SECONDS, obs::DURATION_BUCKETS),
+            // lint: allow(determinism) — Timing-class measurement.
             start: Instant::now(),
         }
     }
@@ -69,6 +73,7 @@ impl StageMetrics {
 
     /// Runs a checkpoint hook, timing the write.
     fn record_checkpoint(&self, write: impl FnOnce() -> Result<()>) -> Result<()> {
+        // lint: allow(determinism) — write latency goes to a Timing histogram.
         let t0 = Instant::now();
         let r = write();
         self.ckpt_seconds.observe(t0.elapsed().as_secs_f64());

@@ -35,6 +35,8 @@ pub enum RoadnetError {
     InvalidSpec(String),
     /// A numeric attribute was out of its legal domain (negative length, ...).
     InvalidAttribute(String),
+    /// An internal invariant was violated; a bug rather than bad input.
+    Internal(String),
 }
 
 impl fmt::Display for RoadnetError {
@@ -50,6 +52,7 @@ impl fmt::Display for RoadnetError {
             }
             Self::InvalidSpec(msg) => write!(f, "invalid network spec: {msg}"),
             Self::InvalidAttribute(msg) => write!(f, "invalid attribute: {msg}"),
+            Self::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }

@@ -37,6 +37,8 @@ impl Parallelism {
     /// Reads `CITYOD_THREADS`; unset, empty, or unparsable values mean
     /// [`Parallelism::Auto`], `1` means [`Parallelism::Serial`].
     pub fn from_env() -> Self {
+        // lint: allow(determinism) — thread-count knob; results are
+        // partition-invariant by construction (see datagen tests).
         match std::env::var(THREADS_ENV) {
             Ok(s) => match s.trim().parse::<usize>() {
                 Ok(0) | Err(_) => Parallelism::Auto,

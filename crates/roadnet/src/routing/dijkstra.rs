@@ -101,11 +101,17 @@ pub fn dijkstra_with_bans(
         return Err(RoadnetError::NoPath { from, to });
     }
 
-    // Reconstruct the link sequence by walking predecessors.
+    // Reconstruct the link sequence by walking predecessors. The chain is
+    // complete whenever the reachability check above passed; a hole here
+    // is a bug, surfaced as an error instead of a panic.
     let mut links = Vec::new();
     let mut cur = to;
     while cur != from {
-        let lid = prev_link[cur.index()].expect("predecessor chain is complete");
+        let Some(lid) = prev_link[cur.index()] else {
+            return Err(RoadnetError::Internal(format!(
+                "predecessor chain broken at {cur} while reconstructing {from}->{to}"
+            )));
+        };
         links.push(lid);
         cur = net.links()[lid.index()].from;
     }

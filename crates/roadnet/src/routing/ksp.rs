@@ -9,7 +9,7 @@ use super::path::Route;
 use crate::error::{Result, RoadnetError};
 use crate::ids::NodeId;
 use crate::network::RoadNetwork;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Returns up to `k` loopless paths from `from` to `to` in non-decreasing
 /// cost order. Returns an error only when *no* path exists at all; fewer
@@ -29,7 +29,11 @@ pub fn k_shortest_paths(
     let mut candidates: Vec<Route> = Vec::new();
 
     while accepted.len() < k {
-        let last = accepted.last().expect("accepted is non-empty").clone();
+        // `accepted` starts with one route and only grows; popping the
+        // guard rather than `expect`ing keeps this loop panic-free.
+        let Some(last) = accepted.last().cloned() else {
+            break;
+        };
         let last_nodes = last.nodes(net);
 
         // Deviate at every spur node of the previous accepted path.
@@ -43,14 +47,17 @@ pub fn k_shortest_paths(
 
             // Ban links that would recreate an already-accepted path with
             // the same root.
-            let mut banned_links = HashSet::new();
+            let mut banned_links = BTreeSet::new();
             for p in &accepted {
                 if p.links.len() > spur_idx && p.links[..spur_idx] == *root_links {
                     banned_links.insert(p.links[spur_idx]);
                 }
             }
             // Ban root nodes (except the spur node) to keep paths loopless.
-            let banned_nodes: HashSet<NodeId> = last_nodes[..spur_idx].iter().copied().collect();
+            let banned_nodes: BTreeSet<NodeId> = match last_nodes.get(..spur_idx) {
+                Some(prefix) => prefix.iter().copied().collect(),
+                None => continue,
+            };
 
             let spur = match dijkstra_with_bans(
                 net,
@@ -85,17 +92,16 @@ pub fn k_shortest_paths(
         if candidates.is_empty() {
             break;
         }
-        // Pop the cheapest candidate.
-        let best = candidates
-            .iter()
-            .enumerate()
-            .min_by(|a, b| {
-                a.1.cost
-                    .partial_cmp(&b.1.cost)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .map(|(i, _)| i)
-            .expect("candidates is non-empty");
+        // Pop the cheapest candidate. A plain scan avoids both the
+        // `partial_cmp` NaN footgun and a non-emptiness `expect`.
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for (i, c) in candidates.iter().enumerate() {
+            if c.cost < best_cost {
+                best_cost = c.cost;
+                best = i;
+            }
+        }
         accepted.push(candidates.swap_remove(best));
     }
 

@@ -47,7 +47,9 @@ impl Route {
     /// True when the route visits no node twice (simple path).
     pub fn is_simple(&self, net: &RoadNetwork) -> bool {
         let nodes = self.nodes(net);
-        let mut seen = std::collections::HashSet::with_capacity(nodes.len());
+        // BTreeSet: membership-only today, but an ordered set keeps any
+        // future iteration deterministic (lint rule D).
+        let mut seen = std::collections::BTreeSet::new();
         nodes.iter().all(|n| seen.insert(*n))
     }
 

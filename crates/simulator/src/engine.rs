@@ -26,12 +26,15 @@ use crate::signal::{ActuatedPlan, SignalPlan};
 use crate::vehicle::{follow, Vehicle, VehicleClass, VehicleId};
 use roadnet::routing::{dijkstra, fastest_path, shortest_path};
 use roadnet::{LinkId, LinkTensor, NodeId, OdSet, Result, RoadNetwork, RoadnetError, TodTensor};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Route cache for the time-dependent routing policy, keyed by
-/// `(origin, destination, interval)`.
-type DynRouteCache = HashMap<(NodeId, NodeId, usize), Option<Arc<Vec<LinkId>>>>;
+/// `(origin, destination, interval)`. A `BTreeMap` so that any future
+/// iteration over the cache is in deterministic key order — a `HashMap`
+/// here is one refactor away from leaking SipHash order into the stable
+/// observation tensors.
+type DynRouteCache = BTreeMap<(NodeId, NodeId, usize), Option<Arc<Vec<LinkId>>>>;
 
 /// Summary counters of one run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -119,8 +122,9 @@ pub struct Simulation<'a> {
     capacity: Vec<usize>,
     sat_flow_per_tick: Vec<f64>,
     lanes: Vec<f64>,
-    /// Route cache for static routing policies.
-    static_routes: HashMap<(NodeId, NodeId), Option<Arc<Vec<LinkId>>>>,
+    /// Route cache for static routing policies (ordered for the same
+    /// reason as [`DynRouteCache`]).
+    static_routes: BTreeMap<(NodeId, NodeId), Option<Arc<Vec<LinkId>>>>,
     /// Metrics sink; defaults to the process-global registry.
     obs: obs::Registry,
 }
@@ -186,7 +190,7 @@ impl<'a> Simulation<'a> {
             capacity,
             sat_flow_per_tick: sat_flow,
             lanes,
-            static_routes: HashMap::new(),
+            static_routes: BTreeMap::new(),
             obs: obs::global().clone(),
         })
     }
@@ -257,7 +261,7 @@ impl<'a> Simulation<'a> {
         use rand::{Rng as _, SeedableRng as _};
         let mut class_rng = rand::rngs::StdRng::seed_from_u64(self.cfg.seed ^ 0x5EED_70C5);
         // Per-interval route cache for the time-dependent policy.
-        let mut dyn_routes: DynRouteCache = HashMap::new();
+        let mut dyn_routes: DynRouteCache = DynRouteCache::new();
 
         for tick in 0..self.cfg.total_ticks() {
             let interval = (tick / tpi) as usize;
@@ -360,18 +364,22 @@ impl<'a> Simulation<'a> {
             for li in 0..m {
                 exit_budget[li] =
                     (exit_budget[li] + self.sat_flow_per_tick[li]).min(self.lanes[li].max(1.0));
-                while let Some(front) = links[li].front() {
+                // Pop-then-decide keeps this loop panic-free: the front
+                // vehicle is re-queued when it cannot cross this tick.
+                while let Some(front) = links[li].pop_front() {
                     if front.pos_m < self.len_m[li] - 1e-9 {
+                        links[li].push_front(front);
                         break;
                     }
                     if front.on_last_leg() {
                         // Arrival consumes no intersection capacity.
-                        let veh = links[li].pop_front().expect("front exists");
                         stats.arrived += 1;
                         exits[li] += 1;
-                        stats.total_travel_time_s += (tick - veh.spawn_tick) as f64 * dt;
+                        stats.total_travel_time_s += (tick - front.spawn_tick) as f64 * dt;
                         if self.cfg.record_trips {
-                            trips[veh.id.0 as usize].arrive_tick = Some(tick);
+                            if let Some(trip) = trips.get_mut(front.id.0 as usize) {
+                                trip.arrive_tick = Some(tick);
+                            }
                         }
                         continue;
                     }
@@ -381,21 +389,29 @@ impl<'a> Simulation<'a> {
                     };
                     if !green {
                         tally.red_checks += 1;
+                        links[li].push_front(front);
                         break;
                     }
                     tally.green_checks += 1;
                     if exit_budget[li] < 1.0 {
                         tally.satflow_blocked += 1;
+                        links[li].push_front(front);
                         break;
                     }
-                    let next = front.next_link().expect("not on last leg");
+                    let Some(next) = front.next_link() else {
+                        // Unreachable (`on_last_leg` handled above), but a
+                        // re-queue is strictly safer than a panic here.
+                        links[li].push_front(front);
+                        break;
+                    };
                     let ni = next.index();
                     if !entrance_clear(&links[ni], self.capacity[ni]) {
                         tally.spillback_blocked += 1;
+                        links[li].push_front(front);
                         break; // spillback
                     }
                     exit_budget[li] -= 1.0;
-                    let mut veh = links[li].pop_front().expect("front exists");
+                    let mut veh = front;
                     veh.leg += 1;
                     veh.pos_m = 0.0;
                     veh.speed_mps = veh.speed_mps.min(self.desired_mps[ni]);
