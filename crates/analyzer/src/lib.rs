@@ -30,13 +30,14 @@ use std::path::{Path, PathBuf};
 
 /// Crates on the stable-output path: rule D (determinism) and rule P
 /// (panic-safety) apply to their non-test library code.
-pub const PROTECTED_CRATES: [&str; 6] = [
+pub const PROTECTED_CRATES: [&str; 7] = [
     "simulator",
     "roadnet",
     "neural",
     "ovs-core",
     "checkpoint",
     "obs",
+    "fault",
 ];
 
 /// Options for one check run.

@@ -33,6 +33,7 @@ fn kinds(findings: &[analyzer::rules::Finding]) -> Vec<&str> {
 #[test]
 fn ok_fixtures_produce_no_findings() {
     for rel in [
+        "ok/conv_seq.rs",
         "ok/determinism_allowed.rs",
         "ok/panic_test_only.rs",
         "ok/shape_chain.rs",
@@ -85,6 +86,24 @@ fn bad_shape_mismatch_is_caught() {
     assert!(findings[0]
         .message
         .contains("panic at the first forward pass"));
+}
+
+#[test]
+fn bad_conv_seq_catches_even_kernel_and_underflow() {
+    let f = load("bad/conv_seq.rs");
+    let findings = check_file(&f, Some(Rule::Shape));
+    assert_eq!(
+        kinds(&findings),
+        vec!["conv-even-kernel", "conv-seq-underflow"]
+    );
+    let under = findings
+        .iter()
+        .find(|f| f.kind == "conv-seq-underflow")
+        .unwrap();
+    // Flagged at the layer whose kernel no longer fits, with the chained
+    // remaining length in the message.
+    assert!(f.snippet(under.line).contains("7"));
+    assert!(under.message.contains("only `3` steps"));
 }
 
 #[test]

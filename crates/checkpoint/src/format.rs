@@ -286,6 +286,152 @@ impl ArtifactBuilder {
     }
 }
 
+// --- audit -----------------------------------------------------------------
+
+/// Verification result for one section, as produced by [`audit_bytes`].
+///
+/// Unlike [`Artifact::from_bytes`], the audit does not stop at the first
+/// bad checksum: every section is checked and reported with its payload
+/// byte offset, so an operator (or the quarantine logic) can see exactly
+/// which regions of the file are damaged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionAudit {
+    /// Section name from the table.
+    pub name: String,
+    /// Byte offset of the section's payload within the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// CRC32 recorded in the section table.
+    pub stored: u32,
+    /// CRC32 computed over the payload actually present.
+    pub computed: u32,
+}
+
+impl SectionAudit {
+    /// True when the stored and computed checksums agree.
+    pub fn ok(&self) -> bool {
+        self.stored == self.computed
+    }
+}
+
+/// Full-container audit: per-section checksum verdicts plus any
+/// structural failure that stopped the walk early.
+#[derive(Debug, Clone, Default)]
+pub struct ArtifactAudit {
+    /// Every section reachable through the table, in file order
+    /// (including the reserved kind section).
+    pub sections: Vec<SectionAudit>,
+    /// Structural failure (bad magic, truncated table, ...) that ended
+    /// the audit before all sections could be checked, if any.
+    pub structural: Option<String>,
+}
+
+impl ArtifactAudit {
+    /// The sections whose checksums do not match.
+    pub fn failures(&self) -> Vec<&SectionAudit> {
+        self.sections.iter().filter(|s| !s.ok()).collect()
+    }
+
+    /// True when the container is structurally sound and every section
+    /// checksum verifies.
+    pub fn is_clean(&self) -> bool {
+        self.structural.is_none() && self.sections.iter().all(SectionAudit::ok)
+    }
+}
+
+/// Audits a serialized artifact without decoding it: walks the section
+/// table, checks **every** section's CRC32, and reports all failures
+/// with byte offsets instead of stopping at the first one.
+pub fn audit_bytes(bytes: &[u8]) -> ArtifactAudit {
+    let mut audit = ArtifactAudit::default();
+    let mut r = ByteReader::new(bytes);
+    let structural = |e: CheckpointError| Some(e.to_string());
+
+    let magic = match r.take(8, "magic") {
+        Ok(m) => m,
+        Err(e) => {
+            audit.structural = structural(e);
+            return audit;
+        }
+    };
+    if magic != MAGIC {
+        audit.structural = structural(CheckpointError::BadMagic {
+            found: magic.to_vec(),
+        });
+        return audit;
+    }
+    let version = match r.u32("format version") {
+        Ok(v) => v,
+        Err(e) => {
+            audit.structural = structural(e);
+            return audit;
+        }
+    };
+    if version == 0 || version > FORMAT_VERSION {
+        audit.structural = structural(CheckpointError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+        return audit;
+    }
+    let count = match r.u32("section count") {
+        Ok(c) => c as usize,
+        Err(e) => {
+            audit.structural = structural(e);
+            return audit;
+        }
+    };
+    let mut table = Vec::with_capacity(count);
+    for i in 0..count {
+        let entry = (|| -> Result<(String, usize, u32)> {
+            let name_len = r.u16(&format!("section {i} name length"))? as usize;
+            let name_bytes = r.take(name_len, &format!("section {i} name"))?;
+            let name = String::from_utf8_lossy(name_bytes).into_owned();
+            let len = r.len_u64(&format!("section '{name}' length"))?;
+            let crc = r.u32(&format!("section '{name}' checksum"))?;
+            Ok((name, len, crc))
+        })();
+        match entry {
+            Ok(e) => table.push(e),
+            Err(e) => {
+                audit.structural = structural(e);
+                return audit;
+            }
+        }
+    }
+    let mut offset = (bytes.len() - r.remaining()) as u64;
+    for (name, len, stored) in table {
+        // A truncated payload is still audited: the checksum over the
+        // bytes that remain will not match the table entry.
+        let avail = len.min(r.remaining());
+        let payload = r
+            .take(avail, &format!("section '{name}' payload"))
+            .unwrap_or(&[]);
+        audit.sections.push(SectionAudit {
+            name: name.clone(),
+            offset,
+            len: len as u64,
+            stored,
+            computed: crc32(payload),
+        });
+        if avail < len {
+            audit.structural = structural(CheckpointError::Truncated {
+                context: format!("section '{name}' payload ({len} bytes needed, {avail} left)"),
+            });
+            return audit;
+        }
+        offset += len as u64;
+    }
+    if r.remaining() != 0 {
+        audit.structural = Some(format!(
+            "malformed artifact: {} trailing bytes after the last section",
+            r.remaining()
+        ));
+    }
+    audit
+}
+
 // --- parsed artifact -------------------------------------------------------
 
 /// A fully parsed and checksum-verified artifact.
@@ -562,6 +708,61 @@ mod tests {
             Artifact::from_bytes(&w.into_bytes()),
             Err(CheckpointError::MissingSection { .. })
         ));
+    }
+
+    #[test]
+    fn audit_reports_every_bad_section_with_offsets() {
+        let bytes = sample().to_bytes();
+        let clean = audit_bytes(&bytes);
+        assert!(clean.is_clean());
+        assert_eq!(
+            clean
+                .sections
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>(),
+            ["__kind__", "weights", "losses", "meta"]
+        );
+        // Payloads are contiguous after the table, in table order.
+        for w in clean.sections.windows(2) {
+            assert_eq!(w[0].offset + w[0].len, w[1].offset);
+        }
+
+        // Corrupt two sections at once; the audit must report both,
+        // where from_bytes stops at the first.
+        let mut corrupt = bytes.clone();
+        corrupt[clean.sections[1].offset as usize] ^= 0x01;
+        corrupt[clean.sections[3].offset as usize] ^= 0x01;
+        let audit = audit_bytes(&corrupt);
+        assert!(audit.structural.is_none());
+        let failures = audit.failures();
+        assert_eq!(
+            failures.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            ["weights", "meta"]
+        );
+        for f in &failures {
+            assert_ne!(f.stored, f.computed);
+        }
+        assert!(matches!(
+            Artifact::from_bytes(&corrupt),
+            Err(CheckpointError::ChecksumMismatch { section, .. }) if section == "weights"
+        ));
+    }
+
+    #[test]
+    fn audit_flags_structural_damage() {
+        let bytes = sample().to_bytes();
+        let truncated = audit_bytes(&bytes[..bytes.len() - 4]);
+        assert!(!truncated.is_clean());
+        assert!(truncated.structural.is_some());
+        // Sections before the cut are still individually audited.
+        assert!(!truncated.sections.is_empty());
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        let audit = audit_bytes(&bad_magic);
+        assert!(audit.structural.is_some());
+        assert!(audit.sections.is_empty());
     }
 
     #[test]

@@ -43,9 +43,11 @@
 pub mod codec;
 pub mod format;
 pub mod module;
+pub mod retry;
 pub mod store;
 
-pub use format::{Artifact, ArtifactBuilder, FORMAT_VERSION, MAGIC};
+pub use format::{audit_bytes, Artifact, ArtifactAudit, ArtifactBuilder, FORMAT_VERSION, MAGIC};
+pub use retry::{Clock, RecordingClock, RetryPolicy, SystemClock};
 pub use store::{ArtifactRecord, ArtifactStore, Provenance};
 
 use std::fmt;

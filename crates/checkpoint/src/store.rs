@@ -13,7 +13,8 @@
 //! lets a loader refuse an artifact whose recorded shapes do not match
 //! the requesting configuration, before a single weight is copied.
 
-use crate::format::{crc32, Artifact, ArtifactBuilder};
+use crate::format::{audit_bytes, crc32, Artifact, ArtifactAudit, ArtifactBuilder};
+use crate::retry::{is_transient, with_retry, Clock, RetryPolicy};
 use crate::{CheckpointError, Result};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -29,6 +30,11 @@ const CKPT_EXT: &str = "ckpt";
 
 /// Suffix of provenance sidecar files.
 const META_SUFFIX: &str = ".meta.json";
+
+/// Subdirectory artifacts that fail CRC verification are moved into.
+/// Quarantined files drop out of [`ArtifactStore::names`] (the listing
+/// scan is non-recursive) but stay on disk for post-mortem inspection.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// Provenance metadata recorded alongside every artifact: enough to
 /// reproduce (or refuse) the model without opening the weights.
@@ -147,6 +153,11 @@ impl ArtifactStore {
 
     fn ckpt_path(&self, name: &str) -> PathBuf {
         self.dir.join(format!("{name}.{CKPT_EXT}"))
+    }
+
+    /// The `.ckpt` path an artifact of this name lives (or would live) at.
+    pub fn artifact_path(&self, name: &str) -> PathBuf {
+        self.ckpt_path(name)
     }
 
     fn meta_path(&self, name: &str) -> PathBuf {
@@ -299,6 +310,79 @@ impl ArtifactStore {
             .collect())
     }
 
+    /// Audits one artifact: checks **every** section checksum and reports
+    /// all failures with byte offsets, instead of stopping at the first
+    /// bad section the way [`ArtifactStore::verify`] does.
+    pub fn audit(&self, name: &str) -> Result<ArtifactAudit> {
+        Self::validate_name(name)?;
+        let path = self.ckpt_path(name);
+        if !path.exists() {
+            return Err(CheckpointError::MissingSection {
+                name: format!("artifact '{name}' in {}", self.dir.display()),
+            });
+        }
+        let bytes = std::fs::read(&path)?;
+        Ok(audit_bytes(&bytes))
+    }
+
+    /// Moves a damaged artifact (and its provenance sidecar) into the
+    /// store's `quarantine/` subdirectory, removing it from the listing
+    /// while preserving the bytes for post-mortem. Returns the new path
+    /// of the quarantined `.ckpt` file.
+    pub fn quarantine(&self, name: &str) -> Result<PathBuf> {
+        Self::validate_name(name)?;
+        let src = self.ckpt_path(name);
+        if !src.exists() {
+            return Err(CheckpointError::MissingSection {
+                name: format!("artifact '{name}' in {}", self.dir.display()),
+            });
+        }
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        std::fs::create_dir_all(&qdir)?;
+        let dst = qdir.join(format!("{name}.{CKPT_EXT}"));
+        std::fs::rename(&src, &dst)?;
+        let meta_src = self.meta_path(name);
+        if meta_src.exists() {
+            std::fs::rename(&meta_src, qdir.join(format!("{name}{META_SUFFIX}")))?;
+        }
+        obs::global().counter("store_quarantined_total").inc();
+        Ok(dst)
+    }
+
+    /// Loads an artifact under a bounded retry policy: transient failures
+    /// (IO errors, checksum mismatches from a torn concurrent write) are
+    /// retried with deterministic backoff before the error surfaces.
+    pub fn load_with_retry(
+        &self,
+        name: &str,
+        policy: &RetryPolicy,
+        clock: &dyn Clock,
+    ) -> Result<Artifact> {
+        with_retry(policy, clock, || self.load(name))
+    }
+
+    /// Loads an artifact with retries; if the failure persists *and* is
+    /// corruption-class (transient per [`is_transient`] but unrecoverable
+    /// by rereading), the artifact is quarantined and `Ok(None)` is
+    /// returned so a caller can fall back to an older version instead of
+    /// aborting the whole run. Permanent errors (missing artifact, wrong
+    /// kind) still surface as `Err`.
+    pub fn load_or_quarantine(
+        &self,
+        name: &str,
+        policy: &RetryPolicy,
+        clock: &dyn Clock,
+    ) -> Result<Option<Artifact>> {
+        match self.load_with_retry(name, policy, clock) {
+            Ok(a) => Ok(Some(a)),
+            Err(e) if is_transient(&e) => {
+                self.quarantine(name)?;
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Removes an artifact and its provenance sidecar.
     pub fn remove(&self, name: &str) -> Result<()> {
         Self::validate_name(name)?;
@@ -442,6 +526,105 @@ mod tests {
         let report = store.verify_all().unwrap();
         assert_eq!(report.len(), 1);
         assert!(report[0].1.is_some());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn audit_lists_all_bad_sections() {
+        let store = tmp_store("audit");
+        let prov = Provenance::new("test-kind", "{}", 0);
+        let mut b = ArtifactBuilder::new("test-kind");
+        b.add_f64s("a", &[1.0, 2.0]);
+        b.add_f64s("b", &[3.0, 4.0]);
+        let path = store.save("multi", &b, &prov).unwrap();
+        let clean = store.audit("multi").unwrap();
+        assert!(clean.is_clean());
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let off_a = clean
+            .sections
+            .iter()
+            .find(|s| s.name == "a")
+            .unwrap()
+            .offset;
+        let off_b = clean
+            .sections
+            .iter()
+            .find(|s| s.name == "b")
+            .unwrap()
+            .offset;
+        bytes[off_a as usize] ^= 0xFF;
+        bytes[off_b as usize] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let audit = store.audit("multi").unwrap();
+        let failures = audit.failures();
+        assert_eq!(
+            failures.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn quarantine_removes_from_listing_but_keeps_bytes() {
+        let store = tmp_store("quarantine");
+        let prov = Provenance::new("test-kind", "{}", 0);
+        let path = store.save("bad", &sample_builder(), &prov).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let qpath = store.quarantine("bad").unwrap();
+        assert!(qpath.exists());
+        assert!(!path.exists());
+        assert!(store.names().unwrap().is_empty());
+        // Sidecar went with it.
+        assert!(qpath.parent().unwrap().join("bad.meta.json").exists());
+        assert!(matches!(
+            store.quarantine("bad"),
+            Err(CheckpointError::MissingSection { .. })
+        ));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn load_or_quarantine_falls_back_on_persistent_corruption() {
+        use crate::retry::{RecordingClock, RetryPolicy};
+        let store = tmp_store("loadq");
+        let prov = Provenance::new("test-kind", "{}", 0);
+        let clock = RecordingClock::new();
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_backoff_ms: 1,
+        };
+
+        // Healthy artifact loads with zero retries.
+        store.save("ok", &sample_builder(), &prov).unwrap();
+        let got = store.load_or_quarantine("ok", &policy, &clock).unwrap();
+        assert!(got.is_some());
+        assert!(clock.sleeps().is_empty());
+
+        // Corrupt artifact: retried, then quarantined, then Ok(None).
+        let path = store.save("corrupt", &sample_builder(), &prov).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let got = store
+            .load_or_quarantine("corrupt", &policy, &clock)
+            .unwrap();
+        assert!(got.is_none());
+        assert_eq!(clock.sleeps(), vec![1, 2]);
+        assert!(!path.exists());
+        assert!(store
+            .dir()
+            .join(QUARANTINE_DIR)
+            .join("corrupt.ckpt")
+            .exists());
+
+        // Missing artifact is a permanent error, not a quarantine.
+        assert!(store.load_or_quarantine("absent", &policy, &clock).is_err());
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

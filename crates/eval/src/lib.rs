@@ -25,4 +25,4 @@ pub mod tables;
 pub use harness::{
     compare, compare_multi_seed, default_methods, AggregateResult, DatasetInput, MethodResult,
 };
-pub use metrics::{evaluate_tod, RmseTriple};
+pub use metrics::{evaluate_tod, evaluate_tod_masked, masked_speed_rmse, RmseTriple};

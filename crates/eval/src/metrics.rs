@@ -8,7 +8,7 @@
 
 use datagen::dataset::simulate;
 use datagen::Dataset;
-use roadnet::{Result, TodTensor};
+use roadnet::{LinkTensor, Result, RoadnetError, TodTensor};
 use serde::{Deserialize, Serialize};
 
 /// The three RMSE numbers of one table cell group.
@@ -37,6 +37,72 @@ pub fn evaluate_tod(ds: &Dataset, recovered: &TodTensor) -> Result<RmseTriple> {
     let out = simulate(&ds.net, &ds.ods, &ds.sim_config, recovered)?;
     let volume = ds.groundtruth_volume.rmse(&out.volume)?;
     let speed = ds.observed_speed.rmse(&out.speed)?;
+    Ok(RmseTriple { tod, volume, speed })
+}
+
+/// Masked variant of the paper's speed RMSE: cells whose mask entry is
+/// `false` (dropped-out sensors) are excluded from both the numerator and
+/// the denominator, instead of entering as zero-filled readings that
+/// would swamp the metric. The mask is row-major `links x t`, matching
+/// the [`LinkTensor`] layout. Intervals with no observed cell contribute
+/// nothing; a fully masked-out tensor scores `0.0`.
+pub fn masked_speed_rmse(
+    observed: &LinkTensor,
+    simulated: &LinkTensor,
+    mask: &[bool],
+) -> Result<f64> {
+    let (rows, t) = (observed.rows(), observed.num_intervals());
+    if simulated.rows() != rows || simulated.num_intervals() != t {
+        return Err(RoadnetError::ShapeMismatch {
+            expected: format!("{rows} x {t}"),
+            actual: format!("{} x {}", simulated.rows(), simulated.num_intervals()),
+        });
+    }
+    if mask.len() != rows * t {
+        return Err(RoadnetError::ShapeMismatch {
+            expected: format!("mask of {} cells", rows * t),
+            actual: format!("mask of {} cells", mask.len()),
+        });
+    }
+    let (a, b) = (observed.as_slice(), simulated.as_slice());
+    let mut acc = 0.0;
+    let mut used_intervals = 0usize;
+    for ti in 0..t {
+        let mut sq = 0.0;
+        let mut n = 0usize;
+        for r in 0..rows {
+            let idx = r * t + ti;
+            if mask[idx] {
+                let d = a[idx] - b[idx];
+                sq += d * d;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            acc += (sq / n as f64).sqrt();
+            used_intervals += 1;
+        }
+    }
+    Ok(if used_intervals == 0 {
+        0.0
+    } else {
+        acc / used_intervals as f64
+    })
+}
+
+/// [`evaluate_tod`] under partial sensor coverage: the TOD and volume
+/// RMSEs are unchanged (ground truth is fully known in simulation), but
+/// the speed RMSE is computed only over the cells the mask marks as
+/// observed — the degradation-report metric of the fault harness.
+pub fn evaluate_tod_masked(
+    ds: &Dataset,
+    recovered: &TodTensor,
+    mask: &[bool],
+) -> Result<RmseTriple> {
+    let tod = ds.groundtruth_tod.rmse(recovered)?;
+    let out = simulate(&ds.net, &ds.ods, &ds.sim_config, recovered)?;
+    let volume = ds.groundtruth_volume.rmse(&out.volume)?;
+    let speed = masked_speed_rmse(&ds.observed_speed, &out.speed, mask)?;
     Ok(RmseTriple { tod, volume, speed })
 }
 
@@ -74,6 +140,43 @@ mod tests {
         let r = evaluate_tod(&ds, &zero).unwrap();
         assert!(r.tod > 0.0);
         assert!(r.speed > 0.0, "empty network must mis-predict speeds");
+    }
+
+    #[test]
+    fn masked_rmse_excludes_dropped_cells() {
+        let obs = LinkTensor::from_data(2, 2, vec![10.0, 10.0, 20.0, 20.0]).unwrap();
+        // Link 1 is badly mis-predicted.
+        let sim = LinkTensor::from_data(2, 2, vec![10.0, 10.0, 0.0, 0.0]).unwrap();
+        let full = vec![true; 4];
+        let r_full = masked_speed_rmse(&obs, &sim, &full).unwrap();
+        assert!(r_full > 0.0);
+        // All-observed mask reproduces the plain metric exactly.
+        assert_eq!(r_full, obs.rmse(&sim).unwrap());
+        // Masking the bad link out leaves a perfect score: excluded, not
+        // zero-filled.
+        let drop_link1 = vec![true, true, false, false];
+        assert_eq!(masked_speed_rmse(&obs, &sim, &drop_link1).unwrap(), 0.0);
+        // Nothing observed at all degrades to 0, not NaN.
+        assert_eq!(masked_speed_rmse(&obs, &sim, &[false; 4]).unwrap(), 0.0);
+        // Shape errors are typed.
+        assert!(masked_speed_rmse(&obs, &sim, &[true; 3]).is_err());
+        let short = LinkTensor::zeros(2, 1);
+        assert!(masked_speed_rmse(&obs, &short, &full).is_err());
+    }
+
+    #[test]
+    fn masked_evaluation_scores_groundtruth_zero_under_dropout() {
+        let ds = ds();
+        let cells = ds.observed_speed.rows() * ds.observed_speed.num_intervals();
+        // Drop every third cell.
+        let mask: Vec<bool> = (0..cells).map(|i| i % 3 != 0).collect();
+        let r = evaluate_tod_masked(&ds, &ds.groundtruth_tod, &mask).unwrap();
+        assert_eq!(r.speed, 0.0);
+        assert_eq!(r.tod, 0.0);
+        // And a wrong TOD still scores worse than truth on masked speed.
+        let zero = TodTensor::zeros(ds.n_od(), 3);
+        let r_zero = evaluate_tod_masked(&ds, &zero, &mask).unwrap();
+        assert!(r_zero.speed > 0.0);
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Observation-layer fault injection: corrupting the speed tensor.
+//!
+//! [`corrupt_observation`] applies the plan's sensor faults to a clean
+//! `links x T` speed tensor and returns the corrupted tensor together
+//! with an observation mask and per-kind counts. Each link draws from its
+//! own RNG stream (`Rng64::for_index(seed, link)`), and links are
+//! processed independently, so the result is **bit-identical for every
+//! worker-thread count** — the same contract the data-generation layer
+//! keeps.
+
+use crate::plan::ObservationFaults;
+use neural::rng::Rng64;
+use obs::global;
+use rayon::prelude::*;
+use roadnet::LinkTensor;
+
+/// Stable counters: cells dropped, links stuck, cells corrupted to
+/// non-finite values, and noisy cells, across all `corrupt_observation`
+/// calls in this process.
+pub const OBS_DROPPED: &str = "fault_obs_dropped_cells_total";
+/// See [`OBS_DROPPED`].
+pub const OBS_STUCK: &str = "fault_obs_stuck_links_total";
+/// See [`OBS_DROPPED`].
+pub const OBS_NONFINITE: &str = "fault_obs_nonfinite_cells_total";
+/// See [`OBS_DROPPED`].
+pub const OBS_NOISY: &str = "fault_obs_noisy_cells_total";
+
+/// Per-kind injection counts of one corruption pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObservationStats {
+    /// Cells dropped by sensor outage (masked out).
+    pub dropped_cells: usize,
+    /// Links whose sensor froze at some onset interval.
+    pub stuck_links: usize,
+    /// Cells corrupted to `NaN`/`Inf`, then sanitised and masked out.
+    pub nonfinite_cells: usize,
+    /// Cells that received additive Gaussian noise.
+    pub noisy_cells: usize,
+}
+
+/// A corrupted speed tensor plus everything needed to handle it honestly.
+#[derive(Debug, Clone)]
+pub struct CorruptedObservation {
+    /// The corrupted tensor. Non-finite injections are already sanitised
+    /// to `0.0` so downstream tensor code never sees `NaN`; the mask is
+    /// the source of truth for which cells are usable.
+    pub speed: LinkTensor,
+    /// Row-major `links x T` observation mask: `true` = the reading is
+    /// present and trusted (stuck readings stay `true` — staleness is
+    /// undetectable at the sensor level).
+    pub mask: Vec<bool>,
+    /// Per-kind injection counts.
+    pub stats: ObservationStats,
+}
+
+impl CorruptedObservation {
+    /// Fraction of cells still observed.
+    pub fn observed_fraction(&self) -> f64 {
+        if self.mask.is_empty() {
+            return 1.0;
+        }
+        self.mask.iter().filter(|&&m| m).count() as f64 / self.mask.len() as f64
+    }
+
+    /// Fills masked-out cells with the link's mean observed speed (or the
+    /// tensor-wide mean if a link lost every reading), producing the
+    /// finite, fully-populated tensor the fitting pipeline consumes.
+    /// Evaluation must still use [`CorruptedObservation::mask`] — imputed
+    /// cells are guesses, not observations.
+    pub fn imputed(&self) -> LinkTensor {
+        let (rows, t) = (self.speed.rows(), self.speed.num_intervals());
+        let src = self.speed.as_slice();
+        let mut global_sum = 0.0;
+        let mut global_n = 0usize;
+        for (&v, &m) in src.iter().zip(&self.mask) {
+            if m {
+                global_sum += v;
+                global_n += 1;
+            }
+        }
+        let global_mean = if global_n > 0 {
+            global_sum / global_n as f64
+        } else {
+            0.0
+        };
+        let mut data = src.to_vec();
+        let link_rows = src
+            .chunks_exact(t.max(1))
+            .zip(self.mask.chunks_exact(t.max(1)))
+            .zip(data.chunks_exact_mut(t.max(1)));
+        for ((row_src, row_mask), row_out) in link_rows {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for (&v, &m) in row_src.iter().zip(row_mask) {
+                if m {
+                    sum += v;
+                    n += 1;
+                }
+            }
+            let fill = if n > 0 { sum / n as f64 } else { global_mean };
+            for (v, &m) in row_out.iter_mut().zip(row_mask) {
+                if !m {
+                    *v = fill;
+                }
+            }
+        }
+        // lint: allow(panic) — data is a copy of the source tensor's
+        // buffer, so rows x t is its exact shape
+        LinkTensor::from_data(rows, t, data).expect("imputed tensor keeps the source shape")
+    }
+}
+
+/// Per-link corruption: value row, mask row, and local counts.
+struct LinkOutcome {
+    values: Vec<f64>,
+    mask: Vec<bool>,
+    stats: ObservationStats,
+}
+
+fn corrupt_link(clean_row: &[f64], faults: &ObservationFaults, mut rng: Rng64) -> LinkOutcome {
+    let t = clean_row.len();
+    let mut values = clean_row.to_vec();
+    let mut mask = vec![true; t];
+    let mut stats = ObservationStats::default();
+
+    // The draw order below is part of the determinism contract: stuck
+    // decision + onset first, then per cell dropout, non-finite, noise.
+    let is_stuck = rng.uniform() < faults.stuck;
+    let onset = rng.index(t.max(1));
+    if is_stuck {
+        if let Some(&frozen) = clean_row.get(onset) {
+            stats.stuck_links = 1;
+            for v in values.iter_mut().skip(onset) {
+                *v = frozen;
+            }
+        }
+    }
+
+    for (v, m) in values.iter_mut().zip(mask.iter_mut()) {
+        let drop_u = rng.uniform();
+        let nonfinite_u = rng.uniform();
+        let noise = rng.normal();
+        if drop_u < faults.dropout {
+            stats.dropped_cells += 1;
+            *m = false;
+            *v = 0.0;
+        } else if nonfinite_u < faults.nonfinite {
+            // The injected value would be NaN or Inf; the sanitiser
+            // detects it immediately, so the surviving artifact is a
+            // masked-out zero plus a counter increment.
+            stats.nonfinite_cells += 1;
+            *m = false;
+            *v = 0.0;
+        } else if faults.noise_std > 0.0 {
+            stats.noisy_cells += 1;
+            *v = (*v + faults.noise_std * noise).max(0.0);
+        }
+    }
+    LinkOutcome {
+        values,
+        mask,
+        stats,
+    }
+}
+
+/// Applies observation faults to a clean speed tensor.
+///
+/// Deterministic in `(clean, faults, seed)` and bit-identical across
+/// worker-thread counts: link `j` always consumes stream
+/// `Rng64::for_index(seed, j)` regardless of which thread processes it.
+pub fn corrupt_observation(
+    clean: &LinkTensor,
+    faults: &ObservationFaults,
+    seed: u64,
+) -> CorruptedObservation {
+    let (rows, t) = (clean.rows(), clean.num_intervals());
+    let src = clean.as_slice();
+    let outcomes: Vec<LinkOutcome> = (0..rows)
+        .into_par_iter()
+        .map(|j| {
+            let rng = Rng64::for_index(seed, j as u64);
+            let row = src.get(j * t..(j + 1) * t).unwrap_or_default();
+            corrupt_link(row, faults, rng)
+        })
+        .collect();
+
+    let mut data = Vec::with_capacity(rows * t);
+    let mut mask = Vec::with_capacity(rows * t);
+    let mut stats = ObservationStats::default();
+    for o in outcomes {
+        data.extend_from_slice(&o.values);
+        mask.extend_from_slice(&o.mask);
+        stats.dropped_cells += o.stats.dropped_cells;
+        stats.stuck_links += o.stats.stuck_links;
+        stats.nonfinite_cells += o.stats.nonfinite_cells;
+        stats.noisy_cells += o.stats.noisy_cells;
+    }
+    let reg = global();
+    reg.counter(OBS_DROPPED).add(stats.dropped_cells as u64);
+    reg.counter(OBS_STUCK).add(stats.stuck_links as u64);
+    reg.counter(OBS_NONFINITE).add(stats.nonfinite_cells as u64);
+    reg.counter(OBS_NOISY).add(stats.noisy_cells as u64);
+    CorruptedObservation {
+        // lint: allow(panic) — every outcome row is t long, so the
+        // reassembled buffer is exactly rows x t
+        speed: LinkTensor::from_data(rows, t, data).expect("corruption keeps the source shape"),
+        mask,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ObservationFaults;
+
+    fn clean(rows: usize, t: usize) -> LinkTensor {
+        let data: Vec<f64> = (0..rows * t).map(|i| 5.0 + (i % 7) as f64).collect();
+        LinkTensor::from_data(rows, t, data).unwrap()
+    }
+
+    #[test]
+    fn inert_faults_leave_the_tensor_untouched() {
+        let c = clean(4, 6);
+        let out = corrupt_observation(&c, &ObservationFaults::default(), 9);
+        assert_eq!(out.speed.as_slice(), c.as_slice());
+        assert!(out.mask.iter().all(|&m| m));
+        assert_eq!(out.stats, ObservationStats::default());
+        assert_eq!(out.observed_fraction(), 1.0);
+    }
+
+    #[test]
+    fn dropout_masks_cells_and_counts_them() {
+        let c = clean(20, 10);
+        let faults = ObservationFaults {
+            dropout: 0.4,
+            ..Default::default()
+        };
+        let out = corrupt_observation(&c, &faults, 3);
+        let masked = out.mask.iter().filter(|&&m| !m).count();
+        assert_eq!(masked, out.stats.dropped_cells);
+        assert!(masked > 0, "40% dropout on 200 cells must drop something");
+        // Dropped cells are sanitised, not NaN.
+        assert!(out.speed.as_slice().iter().all(|v| v.is_finite()));
+        assert!(out.observed_fraction() < 1.0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_bit_exactly_and_seeds_differ() {
+        let c = clean(12, 8);
+        let faults = ObservationFaults {
+            dropout: 0.2,
+            noise_std: 0.7,
+            stuck: 0.3,
+            nonfinite: 0.05,
+        };
+        let a = corrupt_observation(&c, &faults, 11);
+        let b = corrupt_observation(&c, &faults, 11);
+        assert_eq!(a.speed.as_slice(), b.speed.as_slice());
+        assert_eq!(a.mask, b.mask);
+        assert_eq!(a.stats, b.stats);
+        let other = corrupt_observation(&c, &faults, 12);
+        assert_ne!(a.speed.as_slice(), other.speed.as_slice());
+    }
+
+    #[test]
+    fn stuck_links_repeat_the_onset_reading_but_stay_masked_in() {
+        let c = clean(50, 6);
+        let faults = ObservationFaults {
+            stuck: 1.0,
+            ..Default::default()
+        };
+        let out = corrupt_observation(&c, &faults, 5);
+        assert_eq!(out.stats.stuck_links, 50);
+        // Staleness is undetected: everything still reads as observed.
+        assert!(out.mask.iter().all(|&m| m));
+        let (t, s) = (6, out.speed.as_slice());
+        for j in 0..50 {
+            let row = &s[j * t..(j + 1) * t];
+            let last = row[t - 1];
+            // The tail of every row is constant from the onset on.
+            assert!(row.iter().rev().take_while(|&&v| v == last).count() >= 1);
+        }
+    }
+
+    #[test]
+    fn imputed_fills_masked_cells_with_link_means() {
+        let c = LinkTensor::from_data(2, 3, vec![10.0, 20.0, 30.0, 7.0, 7.0, 7.0]).unwrap();
+        let out = CorruptedObservation {
+            speed: LinkTensor::from_data(2, 3, vec![10.0, 0.0, 30.0, 0.0, 0.0, 0.0]).unwrap(),
+            mask: vec![true, false, true, false, false, false],
+            stats: ObservationStats::default(),
+        };
+        let imp = out.imputed();
+        // Link 0 mean over observed cells = (10 + 30) / 2.
+        assert_eq!(imp.as_slice()[1], 20.0);
+        // Link 1 lost everything: falls back to the global observed mean.
+        assert_eq!(imp.as_slice()[3], 20.0);
+        // Observed cells are untouched.
+        assert_eq!(imp.as_slice()[0], 10.0);
+        assert_eq!(imp.as_slice()[2], 30.0);
+        let _ = c;
+    }
+
+    #[test]
+    fn noise_perturbs_but_never_goes_negative() {
+        let c = clean(10, 10);
+        let faults = ObservationFaults {
+            noise_std: 50.0,
+            ..Default::default()
+        };
+        let out = corrupt_observation(&c, &faults, 2);
+        assert_eq!(out.stats.noisy_cells, 100);
+        assert!(out.speed.as_slice().iter().all(|&v| v >= 0.0));
+        assert_ne!(out.speed.as_slice(), c.as_slice());
+    }
+}

@@ -1,0 +1,531 @@
+//! The fault plan: what to break, where, and under which seed.
+//!
+//! A [`FaultPlan`] is the single declarative input of the harness. It is
+//! loaded from a small TOML subset (flat sections, scalar and
+//! one-dimensional array values — exactly what a plan needs, parsed by a
+//! ~100-line hand-rolled reader so the crate stays dependency-free) or
+//! built in code. Every stochastic decision the plan induces is derived
+//! from [`FaultPlan::seed`] through per-index RNG streams, so a plan is a
+//! complete, replayable description of an outage scenario.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::Path;
+
+/// Which training stage a training fault targets.
+///
+/// Mirrors [`ovs_core::Stage`] but lives here so plans parse without
+/// pulling trainer types into the plan grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageSel {
+    /// Stage 1: volume-to-speed pre-training.
+    V2s,
+    /// Stage 2: TOD-to-volume training.
+    Tod2v,
+    /// Stage 3: test-time TOD fitting.
+    Fit,
+    /// Any stage: the step list applies to all three loops.
+    Any,
+}
+
+impl StageSel {
+    /// Parses the plan-file spelling.
+    pub fn parse(s: &str) -> Result<Self, PlanError> {
+        match s {
+            "v2s" => Ok(Self::V2s),
+            "tod2v" => Ok(Self::Tod2v),
+            "fit" => Ok(Self::Fit),
+            "any" => Ok(Self::Any),
+            other => Err(PlanError::new(format!(
+                "unknown stage '{other}' (expected v2s|tod2v|fit|any)"
+            ))),
+        }
+    }
+
+    /// Does this selector cover the given trainer stage?
+    pub fn matches(self, stage: ovs_core::Stage) -> bool {
+        matches!(
+            (self, stage),
+            (Self::Any, _)
+                | (Self::V2s, ovs_core::Stage::V2s)
+                | (Self::Tod2v, ovs_core::Stage::Tod2v)
+                | (Self::Fit, ovs_core::Stage::Fit)
+        )
+    }
+}
+
+/// Layer 1: faults applied to the observed speed tensor before fitting.
+///
+/// All fields are probabilities per cell or per link in `[0, 1]`, except
+/// `noise_std` (additive Gaussian sigma in m/s).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationFaults {
+    /// Probability that a `(link, interval)` reading is dropped entirely
+    /// (sensor outage — detected, excluded via the mask).
+    pub dropout: f64,
+    /// Sigma of additive Gaussian noise on surviving readings, in m/s.
+    pub noise_std: f64,
+    /// Probability that a link's sensor gets *stuck*: from a random onset
+    /// interval onward it repeats its last reading. Undetected — the mask
+    /// still marks those cells observed.
+    pub stuck: f64,
+    /// Probability that a surviving reading is corrupted to `NaN`/`Inf`.
+    /// Detected by the sanitiser and converted to a masked-out cell.
+    pub nonfinite: f64,
+}
+
+impl Default for ObservationFaults {
+    fn default() -> Self {
+        Self {
+            dropout: 0.0,
+            noise_std: 0.0,
+            stuck: 0.0,
+            nonfinite: 0.0,
+        }
+    }
+}
+
+impl ObservationFaults {
+    /// Is any observation fault actually enabled?
+    pub fn is_active(&self) -> bool {
+        self.dropout > 0.0 || self.noise_std > 0.0 || self.stuck > 0.0 || self.nonfinite > 0.0
+    }
+
+    fn validate(&self) -> Result<(), PlanError> {
+        for (name, p) in [
+            ("dropout", self.dropout),
+            ("stuck", self.stuck),
+            ("nonfinite", self.nonfinite),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(PlanError::new(format!(
+                    "observation.{name} = {p} is not a probability in [0, 1]"
+                )));
+            }
+        }
+        if !self.noise_std.is_finite() || self.noise_std < 0.0 {
+            return Err(PlanError::new(format!(
+                "observation.noise_std = {} must be finite and >= 0",
+                self.noise_std
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Layer 2: faults injected into the training loops.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainingFaults {
+    /// Which stage the step lists refer to (`None` = any stage).
+    pub stage: Option<StageSel>,
+    /// Steps at which the loss is forced to `NaN` after the real update
+    /// computed it (simulating a numeric blow-up).
+    pub nonfinite_steps: Vec<usize>,
+    /// Steps at which the checkpoint-write hook is made to fail
+    /// (simulating an interrupted write).
+    pub ckpt_fail_steps: Vec<usize>,
+    /// `false` (default): each listed fault fires once — a transient
+    /// fault the rollback retry replays past. `true`: the fault fires on
+    /// every visit to the step — a persistent fault that must exhaust the
+    /// retry budget and surface as `TrainError::Diverged`.
+    pub persistent: bool,
+}
+
+impl TrainingFaults {
+    /// Is any training fault actually enabled?
+    pub fn is_active(&self) -> bool {
+        !self.nonfinite_steps.is_empty() || !self.ckpt_fail_steps.is_empty()
+    }
+}
+
+/// Layer 3: faults applied to checkpoint artifacts at rest.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StorageFaults {
+    /// Number of single-bit flips applied at seeded positions within the
+    /// payload region of the artifact file.
+    pub bit_flips: u32,
+    /// Bytes chopped off the end of the file (0 = no truncation).
+    pub truncate_bytes: u64,
+}
+
+impl StorageFaults {
+    /// Is any storage fault actually enabled?
+    pub fn is_active(&self) -> bool {
+        self.bit_flips > 0 || self.truncate_bytes > 0
+    }
+}
+
+/// The degradation-sweep grid: the cartesian product of these two axes is
+/// evaluated by [`crate::report::degradation_report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepGrid {
+    /// Dropout fractions to sweep.
+    pub dropouts: Vec<f64>,
+    /// Noise sigmas (m/s) to sweep.
+    pub noise_stds: Vec<f64>,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        Self {
+            dropouts: vec![0.0, 0.1, 0.3],
+            noise_stds: vec![0.0],
+        }
+    }
+}
+
+/// A complete, seeded fault scenario.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Master seed: every injected fault derives from per-index streams
+    /// of this value, so the whole scenario replays bit-exactly.
+    pub seed: u64,
+    /// Observation-layer faults.
+    pub observation: ObservationFaults,
+    /// Training-layer faults.
+    pub training: TrainingFaults,
+    /// Storage-layer faults.
+    pub storage: StorageFaults,
+    /// Degradation-sweep axes.
+    pub sweep: SweepGrid,
+}
+
+/// A plan-file parse or validation failure, with a line number when the
+/// failure is tied to one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line of the offending statement, if known.
+    pub line: Option<usize>,
+}
+
+impl PlanError {
+    fn new(message: String) -> Self {
+        Self {
+            message,
+            line: None,
+        }
+    }
+
+    fn at(line: usize, message: String) -> Self {
+        Self {
+            message,
+            line: Some(line),
+        }
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(n) => write!(f, "fault plan line {n}: {}", self.message),
+            None => write!(f, "fault plan: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One parsed right-hand side of the TOML subset.
+enum Value {
+    Num(f64),
+    Bool(bool),
+    Str(String),
+    Array(Vec<f64>),
+}
+
+impl Value {
+    fn parse(raw: &str, line: usize) -> Result<Self, PlanError> {
+        let raw = raw.trim();
+        if raw == "true" {
+            return Ok(Self::Bool(true));
+        }
+        if raw == "false" {
+            return Ok(Self::Bool(false));
+        }
+        if let Some(inner) = raw.strip_prefix('[') {
+            let Some(inner) = inner.strip_suffix(']') else {
+                return Err(PlanError::at(line, format!("unterminated array '{raw}'")));
+            };
+            let mut out = Vec::new();
+            for item in inner.split(',') {
+                let item = item.trim();
+                if item.is_empty() {
+                    continue;
+                }
+                out.push(item.parse::<f64>().map_err(|_| {
+                    PlanError::at(line, format!("array element '{item}' is not a number"))
+                })?);
+            }
+            return Ok(Self::Array(out));
+        }
+        if let Some(inner) = raw.strip_prefix('"') {
+            let Some(inner) = inner.strip_suffix('"') else {
+                return Err(PlanError::at(line, format!("unterminated string {raw}")));
+            };
+            return Ok(Self::Str(inner.to_string()));
+        }
+        raw.parse::<f64>()
+            .map(Self::Num)
+            .map_err(|_| PlanError::at(line, format!("cannot parse value '{raw}'")))
+    }
+
+    fn num(&self, key: &str, line: usize) -> Result<f64, PlanError> {
+        match self {
+            Self::Num(v) => Ok(*v),
+            _ => Err(PlanError::at(line, format!("{key} expects a number"))),
+        }
+    }
+
+    fn uint(&self, key: &str, line: usize) -> Result<u64, PlanError> {
+        let v = self.num(key, line)?;
+        if v < 0.0 || v.fract() != 0.0 || v > u64::MAX as f64 {
+            return Err(PlanError::at(
+                line,
+                format!("{key} expects a non-negative integer, got {v}"),
+            ));
+        }
+        Ok(v as u64)
+    }
+
+    fn boolean(&self, key: &str, line: usize) -> Result<bool, PlanError> {
+        match self {
+            Self::Bool(b) => Ok(*b),
+            _ => Err(PlanError::at(line, format!("{key} expects true/false"))),
+        }
+    }
+
+    fn string(&self, key: &str, line: usize) -> Result<&str, PlanError> {
+        match self {
+            Self::Str(s) => Ok(s),
+            _ => Err(PlanError::at(line, format!("{key} expects a string"))),
+        }
+    }
+
+    fn array(&self, key: &str, line: usize) -> Result<&[f64], PlanError> {
+        match self {
+            Self::Array(v) => Ok(v),
+            _ => Err(PlanError::at(line, format!("{key} expects an array"))),
+        }
+    }
+
+    fn step_list(&self, key: &str, line: usize) -> Result<Vec<usize>, PlanError> {
+        let mut out = BTreeSet::new();
+        for &v in self.array(key, line)? {
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(PlanError::at(
+                    line,
+                    format!("{key} expects non-negative integer steps, got {v}"),
+                ));
+            }
+            out.insert(v as usize);
+        }
+        Ok(out.into_iter().collect())
+    }
+}
+
+impl FaultPlan {
+    /// Parses the TOML-subset plan grammar. Unknown sections and keys are
+    /// rejected so a typo cannot silently disable a fault.
+    pub fn parse(text: &str) -> Result<Self, PlanError> {
+        let mut plan = Self::default();
+        let mut section = String::new();
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            // A '#' inside a quoted string would be cut too; plan
+            // strings (only `training.stage`) never contain one.
+            let line = raw_line.split('#').next().unwrap_or_default().trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let Some(name) = name.strip_suffix(']') else {
+                    return Err(PlanError::at(
+                        line_no,
+                        format!("malformed section '{line}'"),
+                    ));
+                };
+                let name = name.trim();
+                match name {
+                    "observation" | "training" | "storage" | "sweep" => {
+                        section = name.to_string();
+                    }
+                    other => {
+                        return Err(PlanError::at(line_no, format!("unknown section [{other}]")));
+                    }
+                }
+                continue;
+            }
+            let Some((key, raw_value)) = line.split_once('=') else {
+                return Err(PlanError::at(
+                    line_no,
+                    format!("expected 'key = value', got '{line}'"),
+                ));
+            };
+            let key = key.trim();
+            let value = Value::parse(raw_value, line_no)?;
+            plan.apply(&section, key, &value, line_no)?;
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Reads and parses a plan file.
+    pub fn from_file(path: &Path) -> Result<Self, PlanError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| PlanError::new(format!("cannot read {}: {e}", path.display())))?;
+        Self::parse(&text)
+    }
+
+    fn apply(
+        &mut self,
+        section: &str,
+        key: &str,
+        value: &Value,
+        line: usize,
+    ) -> Result<(), PlanError> {
+        match (section, key) {
+            ("", "seed") => self.seed = value.uint("seed", line)?,
+            ("observation", "dropout") => self.observation.dropout = value.num(key, line)?,
+            ("observation", "noise_std") => self.observation.noise_std = value.num(key, line)?,
+            ("observation", "stuck") => self.observation.stuck = value.num(key, line)?,
+            ("observation", "nonfinite") => self.observation.nonfinite = value.num(key, line)?,
+            ("training", "stage") => {
+                self.training.stage = Some(StageSel::parse(value.string(key, line)?)?);
+            }
+            ("training", "nonfinite_steps") => {
+                self.training.nonfinite_steps = value.step_list(key, line)?;
+            }
+            ("training", "ckpt_fail_steps") => {
+                self.training.ckpt_fail_steps = value.step_list(key, line)?;
+            }
+            ("training", "persistent") => self.training.persistent = value.boolean(key, line)?,
+            ("storage", "bit_flips") => {
+                self.storage.bit_flips = value.uint(key, line)?.min(u32::MAX as u64) as u32;
+            }
+            ("storage", "truncate_bytes") => {
+                self.storage.truncate_bytes = value.uint(key, line)?;
+            }
+            ("sweep", "dropouts") => self.sweep.dropouts = value.array(key, line)?.to_vec(),
+            ("sweep", "noise_stds") => self.sweep.noise_stds = value.array(key, line)?.to_vec(),
+            _ => {
+                let place = if section.is_empty() {
+                    "top level".to_string()
+                } else {
+                    format!("section [{section}]")
+                };
+                return Err(PlanError::at(
+                    line,
+                    format!("unknown key '{key}' in {place}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn validate(&self) -> Result<(), PlanError> {
+        self.observation.validate()?;
+        for &d in &self.sweep.dropouts {
+            if !(0.0..=1.0).contains(&d) {
+                return Err(PlanError::new(format!(
+                    "sweep.dropouts entry {d} is not a probability in [0, 1]"
+                )));
+            }
+        }
+        for &n in &self.sweep.noise_stds {
+            if !n.is_finite() || n < 0.0 {
+                return Err(PlanError::new(format!(
+                    "sweep.noise_stds entry {n} must be finite and >= 0"
+                )));
+            }
+        }
+        if self.sweep.dropouts.is_empty() || self.sweep.noise_stds.is_empty() {
+            return Err(PlanError::new(
+                "sweep axes must be non-empty (use [0.0] to pin an axis)".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"
+# demo plan
+seed = 42
+
+[observation]
+dropout = 0.3
+noise_std = 0.5
+stuck = 0.05
+nonfinite = 0.01
+
+[training]
+stage = "fit"
+nonfinite_steps = [12, 3]
+ckpt_fail_steps = [20]
+persistent = false
+
+[storage]
+bit_flips = 3
+truncate_bytes = 0
+
+[sweep]
+dropouts = [0.0, 0.1, 0.3, 0.5]
+noise_stds = [0.0, 0.5]
+"#;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let plan = FaultPlan::parse(FULL).unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.observation.dropout, 0.3);
+        assert_eq!(plan.observation.noise_std, 0.5);
+        assert_eq!(plan.training.stage, Some(StageSel::Fit));
+        // Step lists are sorted and deduplicated.
+        assert_eq!(plan.training.nonfinite_steps, vec![3, 12]);
+        assert_eq!(plan.training.ckpt_fail_steps, vec![20]);
+        assert!(!plan.training.persistent);
+        assert_eq!(plan.storage.bit_flips, 3);
+        assert_eq!(plan.sweep.dropouts.len(), 4);
+        assert!(plan.observation.is_active());
+        assert!(plan.training.is_active());
+        assert!(plan.storage.is_active());
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::parse("seed = 1\n").unwrap();
+        assert!(!plan.observation.is_active());
+        assert!(!plan.training.is_active());
+        assert!(!plan.storage.is_active());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_with_line_numbers() {
+        let err = FaultPlan::parse("seed = 1\n[observation]\ndropuot = 0.3\n").unwrap_err();
+        assert_eq!(err.line, Some(3));
+        assert!(err.to_string().contains("dropuot"), "{err}");
+        let err = FaultPlan::parse("[weather]\nrain = 1.0\n").unwrap_err();
+        assert!(err.to_string().contains("unknown section"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_probabilities_are_rejected() {
+        let err = FaultPlan::parse("[observation]\ndropout = 1.5\n").unwrap_err();
+        assert!(err.to_string().contains("probability"), "{err}");
+        let err = FaultPlan::parse("[sweep]\ndropouts = []\nnoise_stds = [0.0]\n").unwrap_err();
+        assert!(err.to_string().contains("non-empty"), "{err}");
+    }
+
+    #[test]
+    fn stage_selector_matches_trainer_stages() {
+        assert!(StageSel::Any.matches(ovs_core::Stage::V2s));
+        assert!(StageSel::Fit.matches(ovs_core::Stage::Fit));
+        assert!(!StageSel::Fit.matches(ovs_core::Stage::V2s));
+        assert!(StageSel::parse("bogus").is_err());
+    }
+}

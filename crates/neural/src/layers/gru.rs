@@ -139,10 +139,15 @@ impl SeqLayer for Gru {
         let mut dx = Tensor3::zeros(batch, time, self.input);
         let mut dh_next = Matrix::zeros(batch, h);
 
-        for t in (0..time).rev() {
-            let (z_g, r_g, n_g) = &cache.gates[t];
-            let h_prev = &cache.h_prevs[t];
-            let x_t = &cache.xs[t];
+        let steps = cache
+            .gates
+            .iter()
+            .zip(&cache.h_prevs)
+            .zip(&cache.xs)
+            .enumerate()
+            .rev();
+        for (t, ((gates, h_prev), x_t)) in steps {
+            let (z_g, r_g, n_g) = gates;
 
             let mut dh = dy.time_slice(t);
             dh.add_assign(&dh_next);

@@ -102,12 +102,18 @@ impl SeqLayer for Lstm {
             let mut g_g = Matrix::zeros(batch, h);
             let mut o_g = Matrix::zeros(batch, h);
             for bi in 0..batch {
-                let ar = a.row(bi);
-                for hi in 0..h {
-                    i_g.set(bi, hi, sigmoid(ar[hi]));
-                    f_g.set(bi, hi, sigmoid(ar[h + hi]));
-                    g_g.set(bi, hi, ar[2 * h + hi].tanh());
-                    o_g.set(bi, hi, sigmoid(ar[3 * h + hi]));
+                // The pre-activation row is laid out [i | f | g | o], each
+                // block `h` wide; split it so each gate reads its own slice.
+                let (a_i, rest) = a.row(bi).split_at(h);
+                let (a_f, rest) = rest.split_at(h);
+                let (a_g, a_o) = rest.split_at(h);
+                for (hi, (((&vi, &vf), &vg), &vo)) in
+                    a_i.iter().zip(a_f).zip(a_g).zip(a_o).enumerate()
+                {
+                    i_g.set(bi, hi, sigmoid(vi));
+                    f_g.set(bi, hi, sigmoid(vf));
+                    g_g.set(bi, hi, vg.tanh());
+                    o_g.set(bi, hi, sigmoid(vo));
                 }
             }
 
@@ -143,12 +149,17 @@ impl SeqLayer for Lstm {
         let mut dh_next = Matrix::zeros(batch, h);
         let mut dc_next = Matrix::zeros(batch, h);
 
-        for t in (0..time).rev() {
-            let (i_g, f_g, g_g, o_g) = &cache.gates[t];
-            let tanh_c = &cache.tanh_cs[t];
-            let c_prev = &cache.c_prevs[t];
-            let h_prev = &cache.h_prevs[t];
-            let x_t = &cache.xs[t];
+        let steps = cache
+            .gates
+            .iter()
+            .zip(&cache.tanh_cs)
+            .zip(&cache.c_prevs)
+            .zip(&cache.h_prevs)
+            .zip(&cache.xs)
+            .enumerate()
+            .rev();
+        for (t, ((((gates, tanh_c), c_prev), h_prev), x_t)) in steps {
+            let (i_g, f_g, g_g, o_g) = gates;
 
             // dh = dy_t + dh carried from t+1
             let mut dh = dy.time_slice(t);

@@ -127,6 +127,8 @@ impl Matrix {
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
         debug_assert!(r < self.rows && c < self.cols);
+        // lint: allow(panic) — bounds checked by the debug_assert; the
+        // innermost hot-path accessor every kernel funnels through
         self.data[r * self.cols + c]
     }
 
@@ -134,18 +136,26 @@ impl Matrix {
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
         debug_assert!(r < self.rows && c < self.cols);
+        // lint: allow(panic) — bounds checked by the debug_assert; the
+        // innermost hot-path accessor every kernel funnels through
         self.data[r * self.cols + c] = v;
     }
 
     /// One row as a slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        // lint: allow(panic) — bounds checked by the debug_assert; the
+        // innermost hot-path accessor every kernel funnels through
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// One row as a mutable slice.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        // lint: allow(panic) — bounds checked by the debug_assert; the
+        // innermost hot-path accessor every kernel funnels through
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -179,7 +189,7 @@ impl Matrix {
                 .par_chunks_mut(n)
                 .enumerate()
                 .for_each(|(i, out_row)| {
-                    matmul_row_into(&self.data[i * k..(i + 1) * k], rhs, out_row);
+                    matmul_row_into(self.row(i), rhs, out_row);
                 });
             return out;
         }
@@ -211,7 +221,7 @@ impl Matrix {
                 .enumerate()
                 .for_each(|(i, out_row)| {
                     for p in 0..k {
-                        let a = self.data[p * m + i];
+                        let a = self.get(p, i);
                         if a == 0.0 {
                             continue;
                         }
@@ -257,7 +267,7 @@ impl Matrix {
                 .par_chunks_mut(n)
                 .enumerate()
                 .for_each(|(i, out_row)| {
-                    let a_row = &self.data[i * k..(i + 1) * k];
+                    let a_row = self.row(i);
                     for (j, o) in out_row.iter_mut().enumerate() {
                         *o = dot(a_row, rhs.row(j));
                     }
@@ -399,8 +409,9 @@ impl Matrix {
         assert_eq!(self.rows, rhs.rows, "hcat row mismatch");
         let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
         for r in 0..self.rows {
-            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
-            out.row_mut(r)[self.cols..].copy_from_slice(rhs.row(r));
+            let (left, right) = out.row_mut(r).split_at_mut(self.cols);
+            left.copy_from_slice(self.row(r));
+            right.copy_from_slice(rhs.row(r));
         }
         out
     }
@@ -410,6 +421,7 @@ impl Matrix {
         assert!(c0 <= c1 && c1 <= self.cols, "col_slice out of range");
         let mut out = Matrix::zeros(self.rows, c1 - c0);
         for r in 0..self.rows {
+            // lint: allow(panic) — range validated by the assert above
             out.row_mut(r).copy_from_slice(&self.row(r)[c0..c1]);
         }
         out

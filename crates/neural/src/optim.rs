@@ -139,24 +139,41 @@ impl Optimizer for Sgd {
             p.axpy(-self.lr, g);
             return;
         }
-        while self.velocity.len() <= slot {
-            self.velocity.push(Matrix::zeros(0, 0));
-        }
-        let v = &mut self.velocity[slot];
-        if v.shape() != p.shape() {
-            assert!(
-                v.is_empty(),
-                "SGD slot {slot} shape mismatch: momentum state is {:?} but the \
-                 parameter is {:?}; create a fresh optimiser after editing the model",
-                v.shape(),
-                p.shape()
-            );
-            *v = Matrix::zeros(p.rows(), p.cols());
-        }
+        let v = slot_state(&mut self.velocity, slot, p, "SGD");
         v.scale(self.momentum);
         v.axpy(-self.lr, g);
         p.add_assign(v);
     }
+}
+
+/// Grows `states` so `slot` exists, lazily sizes a fresh slot to the
+/// parameter, and returns the slot's state. A slot that already carries
+/// state of a *different* shape means the optimiser is being applied to
+/// a model it was not paired with — refuse loudly instead of silently
+/// mis-pairing state.
+fn slot_state<'s>(
+    states: &'s mut Vec<Matrix>,
+    slot: usize,
+    p: &Matrix,
+    opt_name: &str,
+) -> &'s mut Matrix {
+    if states.len() <= slot {
+        states.resize_with(slot + 1, || Matrix::zeros(0, 0));
+    }
+    // lint: allow(panic) — the resize above guarantees the slot exists
+    let s = &mut states[slot];
+    if s.shape() != p.shape() {
+        assert!(
+            s.is_empty(),
+            "{opt_name} slot {slot} shape mismatch: optimiser state is {:?} but the \
+             parameter is {:?}; an optimiser must stay paired with one model for \
+             its lifetime (create a fresh optimiser after editing the model)",
+            s.shape(),
+            p.shape()
+        );
+        *s = Matrix::zeros(p.rows(), p.cols());
+    }
+    s
 }
 
 /// Adam (Kingma & Ba 2015) with bias correction.
@@ -270,30 +287,10 @@ impl Optimizer for Adam {
     }
 
     fn apply(&mut self, slot: usize, p: &mut Matrix, g: &Matrix) {
-        while self.m.len() <= slot {
-            self.m.push(Matrix::zeros(0, 0));
-            self.v.push(Matrix::zeros(0, 0));
-        }
-        if self.m[slot].shape() != p.shape() {
-            // A fresh (never-initialised) slot is lazily sized to the
-            // parameter; a slot that already carries moment state of a
-            // different shape means the optimiser is being applied to a
-            // model it was not paired with — refuse loudly instead of
-            // silently mis-pairing state.
-            assert!(
-                self.m[slot].is_empty(),
-                "Adam slot {slot} shape mismatch: optimiser state is {:?} but the \
-                 parameter is {:?}; an optimiser must stay paired with one model \
-                 for its lifetime (create a fresh optimiser after editing the model)",
-                self.m[slot].shape(),
-                p.shape()
-            );
-            self.m[slot] = Matrix::zeros(p.rows(), p.cols());
-            self.v[slot] = Matrix::zeros(p.rows(), p.cols());
-        }
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        let (m, v) = (&mut self.m[slot], &mut self.v[slot]);
+        let m = slot_state(&mut self.m, slot, p, "Adam");
+        let v = slot_state(&mut self.v, slot, p, "Adam");
         for ((pv, gv), (mv, vv)) in p
             .as_mut_slice()
             .iter_mut()
@@ -351,20 +348,7 @@ impl Optimizer for RmsProp {
     }
 
     fn apply(&mut self, slot: usize, p: &mut Matrix, g: &Matrix) {
-        while self.v.len() <= slot {
-            self.v.push(Matrix::zeros(0, 0));
-        }
-        if self.v[slot].shape() != p.shape() {
-            assert!(
-                self.v[slot].is_empty(),
-                "RMSProp slot {slot} shape mismatch: state is {:?} but the \
-                 parameter is {:?}; create a fresh optimiser after editing the model",
-                self.v[slot].shape(),
-                p.shape()
-            );
-            self.v[slot] = Matrix::zeros(p.rows(), p.cols());
-        }
-        let v = &mut self.v[slot];
+        let v = slot_state(&mut self.v, slot, p, "RMSProp");
         for ((pv, gv), vv) in p
             .as_mut_slice()
             .iter_mut()

@@ -86,6 +86,7 @@ impl Tensor3 {
     #[inline]
     pub fn get(&self, b: usize, t: usize, f: usize) -> f64 {
         debug_assert!(b < self.b && t < self.t && f < self.f);
+        // lint: allow(panic) — bounds checked by the debug_assert above
         self.data[(b * self.t + t) * self.f + f]
     }
 
@@ -93,20 +94,25 @@ impl Tensor3 {
     #[inline]
     pub fn set(&mut self, b: usize, t: usize, f: usize, v: f64) {
         debug_assert!(b < self.b && t < self.t && f < self.f);
+        // lint: allow(panic) — bounds checked by the debug_assert above
         self.data[(b * self.t + t) * self.f + f] = v;
     }
 
     /// The feature vector at `(b, t)`.
     #[inline]
     pub fn step(&self, b: usize, t: usize) -> &[f64] {
+        debug_assert!(b < self.b && t < self.t);
         let base = (b * self.t + t) * self.f;
+        // lint: allow(panic) — bounds checked by the debug_assert above
         &self.data[base..base + self.f]
     }
 
     /// Mutable feature vector at `(b, t)`.
     #[inline]
     pub fn step_mut(&mut self, b: usize, t: usize) -> &mut [f64] {
+        debug_assert!(b < self.b && t < self.t);
         let base = (b * self.t + t) * self.f;
+        // lint: allow(panic) — bounds checked by the debug_assert above
         &mut self.data[base..base + self.f]
     }
 

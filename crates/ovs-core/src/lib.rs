@@ -40,4 +40,7 @@ pub mod v2s;
 pub use config::{OvsConfig, OvsVariant};
 pub use estimator::{EstimatorInput, TodEstimator};
 pub use model::OvsModel;
-pub use trainer::{OvsTrainer, PipelineCheckpoint, Stage, StageOptions, StageState, TrainReport};
+pub use trainer::{
+    OvsTrainer, PipelineCheckpoint, RecoveryPolicy, Stage, StageOptions, StageState, TrainError,
+    TrainReport, TrainResult,
+};

@@ -31,6 +31,98 @@ use std::time::Instant;
 /// Timing histogram: checkpoint-hook latency, shared by all stages.
 pub const CHECKPOINT_WRITE_SECONDS: &str = "trainer_checkpoint_write_seconds";
 
+/// Typed training failure: either the recovery budget ran out on
+/// persistent non-finite losses/gradients, or an underlying substrate
+/// error surfaced.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The non-finite guard tripped more than the retry budget allows:
+    /// rollback + learning-rate backoff could not get the stage past a
+    /// persistently divergent step.
+    Diverged {
+        /// The stage that diverged.
+        stage: Stage,
+        /// The step whose loss/gradient was non-finite on the final try.
+        step: usize,
+        /// Rollback attempts consumed before giving up.
+        retries: u32,
+    },
+    /// A substrate error (invalid input, shape mismatch, ...).
+    Net(RoadnetError),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Diverged {
+                stage,
+                step,
+                retries,
+            } => write!(
+                f,
+                "stage '{}' diverged at step {step}: loss/gradient stayed non-finite \
+                 through {retries} rollback retries",
+                stage.tag()
+            ),
+            Self::Net(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Net(e) => Some(e),
+            Self::Diverged { .. } => None,
+        }
+    }
+}
+
+impl From<RoadnetError> for TrainError {
+    fn from(e: RoadnetError) -> Self {
+        Self::Net(e)
+    }
+}
+
+impl From<TrainError> for RoadnetError {
+    fn from(e: TrainError) -> Self {
+        match e {
+            TrainError::Net(inner) => inner,
+            diverged => RoadnetError::Internal(diverged.to_string()),
+        }
+    }
+}
+
+/// Result alias for trainer entry points.
+pub type TrainResult<T> = std::result::Result<T, TrainError>;
+
+/// How a stage recovers from non-finite losses or gradients: roll back to
+/// the last good state, optionally shrink the learning rate, and retry a
+/// bounded number of times before declaring [`TrainError::Diverged`].
+///
+/// The first retry replays at the *original* learning rate — a transient
+/// injected fault therefore recovers onto the exact uninjected
+/// trajectory, bit for bit. Only from the second consecutive failure does
+/// the backoff multiplier kick in, trading bit-exactness for survival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Rollback attempts per stretch between good checkpoints before the
+    /// stage gives up.
+    pub max_retries: u32,
+    /// Learning-rate multiplier applied from the second consecutive
+    /// retry onwards.
+    pub lr_backoff: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            lr_backoff: 0.5,
+        }
+    }
+}
+
 /// Per-stage metric handles, resolved once so the step loop stays cheap.
 ///
 /// Names are `trainer_{tag}_*` with the [`Stage::tag`] interpolated:
@@ -45,6 +137,11 @@ struct StageMetrics {
     seconds: obs::Gauge,
     steps_per_sec: obs::Gauge,
     ckpt_seconds: obs::Histogram,
+    nonfinite: obs::Counter,
+    rollbacks: obs::Counter,
+    lr_backoffs: obs::Counter,
+    diverged: obs::Counter,
+    ckpt_failures: obs::Counter,
     // lint: allow(determinism) — Timing-class stage stopwatch.
     start: Instant,
 }
@@ -60,6 +157,11 @@ impl StageMetrics {
             seconds: reg.timing_gauge(&format!("trainer_{tag}_seconds")),
             steps_per_sec: reg.timing_gauge(&format!("trainer_{tag}_steps_per_sec")),
             ckpt_seconds: reg.timing_histogram(CHECKPOINT_WRITE_SECONDS, obs::DURATION_BUCKETS),
+            nonfinite: reg.counter(&format!("trainer_{tag}_nonfinite_total")),
+            rollbacks: reg.counter(&format!("trainer_{tag}_rollbacks_total")),
+            lr_backoffs: reg.counter(&format!("trainer_{tag}_lr_backoffs_total")),
+            diverged: reg.counter(&format!("trainer_{tag}_diverged_total")),
+            ckpt_failures: reg.counter(&format!("trainer_{tag}_ckpt_failures_total")),
             // lint: allow(determinism) — Timing-class measurement.
             start: Instant::now(),
         }
@@ -187,10 +289,21 @@ pub struct StageOptions<'h> {
     pub resume: Option<StageState>,
     /// Emit a checkpoint every this many steps (0 = never).
     pub checkpoint_every: usize,
-    /// Called with the model and the stage state at each checkpoint; an
-    /// error aborts training.
+    /// Called with the model and the stage state at each checkpoint. A
+    /// failing hook does **not** abort training: the failure is counted
+    /// (`trainer_{tag}_ckpt_failures_total`) and the stage keeps its
+    /// previous rollback anchor, exactly as if the write never happened.
     #[allow(clippy::type_complexity)]
     pub on_checkpoint: Option<&'h mut dyn FnMut(&mut OvsModel, &StageState) -> Result<()>>,
+    /// Non-finite recovery policy (rollback + LR backoff + bounded
+    /// retries). `None` uses [`RecoveryPolicy::default`].
+    pub recovery: Option<RecoveryPolicy>,
+    /// Fault-injection tap: called with `(stage, step, &mut loss,
+    /// &mut grad_norm)` after the backward pass and gradient clip, right
+    /// before the non-finite guard scans those two values. Tests poison
+    /// them here to exercise the recovery path.
+    #[allow(clippy::type_complexity)]
+    pub tamper: Option<&'h mut dyn FnMut(Stage, usize, &mut f64, &mut f64)>,
 }
 
 /// A whole-pipeline snapshot: the full model weights plus the in-flight
@@ -251,6 +364,63 @@ fn capture_stage(
         losses: losses.to_vec(),
         best,
         since_best,
+    }
+}
+
+/// Per-stage non-finite recovery bookkeeping: the rollback anchor plus
+/// the retry/backoff state of the stretch since that anchor.
+///
+/// `retries` deliberately does **not** reset on successful steps — only
+/// when the anchor itself moves forward ([`StageGuard::refresh`]). A
+/// persistent fault replays deterministically, so per-step resets would
+/// loop forever; per-stretch budgets guarantee termination.
+struct StageGuard {
+    policy: RecoveryPolicy,
+    base_lr: f64,
+    lr_scale: f64,
+    retries: u32,
+    last_good: StageState,
+}
+
+impl StageGuard {
+    fn new(policy: RecoveryPolicy, base_lr: f64, last_good: StageState) -> Self {
+        Self {
+            policy,
+            base_lr,
+            lr_scale: 1.0,
+            retries: 0,
+            last_good,
+        }
+    }
+
+    /// Registers one non-finite step. Returns the learning rate to run at
+    /// after the rollback, or [`TrainError::Diverged`] once the retry
+    /// budget is spent. The first retry keeps the original rate so a
+    /// transient fault replays the uninjected trajectory bit-exactly.
+    fn trip(&mut self, mx: &StageMetrics, stage: Stage, step: usize) -> TrainResult<f64> {
+        mx.nonfinite.inc();
+        self.retries += 1;
+        if self.retries > self.policy.max_retries {
+            mx.diverged.inc();
+            return Err(TrainError::Diverged {
+                stage,
+                step,
+                retries: self.retries - 1,
+            });
+        }
+        if self.retries >= 2 {
+            self.lr_scale *= self.policy.lr_backoff;
+            mx.lr_backoffs.inc();
+        }
+        mx.rollbacks.inc();
+        Ok(self.base_lr * self.lr_scale)
+    }
+
+    /// Moves the rollback anchor to a freshly captured good state and
+    /// resets the retry budget for the next stretch.
+    fn refresh(&mut self, state: StageState) {
+        self.last_good = state;
+        self.retries = 0;
     }
 }
 
@@ -360,7 +530,7 @@ impl OvsTrainer {
         &self,
         model: &mut OvsModel,
         train: &[crate::estimator::TrainTriple],
-    ) -> Result<Vec<f64>> {
+    ) -> TrainResult<Vec<f64>> {
         self.train_v2s_with(model, train, StageOptions::default())
     }
 
@@ -370,11 +540,12 @@ impl OvsTrainer {
         model: &mut OvsModel,
         train: &[crate::estimator::TrainTriple],
         mut opts: StageOptions<'_>,
-    ) -> Result<Vec<f64>> {
+    ) -> TrainResult<Vec<f64>> {
         if train.is_empty() {
             return Err(RoadnetError::InvalidSpec(
                 "stage 1 requires at least one training triple".into(),
-            ));
+            )
+            .into());
         }
         // Full-batch training: the V2S weights are shared across links, so
         // every link of every sample is just another batch row. One big
@@ -406,29 +577,68 @@ impl OvsTrainer {
             ),
         };
         let mx = StageMetrics::new(&self.obs, Stage::V2s);
-        for step in start..self.cfg.epochs_v2s {
+        let mut guard = StageGuard::new(
+            opts.recovery.unwrap_or_default(),
+            opt.lr(),
+            capture_stage(
+                &mut |f| model.v2s.visit_params(f),
+                Stage::V2s,
+                start,
+                &opt,
+                &losses,
+                f64::INFINITY,
+                0,
+            ),
+        );
+        let mut step = start;
+        while step < self.cfg.epochs_v2s {
             let v_pred = model.v2s.forward(&q_all, true);
-            let (loss, grad) = mse(&v_pred, &v_all);
+            let (mut loss, grad) = mse(&v_pred, &v_all);
             model.v2s.backward(&grad);
-            let norm = clip_grads(&mut |f| model.v2s.visit_params(f), self.cfg.grad_clip);
+            let mut norm = clip_grads(&mut |f| model.v2s.visit_params(f), self.cfg.grad_clip);
+            if let Some(tamper) = opts.tamper.as_mut() {
+                tamper(Stage::V2s, step, &mut loss, &mut norm);
+            }
+            if !loss.is_finite() || !norm.is_finite() {
+                let lr = guard.trip(&mx, Stage::V2s, step)?;
+                checkpoint::module::import_visit(
+                    &mut |f| model.v2s.visit_params(f),
+                    &guard.last_good.weights,
+                )
+                .map_err(|e| RoadnetError::Internal(format!("rollback import rejected: {e}")))?;
+                opt = Adam::from_snapshot(guard.last_good.opt.clone());
+                opt.set_lr(lr);
+                losses.truncate(guard.last_good.losses.len());
+                model.v2s.zero_grad();
+                step = guard.last_good.step;
+                continue;
+            }
             adam_step(&mut opt, &mut |f| model.v2s.visit_params(f));
             model.v2s.zero_grad();
             losses.push(loss);
             mx.record_step(loss, norm);
             if opts.checkpoint_every > 0 && (step + 1) % opts.checkpoint_every == 0 {
+                let state = capture_stage(
+                    &mut |f| model.v2s.visit_params(f),
+                    Stage::V2s,
+                    step + 1,
+                    &opt,
+                    &losses,
+                    f64::INFINITY,
+                    0,
+                );
+                let mut ok = true;
                 if let Some(hook) = opts.on_checkpoint.as_mut() {
-                    let state = capture_stage(
-                        &mut |f| model.v2s.visit_params(f),
-                        Stage::V2s,
-                        step + 1,
-                        &opt,
-                        &losses,
-                        f64::INFINITY,
-                        0,
-                    );
-                    mx.record_checkpoint(|| hook(model, &state))?;
+                    if mx.record_checkpoint(|| hook(model, &state)).is_err() {
+                        mx.ckpt_failures.inc();
+                        ok = false;
+                    }
+                }
+                if ok {
+                    guard.refresh(state);
                 }
             }
+            step += 1;
         }
         mx.finish(&losses, self.cfg.epochs_v2s.saturating_sub(start));
         Ok(losses)
@@ -439,7 +649,7 @@ impl OvsTrainer {
         &self,
         model: &mut OvsModel,
         train: &[crate::estimator::TrainTriple],
-    ) -> Result<Vec<f64>> {
+    ) -> TrainResult<Vec<f64>> {
         self.train_tod2v_with(model, train, StageOptions::default())
     }
 
@@ -449,11 +659,12 @@ impl OvsTrainer {
         model: &mut OvsModel,
         train: &[crate::estimator::TrainTriple],
         mut opts: StageOptions<'_>,
-    ) -> Result<Vec<f64>> {
+    ) -> TrainResult<Vec<f64>> {
         if train.is_empty() {
             return Err(RoadnetError::InvalidSpec(
                 "stage 2 requires at least one training triple".into(),
-            ));
+            )
+            .into());
         }
         let (mut opt, mut losses, start) = match opts.resume.take() {
             Some(state) => {
@@ -471,7 +682,21 @@ impl OvsTrainer {
         // one optimiser step; per-sample cycling oscillates because the
         // five TOD patterns pull the mapping in different directions.
         let mx = StageMetrics::new(&self.obs, Stage::Tod2v);
-        for step in start..self.cfg.epochs_tod2v {
+        let mut guard = StageGuard::new(
+            opts.recovery.unwrap_or_default(),
+            opt.lr(),
+            capture_stage(
+                &mut |f| model.tod2v.visit_params(f),
+                Stage::Tod2v,
+                start,
+                &opt,
+                &losses,
+                f64::INFINITY,
+                0,
+            ),
+        );
+        let mut step = start;
+        while step < self.cfg.epochs_tod2v {
             let mut epoch_loss = 0.0;
             for sample in train {
                 let g = tod_to_matrix(&sample.tod);
@@ -500,25 +725,51 @@ impl OvsTrainer {
                 model.v2s.zero_grad();
                 epoch_loss += loss;
             }
-            let norm = clip_grads(&mut |f| model.tod2v.visit_params(f), self.cfg.grad_clip);
+            let mut norm = clip_grads(&mut |f| model.tod2v.visit_params(f), self.cfg.grad_clip);
+            let mut mean_loss = epoch_loss / train.len() as f64;
+            if let Some(tamper) = opts.tamper.as_mut() {
+                tamper(Stage::Tod2v, step, &mut mean_loss, &mut norm);
+            }
+            if !mean_loss.is_finite() || !norm.is_finite() {
+                let lr = guard.trip(&mx, Stage::Tod2v, step)?;
+                checkpoint::module::import_visit(
+                    &mut |f| model.tod2v.visit_params(f),
+                    &guard.last_good.weights,
+                )
+                .map_err(|e| RoadnetError::Internal(format!("rollback import rejected: {e}")))?;
+                opt = Adam::from_snapshot(guard.last_good.opt.clone());
+                opt.set_lr(lr);
+                losses.truncate(guard.last_good.losses.len());
+                model.tod2v.zero_grad();
+                step = guard.last_good.step;
+                continue;
+            }
             adam_step(&mut opt, &mut |f| model.tod2v.visit_params(f));
             model.tod2v.zero_grad();
-            losses.push(epoch_loss / train.len() as f64);
-            mx.record_step(epoch_loss / train.len() as f64, norm);
+            losses.push(mean_loss);
+            mx.record_step(mean_loss, norm);
             if opts.checkpoint_every > 0 && (step + 1) % opts.checkpoint_every == 0 {
+                let state = capture_stage(
+                    &mut |f| model.tod2v.visit_params(f),
+                    Stage::Tod2v,
+                    step + 1,
+                    &opt,
+                    &losses,
+                    f64::INFINITY,
+                    0,
+                );
+                let mut ok = true;
                 if let Some(hook) = opts.on_checkpoint.as_mut() {
-                    let state = capture_stage(
-                        &mut |f| model.tod2v.visit_params(f),
-                        Stage::Tod2v,
-                        step + 1,
-                        &opt,
-                        &losses,
-                        f64::INFINITY,
-                        0,
-                    );
-                    mx.record_checkpoint(|| hook(model, &state))?;
+                    if mx.record_checkpoint(|| hook(model, &state)).is_err() {
+                        mx.ckpt_failures.inc();
+                        ok = false;
+                    }
+                }
+                if ok {
+                    guard.refresh(state);
                 }
             }
+            step += 1;
         }
         mx.finish(&losses, self.cfg.epochs_tod2v.saturating_sub(start));
         Ok(losses)
@@ -530,7 +781,7 @@ impl OvsTrainer {
         &self,
         model: &mut OvsModel,
         input: &EstimatorInput<'_>,
-    ) -> Result<Vec<f64>> {
+    ) -> TrainResult<Vec<f64>> {
         self.fit_tod_gen_with(model, input, StageOptions::default())
     }
 
@@ -543,7 +794,7 @@ impl OvsTrainer {
         model: &mut OvsModel,
         input: &EstimatorInput<'_>,
         mut opts: StageOptions<'_>,
-    ) -> Result<Vec<f64>> {
+    ) -> TrainResult<Vec<f64>> {
         let v_obs = link_to_matrix(input.observed_speed);
         // Gaussian prior centre (SS IV-B): the demand *level* implied by
         // the observation itself — the corpus demand->mean-speed curve
@@ -577,8 +828,22 @@ impl OvsTrainer {
             ),
         };
         let mx = StageMetrics::new(&self.obs, Stage::Fit);
+        let mut guard = StageGuard::new(
+            opts.recovery.unwrap_or_default(),
+            opt.lr(),
+            capture_stage(
+                &mut |f| model.tod_gen.visit_params(f),
+                Stage::Fit,
+                start,
+                &opt,
+                &losses,
+                best,
+                since_best,
+            ),
+        );
         let mut steps_taken = 0usize;
-        for step in start..self.cfg.epochs_fit {
+        let mut step = start;
+        while step < self.cfg.epochs_fit {
             let (g, q, v) = model.forward_full(true);
             let (main, dv) = if self.cfg.fit_huber_delta > 0.0 {
                 huber(&v, &v_obs, self.cfg.fit_huber_delta)
@@ -635,7 +900,26 @@ impl OvsTrainer {
             // Frozen mappings: discard their gradients.
             model.v2s.zero_grad();
             model.tod2v.zero_grad();
-            let norm = clip_grads(&mut |f| model.tod_gen.visit_params(f), self.cfg.grad_clip);
+            let mut norm = clip_grads(&mut |f| model.tod_gen.visit_params(f), self.cfg.grad_clip);
+            if let Some(tamper) = opts.tamper.as_mut() {
+                tamper(Stage::Fit, step, &mut total, &mut norm);
+            }
+            if !total.is_finite() || !norm.is_finite() {
+                let lr = guard.trip(&mx, Stage::Fit, step)?;
+                checkpoint::module::import_visit(
+                    &mut |f| model.tod_gen.visit_params(f),
+                    &guard.last_good.weights,
+                )
+                .map_err(|e| RoadnetError::Internal(format!("rollback import rejected: {e}")))?;
+                opt = Adam::from_snapshot(guard.last_good.opt.clone());
+                opt.set_lr(lr);
+                losses.truncate(guard.last_good.losses.len());
+                best = guard.last_good.best;
+                since_best = guard.last_good.since_best;
+                model.tod_gen.zero_grad();
+                step = guard.last_good.step;
+                continue;
+            }
             adam_step(&mut opt, &mut |f| model.tod_gen.visit_params(f));
             model.tod_gen.zero_grad();
             losses.push(total);
@@ -650,19 +934,27 @@ impl OvsTrainer {
                 stop = since_best >= patience;
             }
             if opts.checkpoint_every > 0 && (step + 1) % opts.checkpoint_every == 0 && !stop {
+                let state = capture_stage(
+                    &mut |f| model.tod_gen.visit_params(f),
+                    Stage::Fit,
+                    step + 1,
+                    &opt,
+                    &losses,
+                    best,
+                    since_best,
+                );
+                let mut ok = true;
                 if let Some(hook) = opts.on_checkpoint.as_mut() {
-                    let state = capture_stage(
-                        &mut |f| model.tod_gen.visit_params(f),
-                        Stage::Fit,
-                        step + 1,
-                        &opt,
-                        &losses,
-                        best,
-                        since_best,
-                    );
-                    mx.record_checkpoint(|| hook(model, &state))?;
+                    if mx.record_checkpoint(|| hook(model, &state)).is_err() {
+                        mx.ckpt_failures.inc();
+                        ok = false;
+                    }
+                }
+                if ok {
+                    guard.refresh(state);
                 }
             }
+            step += 1;
             if stop {
                 break;
             }
@@ -696,7 +988,7 @@ impl OvsTrainer {
 
     /// The full pipeline: stages 1-2 on the corpus, then the test-time
     /// fit. Returns the trained model and the loss traces.
-    pub fn run(&self, input: &EstimatorInput<'_>) -> Result<(OvsModel, TrainReport)> {
+    pub fn run(&self, input: &EstimatorInput<'_>) -> TrainResult<(OvsModel, TrainReport)> {
         let (trainer, mut model) = self.prepare(input)?;
         let report = TrainReport {
             v2s_losses: trainer.train_v2s(&mut model, input.train)?,
@@ -719,7 +1011,34 @@ impl OvsTrainer {
         checkpoint_every: usize,
         on_checkpoint: &mut dyn FnMut(&PipelineCheckpoint) -> Result<()>,
         resume: Option<PipelineCheckpoint>,
-    ) -> Result<(OvsModel, TrainReport)> {
+    ) -> TrainResult<(OvsModel, TrainReport)> {
+        self.run_resumable_guarded(
+            input,
+            checkpoint_every,
+            on_checkpoint,
+            resume,
+            RecoveryPolicy::default(),
+            None,
+        )
+    }
+
+    /// [`OvsTrainer::run_resumable`] with an explicit non-finite
+    /// [`RecoveryPolicy`] and an optional fault-injection `tamper` tap
+    /// (see [`StageOptions::tamper`]). This is the entry point the
+    /// fault-injection harness drives: a transiently poisoned step rolls
+    /// back to the last good checkpoint and replays onto the uninjected
+    /// trajectory bit-exactly; a persistently poisoned step exhausts the
+    /// budget and surfaces as [`TrainError::Diverged`].
+    #[allow(clippy::type_complexity)]
+    pub fn run_resumable_guarded(
+        &self,
+        input: &EstimatorInput<'_>,
+        checkpoint_every: usize,
+        on_checkpoint: &mut dyn FnMut(&PipelineCheckpoint) -> Result<()>,
+        resume: Option<PipelineCheckpoint>,
+        recovery: RecoveryPolicy,
+        mut tamper: Option<&mut dyn FnMut(Stage, usize, &mut f64, &mut f64)>,
+    ) -> TrainResult<(OvsModel, TrainReport)> {
         let (trainer, mut model) = self.prepare(input)?;
         let (mut stage_resume, done_v2s, done_tod2v, start_stage) = match resume {
             Some(cp) => {
@@ -746,6 +1065,8 @@ impl OvsTrainer {
                     resume: stage_resume.take(),
                     checkpoint_every,
                     on_checkpoint: Some(&mut hook),
+                    recovery: Some(recovery),
+                    tamper: tamper.as_mut().map(|t| &mut **t as _),
                 },
             )?
         } else {
@@ -768,6 +1089,8 @@ impl OvsTrainer {
                     resume: stage_resume.take(),
                     checkpoint_every,
                     on_checkpoint: Some(&mut hook),
+                    recovery: Some(recovery),
+                    tamper: tamper.as_mut().map(|t| &mut **t as _),
                 },
             )?
         } else {
@@ -790,6 +1113,8 @@ impl OvsTrainer {
                     resume: stage_resume.take(),
                     checkpoint_every,
                     on_checkpoint: Some(&mut hook),
+                    recovery: Some(recovery),
+                    tamper: tamper.as_mut().map(|t| &mut **t as _),
                 },
             )?
         };
@@ -815,7 +1140,7 @@ impl OvsTrainer {
         &self,
         input: &EstimatorInput<'_>,
         source_weights: &[Matrix],
-    ) -> Result<(OvsModel, TrainReport)> {
+    ) -> TrainResult<(OvsModel, TrainReport)> {
         let (trainer, mut model) = self.prepare(input)?;
         model.import_weights(source_weights)?;
         let level = calibrate_demand_level(input);
@@ -840,7 +1165,7 @@ impl OvsTrainer {
     pub fn run_ensembled(
         &self,
         input: &EstimatorInput<'_>,
-    ) -> Result<(OvsModel, Matrix, TrainReport)> {
+    ) -> TrainResult<(OvsModel, Matrix, TrainReport)> {
         let (mut model, report) = self.run(input)?;
         let restarts = self.cfg.fit_restarts.max(1);
         let mut mean = model.recovered_tod();

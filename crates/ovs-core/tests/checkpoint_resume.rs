@@ -7,7 +7,7 @@
 use checkpoint::format::Artifact;
 use datagen::{Dataset, TodPattern};
 use ovs_core::trainer::{OvsTrainer, PipelineCheckpoint, Stage};
-use ovs_core::{artifact, EstimatorInput, OvsConfig};
+use ovs_core::{artifact, EstimatorInput, OvsConfig, RecoveryPolicy, TrainError};
 
 fn tiny_dataset() -> Dataset {
     let spec = datagen::dataset::DatasetSpec {
@@ -151,6 +151,95 @@ fn pipeline_checkpoint_survives_the_artifact_format() {
         .run_resumable(&inp, 0, &mut |_| Ok(()), Some(back))
         .unwrap();
     assert_eq!(rep_mem.fit_losses, rep_disk.fit_losses);
+}
+
+/// Fault-injection extension of the resume-equivalence property: a loss
+/// transiently poisoned to `NaN` mid-stage trips the non-finite guard,
+/// which rolls back to the last good checkpoint and replays — and the
+/// replayed trajectory is bit-identical to a run that was never poisoned.
+#[test]
+fn transiently_poisoned_run_heals_bit_exactly() {
+    let ds = tiny_dataset();
+    let inp = input(&ds);
+    let trainer = OvsTrainer::new(cfg());
+
+    let (mut ref_model, ref_report) = trainer.run(&inp).unwrap();
+    let ref_weights = ref_model.export_weights();
+
+    // Poison one step in every stage, once each; all steps sit past the
+    // first checkpoint anchor (every 7 steps) so each rollback replays a
+    // short stretch rather than the whole stage.
+    let mut poisoned: Vec<(Stage, usize)> = Vec::new();
+    let mut tamper = |stage: Stage, step: usize, loss: &mut f64, _norm: &mut f64| {
+        let plan = [(Stage::V2s, 9), (Stage::Tod2v, 8), (Stage::Fit, 10)];
+        if plan.contains(&(stage, step)) && !poisoned.contains(&(stage, step)) {
+            poisoned.push((stage, step));
+            *loss = f64::NAN;
+        }
+    };
+    let (mut healed_model, healed_report) = trainer
+        .run_resumable_guarded(
+            &inp,
+            7,
+            &mut |_| Ok(()),
+            None,
+            RecoveryPolicy::default(),
+            Some(&mut tamper),
+        )
+        .expect("a transient non-finite loss must heal, not abort");
+
+    assert_eq!(
+        poisoned.len(),
+        3,
+        "all three stage faults fired: {poisoned:?}"
+    );
+    assert_eq!(healed_report.v2s_losses, ref_report.v2s_losses);
+    assert_eq!(healed_report.tod2v_losses, ref_report.tod2v_losses);
+    assert_eq!(healed_report.fit_losses, ref_report.fit_losses);
+    assert_eq!(
+        healed_model.export_weights(),
+        ref_weights,
+        "healed weights must be bit-identical to the uninjected run"
+    );
+}
+
+/// The retry budget is finite: a fault that re-fires on every replay of
+/// the same step ends in the typed divergence error.
+#[test]
+fn persistent_poison_is_a_typed_divergence() {
+    let ds = tiny_dataset();
+    let inp = input(&ds);
+    let trainer = OvsTrainer::new(cfg());
+
+    let mut tamper = |stage: Stage, step: usize, loss: &mut f64, _norm: &mut f64| {
+        if stage == Stage::Tod2v && step == 2 {
+            *loss = f64::INFINITY;
+        }
+    };
+    let outcome = trainer.run_resumable_guarded(
+        &inp,
+        0,
+        &mut |_| Ok(()),
+        None,
+        RecoveryPolicy {
+            max_retries: 2,
+            lr_backoff: 0.5,
+        },
+        Some(&mut tamper),
+    );
+    let Err(err) = outcome else {
+        panic!("a persistent fault must not heal");
+    };
+    match err {
+        TrainError::Diverged {
+            stage,
+            step,
+            retries,
+        } => {
+            assert_eq!((stage, step, retries), (Stage::Tod2v, 2, 2));
+        }
+        other => panic!("expected TrainError::Diverged, got {other}"),
+    }
 }
 
 #[test]

@@ -9,6 +9,7 @@
 //! cityod checkpoint inspect <name>        sections + provenance of one
 //! cityod checkpoint verify [<name>]       checksum-verify one or all
 //! cityod checkpoint gc <family> [--keep K]  drop old family versions
+//! cityod faults run <net> --plan FILE     degradation sweep under faults
 //! ```
 //!
 //! Networks: `grid3x3`, `hangzhou`, `porto`, `manhattan`, `state_college`.
@@ -36,6 +37,14 @@
 //! Setting `CITYOD_OVS_TINY=1` swaps the CLI's OVS configuration for
 //! `OvsConfig::tiny()` — the integration-test hook that keeps CLI-driven
 //! training runs fast in debug builds.
+//!
+//! `faults run` loads a seeded fault plan (`--plan FILE`, TOML subset —
+//! see DESIGN.md §10), optionally overrides its master seed with
+//! `--seed N`, and prints the degradation report: recovered-TOD accuracy
+//! at every sweep grid point (dropout fraction x noise sigma), with the
+//! speed RMSE masked to surviving sensors. `--json FILE` additionally
+//! writes the report as JSON. Without `--plan` a built-in default sweep
+//! (dropout 0 / 0.1 / 0.3, no noise) runs.
 
 use city_od::baselines;
 use city_od::checkpoint::store::ArtifactStore;
@@ -43,6 +52,7 @@ use city_od::datagen::dataset::DatasetSpec;
 use city_od::datagen::{Dataset, TodPattern};
 use city_od::eval::harness::{run_method, DatasetInput};
 use city_od::eval::{default_methods, tables};
+use city_od::fault::{degradation_report, FaultPlan};
 use city_od::ovs_core::estimator::matrix_to_tod;
 use city_od::ovs_core::trainer::{OvsEstimator, OvsTrainer};
 use city_od::ovs_core::{artifact, OvsConfig, TodEstimator};
@@ -98,7 +108,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cityod networks\n  cityod simulate <net> [--t N] [--demand F] [--seed S] [--threads N]\n  cityod recover <net> [--method ovs|gravity|genetic|gls|em|nn|lstm|all] [--t N] [--demand F] [--seed S] [--aux] [--threads N]\n  cityod checkpoint save <net> <name> [--versioned] [--t N] [--demand F] [--seed S] [--threads N] [--store DIR]\n  cityod checkpoint list [--store DIR]\n  cityod checkpoint inspect <name> [--store DIR]\n  cityod checkpoint verify [<name>] [--store DIR]\n  cityod checkpoint gc <family> [--keep K] [--store DIR]\nnetworks: grid3x3 hangzhou porto manhattan state_college\nstore: --store beats CITYOD_ARTIFACTS beats ./artifacts\nmetrics: every command accepts --metrics FILE (full JSON export) and\n         --metrics-stable FILE (deterministic subset only)"
+        "usage:\n  cityod networks\n  cityod simulate <net> [--t N] [--demand F] [--seed S] [--threads N]\n  cityod recover <net> [--method ovs|gravity|genetic|gls|em|nn|lstm|all] [--t N] [--demand F] [--seed S] [--aux] [--threads N]\n  cityod checkpoint save <net> <name> [--versioned] [--t N] [--demand F] [--seed S] [--threads N] [--store DIR]\n  cityod checkpoint list [--store DIR]\n  cityod checkpoint inspect <name> [--store DIR]\n  cityod checkpoint verify [<name>] [--store DIR]\n  cityod checkpoint gc <family> [--keep K] [--store DIR]\n  cityod faults run <net> [--plan FILE] [--seed S] [--json FILE] [--t N] [--demand F] [--threads N]\nnetworks: grid3x3 hangzhou porto manhattan state_college\nstore: --store beats CITYOD_ARTIFACTS beats ./artifacts\nmetrics: every command accepts --metrics FILE (full JSON export) and\n         --metrics-stable FILE (deterministic subset only)"
     );
     ExitCode::from(2)
 }
@@ -196,6 +206,7 @@ fn run_command(args: &Args) -> ExitCode {
             ExitCode::SUCCESS
         }
         "checkpoint" => checkpoint_cmd(args),
+        "faults" => faults_cmd(args),
         "simulate" | "recover" => {
             let Some(net_name) = args.positional.get(1) else {
                 return usage();
@@ -351,6 +362,84 @@ fn checkpoint_save(args: &Args, store: &ArtifactStore) -> ExitCode {
     }
 }
 
+/// `cityod faults run <net> [--plan FILE] [--seed S] [--json FILE]`:
+/// evaluates the OVS pipeline at every point of the plan's sweep grid
+/// and prints RMSE vs dropout fraction / noise level.
+fn faults_cmd(args: &Args) -> ExitCode {
+    let Some("run") = args.positional.get(1).map(String::as_str) else {
+        eprintln!("unknown faults subcommand (expected 'run')");
+        return usage();
+    };
+    let Some(net_name) = args.positional.get(2) else {
+        return usage();
+    };
+    let mut plan = match args.flags.get("plan") {
+        Some(path) => match FaultPlan::from_file(std::path::Path::new(path)) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => FaultPlan::default(),
+    };
+    if let Some(seed) = args.flags.get("seed").and_then(|v| v.parse().ok()) {
+        plan.seed = seed;
+    }
+    let spec = dataset_spec(args);
+    let Some(ds) = build_dataset(net_name, &spec) else {
+        return ExitCode::FAILURE;
+    };
+    let cfg = cli_ovs_config(spec.seed);
+    match degradation_report(&ds, &cfg, &plan) {
+        Ok(report) => {
+            print!("{report}");
+            if report.points.iter().any(|p| p.diverged) {
+                eprintln!("warning: at least one grid point diverged past the retry budget");
+            }
+            if let Some(path) = args.flags.get("json") {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(json) => {
+                        if let Err(e) = std::fs::write(path, json) {
+                            eprintln!("cannot write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("report encode failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fault sweep failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Prints the per-section audit of a corrupt artifact: every failing
+/// section with its byte offset, plus structural damage, instead of just
+/// the first error `load` would surface.
+fn print_audit(store: &ArtifactStore, name: &str) {
+    match store.audit(name) {
+        Ok(audit) => {
+            for s in audit.failures() {
+                println!(
+                    "  section '{}' at offset {} ({} bytes): stored crc32 {:08x}, computed {:08x}",
+                    s.name, s.offset, s.len, s.stored, s.computed
+                );
+            }
+            if let Some(structural) = &audit.structural {
+                println!("  structural damage: {structural}");
+            }
+        }
+        Err(e) => println!("  audit failed: {e}"),
+    }
+}
+
 fn checkpoint_cmd(args: &Args) -> ExitCode {
     let Some(sub) = args.positional.get(1).map(String::as_str) else {
         return usage();
@@ -443,6 +532,7 @@ fn checkpoint_cmd(args: &Args) -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("{name}: CORRUPT — {e}");
+                    print_audit(&store, name);
                     ExitCode::FAILURE
                 }
             },
@@ -455,6 +545,7 @@ fn checkpoint_cmd(args: &Args) -> ExitCode {
                             Some(e) => {
                                 bad += 1;
                                 println!("{name}: CORRUPT — {e}");
+                                print_audit(&store, name);
                             }
                         }
                     }

@@ -8,6 +8,7 @@ pub use baselines;
 pub use checkpoint;
 pub use datagen;
 pub use eval;
+pub use fault;
 pub use neural;
 pub use obs;
 pub use ovs_core;
