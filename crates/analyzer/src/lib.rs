@@ -30,7 +30,7 @@ use std::path::{Path, PathBuf};
 
 /// Crates on the stable-output path: rule D (determinism) and rule P
 /// (panic-safety) apply to their non-test library code.
-pub const PROTECTED_CRATES: [&str; 7] = [
+pub const PROTECTED_CRATES: [&str; 8] = [
     "simulator",
     "roadnet",
     "neural",
@@ -38,6 +38,7 @@ pub const PROTECTED_CRATES: [&str; 7] = [
     "checkpoint",
     "obs",
     "fault",
+    "serve",
 ];
 
 /// Options for one check run.

@@ -14,7 +14,7 @@
 
 #![warn(missing_docs)]
 
-use checkpoint::format::Artifact;
+use checkpoint::Snapshot;
 use datagen::dataset::DatasetSpec;
 use ovs_core::estimator::matrix_to_tod;
 use ovs_core::trainer::OvsTrainer;
@@ -197,9 +197,12 @@ impl TodEstimator for CachedOvsEstimator {
         let trainer = OvsTrainer::new(self.cfg.clone());
         let (mut model, _report) = match &self.cache.load {
             Some(path) => {
-                let artifact = Artifact::read_from(path).map_err(ckpt_err)?;
-                let weights =
-                    ovs_core::artifact::model_weights(&artifact, &self.cfg).map_err(ckpt_err)?;
+                // Snapshot is the one validated read path: full checksum
+                // verification plus the content fingerprint the serving
+                // layer reports as its ETag.
+                let snapshot = Snapshot::read_from(path).map_err(ckpt_err)?;
+                let weights = ovs_core::artifact::model_weights(snapshot.artifact(), &self.cfg)
+                    .map_err(ckpt_err)?;
                 trainer.run_warm(input, &weights)?
             }
             None => trainer.run(input)?,

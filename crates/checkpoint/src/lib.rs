@@ -44,10 +44,12 @@ pub mod codec;
 pub mod format;
 pub mod module;
 pub mod retry;
+pub mod snapshot;
 pub mod store;
 
 pub use format::{audit_bytes, Artifact, ArtifactAudit, ArtifactBuilder, FORMAT_VERSION, MAGIC};
 pub use retry::{Clock, RecordingClock, RetryPolicy, SystemClock};
+pub use snapshot::{Snapshot, SnapshotSource, SnapshotWatcher};
 pub use store::{ArtifactRecord, ArtifactStore, Provenance};
 
 use std::fmt;

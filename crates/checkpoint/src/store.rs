@@ -132,9 +132,18 @@ pub struct ArtifactStore {
 
 impl ArtifactStore {
     /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// A relative `dir` is canonicalized against the working directory
+    /// *once, here* — every later operation (including a long-lived
+    /// [`crate::snapshot::SnapshotWatcher`]) uses the resolved absolute
+    /// path, so a process that chdirs after opening keeps reading the
+    /// same store instead of silently re-resolving against the new cwd.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        // Canonicalization can only fail on exotic filesystems now that
+        // the directory exists; fall back to the raw path in that case.
+        let dir = std::fs::canonicalize(&dir).unwrap_or(dir);
         Ok(Self { dir })
     }
 
@@ -402,7 +411,7 @@ impl ArtifactStore {
 
     /// Versioned members of a family, as `(version, name)` sorted
     /// ascending by version.
-    fn family_versions(&self, family: &str) -> Result<Vec<(u32, String)>> {
+    pub(crate) fn family_versions(&self, family: &str) -> Result<Vec<(u32, String)>> {
         let prefix = format!("{family}-v");
         let mut out: Vec<(u32, String)> = self
             .names()?
@@ -626,6 +635,29 @@ mod tests {
         // Missing artifact is a permanent error, not a quarantine.
         assert!(store.load_or_quarantine("absent", &policy, &clock).is_err());
         let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn open_canonicalizes_relative_paths_once() {
+        // Open through a relative-ish path containing a `..` hop; the
+        // stored dir must come back absolute and normalized, so a later
+        // chdir cannot re-resolve it somewhere else.
+        let base = std::env::temp_dir().join(format!("cityod-store-canon-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(base.join("sub")).unwrap();
+        let via_dots = base.join("sub").join("..").join("store");
+        let store = ArtifactStore::open(&via_dots).unwrap();
+        assert!(store.dir().is_absolute());
+        assert!(
+            !store.dir().components().any(|c| c.as_os_str() == ".."),
+            "dir is normalized: {}",
+            store.dir().display()
+        );
+        assert_eq!(
+            store.dir(),
+            std::fs::canonicalize(base.join("store")).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

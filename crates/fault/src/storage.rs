@@ -14,7 +14,7 @@
 
 use crate::plan::StorageFaults;
 use checkpoint::store::ArtifactStore;
-use checkpoint::{Artifact, Clock, RetryPolicy};
+use checkpoint::{Clock, RetryPolicy, Snapshot};
 use neural::rng::Rng64;
 use obs::global;
 use std::path::Path;
@@ -70,30 +70,20 @@ pub fn corrupt_artifact_file(
 }
 
 /// Walks a versioned family (`{family}-vNNN`) newest-first and returns
-/// the first artifact that loads clean, quarantining every corrupt entry
-/// it skips. `Ok(None)` means no version of the family survived.
+/// a [`Snapshot`] of the first version that loads clean, quarantining
+/// every corrupt entry it skips. `Ok(None)` means no version of the
+/// family survived. Thin wrapper over
+/// [`ArtifactStore::latest_good`] — the single validated read path
+/// shared with the serving layer's snapshot watcher.
 pub fn latest_good_version(
     store: &ArtifactStore,
     family: &str,
     policy: &RetryPolicy,
     clock: &dyn Clock,
-) -> checkpoint::Result<Option<(String, Artifact)>> {
-    let prefix = format!("{family}-v");
-    let mut versions: Vec<(u64, String)> = store
-        .names()?
-        .into_iter()
-        .filter_map(|name| {
-            let n: u64 = name.strip_prefix(&prefix)?.parse().ok()?;
-            Some((n, name))
-        })
-        .collect();
-    versions.sort();
-    for (_, name) in versions.into_iter().rev() {
-        if let Some(artifact) = store.load_or_quarantine(&name, policy, clock)? {
-            return Ok(Some((name, artifact)));
-        }
-    }
-    Ok(None)
+) -> checkpoint::Result<Option<(String, Snapshot)>> {
+    Ok(store
+        .latest_good(family, policy, clock)?
+        .map(|snap| (snap.name().to_string(), snap)))
 }
 
 #[cfg(test)]

@@ -134,7 +134,7 @@ fn combined_faults_heal_to_a_bit_identical_model() {
     assert_ne!(good_name, newest, "the corrupt newest version was skipped");
     assert!(!store.names().unwrap().contains(&newest), "quarantined");
 
-    let cp = artifact::load_pipeline(&good, &cfg()).unwrap();
+    let cp = artifact::load_pipeline(good.artifact(), &cfg()).unwrap();
     let (mut resumed_model, resumed_report) = trainer
         .run_resumable(&inp, 0, &mut |_| Ok(()), Some(cp))
         .unwrap();

@@ -202,7 +202,7 @@ impl RoadNetwork {
         self.out_links(l.to)
             .iter()
             .copied()
-            .find(|&cand| self.links[cand.index()].to == l.from)
+            .find(|&cand| self.links.get(cand.index()).is_some_and(|c| c.to == l.from))
     }
 
     /// A representative node for a region (the first one), used when trips
@@ -230,8 +230,11 @@ impl RoadNetwork {
     /// `reversed` is set.
     fn reachable_from(&self, start: NodeId, reversed: bool) -> Vec<bool> {
         let mut seen = vec![false; self.nodes.len()];
-        let mut queue = std::collections::VecDeque::from([start]);
-        seen[start.index()] = true;
+        let mut queue = std::collections::VecDeque::new();
+        if let Some(s) = seen.get_mut(start.index()) {
+            *s = true;
+            queue.push_back(start);
+        }
         while let Some(n) = queue.pop_front() {
             let edges = if reversed {
                 self.in_links(n)
@@ -239,11 +242,15 @@ impl RoadNetwork {
                 self.out_links(n)
             };
             for &lid in edges {
-                let l = &self.links[lid.index()];
+                let Some(l) = self.links.get(lid.index()) else {
+                    continue;
+                };
                 let next = if reversed { l.from } else { l.to };
-                if !seen[next.index()] {
-                    seen[next.index()] = true;
-                    queue.push_back(next);
+                if let Some(s) = seen.get_mut(next.index()) {
+                    if !*s {
+                        *s = true;
+                        queue.push_back(next);
+                    }
                 }
             }
         }

@@ -1,0 +1,82 @@
+//! Typed failure modes of the serving layer.
+
+use std::fmt;
+
+/// Everything that can go wrong while building a model view or running
+/// the server. Request-level problems (bad paths, bad query parameters)
+/// are *not* errors — they become 4xx responses in the router.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Artifact loading or verification failed.
+    Checkpoint(checkpoint::CheckpointError),
+    /// Network/tensor layer failure (shape mismatch, simulation error).
+    Net(roadnet::RoadnetError),
+    /// Socket or filesystem failure.
+    Io(std::io::Error),
+    /// The snapshot source resolved to no good artifact at startup.
+    NoArtifact(String),
+    /// The artifact verifies but carries no recovered TOD tensor, so
+    /// there is nothing to serve.
+    MissingTod(String),
+    /// The artifact's TOD shape does not match the serving dataset.
+    ShapeMismatch {
+        /// What the dataset implies.
+        expected: String,
+        /// What the artifact holds.
+        actual: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Checkpoint(e) => write!(f, "artifact error: {e}"),
+            Self::Net(e) => write!(f, "network error: {e}"),
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::NoArtifact(what) => {
+                write!(f, "no good artifact found for '{what}'")
+            }
+            Self::MissingTod(name) => write!(
+                f,
+                "artifact '{name}' holds no recovered TOD tensor (save with \
+                 `cityod checkpoint save` to include it)"
+            ),
+            Self::ShapeMismatch { expected, actual } => write!(
+                f,
+                "artifact TOD shape mismatch: dataset implies {expected}, artifact holds {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Checkpoint(e) => Some(e),
+            Self::Net(e) => Some(e),
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<checkpoint::CheckpointError> for ServeError {
+    fn from(e: checkpoint::CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+impl From<roadnet::RoadnetError> for ServeError {
+    fn from(e: roadnet::RoadnetError) -> Self {
+        Self::Net(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

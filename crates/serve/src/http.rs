@@ -1,0 +1,332 @@
+//! Minimal HTTP/1.1 framing: just enough to parse read-only GET traffic
+//! and write deterministic responses. Hand-rolled on purpose — the
+//! workspace builds with no registry access, and the endpoints only need
+//! request line + headers + conditional-GET semantics.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on a single request head (request line + headers). A
+/// client exceeding it is answered 400 and disconnected.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request head. Bodies are ignored: every endpoint is a GET.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercased method token (`GET`, `HEAD`, ...).
+    pub method: String,
+    /// Decoded path, query string stripped (`/links/3`).
+    pub path: String,
+    /// Query parameters in key order.
+    pub query: BTreeMap<String, String>,
+    /// Headers with lowercased names; last occurrence wins.
+    pub headers: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// A header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(String::as_str)
+    }
+
+    /// True when the client asked to close the connection after this
+    /// exchange (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The `If-None-Match` validator, if the request carries one.
+    pub fn if_none_match(&self) -> Option<&str> {
+        self.header("if-none-match")
+    }
+}
+
+/// Outcome of reading one request from a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request head was parsed.
+    Request(Request),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The bytes on the wire were not a parseable HTTP/1.1 head.
+    Malformed(String),
+}
+
+/// Reads one request head from `reader`. Blocks until a full head, EOF,
+/// or an IO error (timeouts surface as `Err`).
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
+    let mut line = String::new();
+    let mut total = 0usize;
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(ReadOutcome::Closed);
+    }
+    total += line.len();
+    let request_line = line.trim_end_matches(['\r', '\n']).to_string();
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => {
+            return Ok(ReadOutcome::Malformed(format!(
+                "bad request line: {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Malformed(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    let mut headers = BTreeMap::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(ReadOutcome::Malformed("eof inside header block".into()));
+        }
+        total += line.len();
+        if total > MAX_HEAD_BYTES {
+            return Ok(ReadOutcome::Malformed("request head too large".into()));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Ok(ReadOutcome::Malformed(format!("bad header: {trimmed:?}")));
+        };
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+    let (path, query) = split_target(target);
+    Ok(ReadOutcome::Request(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+    }))
+}
+
+/// Splits a request target into path and parsed query parameters.
+fn split_target(target: &str) -> (String, BTreeMap<String, String>) {
+    let (path, qs) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut query = BTreeMap::new();
+    for pair in qs.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(k.to_string(), v.to_string());
+    }
+    (path.to_string(), query)
+}
+
+/// One response: status, content type, optional validator, body bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// HTTP status code (`200`, `304`, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// `ETag` header value (already quoted), when the resource has one.
+    pub etag: Option<String>,
+    /// Body bytes; empty for `304`.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status and body.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            etag: None,
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error body `{"error": "..."}` with the given status.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\":");
+        push_json_string(&mut body, message);
+        body.push('}');
+        Self::json(status, body.into_bytes())
+    }
+
+    /// Attaches a validator (quoted ETag) to the response.
+    pub fn with_etag(mut self, etag: &str) -> Self {
+        self.etag = Some(etag.to_string());
+        self
+    }
+
+    /// A bodyless `304 Not Modified` carrying the current validator.
+    pub fn not_modified(etag: &str) -> Self {
+        Self {
+            status: 304,
+            content_type: "application/json",
+            etag: Some(etag.to_string()),
+            body: Vec::new(),
+        }
+    }
+}
+
+/// Canonical reason phrase for the status codes the router produces.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialises a response to the wire. The header set is fixed and emitted
+/// in a fixed order, so identical responses are byte-identical no matter
+/// which server thread wrote them. `head_only` answers a `HEAD` request:
+/// full headers (including the real `Content-Length`) with the body
+/// suppressed.
+pub fn write_response(
+    w: &mut impl Write,
+    r: &Response,
+    keep_alive: bool,
+    head_only: bool,
+) -> io::Result<()> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", r.status, status_text(r.status));
+    head.push_str(&format!("Content-Type: {}\r\n", r.content_type));
+    head.push_str(&format!("Content-Length: {}\r\n", r.body.len()));
+    if let Some(etag) = &r.etag {
+        head.push_str(&format!("ETag: {etag}\r\n"));
+    }
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n"
+    } else {
+        "Connection: close\r\n"
+    });
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    if !head_only {
+        w.write_all(&r.body)?;
+    }
+    w.flush()
+}
+
+/// Appends a JSON string literal (quoted, escaped) to `out`.
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a deterministic JSON number for `v`: Rust's shortest
+/// round-trip `Display`, with `.0` appended to integral values so the
+/// output is unambiguously a float. Non-finite values become `null`.
+pub fn push_json_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> ReadOutcome {
+        read_request(&mut BufReader::new(raw.as_bytes())).unwrap()
+    }
+
+    #[test]
+    fn parses_request_line_query_and_headers() {
+        let out =
+            parse("GET /od?origin=2&dest=5 HTTP/1.1\r\nHost: x\r\nIf-None-Match: \"abc\"\r\n\r\n");
+        let ReadOutcome::Request(req) = out else {
+            panic!("expected request, got {out:?}");
+        };
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/od");
+        assert_eq!(req.query.get("origin").map(String::as_str), Some("2"));
+        assert_eq!(req.query.get("dest").map(String::as_str), Some("5"));
+        assert_eq!(req.if_none_match(), Some("\"abc\""));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn empty_stream_is_clean_close() {
+        assert!(matches!(parse(""), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_error() {
+        assert!(matches!(parse("ho ho\r\n\r\n"), ReadOutcome::Malformed(_)));
+        assert!(matches!(
+            parse("GET /x SPDY/9\r\n\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nnocolon\r\n\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn response_bytes_are_deterministic() {
+        let r = Response::json(200, "{\"a\":1}").with_etag("\"t\"");
+        let mut one = Vec::new();
+        let mut two = Vec::new();
+        write_response(&mut one, &r, true, false).unwrap();
+        write_response(&mut two, &r, true, false).unwrap();
+        assert_eq!(one, two);
+        let text = String::from_utf8(one).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.contains("ETag: \"t\"\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"a\":1}"));
+    }
+
+    #[test]
+    fn head_suppresses_body_but_keeps_length() {
+        let r = Response::json(200, "{\"a\":1}").with_etag("\"t\"");
+        let mut out = Vec::new();
+        write_response(&mut out, &r, false, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.ends_with("\r\n\r\n"), "HEAD must carry no body");
+    }
+
+    #[test]
+    fn json_number_formatting_is_stable() {
+        let mut s = String::new();
+        push_json_f64(&mut s, 3.0);
+        s.push(',');
+        push_json_f64(&mut s, 0.25);
+        s.push(',');
+        push_json_f64(&mut s, f64::NAN);
+        assert_eq!(s, "3.0,0.25,null");
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

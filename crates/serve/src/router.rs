@@ -1,0 +1,98 @@
+//! Endpoint routing and conditional-GET semantics.
+//!
+//! The router is a pure function `(view, request) -> response`: no IO, no
+//! clocks, no shared mutable state. Cacheable endpoints carry the view's
+//! snapshot fingerprint as their `ETag`; a request presenting the same
+//! validator in `If-None-Match` gets a bodyless `304 Not Modified`.
+//! `/healthz` is deliberately *not* cacheable — a probe must always see a
+//! live answer.
+
+use crate::http::{Request, Response};
+use crate::view::ModelView;
+
+/// The fixed endpoint label set used in metrics and load reports.
+pub const ENDPOINTS: &[&str] = &[
+    "healthz",
+    "version",
+    "kpis",
+    "links",
+    "link",
+    "od",
+    "map_geojson",
+    "other",
+];
+
+/// The metrics label for a request path: one of [`ENDPOINTS`].
+pub fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "healthz",
+        "/version" => "version",
+        "/kpis" => "kpis",
+        "/links" => "links",
+        "/od" => "od",
+        "/map/geojson" => "map_geojson",
+        p if p.starts_with("/links/") => "link",
+        _ => "other",
+    }
+}
+
+/// True when the request's `If-None-Match` validator matches `etag`
+/// (exact quoted match, a weak `W/` prefix on the client side, or `*`).
+fn validator_matches(req: &Request, etag: &str) -> bool {
+    let Some(inm) = req.if_none_match() else {
+        return false;
+    };
+    inm.split(',').map(str::trim).any(|candidate| {
+        candidate == "*" || candidate == etag || candidate.strip_prefix("W/") == Some(etag)
+    })
+}
+
+/// Wraps a cacheable body: `304` when the client already holds the
+/// current version, `200` with the validator attached otherwise.
+fn cacheable(view: &ModelView, req: &Request, body: &str) -> Response {
+    if validator_matches(req, view.etag()) {
+        Response::not_modified(view.etag())
+    } else {
+        Response::json(200, body.as_bytes().to_vec()).with_etag(view.etag())
+    }
+}
+
+/// Routes one request against the current view.
+pub fn handle(view: &ModelView, req: &Request) -> Response {
+    if req.method != "GET" && req.method != "HEAD" {
+        return Response::error(405, "only GET and HEAD are supported");
+    }
+    match req.path.as_str() {
+        "/healthz" => Response::json(200, "{\"status\":\"ok\"}"),
+        "/version" => cacheable(view, req, view.version_json()),
+        "/kpis" => cacheable(view, req, view.kpis_json()),
+        "/links" => cacheable(view, req, view.links_json()),
+        "/map/geojson" => {
+            let mut resp = cacheable(view, req, view.geojson());
+            resp.content_type = "application/geo+json";
+            resp
+        }
+        "/od" => {
+            let parse = |key: &str| req.query.get(key).and_then(|v| v.parse::<usize>().ok());
+            let (Some(origin), Some(dest)) = (parse("origin"), parse("dest")) else {
+                return Response::error(400, "query must be /od?origin=<region>&dest=<region>");
+            };
+            match view.od_json(origin, dest) {
+                Some(body) => cacheable(view, req, &body),
+                None => Response::error(404, "unknown od pair"),
+            }
+        }
+        path => {
+            if let Some(rest) = path.strip_prefix("/links/") {
+                let Ok(id) = rest.parse::<usize>() else {
+                    return Response::error(400, "link id must be an integer");
+                };
+                return match view.link_json(id) {
+                    Some(body) => cacheable(view, req, &body),
+                    None => Response::error(404, "unknown link"),
+                };
+            }
+            Response::error(404, "unknown endpoint")
+        }
+    }
+}

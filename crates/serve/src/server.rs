@@ -1,0 +1,259 @@
+//! The serving loop: a hand-rolled HTTP/1.1 listener with hot-swappable
+//! model views.
+//!
+//! Worker threads share one non-blocking listener and accept in a short
+//! sleep loop; each connection is handled to completion with keep-alive.
+//! The current [`ModelView`] lives behind `RwLock<Arc<ModelView>>`:
+//! readers clone the `Arc` (wait-free for practical purposes), the
+//! watcher thread replaces it atomically when the [`SnapshotWatcher`]
+//! observes a new good artifact version. A request therefore sees either
+//! the old view or the new one in full — never a torn mix — and an
+//! artifact that fails view rebuild leaves the last good view serving.
+
+use crate::error::{Result, ServeError};
+use crate::http::{read_request, write_response, ReadOutcome, Response};
+use crate::router;
+use crate::view::ModelView;
+use checkpoint::store::ArtifactStore;
+use checkpoint::{RetryPolicy, SnapshotSource, SnapshotWatcher, SystemClock};
+use datagen::Dataset;
+use obs::Registry;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long an idle keep-alive connection may sit before the worker
+/// reclaims the thread.
+const READ_TIMEOUT_MS: u64 = 2_000;
+
+/// Accept-loop back-off while the listener has no pending connection.
+const ACCEPT_IDLE_MS: u64 = 2;
+
+/// Latency histogram bounds (seconds) for `serve_latency_seconds`.
+const LATENCY_BOUNDS: &[f64] = &[
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+];
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; port `0` picks a free port (reported by
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Worker (accept + request) threads.
+    pub threads: usize,
+    /// Snapshot poll interval for the hot-swap watcher, in milliseconds.
+    pub poll_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            poll_ms: 200,
+        }
+    }
+}
+
+/// A running server: bound address plus the handles needed to stop it.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts serving `source` out of `store`, using `dataset` for
+    /// geometry and observations. Fails fast when no good artifact
+    /// resolves or its view cannot be built.
+    pub fn start(
+        store: ArtifactStore,
+        source: SnapshotSource,
+        dataset: Dataset,
+        opts: &ServeOptions,
+    ) -> Result<Server> {
+        let dataset = Arc::new(dataset);
+        let watcher = Arc::new(SnapshotWatcher::new(store, source, RetryPolicy::default()));
+        watcher.poll(&SystemClock)?;
+        let snapshot = watcher
+            .current()
+            .ok_or_else(|| ServeError::NoArtifact(watcher.source().target().to_string()))?;
+        let view = Arc::new(ModelView::build(snapshot, dataset.clone())?);
+        let state = Arc::new(RwLock::new(view));
+
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::with_capacity(opts.threads.max(1) + 1);
+        for _ in 0..opts.threads.max(1) {
+            let listener = listener.try_clone()?;
+            let state = state.clone();
+            let stop = shutdown.clone();
+            threads.push(std::thread::spawn(move || {
+                accept_loop(&listener, &state, &stop);
+            }));
+        }
+        {
+            let watcher = watcher.clone();
+            let state = state.clone();
+            let dataset = dataset.clone();
+            let stop = shutdown.clone();
+            let poll_ms = opts.poll_ms.max(1);
+            threads.push(std::thread::spawn(move || {
+                watch_loop(&watcher, &state, &dataset, &stop, poll_ms);
+            }));
+        }
+        Ok(Server {
+            addr,
+            shutdown,
+            threads,
+        })
+    }
+
+    /// The address the server actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals every thread to stop and joins them.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for handle in self.threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker: accept until shutdown, handling each connection inline.
+fn accept_loop(listener: &TcpListener, state: &RwLock<Arc<ModelView>>, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                obs::global().counter("serve_connections_total").inc();
+                let _ = handle_connection(stream, state, shutdown);
+            }
+            Err(_) => {
+                // WouldBlock (no pending connection) or a transient
+                // accept failure: back off briefly either way.
+                std::thread::sleep(Duration::from_millis(ACCEPT_IDLE_MS));
+            }
+        }
+    }
+}
+
+/// Serves one keep-alive connection until the peer closes, an error
+/// occurs, or shutdown is signalled.
+fn handle_connection(
+    stream: TcpStream,
+    state: &RwLock<Arc<ModelView>>,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(READ_TIMEOUT_MS)))?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while !shutdown.load(Ordering::SeqCst) {
+        match read_request(&mut reader) {
+            Ok(ReadOutcome::Request(req)) => {
+                let keep_alive = !req.wants_close();
+                let view: Arc<ModelView> = state
+                    .read()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .clone();
+                // lint: allow(determinism) — request latency measurement;
+                // feeds the Timing-tagged histogram only, never a body.
+                let start = std::time::Instant::now();
+                let resp = router::handle(&view, &req);
+                record_request(router::endpoint_label(&req.path), &resp, start.elapsed());
+                write_response(&mut writer, &resp, keep_alive, req.method == "HEAD")?;
+                if !keep_alive {
+                    break;
+                }
+            }
+            Ok(ReadOutcome::Closed) => break,
+            Ok(ReadOutcome::Malformed(msg)) => {
+                let resp = Response::error(400, &msg);
+                record_request("other", &resp, Duration::ZERO);
+                write_response(&mut writer, &resp, false, false)?;
+                break;
+            }
+            // Read timeout on an idle keep-alive connection, or a broken
+            // socket: reclaim the worker.
+            Err(_) => break,
+        }
+    }
+    Ok(())
+}
+
+/// Records the per-endpoint request counter (Stable) and latency
+/// histogram (Timing).
+fn record_request(endpoint: &str, resp: &Response, elapsed: Duration) {
+    let reg = obs::global();
+    let status = resp.status.to_string();
+    reg.counter_with(
+        "serve_requests_total",
+        &[("endpoint", endpoint), ("status", &status)],
+    )
+    .inc();
+    reg.timing_histogram(
+        &Registry::key("serve_latency_seconds", &[("endpoint", endpoint)]),
+        LATENCY_BOUNDS,
+    )
+    .observe(elapsed.as_secs_f64());
+}
+
+/// The hot-swap loop: poll the watcher, rebuild the view on change, and
+/// never replace a serving view with a broken one.
+fn watch_loop(
+    watcher: &SnapshotWatcher,
+    state: &RwLock<Arc<ModelView>>,
+    dataset: &Arc<Dataset>,
+    shutdown: &AtomicBool,
+    poll_ms: u64,
+) {
+    let reg = obs::global();
+    while !shutdown.load(Ordering::SeqCst) {
+        // Sleep in short slices so shutdown stays responsive even with
+        // long poll intervals.
+        let mut slept = 0u64;
+        while slept < poll_ms && !shutdown.load(Ordering::SeqCst) {
+            let slice = (poll_ms - slept).min(10);
+            std::thread::sleep(Duration::from_millis(slice));
+            slept += slice;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match watcher.poll(&SystemClock) {
+            Ok(true) => {
+                let Some(snapshot) = watcher.current() else {
+                    continue;
+                };
+                match ModelView::build(snapshot, dataset.clone()) {
+                    Ok(view) => {
+                        let mut slot = state
+                            .write()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                        *slot = Arc::new(view);
+                        reg.counter("serve_view_swaps_total").inc();
+                    }
+                    Err(_) => {
+                        // The artifact verified but cannot be served
+                        // (e.g. no TOD section): keep the old view.
+                        reg.counter("serve_view_rebuild_errors_total").inc();
+                    }
+                }
+            }
+            Ok(false) => {}
+            Err(_) => {
+                reg.counter("serve_watch_poll_errors_total").inc();
+            }
+        }
+    }
+}

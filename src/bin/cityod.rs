@@ -10,6 +10,8 @@
 //! cityod checkpoint verify [<name>]       checksum-verify one or all
 //! cityod checkpoint gc <family> [--keep K]  drop old family versions
 //! cityod faults run <net> --plan FILE     degradation sweep under faults
+//! cityod serve <net> --family F|--artifact A   HTTP query layer over artifacts
+//! cityod serve bench [<net>]              deterministic load run -> BENCH_serve.json
 //! ```
 //!
 //! Networks: `grid3x3`, `hangzhou`, `porto`, `manhattan`, `state_college`.
@@ -38,6 +40,18 @@
 //! `OvsConfig::tiny()` — the integration-test hook that keeps CLI-driven
 //! training runs fast in debug builds.
 //!
+//! `serve` hosts the read-side HTTP query layer (crate `serve`) over the
+//! artifact store: `--family F` follows the newest good `F-vNNN` version
+//! (hot-swapping as the trainer lands new ones), `--artifact A` pins one
+//! name. `--addr` (default `127.0.0.1:8080`, port 0 picks a free port),
+//! `--http-threads` (server workers, default 2) and `--poll-ms` (watcher
+//! poll interval) tune the server; dataset flags select the serving
+//! geometry, which must match the artifact's TOD shape. `serve bench`
+//! self-hosts a scratch artifact built from the dataset's ground-truth
+//! TOD, drives the fixed request schedule of `serve::load` against it,
+//! prints rps/p50/p99 and writes `results/BENCH_serve.json` (`--out`
+//! overrides; `--requests`, `--concurrency` scale the run).
+//!
 //! `faults run` loads a seeded fault plan (`--plan FILE`, TOML subset —
 //! see DESIGN.md §10), optionally overrides its master seed with
 //! `--seed N`, and prints the degradation report: recovered-TOD accuracy
@@ -47,16 +61,19 @@
 //! (dropout 0 / 0.1 / 0.3, no noise) runs.
 
 use city_od::baselines;
-use city_od::checkpoint::store::ArtifactStore;
+use city_od::checkpoint::format::ArtifactBuilder;
+use city_od::checkpoint::store::{ArtifactStore, Provenance};
+use city_od::checkpoint::SnapshotSource;
 use city_od::datagen::dataset::DatasetSpec;
 use city_od::datagen::{Dataset, TodPattern};
 use city_od::eval::harness::{run_method, DatasetInput};
 use city_od::eval::{default_methods, tables};
 use city_od::fault::{degradation_report, FaultPlan};
-use city_od::ovs_core::estimator::matrix_to_tod;
+use city_od::ovs_core::estimator::{matrix_to_tod, tod_to_matrix};
 use city_od::ovs_core::trainer::{OvsEstimator, OvsTrainer};
 use city_od::ovs_core::{artifact, OvsConfig, TodEstimator};
 use city_od::roadnet::presets;
+use city_od::serve::{LoadOptions, ServeOptions, Server};
 use std::process::ExitCode;
 
 struct Args {
@@ -108,7 +125,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cityod networks\n  cityod simulate <net> [--t N] [--demand F] [--seed S] [--threads N]\n  cityod recover <net> [--method ovs|gravity|genetic|gls|em|nn|lstm|all] [--t N] [--demand F] [--seed S] [--aux] [--threads N]\n  cityod checkpoint save <net> <name> [--versioned] [--t N] [--demand F] [--seed S] [--threads N] [--store DIR]\n  cityod checkpoint list [--store DIR]\n  cityod checkpoint inspect <name> [--store DIR]\n  cityod checkpoint verify [<name>] [--store DIR]\n  cityod checkpoint gc <family> [--keep K] [--store DIR]\n  cityod faults run <net> [--plan FILE] [--seed S] [--json FILE] [--t N] [--demand F] [--threads N]\nnetworks: grid3x3 hangzhou porto manhattan state_college\nstore: --store beats CITYOD_ARTIFACTS beats ./artifacts\nmetrics: every command accepts --metrics FILE (full JSON export) and\n         --metrics-stable FILE (deterministic subset only)"
+        "usage:\n  cityod networks\n  cityod simulate <net> [--t N] [--demand F] [--seed S] [--threads N]\n  cityod recover <net> [--method ovs|gravity|genetic|gls|em|nn|lstm|all] [--t N] [--demand F] [--seed S] [--aux] [--threads N]\n  cityod checkpoint save <net> <name> [--versioned] [--t N] [--demand F] [--seed S] [--threads N] [--store DIR]\n  cityod checkpoint list [--store DIR]\n  cityod checkpoint inspect <name> [--store DIR]\n  cityod checkpoint verify [<name>] [--store DIR]\n  cityod checkpoint gc <family> [--keep K] [--store DIR]\n  cityod faults run <net> [--plan FILE] [--seed S] [--json FILE] [--t N] [--demand F] [--threads N]\n  cityod serve <net> (--family F | --artifact A) [--addr HOST:PORT] [--http-threads N] [--poll-ms MS] [--store DIR]\n  cityod serve bench [<net>] [--requests N] [--concurrency C] [--http-threads N] [--out FILE]\nnetworks: grid3x3 hangzhou porto manhattan state_college\nstore: --store beats CITYOD_ARTIFACTS beats ./artifacts\nmetrics: every command accepts --metrics FILE (full JSON export) and\n         --metrics-stable FILE (deterministic subset only)"
     );
     ExitCode::from(2)
 }
@@ -207,6 +224,7 @@ fn run_command(args: &Args) -> ExitCode {
         }
         "checkpoint" => checkpoint_cmd(args),
         "faults" => faults_cmd(args),
+        "serve" => serve_cmd(args),
         "simulate" | "recover" => {
             let Some(net_name) = args.positional.get(1) else {
                 return usage();
@@ -362,6 +380,145 @@ fn checkpoint_save(args: &Args, store: &ArtifactStore) -> ExitCode {
     }
 }
 
+/// `cityod serve <net> (--family F | --artifact A)`: host the HTTP query
+/// layer until the process is killed. `cityod serve bench` delegates to
+/// [`serve_bench`].
+fn serve_cmd(args: &Args) -> ExitCode {
+    if args.positional.get(1).map(String::as_str) == Some("bench") {
+        return serve_bench(args);
+    }
+    let Some(net_name) = args.positional.get(1) else {
+        return usage();
+    };
+    let source = match (args.flags.get("artifact"), args.flags.get("family")) {
+        (Some(name), _) => SnapshotSource::Name(name.clone()),
+        (None, Some(family)) => SnapshotSource::Family(family.clone()),
+        (None, None) => {
+            eprintln!(
+                "serve needs an artifact source: --family <family> (follow newest good \
+                 version) or --artifact <name> (pin one)"
+            );
+            return usage();
+        }
+    };
+    let spec = dataset_spec(args);
+    let Some(ds) = build_dataset(net_name, &spec) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(store) = open_store(args) else {
+        return ExitCode::FAILURE;
+    };
+    let opts = ServeOptions {
+        addr: args
+            .flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+        threads: args.flag_usize("http-threads", 2),
+        poll_ms: args.flag_usize("poll-ms", 500) as u64,
+    };
+    match Server::start(store, source, ds, &opts) {
+        Ok(server) => {
+            // Line-buffered stdout: tests (and humans) read the bound
+            // address from this line before the server blocks.
+            println!("serving {net_name} on http://{}", server.addr());
+            println!(
+                "endpoints: /healthz /version /kpis /links /links/<id> \
+                 /od?origin=<r>&dest=<r> /map/geojson"
+            );
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `cityod serve bench [<net>]`: self-hosted load run. Registers the
+/// dataset's ground-truth TOD as a scratch serving artifact (no training
+/// — the bench measures the serving layer), drives the deterministic
+/// schedule against a fresh server, prints the headline numbers and
+/// writes `BENCH_serve.json`.
+fn serve_bench(args: &Args) -> ExitCode {
+    let net_name = args
+        .positional
+        .get(2)
+        .map(String::as_str)
+        .unwrap_or("grid3x3");
+    let spec = dataset_spec(args);
+    let Some(ds) = build_dataset(net_name, &spec) else {
+        return ExitCode::FAILURE;
+    };
+    let scratch = std::env::temp_dir().join(format!("cityod-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let store = match ArtifactStore::open(&scratch) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("cannot open scratch store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut builder = ArtifactBuilder::new(artifact::OVS_MODEL_KIND);
+    builder.add_matrix("recovered_tod", &tod_to_matrix(&ds.groundtruth_tod));
+    let mut prov = Provenance::new(artifact::OVS_MODEL_KIND, "{}", spec.seed);
+    prov.note = format!("cityod serve bench {net_name}");
+    if let Err(e) = store.save("serve-bench", &builder, &prov) {
+        eprintln!("cannot save scratch artifact: {e}");
+        return ExitCode::FAILURE;
+    }
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        threads: args.flag_usize("http-threads", 2),
+        poll_ms: 1_000,
+    };
+    let server = match Server::start(store, SnapshotSource::Name("serve-bench".into()), ds, &opts) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve bench failed to start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let load = LoadOptions {
+        requests: args.flag_usize("requests", 400),
+        concurrency: args.flag_usize("concurrency", 4),
+    };
+    let report = city_od::serve::load::run(&server.addr().to_string(), &load);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!(
+        "serve bench on {net_name}: {} requests ({} workers), {:.0} req/s, \
+         p50 {:.3} ms, p99 {:.3} ms",
+        report.requests, load.concurrency, report.rps, report.p50_ms, report.p99_ms
+    );
+    println!(
+        "status classes: 2xx={} 3xx={} 4xx={} 5xx={} failed={}",
+        report.status_2xx, report.status_3xx, report.status_4xx, report.status_5xx, report.failed
+    );
+    let out = args
+        .flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_serve.json".to_string());
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    if report.status_5xx > 0 || report.completed == 0 {
+        eprintln!("serve bench saw server errors");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// `cityod faults run <net> [--plan FILE] [--seed S] [--json FILE]`:
 /// evaluates the OVS pipeline at every point of the plan's sweep grid
 /// and prints RMSE vs dropout fraction / noise level.
@@ -488,6 +645,12 @@ fn checkpoint_cmd(args: &Args) -> ExitCode {
                     println!("kind:     {}", r.kind);
                     println!("size:     {} bytes", r.size);
                     println!("crc32:    {:08x}", r.content_crc);
+                    // The snapshot fingerprint doubles as the serving
+                    // layer's ETag for this artifact.
+                    match store.snapshot(name) {
+                        Ok(snap) => println!("etag:     {}", snap.etag()),
+                        Err(e) => println!("etag:     (unavailable: {e})"),
+                    }
                     println!("sections: {}", r.sections.join(", "));
                     if let Some(p) = &r.provenance {
                         println!("seed:     {}", p.seed);

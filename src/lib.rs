@@ -13,4 +13,5 @@ pub use neural;
 pub use obs;
 pub use ovs_core;
 pub use roadnet;
+pub use serve;
 pub use simulator;

@@ -1,0 +1,242 @@
+//! Integration tests for the `cityod serve` subcommands, driving the real
+//! binary via `CARGO_BIN_EXE_cityod`.
+//!
+//! The `serve` smoke test trains a tiny artifact (`CITYOD_OVS_TINY=1`),
+//! launches the long-running server on an OS-assigned port, reads the
+//! bound address from its stdout, exercises a couple of endpoints over a
+//! raw TCP client, and kills the child. `serve bench` runs to completion
+//! on its own scratch artifact and must emit a well-formed
+//! `BENCH_serve.json`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+/// Dataset flags small enough for debug-build training runs.
+const TINY_FLAGS: &[&str] = &["--t", "2", "--train", "2", "--demand", "0.1", "--seed", "5"];
+
+struct TempDirs {
+    dirs: Vec<PathBuf>,
+}
+
+impl TempDirs {
+    fn new(tag: &str, n: usize) -> Self {
+        let dirs: Vec<PathBuf> = (0..n)
+            .map(|i| {
+                let d = std::env::temp_dir()
+                    .join(format!("cityod-serve-cli-{tag}-{i}-{}", std::process::id()));
+                let _ = std::fs::remove_dir_all(&d);
+                d
+            })
+            .collect();
+        Self { dirs }
+    }
+}
+
+impl Drop for TempDirs {
+    fn drop(&mut self) {
+        for d in &self.dirs {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+}
+
+fn cityod(args: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_cityod"));
+    cmd.args(args).env("CITYOD_OVS_TINY", "1");
+    cmd.env_remove("CITYOD_ARTIFACTS");
+    cmd.output().expect("cityod binary runs")
+}
+
+/// A running `cityod serve` child that is killed on drop even when the
+/// test panics mid-way.
+struct ServeChild(Child);
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns `cityod serve` and parses the bound address from its first
+/// stdout line (`serving <net> on http://127.0.0.1:<port>`).
+fn spawn_serve(args: &[&str]) -> (ServeChild, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_cityod"));
+    cmd.args(args)
+        .env("CITYOD_OVS_TINY", "1")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    cmd.env_remove("CITYOD_ARTIFACTS");
+    let mut child = cmd.spawn().expect("cityod serve spawns");
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .expect("serve prints its address");
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no address in serve banner: {line:?}"))
+        .trim()
+        .to_string();
+    (ServeChild(child), addr)
+}
+
+/// Minimal HTTP GET: returns (status, body).
+fn get(addr: &str, path: &str) -> (u16, String) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "cannot connect to {addr}: {e}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writer
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let status: u16 = line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap();
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, String::from_utf8_lossy(&body).into_owned())
+}
+
+#[test]
+fn serve_hosts_a_trained_artifact_end_to_end() {
+    let tmp = TempDirs::new("serve", 1);
+    let store = tmp.dirs[0].to_str().unwrap().to_string();
+
+    // Train + register a tiny versioned artifact.
+    let mut args = vec!["checkpoint", "save", "grid3x3", "tod", "--versioned"];
+    args.extend_from_slice(TINY_FLAGS);
+    args.extend_from_slice(&["--store", &store]);
+    let out = cityod(&args);
+    assert!(
+        out.status.success(),
+        "checkpoint save failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Serve it on an OS-assigned port; the dataset flags must match the
+    // artifact's shape.
+    let mut args = vec![
+        "serve",
+        "grid3x3",
+        "--family",
+        "tod",
+        "--addr",
+        "127.0.0.1:0",
+        "--http-threads",
+        "2",
+    ];
+    args.extend_from_slice(TINY_FLAGS);
+    args.extend_from_slice(&["--store", &store]);
+    let (_child, addr) = spawn_serve(&args);
+
+    let (status, body) = get(&addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""), "healthz body: {body}");
+    let (status, body) = get(&addr, "/version");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"artifact\":\"tod-v001\""),
+        "version: {body}"
+    );
+    let (status, body) = get(&addr, "/kpis");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"masked_speed_rmse\""), "kpis: {body}");
+    let (status, _) = get(&addr, "/links/0");
+    assert_eq!(status, 200);
+    let (status, _) = get(&addr, "/definitely/not/an/endpoint");
+    assert_eq!(status, 404);
+}
+
+#[test]
+fn serve_without_source_or_artifact_fails_cleanly() {
+    let tmp = TempDirs::new("serve-err", 1);
+    let store = tmp.dirs[0].to_str().unwrap().to_string();
+
+    // No --family/--artifact: usage error.
+    let out = cityod(&["serve", "grid3x3", "--store", &store]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--family"));
+
+    // A family with no artifacts: clean failure, not a hang.
+    let mut args = vec!["serve", "grid3x3", "--family", "nothing"];
+    args.extend_from_slice(TINY_FLAGS);
+    args.extend_from_slice(&["--store", &store, "--addr", "127.0.0.1:0"]);
+    let out = cityod(&args);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no good artifact"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn serve_bench_emits_bench_json() {
+    let tmp = TempDirs::new("bench", 1);
+    let out_path = tmp.dirs[0].join("BENCH_serve.json");
+    let out_str = out_path.to_str().unwrap().to_string();
+    let mut args = vec![
+        "serve",
+        "bench",
+        "grid3x3",
+        "--requests",
+        "60",
+        "--concurrency",
+        "2",
+        "--out",
+        &out_str,
+    ];
+    args.extend_from_slice(TINY_FLAGS);
+    let out = cityod(&args);
+    assert!(
+        out.status.success(),
+        "serve bench failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("req/s"), "stdout: {stdout}");
+    let json = std::fs::read_to_string(&out_path).expect("BENCH_serve.json written");
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(parsed["bench"].as_str(), Some("serve"));
+    assert_eq!(parsed["requests"].as_u64(), Some(60));
+    assert_eq!(parsed["completed"].as_u64(), Some(60));
+    assert_eq!(parsed["status_5xx"].as_u64(), Some(0));
+    assert!(parsed["rps"].as_f64().unwrap() > 0.0);
+    assert!(parsed["p99_ms"].as_f64().unwrap() >= parsed["p50_ms"].as_f64().unwrap());
+}
