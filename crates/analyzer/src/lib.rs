@@ -30,7 +30,7 @@ use std::path::{Path, PathBuf};
 
 /// Crates on the stable-output path: rule D (determinism) and rule P
 /// (panic-safety) apply to their non-test library code.
-pub const PROTECTED_CRATES: [&str; 8] = [
+pub const PROTECTED_CRATES: [&str; 9] = [
     "simulator",
     "roadnet",
     "neural",
@@ -39,6 +39,7 @@ pub const PROTECTED_CRATES: [&str; 8] = [
     "obs",
     "fault",
     "serve",
+    "stream",
 ];
 
 /// Options for one check run.

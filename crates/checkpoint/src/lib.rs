@@ -49,8 +49,11 @@ pub mod store;
 
 pub use format::{audit_bytes, Artifact, ArtifactAudit, ArtifactBuilder, FORMAT_VERSION, MAGIC};
 pub use retry::{Clock, RecordingClock, RetryPolicy, SystemClock};
-pub use snapshot::{Snapshot, SnapshotSource, SnapshotWatcher};
-pub use store::{ArtifactRecord, ArtifactStore, Provenance};
+pub use snapshot::{
+    default_watch_interval_ms, Snapshot, SnapshotSource, SnapshotWatcher,
+    DEFAULT_WATCH_INTERVAL_MS, WATCH_BACKOFF_CAP, WATCH_INTERVAL_ENV,
+};
+pub use store::{ArtifactRecord, ArtifactStore, PinGuard, Provenance};
 
 use std::fmt;
 

@@ -25,10 +25,38 @@
 
 use crate::format::{crc32, Artifact};
 use crate::retry::{is_transient, Clock, RetryPolicy};
-use crate::store::{ArtifactStore, Provenance};
+use crate::store::{ArtifactStore, PinGuard, Provenance};
 use crate::{CheckpointError, Result};
 use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Environment variable overriding the default watcher poll interval, in
+/// milliseconds. Shared by every long-running watcher host (`cityod
+/// serve`, `cityod stream run`); an explicit builder or CLI setting beats
+/// the environment, which beats [`DEFAULT_WATCH_INTERVAL_MS`].
+pub const WATCH_INTERVAL_ENV: &str = "CITYOD_WATCH_INTERVAL_MS";
+
+/// Default watcher poll interval when neither a builder option nor
+/// [`WATCH_INTERVAL_ENV`] says otherwise.
+pub const DEFAULT_WATCH_INTERVAL_MS: u64 = 200;
+
+/// Empty-poll backoff cap, as a multiple of the configured interval:
+/// consecutive polls that resolve *no* artifact double the suggested
+/// delay (interval, 2x, 4x, ...) up to `interval * WATCH_BACKOFF_CAP`,
+/// and any poll that finds an artifact resets the delay to the interval.
+pub const WATCH_BACKOFF_CAP: u64 = 8;
+
+/// The effective default poll interval: [`WATCH_INTERVAL_ENV`] when set
+/// to a positive integer, [`DEFAULT_WATCH_INTERVAL_MS`] otherwise.
+pub fn default_watch_interval_ms() -> u64 {
+    // lint: allow(determinism) — operator-facing poll cadence, not data.
+    std::env::var(WATCH_INTERVAL_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(DEFAULT_WATCH_INTERVAL_MS)
+}
 
 /// Immutable view of one verified artifact: decoded contents plus the
 /// content fingerprint. Cloning is an `Arc` pointer copy.
@@ -206,6 +234,15 @@ pub enum SnapshotSource {
 }
 
 impl SnapshotSource {
+    /// Follow the newest good version of a versioned family — the
+    /// spelling streaming callers use. Alias for
+    /// [`SnapshotSource::Family`]: resolution walks `{family}-vNNN`
+    /// newest-first and quarantines corrupt entries on the way (see
+    /// [`ArtifactStore::latest_good`]).
+    pub fn latest_good(family: impl Into<String>) -> Self {
+        Self::Family(family.into())
+    }
+
     /// The name or family string the watcher was pointed at.
     pub fn target(&self) -> &str {
         match self {
@@ -223,19 +260,52 @@ pub struct SnapshotWatcher {
     store: ArtifactStore,
     source: SnapshotSource,
     policy: RetryPolicy,
+    interval_ms: u64,
+    empty_streak: AtomicU32,
     current: Mutex<Option<Snapshot>>,
+    // Pin on the installed snapshot's artifact: an in-process gc of the
+    // watched family can never collect the version readers are holding.
+    pin: Mutex<Option<PinGuard>>,
 }
 
 impl SnapshotWatcher {
     /// A watcher with no snapshot loaded yet; call [`SnapshotWatcher::poll`]
-    /// to populate it.
+    /// to populate it. The poll interval starts at
+    /// [`default_watch_interval_ms`] (environment-aware); override it
+    /// with [`SnapshotWatcher::with_poll_interval`].
     pub fn new(store: ArtifactStore, source: SnapshotSource, policy: RetryPolicy) -> Self {
         Self {
             store,
             source,
             policy,
+            interval_ms: default_watch_interval_ms(),
+            empty_streak: AtomicU32::new(0),
             current: Mutex::new(None),
+            pin: Mutex::new(None),
         }
+    }
+
+    /// Sets the base poll interval in milliseconds (clamped to >= 1),
+    /// overriding the environment-derived default.
+    pub fn with_poll_interval(mut self, ms: u64) -> Self {
+        self.interval_ms = ms.max(1);
+        self
+    }
+
+    /// The configured base poll interval in milliseconds.
+    pub fn poll_interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    /// How long the host loop should sleep before the next poll: the base
+    /// interval, doubled for each consecutive poll that resolved no
+    /// artifact, capped at `interval * `[`WATCH_BACKOFF_CAP`]. Any poll
+    /// that finds an artifact (swap or not) resets the backoff.
+    pub fn next_poll_delay_ms(&self) -> u64 {
+        let streak = self.empty_streak.load(Ordering::Relaxed).min(32);
+        let factor = 1u64.checked_shl(streak).unwrap_or(u64::MAX);
+        self.interval_ms
+            .saturating_mul(factor.min(WATCH_BACKOFF_CAP))
     }
 
     /// The store the watcher polls.
@@ -274,11 +344,13 @@ impl SnapshotWatcher {
             }
         };
         let Some(fresh) = fresh else {
+            self.empty_streak.fetch_add(1, Ordering::Relaxed);
             obs::global()
                 .counter("snapshot_watcher_empty_polls_total")
                 .inc();
             return Ok(false);
         };
+        self.empty_streak.store(0, Ordering::Relaxed);
         let mut cur = self
             .current
             .lock()
@@ -288,7 +360,11 @@ impl SnapshotWatcher {
             None => true,
         };
         if changed {
+            // Pin the incoming version before releasing the old pin so an
+            // in-process gc can never catch the family unpinned.
+            let fresh_pin = self.store.pin(fresh.name()).ok();
             *cur = Some(fresh);
+            *self.pin.lock().unwrap_or_else(|p| p.into_inner()) = fresh_pin;
             obs::global().counter("snapshot_watcher_swaps_total").inc();
         }
         Ok(changed)
@@ -454,6 +530,73 @@ mod tests {
         assert!(!second.same_content(&first));
         // The old handle is still fully usable after the swap.
         assert_eq!(first.artifact().kind(), "snap-test");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn empty_poll_backoff_doubles_to_cap_and_resets() {
+        let store = tmp_store("backoff");
+        let clock = RecordingClock::new();
+        let watcher = SnapshotWatcher::new(
+            store.clone(),
+            SnapshotSource::latest_good("fam"),
+            RetryPolicy::default(),
+        )
+        .with_poll_interval(10);
+        assert_eq!(watcher.poll_interval_ms(), 10);
+        assert_eq!(watcher.next_poll_delay_ms(), 10);
+        // Each empty poll doubles the suggested delay, capped at
+        // interval * WATCH_BACKOFF_CAP.
+        for expect in [20, 40, 80, 80, 80] {
+            assert!(!watcher.poll(&clock).unwrap());
+            assert_eq!(watcher.next_poll_delay_ms(), expect);
+        }
+        // A poll that finds an artifact resets the backoff.
+        let prov = Provenance::new("snap-test", "{}", 0);
+        store.save_versioned("fam", &builder(1.0), &prov).unwrap();
+        assert!(watcher.poll(&clock).unwrap());
+        assert_eq!(watcher.next_poll_delay_ms(), 10);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn watch_interval_env_sets_default() {
+        std::env::set_var(WATCH_INTERVAL_ENV, "77");
+        assert_eq!(default_watch_interval_ms(), 77);
+        std::env::set_var(WATCH_INTERVAL_ENV, "not-a-number");
+        assert_eq!(default_watch_interval_ms(), DEFAULT_WATCH_INTERVAL_MS);
+        std::env::remove_var(WATCH_INTERVAL_ENV);
+        assert_eq!(default_watch_interval_ms(), DEFAULT_WATCH_INTERVAL_MS);
+    }
+
+    #[test]
+    fn watcher_pins_current_version_against_gc() {
+        let store = tmp_store("pin");
+        let prov = Provenance::new("snap-test", "{}", 0);
+        let clock = RecordingClock::new();
+        let watcher = SnapshotWatcher::new(
+            store.clone(),
+            SnapshotSource::latest_good("fam"),
+            RetryPolicy::default(),
+        );
+        store.save_versioned("fam", &builder(1.0), &prov).unwrap();
+        assert!(watcher.poll(&clock).unwrap());
+        assert!(store.is_pinned("fam-v001"));
+
+        // Two newer versions land; gc keep=1 may not touch the pinned
+        // v001 (still installed in the watcher) nor v003 (newest good).
+        store.save_versioned("fam", &builder(2.0), &prov).unwrap();
+        store.save_versioned("fam", &builder(3.0), &prov).unwrap();
+        assert_eq!(store.gc("fam", 1).unwrap(), ["fam-v002"]);
+        assert!(store.names().unwrap().contains(&"fam-v001".to_string()));
+
+        // The watcher advances to v003: the pin moves with it and v001
+        // becomes collectable.
+        assert!(watcher.poll(&clock).unwrap());
+        assert_eq!(watcher.current().unwrap().name(), "fam-v003");
+        assert!(store.is_pinned("fam-v003"));
+        assert!(!store.is_pinned("fam-v001"));
+        assert_eq!(store.gc("fam", 1).unwrap(), ["fam-v001"]);
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

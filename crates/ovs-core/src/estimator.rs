@@ -137,6 +137,8 @@ impl<'a> EstimatorInputBuilder<'a> {
             interval_s: self.interval_s,
             sim_seed: self.sim_seed,
             train: self.train,
+            // lint: allow(panic) — documented builder contract (see the
+            // `# Panics` section above); misuse is a programming error.
             observed_speed: self.observed_speed.expect(
                 "EstimatorInput requires observed_speed; call .observed_speed(..) before .build()",
             ),
@@ -164,6 +166,7 @@ pub trait TodEstimator: Send {
 
 /// Copies a TOD tensor into a `(N, T)` matrix.
 pub fn tod_to_matrix(t: &TodTensor) -> Matrix {
+    // lint: allow(panic) — shape and data length come from one tensor, cannot mismatch
     Matrix::from_vec(t.rows(), t.num_intervals(), t.as_slice().to_vec())
         .expect("tensor is internally consistent")
 }
@@ -171,6 +174,7 @@ pub fn tod_to_matrix(t: &TodTensor) -> Matrix {
 /// Copies a `(N, T)` matrix into a TOD tensor, clamping negatives to zero
 /// (trip counts are physical quantities).
 pub fn matrix_to_tod(m: &Matrix) -> TodTensor {
+    // lint: allow(panic) — shape and data length come from one matrix, cannot mismatch
     let mut t = TodTensor::from_data(m.rows(), m.cols(), m.as_slice().to_vec())
         .expect("matrix is internally consistent");
     t.clamp(0.0, f64::INFINITY);
@@ -179,12 +183,14 @@ pub fn matrix_to_tod(m: &Matrix) -> TodTensor {
 
 /// Copies a link tensor into a `(M, T)` matrix.
 pub fn link_to_matrix(t: &LinkTensor) -> Matrix {
+    // lint: allow(panic) — shape and data length come from one tensor, cannot mismatch
     Matrix::from_vec(t.rows(), t.num_intervals(), t.as_slice().to_vec())
         .expect("tensor is internally consistent")
 }
 
 /// Copies a `(M, T)` matrix into a link tensor.
 pub fn matrix_to_link(m: &Matrix) -> LinkTensor {
+    // lint: allow(panic) — shape and data length come from one matrix, cannot mismatch
     LinkTensor::from_data(m.rows(), m.cols(), m.as_slice().to_vec())
         .expect("matrix is internally consistent")
 }

@@ -460,37 +460,35 @@ pub fn calibrate_demand_level(input: &EstimatorInput<'_>) -> f64 {
         let mut means: Vec<f64> = (0..t.rows())
             .map(|j| t.row(roadnet::LinkId(j)).iter().sum::<f64>() / t_len)
             .collect();
-        if means.is_empty() {
-            return 0.0;
-        }
         means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        means[means.len() / 2]
+        means.get(means.len() / 2).copied().unwrap_or(0.0)
     }
     let mut points: Vec<(f64, f64)> = input
         .train
         .iter()
         .map(|s| (s.tod.total(), median_link_speed(&s.speed)))
         .collect();
-    if points.is_empty() {
-        return 0.0;
-    }
     points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let (Some(&first), Some(&last)) = (points.first(), points.last()) else {
+        return 0.0;
+    };
     let obs = median_link_speed(input.observed_speed);
     // Scan a fine demand grid, predict mean speed by piecewise-linear
     // interpolation, keep the best-matching total.
-    let max_total = points.last().expect("non-empty").0.max(1.0);
+    let max_total = last.0.max(1.0);
     let speed_at = |d: f64| -> f64 {
-        if d <= points[0].0 {
-            return points[0].1;
+        if d <= first.0 {
+            return first.1;
         }
         for w in points.windows(2) {
-            let ((d0, s0), (d1, s1)) = (w[0], w[1]);
-            if d <= d1 {
-                let f = if d1 > d0 { (d - d0) / (d1 - d0) } else { 0.0 };
-                return s0 + f * (s1 - s0);
+            if let &[(d0, s0), (d1, s1)] = w {
+                if d <= d1 {
+                    let f = if d1 > d0 { (d - d0) / (d1 - d0) } else { 0.0 };
+                    return s0 + f * (s1 - s0);
+                }
             }
         }
-        points.last().expect("non-empty").1
+        last.1
     };
     let mut best = (f64::INFINITY, max_total * 0.5);
     for k in 1..=120 {
@@ -541,28 +539,30 @@ impl OvsTrainer {
         train: &[crate::estimator::TrainTriple],
         mut opts: StageOptions<'_>,
     ) -> TrainResult<Vec<f64>> {
-        if train.is_empty() {
+        let Some(head) = train.first() else {
             return Err(RoadnetError::InvalidSpec(
                 "stage 1 requires at least one training triple".into(),
             )
             .into());
-        }
+        };
         // Full-batch training: the V2S weights are shared across links, so
         // every link of every sample is just another batch row. One big
         // (M * S, T) matrix keeps the loss surface smooth.
-        let m = train[0].volume.rows();
-        let t = train[0].volume.num_intervals();
+        let m = head.volume.rows();
+        let t = head.volume.num_intervals();
         let rows = m * train.len();
         let mut q_all = Matrix::zeros(rows, t);
         let mut v_all = Matrix::zeros(rows, t);
         for (s, sample) in train.iter().enumerate() {
+            let q_src = link_to_matrix(&sample.volume);
+            let v_src = link_to_matrix(&sample.speed);
             for j in 0..m {
-                q_all
-                    .row_mut(s * m + j)
-                    .copy_from_slice(&link_to_matrix(&sample.volume).row(j)[..t]);
-                v_all
-                    .row_mut(s * m + j)
-                    .copy_from_slice(&link_to_matrix(&sample.speed).row(j)[..t]);
+                for (dst, src) in q_all.row_mut(s * m + j).iter_mut().zip(q_src.row(j)) {
+                    *dst = *src;
+                }
+                for (dst, src) in v_all.row_mut(s * m + j).iter_mut().zip(v_src.row(j)) {
+                    *dst = *src;
+                }
             }
         }
         let (mut opt, mut losses, start) = match opts.resume.take() {
@@ -1148,6 +1148,46 @@ impl OvsTrainer {
             .tod_gen
             .set_output_level(level / model.config().g_max.max(1e-9));
         let fit_losses = trainer.fit_tod_gen(&mut model, input)?;
+        Ok((
+            model,
+            TrainReport {
+                v2s_losses: Vec::new(),
+                tod2v_losses: Vec::new(),
+                fit_losses,
+            },
+        ))
+    }
+
+    /// [`OvsTrainer::run_warm`] under an explicit non-finite
+    /// [`RecoveryPolicy`] and an optional fault-injection `tamper` tap —
+    /// the warm path the streaming driver runs every non-first window
+    /// through: a transiently poisoned fit step rolls back to the last
+    /// good state, a persistent one exhausts the retry budget and
+    /// surfaces as [`TrainError::Diverged`] so the caller can fall back
+    /// to a cold start instead of publishing a corrupted window.
+    #[allow(clippy::type_complexity)]
+    pub fn run_warm_guarded(
+        &self,
+        input: &EstimatorInput<'_>,
+        source_weights: &[Matrix],
+        recovery: RecoveryPolicy,
+        tamper: Option<&mut dyn FnMut(Stage, usize, &mut f64, &mut f64)>,
+    ) -> TrainResult<(OvsModel, TrainReport)> {
+        let (trainer, mut model) = self.prepare(input)?;
+        model.import_weights(source_weights)?;
+        let level = calibrate_demand_level(input);
+        model
+            .tod_gen
+            .set_output_level(level / model.config().g_max.max(1e-9));
+        let fit_losses = trainer.fit_tod_gen_with(
+            &mut model,
+            input,
+            StageOptions {
+                recovery: Some(recovery),
+                tamper,
+                ..StageOptions::default()
+            },
+        )?;
         Ok((
             model,
             TrainReport {

@@ -108,8 +108,11 @@ impl GridSpec {
                     } else {
                         (self.lanes, self.speed_mps)
                     };
-                    b.add_road(ids[i], ids[i + 1], lanes, speed)
-                        .expect("grid road is valid");
+                    if let (Some(&a), Some(&c)) = (ids.get(i), ids.get(i + 1)) {
+                        // lint: allow(panic) — generator invariant: grid
+                        // nodes and spec-checked lanes/speeds are valid.
+                        b.add_road(a, c, lanes, speed).expect("grid road is valid");
+                    }
                 }
                 if y + 1 < self.rows {
                     let (lanes, speed) = if is_arterial(x) {
@@ -117,11 +120,15 @@ impl GridSpec {
                     } else {
                         (self.lanes, self.speed_mps)
                     };
-                    b.add_road(ids[i], ids[i + self.cols], lanes, speed)
-                        .expect("grid road is valid");
+                    if let (Some(&a), Some(&c)) = (ids.get(i), ids.get(i + self.cols)) {
+                        // lint: allow(panic) — generator invariant: grid
+                        // nodes and spec-checked lanes/speeds are valid.
+                        b.add_road(a, c, lanes, speed).expect("grid road is valid");
+                    }
                 }
             }
         }
+        // lint: allow(panic) — generator invariant: a grid spec always builds
         b.assign_regions_grid(self.region_grid.0, self.region_grid.1)
             .build()
             .expect("grid spec always yields a valid network")
@@ -202,29 +209,38 @@ impl IrregularSpec {
 
         // Greedy nearest-neighbour spanning tree (Prim).
         let mut in_tree = vec![false; self.nodes];
-        in_tree[0] = true;
+        if let Some(root) = in_tree.first_mut() {
+            *root = true;
+        }
         let mut edges: Vec<(usize, usize)> = Vec::with_capacity(self.roads);
         for _ in 1..self.nodes {
             let mut best: Option<(usize, usize, f64)> = None;
-            for (a, pa) in points.iter().enumerate().filter(|&(a, _)| in_tree[a]) {
-                for (b, pb) in points.iter().enumerate().filter(|&(b, _)| !in_tree[b]) {
+            let grown = |i: usize| in_tree.get(i).copied().unwrap_or(false);
+            for (a, pa) in points.iter().enumerate().filter(|&(a, _)| grown(a)) {
+                for (b, pb) in points.iter().enumerate().filter(|&(b, _)| !grown(b)) {
                     let d = pa.distance_sq(pb);
                     if best.is_none_or(|(.., bd)| d < bd) {
                         best = Some((a, b, d));
                     }
                 }
             }
-            let (a, b, _) = best.expect("tree incomplete implies a candidate exists");
-            in_tree[b] = true;
+            // The tree is incomplete, so a frontier candidate exists; an
+            // empty `best` would mean zero nodes and the loop not running.
+            let Some((a, b, _)) = best else {
+                break;
+            };
+            if let Some(flag) = in_tree.get_mut(b) {
+                *flag = true;
+            }
             edges.push((a.min(b), a.max(b)));
         }
 
         // Spend the remaining budget on the shortest unused pairs.
         let mut remaining: Vec<(usize, usize, f64)> = Vec::new();
-        for a in 0..self.nodes {
-            for b in (a + 1)..self.nodes {
+        for (a, pa) in points.iter().enumerate() {
+            for (b, pb) in points.iter().enumerate().skip(a + 1) {
                 if !edges.contains(&(a, b)) {
-                    remaining.push((a, b, points[a].distance_sq(&points[b])));
+                    remaining.push((a, b, pa.distance_sq(pb)));
                 }
             }
         }
@@ -318,26 +334,23 @@ impl RadialSpec {
             }
         }
         // Spokes: centre -> ring1 -> ... -> outermost.
-        for (s, &innermost) in ids[0].iter().enumerate() {
+        for (s, &innermost) in ids.first().into_iter().flatten().enumerate() {
             b.add_road(centre, innermost, self.spoke_lanes, self.spoke_speed_mps)?;
-            for r in 1..self.rings {
-                b.add_road(
-                    ids[r - 1][s],
-                    ids[r][s],
-                    self.spoke_lanes,
-                    self.spoke_speed_mps,
-                )?;
+            for pair in ids.windows(2) {
+                if let (Some(&inner), Some(&outer)) = (
+                    pair.first().and_then(|row| row.get(s)),
+                    pair.last().and_then(|row| row.get(s)),
+                ) {
+                    b.add_road(inner, outer, self.spoke_lanes, self.spoke_speed_mps)?;
+                }
             }
         }
         // Rings: closed loops.
         for ring_row in &ids {
-            for s in 0..self.spokes {
-                b.add_road(
-                    ring_row[s],
-                    ring_row[(s + 1) % self.spokes],
-                    self.ring_lanes,
-                    self.ring_speed_mps,
-                )?;
+            for (s, &here) in ring_row.iter().enumerate() {
+                if let Some(&next) = ring_row.get((s + 1) % self.spokes) {
+                    b.add_road(here, next, self.ring_lanes, self.ring_speed_mps)?;
+                }
             }
         }
         b.assign_regions_grid(self.region_grid.0, self.region_grid.1)

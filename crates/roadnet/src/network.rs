@@ -417,14 +417,18 @@ impl NetworkBuilder {
         };
         let mut cell_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); rows * cols];
         for (i, p) in self.points.iter().enumerate() {
-            cell_nodes[cell_of(p)].push(NodeId(i));
+            if let Some(cell) = cell_nodes.get_mut(cell_of(p)) {
+                cell.push(NodeId(i));
+            }
         }
         let mut regions = Vec::new();
         let mut node_region = vec![RegionId(0); self.points.len()];
         for nodes in cell_nodes.into_iter().filter(|c| !c.is_empty()) {
             let rid = RegionId(regions.len());
             for &n in &nodes {
-                node_region[n.index()] = rid;
+                if let Some(slot) = node_region.get_mut(n.index()) {
+                    *slot = rid;
+                }
             }
             regions.push(Region {
                 id: rid,
@@ -441,16 +445,20 @@ impl NetworkBuilder {
             .map(|(i, &point)| Node {
                 id: NodeId(i),
                 point,
-                region: node_region[i],
-                signalized: self.signalized[i],
+                region: node_region.get(i).copied().unwrap_or(RegionId(0)),
+                signalized: self.signalized.get(i).copied().unwrap_or(false),
             })
             .collect();
 
         let mut out_links = vec![Vec::new(); nodes.len()];
         let mut in_links = vec![Vec::new(); nodes.len()];
         for l in &self.links {
-            out_links[l.from.index()].push(l.id);
-            in_links[l.to.index()].push(l.id);
+            if let Some(out) = out_links.get_mut(l.from.index()) {
+                out.push(l.id);
+            }
+            if let Some(inl) = in_links.get_mut(l.to.index()) {
+                inl.push(l.id);
+            }
         }
 
         Ok(RoadNetwork {

@@ -68,6 +68,7 @@ impl Parallelism {
                 let pool = rayon::ThreadPoolBuilder::new()
                     .num_threads(other.threads())
                     .build()
+                    // lint: allow(panic) — scoped pool build only fails on zero threads; threads() >= 1
                     .expect("scoped thread pool construction cannot fail");
                 pool.install(op)
             }

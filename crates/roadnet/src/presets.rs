@@ -42,6 +42,8 @@ pub fn hangzhou() -> CityPreset {
     let network = IrregularSpec::new(46, 63)
         .with_regions(3, 3)
         .build(HANGZHOU_SEED)
+        // lint: allow(panic) — compile-time-fixed preset spec; validated
+        // by the preset round-trip tests.
         .expect("preset spec is valid");
     CityPreset {
         name: "Hangzhou",
@@ -56,6 +58,8 @@ pub fn porto() -> CityPreset {
     let network = IrregularSpec::new(70, 100)
         .with_regions(3, 3)
         .build(PORTO_SEED)
+        // lint: allow(panic) — compile-time-fixed preset spec; validated
+        // by the preset round-trip tests.
         .expect("preset spec is valid");
     CityPreset {
         name: "Porto",
@@ -85,6 +89,8 @@ pub fn state_college() -> CityPreset {
     let network = IrregularSpec::new(14, 16)
         .with_regions(2, 2)
         .build(STATE_COLLEGE_SEED)
+        // lint: allow(panic) — compile-time-fixed preset spec; validated
+        // by the preset round-trip tests.
         .expect("preset spec is valid");
     CityPreset {
         name: "State College",

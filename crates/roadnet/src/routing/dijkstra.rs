@@ -58,18 +58,26 @@ pub fn dijkstra_with_bans(
     let mut prev_link: Vec<Option<LinkId>> = vec![None; n];
     let mut done = vec![false; n];
 
-    dist[from.index()] = 0.0;
+    if let Some(d) = dist.get_mut(from.index()) {
+        *d = 0.0;
+    }
     let mut heap = BinaryHeap::new();
     heap.push(HeapEntry {
         cost: 0.0,
         node: from,
     });
 
+    // Node and link ids come out of the validated network, so every index
+    // below is in range; checked access keeps that a local fact instead of
+    // a cross-module invariant, and an out-of-range id degrades into
+    // "unreachable" rather than a panic.
     while let Some(HeapEntry { cost: d, node }) = heap.pop() {
-        if done[node.index()] {
+        if done.get(node.index()).copied().unwrap_or(true) {
             continue;
         }
-        done[node.index()] = true;
+        if let Some(flag) = done.get_mut(node.index()) {
+            *flag = true;
+        }
         if node == to {
             break;
         }
@@ -77,7 +85,9 @@ pub fn dijkstra_with_bans(
             if link_banned(lid) {
                 continue;
             }
-            let link = &net.links()[lid.index()];
+            let Some(link) = net.links().get(lid.index()) else {
+                continue;
+            };
             if node_banned(link.to) && link.to != to {
                 continue;
             }
@@ -86,9 +96,18 @@ pub fn dijkstra_with_bans(
                 continue;
             }
             let nd = d + c;
-            if nd < dist[link.to.index()] {
-                dist[link.to.index()] = nd;
-                prev_link[link.to.index()] = Some(lid);
+            if nd
+                < dist
+                    .get(link.to.index())
+                    .copied()
+                    .unwrap_or(f64::NEG_INFINITY)
+            {
+                if let Some(slot) = dist.get_mut(link.to.index()) {
+                    *slot = nd;
+                }
+                if let Some(slot) = prev_link.get_mut(link.to.index()) {
+                    *slot = Some(lid);
+                }
                 heap.push(HeapEntry {
                     cost: nd,
                     node: link.to,
@@ -97,7 +116,7 @@ pub fn dijkstra_with_bans(
         }
     }
 
-    if from != to && prev_link[to.index()].is_none() {
+    if from != to && prev_link.get(to.index()).copied().flatten().is_none() {
         return Err(RoadnetError::NoPath { from, to });
     }
 
@@ -107,18 +126,23 @@ pub fn dijkstra_with_bans(
     let mut links = Vec::new();
     let mut cur = to;
     while cur != from {
-        let Some(lid) = prev_link[cur.index()] else {
+        let Some(lid) = prev_link.get(cur.index()).copied().flatten() else {
             return Err(RoadnetError::Internal(format!(
                 "predecessor chain broken at {cur} while reconstructing {from}->{to}"
             )));
         };
         links.push(lid);
-        cur = net.links()[lid.index()].from;
+        let Some(link) = net.links().get(lid.index()) else {
+            return Err(RoadnetError::Internal(format!(
+                "unknown link {lid} on the predecessor chain of {from}->{to}"
+            )));
+        };
+        cur = link.from;
     }
     links.reverse();
     Ok(Route {
         links,
-        cost: dist[to.index()],
+        cost: dist.get(to.index()).copied().unwrap_or(f64::INFINITY),
     })
 }
 

@@ -41,16 +41,23 @@ pub fn k_shortest_paths(
             let spur_node = if spur_idx == 0 {
                 from
             } else {
-                last_nodes[spur_idx]
+                match last_nodes.get(spur_idx) {
+                    Some(&n) => n,
+                    None => continue,
+                }
             };
-            let root_links = &last.links[..spur_idx];
+            let Some(root_links) = last.links.get(..spur_idx) else {
+                continue;
+            };
 
             // Ban links that would recreate an already-accepted path with
             // the same root.
             let mut banned_links = BTreeSet::new();
             for p in &accepted {
-                if p.links.len() > spur_idx && p.links[..spur_idx] == *root_links {
-                    banned_links.insert(p.links[spur_idx]);
+                if p.links.get(..spur_idx) == Some(root_links) {
+                    if let Some(&spur_link) = p.links.get(spur_idx) {
+                        banned_links.insert(spur_link);
+                    }
                 }
             }
             // Ban root nodes (except the spur node) to keep paths loopless.
@@ -74,7 +81,11 @@ pub fn k_shortest_paths(
 
             let mut links = root_links.to_vec();
             links.extend_from_slice(&spur.links);
-            let total_cost: f64 = links.iter().map(|&l| cost(&net.links()[l.index()])).sum();
+            let total_cost: f64 = links
+                .iter()
+                .filter_map(|&l| net.links().get(l.index()))
+                .map(cost)
+                .sum();
             let candidate = Route {
                 links,
                 cost: total_cost,

@@ -20,7 +20,9 @@ impl Route {
     pub fn nodes(&self, net: &RoadNetwork) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(self.links.len() + 1);
         for (i, &lid) in self.links.iter().enumerate() {
-            let l = &net.links()[lid.index()];
+            let Some(l) = net.links().get(lid.index()) else {
+                continue;
+            };
             if i == 0 {
                 out.push(l.from);
             }
@@ -33,15 +35,22 @@ impl Route {
     pub fn length_m(&self, net: &RoadNetwork) -> f64 {
         self.links
             .iter()
-            .map(|&l| net.links()[l.index()].length_m)
+            .filter_map(|&l| net.links().get(l.index()))
+            .map(|l| l.length_m)
             .sum()
     }
 
     /// True when consecutive links share endpoints (the route is connected).
     pub fn is_connected(&self, net: &RoadNetwork) -> bool {
-        self.links
-            .windows(2)
-            .all(|w| net.links()[w[0].index()].to == net.links()[w[1].index()].from)
+        self.links.windows(2).all(|w| {
+            let (Some(&a), Some(&b)) = (w.first(), w.last()) else {
+                return false;
+            };
+            match (net.links().get(a.index()), net.links().get(b.index())) {
+                (Some(a), Some(b)) => a.to == b.from,
+                _ => false,
+            }
+        })
     }
 
     /// True when the route visits no node twice (simple path).

@@ -63,6 +63,8 @@ macro_rules! series_tensor {
             #[inline]
             pub fn get(&self, row: $row_id, t: usize) -> f64 {
                 debug_assert!(row.index() < self.rows && t < self.t);
+                // lint: allow(panic) — hot-path accessor with a documented
+                // out-of-range panic; callers index by typed id.
                 self.data[row.index() * self.t + t]
             }
 
@@ -70,6 +72,8 @@ macro_rules! series_tensor {
             #[inline]
             pub fn set(&mut self, row: $row_id, t: usize, value: f64) {
                 debug_assert!(row.index() < self.rows && t < self.t);
+                // lint: allow(panic) — hot-path accessor with a documented
+                // out-of-range panic; callers index by typed id.
                 self.data[row.index() * self.t + t] = value;
             }
 
@@ -77,6 +81,8 @@ macro_rules! series_tensor {
             #[inline]
             pub fn add_at(&mut self, row: $row_id, t: usize, delta: f64) {
                 debug_assert!(row.index() < self.rows && t < self.t);
+                // lint: allow(panic) — hot-path accessor with a documented
+                // out-of-range panic; callers index by typed id.
                 self.data[row.index() * self.t + t] += delta;
             }
 
@@ -84,6 +90,8 @@ macro_rules! series_tensor {
             #[inline]
             pub fn row(&self, row: $row_id) -> &[f64] {
                 let start = row.index() * self.t;
+                // lint: allow(panic) — hot-path accessor with a documented
+                // out-of-range panic; callers index by typed id.
                 &self.data[start..start + self.t]
             }
 
@@ -91,6 +99,8 @@ macro_rules! series_tensor {
             #[inline]
             pub fn row_mut(&mut self, row: $row_id) -> &mut [f64] {
                 let start = row.index() * self.t;
+                // lint: allow(panic) — hot-path accessor with a documented
+                // out-of-range panic; callers index by typed id.
                 &mut self.data[start..start + self.t]
             }
 
@@ -173,8 +183,14 @@ macro_rules! series_tensor {
                 let mut acc = 0.0;
                 for t in 0..self.t {
                     let mut sq = 0.0;
-                    for r in 0..self.rows {
-                        let d = self.data[r * self.t + t] - other.data[r * self.t + t];
+                    for (a, b) in self
+                        .data
+                        .iter()
+                        .skip(t)
+                        .step_by(self.t)
+                        .zip(other.data.iter().skip(t).step_by(self.t))
+                    {
+                        let d = a - b;
                         sq += d * d;
                     }
                     acc += (sq / self.rows as f64).sqrt();

@@ -15,7 +15,9 @@ use crate::http::{read_request, write_response, ReadOutcome, Response};
 use crate::router;
 use crate::view::ModelView;
 use checkpoint::store::ArtifactStore;
-use checkpoint::{RetryPolicy, SnapshotSource, SnapshotWatcher, SystemClock};
+use checkpoint::{
+    default_watch_interval_ms, RetryPolicy, SnapshotSource, SnapshotWatcher, SystemClock,
+};
 use datagen::Dataset;
 use obs::Registry;
 use std::io::{BufReader, BufWriter};
@@ -45,7 +47,11 @@ pub struct ServeOptions {
     pub addr: String,
     /// Worker (accept + request) threads.
     pub threads: usize,
-    /// Snapshot poll interval for the hot-swap watcher, in milliseconds.
+    /// Base snapshot poll interval for the hot-swap watcher, in
+    /// milliseconds. Consecutive polls that resolve no artifact back the
+    /// cadence off exponentially, capped at
+    /// `poll_ms * checkpoint::WATCH_BACKOFF_CAP` (see
+    /// [`SnapshotWatcher::next_poll_delay_ms`]).
     pub poll_ms: u64,
 }
 
@@ -54,7 +60,9 @@ impl Default for ServeOptions {
         Self {
             addr: "127.0.0.1:0".to_string(),
             threads: 2,
-            poll_ms: 200,
+            // Environment-aware: CITYOD_WATCH_INTERVAL_MS overrides the
+            // built-in 200 ms, shared with `cityod stream run`.
+            poll_ms: default_watch_interval_ms(),
         }
     }
 }
@@ -77,7 +85,10 @@ impl Server {
         opts: &ServeOptions,
     ) -> Result<Server> {
         let dataset = Arc::new(dataset);
-        let watcher = Arc::new(SnapshotWatcher::new(store, source, RetryPolicy::default()));
+        let watcher = Arc::new(
+            SnapshotWatcher::new(store, source, RetryPolicy::default())
+                .with_poll_interval(opts.poll_ms),
+        );
         watcher.poll(&SystemClock)?;
         let snapshot = watcher
             .current()
@@ -104,9 +115,8 @@ impl Server {
             let state = state.clone();
             let dataset = dataset.clone();
             let stop = shutdown.clone();
-            let poll_ms = opts.poll_ms.max(1);
             threads.push(std::thread::spawn(move || {
-                watch_loop(&watcher, &state, &dataset, &stop, poll_ms);
+                watch_loop(&watcher, &state, &dataset, &stop);
             }));
         }
         Ok(Server {
@@ -209,18 +219,23 @@ fn record_request(endpoint: &str, resp: &Response, elapsed: Duration) {
 }
 
 /// The hot-swap loop: poll the watcher, rebuild the view on change, and
-/// never replace a serving view with a broken one.
+/// never replace a serving view with a broken one. The sleep between
+/// polls is the watcher's own suggestion
+/// ([`SnapshotWatcher::next_poll_delay_ms`]): the base interval while
+/// artifacts resolve, backed off exponentially (capped) while the store
+/// stays empty — a server pointed at a family its stream has not
+/// published yet does not hammer the filesystem.
 fn watch_loop(
     watcher: &SnapshotWatcher,
     state: &RwLock<Arc<ModelView>>,
     dataset: &Arc<Dataset>,
     shutdown: &AtomicBool,
-    poll_ms: u64,
 ) {
     let reg = obs::global();
     while !shutdown.load(Ordering::SeqCst) {
         // Sleep in short slices so shutdown stays responsive even with
-        // long poll intervals.
+        // long (backed-off) poll delays.
+        let poll_ms = watcher.next_poll_delay_ms();
         let mut slept = 0u64;
         while slept < poll_ms && !shutdown.load(Ordering::SeqCst) {
             let slice = (poll_ms - slept).min(10);

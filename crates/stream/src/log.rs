@@ -1,0 +1,184 @@
+//! The append-only observation log: the ingestion substrate.
+//!
+//! An [`ObservationLog`] records per-link speed readings in **arrival
+//! order** — the order the pipeline saw them, which may differ from
+//! event-time order (late arrivals are the whole point of the
+//! watermark). The log is append-only: entries are never reordered,
+//! rewritten or dropped, so replaying a persisted log reproduces the
+//! exact arrival sequence — the property the restart-equivalence
+//! invariant of [`crate::driver`] rests on.
+//!
+//! The on-disk format is a line-oriented text file — one
+//! `interval link speed` triple per line — using Rust's shortest
+//! round-trip float formatting, so `write → read → write` is
+//! byte-identical and the re-read speeds are bit-exact.
+
+use crate::{Result, StreamError};
+use roadnet::LinkId;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Header line identifying an observation-log file.
+const LOG_HEADER: &str = "# cityod-observation-log v1";
+
+/// One per-link speed reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// The link the sensor sits on.
+    pub link: LinkId,
+    /// Event time: the global observation-interval index the reading
+    /// belongs to (interval length is fixed per deployment).
+    pub interval: u64,
+    /// Mean speed over that interval, in m/s.
+    pub speed: f64,
+}
+
+/// Append-only, arrival-ordered log of observations.
+#[derive(Debug, Clone, Default)]
+pub struct ObservationLog {
+    entries: Vec<Observation>,
+}
+
+impl ObservationLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one observation (arrival order).
+    pub fn append(&mut self, obs: Observation) {
+        self.entries.push(obs);
+    }
+
+    /// Appends a batch in its iteration order.
+    pub fn extend(&mut self, batch: impl IntoIterator<Item = Observation>) {
+        self.entries.extend(batch);
+    }
+
+    /// The recorded observations, in arrival order.
+    pub fn entries(&self) -> &[Observation] {
+        &self.entries
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Writes the log as a text file (header + one `interval link speed`
+    /// line per observation, arrival order preserved).
+    pub fn write_to(&self, path: impl AsRef<Path>) -> Result<()> {
+        let file = std::fs::File::create(path.as_ref())?;
+        let mut w = BufWriter::new(file);
+        writeln!(w, "{LOG_HEADER}")?;
+        for obs in &self.entries {
+            // `{:?}` prints the shortest decimal that parses back to the
+            // identical f64 bits — the round-trip the restart invariant
+            // needs.
+            writeln!(w, "{} {} {:?}", obs.interval, obs.link.0, obs.speed)?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads a log written by [`ObservationLog::write_to`]. Blank lines
+    /// and `#` comments are skipped; any other malformed line is a typed
+    /// error, never silently dropped data.
+    pub fn read_from(path: impl AsRef<Path>) -> Result<Self> {
+        let file = std::fs::File::open(path.as_ref())?;
+        let reader = BufReader::new(file);
+        let mut entries = Vec::new();
+        for (i, line) in reader.lines().enumerate() {
+            let line = line?;
+            let text = line.trim();
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            let mut parts = text.split_ascii_whitespace();
+            let obs = (|| {
+                let interval = parts.next()?.parse::<u64>().ok()?;
+                let link = parts.next()?.parse::<usize>().ok()?;
+                let speed = parts.next()?.parse::<f64>().ok()?;
+                if parts.next().is_some() {
+                    return None;
+                }
+                Some(Observation {
+                    link: LinkId(link),
+                    interval,
+                    speed,
+                })
+            })();
+            match obs {
+                Some(obs) => entries.push(obs),
+                None => {
+                    return Err(StreamError::Parse {
+                        line: i + 1,
+                        message: format!("expected 'interval link speed', got '{text}'"),
+                    })
+                }
+            }
+        }
+        Ok(Self { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cityod-obslog-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact_and_order_preserving() {
+        let mut log = ObservationLog::new();
+        // Out-of-order event times, awkward float values.
+        log.append(Observation {
+            link: LinkId(3),
+            interval: 7,
+            speed: 13.700000000000001,
+        });
+        log.extend([
+            Observation {
+                link: LinkId(0),
+                interval: 2,
+                speed: 0.1 + 0.2,
+            },
+            Observation {
+                link: LinkId(1),
+                interval: 7,
+                speed: f64::MIN_POSITIVE,
+            },
+        ]);
+        let path = tmp_path("roundtrip");
+        log.write_to(&path).unwrap();
+        let back = ObservationLog::read_from(&path).unwrap();
+        assert_eq!(back.entries(), log.entries());
+        // write -> read -> write is byte-identical.
+        let path2 = tmp_path("roundtrip2");
+        back.write_to(&path2).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&path2).unwrap()
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&path2);
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        let path = tmp_path("malformed");
+        std::fs::write(&path, "# header\n1 2 3.0\nnot a line\n").unwrap();
+        match ObservationLog::read_from(&path) {
+            Err(StreamError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

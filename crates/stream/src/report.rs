@@ -1,0 +1,252 @@
+//! Structured run reports: what happened to every window.
+//!
+//! A [`StreamReport`] is the JSON-serialisable record of one
+//! [`crate::driver::StreamDriver::run`]: per-window outcomes (warm or
+//! cold start, fit steps, convergence speed, masked RMSE, the published
+//! artifact and its content fingerprint) plus stream-level totals. The
+//! `Display` impl renders the operator-facing table the
+//! `cityod stream run` CLI prints; `--json` emits the serde form.
+
+use std::fmt;
+
+/// What became of one closed window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum WindowStatus {
+    /// Estimated and published as a new artifact version.
+    Published,
+    /// Closed without a single observation: nothing to estimate.
+    Empty,
+    /// Both the warm attempt and the cold fallback diverged; nothing was
+    /// published and the next window starts cold.
+    Failed,
+    /// Already published by a previous run of the same family; replay
+    /// skipped estimation (restart path).
+    Skipped,
+}
+
+impl WindowStatus {
+    /// Fixed-width table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Published => "published",
+            Self::Empty => "empty",
+            Self::Failed => "FAILED",
+            Self::Skipped => "skipped",
+        }
+    }
+}
+
+/// Per-window outcome record.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WindowOutcome {
+    /// Window index.
+    pub window: usize,
+    /// First interval covered (inclusive).
+    pub start: u64,
+    /// One past the last interval covered (exclusive).
+    pub end: u64,
+    /// Observations absorbed into the window.
+    pub observations: usize,
+    /// True when stage 3 warm-started from the previous window's model.
+    pub warm: bool,
+    /// Gradient steps the test-time fit ran.
+    pub fit_steps: usize,
+    /// First fit step whose loss closed 95% of the gap to the final loss
+    /// — the early-stop-independent convergence measure warm-vs-cold
+    /// comparisons use.
+    pub steps_to_tol: Option<usize>,
+    /// Final test-time fit loss.
+    pub final_fit_loss: Option<f64>,
+    /// RMSE between the window's observed speeds and the simulation of
+    /// the recovered TOD, over observed cells only.
+    pub masked_rmse: Option<f64>,
+    /// Published artifact name (`{family}-vNNN`), when published.
+    pub artifact: Option<String>,
+    /// Content fingerprint of the published artifact — the serving
+    /// layer's ETag for this window.
+    pub fingerprint: Option<String>,
+    /// What became of the window.
+    pub status: WindowStatus,
+    /// Wall-clock seconds the window's estimation took.
+    pub train_seconds: f64,
+}
+
+/// Whole-run record of a streaming session.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StreamReport {
+    /// The run id (`stream-<run-id>` is the artifact family).
+    pub run_id: String,
+    /// The artifact family every window published into.
+    pub family: String,
+    /// Per-window outcomes, in window order.
+    pub windows: Vec<WindowOutcome>,
+    /// Observations dropped because every containing window had closed.
+    pub late_drops: u64,
+    /// Observations dropped for non-finite speed or unknown link.
+    pub invalid_drops: u64,
+    /// Windows whose published version this run found already present
+    /// and replayed past (`None` for a cold boot).
+    pub resumed_from: Option<usize>,
+}
+
+impl StreamReport {
+    /// Number of published windows.
+    pub fn published(&self) -> usize {
+        self.count(WindowStatus::Published)
+    }
+
+    /// Number of windows with the given status.
+    pub fn count(&self, status: WindowStatus) -> usize {
+        self.windows.iter().filter(|w| w.status == status).count()
+    }
+
+    /// Published windows that warm-started.
+    pub fn warm_count(&self) -> usize {
+        self.windows
+            .iter()
+            .filter(|w| w.status == WindowStatus::Published && w.warm)
+            .count()
+    }
+
+    /// Published windows that cold-started.
+    pub fn cold_count(&self) -> usize {
+        self.windows
+            .iter()
+            .filter(|w| w.status == WindowStatus::Published && !w.warm)
+            .count()
+    }
+
+    /// Mean [`WindowOutcome::steps_to_tol`] over published windows of the
+    /// given start kind — the warm-vs-cold convergence comparison.
+    pub fn mean_steps_to_tol(&self, warm: bool) -> Option<f64> {
+        let steps: Vec<usize> = self
+            .windows
+            .iter()
+            .filter(|w| w.status == WindowStatus::Published && w.warm == warm)
+            .filter_map(|w| w.steps_to_tol)
+            .collect();
+        if steps.is_empty() {
+            return None;
+        }
+        Some(steps.iter().sum::<usize>() as f64 / steps.len() as f64)
+    }
+}
+
+fn opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| format!("{x:.4}"))
+}
+
+impl fmt::Display for StreamReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "stream '{}' -> family '{}': {} window(s), {} published ({} warm / {} cold), {} late drop(s){}",
+            self.run_id,
+            self.family,
+            self.windows.len(),
+            self.published(),
+            self.warm_count(),
+            self.cold_count(),
+            self.late_drops,
+            self.resumed_from
+                .map(|w| format!(", resumed past window {w}"))
+                .unwrap_or_default(),
+        )?;
+        writeln!(
+            f,
+            "{:>6} {:>11} {:>5} {:>5} {:>9} {:>8} {:>10} {:>10} {:>9} artifact",
+            "window", "range", "obs", "start", "fit_steps", "to_tol", "fit_loss", "rmse", "status"
+        )?;
+        for w in &self.windows {
+            writeln!(
+                f,
+                "{:>6} {:>11} {:>5} {:>5} {:>9} {:>8} {:>10} {:>10} {:>9} {}",
+                w.window,
+                format!("[{},{})", w.start, w.end),
+                w.observations,
+                if w.warm { "warm" } else { "cold" },
+                w.fit_steps,
+                w.steps_to_tol
+                    .map_or_else(|| "-".to_string(), |s| s.to_string()),
+                opt(w.final_fit_loss),
+                opt(w.masked_rmse),
+                w.status.label(),
+                w.artifact.as_deref().unwrap_or("-"),
+            )?;
+        }
+        if let (Some(warm), Some(cold)) =
+            (self.mean_steps_to_tol(true), self.mean_steps_to_tol(false))
+        {
+            writeln!(
+                f,
+                "mean steps to 95% of final loss: warm {warm:.1} vs cold {cold:.1}"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(window: usize, warm: bool, steps: usize, status: WindowStatus) -> WindowOutcome {
+        WindowOutcome {
+            window,
+            start: (window * 2) as u64,
+            end: (window * 2 + 4) as u64,
+            observations: 24,
+            warm,
+            fit_steps: steps * 2,
+            steps_to_tol: Some(steps),
+            final_fit_loss: Some(0.5),
+            masked_rmse: Some(1.25),
+            artifact: matches!(status, WindowStatus::Published)
+                .then(|| format!("stream-x-v{:03}", window + 1)),
+            fingerprint: matches!(status, WindowStatus::Published)
+                .then(|| "abc-00000000".to_string()),
+            status,
+            train_seconds: 0.1,
+        }
+    }
+
+    fn report() -> StreamReport {
+        StreamReport {
+            run_id: "x".into(),
+            family: "stream-x".into(),
+            windows: vec![
+                outcome(0, false, 40, WindowStatus::Published),
+                outcome(1, true, 10, WindowStatus::Published),
+                outcome(2, true, 12, WindowStatus::Published),
+                outcome(3, false, 0, WindowStatus::Empty),
+            ],
+            late_drops: 3,
+            invalid_drops: 0,
+            resumed_from: None,
+        }
+    }
+
+    #[test]
+    fn counts_and_convergence_means() {
+        let r = report();
+        assert_eq!(r.published(), 3);
+        assert_eq!(r.warm_count(), 2);
+        assert_eq!(r.cold_count(), 1);
+        assert_eq!(r.count(WindowStatus::Empty), 1);
+        assert_eq!(r.mean_steps_to_tol(true), Some(11.0));
+        assert_eq!(r.mean_steps_to_tol(false), Some(40.0));
+    }
+
+    #[test]
+    fn json_round_trip_and_display() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: StreamReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.windows.len(), r.windows.len());
+        assert_eq!(back.family, r.family);
+        let text = format!("{r}");
+        assert!(text.contains("3 published (2 warm / 1 cold)"));
+        assert!(text.contains("stream-x-v002"));
+        assert!(text.contains("warm 11.0 vs cold 40.0"));
+    }
+}

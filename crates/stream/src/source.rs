@@ -1,0 +1,371 @@
+//! Observation sources: where the arrival stream comes from.
+//!
+//! A [`ObservationSource`] yields batches of [`Observation`]s in
+//! **arrival order**. Two implementations:
+//!
+//! * [`SimSource`] — the simulator-driven replay source: each *frame*
+//!   (`stride` intervals) re-runs the dataset's ground-truth demand —
+//!   scaled by a seeded per-frame drift factor, so consecutive windows
+//!   see genuinely different traffic — through the simulator, then emits
+//!   the resulting per-link speeds in a seeded shuffled order with a
+//!   seeded fraction held back and re-delivered several frames later
+//!   (the late arrivals the watermark machinery exists for). Every draw
+//!   comes from a counter-based RNG stream, so the full arrival sequence
+//!   is a pure function of `(dataset, config, seed)` — replaying the
+//!   source reproduces it bit-exactly, which is what lets a restarted
+//!   driver rebuild window tensors without persisting them.
+//! * [`LogSource`] — replays a persisted [`ObservationLog`] in its
+//!   recorded arrival order.
+
+use crate::log::{Observation, ObservationLog};
+use crate::window::WindowSpec;
+use crate::{Result, StreamError};
+use datagen::Dataset;
+use neural::rng::Rng64;
+use roadnet::{LinkId, OdPairId, TodTensor};
+use simulator::Simulation;
+use std::collections::BTreeMap;
+
+/// Stream-index salt for the per-frame demand-drift draw.
+const DRIFT_SALT: u64 = 0x5EED_D51F;
+/// Stream-index salt for the per-frame arrival shuffle.
+const SHUFFLE_SALT: u64 = 0x5EED_5871;
+/// Stream-index salt for the per-frame late-arrival selection.
+const LATE_SALT: u64 = 0x5EED_1A7E;
+
+/// A producer of arrival-ordered observation batches.
+pub trait ObservationSource {
+    /// The next batch of observations, in arrival order. An empty batch
+    /// means the source is exhausted (a [`SimSource`] never is).
+    fn next_batch(&mut self) -> Result<Vec<Observation>>;
+}
+
+/// Knobs of the simulator-driven replay source.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct SimSourceConfig {
+    /// Master seed of every per-frame draw (drift, shuffle, lateness).
+    pub seed: u64,
+    /// Relative demand drift amplitude: frame `f` scales the ground-truth
+    /// demand by `1 + drift * u_f` with `u_f` uniform in `[-1, 1]`.
+    pub drift: f64,
+    /// Fraction of each frame's observations held back and delivered
+    /// [`SimSourceConfig::late_delay_frames`] frames later.
+    pub late_frac: f64,
+    /// How many frames a held-back observation is delayed.
+    pub late_delay_frames: u64,
+}
+
+impl Default for SimSourceConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            drift: 0.2,
+            late_frac: 0.0,
+            late_delay_frames: 2,
+        }
+    }
+}
+
+/// Simulator-driven replay source (see module docs). Infinite: every
+/// call to [`ObservationSource::next_batch`] produces one frame.
+pub struct SimSource {
+    ds: Dataset,
+    spec: WindowSpec,
+    cfg: SimSourceConfig,
+    frame: u64,
+    // Held-back observations, keyed by the frame that releases them.
+    held: BTreeMap<u64, Vec<Observation>>,
+}
+
+impl SimSource {
+    /// A source replaying `ds`'s ground-truth demand in frames of
+    /// `spec.stride` intervals.
+    pub fn new(ds: Dataset, spec: WindowSpec, cfg: SimSourceConfig) -> Result<Self> {
+        if !(0.0..1.0).contains(&cfg.late_frac) {
+            return Err(StreamError::Config(format!(
+                "late_frac must be in [0, 1), got {}",
+                cfg.late_frac
+            )));
+        }
+        if !cfg.drift.is_finite() || cfg.drift.abs() >= 1.0 {
+            return Err(StreamError::Config(format!(
+                "drift must be finite with |drift| < 1 (demand stays positive), got {}",
+                cfg.drift
+            )));
+        }
+        Ok(Self {
+            ds,
+            spec,
+            cfg,
+            frame: 0,
+            held: BTreeMap::new(),
+        })
+    }
+
+    /// The dataset the source replays.
+    pub fn dataset(&self) -> &Dataset {
+        &self.ds
+    }
+
+    /// The demand tensor frame `f` pushes through the simulator: the
+    /// ground-truth columns (wrapped modulo the dataset's day length)
+    /// scaled by the frame's seeded drift factor.
+    fn frame_tod(&self, f: u64) -> Result<TodTensor> {
+        let stride = self.spec.stride;
+        let n_od = self.ds.n_od();
+        let day = self.ds.n_intervals() as u64;
+        let mut drift_rng = Rng64::for_index(self.cfg.seed ^ DRIFT_SALT, f);
+        let factor = 1.0 + self.cfg.drift * drift_rng.uniform_in(-1.0, 1.0);
+        let mut data = vec![0.0_f64; n_od * stride];
+        for od in 0..n_od {
+            for j in 0..stride {
+                let src_t = ((f * stride as u64 + j as u64) % day) as usize;
+                if let Some(cell) = data.get_mut(od * stride + j) {
+                    *cell = self.ds.groundtruth_tod.get(OdPairId(od), src_t) * factor;
+                }
+            }
+        }
+        Ok(TodTensor::from_data(n_od, stride, data)?)
+    }
+}
+
+impl ObservationSource for SimSource {
+    fn next_batch(&mut self) -> Result<Vec<Observation>> {
+        let f = self.frame;
+        self.frame += 1;
+        let stride = self.spec.stride;
+        let base = f * stride as u64;
+
+        // Simulate this frame's drifted demand; the sim seed is a pure
+        // function of (master seed, frame), so a replay regenerates the
+        // identical speed field.
+        let tod = self.frame_tod(f)?;
+        let sim_cfg = self
+            .ds
+            .sim_config
+            .clone()
+            .with_intervals(stride)
+            .with_seed(Rng64::stream_seed(self.cfg.seed, f));
+        let out = Simulation::new(&self.ds.net, &self.ds.ods, sim_cfg)?.run(&tod)?;
+
+        // Emit one observation per (link, interval) cell, shuffled.
+        let n_links = self.ds.n_links();
+        let mut batch: Vec<Observation> = Vec::with_capacity(n_links * stride);
+        for link in 0..n_links {
+            for j in 0..stride {
+                batch.push(Observation {
+                    link: LinkId(link),
+                    interval: base + j as u64,
+                    speed: out.speed.get(LinkId(link), j),
+                });
+            }
+        }
+        let mut shuffle_rng = Rng64::for_index(self.cfg.seed ^ SHUFFLE_SALT, f);
+        for i in (1..batch.len()).rev() {
+            batch.swap(i, shuffle_rng.index(i + 1));
+        }
+
+        // Hold back a seeded fraction for delayed delivery.
+        if self.cfg.late_frac > 0.0 {
+            let mut late_rng = Rng64::for_index(self.cfg.seed ^ LATE_SALT, f);
+            let release_at = f + self.cfg.late_delay_frames.max(1);
+            let mut on_time = Vec::with_capacity(batch.len());
+            for obs in batch {
+                if late_rng.uniform() < self.cfg.late_frac {
+                    self.held.entry(release_at).or_default().push(obs);
+                } else {
+                    on_time.push(obs);
+                }
+            }
+            batch = on_time;
+        }
+
+        // Release everything whose delay has elapsed, after this frame's
+        // fresh observations (they are the stragglers, after all).
+        let due: Vec<u64> = self.held.range(..=f).map(|(&k, _)| k).collect();
+        for key in due {
+            if let Some(released) = self.held.remove(&key) {
+                batch.extend(released);
+            }
+        }
+        Ok(batch)
+    }
+}
+
+/// Replays a persisted [`ObservationLog`] in recorded arrival order, in
+/// batches of `chunk` observations (the final batch may be shorter).
+pub struct LogSource {
+    log: ObservationLog,
+    pos: usize,
+    chunk: usize,
+}
+
+impl LogSource {
+    /// A source replaying `log` in one batch per [`LogSource::next_batch`]
+    /// call of at most `chunk` observations (`chunk == 0` means all at
+    /// once).
+    pub fn new(log: ObservationLog, chunk: usize) -> Self {
+        Self { log, pos: 0, chunk }
+    }
+}
+
+impl ObservationSource for LogSource {
+    fn next_batch(&mut self) -> Result<Vec<Observation>> {
+        let entries = self.log.entries();
+        if self.pos >= entries.len() {
+            return Ok(Vec::new());
+        }
+        let take = if self.chunk == 0 {
+            entries.len() - self.pos
+        } else {
+            self.chunk.min(entries.len() - self.pos)
+        };
+        let batch = entries.iter().skip(self.pos).take(take).copied().collect();
+        self.pos += take;
+        Ok(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::dataset::DatasetSpec;
+    use datagen::TodPattern;
+
+    fn tiny_dataset(t: usize) -> Dataset {
+        Dataset::synthetic(
+            TodPattern::Gaussian,
+            &DatasetSpec {
+                t,
+                interval_s: 120.0,
+                train_samples: 2,
+                demand_scale: 0.05,
+                seed: 3,
+            },
+        )
+        .unwrap()
+    }
+
+    fn spec(length: usize, stride: usize) -> WindowSpec {
+        WindowSpec::new(length, stride, 0).unwrap()
+    }
+
+    #[test]
+    fn sim_source_replays_bit_identically_from_seed() {
+        let ds = tiny_dataset(4);
+        let cfg = SimSourceConfig {
+            seed: 11,
+            drift: 0.3,
+            late_frac: 0.25,
+            late_delay_frames: 2,
+        };
+        let mut a = SimSource::new(ds.clone(), spec(4, 2), cfg).unwrap();
+        let mut b = SimSource::new(ds, spec(4, 2), cfg).unwrap();
+        for _ in 0..6 {
+            let ba = a.next_batch().unwrap();
+            let bb = b.next_batch().unwrap();
+            assert_eq!(ba, bb);
+        }
+    }
+
+    #[test]
+    fn sim_source_covers_every_cell_and_drifts_demand() {
+        let ds = tiny_dataset(4);
+        let n_links = ds.n_links();
+        let mut src = SimSource::new(
+            ds,
+            spec(4, 2),
+            SimSourceConfig {
+                seed: 5,
+                drift: 0.4,
+                late_frac: 0.0,
+                ..SimSourceConfig::default()
+            },
+        )
+        .unwrap();
+        let first = src.next_batch().unwrap();
+        // One observation per (link, interval) cell of the frame.
+        assert_eq!(first.len(), n_links * 2);
+        assert!(first.iter().all(|o| o.interval < 2));
+        assert!(first.iter().all(|o| o.speed.is_finite() && o.speed > 0.0));
+        // Different frames see different (drifted) traffic.
+        let second = src.next_batch().unwrap();
+        assert!(second.iter().all(|o| (2..4).contains(&o.interval)));
+        assert_ne!(
+            first.iter().map(|o| o.speed.to_bits()).collect::<Vec<_>>(),
+            second.iter().map(|o| o.speed.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn late_fraction_is_held_and_released_later() {
+        let ds = tiny_dataset(4);
+        let n_links = ds.n_links();
+        let mut src = SimSource::new(
+            ds,
+            spec(4, 2),
+            SimSourceConfig {
+                seed: 9,
+                drift: 0.0,
+                late_frac: 0.3,
+                late_delay_frames: 2,
+            },
+        )
+        .unwrap();
+        let per_frame = n_links * 2;
+        let f0 = src.next_batch().unwrap();
+        let f1 = src.next_batch().unwrap();
+        // Some of frames 0-1 was held back.
+        assert!(f0.len() < per_frame);
+        assert!(f1.len() < per_frame);
+        // By frame 2, frame 0's stragglers are delivered (intervals < 2
+        // arriving when the frontier sits at >= 4).
+        let f2 = src.next_batch().unwrap();
+        let stragglers = f2.iter().filter(|o| o.interval < 2).count();
+        assert_eq!(stragglers, per_frame - f0.len());
+        // Nothing is ever lost: total emissions catch back up.
+        let total = f0.len() + f1.len() + f2.len() + src.next_batch().unwrap().len();
+        assert!(total >= 3 * per_frame);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let ds = tiny_dataset(4);
+        let bad_late = SimSourceConfig {
+            late_frac: 1.0,
+            ..SimSourceConfig::default()
+        };
+        assert!(SimSource::new(ds.clone(), spec(4, 2), bad_late).is_err());
+        let bad_drift = SimSourceConfig {
+            drift: 1.5,
+            ..SimSourceConfig::default()
+        };
+        assert!(SimSource::new(ds, spec(4, 2), bad_drift).is_err());
+    }
+
+    #[test]
+    fn log_source_replays_in_chunks() {
+        let mut log = ObservationLog::new();
+        for i in 0..5 {
+            log.append(Observation {
+                link: LinkId(0),
+                interval: i,
+                speed: i as f64,
+            });
+        }
+        let mut src = LogSource::new(log.clone(), 2);
+        let mut replayed = Vec::new();
+        loop {
+            let batch = src.next_batch().unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            replayed.extend(batch);
+        }
+        assert_eq!(replayed, log.entries());
+        // chunk == 0: everything in one batch.
+        let mut all = LogSource::new(log.clone(), 0);
+        assert_eq!(all.next_batch().unwrap().len(), 5);
+        assert!(all.next_batch().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! The tentpole acceptance test: killing the stream at any window
+//! boundary and restarting must be invisible in the output.
+//!
+//! One uninterrupted N-window run and a run killed after k windows then
+//! restarted (fresh driver, fresh source, same seeds) must produce
+//! bit-identical artifact families: the same version names, the same
+//! content fingerprints (the serving layer's ETags), and the same final
+//! model weights. CI runs this binary under `CITYOD_THREADS=1` and
+//! `CITYOD_THREADS=4` to prove the equivalence is also thread-count
+//! independent.
+
+use checkpoint::store::ArtifactStore;
+use checkpoint::{RetryPolicy, SystemClock};
+use datagen::dataset::DatasetSpec;
+use datagen::{Dataset, TodPattern};
+use neural::Matrix;
+use ovs_core::artifact::model_weights;
+use ovs_core::config::OvsConfig;
+use ovs_core::trainer::RecoveryPolicy;
+use std::path::{Path, PathBuf};
+use stream::{SimSource, SimSourceConfig, StreamConfig, StreamDriver, WindowSpec};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("stream-restart-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+const T: usize = 4;
+const WINDOWS: usize = 4;
+
+fn dataset() -> Dataset {
+    Dataset::synthetic(
+        TodPattern::Gaussian,
+        &DatasetSpec {
+            t: T,
+            interval_s: 120.0,
+            train_samples: 3,
+            demand_scale: 0.05,
+            seed: 3,
+        },
+    )
+    .unwrap()
+}
+
+fn config(windows: usize) -> StreamConfig {
+    StreamConfig {
+        run_id: "restart".into(),
+        windows,
+        spec: WindowSpec::new(T, 2, 1).unwrap(),
+        ovs: OvsConfig::tiny().with_seed(17),
+        keep_versions: 0,
+        recovery: RecoveryPolicy::default(),
+    }
+}
+
+fn source(ds: &Dataset) -> SimSource {
+    SimSource::new(
+        ds.clone(),
+        config(WINDOWS).spec,
+        SimSourceConfig {
+            seed: 41,
+            drift: 0.2,
+            late_frac: 0.1,
+            late_delay_frames: 1,
+        },
+    )
+    .unwrap()
+}
+
+/// The family's full observable state: ordered `(version name,
+/// fingerprint)` pairs plus the final model weights recovered from the
+/// newest good artifact.
+fn family_state(store: &ArtifactStore) -> (Vec<(String, String)>, Vec<Matrix>) {
+    let mut versions: Vec<String> = store
+        .names()
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.starts_with("stream-restart-"))
+        .collect();
+    versions.sort();
+    let fingerprints = versions
+        .iter()
+        .map(|name| {
+            let snap = store.snapshot(name).unwrap();
+            (name.clone(), snap.fingerprint().to_string())
+        })
+        .collect();
+    let latest = store
+        .latest_good("stream-restart", &RetryPolicy::default(), &SystemClock)
+        .unwrap()
+        .unwrap();
+    let weights = model_weights(latest.artifact(), &config(WINDOWS).ovs).unwrap();
+    (fingerprints, weights)
+}
+
+/// One uninterrupted run over `WINDOWS` windows.
+fn run_straight(store: &ArtifactStore, ds: &Dataset) {
+    let mut src = source(ds);
+    let mut driver = StreamDriver::new(ds, config(WINDOWS)).unwrap();
+    let report = driver.run(store, &mut src).unwrap();
+    assert_eq!(report.published(), WINDOWS);
+}
+
+/// A run killed after `kill_after` windows, then restarted from the
+/// published artifacts: a fresh driver replays the same source from the
+/// beginning, skips what is already published, and finishes the rest.
+fn run_with_restart(store: &ArtifactStore, ds: &Dataset, kill_after: usize) {
+    {
+        let mut src = source(ds);
+        let mut driver = StreamDriver::new(ds, config(kill_after)).unwrap();
+        let report = driver.run(store, &mut src).unwrap();
+        assert_eq!(report.published(), kill_after);
+    }
+    let mut src = source(ds);
+    let mut driver = StreamDriver::new(ds, config(WINDOWS)).unwrap();
+    let report = driver.run(store, &mut src).unwrap();
+    assert_eq!(report.resumed_from, Some(kill_after - 1));
+    assert_eq!(report.windows.len(), WINDOWS);
+    assert_eq!(
+        report.published() + kill_after,
+        WINDOWS,
+        "restart must publish exactly the missing windows"
+    );
+}
+
+#[test]
+fn restart_at_any_window_boundary_is_bit_identical() {
+    // Honour CITYOD_THREADS when CI pins it; auto otherwise.
+    let threads = roadnet::parallel::init_global(None);
+
+    let ds = dataset();
+    let tmp = TempDir::new("straight");
+    let store = ArtifactStore::open(tmp.path()).unwrap();
+    run_straight(&store, &ds);
+    let (reference_versions, reference_weights) = family_state(&store);
+    assert_eq!(reference_versions.len(), WINDOWS);
+
+    for kill_after in 1..WINDOWS {
+        let tmp = TempDir::new(&format!("kill{kill_after}"));
+        let store = ArtifactStore::open(tmp.path()).unwrap();
+        run_with_restart(&store, &ds, kill_after);
+        let (versions, weights) = family_state(&store);
+        assert_eq!(
+            versions, reference_versions,
+            "threads={threads}: version names + fingerprints must match after \
+             a restart at window boundary {kill_after}"
+        );
+        assert_eq!(
+            weights, reference_weights,
+            "threads={threads}: final model weights must be bit-identical after \
+             a restart at window boundary {kill_after}"
+        );
+    }
+}
+
+#[test]
+fn rerun_of_complete_family_publishes_nothing_new() {
+    roadnet::parallel::init_global(None);
+    let ds = dataset();
+    let tmp = TempDir::new("rerun");
+    let store = ArtifactStore::open(tmp.path()).unwrap();
+    run_straight(&store, &ds);
+    let (before, _) = family_state(&store);
+
+    // Running the same config again replays the source but skips every
+    // window: the family is untouched.
+    let mut src = source(&ds);
+    let mut driver = StreamDriver::new(&ds, config(WINDOWS)).unwrap();
+    let report = driver.run(&store, &mut src).unwrap();
+    assert_eq!(report.published(), 0);
+    assert_eq!(report.resumed_from, Some(WINDOWS - 1));
+    let (after, _) = family_state(&store);
+    assert_eq!(before, after);
+}

@@ -1,0 +1,247 @@
+//! The stream → serve handoff: a live `cityod-serve` instance pointed at
+//! a stream family hot-swaps to every window the driver publishes, with
+//! concurrent readers seeing zero 5xx, and a corrupt artifact landing on
+//! disk never displacing the serving view.
+
+use checkpoint::store::ArtifactStore;
+use checkpoint::SnapshotSource;
+use datagen::dataset::DatasetSpec;
+use datagen::{Dataset, TodPattern};
+use fault::storage::corrupt_artifact_bytes;
+use fault::StorageFaults;
+use ovs_core::config::OvsConfig;
+use ovs_core::trainer::RecoveryPolicy;
+use serve::{ServeOptions, Server};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use stream::{SimSource, SimSourceConfig, StreamConfig, StreamDriver, WindowSpec};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("stream-handoff-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+const T: usize = 4;
+const FAMILY: &str = "stream-handoff";
+
+fn dataset() -> Dataset {
+    Dataset::synthetic(
+        TodPattern::Gaussian,
+        &DatasetSpec {
+            t: T,
+            interval_s: 120.0,
+            train_samples: 3,
+            demand_scale: 0.05,
+            seed: 3,
+        },
+    )
+    .unwrap()
+}
+
+fn config(windows: usize) -> StreamConfig {
+    StreamConfig {
+        run_id: "handoff".into(),
+        windows,
+        spec: WindowSpec::new(T, 2, 1).unwrap(),
+        ovs: OvsConfig::tiny().with_seed(17),
+        keep_versions: 0,
+        recovery: RecoveryPolicy::default(),
+    }
+}
+
+/// Publishes windows up to `windows` into `store` (resuming past what is
+/// already there), replaying the deterministic simulator source.
+fn publish_up_to(store: &ArtifactStore, ds: &Dataset, windows: usize) {
+    let mut src = SimSource::new(
+        ds.clone(),
+        config(windows).spec,
+        SimSourceConfig {
+            seed: 41,
+            drift: 0.2,
+            late_frac: 0.1,
+            late_delay_frames: 1,
+        },
+    )
+    .unwrap();
+    let mut driver = StreamDriver::new(ds, config(windows)).unwrap();
+    driver.run(store, &mut src).unwrap();
+}
+
+/// One raw HTTP exchange; returns (status, headers-as-lines, body).
+fn fetch(addr: &str, path: &str) -> (u16, Vec<String>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let req = format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let status: u16 = line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap();
+            }
+        }
+        headers.push(trimmed.to_string());
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, headers, body)
+}
+
+fn header_value<'a>(headers: &'a [String], name: &str) -> Option<&'a str> {
+    headers.iter().find_map(|h| {
+        let (n, v) = h.split_once(':')?;
+        n.eq_ignore_ascii_case(name).then(|| v.trim())
+    })
+}
+
+fn body_json(body: &[u8]) -> serde_json::Value {
+    serde_json::from_str(std::str::from_utf8(body).unwrap()).unwrap()
+}
+
+/// Polls `/version` until it reports `artifact`, asserting no 5xx on the
+/// way; returns the ETag it settled on.
+fn await_artifact(addr: &str, artifact: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, headers, body) = fetch(addr, "/version");
+        assert!(status < 500, "5xx while awaiting {artifact}: {status}");
+        if status == 200 && body_json(&body)["artifact"].as_str() == Some(artifact) {
+            return header_value(&headers, "etag").unwrap().to_string();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never swapped to {artifact}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn serving_view_follows_the_stream_across_windows() {
+    let tmp = TempDir::new("follow");
+    let store = ArtifactStore::open(tmp.path()).unwrap();
+    let ds = dataset();
+
+    // Window 0 trains before the server boots: `Server::start` fails fast
+    // on an empty family.
+    publish_up_to(&store, &ds, 1);
+    let server = Server::start(
+        ArtifactStore::open(tmp.path()).unwrap(),
+        SnapshotSource::Family(FAMILY.into()),
+        ds.clone(),
+        &ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            poll_ms: 20,
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    // Concurrent readers hammer the read side for the whole handoff; any
+    // 5xx or torn response fails the test at the end.
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let reader = {
+        let addr = addr.clone();
+        let stop = stop.clone();
+        let reads = reads.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                for path in ["/version", "/kpis", "/healthz"] {
+                    let (status, _, _) = fetch(&addr, path);
+                    assert!(status < 500, "reader saw {status} on {path}");
+                    reads.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        })
+    };
+
+    // Windows 1 and 2 train while the server serves window 0: readers
+    // hot-swap to window N+1 while window N+2 is still training.
+    let mut etags = vec![await_artifact(&addr, &format!("{FAMILY}-v001"))];
+    for k in 2..=3 {
+        publish_up_to(&store, &ds, k);
+        etags.push(await_artifact(&addr, &format!("{FAMILY}-v{k:03}")));
+    }
+    assert_eq!(etags.len(), 3);
+    for (i, a) in etags.iter().enumerate() {
+        for b in etags.iter().skip(i + 1) {
+            assert_ne!(a, b, "each window must produce a distinct ETag");
+        }
+    }
+
+    // A corrupted artifact lands as the newest version: the watcher
+    // quarantines it and the window-2 view keeps serving.
+    let bad = format!("{FAMILY}-v004");
+    let mut bytes = std::fs::read(store.artifact_path(&format!("{FAMILY}-v003"))).unwrap();
+    assert!(corrupt_artifact_bytes(
+        &mut bytes,
+        &StorageFaults {
+            bit_flips: 8,
+            truncate_bytes: 0,
+        },
+        42,
+    ));
+    std::fs::write(store.artifact_path(&bad), &bytes).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while store.artifact_path(&bad).exists() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        !store.artifact_path(&bad).exists(),
+        "corrupt artifact was never quarantined"
+    );
+    let (status, headers, body) = fetch(&addr, "/version");
+    assert_eq!(status, 200);
+    assert_eq!(
+        body_json(&body)["artifact"].as_str(),
+        Some("stream-handoff-v003")
+    );
+    assert_eq!(header_value(&headers, "etag"), Some(etags[2].as_str()));
+
+    stop.store(true, Ordering::SeqCst);
+    reader.join().unwrap();
+    assert!(
+        reads.load(Ordering::SeqCst) > 0,
+        "reader thread never completed a request"
+    );
+    server.shutdown();
+}

@@ -1,0 +1,302 @@
+//! End-to-end driver tests: windows in, artifact versions out — warm
+//! starts converging faster than cold, divergence falling back instead of
+//! corrupting the family, empty and all-late windows passing through
+//! harmlessly.
+
+use checkpoint::store::ArtifactStore;
+use checkpoint::{RetryPolicy, SystemClock};
+use datagen::dataset::DatasetSpec;
+use datagen::{Dataset, TodPattern};
+use ovs_core::artifact::recovered_tod;
+use ovs_core::config::OvsConfig;
+use ovs_core::trainer::{RecoveryPolicy, Stage};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use stream::driver::STREAM_WINDOW_SECTION;
+use stream::{
+    LogSource, Observation, ObservationLog, SimSource, SimSourceConfig, StreamConfig, StreamDriver,
+    WindowSpec, WindowStatus,
+};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("stream-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+const T: usize = 4;
+
+fn dataset() -> Dataset {
+    Dataset::synthetic(
+        TodPattern::Gaussian,
+        &DatasetSpec {
+            t: T,
+            interval_s: 120.0,
+            train_samples: 3,
+            demand_scale: 0.05,
+            seed: 3,
+        },
+    )
+    .unwrap()
+}
+
+fn stream_config(run_id: &str, windows: usize) -> StreamConfig {
+    StreamConfig {
+        run_id: run_id.into(),
+        windows,
+        spec: WindowSpec::new(T, 2, 1).unwrap(),
+        ovs: OvsConfig::tiny().with_seed(17),
+        keep_versions: 0,
+        recovery: RecoveryPolicy::default(),
+    }
+}
+
+fn sim_source(ds: &Dataset, spec: WindowSpec) -> SimSource {
+    SimSource::new(
+        ds.clone(),
+        spec,
+        SimSourceConfig {
+            seed: 41,
+            drift: 0.2,
+            late_frac: 0.1,
+            late_delay_frames: 1,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn windows_publish_versions_and_warm_converges_faster() {
+    let tmp = TempDir::new("publish");
+    let store = ArtifactStore::open(tmp.path()).unwrap();
+    let ds = dataset();
+    let cfg = stream_config("e2e", 3);
+    let mut source = sim_source(&ds, cfg.spec);
+    let mut driver = StreamDriver::new(&ds, cfg).unwrap();
+    let report = driver.run(&store, &mut source).unwrap();
+
+    assert_eq!(report.windows.len(), 3);
+    assert_eq!(report.published(), 3);
+    assert!(report.resumed_from.is_none());
+    // Window 0 is the cold boot; later windows warm-start.
+    assert!(!report.windows[0].warm);
+    assert!(report.windows[1].warm && report.windows[2].warm);
+    // One artifact version per published window, in order.
+    for (i, w) in report.windows.iter().enumerate() {
+        assert_eq!(w.status, WindowStatus::Published);
+        assert_eq!(
+            w.artifact.as_deref(),
+            Some(format!("stream-e2e-v{:03}", i + 1).as_str())
+        );
+        assert!(w.fingerprint.is_some());
+        assert!(w.masked_rmse.unwrap().is_finite());
+        assert!(w.fit_steps > 0);
+    }
+    // Warm starts close the loss gap in fewer steps than the cold boot —
+    // the step-count saving online re-estimation exists for.
+    let warm = report.mean_steps_to_tol(true).unwrap();
+    let cold = report.mean_steps_to_tol(false).unwrap();
+    assert!(
+        warm < cold,
+        "warm ({warm}) should converge faster than cold ({cold})"
+    );
+
+    // Published artifacts carry window provenance and a recovered TOD.
+    let snap = store
+        .latest_good("stream-e2e", &RetryPolicy::default(), &SystemClock)
+        .unwrap()
+        .unwrap();
+    let section = snap.artifact().f64s(STREAM_WINDOW_SECTION).unwrap();
+    assert_eq!(section[0] as usize, 2); // newest published window index
+    assert_eq!(section.len(), 7);
+    assert!(recovered_tod(snap.artifact()).unwrap().is_some());
+    // The provenance note names the window.
+    let prov = snap.provenance().unwrap();
+    assert!(prov.note.contains("stream window 2"));
+    // Report serialises (the CLI --json path).
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains("stream-e2e-v003"));
+}
+
+#[test]
+fn warm_divergence_falls_back_to_cold_and_publishes() {
+    let tmp = TempDir::new("diverge-fallback");
+    let store = ArtifactStore::open(tmp.path()).unwrap();
+    let ds = dataset();
+    let cfg = stream_config("fallback", 2);
+    let mut source = sim_source(&ds, cfg.spec);
+
+    // Poison every fit step of window 1 — but only until the cold
+    // fallback begins (its V2s stage is the tell: a warm start never runs
+    // V2s). The warm attempt therefore diverges persistently while the
+    // fallback runs clean.
+    let cold_started = Arc::new(AtomicBool::new(false));
+    let flag = cold_started.clone();
+    let mut driver = StreamDriver::new(&ds, cfg).unwrap().with_tamper(Box::new(
+        move |window, stage, _step, loss, _grad| {
+            if window == 1 {
+                if stage == Stage::V2s {
+                    flag.store(true, Ordering::SeqCst);
+                }
+                if stage == Stage::Fit && !flag.load(Ordering::SeqCst) {
+                    *loss = f64::NAN;
+                }
+            }
+        },
+    ));
+    let report = driver.run(&store, &mut source).unwrap();
+
+    assert_eq!(report.published(), 2);
+    assert!(!report.windows[0].warm);
+    // Window 1 published, but via the cold fallback.
+    assert_eq!(report.windows[1].status, WindowStatus::Published);
+    assert!(
+        !report.windows[1].warm,
+        "diverged warm start must fall back to cold"
+    );
+    assert!(cold_started.load(Ordering::SeqCst));
+}
+
+#[test]
+fn persistent_divergence_fails_window_and_stream_recovers_cold() {
+    let tmp = TempDir::new("diverge-fail");
+    let store = ArtifactStore::open(tmp.path()).unwrap();
+    let ds = dataset();
+    let cfg = stream_config("poisoned", 3);
+    let mut source = sim_source(&ds, cfg.spec);
+
+    // Window 1 is unsalvageable: every fit step of every attempt is
+    // poisoned, so warm and the cold fallback both exhaust the retry
+    // budget.
+    let mut driver = StreamDriver::new(&ds, cfg).unwrap().with_tamper(Box::new(
+        |window, stage, _step, loss, _grad| {
+            if window == 1 && stage == Stage::Fit {
+                *loss = f64::NAN;
+            }
+        },
+    ));
+    let report = driver.run(&store, &mut source).unwrap();
+
+    assert_eq!(report.windows[0].status, WindowStatus::Published);
+    assert_eq!(report.windows[1].status, WindowStatus::Failed);
+    assert!(report.windows[1].artifact.is_none());
+    // The stream carries on: window 2 restarts cold (the poisoned model
+    // was discarded) and publishes.
+    assert_eq!(report.windows[2].status, WindowStatus::Published);
+    assert!(!report.windows[2].warm);
+    assert_eq!(report.published(), 2);
+    // The family holds exactly the two good versions; the failed window
+    // never published.
+    let names = store.names().unwrap();
+    let family: Vec<_> = names
+        .iter()
+        .filter(|n| n.starts_with("stream-poisoned-"))
+        .collect();
+    assert_eq!(family.len(), 2);
+}
+
+#[test]
+fn empty_and_all_late_windows_do_not_publish() {
+    let tmp = TempDir::new("empty");
+    let store = ArtifactStore::open(tmp.path()).unwrap();
+    let ds = dataset();
+    let spec = WindowSpec::new(T, T, 0).unwrap();
+    let cfg = StreamConfig {
+        run_id: "gaps".into(),
+        windows: 3,
+        spec,
+        ovs: OvsConfig::tiny().with_seed(17),
+        keep_versions: 0,
+        recovery: RecoveryPolicy::default(),
+    };
+
+    // A replay log with a hole: window 0 [0,4) observed, window 1 [4,8)
+    // has zero on-time observations (its readings arrive after the
+    // frontier already closed it), window 2 [8,12) observed.
+    let mut log = ObservationLog::new();
+    let speeds = &ds.observed_speed;
+    for t in 0..T as u64 {
+        for l in 0..ds.n_links() {
+            log.append(Observation {
+                link: roadnet::LinkId(l),
+                interval: t,
+                speed: speeds.get(roadnet::LinkId(l), t as usize % T),
+            });
+        }
+    }
+    // Frontier leaps to window 2, closing window 1 empty...
+    for t in (2 * T as u64)..(3 * T as u64) {
+        for l in 0..ds.n_links() {
+            log.append(Observation {
+                link: roadnet::LinkId(l),
+                interval: t,
+                speed: speeds.get(roadnet::LinkId(l), t as usize % T),
+            });
+        }
+    }
+    // ...and window 1's data finally arrives, entirely too late.
+    for t in (T as u64)..(2 * T as u64) {
+        log.append(Observation {
+            link: roadnet::LinkId(0),
+            interval: t,
+            speed: 10.0,
+        });
+    }
+    let mut source = LogSource::new(log, 5);
+    let mut driver = StreamDriver::new(&ds, cfg).unwrap();
+    let report = driver.run(&store, &mut source).unwrap();
+
+    assert_eq!(report.windows.len(), 3);
+    assert_eq!(report.windows[0].status, WindowStatus::Published);
+    assert_eq!(report.windows[1].status, WindowStatus::Empty);
+    assert!(report.windows[1].artifact.is_none());
+    assert_eq!(report.windows[2].status, WindowStatus::Published);
+    // The empty window carried the model: window 2 still warm-starts.
+    assert!(report.windows[2].warm);
+    assert_eq!(report.late_drops, T as u64);
+    // Exactly two versions: the empty window published nothing.
+    let names = store.names().unwrap();
+    assert_eq!(
+        names
+            .iter()
+            .filter(|n| n.starts_with("stream-gaps-"))
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn gc_during_run_keeps_serving_view_and_newest_versions() {
+    let tmp = TempDir::new("gc");
+    let store = ArtifactStore::open(tmp.path()).unwrap();
+    let ds = dataset();
+    let mut cfg = stream_config("gc", 3);
+    cfg.keep_versions = 1;
+    let mut source = sim_source(&ds, cfg.spec);
+    let mut driver = StreamDriver::new(&ds, cfg).unwrap();
+    let report = driver.run(&store, &mut source).unwrap();
+    assert_eq!(report.published(), 3);
+    // gc after each publish kept only the newest version.
+    let names = store.names().unwrap();
+    let family: Vec<_> = names
+        .iter()
+        .filter(|n| n.starts_with("stream-gc-"))
+        .collect();
+    assert_eq!(family, ["stream-gc-v003"]);
+}

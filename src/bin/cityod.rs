@@ -12,6 +12,7 @@
 //! cityod faults run <net> --plan FILE     degradation sweep under faults
 //! cityod serve <net> --family F|--artifact A   HTTP query layer over artifacts
 //! cityod serve bench [<net>]              deterministic load run -> BENCH_serve.json
+//! cityod stream run <net> --windows N     rolling-window online re-estimation
 //! ```
 //!
 //! Networks: `grid3x3`, `hangzhou`, `porto`, `manhattan`, `state_college`.
@@ -52,6 +53,21 @@
 //! prints rps/p50/p99 and writes `results/BENCH_serve.json` (`--out`
 //! overrides; `--requests`, `--concurrency` scale the run).
 //!
+//! `stream run` drives the rolling-window online re-estimation loop
+//! (crate `stream`): a seeded simulator source emits per-link speed
+//! observations frame by frame, overlapping windows of `--t` intervals
+//! close every `--stride` intervals (after `--watermark` intervals of
+//! late-arrival grace), and each closed window re-estimates the TOD —
+//! warm-starting stage 3 from the previous window's model — then
+//! publishes into the versioned artifact family `stream-<run-id>` that
+//! `cityod serve --family` hot-swaps from. `--late`/`--delay`/`--drift`
+//! shape the source (late-arrival fraction, its frame delay, demand
+//! drift); `--keep K` garbage-collects the family down to the newest K
+//! good versions after each publish (0 keeps everything). Interrupted
+//! runs resume: already-published windows replay as `skipped`. `--json`
+//! prints the machine-readable report instead of the table (or writes it
+//! to a file when given a path).
+//!
 //! `faults run` loads a seeded fault plan (`--plan FILE`, TOML subset —
 //! see DESIGN.md §10), optionally overrides its master seed with
 //! `--seed N`, and prints the degradation report: recovered-TOD accuracy
@@ -70,10 +86,11 @@ use city_od::eval::harness::{run_method, DatasetInput};
 use city_od::eval::{default_methods, tables};
 use city_od::fault::{degradation_report, FaultPlan};
 use city_od::ovs_core::estimator::{matrix_to_tod, tod_to_matrix};
-use city_od::ovs_core::trainer::{OvsEstimator, OvsTrainer};
+use city_od::ovs_core::trainer::{OvsEstimator, OvsTrainer, RecoveryPolicy};
 use city_od::ovs_core::{artifact, OvsConfig, TodEstimator};
 use city_od::roadnet::presets;
 use city_od::serve::{LoadOptions, ServeOptions, Server};
+use city_od::stream::{SimSource, SimSourceConfig, StreamConfig, StreamDriver, WindowSpec};
 use std::process::ExitCode;
 
 struct Args {
@@ -125,7 +142,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cityod networks\n  cityod simulate <net> [--t N] [--demand F] [--seed S] [--threads N]\n  cityod recover <net> [--method ovs|gravity|genetic|gls|em|nn|lstm|all] [--t N] [--demand F] [--seed S] [--aux] [--threads N]\n  cityod checkpoint save <net> <name> [--versioned] [--t N] [--demand F] [--seed S] [--threads N] [--store DIR]\n  cityod checkpoint list [--store DIR]\n  cityod checkpoint inspect <name> [--store DIR]\n  cityod checkpoint verify [<name>] [--store DIR]\n  cityod checkpoint gc <family> [--keep K] [--store DIR]\n  cityod faults run <net> [--plan FILE] [--seed S] [--json FILE] [--t N] [--demand F] [--threads N]\n  cityod serve <net> (--family F | --artifact A) [--addr HOST:PORT] [--http-threads N] [--poll-ms MS] [--store DIR]\n  cityod serve bench [<net>] [--requests N] [--concurrency C] [--http-threads N] [--out FILE]\nnetworks: grid3x3 hangzhou porto manhattan state_college\nstore: --store beats CITYOD_ARTIFACTS beats ./artifacts\nmetrics: every command accepts --metrics FILE (full JSON export) and\n         --metrics-stable FILE (deterministic subset only)"
+        "usage:\n  cityod networks\n  cityod simulate <net> [--t N] [--demand F] [--seed S] [--threads N]\n  cityod recover <net> [--method ovs|gravity|genetic|gls|em|nn|lstm|all] [--t N] [--demand F] [--seed S] [--aux] [--threads N]\n  cityod checkpoint save <net> <name> [--versioned] [--t N] [--demand F] [--seed S] [--threads N] [--store DIR]\n  cityod checkpoint list [--store DIR]\n  cityod checkpoint inspect <name> [--store DIR]\n  cityod checkpoint verify [<name>] [--store DIR]\n  cityod checkpoint gc <family> [--keep K] [--store DIR]\n  cityod faults run <net> [--plan FILE] [--seed S] [--json FILE] [--t N] [--demand F] [--threads N]\n  cityod serve <net> (--family F | --artifact A) [--addr HOST:PORT] [--http-threads N] [--poll-ms MS] [--store DIR]\n  cityod serve bench [<net>] [--requests N] [--concurrency C] [--http-threads N] [--out FILE]\n  cityod stream run <net> [--windows N] [--t N] [--stride N] [--watermark N] [--seed S] [--demand F] [--late F] [--delay N] [--drift F] [--run-id ID] [--keep K] [--json [FILE]] [--threads N] [--store DIR]\nnetworks: grid3x3 hangzhou porto manhattan state_college\nstore: --store beats CITYOD_ARTIFACTS beats ./artifacts\nmetrics: every command accepts --metrics FILE (full JSON export) and\n         --metrics-stable FILE (deterministic subset only)"
     );
     ExitCode::from(2)
 }
@@ -225,6 +242,7 @@ fn run_command(args: &Args) -> ExitCode {
         "checkpoint" => checkpoint_cmd(args),
         "faults" => faults_cmd(args),
         "serve" => serve_cmd(args),
+        "stream" => stream_cmd(args),
         "simulate" | "recover" => {
             let Some(net_name) = args.positional.get(1) else {
                 return usage();
@@ -515,6 +533,122 @@ fn serve_bench(args: &Args) -> ExitCode {
     if report.status_5xx > 0 || report.completed == 0 {
         eprintln!("serve bench saw server errors");
         return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `cityod stream run <net>`: rolling-window online re-estimation. A
+/// seeded simulator source replays drifting demand as per-link speed
+/// observations; every closed window re-estimates the TOD (warm-starting
+/// from the previous window) and publishes a version into the family
+/// `stream-<run-id>`, which a concurrently running
+/// `cityod serve <net> --family stream-<run-id>` hot-swaps from.
+fn stream_cmd(args: &Args) -> ExitCode {
+    let Some("run") = args.positional.get(1).map(String::as_str) else {
+        eprintln!("unknown stream subcommand (expected 'run')");
+        return usage();
+    };
+    let Some(net_name) = args.positional.get(2) else {
+        return usage();
+    };
+    let spec = dataset_spec(args);
+    let Some(ds) = build_dataset(net_name, &spec) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(store) = open_store(args) else {
+        return ExitCode::FAILURE;
+    };
+    // The window length is the dataset's interval count: each window
+    // re-estimates one full TOD of `--t` intervals. Overlap comes from
+    // the stride (default: half a window).
+    let window_spec = match WindowSpec::new(
+        ds.n_intervals(),
+        args.flag_usize("stride", (ds.n_intervals() / 2).max(1)),
+        args.flag_usize("watermark", 1) as u64,
+    ) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("bad window geometry: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = StreamConfig {
+        run_id: args
+            .flags
+            .get("run-id")
+            .cloned()
+            .unwrap_or_else(|| net_name.clone()),
+        windows: args.flag_usize("windows", 3),
+        spec: window_spec,
+        ovs: cli_ovs_config(spec.seed),
+        keep_versions: args.flag_usize("keep", 0),
+        recovery: RecoveryPolicy::default(),
+    };
+    let family = cfg.family();
+    let source = SimSource::new(
+        ds.clone(),
+        window_spec,
+        SimSourceConfig {
+            seed: spec.seed,
+            drift: args.flag_f64("drift", 0.2),
+            late_frac: args.flag_f64("late", 0.1),
+            late_delay_frames: args.flag_usize("delay", 1) as u64,
+        },
+    );
+    let mut source = match source {
+        Ok(source) => source,
+        Err(e) => {
+            eprintln!("bad source configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut driver = match StreamDriver::new(&ds, cfg) {
+        Ok(driver) => driver,
+        Err(e) => {
+            eprintln!("stream run failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match driver.run(&store, &mut source) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("stream run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // --json <FILE> writes the report; bare --json prints it instead of
+    // the table.
+    if args.switches.contains("json") {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("report encode failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print!("{report}");
+        println!(
+            "serve with: cityod serve {net_name} --family {family} --t {} --seed {}",
+            spec.t, spec.seed
+        );
+    }
+    if let Some(path) = args.flags.get("json") {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("report encode failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if report.count(city_od::stream::WindowStatus::Failed) > 0 {
+        eprintln!("warning: at least one window diverged past the retry budget");
     }
     ExitCode::SUCCESS
 }

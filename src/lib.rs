@@ -15,3 +15,4 @@ pub use ovs_core;
 pub use roadnet;
 pub use serve;
 pub use simulator;
+pub use stream;
