@@ -3,6 +3,7 @@
 use super::{Layer, SeqLayer};
 use crate::matrix::Matrix;
 use crate::tensor3::Tensor3;
+use crate::workspace::Workspace;
 use serde::{Deserialize, Serialize};
 
 /// Supported activation functions.
@@ -82,6 +83,35 @@ impl Layer for Activation {
         dx
     }
 
+    fn forward_ws(&mut self, x: &Matrix, _train: bool, ws: &mut Workspace) -> Matrix {
+        let mut y = ws.take(x.rows(), x.cols());
+        for (o, &v) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *o = self.kind.apply(v);
+        }
+        match &mut self.cache_y {
+            Some(c) if c.shape() == y.shape() => c.copy_from(&y),
+            slot => *slot = Some(y.clone()),
+        }
+        y
+    }
+
+    fn backward_ws(&mut self, dy: &Matrix, ws: &mut Workspace) -> Matrix {
+        let y = self
+            .cache_y
+            .as_ref()
+            // lint: allow(panic) — precondition: backward requires a prior forward
+            .expect("backward called before forward");
+        let mut dx = ws.take(dy.rows(), dy.cols());
+        for (o, (&d, &yv)) in dx
+            .as_mut_slice()
+            .iter_mut()
+            .zip(dy.as_slice().iter().zip(y.as_slice()))
+        {
+            *o = d * self.kind.derivative_from_output(yv);
+        }
+        dx
+    }
+
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {}
 }
 
@@ -121,6 +151,37 @@ impl SeqLayer for SeqActivation {
         let mut dx = dy.clone();
         for (d, &yv) in dx.as_mut_slice().iter_mut().zip(y.as_slice()) {
             *d *= self.kind.derivative_from_output(yv);
+        }
+        dx
+    }
+
+    fn forward_ws(&mut self, x: &Tensor3, _train: bool, ws: &mut Workspace) -> Tensor3 {
+        let (b, t, f) = x.shape();
+        let mut y = ws.take3(b, t, f);
+        for (o, &v) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *o = self.kind.apply(v);
+        }
+        match &mut self.cache_y {
+            Some(c) if c.shape() == y.shape() => c.as_mut_slice().copy_from_slice(y.as_slice()),
+            slot => *slot = Some(y.clone()),
+        }
+        y
+    }
+
+    fn backward_ws(&mut self, dy: &Tensor3, ws: &mut Workspace) -> Tensor3 {
+        let y = self
+            .cache_y
+            .as_ref()
+            // lint: allow(panic) — precondition: backward requires a prior forward
+            .expect("backward called before forward");
+        let (b, t, f) = dy.shape();
+        let mut dx = ws.take3(b, t, f);
+        for (o, (&d, &yv)) in dx
+            .as_mut_slice()
+            .iter_mut()
+            .zip(dy.as_slice().iter().zip(y.as_slice()))
+        {
+            *o = d * self.kind.derivative_from_output(yv);
         }
         dx
     }

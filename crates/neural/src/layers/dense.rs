@@ -3,6 +3,7 @@
 use super::{xavier, Layer};
 use crate::matrix::Matrix;
 use crate::rng::Rng64;
+use crate::workspace::Workspace;
 use serde::{Deserialize, Serialize};
 
 /// `y = x @ W + b` with `W: (in, out)`, `b: (1, out)`.
@@ -64,7 +65,46 @@ impl Layer for Dense {
             .expect("backward called before forward");
         self.dw.add_assign(&x.matmul_at_b(dy));
         self.db.add_assign(&dy.sum_rows());
-        dy.matmul_a_bt(&self.w)
+        // dy @ W^T via an explicit transpose: the plain matmul kernel is
+        // about twice as fast and sums the same terms in the same order.
+        dy.matmul(&self.w.transpose())
+    }
+
+    fn forward_ws(&mut self, x: &Matrix, _train: bool, ws: &mut Workspace) -> Matrix {
+        let mut y = ws.take(x.rows(), self.w.cols());
+        x.matmul_into(&self.w, &mut y);
+        y.add_row_broadcast(&self.b);
+        // Reuse the cached-input buffer across steps when the batch shape
+        // is stable (the common case in training loops).
+        match &mut self.cache_x {
+            Some(c) if c.shape() == x.shape() => c.copy_from(x),
+            slot => *slot = Some(x.clone()),
+        }
+        y
+    }
+
+    fn backward_ws(&mut self, dy: &Matrix, ws: &mut Workspace) -> Matrix {
+        let x = self
+            .cache_x
+            .as_ref()
+            // lint: allow(panic) — precondition: backward requires a prior forward
+            .expect("backward called before forward");
+        // Gradients accumulate via an explicit temporary + add_assign so
+        // the sum order (and therefore the bits) match `backward`.
+        let mut dw_t = ws.take(self.w.rows(), self.w.cols());
+        x.matmul_at_b_into(dy, &mut dw_t);
+        self.dw.add_assign(&dw_t);
+        ws.give(dw_t);
+        let mut db_t = ws.take(1, self.w.cols());
+        dy.sum_rows_into(&mut db_t);
+        self.db.add_assign(&db_t);
+        ws.give(db_t);
+        let mut wt = ws.take(self.w.cols(), self.w.rows());
+        self.w.transpose_into(&mut wt);
+        let mut dx = ws.take(dy.rows(), self.w.rows());
+        dy.matmul_into(&wt, &mut dx);
+        ws.give(wt);
+        dx
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {

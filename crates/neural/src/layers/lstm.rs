@@ -8,6 +8,7 @@ use super::{xavier, SeqLayer};
 use crate::matrix::Matrix;
 use crate::rng::Rng64;
 use crate::tensor3::Tensor3;
+use crate::workspace::Workspace;
 use serde::{Deserialize, Serialize};
 
 /// A standard LSTM: `(b, t, in) -> (b, t, hidden)`, zero initial state,
@@ -27,11 +28,17 @@ pub struct Lstm {
     dwh: Matrix,
     db: Matrix,
     #[serde(skip)]
-    cache: Option<LstmCache>,
+    state: Option<LstmState>,
 }
 
+/// Forward cache plus scratch buffers, kept across calls and reused in
+/// place whenever the `(batch, time)` shape repeats — so steady-state
+/// training steps never allocate. Every field is fully overwritten by
+/// each forward/backward pass, making reuse numerically invisible.
 #[derive(Debug, Clone)]
-struct LstmCache {
+struct LstmState {
+    batch: usize,
+    time: usize,
     /// Per time step: x_t.
     xs: Vec<Matrix>,
     /// h_{t-1} entering each step (h_0 = 0 first).
@@ -42,6 +49,69 @@ struct LstmCache {
     gates: Vec<(Matrix, Matrix, Matrix, Matrix)>,
     /// tanh(c_t) per step.
     tanh_cs: Vec<Matrix>,
+    /// Pre-activation scratch `(batch, 4H)`.
+    a: Matrix,
+    /// Scratch for `h_{t-1} @ wh`.
+    ah: Matrix,
+    /// Running hidden state.
+    h_cur: Matrix,
+    /// Running cell state.
+    c_cur: Matrix,
+    /// Backward scratch: dh, dc, gate pre-activation gradient, gradient
+    /// temporaries, per-step input gradient, and the carried dh/dc.
+    dh: Matrix,
+    dc: Matrix,
+    da: Matrix,
+    dwx_t: Matrix,
+    dwh_t: Matrix,
+    db_t: Matrix,
+    dxa: Matrix,
+    dh_next: Matrix,
+    dc_next: Matrix,
+    /// `wx^T`, refreshed at each backward entry: `da @ wx^T` runs as the
+    /// fast `matmul(da, wx^T)` kernel with bit-identical results.
+    wxt: Matrix,
+    /// `wh^T`, same role for the hidden-to-hidden weights.
+    wht: Matrix,
+}
+
+impl LstmState {
+    fn new(batch: usize, time: usize, input: usize, hidden: usize) -> Self {
+        let m = |r, c| Matrix::zeros(r, c);
+        Self {
+            batch,
+            time,
+            xs: (0..time).map(|_| m(batch, input)).collect(),
+            h_prevs: (0..time).map(|_| m(batch, hidden)).collect(),
+            c_prevs: (0..time).map(|_| m(batch, hidden)).collect(),
+            gates: (0..time)
+                .map(|_| {
+                    (
+                        m(batch, hidden),
+                        m(batch, hidden),
+                        m(batch, hidden),
+                        m(batch, hidden),
+                    )
+                })
+                .collect(),
+            tanh_cs: (0..time).map(|_| m(batch, hidden)).collect(),
+            a: m(batch, 4 * hidden),
+            ah: m(batch, 4 * hidden),
+            h_cur: m(batch, hidden),
+            c_cur: m(batch, hidden),
+            dh: m(batch, hidden),
+            dc: m(batch, hidden),
+            da: m(batch, 4 * hidden),
+            dwx_t: m(input, 4 * hidden),
+            dwh_t: m(hidden, 4 * hidden),
+            db_t: m(1, 4 * hidden),
+            dxa: m(batch, input),
+            dh_next: m(batch, hidden),
+            dc_next: m(batch, hidden),
+            wxt: m(4 * hidden, input),
+            wht: m(4 * hidden, hidden),
+        }
+    }
 }
 
 impl Lstm {
@@ -62,13 +132,279 @@ impl Lstm {
             dwx: Matrix::zeros(input, 4 * hidden),
             dwh: Matrix::zeros(hidden, 4 * hidden),
             db: Matrix::zeros(1, 4 * hidden),
-            cache: None,
+            state: None,
         }
     }
 
     /// Hidden width.
     pub fn hidden_size(&self) -> usize {
         self.hidden
+    }
+
+    /// Returns the cached state, rebuilding it when the shape changed.
+    fn ensure_state(
+        state: &mut Option<LstmState>,
+        batch: usize,
+        time: usize,
+        input: usize,
+        hidden: usize,
+    ) -> &mut LstmState {
+        let fits = state
+            .as_ref()
+            .map_or(false, |s| s.batch == batch && s.time == time);
+        if !fits {
+            *state = None;
+        }
+        state.get_or_insert_with(|| LstmState::new(batch, time, input, hidden))
+    }
+
+    fn forward_into(&mut self, x: &Tensor3, out: &mut Tensor3) {
+        let (batch, time, feat) = x.shape();
+        assert_eq!(feat, self.input, "LSTM input width mismatch");
+        assert_eq!(
+            out.shape(),
+            (batch, time, self.hidden),
+            "LSTM output shape mismatch"
+        );
+        let h = self.hidden;
+        let Self {
+            input,
+            hidden,
+            wx,
+            wh,
+            b,
+            state,
+            ..
+        } = self;
+        let LstmState {
+            xs,
+            h_prevs,
+            c_prevs,
+            gates,
+            tanh_cs,
+            a,
+            ah,
+            h_cur,
+            c_cur,
+            ..
+        } = Self::ensure_state(state, batch, time, *input, *hidden);
+        h_cur.fill_zero();
+        c_cur.fill_zero();
+        let steps = xs
+            .iter_mut()
+            .zip(h_prevs.iter_mut())
+            .zip(c_prevs.iter_mut())
+            .zip(gates.iter_mut())
+            .zip(tanh_cs.iter_mut())
+            .enumerate();
+        for (t, ((((x_t, h_prev), c_prev), gates_t), tanh_c)) in steps {
+            x.read_time_slice(t, x_t);
+            // a = x_t @ wx + h_{t-1} @ wh + b — same matmul/add sequence
+            // (and therefore the same bits) as the allocating path.
+            x_t.matmul_into(wx, a);
+            h_cur.matmul_into(wh, ah);
+            a.add_assign(ah);
+            a.add_row_broadcast(b);
+
+            let (i_g, f_g, g_g, o_g) = gates_t;
+            let rows = a
+                .as_slice()
+                .chunks_exact(4 * h)
+                .zip(i_g.as_mut_slice().chunks_exact_mut(h))
+                .zip(f_g.as_mut_slice().chunks_exact_mut(h))
+                .zip(g_g.as_mut_slice().chunks_exact_mut(h))
+                .zip(o_g.as_mut_slice().chunks_exact_mut(h));
+            for ((((a_row, ir), fr), gr), or) in rows {
+                // The pre-activation row is laid out [i | f | g | o], each
+                // block `h` wide; split it so each gate reads its own slice.
+                let (a_i, rest) = a_row.split_at(h);
+                let (a_f, rest) = rest.split_at(h);
+                let (a_g, a_o) = rest.split_at(h);
+                let cells = a_i
+                    .iter()
+                    .zip(ir.iter_mut())
+                    .zip(a_f.iter().zip(fr.iter_mut()))
+                    .zip(a_g.iter().zip(gr.iter_mut()))
+                    .zip(a_o.iter().zip(or.iter_mut()));
+                for ((((&vi, ig), (&vf, fg)), (&vg, gg)), (&vo, og)) in cells {
+                    *ig = sigmoid(vi);
+                    *fg = sigmoid(vf);
+                    *gg = vg.tanh();
+                    *og = sigmoid(vo);
+                }
+            }
+
+            h_prev.copy_from(h_cur);
+            c_prev.copy_from(c_cur);
+
+            // c_t = f * c_{t-1} + i * g, in place: c_{t-1} was saved above
+            // and each element is (f*c) + (i*g), the exact op order of the
+            // hadamard + add_assign formulation.
+            for ((cv, &fv), (&iv, &gv)) in c_cur
+                .as_mut_slice()
+                .iter_mut()
+                .zip(f_g.as_slice())
+                .zip(i_g.as_slice().iter().zip(g_g.as_slice()))
+            {
+                *cv = fv * *cv + iv * gv;
+            }
+            for (tc, &cv) in tanh_c.as_mut_slice().iter_mut().zip(c_cur.as_slice()) {
+                *tc = cv.tanh();
+            }
+            // h_t = o * tanh(c_t)
+            for ((hv, &ov), &tc) in h_cur
+                .as_mut_slice()
+                .iter_mut()
+                .zip(o_g.as_slice())
+                .zip(tanh_c.as_slice())
+            {
+                *hv = ov * tc;
+            }
+            out.set_time_slice(t, h_cur);
+        }
+    }
+
+    fn backward_into(&mut self, dy: &Tensor3, dx: &mut Tensor3) {
+        let h = self.hidden;
+        assert_eq!(dy.features(), h, "LSTM upstream gradient width mismatch");
+        let Self {
+            wx,
+            wh,
+            dwx,
+            dwh,
+            db,
+            state,
+            ..
+        } = self;
+        let LstmState {
+            batch,
+            time,
+            xs,
+            h_prevs,
+            c_prevs,
+            gates,
+            tanh_cs,
+            dh,
+            dc,
+            da,
+            dwx_t,
+            dwh_t,
+            db_t,
+            dxa,
+            dh_next,
+            dc_next,
+            wxt,
+            wht,
+            ..
+            // lint: allow(panic) — precondition: backward requires a prior forward
+        } = state.as_mut().expect("backward called before forward");
+        let (batch, time) = (*batch, *time);
+        // Weight transposes once per backward call (they're step-constant):
+        // `matmul(da, w^T)` below replaces `matmul_a_bt(da, w)` — identical
+        // terms in identical order, roughly double the throughput.
+        wx.transpose_into(wxt);
+        wh.transpose_into(wht);
+        assert_eq!(dy.batch(), batch, "LSTM upstream gradient batch mismatch");
+        assert_eq!(
+            dx.shape(),
+            (batch, time, wx.rows()),
+            "LSTM input gradient shape mismatch"
+        );
+        dh_next.fill_zero();
+        dc_next.fill_zero();
+        let steps = xs
+            .iter()
+            .zip(h_prevs.iter())
+            .zip(c_prevs.iter())
+            .zip(gates.iter())
+            .zip(tanh_cs.iter())
+            .enumerate()
+            .rev();
+        for (t, ((((x_t, h_prev), c_prev), gates_t), tanh_c)) in steps {
+            let (i_g, f_g, g_g, o_g) = gates_t;
+
+            // dh = dy_t + dh carried from t+1
+            dy.read_time_slice(t, dh);
+            dh.add_assign(dh_next);
+
+            // dc = dh * o * (1 - tanh_c^2) + dc carried — fused, but each
+            // element follows the identical ((dh*o)*(1-tc^2))+carry chain.
+            for ((dcv, (&dhv, &ov)), (&tc, &dnv)) in dc
+                .as_mut_slice()
+                .iter_mut()
+                .zip(dh.as_slice().iter().zip(o_g.as_slice()))
+                .zip(tanh_c.as_slice().iter().zip(dc_next.as_slice()))
+            {
+                *dcv = ((dhv * ov) * (1.0 - tc * tc)) + dnv;
+            }
+
+            // Gate pre-activation gradients; every column of `da` is
+            // rewritten so the scratch needs no zeroing.
+            let rows = dh
+                .as_slice()
+                .chunks_exact(h)
+                .zip(dc.as_slice().chunks_exact(h))
+                .zip(
+                    i_g.as_slice()
+                        .chunks_exact(h)
+                        .zip(f_g.as_slice().chunks_exact(h)),
+                )
+                .zip(
+                    g_g.as_slice()
+                        .chunks_exact(h)
+                        .zip(o_g.as_slice().chunks_exact(h)),
+                )
+                .zip(
+                    tanh_c
+                        .as_slice()
+                        .chunks_exact(h)
+                        .zip(c_prev.as_slice().chunks_exact(h)),
+                )
+                .zip(da.as_mut_slice().chunks_exact_mut(4 * h));
+            for (((((dhr, dcr), (ir, fr)), (gr, or)), (tcr, cpr)), dar) in rows {
+                let (da_i, rest) = dar.split_at_mut(h);
+                let (da_f, rest) = rest.split_at_mut(h);
+                let (da_g, da_o) = rest.split_at_mut(h);
+                let cells = dhr
+                    .iter()
+                    .zip(dcr)
+                    .zip(ir.iter().zip(fr))
+                    .zip(gr.iter().zip(or))
+                    .zip(tcr.iter().zip(cpr))
+                    .zip(da_i.iter_mut().zip(da_f.iter_mut()))
+                    .zip(da_g.iter_mut().zip(da_o.iter_mut()));
+                for ((((((&dhv, &dcv), (&iv, &fv)), (&gv, &ov)), (&tcv, &cpv)), (dai, daf)), (dag, dao)) in
+                    cells
+                {
+                    *dao = dhv * tcv * ov * (1.0 - ov);
+                    *dai = dcv * gv * iv * (1.0 - iv);
+                    *daf = dcv * cpv * fv * (1.0 - fv);
+                    *dag = dcv * iv * (1.0 - gv * gv);
+                }
+            }
+
+            // Accumulate via scratch + add_assign to keep the sum order of
+            // the allocating path.
+            x_t.matmul_at_b_into(da, dwx_t);
+            dwx.add_assign(dwx_t);
+            h_prev.matmul_at_b_into(da, dwh_t);
+            dwh.add_assign(dwh_t);
+            da.sum_rows_into(db_t);
+            db.add_assign(db_t);
+
+            da.matmul_into(wxt, dxa);
+            dx.set_time_slice(t, dxa);
+            da.matmul_into(wht, dh_next);
+            // dc carried to t-1: dc * f
+            for ((dnv, &dcv), &fv) in dc_next
+                .as_mut_slice()
+                .iter_mut()
+                .zip(dc.as_slice())
+                .zip(f_g.as_slice())
+            {
+                *dnv = dcv * fv;
+            }
+        }
     }
 }
 
@@ -78,130 +414,38 @@ fn sigmoid(x: f64) -> f64 {
 
 impl SeqLayer for Lstm {
     fn forward(&mut self, x: &Tensor3, _train: bool) -> Tensor3 {
-        let (batch, time, feat) = x.shape();
-        assert_eq!(feat, self.input, "LSTM input width mismatch");
-        let h = self.hidden;
-        let mut out = Tensor3::zeros(batch, time, h);
-        let mut h_t = Matrix::zeros(batch, h);
-        let mut c_t = Matrix::zeros(batch, h);
-        let mut cache = LstmCache {
-            xs: Vec::with_capacity(time),
-            h_prevs: Vec::with_capacity(time),
-            c_prevs: Vec::with_capacity(time),
-            gates: Vec::with_capacity(time),
-            tanh_cs: Vec::with_capacity(time),
-        };
-        for t in 0..time {
-            let x_t = x.time_slice(t);
-            let mut a = x_t.matmul(&self.wx);
-            a.add_assign(&h_t.matmul(&self.wh));
-            a.add_row_broadcast(&self.b);
-
-            let mut i_g = Matrix::zeros(batch, h);
-            let mut f_g = Matrix::zeros(batch, h);
-            let mut g_g = Matrix::zeros(batch, h);
-            let mut o_g = Matrix::zeros(batch, h);
-            for bi in 0..batch {
-                // The pre-activation row is laid out [i | f | g | o], each
-                // block `h` wide; split it so each gate reads its own slice.
-                let (a_i, rest) = a.row(bi).split_at(h);
-                let (a_f, rest) = rest.split_at(h);
-                let (a_g, a_o) = rest.split_at(h);
-                for (hi, (((&vi, &vf), &vg), &vo)) in
-                    a_i.iter().zip(a_f).zip(a_g).zip(a_o).enumerate()
-                {
-                    i_g.set(bi, hi, sigmoid(vi));
-                    f_g.set(bi, hi, sigmoid(vf));
-                    g_g.set(bi, hi, vg.tanh());
-                    o_g.set(bi, hi, sigmoid(vo));
-                }
-            }
-
-            cache.h_prevs.push(h_t.clone());
-            cache.c_prevs.push(c_t.clone());
-
-            // c_t = f * c_{t-1} + i * g
-            let mut c_new = f_g.hadamard(&c_t);
-            c_new.add_assign(&i_g.hadamard(&g_g));
-            let tanh_c = c_new.map(f64::tanh);
-            // h_t = o * tanh(c_t)
-            let h_new = o_g.hadamard(&tanh_c);
-
-            out.set_time_slice(t, &h_new);
-            cache.xs.push(x_t);
-            cache.gates.push((i_g, f_g, g_g, o_g));
-            cache.tanh_cs.push(tanh_c);
-            h_t = h_new;
-            c_t = c_new;
-        }
-        self.cache = Some(cache);
+        let (batch, time, _) = x.shape();
+        let mut out = Tensor3::zeros(batch, time, self.hidden);
+        self.forward_into(x, &mut out);
         out
     }
 
     fn backward(&mut self, dy: &Tensor3) -> Tensor3 {
-        let cache = self.cache.as_ref().expect("backward called before forward");
-        let time = cache.xs.len();
-        let batch = dy.batch();
-        let h = self.hidden;
-        assert_eq!(dy.features(), h, "LSTM upstream gradient width mismatch");
-
+        let (batch, time) = {
+            // lint: allow(panic) — precondition: backward requires a prior forward
+            let st = self.state.as_ref().expect("backward called before forward");
+            (st.batch, st.time)
+        };
         let mut dx = Tensor3::zeros(batch, time, self.input);
-        let mut dh_next = Matrix::zeros(batch, h);
-        let mut dc_next = Matrix::zeros(batch, h);
+        self.backward_into(dy, &mut dx);
+        dx
+    }
 
-        let steps = cache
-            .gates
-            .iter()
-            .zip(&cache.tanh_cs)
-            .zip(&cache.c_prevs)
-            .zip(&cache.h_prevs)
-            .zip(&cache.xs)
-            .enumerate()
-            .rev();
-        for (t, ((((gates, tanh_c), c_prev), h_prev), x_t)) in steps {
-            let (i_g, f_g, g_g, o_g) = gates;
+    fn forward_ws(&mut self, x: &Tensor3, _train: bool, ws: &mut Workspace) -> Tensor3 {
+        let (batch, time, _) = x.shape();
+        let mut out = ws.take3(batch, time, self.hidden);
+        self.forward_into(x, &mut out);
+        out
+    }
 
-            // dh = dy_t + dh carried from t+1
-            let mut dh = dy.time_slice(t);
-            dh.add_assign(&dh_next);
-
-            // dc = dh * o * (1 - tanh_c^2) + dc carried
-            let mut dc = dh.hadamard(o_g);
-            for (v, &tc) in dc.as_mut_slice().iter_mut().zip(tanh_c.as_slice()) {
-                *v *= 1.0 - tc * tc;
-            }
-            dc.add_assign(&dc_next);
-
-            // Gate pre-activation gradients.
-            let mut da = Matrix::zeros(batch, 4 * h);
-            for bi in 0..batch {
-                for hi in 0..h {
-                    let dhv = dh.get(bi, hi);
-                    let dcv = dc.get(bi, hi);
-                    let iv = i_g.get(bi, hi);
-                    let fv = f_g.get(bi, hi);
-                    let gv = g_g.get(bi, hi);
-                    let ov = o_g.get(bi, hi);
-                    let tc = tanh_c.get(bi, hi);
-                    // do
-                    da.set(bi, 3 * h + hi, dhv * tc * ov * (1.0 - ov));
-                    // di
-                    da.set(bi, hi, dcv * gv * iv * (1.0 - iv));
-                    // df
-                    da.set(bi, h + hi, dcv * c_prev.get(bi, hi) * fv * (1.0 - fv));
-                    // dg
-                    da.set(bi, 2 * h + hi, dcv * iv * (1.0 - gv * gv));
-                }
-            }
-
-            self.dwx.add_assign(&x_t.matmul_at_b(&da));
-            self.dwh.add_assign(&h_prev.matmul_at_b(&da));
-            self.db.add_assign(&da.sum_rows());
-
-            dx.set_time_slice(t, &da.matmul_a_bt(&self.wx));
-            dh_next = da.matmul_a_bt(&self.wh);
-            dc_next = dc.hadamard(f_g);
-        }
+    fn backward_ws(&mut self, dy: &Tensor3, ws: &mut Workspace) -> Tensor3 {
+        let (batch, time) = {
+            // lint: allow(panic) — precondition: backward requires a prior forward
+            let st = self.state.as_ref().expect("backward called before forward");
+            (st.batch, st.time)
+        };
+        let mut dx = ws.take3(batch, time, self.input);
+        self.backward_into(dy, &mut dx);
         dx
     }
 

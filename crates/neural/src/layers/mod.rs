@@ -33,6 +33,7 @@ pub use softmax::Softmax;
 
 use crate::matrix::Matrix;
 use crate::tensor3::Tensor3;
+use crate::workspace::Workspace;
 
 /// A differentiable transformation of `(batch, features)` matrices.
 pub trait Layer {
@@ -44,6 +45,20 @@ pub trait Layer {
     /// accumulating parameter gradients, and returns the gradient w.r.t.
     /// the input.
     fn backward(&mut self, dy: &Matrix) -> Matrix;
+
+    /// [`Self::forward`] drawing the output (and internal temporaries)
+    /// from a [`Workspace`]; bit-identical to `forward`. Callers should
+    /// `ws.give` the returned matrix back once done. The default
+    /// delegates to the allocating path for layers without an override.
+    fn forward_ws(&mut self, x: &Matrix, train: bool, _ws: &mut Workspace) -> Matrix {
+        self.forward(x, train)
+    }
+
+    /// [`Self::backward`] drawing buffers from a [`Workspace`];
+    /// bit-identical to `backward`.
+    fn backward_ws(&mut self, dy: &Matrix, _ws: &mut Workspace) -> Matrix {
+        self.backward(dy)
+    }
 
     /// Visits `(parameter, gradient)` pairs in a fixed order.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix));
@@ -69,6 +84,19 @@ pub trait SeqLayer {
     /// Backpropagates through the last forward, accumulating parameter
     /// gradients; returns the gradient w.r.t. the input tensor.
     fn backward(&mut self, dy: &Tensor3) -> Tensor3;
+
+    /// [`Self::forward`] drawing the output tensor from a [`Workspace`];
+    /// bit-identical to `forward`. Callers should `ws.give3` the result
+    /// back once done.
+    fn forward_ws(&mut self, x: &Tensor3, train: bool, _ws: &mut Workspace) -> Tensor3 {
+        self.forward(x, train)
+    }
+
+    /// [`Self::backward`] drawing buffers from a [`Workspace`];
+    /// bit-identical to `backward`.
+    fn backward_ws(&mut self, dy: &Tensor3, _ws: &mut Workspace) -> Tensor3 {
+        self.backward(dy)
+    }
 
     /// Visits `(parameter, gradient)` pairs in a fixed order.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix));

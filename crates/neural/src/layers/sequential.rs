@@ -4,6 +4,7 @@
 use super::{Layer, SeqLayer};
 use crate::matrix::Matrix;
 use crate::tensor3::Tensor3;
+use crate::workspace::Workspace;
 
 /// A stack of [`Layer`]s applied in order.
 pub struct Sequential {
@@ -42,6 +43,44 @@ impl Layer for Sequential {
             cur = l.backward(&cur);
         }
         cur
+    }
+
+    fn forward_ws(&mut self, x: &Matrix, train: bool, ws: &mut Workspace) -> Matrix {
+        match self.layers.split_first_mut() {
+            None => {
+                let mut out = ws.take(x.rows(), x.cols());
+                out.copy_from(x);
+                out
+            }
+            Some((first, rest)) => {
+                let mut cur = first.forward_ws(x, train, ws);
+                for l in rest {
+                    let next = l.forward_ws(&cur, train, ws);
+                    ws.give(cur);
+                    cur = next;
+                }
+                cur
+            }
+        }
+    }
+
+    fn backward_ws(&mut self, dy: &Matrix, ws: &mut Workspace) -> Matrix {
+        match self.layers.split_last_mut() {
+            None => {
+                let mut out = ws.take(dy.rows(), dy.cols());
+                out.copy_from(dy);
+                out
+            }
+            Some((last, front)) => {
+                let mut cur = last.backward_ws(dy, ws);
+                for l in front.iter_mut().rev() {
+                    let next = l.backward_ws(&cur, ws);
+                    ws.give(cur);
+                    cur = next;
+                }
+                cur
+            }
+        }
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
@@ -90,6 +129,46 @@ impl SeqLayer for SeqSequential {
         cur
     }
 
+    fn forward_ws(&mut self, x: &Tensor3, train: bool, ws: &mut Workspace) -> Tensor3 {
+        match self.layers.split_first_mut() {
+            None => {
+                let (b, t, f) = x.shape();
+                let mut out = ws.take3(b, t, f);
+                out.as_mut_slice().copy_from_slice(x.as_slice());
+                out
+            }
+            Some((first, rest)) => {
+                let mut cur = first.forward_ws(x, train, ws);
+                for l in rest {
+                    let next = l.forward_ws(&cur, train, ws);
+                    ws.give3(cur);
+                    cur = next;
+                }
+                cur
+            }
+        }
+    }
+
+    fn backward_ws(&mut self, dy: &Tensor3, ws: &mut Workspace) -> Tensor3 {
+        match self.layers.split_last_mut() {
+            None => {
+                let (b, t, f) = dy.shape();
+                let mut out = ws.take3(b, t, f);
+                out.as_mut_slice().copy_from_slice(dy.as_slice());
+                out
+            }
+            Some((last, front)) => {
+                let mut cur = last.backward_ws(dy, ws);
+                for l in front.iter_mut().rev() {
+                    let next = l.backward_ws(&cur, ws);
+                    ws.give3(cur);
+                    cur = next;
+                }
+                cur
+            }
+        }
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
         for l in &mut self.layers {
             l.visit_params(f);
@@ -129,6 +208,34 @@ impl<L: Layer> SeqLayer for TimeDistributed<L> {
         let (b, t) = self.shape.expect("backward called before forward");
         let dx = self.inner.backward(&dy.flatten_time());
         Tensor3::unflatten_time(b, t, &dx).expect("inner layer preserves row count")
+    }
+
+    fn forward_ws(&mut self, x: &Tensor3, train: bool, ws: &mut Workspace) -> Tensor3 {
+        let (b, t, f) = x.shape();
+        self.shape = Some((b, t));
+        // The flatten/unflatten reshapes become plain copies into pooled
+        // buffers; the inner layer sees the identical `(b*t, f)` view.
+        let mut flat = ws.take(b * t, f);
+        flat.as_mut_slice().copy_from_slice(x.as_slice());
+        let y = self.inner.forward_ws(&flat, train, ws);
+        ws.give(flat);
+        let mut out = ws.take3(b, t, y.cols());
+        out.as_mut_slice().copy_from_slice(y.as_slice());
+        ws.give(y);
+        out
+    }
+
+    fn backward_ws(&mut self, dy: &Tensor3, ws: &mut Workspace) -> Tensor3 {
+        // lint: allow(panic) — precondition: backward requires a prior forward
+        let (b, t) = self.shape.expect("backward called before forward");
+        let mut flat = ws.take(b * t, dy.features());
+        flat.as_mut_slice().copy_from_slice(dy.as_slice());
+        let dx = self.inner.backward_ws(&flat, ws);
+        ws.give(flat);
+        let mut out = ws.take3(b, t, dx.cols());
+        out.as_mut_slice().copy_from_slice(dx.as_slice());
+        ws.give(dx);
+        out
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {

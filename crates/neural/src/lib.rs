@@ -54,6 +54,8 @@ pub mod matrix;
 pub mod optim;
 pub mod rng;
 pub mod tensor3;
+pub mod workspace;
 
 pub use matrix::Matrix;
 pub use tensor3::Tensor3;
+pub use workspace::Workspace;

@@ -19,6 +19,19 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
     (loss, grad)
 }
 
+/// [`mse`] writing the gradient into a caller-provided buffer — same op
+/// order, same bits, no allocation. `grad` must match `pred`'s shape.
+pub fn mse_into(pred: &Matrix, target: &Matrix, grad: &mut Matrix) -> f64 {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    assert_eq!(grad.shape(), pred.shape(), "mse gradient shape mismatch");
+    let n = pred.len().max(1) as f64;
+    grad.copy_from(pred);
+    grad.sub_assign(target);
+    let loss = grad.as_slice().iter().map(|v| v * v).sum::<f64>() / n;
+    grad.scale(2.0 / n);
+    loss
+}
+
 /// Summed squared error (the paper's Eq. 12 form); returns
 /// `(loss, d loss / d pred)`.
 pub fn sse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
@@ -70,6 +83,27 @@ pub fn mse_seq(pred: &Tensor3, target: &Tensor3) -> (f64, Tensor3) {
         *g *= 2.0 / n;
     }
     (loss, grad)
+}
+
+/// [`mse_seq`] writing the gradient into a caller-provided buffer — same
+/// op order, same bits, no allocation.
+pub fn mse_seq_into(pred: &Tensor3, target: &Tensor3, grad: &mut Tensor3) -> f64 {
+    assert_eq!(pred.shape(), target.shape(), "mse_seq shape mismatch");
+    assert_eq!(
+        grad.shape(),
+        pred.shape(),
+        "mse_seq gradient shape mismatch"
+    );
+    let n = pred.as_slice().len().max(1) as f64;
+    grad.as_mut_slice().copy_from_slice(pred.as_slice());
+    for (g, &t) in grad.as_mut_slice().iter_mut().zip(target.as_slice()) {
+        *g -= t;
+    }
+    let loss = grad.as_slice().iter().map(|v| v * v).sum::<f64>() / n;
+    for g in grad.as_mut_slice() {
+        *g *= 2.0 / n;
+    }
+    loss
 }
 
 #[cfg(test)]
@@ -158,6 +192,26 @@ mod tests {
             let num = (huber(&pp, &t, delta).0 - huber(&pm, &t, delta).0) / (2.0 * eps);
             assert!((num - g.as_slice()[i]).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical() {
+        let p = Matrix::from_vec(2, 2, vec![0.9, -0.3, 2.5, 0.1]).unwrap();
+        let t = Matrix::from_vec(2, 2, vec![0.1, 0.2, -1.0, 0.4]).unwrap();
+        let (l, g) = mse(&p, &t);
+        let mut g2 = Matrix::filled(2, 2, f64::NAN); // dirty buffer
+        let l2 = mse_into(&p, &t, &mut g2);
+        assert_eq!(l, l2);
+        assert_eq!(g.as_slice(), g2.as_slice());
+
+        let ps = Tensor3::from_vec(1, 2, 2, p.as_slice().to_vec()).unwrap();
+        let ts = Tensor3::from_vec(1, 2, 2, t.as_slice().to_vec()).unwrap();
+        let (ls, gs) = mse_seq(&ps, &ts);
+        let mut gs2 = Tensor3::zeros(1, 2, 2);
+        gs2.as_mut_slice().fill(f64::NAN);
+        let ls2 = mse_seq_into(&ps, &ts, &mut gs2);
+        assert_eq!(ls, ls2);
+        assert_eq!(gs.as_slice(), gs2.as_slice());
     }
 
     #[test]

@@ -1,11 +1,20 @@
 //! Dense row-major `f64` matrices and the linear-algebra kernel set the
 //! layers are built from.
 //!
-//! The three matmul kernels and the row-wise softmax fan out across rayon
-//! workers once a product is large enough to amortise the dispatch (see
-//! [`PAR_MIN_FLOPS`]). Parallel results are **bit-identical** to serial
-//! ones: work is split by output row and every row accumulates its terms
-//! in the same order either way, so thread count never changes numerics.
+//! The three matmul kernels are cache-blocked (see [`TILE_P`] /
+//! [`TILE_J`] / DESIGN.md §13) and fan out across rayon workers once a
+//! product is large enough to amortise the dispatch (see
+//! [`PAR_MIN_FLOPS`]). Tiled and parallel results are **bit-identical**
+//! to the untiled serial kernels: blocking and the row split only change
+//! the order in which *different* output elements are produced, while
+//! every individual element still accumulates its `k` terms in ascending
+//! `p` order — so neither tile size nor thread count ever changes
+//! numerics.
+//!
+//! Each kernel also has a `*_into` variant writing into a caller-owned
+//! matrix, so hot loops (see [`crate::workspace::Workspace`]) can run
+//! allocation-free; `x.matmul_into(w, &mut out)` produces exactly the
+//! bits of `out = x.matmul(w)`.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -15,11 +24,34 @@ use std::fmt;
 /// below this the dispatch overhead outweighs the work.
 pub const PAR_MIN_FLOPS: usize = 1 << 17;
 
+/// Cache-block depth: `p` (the shared/contraction axis) is processed in
+/// runs of this many rows of `rhs`, so one `TILE_P` x `TILE_J` panel of
+/// `rhs` (32 KiB at 64x64 f64) stays L1-resident while every output row
+/// of the current chunk streams over it.
+const TILE_P: usize = 64;
+
+/// Cache-block width: output columns are processed in runs of this many,
+/// bounding the write-back segment each inner loop touches.
+const TILE_J: usize = 64;
+
+/// Row-block height for [`Matrix::matmul_at_b`]: output rows are
+/// processed in short runs so `a.row(p)[i..]` segments are read
+/// contiguously while the out block stays cached.
+const TILE_I: usize = 8;
+
 /// True when a kernel touching `flops` multiply-adds over `rows` output
 /// rows should run in parallel.
 #[inline]
 fn should_parallelise(rows: usize, flops: usize) -> bool {
     rows > 1 && flops >= PAR_MIN_FLOPS && rayon::current_num_threads() > 1
+}
+
+/// Rows per parallel chunk: splitting `m` rows evenly over the worker
+/// count (instead of one row per work item) lets the tiled kernels reuse
+/// an L1-resident `rhs` panel across all rows of a chunk.
+#[inline]
+fn rows_per_chunk(m: usize) -> usize {
+    m.div_ceil(rayon::current_num_threads()).max(1)
 }
 
 /// Error for shape violations.
@@ -173,121 +205,144 @@ impl Matrix {
 
     /// Matrix product `self @ rhs`; `(m,k) @ (k,n) -> (m,n)`.
     ///
-    /// Large products run row-parallel; results are bit-identical to the
-    /// serial execution (see the module docs).
+    /// Cache-blocked; large products additionally run row-parallel.
+    /// Results are bit-identical to the untiled serial kernel (see the
+    /// module docs).
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Self::matmul`] into a caller-owned output (overwritten), so hot
+    /// loops can reuse the allocation. Produces exactly the bits of
+    /// `matmul`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: ({},{}) @ ({},{})",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
+        assert_eq!((out.rows, out.cols), (m, n), "matmul output shape mismatch");
+        out.fill_zero();
         let flops = m.saturating_mul(k).saturating_mul(n);
         if should_parallelise(m, flops) {
+            let rows = rows_per_chunk(m);
             out.data
-                .par_chunks_mut(n)
+                .par_chunks_mut(rows * n)
                 .enumerate()
-                .for_each(|(i, out_row)| {
-                    matmul_row_into(self.row(i), rhs, out_row);
+                .for_each(|(ci, chunk)| {
+                    matmul_block_tiled(self, rhs, ci * rows, chunk, TILE_P, TILE_J);
                 });
-            return out;
+            return;
         }
-        // i-k-j order: streams through rhs rows, cache friendly.
-        for i in 0..m {
-            matmul_row_into(self.row(i), rhs, out.row_mut(i));
-        }
-        out
+        matmul_block_tiled(self, rhs, 0, &mut out.data, TILE_P, TILE_J);
     }
 
     /// `self^T @ rhs`; `(k,m)^T @ (k,n) -> (m,n)`. Avoids materialising the
     /// transpose (used for weight gradients `x^T @ dy`).
     ///
-    /// The parallel path splits by output row; every output element sums
-    /// its terms in ascending `p` order on both paths, so results are
-    /// bit-identical regardless of thread count.
+    /// Cache-blocked and row-parallel above the size threshold; every
+    /// output element sums its terms in ascending `p` order on all paths,
+    /// so results are bit-identical regardless of tile size or thread
+    /// count.
     pub fn matmul_at_b(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.matmul_at_b_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_at_b`] into a caller-owned output (overwritten).
+    /// Produces exactly the bits of `matmul_at_b`.
+    pub fn matmul_at_b_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_at_b shape mismatch: ({},{})^T @ ({},{})",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (k, m, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
+        assert_eq!(
+            (out.rows, out.cols),
+            (m, n),
+            "matmul_at_b output shape mismatch"
+        );
+        out.fill_zero();
         let flops = m.saturating_mul(k).saturating_mul(n);
         if should_parallelise(m, flops) {
+            let rows = rows_per_chunk(m);
             out.data
-                .par_chunks_mut(n)
+                .par_chunks_mut(rows * n)
                 .enumerate()
-                .for_each(|(i, out_row)| {
-                    for p in 0..k {
-                        let a = self.get(p, i);
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let b_row = rhs.row(p);
-                        for (o, &b) in out_row.iter_mut().zip(b_row) {
-                            *o += a * b;
-                        }
-                    }
+                .for_each(|(ci, chunk)| {
+                    matmul_at_b_block_tiled(self, rhs, ci * rows, chunk, TILE_P, TILE_J);
                 });
-            return out;
+            return;
         }
-        // Serial: p-outer streams both operands row-major.
-        for p in 0..k {
-            let a_row = self.row(p);
-            let b_row = rhs.row(p);
-            for (i, &a) in a_row.iter().enumerate().take(m) {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        matmul_at_b_block_tiled(self, rhs, 0, &mut out.data, TILE_P, TILE_J);
     }
 
     /// `self @ rhs^T`; `(m,k) @ (n,k)^T -> (m,n)`. Used for input gradients
-    /// `dy @ W^T`. Row-parallel above the size threshold, bit-identical to
-    /// serial.
+    /// `dy @ W^T`. Column-blocked (so a panel of `rhs` rows is reused
+    /// across output rows) and row-parallel above the size threshold;
+    /// bit-identical to the unblocked serial kernel because each output
+    /// element is one sequential dot product either way.
     pub fn matmul_a_bt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_a_bt_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_a_bt`] into a caller-owned output (overwritten).
+    /// Produces exactly the bits of `matmul_a_bt`.
+    pub fn matmul_a_bt_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_a_bt shape mismatch: ({},{}) @ ({},{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
-        let mut out = Matrix::zeros(m, n);
+        assert_eq!(
+            (out.rows, out.cols),
+            (m, n),
+            "matmul_a_bt output shape mismatch"
+        );
         let flops = m.saturating_mul(k).saturating_mul(n);
         if should_parallelise(m, flops) {
+            let rows = rows_per_chunk(m);
             out.data
-                .par_chunks_mut(n)
+                .par_chunks_mut(rows * n)
                 .enumerate()
-                .for_each(|(i, out_row)| {
-                    let a_row = self.row(i);
-                    for (j, o) in out_row.iter_mut().enumerate() {
-                        *o = dot(a_row, rhs.row(j));
-                    }
+                .for_each(|(ci, chunk)| {
+                    matmul_a_bt_block_tiled(self, rhs, ci * rows, chunk, TILE_J);
                 });
-            return out;
+            return;
         }
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate().take(n) {
-                let b_row = rhs.row(j);
-                *o = dot(a_row, b_row);
-            }
-        }
-        out
+        matmul_a_bt_block_tiled(self, rhs, 0, &mut out.data, TILE_J);
     }
 
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
         Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Transpose into a caller-owned `(cols, rows)` matrix — pure data
+    /// movement, so hot loops can turn a `matmul_a_bt(rhs)` into the
+    /// faster `matmul(rhs^T)` without touching any floating-point op:
+    /// both kernels sum identical terms in ascending contraction order,
+    /// so the results are bit-identical.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, self.rows),
+            "transpose output shape mismatch"
+        );
+        for (r, row) in self.data.chunks_exact(self.cols.max(1)).enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                // lint: allow(panic) — c < self.cols = out.rows, r < out.cols
+                out.data[c * self.rows + r] = v;
+            }
+        }
     }
 
     /// Element-wise in-place addition.
@@ -367,12 +422,31 @@ impl Matrix {
     /// Sums rows into a `(1, cols)` vector (bias gradients).
     pub fn sum_rows(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// [`Self::sum_rows`] into a caller-owned `(1, cols)` output
+    /// (overwritten); same bits as the allocating variant.
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (1, self.cols),
+            "sum_rows output shape mismatch"
+        );
+        out.fill_zero();
         for r in 0..self.rows {
             for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
                 *o += v;
             }
         }
-        out
+    }
+
+    /// Overwrites `self` with `src`'s contents; shapes must match. The
+    /// in-place counterpart of `clone()` for reused buffers.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.shape(), src.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Sum of all elements.
@@ -416,6 +490,24 @@ impl Matrix {
         out
     }
 
+    /// Consumes the matrix, returning its backing buffer (for the
+    /// workspace pool).
+    pub(crate) fn into_raw(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Builds a `(rows, cols)` zero matrix on top of a recycled buffer,
+    /// reusing its capacity.
+    pub(crate) fn from_raw(rows: usize, cols: usize, mut buf: Vec<f64>) -> Matrix {
+        buf.clear();
+        buf.resize(rows * cols, 0.0);
+        Matrix {
+            rows,
+            cols,
+            data: buf,
+        }
+    }
+
     /// Column slice `[c0, c1)` as a new matrix.
     pub fn col_slice(&self, c0: usize, c1: usize) -> Matrix {
         assert!(c0 <= c1 && c1 <= self.cols, "col_slice out of range");
@@ -433,17 +525,283 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-/// Accumulates `a_row @ rhs` into `out_row` (one output row of a matmul);
-/// shared by the serial and parallel paths so both produce identical bits.
-#[inline]
-fn matmul_row_into(a_row: &[f64], rhs: &Matrix, out_row: &mut [f64]) {
-    for (p, &a) in a_row.iter().enumerate() {
-        if a == 0.0 {
-            continue;
+/// Tiled `a @ rhs` for the output-row block `[row0, row0 + nr)`, where
+/// `nr = out.len() / rhs.cols` and `out` is that block of the output
+/// buffer (already zeroed). Shared by the serial and parallel paths so
+/// both produce identical bits.
+///
+/// Loop order is `jb -> pb -> i -> p -> j`: one `tp x tj` panel of `rhs`
+/// stays cache-resident while every row of the block streams over it.
+/// For a fixed output element `(i, j)` the `p` blocks ascend and `p`
+/// ascends within each block, so its terms accumulate in exactly the
+/// order of the untiled `i-k-j` kernel — tiling is bit-invisible.
+///
+/// The `p` loop is unrolled by four with an explicit left-to-right
+/// addition chain per output element, so four `rhs` rows are folded into
+/// one load/store of the output segment. The chain keeps the exact
+/// ascending-`p` addition order, and a `0.0 * b` term adds a signed zero,
+/// which cannot change an accumulator that is never `-0.0` (it starts at
+/// `+0.0` and IEEE round-to-nearest addition only yields `-0.0` from
+/// `-0.0 + -0.0`) — so bits match the one-`p`-at-a-time kernel for all
+/// finite inputs.
+fn matmul_block_tiled(a: &Matrix, rhs: &Matrix, row0: usize, out: &mut [f64], tp: usize, tj: usize) {
+    let k = a.cols;
+    let n = rhs.cols;
+    if n == 0 {
+        return;
+    }
+    let nr = out.len() / n;
+    for jb in (0..n).step_by(tj) {
+        let jhi = (jb + tj).min(n);
+        for pb in (0..k).step_by(tp) {
+            let phi = (pb + tp).min(k);
+            // lint: allow(panic) — pb < phi <= k = rhs.rows, rows contiguous
+            let b_rows = &rhs.data[pb * n..phi * n];
+            for i in 0..nr {
+                let a_row = a.row(row0 + i);
+                // lint: allow(panic) — pb < phi <= k = a.cols
+                let a_seg = &a_row[pb..phi];
+                // lint: allow(panic) — i < nr and jhi <= n keep the range
+                // inside this row block
+                let out_row = &mut out[i * n + jb..i * n + jhi];
+                let mut a_quads = a_seg.chunks_exact(4);
+                let b_quads = b_rows.chunks_exact(4 * n);
+                for (aq, bq) in a_quads.by_ref().zip(b_quads) {
+                    let &[a0, a1, a2, a3] = aq else { continue };
+                    if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                        continue;
+                    }
+                    let (b0, rest) = bq.split_at(n);
+                    let (b1, rest) = rest.split_at(n);
+                    let (b2, b3) = rest.split_at(n);
+                    // lint: allow(panic) — jhi <= n = rhs.cols
+                    let (c0, c1) = (&b0[jb..jhi], &b1[jb..jhi]);
+                    let (c2, c3) = (&b2[jb..jhi], &b3[jb..jhi]);
+                    let cols = out_row.iter_mut().zip(c0).zip(c1).zip(c2).zip(c3);
+                    for ((((o, &v0), &v1), &v2), &v3) in cols {
+                        *o = (((*o + a0 * v0) + a1 * v1) + a2 * v2) + a3 * v3;
+                    }
+                }
+                let rem_p0 = phi - a_quads.remainder().len();
+                for (p, &av) in a_quads.remainder().iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    // lint: allow(panic) — jhi <= n = rhs.cols
+                    let b_seg = &rhs.row(rem_p0 + p)[jb..jhi];
+                    for (o, &b) in out_row.iter_mut().zip(b_seg) {
+                        *o += av * b;
+                    }
+                }
+            }
         }
-        let b_row = rhs.row(p);
-        for (o, &b) in out_row.iter_mut().zip(b_row) {
-            *o += a * b;
+    }
+}
+
+/// Tiled `a^T @ rhs` for the output-row block `[row0, row0 + nr)`;
+/// `a` is `(k, m)`, the block covers output columns of `a` (= rows of
+/// `a^T`). `out` is the pre-zeroed block buffer.
+///
+/// Loop order is `jb -> pb -> ib -> p -> i -> j`: reading
+/// `a.row(p)[row0+ib..]` keeps the strided-transpose access contiguous,
+/// while the `ib` blocking keeps the touched output rows cache-resident
+/// across a `p` run. Per output element the `p` order is ascending, so
+/// results match the untiled kernel bit-for-bit.
+///
+/// Like [`matmul_block_tiled`], `p` is unrolled by four with an explicit
+/// ascending addition chain per output element — same order, same bits
+/// (see the signed-zero argument there), a quarter of the output-row
+/// traffic.
+fn matmul_at_b_block_tiled(
+    a: &Matrix,
+    rhs: &Matrix,
+    row0: usize,
+    out: &mut [f64],
+    tp: usize,
+    tj: usize,
+) {
+    let k = a.rows;
+    let ma = a.cols;
+    let n = rhs.cols;
+    if n == 0 {
+        return;
+    }
+    let nr = out.len() / n;
+    for jb in (0..n).step_by(tj) {
+        let jhi = (jb + tj).min(n);
+        for pb in (0..k).step_by(tp) {
+            let phi = (pb + tp).min(k);
+            // lint: allow(panic) — pb < phi <= k = a.rows, rows contiguous
+            let a_rows = &a.data[pb * ma..phi * ma];
+            // lint: allow(panic) — pb < phi <= k = rhs.rows, rows contiguous
+            let b_rows = &rhs.data[pb * n..phi * n];
+            for ib in (0..nr).step_by(TILE_I) {
+                let ihi = (ib + TILE_I).min(nr);
+                let mut a_quads = a_rows.chunks_exact(4 * ma);
+                let b_quads = b_rows.chunks_exact(4 * n);
+                for (ar, br) in a_quads.by_ref().zip(b_quads) {
+                    let (ar0, rest) = ar.split_at(ma);
+                    let (ar1, rest) = rest.split_at(ma);
+                    let (ar2, ar3) = rest.split_at(ma);
+                    let (b0, rest) = br.split_at(n);
+                    let (b1, rest) = rest.split_at(n);
+                    let (b2, b3) = rest.split_at(n);
+                    // lint: allow(panic) — row0 + ihi <= m = a.cols
+                    let (c0, c1) = (&ar0[row0 + ib..row0 + ihi], &ar1[row0 + ib..row0 + ihi]);
+                    let (c2, c3) = (&ar2[row0 + ib..row0 + ihi], &ar3[row0 + ib..row0 + ihi]);
+                    let a_cols = c0.iter().zip(c1).zip(c2).zip(c3);
+                    for (di, (((&a0, &a1), &a2), &a3)) in a_cols.enumerate() {
+                        if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                            continue;
+                        }
+                        let i = ib + di;
+                        // lint: allow(panic) — i < nr and jhi <= n keep
+                        // the range inside this row block
+                        let out_row = &mut out[i * n + jb..i * n + jhi];
+                        // lint: allow(panic) — jhi <= n = rhs.cols
+                        let (c0, c1) = (&b0[jb..jhi], &b1[jb..jhi]);
+                        let (c2, c3) = (&b2[jb..jhi], &b3[jb..jhi]);
+                        let cols = out_row.iter_mut().zip(c0).zip(c1).zip(c2).zip(c3);
+                        for ((((o, &v0), &v1), &v2), &v3) in cols {
+                            *o = (((*o + a0 * v0) + a1 * v1) + a2 * v2) + a3 * v3;
+                        }
+                    }
+                }
+                let rem = a_quads.remainder();
+                let rem_p0 = phi - rem.len() / ma.max(1);
+                for (off, ar) in rem.chunks_exact(ma).enumerate() {
+                    let p = rem_p0 + off;
+                    // lint: allow(panic) — row0 + ihi <= m = a.cols
+                    let a_seg = &ar[row0 + ib..row0 + ihi];
+                    // lint: allow(panic) — jhi <= n = rhs.cols
+                    let b_seg = &rhs.row(p)[jb..jhi];
+                    for (di, &av) in a_seg.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let i = ib + di;
+                        // lint: allow(panic) — i < nr and jhi <= n keep
+                        // the range inside this row block
+                        let out_row = &mut out[i * n + jb..i * n + jhi];
+                        for (o, &b) in out_row.iter_mut().zip(b_seg) {
+                            *o += av * b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Blocked `a @ rhs^T` for the output-row block `[row0, row0 + nr)`.
+/// Only the output columns are blocked (a `tj`-row panel of `rhs` is
+/// reused across every row of the block); each element is one sequential
+/// dot product, identical to the unblocked kernel.
+///
+/// A 2x4 register block is computed at once: two output rows share the
+/// four loaded `rhs` rows, giving eight *independent* accumulator chains
+/// from six loads per step — a single dot product is a serial FP-add
+/// dependency chain and runs at add-latency speed, while eight
+/// interleaved chains fill the pipeline and the row-sharing halves the
+/// load pressure. Each chain still sums its own terms in ascending `p`
+/// order, so every element's bits match the plain `dot`.
+fn matmul_a_bt_block_tiled(a: &Matrix, rhs: &Matrix, row0: usize, out: &mut [f64], tj: usize) {
+    let n = rhs.rows;
+    let kc = rhs.cols;
+    if n == 0 {
+        return;
+    }
+    if kc == 0 {
+        // empty contraction: every dot product is 0.0
+        for o in out.iter_mut() {
+            *o = 0.0;
+        }
+        return;
+    }
+    for jb in (0..n).step_by(tj) {
+        let jhi = (jb + tj).min(n);
+        // lint: allow(panic) — jb < jhi <= n = rhs.rows, rows contiguous
+        let b_rows = &rhs.data[jb * kc..jhi * kc];
+        let mut out_rows = out.chunks_exact_mut(n);
+        let mut i = 0usize;
+        while let Some(or0) = out_rows.next() {
+            let Some(or1) = out_rows.next() else {
+                // odd trailing row: four-column chains without the pair
+                let a_row = a.row(row0 + i);
+                // lint: allow(panic) — jhi <= n bounds the row segment
+                let o_row = &mut or0[jb..jhi];
+                let mut o_quads = o_row.chunks_exact_mut(4);
+                let mut b_quads = b_rows.chunks_exact(4 * kc);
+                for (oq, bq) in o_quads.by_ref().zip(b_quads.by_ref()) {
+                    let (r0, rest) = bq.split_at(kc);
+                    let (r1, rest) = rest.split_at(kc);
+                    let (r2, r3) = rest.split_at(kc);
+                    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                    let rows = a_row.iter().zip(r0).zip(r1).zip(r2).zip(r3);
+                    for ((((&av, &v0), &v1), &v2), &v3) in rows {
+                        s0 += av * v0;
+                        s1 += av * v1;
+                        s2 += av * v2;
+                        s3 += av * v3;
+                    }
+                    if let [o0, o1, o2, o3] = oq {
+                        (*o0, *o1, *o2, *o3) = (s0, s1, s2, s3);
+                    }
+                }
+                let b_rem = b_quads.remainder().chunks_exact(kc);
+                for (o, r) in o_quads.into_remainder().iter_mut().zip(b_rem) {
+                    *o = dot(a_row, r);
+                }
+                break;
+            };
+            let a0_row = a.row(row0 + i);
+            let a1_row = a.row(row0 + i + 1);
+            // lint: allow(panic) — jhi <= n bounds both row segments
+            let o0_row = &mut or0[jb..jhi];
+            // lint: allow(panic) — jhi <= n bounds both row segments
+            let o1_row = &mut or1[jb..jhi];
+            let mut o0_quads = o0_row.chunks_exact_mut(4);
+            let mut o1_quads = o1_row.chunks_exact_mut(4);
+            let mut b_quads = b_rows.chunks_exact(4 * kc);
+            for ((oq0, oq1), bq) in o0_quads
+                .by_ref()
+                .zip(o1_quads.by_ref())
+                .zip(b_quads.by_ref())
+            {
+                let (r0, rest) = bq.split_at(kc);
+                let (r1, rest) = rest.split_at(kc);
+                let (r2, r3) = rest.split_at(kc);
+                let (mut s00, mut s01, mut s02, mut s03) = (0.0, 0.0, 0.0, 0.0);
+                let (mut s10, mut s11, mut s12, mut s13) = (0.0, 0.0, 0.0, 0.0);
+                let rows = a0_row.iter().zip(a1_row).zip(r0).zip(r1).zip(r2).zip(r3);
+                for (((((&a0, &a1), &v0), &v1), &v2), &v3) in rows {
+                    s00 += a0 * v0;
+                    s01 += a0 * v1;
+                    s02 += a0 * v2;
+                    s03 += a0 * v3;
+                    s10 += a1 * v0;
+                    s11 += a1 * v1;
+                    s12 += a1 * v2;
+                    s13 += a1 * v3;
+                }
+                if let [o0, o1, o2, o3] = oq0 {
+                    (*o0, *o1, *o2, *o3) = (s00, s01, s02, s03);
+                }
+                if let [o0, o1, o2, o3] = oq1 {
+                    (*o0, *o1, *o2, *o3) = (s10, s11, s12, s13);
+                }
+            }
+            let b_rem = b_quads.remainder().chunks_exact(kc);
+            let tail = o0_quads
+                .into_remainder()
+                .iter_mut()
+                .zip(o1_quads.into_remainder().iter_mut())
+                .zip(b_rem);
+            for ((o0, o1), r) in tail {
+                *o0 = dot(a0_row, r);
+                *o1 = dot(a1_row, r);
+            }
+            i += 2;
         }
     }
 }
@@ -501,6 +859,138 @@ pub fn softmax_rows_backward(y: &Matrix, dy: &Matrix) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// Textbook `i-j-k` reference, deliberately untiled and without the
+    /// `a == 0` skip. Each output element still sums in ascending `p`
+    /// order, which is the invariant the production kernels preserve.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+            (0..a.cols()).map(|p| a.get(i, p) * b.get(p, j)).sum()
+        })
+    }
+
+    fn naive_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+        Matrix::from_fn(a.cols(), b.cols(), |i, j| {
+            (0..a.rows()).map(|p| a.get(p, i) * b.get(p, j)).sum()
+        })
+    }
+
+    fn naive_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+        Matrix::from_fn(a.rows(), b.rows(), |i, j| {
+            (0..a.cols()).map(|p| a.get(i, p) * b.get(j, p)).sum()
+        })
+    }
+
+    /// Deterministic test fill with exact zeros injected (every fifth
+    /// element) so the kernels' sparsity skip is exercised.
+    fn patterned(rows: usize, cols: usize, salt: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            if (r * cols + c + salt) % 5 == 0 {
+                0.0
+            } else {
+                ((r * 31 + c * 7 + salt) % 23) as f64 * 0.37 - 3.0
+            }
+        })
+    }
+
+    const TILE_CHOICES: [usize; 4] = [1, 3, 8, 64];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// All three tiled block kernels are bit-identical to the naive
+        /// reference for arbitrary shapes and tile sizes.
+        fn tiled_kernels_match_naive(
+            m in 1usize..24,
+            k in 1usize..24,
+            n in 1usize..24,
+            tp_ix in 0usize..4,
+            tj_ix in 0usize..4,
+            salt in 0usize..1000,
+        ) {
+            let (tp, tj) = (TILE_CHOICES[tp_ix], TILE_CHOICES[tj_ix]);
+            let a = patterned(m, k, salt);
+            let b = patterned(k, n, salt + 1);
+            let at = patterned(k, m, salt + 2);
+            let bt = patterned(n, k, salt + 3);
+
+            let mut out = Matrix::zeros(m, n);
+            matmul_block_tiled(&a, &b, 0, out.as_mut_slice(), tp, tj);
+            prop_assert_eq!(out.as_slice(), naive_matmul(&a, &b).as_slice());
+
+            let mut out = Matrix::zeros(m, n);
+            matmul_at_b_block_tiled(&at, &b, 0, out.as_mut_slice(), tp, tj);
+            prop_assert_eq!(out.as_slice(), naive_at_b(&at, &b).as_slice());
+
+            let mut out = Matrix::zeros(m, n);
+            matmul_a_bt_block_tiled(&a, &bt, 0, out.as_mut_slice(), tj);
+            prop_assert_eq!(out.as_slice(), naive_a_bt(&a, &bt).as_slice());
+        }
+
+        /// The public kernels (fixed production tiles, automatic parallel
+        /// dispatch) match the naive reference at 1 and 4 threads; shapes
+        /// are drawn large enough that the parallel path engages.
+        fn public_kernels_match_naive_any_threads(
+            m in 60usize..110,
+            k in 40usize..90,
+            n in 40usize..80,
+            salt in 0usize..1000,
+        ) {
+            let a = patterned(m, k, salt);
+            let b = patterned(k, n, salt + 1);
+            let at = patterned(k, m, salt + 2);
+            let bt = patterned(n, k, salt + 3);
+            let want = naive_matmul(&a, &b);
+            let want_at = naive_at_b(&at, &b);
+            let want_bt = naive_a_bt(&a, &bt);
+            for threads in [1usize, 4] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let (got, got_at, got_bt) =
+                    pool.install(|| (a.matmul(&b), at.matmul_at_b(&b), a.matmul_a_bt(&bt)));
+                prop_assert_eq!(got.as_slice(), want.as_slice());
+                prop_assert_eq!(got_at.as_slice(), want_at.as_slice());
+                prop_assert_eq!(got_bt.as_slice(), want_bt.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels() {
+        let a = patterned(37, 29, 4);
+        let b = patterned(29, 21, 5);
+        let at = patterned(29, 37, 6);
+        let bt = patterned(21, 29, 7);
+        // Dirty buffers: _into must fully overwrite.
+        let mut out = Matrix::filled(37, 21, f64::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        let mut out = Matrix::filled(37, 21, f64::NAN);
+        at.matmul_at_b_into(&b, &mut out);
+        assert_eq!(out, at.matmul_at_b(&b));
+        let mut out = Matrix::filled(37, 21, f64::NAN);
+        a.matmul_a_bt_into(&bt, &mut out);
+        assert_eq!(out, a.matmul_a_bt(&bt));
+        let mut out = Matrix::filled(1, 29, f64::NAN);
+        a.sum_rows_into(&mut out);
+        assert_eq!(out, a.sum_rows());
+    }
+
+    #[test]
+    fn copy_from_and_raw_roundtrip() {
+        let a = patterned(5, 7, 1);
+        let mut dst = Matrix::zeros(5, 7);
+        dst.copy_from(&a);
+        assert_eq!(dst, a);
+        let buf = dst.into_raw();
+        let cap = buf.capacity();
+        let back = Matrix::from_raw(3, 4, buf);
+        assert_eq!(back, Matrix::zeros(3, 4));
+        assert!(back.data.capacity() >= cap.min(12));
+    }
 
     #[test]
     fn constructors_and_shape() {

@@ -8,6 +8,7 @@
 
 use crate::layers::{Layer, SeqLayer};
 use crate::matrix::Matrix;
+use obs::Counter;
 
 /// Global counter of completed [`Sgd`] steps (all instances).
 pub const SGD_STEPS_METRIC: &str = "optim_sgd_steps_total";
@@ -88,6 +89,9 @@ pub struct Sgd {
     lr: f64,
     momentum: f64,
     velocity: Vec<Matrix>,
+    // Cached handle: registry lookups allocate a key String per call,
+    // which would put a heap allocation in every training step.
+    steps: Counter,
 }
 
 impl Sgd {
@@ -97,6 +101,7 @@ impl Sgd {
             lr,
             momentum: 0.0,
             velocity: Vec::new(),
+            steps: obs::global().counter(SGD_STEPS_METRIC),
         }
     }
 
@@ -106,6 +111,7 @@ impl Sgd {
             lr,
             momentum,
             velocity: Vec::new(),
+            steps: obs::global().counter(SGD_STEPS_METRIC),
         }
     }
 
@@ -127,7 +133,7 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn begin_step(&mut self) {
-        obs::global().counter(SGD_STEPS_METRIC).inc();
+        self.steps.inc();
     }
 
     fn bound_slots(&self) -> usize {
@@ -186,6 +192,8 @@ pub struct Adam {
     t: u64,
     m: Vec<Matrix>,
     v: Vec<Matrix>,
+    // Cached handle: see `Sgd::steps`.
+    steps: Counter,
 }
 
 /// The complete state of an [`Adam`] optimiser — hyperparameters, step
@@ -221,6 +229,7 @@ impl Adam {
             t: 0,
             m: Vec::new(),
             v: Vec::new(),
+            steps: obs::global().counter(ADAM_STEPS_METRIC),
         }
     }
 
@@ -272,6 +281,7 @@ impl Adam {
             t: s.t,
             m: s.m,
             v: s.v,
+            steps: obs::global().counter(ADAM_STEPS_METRIC),
         }
     }
 }
@@ -279,7 +289,7 @@ impl Adam {
 impl Optimizer for Adam {
     fn begin_step(&mut self) {
         self.t += 1;
-        obs::global().counter(ADAM_STEPS_METRIC).inc();
+        self.steps.inc();
     }
 
     fn bound_slots(&self) -> usize {
@@ -314,6 +324,8 @@ pub struct RmsProp {
     decay: f64,
     eps: f64,
     v: Vec<Matrix>,
+    // Cached handle: see `Sgd::steps`.
+    steps: Counter,
 }
 
 impl RmsProp {
@@ -324,6 +336,7 @@ impl RmsProp {
             decay: 0.9,
             eps: 1e-8,
             v: Vec::new(),
+            steps: obs::global().counter(RMSPROP_STEPS_METRIC),
         }
     }
 
@@ -340,7 +353,7 @@ impl RmsProp {
 
 impl Optimizer for RmsProp {
     fn begin_step(&mut self) {
-        obs::global().counter(RMSPROP_STEPS_METRIC).inc();
+        self.steps.inc();
     }
 
     fn bound_slots(&self) -> usize {

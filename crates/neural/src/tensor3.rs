@@ -120,10 +120,18 @@ impl Tensor3 {
     /// matrix.
     pub fn time_slice(&self, t: usize) -> Matrix {
         let mut m = Matrix::zeros(self.b, self.f);
-        for b in 0..self.b {
-            m.row_mut(b).copy_from_slice(self.step(b, t));
-        }
+        self.read_time_slice(t, &mut m);
         m
+    }
+
+    /// [`Self::time_slice`] into a caller-owned `(batch, features)`
+    /// matrix (overwritten), for reused step buffers.
+    pub fn read_time_slice(&self, t: usize, out: &mut Matrix) {
+        assert_eq!(out.rows(), self.b, "time slice batch mismatch");
+        assert_eq!(out.cols(), self.f, "time slice feature mismatch");
+        for b in 0..self.b {
+            out.row_mut(b).copy_from_slice(self.step(b, t));
+        }
     }
 
     /// Writes a `(batch, features)` matrix into time step `t`.
@@ -169,6 +177,20 @@ impl Tensor3 {
     /// True when every element is finite.
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Consumes the tensor, returning its backing buffer (for the
+    /// workspace pool).
+    pub(crate) fn into_raw(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Builds a `(b, t, f)` zero tensor on top of a recycled buffer,
+    /// reusing its capacity.
+    pub(crate) fn from_raw(b: usize, t: usize, f: usize, mut buf: Vec<f64>) -> Tensor3 {
+        buf.clear();
+        buf.resize(b * t * f, 0.0);
+        Tensor3 { b, t, f, data: buf }
     }
 }
 

@@ -1,0 +1,169 @@
+//! Steady-state training steps through the `_ws` (workspace) paths must
+//! be allocation-free: after a short warmup that sizes the buffer pool,
+//! the optimiser moment slots, and the LSTM state, a training step
+//! touches the heap zero times.
+//!
+//! A counting `#[global_allocator]` wraps `System`; the whole file is one
+//! `#[test]` so no sibling test thread can pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use neural::layers::{
+    ActKind, Activation, Dense, Layer, Lstm, SeqActivation, SeqLayer, SeqSequential, Sequential,
+    TimeDistributed,
+};
+use neural::loss::{mse_into, mse_seq_into};
+use neural::matrix::Matrix;
+use neural::optim::{Adam, Optimizer};
+use neural::rng::Rng64;
+use neural::tensor3::Tensor3;
+use neural::workspace::Workspace;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System` plus a relaxed counter bump; every
+// call forwards the caller's layout/pointer unchanged, so `System`'s own
+// GlobalAlloc contract is what holds the invariants.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the unmodified layout to `System.alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's contract; layout unchanged.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: forwards the unmodified pointer/layout to `System.dealloc`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from this allocator's `alloc`, which is
+        // `System.alloc`; same layout per the GlobalAlloc contract.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: forwards the unmodified arguments to `System.realloc`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr` came from `System.alloc`; layout/new_size forwarded
+        // unchanged per the GlobalAlloc contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn heap_allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn flat_step(
+    model: &mut Sequential,
+    opt: &mut Adam,
+    x: &Matrix,
+    target: &Matrix,
+    grad: &mut Matrix,
+    ws: &mut Workspace,
+) -> f64 {
+    let y = model.forward_ws(x, true, ws);
+    let loss = mse_into(&y, target, grad);
+    ws.give(y);
+    let dx = model.backward_ws(grad, ws);
+    ws.give(dx);
+    opt.begin_step();
+    let mut slot = 0;
+    model.visit_params(&mut |p, g| {
+        opt.apply(slot, p, g);
+        slot += 1;
+    });
+    model.zero_grad();
+    loss
+}
+
+fn seq_step(
+    model: &mut SeqSequential,
+    opt: &mut Adam,
+    x: &Tensor3,
+    target: &Tensor3,
+    grad: &mut Tensor3,
+    ws: &mut Workspace,
+) -> f64 {
+    let y = model.forward_ws(x, true, ws);
+    let loss = mse_seq_into(&y, target, grad);
+    ws.give3(y);
+    let dx = model.backward_ws(grad, ws);
+    ws.give3(dx);
+    opt.begin_step();
+    let mut slot = 0;
+    model.visit_params(&mut |p, g| {
+        opt.apply(slot, p, g);
+        slot += 1;
+    });
+    model.zero_grad();
+    loss
+}
+
+/// One test covering both stacks: interleaved tests in this binary would
+/// share the global counter, so everything runs on one thread here.
+#[test]
+fn training_steps_are_allocation_free_after_warmup() {
+    // --- flat Dense stack ---------------------------------------------
+    let mut rng = Rng64::new(7);
+    let mut flat = Sequential::new(vec![
+        Box::new(Dense::new(3, 16, &mut rng)) as Box<dyn Layer>,
+        Box::new(Activation::new(ActKind::Tanh)),
+        Box::new(Dense::new(16, 2, &mut rng)),
+        Box::new(Activation::new(ActKind::Sigmoid)),
+    ]);
+    let mut x = Matrix::zeros(8, 3);
+    rng.fill_normal(x.as_mut_slice());
+    let mut target = Matrix::zeros(8, 2);
+    rng.fill_normal(target.as_mut_slice());
+    let mut grad = Matrix::zeros(8, 2);
+    let mut ws = Workspace::new();
+    let mut opt = Adam::new(1e-3);
+    for _ in 0..3 {
+        flat_step(&mut flat, &mut opt, &x, &target, &mut grad, &mut ws);
+    }
+    let before = heap_allocs();
+    let mut loss = 0.0;
+    for _ in 0..10 {
+        loss += flat_step(&mut flat, &mut opt, &x, &target, &mut grad, &mut ws);
+    }
+    let flat_allocs = heap_allocs() - before;
+    assert!(loss.is_finite());
+    assert_eq!(
+        flat_allocs, 0,
+        "flat training step allocated {flat_allocs} times over 10 steps"
+    );
+
+    // --- LSTM sequence stack (the paper's V2S shape) ------------------
+    let mut seq = SeqSequential::new(vec![
+        Box::new(Lstm::new(1, 8, &mut rng)) as Box<dyn SeqLayer>,
+        Box::new(Lstm::new(8, 8, &mut rng)),
+        Box::new(TimeDistributed::new(Dense::new(8, 1, &mut rng))),
+        Box::new(SeqActivation::new(ActKind::Sigmoid)),
+    ]);
+    let mut xs = Tensor3::zeros(16, 6, 1);
+    rng.fill_normal(xs.as_mut_slice());
+    let mut targets = Tensor3::zeros(16, 6, 1);
+    rng.fill_normal(targets.as_mut_slice());
+    let mut grads = Tensor3::zeros(16, 6, 1);
+    let mut ws_seq = Workspace::new();
+    let mut opt_seq = Adam::new(1e-3);
+    for _ in 0..3 {
+        seq_step(&mut seq, &mut opt_seq, &xs, &targets, &mut grads, &mut ws_seq);
+    }
+    let before = heap_allocs();
+    let mut loss = 0.0;
+    for _ in 0..10 {
+        loss += seq_step(&mut seq, &mut opt_seq, &xs, &targets, &mut grads, &mut ws_seq);
+    }
+    let seq_allocs = heap_allocs() - before;
+    assert!(loss.is_finite());
+    assert_eq!(
+        seq_allocs, 0,
+        "LSTM training step allocated {seq_allocs} times over 10 steps"
+    );
+}

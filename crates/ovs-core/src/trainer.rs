@@ -20,9 +20,9 @@ use crate::estimator::{
     link_to_matrix, matrix_to_tod, tod_to_matrix, validate_input, EstimatorInput, TodEstimator,
 };
 use crate::model::OvsModel;
-use neural::loss::{huber, mse};
+use neural::loss::{huber, mse, mse_into};
 use neural::optim::{Adam, AdamSnapshot, Optimizer};
-use neural::Matrix;
+use neural::{Matrix, Workspace};
 use roadnet::{Result, RoadnetError, TodTensor};
 // lint: allow(determinism) — wall clock feeds the trainer's Timing-class
 // gauges (seconds, steps_per_sec) only; losses and weights never see it.
@@ -590,11 +590,19 @@ impl OvsTrainer {
                 0,
             ),
         );
+        // Pooled buffers make the steady-state loop allocation-free; the
+        // `_ws`/`_into` paths are bit-identical to the allocating ones
+        // (locked in by neural's ws_equivalence suite), so losses and
+        // weights match the pre-workspace trainer exactly.
+        let mut ws = Workspace::new();
+        let mut grad = Matrix::zeros(rows, t);
         let mut step = start;
         while step < self.cfg.epochs_v2s {
-            let v_pred = model.v2s.forward(&q_all, true);
-            let (mut loss, grad) = mse(&v_pred, &v_all);
-            model.v2s.backward(&grad);
+            let v_pred = model.v2s.forward_ws(&q_all, true, &mut ws);
+            let mut loss = mse_into(&v_pred, &v_all, &mut grad);
+            ws.give(v_pred);
+            let dq = model.v2s.backward_ws(&grad, &mut ws);
+            ws.give(dq);
             let mut norm = clip_grads(&mut |f| model.v2s.visit_params(f), self.cfg.grad_clip);
             if let Some(tamper) = opts.tamper.as_mut() {
                 tamper(Stage::V2s, step, &mut loss, &mut norm);
@@ -695,24 +703,41 @@ impl OvsTrainer {
                 0,
             ),
         );
+        // The (TOD, speed, volume) matrices are epoch-invariant; converting
+        // them once keeps the epoch loop free of per-sample allocation.
+        let samples: Vec<(Matrix, Matrix, Matrix)> = train
+            .iter()
+            .map(|s| {
+                (
+                    tod_to_matrix(&s.tod),
+                    link_to_matrix(&s.speed),
+                    link_to_matrix(&s.volume),
+                )
+            })
+            .collect();
+        let (vm, vt) = samples
+            .first()
+            .map(|(_, v, _)| v.shape())
+            .unwrap_or((0, 0));
+        let mut ws = Workspace::new();
+        let mut dv = Matrix::zeros(vm, vt);
+        let mut dq_vol = Matrix::zeros(vm, vt);
         let mut step = start;
         while step < self.cfg.epochs_tod2v {
             let mut epoch_loss = 0.0;
-            for sample in train {
-                let g = tod_to_matrix(&sample.tod);
-                let v_target = link_to_matrix(&sample.speed);
-                let q_target = link_to_matrix(&sample.volume);
-                let q_pred = model.tod2v.forward(&g, true);
-                let v_pred = model.v2s.forward(&q_pred, true);
-                let (speed_loss, dv) = mse(&v_pred, &v_target);
-                let mut dq = model.v2s.backward(&dv);
+            for (g, v_target, q_target) in &samples {
+                let q_pred = model.tod2v.forward(g, true);
+                let v_pred = model.v2s.forward_ws(&q_pred, true, &mut ws);
+                let speed_loss = mse_into(&v_pred, v_target, &mut dv);
+                ws.give(v_pred);
+                let mut dq = model.v2s.backward_ws(&dv, &mut ws);
                 // Volume anchoring (Fig 8: the TOD-Volume mapping is
                 // trained with generated TOD, volume AND speed).
                 // Normalised by the volume scale so the weight is
                 // unit-free.
                 let mut loss = speed_loss;
                 if self.cfg.w_volume_stage2 > 0.0 {
-                    let (vol_loss, mut dq_vol) = mse(&q_pred, &q_target);
+                    let vol_loss = mse_into(&q_pred, q_target, &mut dq_vol);
                     let scale =
                         self.cfg.w_volume_stage2 * (self.cfg.v_max / self.cfg.q_norm).powi(2);
                     loss += scale * vol_loss;
@@ -720,6 +745,7 @@ impl OvsTrainer {
                     dq.add_assign(&dq_vol);
                 }
                 model.tod2v.backward(&dq);
+                ws.give(dq);
                 // Only the TOD2V parameters move; V2S gradients are
                 // discarded.
                 model.v2s.zero_grad();
@@ -841,6 +867,7 @@ impl OvsTrainer {
                 since_best,
             ),
         );
+        let mut ws = Workspace::new();
         let mut steps_taken = 0usize;
         let mut step = start;
         while step < self.cfg.epochs_fit {
@@ -863,7 +890,7 @@ impl OvsTrainer {
             }
 
             // d loss / d q: through V2S plus the camera constraint.
-            let mut dq = model.v2s.backward(&dv);
+            let mut dq = model.v2s.backward_ws(&dv, &mut ws);
             if self.cfg.w_camera > 0.0 {
                 if let Some((links, obs)) = input.cameras {
                     let (l_cam, mut d_cam) = camera_loss(&q, links, obs);
@@ -875,6 +902,7 @@ impl OvsTrainer {
 
             // d loss / d g: through TOD2V plus the census constraint.
             let mut dg = model.tod2v.backward(&dq);
+            ws.give(dq);
             if self.cfg.w_census > 0.0 {
                 if let Some(totals) = input.census_totals {
                     let (l_cen, mut d_cen) = census_loss(&g, totals);

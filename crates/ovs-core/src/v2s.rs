@@ -18,6 +18,7 @@ use neural::layers::{
 use neural::matrix::Matrix;
 use neural::rng::Rng64;
 use neural::tensor3::Tensor3;
+use neural::workspace::Workspace;
 
 /// The volume -> speed module.
 pub struct VolumeSpeedMapping {
@@ -82,6 +83,43 @@ impl VolumeSpeedMapping {
         let mut dq = dx
             .to_matrix_single_feature()
             .expect("input had one feature");
+        dq.scale(1.0 / self.q_norm);
+        dq
+    }
+
+    /// [`forward`](Self::forward) through pooled buffers — identical bits,
+    /// no steady-state allocation. Return the result to `ws` when done.
+    pub fn forward_ws(&mut self, q: &Matrix, train: bool, ws: &mut Workspace) -> Matrix {
+        let (m, t) = q.shape();
+        let inv_q = 1.0 / self.q_norm;
+        let mut x = ws.take3(m, t, 1);
+        // (M, T) and (M, T, 1) share the same row-major linear layout, so
+        // the reshape is a scaled copy.
+        for (o, &v) in x.as_mut_slice().iter_mut().zip(q.as_slice()) {
+            *o = v * inv_q;
+        }
+        let y = self.net.forward_ws(&x, train, ws);
+        ws.give3(x);
+        let mut v = ws.take(m, t);
+        v.as_mut_slice().copy_from_slice(y.as_slice());
+        ws.give3(y);
+        v.scale(self.v_max);
+        v
+    }
+
+    /// [`backward`](Self::backward) through pooled buffers — identical
+    /// bits, no steady-state allocation. Return the result to `ws`.
+    pub fn backward_ws(&mut self, dv: &Matrix, ws: &mut Workspace) -> Matrix {
+        let (m, t) = dv.shape();
+        let mut dy = ws.take3(m, t, 1);
+        for (o, &v) in dy.as_mut_slice().iter_mut().zip(dv.as_slice()) {
+            *o = v * self.v_max;
+        }
+        let dx = self.net.backward_ws(&dy, ws);
+        ws.give3(dy);
+        let mut dq = ws.take(m, t);
+        dq.as_mut_slice().copy_from_slice(dx.as_slice());
+        ws.give3(dx);
         dq.scale(1.0 / self.q_norm);
         dq
     }

@@ -21,6 +21,17 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// count when no `--threads` flag is given.
 pub const THREADS_ENV: &str = "CITYOD_THREADS";
 
+/// Worker-count ceiling the machine can actually run concurrently.
+///
+/// Requests above this never help a CPU-bound FP workload — each extra
+/// worker just adds spawn and scheduling overhead — so the env/CLI-driven
+/// policies ([`Parallelism::from_env`], [`init_global`]) clamp to it.
+/// Explicit [`Parallelism::Threads`] scopes are *not* clamped: tests use
+/// them to exercise the multi-thread kernel paths on any machine.
+pub fn machine_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Requested worker count for a parallel section.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Parallelism {
@@ -35,15 +46,19 @@ pub enum Parallelism {
 
 impl Parallelism {
     /// Reads `CITYOD_THREADS`; unset, empty, or unparsable values mean
-    /// [`Parallelism::Auto`], `1` means [`Parallelism::Serial`].
+    /// [`Parallelism::Auto`], `1` means [`Parallelism::Serial`]. Counts
+    /// above [`machine_threads`] are clamped — oversubscribing CPU-bound
+    /// kernels only adds overhead, and thread count never changes bits.
     pub fn from_env() -> Self {
         // lint: allow(determinism) — thread-count knob; results are
         // partition-invariant by construction (see datagen tests).
         match std::env::var(THREADS_ENV) {
             Ok(s) => match s.trim().parse::<usize>() {
                 Ok(0) | Err(_) => Parallelism::Auto,
-                Ok(1) => Parallelism::Serial,
-                Ok(n) => Parallelism::Threads(n),
+                Ok(n) => match n.min(machine_threads()) {
+                    1 => Parallelism::Serial,
+                    m => Parallelism::Threads(m),
+                },
             },
             Err(_) => Parallelism::Auto,
         }
@@ -90,7 +105,7 @@ static GLOBAL_INIT: AtomicUsize = AtomicUsize::new(0);
 /// be resized) and later calls are no-ops that report the pinned size.
 pub fn init_global(requested: Option<usize>) -> usize {
     let wanted = match requested {
-        Some(n) if n >= 1 => n,
+        Some(n) if n >= 1 => n.min(machine_threads()),
         _ => match Parallelism::from_env() {
             Parallelism::Auto => {
                 return rayon::current_num_threads();
@@ -134,6 +149,11 @@ mod tests {
         // Auto leaves the ambient configuration untouched.
         let ambient = current_threads();
         assert_eq!(Parallelism::Auto.run(current_threads), ambient);
+    }
+
+    #[test]
+    fn machine_threads_is_positive() {
+        assert!(machine_threads() >= 1);
     }
 
     #[test]

@@ -277,47 +277,56 @@ impl<'a> Simulation<'a> {
                     stats.unroutable += 1;
                     continue;
                 };
-                let first = route[0];
-                if entrance_clear(&links[first.index()], self.capacity[first.index()]) {
-                    let class = if self.cfg.truck_fraction > 0.0
-                        && class_rng.gen::<f64>() < self.cfg.truck_fraction
-                    {
-                        VehicleClass::Truck
-                    } else {
-                        VehicleClass::Car
-                    };
-                    let veh = Vehicle {
-                        id: VehicleId(next_vid),
-                        route,
-                        leg: 0,
-                        pos_m: 0.0,
-                        speed_mps: 0.0,
-                        spawn_tick: tick,
-                        class,
-                    };
-                    next_vid += 1;
-                    links[first.index()].push_back(veh);
-                    observer.record_entry(first, interval);
-                    stats.spawned += 1;
-                    if self.cfg.record_trips {
-                        trips.push(TripRecord {
-                            od: req.od,
-                            from: req.from,
-                            to: req.to,
-                            depart_tick: tick,
-                            arrive_tick: None,
-                        });
+                let Some(&first) = route.first() else {
+                    // route_for filters empty routes; count rather than panic.
+                    stats.unroutable += 1;
+                    continue;
+                };
+                let cap = self.capacity.get(first.index()).copied().unwrap_or(0);
+                match links.get_mut(first.index()) {
+                    Some(deque) if entrance_clear(deque, cap) => {
+                        let class = if self.cfg.truck_fraction > 0.0
+                            && class_rng.gen::<f64>() < self.cfg.truck_fraction
+                        {
+                            VehicleClass::Truck
+                        } else {
+                            VehicleClass::Car
+                        };
+                        let veh = Vehicle {
+                            id: VehicleId(next_vid),
+                            route,
+                            leg: 0,
+                            pos_m: 0.0,
+                            speed_mps: 0.0,
+                            spawn_tick: tick,
+                            class,
+                        };
+                        next_vid += 1;
+                        deque.push_back(veh);
+                        observer.record_entry(first, interval);
+                        stats.spawned += 1;
+                        if self.cfg.record_trips {
+                            trips.push(TripRecord {
+                                od: req.od,
+                                from: req.from,
+                                to: req.to,
+                                depart_tick: tick,
+                                arrive_tick: None,
+                            });
+                        }
                     }
-                } else {
-                    still_pending.push_back(req);
+                    _ => still_pending.push_back(req),
                 }
             }
             pending = still_pending;
 
             // --- 2. movement ----------------------------------------------
-            for (li, deque) in links.iter_mut().enumerate() {
-                let len = self.len_m[li];
-                let desired = self.desired_mps[li];
+            let link_rows = links
+                .iter_mut()
+                .zip(self.len_m.iter())
+                .zip(self.desired_mps.iter())
+                .enumerate();
+            for (li, ((deque, &len), &desired)) in link_rows {
                 let mut speed_sum = 0.0;
                 let mut count = 0usize;
                 // (position, footprint) of the vehicle ahead.
@@ -350,31 +359,46 @@ impl<'a> Simulation<'a> {
             if let Some(plan) = actuated.as_mut() {
                 let len_m = &self.len_m;
                 plan.update(&|lid: LinkId| {
-                    links[lid.index()]
-                        .front()
-                        .map(|v| v.pos_m >= len_m[lid.index()] - 30.0)
-                        .unwrap_or(false)
+                    let li = lid.index();
+                    match (links.get(li).and_then(|d| d.front()), len_m.get(li)) {
+                        (Some(v), Some(&len)) => v.pos_m >= len - 30.0,
+                        _ => false,
+                    }
                 });
             }
-            for li in 0..m {
-                len_before[li] = links[li].len();
-                entries[li] = 0;
-                exits[li] = 0;
+            let resets = len_before
+                .iter_mut()
+                .zip(entries.iter_mut())
+                .zip(exits.iter_mut())
+                .zip(links.iter());
+            for (((before, entered), exited), deque) in resets {
+                *before = deque.len();
+                *entered = 0;
+                *exited = 0;
+            }
+            // Refill exit budgets up front: each link's budget is only
+            // touched by its own transfer iteration, so batching the
+            // refills ahead of the loop is behaviour-identical.
+            let refills = exit_budget
+                .iter_mut()
+                .zip(self.sat_flow_per_tick.iter())
+                .zip(self.lanes.iter());
+            for ((budget, &sat), &lanes) in refills {
+                *budget = (*budget + sat).min(lanes.max(1.0));
             }
             for li in 0..m {
-                exit_budget[li] =
-                    (exit_budget[li] + self.sat_flow_per_tick[li]).min(self.lanes[li].max(1.0));
+                let stop_m = self.len_m.get(li).copied().unwrap_or(0.0);
                 // Pop-then-decide keeps this loop panic-free: the front
                 // vehicle is re-queued when it cannot cross this tick.
-                while let Some(front) = links[li].pop_front() {
-                    if front.pos_m < self.len_m[li] - 1e-9 {
-                        links[li].push_front(front);
+                while let Some(front) = links.get_mut(li).and_then(|d| d.pop_front()) {
+                    if front.pos_m < stop_m - 1e-9 {
+                        requeue(&mut links, li, front);
                         break;
                     }
                     if front.on_last_leg() {
                         // Arrival consumes no intersection capacity.
                         stats.arrived += 1;
-                        exits[li] += 1;
+                        bump(&mut exits, li);
                         stats.total_travel_time_s += (tick - front.spawn_tick) as f64 * dt;
                         if self.cfg.record_trips {
                             if let Some(trip) = trips.get_mut(front.id.0 as usize) {
@@ -389,37 +413,44 @@ impl<'a> Simulation<'a> {
                     };
                     if !green {
                         tally.red_checks += 1;
-                        links[li].push_front(front);
+                        requeue(&mut links, li, front);
                         break;
                     }
                     tally.green_checks += 1;
-                    if exit_budget[li] < 1.0 {
+                    if exit_budget.get(li).map_or(true, |b| *b < 1.0) {
                         tally.satflow_blocked += 1;
-                        links[li].push_front(front);
+                        requeue(&mut links, li, front);
                         break;
                     }
                     let Some(next) = front.next_link() else {
                         // Unreachable (`on_last_leg` handled above), but a
                         // re-queue is strictly safer than a panic here.
-                        links[li].push_front(front);
+                        requeue(&mut links, li, front);
                         break;
                     };
                     let ni = next.index();
-                    if !entrance_clear(&links[ni], self.capacity[ni]) {
+                    let cap = self.capacity.get(ni).copied().unwrap_or(0);
+                    if !links.get(ni).map_or(false, |d| entrance_clear(d, cap)) {
                         tally.spillback_blocked += 1;
-                        links[li].push_front(front);
+                        requeue(&mut links, li, front);
                         break; // spillback
                     }
-                    exit_budget[li] -= 1.0;
+                    if let Some(budget) = exit_budget.get_mut(li) {
+                        *budget -= 1.0;
+                    }
                     let mut veh = front;
                     veh.leg += 1;
                     veh.pos_m = 0.0;
-                    veh.speed_mps = veh.speed_mps.min(self.desired_mps[ni]);
-                    links[ni].push_back(veh);
+                    if let Some(&v_cap) = self.desired_mps.get(ni) {
+                        veh.speed_mps = veh.speed_mps.min(v_cap);
+                    }
+                    if let Some(d) = links.get_mut(ni) {
+                        d.push_back(veh);
+                    }
                     observer.record_entry(next, interval);
                     tally.crossings += 1;
-                    exits[li] += 1;
-                    entries[ni] += 1;
+                    bump(&mut exits, li);
+                    bump(&mut entries, ni);
                 }
             }
 
@@ -427,12 +458,17 @@ impl<'a> Simulation<'a> {
             // Per-link transfer bookkeeping: a link's population changes
             // exactly by its entries minus its exits.
             let mut in_network = 0u64;
-            for li in 0..m {
-                let expected = len_before[li] as u64 + entries[li] - exits[li];
-                if links[li].len() as u64 != expected {
+            let ledgers = len_before
+                .iter()
+                .zip(entries.iter())
+                .zip(exits.iter())
+                .zip(links.iter());
+            for (((&before, &entered), &exited), deque) in ledgers {
+                let expected = before as u64 + entered - exited;
+                if deque.len() as u64 != expected {
                     tally.link_conservation_violations += 1;
                 }
-                in_network += links[li].len() as u64;
+                in_network += deque.len() as u64;
             }
             // Global conservation: every spawned vehicle is either still on
             // some link or has arrived.
@@ -451,8 +487,7 @@ impl<'a> Simulation<'a> {
         let occ_hist = self
             .obs
             .histogram(crate::metrics::LINK_OCCUPANCY, obs::COUNT_BUCKETS);
-        for li in 0..m {
-            let v_max = self.desired_mps[li];
+        for (li, &v_max) in self.desired_mps.iter().enumerate() {
             for t in 0..t_obs {
                 let v = speed.get(LinkId(li), t);
                 if !(0.0..=v_max + 1e-9).contains(&v) {
@@ -541,10 +576,13 @@ impl<'a> Simulation<'a> {
                     let desired = &self.desired_mps;
                     dijkstra(self.net, req.from, req.to, &|l| {
                         let obs = observer.mean_speed(l.id, prev);
+                        // The 0.5 m/s floor also covers the (unreachable)
+                        // out-of-range link id, keeping the cost finite.
+                        let v_max = desired.get(l.id.index()).copied().unwrap_or(0.5);
                         let v = if obs.is_finite() && obs > 0.0 {
-                            obs.min(desired[l.id.index()]).max(0.5)
+                            obs.min(v_max).max(0.5)
                         } else {
-                            desired[l.id.index()]
+                            v_max
                         };
                         l.length_m / v
                     })
@@ -557,6 +595,21 @@ impl<'a> Simulation<'a> {
                 entry
             }
         }
+    }
+}
+
+/// Re-queues a vehicle at the head of `links[li]`; a no-op when `li` is
+/// out of range (unreachable — transfer loops iterate `0..links.len()`).
+fn requeue(links: &mut [VecDeque<Vehicle>], li: usize, veh: Vehicle) {
+    if let Some(deque) = links.get_mut(li) {
+        deque.push_front(veh);
+    }
+}
+
+/// Checked `counts[i] += 1`; a no-op when `i` is out of range.
+fn bump(counts: &mut [u64], i: usize) {
+    if let Some(c) = counts.get_mut(i) {
+        *c += 1;
     }
 }
 

@@ -14,10 +14,22 @@
 use roadnet::{LinkId, LinkTensor};
 
 /// Accumulates observations during a run and finalises into tensors.
+///
+/// Per-tick recordings land in flat per-link scratch vectors (a plain
+/// indexed `+=`, no tensor addressing); the scratch is flushed into the
+/// interval tensors once per interval roll. Because every tensor cell
+/// receives ticks from exactly one interval, scratch accumulation performs
+/// the *same additions in the same order* as direct per-tick tensor writes
+/// — the finalised tensors are bit-identical.
 #[derive(Debug)]
 pub struct Observer {
     t: usize,
     ticks_per_interval: u64,
+    /// Interval the scratch vectors currently accumulate.
+    cur: usize,
+    vol_scratch: Vec<f64>,
+    speed_scratch: Vec<f64>,
+    count_scratch: Vec<f64>,
     volume: LinkTensor,
     /// Sum of per-tick space-mean speeds, per (link, interval).
     speed_sum: LinkTensor,
@@ -31,18 +43,55 @@ impl Observer {
         Self {
             t,
             ticks_per_interval: ticks_per_interval.max(1),
+            cur: 0,
+            vol_scratch: vec![0.0; m],
+            speed_scratch: vec![0.0; m],
+            count_scratch: vec![0.0; m],
             volume: LinkTensor::zeros(m, t),
             speed_sum: LinkTensor::zeros(m, t),
             count_sum: LinkTensor::zeros(m, t),
         }
     }
 
+    /// Moves the scratch accumulators into the tensors for the interval
+    /// they belong to and retargets them at `next`.
+    fn roll(&mut self, next: usize) {
+        self.flush();
+        self.cur = next;
+    }
+
+    fn flush(&mut self) {
+        if self.cur < self.t {
+            let rows = self
+                .vol_scratch
+                .iter()
+                .zip(self.speed_scratch.iter())
+                .zip(self.count_scratch.iter())
+                .enumerate();
+            for (li, ((&vol, &spd), &cnt)) in rows {
+                let l = LinkId(li);
+                self.volume.add_at(l, self.cur, vol);
+                self.speed_sum.add_at(l, self.cur, spd);
+                self.count_sum.add_at(l, self.cur, cnt);
+            }
+        }
+        self.vol_scratch.fill(0.0);
+        self.speed_scratch.fill(0.0);
+        self.count_scratch.fill(0.0);
+    }
+
     /// Records a vehicle entering `link` during `interval`. Entries during
     /// the cooldown (interval >= T) are ignored.
     #[inline]
     pub fn record_entry(&mut self, link: LinkId, interval: usize) {
-        if interval < self.t {
-            self.volume.add_at(link, interval, 1.0);
+        if interval >= self.t {
+            return;
+        }
+        if interval != self.cur {
+            self.roll(interval);
+        }
+        if let Some(v) = self.vol_scratch.get_mut(link.index()) {
+            *v += 1.0;
         }
     }
 
@@ -60,13 +109,20 @@ impl Observer {
         if interval >= self.t {
             return;
         }
+        if interval != self.cur {
+            self.roll(interval);
+        }
         let mean = if vehicle_count == 0 {
             free_flow
         } else {
             vehicle_speed_sum / vehicle_count as f64
         };
-        self.speed_sum.add_at(link, interval, mean);
-        self.count_sum.add_at(link, interval, vehicle_count as f64);
+        let li = link.index();
+        if let (Some(s), Some(c)) = (self.speed_scratch.get_mut(li), self.count_scratch.get_mut(li))
+        {
+            *s += mean;
+            *c += vehicle_count as f64;
+        }
     }
 
     /// Mean speed accumulated so far for `(link, interval)`. Exact once the
@@ -77,13 +133,21 @@ impl Observer {
         if interval >= self.t {
             return f64::NAN;
         }
-        self.speed_sum.get(link, interval) / self.ticks_per_interval as f64
+        let mut sum = self.speed_sum.get(link, interval);
+        // The queried interval may still live in the scratch (routing asks
+        // for the just-completed interval before its flush is triggered by
+        // the first recording of the new one).
+        if interval == self.cur {
+            sum += self.speed_scratch.get(link.index()).copied().unwrap_or(0.0);
+        }
+        sum / self.ticks_per_interval as f64
     }
 
     /// Finalises into `(volume, speed, occupancy)` tensors. Occupancy is
     /// the time-mean vehicle count on the link per interval — the density
     /// axis of a macroscopic fundamental diagram.
-    pub fn finalize(self) -> (LinkTensor, LinkTensor, LinkTensor) {
+    pub fn finalize(mut self) -> (LinkTensor, LinkTensor, LinkTensor) {
+        self.flush();
         let mut speed = self.speed_sum;
         let mut occupancy = self.count_sum;
         let ticks = self.ticks_per_interval as f64;
