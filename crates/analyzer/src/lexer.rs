@@ -10,7 +10,10 @@
 //!   retained in a side channel, because `// lint: allow(..)` and
 //!   `// SAFETY:` annotations live in comments;
 //! * string / raw-string / byte-string / char literals — collapsed to a
-//!   single `Str`/`Char` token so their contents are invisible to rules;
+//!   single `Str`/`Char` token so their contents are invisible to the
+//!   identifier-matching rules; the raw source slice of a `Str` is kept
+//!   in `text` so the metrics-contract pass can inspect literal metric
+//!   names via [`Token::str_content`];
 //! * lifetimes vs char literals (`'a` vs `'a'`);
 //! * identifiers, numbers, and single-character punctuation.
 
@@ -36,7 +39,8 @@ pub enum TokKind {
 pub struct Token {
     /// Kind of the token.
     pub kind: TokKind,
-    /// Source text for `Ident`/`Num`/`Punct`; empty for literal kinds.
+    /// Source text for `Ident`/`Num`/`Punct`; for `Str` the raw literal
+    /// including quotes and prefixes; empty for `Char`/`Lifetime`.
     pub text: String,
     /// 1-based source line the token starts on.
     pub line: u32,
@@ -50,8 +54,40 @@ impl Token {
 
     /// True when this token is the punctuation character `c`.
     pub fn is_punct(&self, c: char) -> bool {
-        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+        self.kind == TokKind::Punct
+            && self.text.len() == 1
+            && self.text.as_bytes().first() == Some(&(c as u8))
     }
+
+    /// For a `Str` token, the literal contents with the `b`/`r`/`#`
+    /// prefixes and the quotes stripped; `None` for other kinds.
+    pub fn str_content(&self) -> Option<&str> {
+        if self.kind != TokKind::Str {
+            return None;
+        }
+        let s = self
+            .text
+            .trim_start_matches(['b', 'r'])
+            .trim_start_matches('#');
+        let s = s.strip_prefix('"').unwrap_or(s);
+        let s = s.trim_end_matches('#');
+        Some(s.strip_suffix('"').unwrap_or(s))
+    }
+}
+
+/// Sentinel returned by [`tok`] past the end of a stream: an empty
+/// `Punct` that matches no identifier and no punctuation character, so
+/// every lookahead test fails uniformly at EOF.
+static EOF_TOKEN: Token = Token {
+    kind: TokKind::Punct,
+    text: String::new(),
+    line: 0,
+};
+
+/// Token at `i`, or the EOF sentinel past the end — scan loops and
+/// lookaheads need no per-site bounds checks.
+pub fn tok(toks: &[Token], i: usize) -> &Token {
+    toks.get(i).unwrap_or(&EOF_TOKEN)
 }
 
 /// A comment, kept out-of-band for allow/SAFETY annotation lookup.
@@ -72,6 +108,20 @@ pub struct Lexed {
     pub comments: Vec<Comment>,
 }
 
+/// Byte at `i`, or `0` past the end. The scanner only ever compares
+/// against printable ASCII or classifier methods that reject NUL, so the
+/// sentinel uniformly fails every test and ends every lookahead — the
+/// loops below need no per-site bounds checks.
+fn at(b: &[u8], i: usize) -> u8 {
+    b.get(i).copied().unwrap_or(0)
+}
+
+/// `&src[a..b]` without the panic branch: an out-of-range or non-boundary
+/// span (impossible by construction) yields `""`.
+fn span(src: &str, a: usize, b: usize) -> &str {
+    src.get(a..b).unwrap_or("")
+}
+
 /// Lexes `src`. Never fails: unterminated constructs consume to EOF,
 /// which is the forgiving behaviour a linter wants on mid-edit files.
 pub fn lex(src: &str) -> Lexed {
@@ -82,7 +132,7 @@ pub fn lex(src: &str) -> Lexed {
 
     macro_rules! bump_lines {
         ($range:expr) => {
-            for &c in &b[$range] {
+            for &c in b.get($range).unwrap_or(&[]) {
                 if c == b'\n' {
                     line += 1;
                 }
@@ -91,7 +141,7 @@ pub fn lex(src: &str) -> Lexed {
     }
 
     while i < b.len() {
-        let c = b[i];
+        let c = at(b, i);
         // --- whitespace ------------------------------------------------
         if c.is_ascii_whitespace() {
             if c == b'\n' {
@@ -101,27 +151,30 @@ pub fn lex(src: &str) -> Lexed {
             continue;
         }
         // --- comments --------------------------------------------------
-        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+        if c == b'/' && at(b, i + 1) == b'/' {
             let start = i + 2;
             let mut j = start;
-            while j < b.len() && b[j] != b'\n' {
+            while j < b.len() && at(b, j) != b'\n' {
                 j += 1;
             }
-            let text = src[start..j].trim_start_matches('/').trim().to_string();
+            let text = span(src, start, j)
+                .trim_start_matches('/')
+                .trim()
+                .to_string();
             out.comments.push(Comment { line, text });
             i = j;
             continue;
         }
-        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+        if c == b'/' && at(b, i + 1) == b'*' {
             let start_line = line;
             let start = i + 2;
             let mut depth = 1u32;
             let mut j = start;
             while j < b.len() && depth > 0 {
-                if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                if at(b, j) == b'/' && at(b, j + 1) == b'*' {
                     depth += 1;
                     j += 2;
-                } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                } else if at(b, j) == b'*' && at(b, j + 1) == b'/' {
                     depth -= 1;
                     j += 2;
                 } else {
@@ -131,7 +184,7 @@ pub fn lex(src: &str) -> Lexed {
             let end = j.saturating_sub(2).max(start);
             out.comments.push(Comment {
                 line: start_line,
-                text: src[start..end].trim().to_string(),
+                text: span(src, start, end).trim().to_string(),
             });
             bump_lines!(i..j);
             i = j;
@@ -142,7 +195,11 @@ pub fn lex(src: &str) -> Lexed {
             if let Some((j, is_str)) = scan_raw_or_byte(b, i) {
                 out.tokens.push(Token {
                     kind: if is_str { TokKind::Str } else { TokKind::Char },
-                    text: String::new(),
+                    text: if is_str {
+                        span(src, i, j).to_string()
+                    } else {
+                        String::new()
+                    },
                     line,
                 });
                 bump_lines!(i..j);
@@ -155,7 +212,7 @@ pub fn lex(src: &str) -> Lexed {
             let j = scan_quoted(b, i + 1, b'"');
             out.tokens.push(Token {
                 kind: TokKind::Str,
-                text: String::new(),
+                text: span(src, i, j).to_string(),
                 line,
             });
             bump_lines!(i..j);
@@ -174,7 +231,7 @@ pub fn lex(src: &str) -> Lexed {
             } else {
                 // Lifetime: consume ident chars after the quote.
                 let mut j = i + 1;
-                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                while at(b, j) == b'_' || at(b, j).is_ascii_alphanumeric() {
                     j += 1;
                 }
                 out.tokens.push(Token {
@@ -190,12 +247,12 @@ pub fn lex(src: &str) -> Lexed {
         if c == b'_' || c.is_ascii_alphabetic() {
             let start = i;
             let mut j = i;
-            while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+            while at(b, j) == b'_' || at(b, j).is_ascii_alphanumeric() {
                 j += 1;
             }
             out.tokens.push(Token {
                 kind: TokKind::Ident,
-                text: src[start..j].to_string(),
+                text: span(src, start, j).to_string(),
                 line,
             });
             i = j;
@@ -206,19 +263,17 @@ pub fn lex(src: &str) -> Lexed {
             let start = i;
             let mut j = i;
             while j < b.len() {
-                let d = b[j];
+                let d = at(b, j);
                 if d.is_ascii_alphanumeric() || d == b'_' {
                     // Exponent sign: `1e-9` / `1E+3`.
                     if (d == b'e' || d == b'E')
-                        && j + 1 < b.len()
-                        && (b[j + 1] == b'+' || b[j + 1] == b'-')
-                        && j + 2 < b.len()
-                        && b[j + 2].is_ascii_digit()
+                        && (at(b, j + 1) == b'+' || at(b, j + 1) == b'-')
+                        && at(b, j + 2).is_ascii_digit()
                     {
                         j += 2;
                     }
                     j += 1;
-                } else if d == b'.' && j + 1 < b.len() && b[j + 1].is_ascii_digit() {
+                } else if d == b'.' && at(b, j + 1).is_ascii_digit() {
                     // Decimal point, but not the start of a `..` range.
                     j += 1;
                 } else {
@@ -227,7 +282,7 @@ pub fn lex(src: &str) -> Lexed {
             }
             out.tokens.push(Token {
                 kind: TokKind::Num,
-                text: src[start..j].to_string(),
+                text: span(src, start, j).to_string(),
                 line,
             });
             i = j;
@@ -250,28 +305,21 @@ pub fn lex(src: &str) -> Lexed {
 fn scan_raw_or_byte(b: &[u8], i: usize) -> Option<(usize, bool)> {
     let mut j = i + 1;
     // `br` prefix.
-    if b[i] == b'b' && j < b.len() && b[j] == b'r' {
+    if at(b, i) == b'b' && at(b, j) == b'r' {
         j += 1;
     }
-    let raw = b[i] == b'r' || (j > i + 1);
+    let raw = at(b, i) == b'r' || (j > i + 1);
     if raw {
         let mut hashes = 0usize;
-        while j < b.len() && b[j] == b'#' {
+        while at(b, j) == b'#' {
             hashes += 1;
             j += 1;
         }
-        if j < b.len() && b[j] == b'"' {
+        if at(b, j) == b'"' {
             // Scan until `"` followed by `hashes` hashes.
             j += 1;
             while j < b.len() {
-                if b[j] == b'"'
-                    && b[j + 1..]
-                        .iter()
-                        .take(hashes)
-                        .filter(|&&h| h == b'#')
-                        .count()
-                        == hashes
-                {
+                if at(b, j) == b'"' && (1..=hashes).all(|k| at(b, j + k) == b'#') {
                     return Some((j + 1 + hashes, true));
                 }
                 j += 1;
@@ -281,11 +329,11 @@ fn scan_raw_or_byte(b: &[u8], i: usize) -> Option<(usize, bool)> {
         return None;
     }
     // `b"…"` or `b'…'`.
-    if b[i] == b'b' && j < b.len() {
-        if b[j] == b'"' {
+    if at(b, i) == b'b' {
+        if at(b, j) == b'"' {
             return Some((scan_quoted(b, j + 1, b'"'), true));
         }
-        if b[j] == b'\'' {
+        if at(b, j) == b'\'' {
             return scan_char_literal(b, j).map(|e| (e, false));
         }
     }
@@ -296,9 +344,9 @@ fn scan_raw_or_byte(b: &[u8], i: usize) -> Option<(usize, bool)> {
 /// returns the index just past the closing quote (or EOF).
 fn scan_quoted(b: &[u8], mut j: usize, quote: u8) -> usize {
     while j < b.len() {
-        if b[j] == b'\\' {
+        if at(b, j) == b'\\' {
             j += 2;
-        } else if b[j] == quote {
+        } else if at(b, j) == quote {
             return j + 1;
         } else {
             j += 1;
@@ -314,17 +362,17 @@ fn scan_char_literal(b: &[u8], i: usize) -> Option<usize> {
     if j >= b.len() {
         return None;
     }
-    if b[j] == b'\\' {
+    if at(b, j) == b'\\' {
         // Escaped char: scan to the closing quote.
         return Some(scan_quoted(b, j, b'\''));
     }
     // `'x'` — exactly one (possibly multi-byte) char then a quote.
     let mut k = j + 1;
     // Skip UTF-8 continuation bytes.
-    while k < b.len() && (b[k] & 0xC0) == 0x80 {
+    while (at(b, k) & 0xC0) == 0x80 {
         k += 1;
     }
-    if k < b.len() && b[k] == b'\'' {
+    if at(b, k) == b'\'' {
         return Some(k + 1);
     }
     None
@@ -359,6 +407,16 @@ mod tests {
         assert!(!idents(r#"let s = "HashMap::new()";"#).contains(&"HashMap".to_string()));
         assert!(!idents(r##"let s = r#"unwrap()"#;"##).contains(&"unwrap".to_string()));
         assert!(!idents(r#"let s = b"panic";"#).contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn str_tokens_keep_contents() {
+        let l = lex("let a = \"sim_runs_total\"; let f = format!(\"t_{tag}_total\");");
+        let strs: Vec<&str> = l.tokens.iter().filter_map(|t| t.str_content()).collect();
+        assert_eq!(strs, ["sim_runs_total", "t_{tag}_total"]);
+        let raw = lex(r##"let r = r#"raw_total"#;"##);
+        let strs: Vec<&str> = raw.tokens.iter().filter_map(|t| t.str_content()).collect();
+        assert_eq!(strs, ["raw_total"]);
     }
 
     #[test]

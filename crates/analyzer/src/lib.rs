@@ -10,9 +10,22 @@
 //!   ratchet baseline and can only decrease;
 //! * **S — shape soundness**: `Sequential`/`SeqSequential` layer stacks
 //!   must chain their declared in/out dimensions;
-//! * **U — unsafe audit**: every `unsafe` requires a `// SAFETY:` comment.
+//! * **U — unsafe audit**: every `unsafe` requires a `// SAFETY:` comment;
+//! * **C — concurrency discipline**: no `static mut`, no lock guard held
+//!   across a call into another locking function, no `RwLock` write
+//!   under a live read guard, no spawned thread without a join;
+//! * **M — metrics contract**: counters end `_total`, timing instruments
+//!   end `_seconds` (`_per_sec` for rate gauges), label keys sorted,
+//!   Stable metrics never fed from wall-clock sources;
+//! * **A — hot-path allocation**: no heap allocation in functions
+//!   reachable from the `Workspace` step path or a `// lint: hot` root.
 //!
-//! Run with `cargo run -p analyzer -- check [--json] [--rule D|P|S|U]
+//! Rules C/M/A are *cross-file*: the driver first builds a
+//! [`symbols::WorkspaceIndex`] (fn/impl symbol table, per-crate string
+//! consts, and an intra-crate name-based call graph) over every analysed
+//! file, then runs the passes with that index in hand (DESIGN.md §14).
+//!
+//! Run with `cargo run -p analyzer -- check [--json] [--rule D|P|S|U|C|M|A]
 //! [--baseline <path>] [--update-baseline]`.
 
 pub mod baseline;
@@ -20,17 +33,23 @@ pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod source;
+pub mod symbols;
 pub mod walk;
 
 use baseline::Baseline;
 use report::Report;
-use rules::{determinism_pass, panic_pass, shape_pass, unsafe_pass, Finding, Rule};
+use rules::{
+    alloc_pass, concurrency_pass, determinism_pass, metrics_pass, panic_pass, shape_pass,
+    unsafe_pass, Finding, Rule,
+};
 use source::{FileKind, SourceFile};
 use std::path::{Path, PathBuf};
+use symbols::WorkspaceIndex;
 
-/// Crates on the stable-output path: rule D (determinism) and rule P
-/// (panic-safety) apply to their non-test library code.
-pub const PROTECTED_CRATES: [&str; 9] = [
+/// Crates on the stable-output path: rule D (determinism) and rule C
+/// (concurrency) apply to their non-test library code, and rule P
+/// (panic-safety) ratchets them.
+pub const PROTECTED_CRATES: [&str; 11] = [
     "simulator",
     "roadnet",
     "neural",
@@ -40,7 +59,21 @@ pub const PROTECTED_CRATES: [&str; 9] = [
     "fault",
     "serve",
     "stream",
+    "datagen",
+    "analyzer",
 ];
+
+/// Crates under the panic-debt ratchet (rule P) but not (yet) on the
+/// stable-output path: tooling whose debt we burn down without claiming
+/// determinism. A crate graduates into [`PROTECTED_CRATES`] when its
+/// baseline budget reaches zero and rule D holds — as `analyzer` did
+/// once its lexer grew sentinel accessors and its debt hit zero.
+pub const RATCHETED_EXTRAS: [&str; 1] = ["bench"];
+
+/// True when rule P's ratchet applies to this crate.
+pub fn is_ratcheted(crate_name: &str) -> bool {
+    PROTECTED_CRATES.contains(&crate_name) || RATCHETED_EXTRAS.contains(&crate_name)
+}
 
 /// Options for one check run.
 #[derive(Debug, Clone, Default)]
@@ -53,27 +86,51 @@ pub struct CheckOptions {
     pub update_baseline: bool,
 }
 
-/// Runs every applicable rule pass over one analysed file and applies
-/// allow-comment suppression. This is the single entry both the CLI
-/// driver and the fixture tests go through.
-pub fn check_file(file: &SourceFile, only: Option<Rule>) -> Vec<Finding> {
-    let protected = PROTECTED_CRATES.contains(&file.crate_name.as_str());
-    let mut findings = Vec::new();
+/// Checks a set of analysed files as one workspace: phase 1 builds the
+/// [`WorkspaceIndex`] (symbol table + call graph) over *all* files,
+/// phase 2 runs every applicable rule pass per file with the index in
+/// hand, then applies allow-comment suppression. This is the single
+/// entry the CLI driver, the fixture tests and the self-lint test go
+/// through.
+pub fn check_files(files: &[SourceFile], only: Option<Rule>) -> Vec<Finding> {
+    let idx = WorkspaceIndex::build(files);
     let want = |r: Rule| only.is_none() || only == Some(r);
-    if want(Rule::Determinism) && protected && file.kind == FileKind::Lib {
-        findings.extend(determinism_pass(file));
+    let mut findings = Vec::new();
+    for (ix, file) in files.iter().enumerate() {
+        let protected = PROTECTED_CRATES.contains(&file.crate_name.as_str());
+        let lib = file.kind == FileKind::Lib;
+        let mut local = Vec::new();
+        if want(Rule::Determinism) && protected && lib {
+            local.extend(determinism_pass(file));
+        }
+        if want(Rule::Panic) && is_ratcheted(&file.crate_name) && lib {
+            local.extend(panic_pass(file));
+        }
+        if want(Rule::Shape) {
+            local.extend(shape_pass(file));
+        }
+        if want(Rule::UnsafeAudit) {
+            local.extend(unsafe_pass(file));
+        }
+        if want(Rule::Concurrency) && protected && lib {
+            local.extend(concurrency_pass(file, ix, &idx));
+        }
+        if want(Rule::Metrics) && lib {
+            local.extend(metrics_pass(file, &idx));
+        }
+        if want(Rule::Alloc) && lib {
+            local.extend(alloc_pass(file, ix, &idx));
+        }
+        local.retain(|f| !file.is_allowed(f.rule, f.line));
+        findings.append(&mut local);
     }
-    if want(Rule::Panic) && protected && file.kind == FileKind::Lib {
-        findings.extend(panic_pass(file));
-    }
-    if want(Rule::Shape) {
-        findings.extend(shape_pass(file));
-    }
-    if want(Rule::UnsafeAudit) {
-        findings.extend(unsafe_pass(file));
-    }
-    findings.retain(|f| !file.is_allowed(f.rule, f.line));
     findings
+}
+
+/// Single-file convenience wrapper around [`check_files`]: the call
+/// graph, const index and hot set only see this one file.
+pub fn check_file(file: &SourceFile, only: Option<Rule>) -> Vec<Finding> {
+    check_files(std::slice::from_ref(file), only)
 }
 
 /// Analyses a whole workspace tree and builds the report.
@@ -82,13 +139,18 @@ pub fn check_workspace(root: &Path, opts: &CheckOptions) -> Result<Report, Strin
     if items.is_empty() {
         return Err(format!("no .rs files found under {}", root.display()));
     }
-    let mut findings = Vec::new();
+    let mut files = Vec::with_capacity(items.len());
     for item in &items {
         let src =
             std::fs::read_to_string(&item.abs).map_err(|e| format!("reading {}: {e}", item.rel))?;
-        let file = SourceFile::new(&item.rel, &item.crate_name, item.kind, &src);
-        findings.extend(check_file(&file, opts.rule));
+        files.push(SourceFile::new(
+            &item.rel,
+            &item.crate_name,
+            item.kind,
+            &src,
+        ));
     }
+    let mut findings = check_files(&files, opts.rule);
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
 
     let baseline_path = baseline_path(root, opts);

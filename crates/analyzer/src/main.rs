@@ -1,13 +1,13 @@
 //! CLI for cityod-lint.
 //!
 //! ```text
-//! cargo run -p analyzer -- check [--json] [--rule D|P|S|U]
+//! cargo run -p analyzer -- check [--json] [--rule D|P|S|U|C|M|A]
 //!     [--baseline <path>] [--root <path>] [--update-baseline]
 //! ```
 //!
-//! Exits 0 when the workspace is clean (all D/S/U findings suppressed or
-//! absent, all P debt within the ratchet baseline), 1 otherwise, 2 on
-//! usage or I/O errors.
+//! Exits 0 when the workspace is clean (all D/S/U/C/M/A findings
+//! suppressed or absent, all P debt within the ratchet baseline), 1
+//! otherwise, 2 on usage or I/O errors.
 
 use analyzer::rules::Rule;
 use analyzer::{check_workspace, find_root, CheckOptions};
@@ -42,7 +42,7 @@ fn real_main() -> i32 {
             "--rule" => match it.next().and_then(|r| Rule::from_name(r)) {
                 Some(r) => opts.rule = Some(r),
                 None => {
-                    eprintln!("--rule expects one of D, P, S, U\n{USAGE}");
+                    eprintln!("--rule expects one of D, P, S, U, C, M, A\n{USAGE}");
                     return 2;
                 }
             },
@@ -97,8 +97,8 @@ USAGE:
     cargo run -p analyzer -- check [FLAGS]
 
 FLAGS:
-    --json               machine-readable findings
-    --rule <D|P|S|U>     run a single rule pass
+    --json               machine-readable findings (stable key order)
+    --rule <R>           run a single rule pass (D|P|S|U|C|M|A)
     --baseline <path>    ratchet baseline (default: crates/analyzer/baseline.toml)
     --root <path>        workspace root (default: nearest [workspace] ancestor)
     --update-baseline    rewrite the baseline to the observed debt counts
@@ -108,4 +108,10 @@ RULES:
                        on the stable-output path
     P  panic-safety    unwrap/expect/panic!/indexing debt, ratcheted by baseline
     S  shape soundness layer-stack in/out dims must chain
-    U  unsafe audit    every `unsafe` needs a SAFETY comment";
+    U  unsafe audit    every `unsafe` needs a SAFETY comment
+    C  concurrency     no static mut, guard-across-lock, write-under-read
+                       or unjoined spawn in protected crates
+    M  metrics         counters end _total, timing metrics end _seconds,
+                       sorted label keys, no Stable metric fed from wall clock
+    A  hot-path alloc  no heap allocation reachable from the Workspace
+                       step path (or any `// lint: hot` root)";

@@ -147,11 +147,12 @@ impl Report {
         s
     }
 
-    /// Machine-readable rendering.
+    /// Machine-readable rendering, following the `obs::to_json_stable`
+    /// conventions: byte-stable output for identical inputs, keys in
+    /// alphabetical order at every level, one entry per line. CI uploads
+    /// this as the `cityod-lint.json` artifact.
     pub fn render_json(&self) -> String {
-        let mut s = String::from("{\n  \"ok\": ");
-        s.push_str(if self.ok() { "true" } else { "false" });
-        s.push_str(",\n  \"findings\": [");
+        let mut s = String::from("{\n  \"findings\": [");
         let mut first = true;
         for f in self.errors.iter().chain(self.debt.iter()) {
             if !first {
@@ -160,18 +161,20 @@ impl Report {
             first = false;
             let _ = write!(
                 s,
-                "\n    {{\"rule\": \"{}\", \"kind\": \"{}\", \"file\": \"{}\", \"line\": {}, \
-                 \"crate\": \"{}\", \"snippet\": \"{}\", \"message\": \"{}\"}}",
-                f.rule.code(),
-                json_escape(f.kind),
-                json_escape(&f.file),
-                f.line,
+                "\n    {{\"crate\": \"{}\", \"file\": \"{}\", \"kind\": \"{}\", \"line\": {}, \
+                 \"message\": \"{}\", \"rule\": \"{}\", \"snippet\": \"{}\"}}",
                 json_escape(&f.crate_name),
-                json_escape(&f.snippet),
-                json_escape(&f.message)
+                json_escape(&f.file),
+                json_escape(f.kind),
+                f.line,
+                json_escape(&f.message),
+                f.rule.code(),
+                json_escape(&f.snippet)
             );
         }
-        s.push_str("\n  ],\n  \"over_budget\": [");
+        s.push_str("\n  ],\n  \"format_version\": 1,\n  \"ok\": ");
+        s.push_str(if self.ok() { "true" } else { "false" });
+        s.push_str(",\n  \"over_budget\": [");
         first = true;
         for v in &self.over_budget {
             if !first {
@@ -180,20 +183,37 @@ impl Report {
             first = false;
             let _ = write!(
                 s,
-                "\n    {{\"crate\": \"{}\", \"kind\": \"{}\", \"count\": {}, \"budget\": {}}}",
-                json_escape(&v.crate_name),
-                json_escape(&v.kind),
+                "\n    {{\"budget\": {}, \"count\": {}, \"crate\": \"{}\", \"kind\": \"{}\"}}",
+                v.budget,
                 v.count,
-                v.budget
+                json_escape(&v.crate_name),
+                json_escape(&v.kind)
             );
+        }
+        s.push_str("\n  ],\n  \"rule_counts\": {");
+        let mut rules: Vec<Rule> = Rule::all().to_vec();
+        rules.sort_by_key(|r| r.code());
+        first = true;
+        for r in rules {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let n = self
+                .errors
+                .iter()
+                .chain(self.debt.iter())
+                .filter(|f| f.rule == r)
+                .count();
+            let _ = write!(s, "\n    \"{}\": {}", r.code(), n);
         }
         let debt_total: u64 = self.counts.values().sum();
         let _ = write!(
             s,
-            "\n  ],\n  \"summary\": {{\"errors\": {}, \"over_budget\": {}, \"debt\": {}}}\n}}\n",
+            "\n  }},\n  \"summary\": {{\"debt\": {}, \"errors\": {}, \"over_budget\": {}}}\n}}\n",
+            debt_total,
             self.errors.len(),
-            self.over_budget.len(),
-            debt_total
+            self.over_budget.len()
         );
         s
     }
@@ -273,5 +293,32 @@ mod tests {
         assert!(j.contains("\"ok\": false"));
         assert!(j.contains("\"rule\": \"S\""));
         assert!(json_escape("a\"b\\c\nd") == "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn json_is_byte_stable_with_alphabetical_keys() {
+        let r = Report::build(
+            vec![
+                finding(Rule::Shape, "shape-mismatch", "neural"),
+                finding(Rule::Metrics, "counter-name", "serve"),
+            ],
+            &Baseline::default(),
+        );
+        let a = r.render_json();
+        let b = r.render_json();
+        assert_eq!(a, b, "identical inputs must render byte-identically");
+        assert!(a.contains("\"format_version\": 1"));
+        // Keys inside a finding object are alphabetical.
+        let pos = |k: &str| a.find(k).unwrap_or_else(|| panic!("missing {k}"));
+        assert!(pos("\"crate\"") < pos("\"file\""));
+        assert!(pos("\"file\"") < pos("\"kind\""));
+        assert!(pos("\"kind\"") < pos("\"line\""));
+        assert!(pos("\"line\"") < pos("\"message\""));
+        // Per-rule counts are present for all seven rules, sorted by code.
+        assert!(a.contains("\"A\": 0"));
+        assert!(a.contains("\"M\": 1"));
+        assert!(a.contains("\"S\": 1"));
+        assert!(pos("\"A\":") < pos("\"C\":"));
+        assert!(pos("\"C\":") < pos("\"D\":"));
     }
 }

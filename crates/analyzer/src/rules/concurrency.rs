@@ -1,0 +1,544 @@
+//! Rule C — concurrency discipline.
+//!
+//! The serving and streaming layers hold locks on request paths and run
+//! watcher threads; the paper's reproducibility claim (bit-identical
+//! output across thread counts) makes latent ordering bugs expensive.
+//! On protected-crate library code this pass flags:
+//!
+//! * `static mut` — data races by construction (kind `static-mut`);
+//! * a lock guard held across a call into another same-crate function
+//!   that (transitively) acquires a lock — the classic lock-order /
+//!   re-entrancy deadlock shape (kind `guard-across-lock`);
+//! * an `RwLock` write acquired while a read guard is live in the same
+//!   scope — self-deadlock with std's non-reentrant `RwLock`
+//!   (kind `write-in-read`);
+//! * a spawned thread whose handle is discarded, or stored in a file
+//!   that never joins — shutdown then races detached work
+//!   (kind `spawn-no-join`).
+//!
+//! Lock acquisition is recognised syntactically as `.lock()` / `.read()`
+//! / `.write()` with an empty argument list (the std `Mutex`/`RwLock`
+//! shapes — `Read::read(&mut buf)` takes arguments and is ignored), and
+//! "another locking function" comes from the workspace index's
+//! intra-crate call-graph closure ([`WorkspaceIndex::is_locking_call`]).
+
+use super::{Finding, Rule};
+use crate::lexer::{tok, TokKind, Token};
+use crate::source::{is_keyword, SourceFile};
+use crate::symbols::WorkspaceIndex;
+
+/// What a live guard binding holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum GuardKind {
+    Read,
+    Write,
+    Lock,
+}
+
+#[derive(Debug)]
+struct Guard {
+    /// Binding name; `_anon` for destructured bindings.
+    name: String,
+    kind: GuardKind,
+    /// Brace depth (within the fn body) the binding lives at.
+    depth: i32,
+    line: u32,
+}
+
+/// Runs the concurrency pass over one protected-crate library file.
+pub fn concurrency_pass(file: &SourceFile, file_ix: usize, idx: &WorkspaceIndex) -> Vec<Finding> {
+    let mut out = Vec::new();
+    static_mut_scan(file, &mut out);
+    for (id, f) in idx.fns_in_file(file_ix) {
+        if f.is_test {
+            continue;
+        }
+        let _ = id;
+        guard_scan(file, f.body.0, f.body.1, idx, &mut out);
+        spawn_scan(file, f.body.0, f.body.1, &mut out);
+    }
+    out
+}
+
+/// Flags `static mut` items outside test regions.
+fn static_mut_scan(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (i, t) in file.tokens.iter().enumerate() {
+        if in_test(file, i) || !t.is_ident("static") {
+            continue;
+        }
+        if file.tokens.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+            out.push(Finding::new(
+                file,
+                Rule::Concurrency,
+                "static-mut",
+                t.line,
+                "`static mut` is a data race waiting for a second thread: use an atomic, \
+                 a `Mutex`, or `OnceLock`"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Walks one fn body tracking live guard bindings; flags calls into
+/// locking functions and write acquisitions under a read guard.
+fn guard_scan(
+    file: &SourceFile,
+    body_open: usize,
+    body_close: usize,
+    idx: &WorkspaceIndex,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.tokens;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = body_open + 1;
+    while i < body_close {
+        let t = tok(toks, i);
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+            i += 1;
+            continue;
+        }
+        // `let <pat> = … .lock()/.read()/.write() … ;` — a guard binding.
+        if t.is_ident("let") {
+            let end = statement_end(toks, i, body_close);
+            if let Some((kind, acq_line)) = acquisition_in(toks, i, end) {
+                if kind == GuardKind::Write {
+                    flag_write_in_read(file, &guards, acq_line, out);
+                }
+                // `let v = *m.lock()…` copies the value out — the guard
+                // is a temporary and dies at the `;`, binding nothing.
+                if binds_guard(toks, i, end) {
+                    guards.push(Guard {
+                        name: binding_name(toks, i),
+                        kind,
+                        depth,
+                        line: acq_line,
+                    });
+                }
+            }
+            // Calls inside the binding statement still count as "while
+            // holding" only for guards that were already live.
+            scan_calls_for_locking(file, idx, toks, i, end, &guards, out);
+            i = end;
+            continue;
+        }
+        // `drop(name)` releases a guard early.
+        if t.is_ident("drop") && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            if let Some(arg) = toks.get(i + 2) {
+                if arg.kind == TokKind::Ident {
+                    guards.retain(|g| g.name != arg.text);
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Expression-position acquisition (temporary guard): only the
+        // write-in-read hazard applies — the temporary dies at the `;`.
+        if let Some(kind) = acquisition_at(toks, i) {
+            if kind == GuardKind::Write {
+                flag_write_in_read(file, &guards, t.line, out);
+            }
+            i += 3;
+            continue;
+        }
+        // A call while guards are live.
+        if !guards.is_empty()
+            && crate::symbols::call_edge(toks, i)
+                .is_some_and(|e| idx.is_locking_call(&file.crate_name, &e))
+        {
+            if let Some(g) = guards.last() {
+                out.push(Finding::new(
+                    file,
+                    Rule::Concurrency,
+                    "guard-across-lock",
+                    t.line,
+                    format!(
+                        "call to `{}` (which acquires a lock) while the guard `{}` from \
+                         line {} is still held: release the guard first (narrow the \
+                         scope or `drop` it) to keep a single lock order",
+                        t.text, g.name, g.line
+                    ),
+                ));
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Flags a write acquisition when any read guard is currently live.
+fn flag_write_in_read(file: &SourceFile, guards: &[Guard], line: u32, out: &mut Vec<Finding>) {
+    if let Some(rg) = guards.iter().rev().find(|g| g.kind == GuardKind::Read) {
+        out.push(Finding::new(
+            file,
+            Rule::Concurrency,
+            "write-in-read",
+            line,
+            format!(
+                "`.write()` acquired while the read guard `{}` from line {} is live: \
+                 std `RwLock` is not upgradable — this deadlocks once a writer queues. \
+                 Drop the read guard first",
+                rg.name, rg.line
+            ),
+        ));
+    }
+}
+
+/// Reports calls to locking functions within `[i, end)` while `guards`
+/// is non-empty (used for the tail of a binding statement).
+fn scan_calls_for_locking(
+    file: &SourceFile,
+    idx: &WorkspaceIndex,
+    toks: &[Token],
+    i: usize,
+    end: usize,
+    guards: &[Guard],
+    out: &mut Vec<Finding>,
+) {
+    if guards.is_empty() {
+        return;
+    }
+    for j in i..end {
+        let t = tok(toks, j);
+        if crate::symbols::call_edge(toks, j)
+            .is_some_and(|e| idx.is_locking_call(&file.crate_name, &e))
+        {
+            if let Some(g) = guards.last() {
+                out.push(Finding::new(
+                    file,
+                    Rule::Concurrency,
+                    "guard-across-lock",
+                    t.line,
+                    format!(
+                        "call to `{}` (which acquires a lock) while the guard `{}` \
+                         from line {} is still held: release the guard first to keep \
+                         a single lock order",
+                        t.text, g.name, g.line
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Flags `thread::spawn` / `scope.spawn` whose handle is discarded, or
+/// bound/stored in a file that never mentions `join`.
+fn spawn_scan(file: &SourceFile, body_open: usize, body_close: usize, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let file_joins = toks.iter().any(|t| t.is_ident("join"));
+    for i in (body_open + 1)..body_close {
+        let t = tok(toks, i);
+        if !t.is_ident("spawn") || !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        let dotted = i
+            .checked_sub(1)
+            .is_some_and(|p| tok(toks, p).is_punct('.') || tok(toks, p).is_punct(':'));
+        if !dotted {
+            continue; // a local fn named spawn is the caller's business
+        }
+        let start = statement_start(toks, i, body_open);
+        let stored = stores_handle(toks, start, i);
+        if !stored {
+            out.push(Finding::new(
+                file,
+                Rule::Concurrency,
+                "spawn-no-join",
+                t.line,
+                "spawned thread handle is discarded — nothing can ever join it, so \
+                 shutdown races the thread: bind the handle and join it on every path"
+                    .to_string(),
+            ));
+        } else if !file_joins {
+            out.push(Finding::new(
+                file,
+                Rule::Concurrency,
+                "spawn-no-join",
+                t.line,
+                "spawned thread handle is stored but this file never joins: join the \
+                 handle on shutdown (or document the detachment with an allow)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// True when the statement owning a `spawn` keeps its handle: a `let`
+/// binding with a real name, a `.push(…)` into a collection, or being
+/// the argument of a `return`.
+fn stores_handle(toks: &[Token], start: usize, spawn_ix: usize) -> bool {
+    let mut j = start;
+    while j < spawn_ix {
+        let t = tok(toks, j);
+        if t.is_ident("let") {
+            let name = binding_name(toks, j);
+            if name != "_" {
+                return true;
+            }
+        }
+        if t.is_ident("push") || t.is_ident("insert") || t.is_ident("return") {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+/// The binding name of a `let` at `i`: first identifier after `let`
+/// (skipping `mut`), or `_anon` for destructuring patterns.
+fn binding_name(toks: &[Token], i: usize) -> String {
+    let mut j = i + 1;
+    while toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    match toks.get(j) {
+        Some(t) if t.kind == TokKind::Ident && !is_keyword(&t.text) => t.text.clone(),
+        Some(t) if t.is_punct('_') => "_".to_string(),
+        _ => "_anon".to_string(),
+    }
+}
+
+/// If tokens at `i` are `.lock()`, `.read()` or `.write()`, the guard
+/// kind acquired.
+fn acquisition_at(toks: &[Token], i: usize) -> Option<GuardKind> {
+    let t = toks.get(i)?;
+    let prev = i.checked_sub(1).map(|p| tok(toks, p))?;
+    if !prev.is_punct('.') || !toks.get(i + 1)?.is_punct('(') || !toks.get(i + 2)?.is_punct(')') {
+        return None;
+    }
+    match t.text.as_str() {
+        "read" => Some(GuardKind::Read),
+        "write" => Some(GuardKind::Write),
+        "lock" => Some(GuardKind::Lock),
+        _ => None,
+    }
+}
+
+/// First acquisition within `[i, end)` at brace depth zero — a lock
+/// taken inside a nested `{ … }` is confined to that block and never
+/// escapes to the `let` binding.
+fn acquisition_in(toks: &[Token], i: usize, end: usize) -> Option<(GuardKind, u32)> {
+    let mut depth = 0i32;
+    for j in i..end {
+        let t = tok(toks, j);
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 {
+            if let Some(k) = acquisition_at(toks, j) {
+                return Some((k, t.line));
+            }
+        }
+    }
+    None
+}
+
+/// True when the `let` statement binds the guard itself rather than a
+/// copy: `let v = *m.lock()…` dereferences the temporary guard and only
+/// the copied value survives the `;`.
+fn binds_guard(toks: &[Token], i: usize, end: usize) -> bool {
+    for j in i..end {
+        if tok(toks, j).is_punct('=') {
+            return !toks.get(j + 1).is_some_and(|n| n.is_punct('*'));
+        }
+    }
+    true
+}
+
+/// Index just past the `;` ending the statement starting at `i`
+/// (brace-aware: `let x = match … { … };`).
+fn statement_end(toks: &[Token], i: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < limit {
+        let t = tok(toks, j);
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct(';') && depth == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    limit
+}
+
+/// Index of the first token of the statement containing `i`.
+fn statement_start(toks: &[Token], i: usize, floor: usize) -> usize {
+    let mut j = i;
+    let mut depth = 0i32;
+    while j > floor {
+        let t = tok(toks, j - 1);
+        if t.is_punct(')') || t.is_punct(']') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            if depth == 0 {
+                // We walked out of the expression's own parens: keep
+                // going, this is e.g. `push(` wrapping the spawn.
+            } else {
+                depth -= 1;
+            }
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('{') || t.is_punct('}')) {
+            return j;
+        }
+        j -= 1;
+    }
+    floor
+}
+
+fn in_test(file: &SourceFile, i: usize) -> bool {
+    file.in_test.get(i).copied().unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileKind, SourceFile};
+    use crate::symbols::WorkspaceIndex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::new("f.rs", "simulator", FileKind::Lib, src);
+        let files = vec![f];
+        let idx = WorkspaceIndex::build(&files);
+        concurrency_pass(&files[0], 0, &idx)
+    }
+
+    fn kinds(src: &str) -> Vec<&'static str> {
+        let mut k: Vec<&'static str> = run(src).into_iter().map(|f| f.kind).collect();
+        k.sort_unstable();
+        k.dedup();
+        k
+    }
+
+    #[test]
+    fn static_mut_is_flagged() {
+        assert_eq!(kinds("static mut COUNT: u32 = 0;"), ["static-mut"]);
+        assert!(kinds("static COUNT: u32 = 0;").is_empty());
+    }
+
+    #[test]
+    fn guard_across_locking_call_is_flagged() {
+        let src = "\
+use std::sync::Mutex;
+fn other(m: &Mutex<u32>) -> u32 { *m.lock().unwrap() }
+fn bad(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let g = a.lock().unwrap();
+    other(b) + *g
+}
+";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, "guard-across-lock");
+        assert!(f[0].message.contains("`other`"));
+    }
+
+    #[test]
+    fn dropping_the_guard_first_is_clean() {
+        let src = "\
+use std::sync::Mutex;
+fn other(m: &Mutex<u32>) -> u32 { *m.lock().unwrap() }
+fn good(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let g = *a.lock().unwrap();
+    let g2 = g;
+    other(b) + g2
+}
+fn scoped(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let v = { let g = a.lock().unwrap(); *g };
+    other(b) + v
+}
+fn explicit(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let g = a.lock().unwrap();
+    let v = *g;
+    drop(g);
+    other(b) + v
+}
+";
+        // `good` binds a copy (guard is a temporary), `scoped` confines the
+        // guard to an inner block, `explicit` drops it — all clean.
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn write_inside_read_scope_is_flagged() {
+        let src = "\
+use std::sync::RwLock;
+fn bad(l: &RwLock<u32>) -> u32 {
+    let r = l.read().unwrap();
+    let w = l.write().unwrap();
+    *r + *w
+}
+";
+        let f = run(src);
+        assert!(f.iter().any(|f| f.kind == "write-in-read"), "{f:?}");
+    }
+
+    #[test]
+    fn sequential_read_then_write_is_clean() {
+        let src = "\
+use std::sync::RwLock;
+fn good(l: &RwLock<u32>) -> u32 {
+    let v = { let r = l.read().unwrap(); *r };
+    let mut w = l.write().unwrap();
+    *w += v;
+    v
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_a_guard() {
+        let src = "\
+fn io(r: &mut impl std::io::Read, buf: &mut [u8]) {
+    let n = r.read(buf);
+    let _ = n;
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn discarded_spawn_handle_is_flagged() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, "spawn-no-join");
+        assert!(f[0].message.contains("discarded"));
+    }
+
+    #[test]
+    fn stored_spawn_without_any_join_in_file_is_flagged() {
+        let src = "fn f() { let h = std::thread::spawn(|| {}); let _ = h; }";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("never joins"));
+    }
+
+    #[test]
+    fn pushed_and_joined_spawn_is_clean() {
+        let src = "\
+fn f() {
+    let mut hs = Vec::new();
+    hs.push(std::thread::spawn(|| {}));
+    for h in hs { let _ = h.join(); }
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { std::thread::spawn(|| {}); }\n}";
+        assert!(run(src).is_empty());
+    }
+}

@@ -23,7 +23,7 @@ use crate::source::SourceFile;
 pub fn determinism_pass(file: &SourceFile) -> Vec<Finding> {
     let mut out = Vec::new();
     for (i, t) in file.tokens.iter().enumerate() {
-        if file.in_test[i] {
+        if file.masked(i) {
             continue;
         }
         let (kind, what, instead): (&'static str, &str, &str) = if t.is_ident("HashMap") {
@@ -81,7 +81,7 @@ pub fn determinism_pass(file: &SourceFile) -> Vec<Finding> {
 /// True when token `i` is `base` followed by `:: member` with `member`
 /// in `members` (matches both `std::env::var(..)` and `env::var(..)`).
 fn is_path_call(file: &SourceFile, i: usize, base: &str, members: &[&str]) -> bool {
-    let t = &file.tokens[i];
+    let t = crate::lexer::tok(&file.tokens, i);
     if !t.is_ident(base) {
         return false;
     }

@@ -5,19 +5,25 @@
 //! ratchet are applied by the driver in [`crate::run`], not here, so the
 //! passes stay pure and trivially testable.
 
+mod alloc;
+mod concurrency;
 mod determinism;
+mod metrics_contract;
 mod panic;
 mod shape;
 mod unsafety;
 
+pub use alloc::alloc_pass;
+pub use concurrency::concurrency_pass;
 pub use determinism::determinism_pass;
+pub use metrics_contract::metrics_pass;
 pub use panic::panic_pass;
 pub use shape::shape_pass;
 pub use unsafety::unsafe_pass;
 
 use crate::source::SourceFile;
 
-/// The four rules, named as in the CLI (`--rule D|P|S|U`).
+/// The seven rules, named as in the CLI (`--rule D|P|S|U|C|M|A`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// D — determinism: no unordered-map iteration sources, wall-clock or
@@ -30,6 +36,15 @@ pub enum Rule {
     Shape,
     /// U — unsafe audit: every `unsafe` needs a `// SAFETY:` comment.
     UnsafeAudit,
+    /// C — concurrency discipline: no `static mut`, no guard held across
+    /// another locking call, no write-under-read, no unjoined spawns.
+    Concurrency,
+    /// M — metrics contract: `_total`/`_seconds` suffixes, sorted label
+    /// keys, Stable metrics never fed from Timing sources.
+    Metrics,
+    /// A — hot-path allocation: no heap allocation in functions reachable
+    /// from the `Workspace` step path or a `// lint: hot` root.
+    Alloc,
 }
 
 impl Rule {
@@ -40,6 +55,9 @@ impl Rule {
             Rule::Panic => "P",
             Rule::Shape => "S",
             Rule::UnsafeAudit => "U",
+            Rule::Concurrency => "C",
+            Rule::Metrics => "M",
+            Rule::Alloc => "A",
         }
     }
 
@@ -50,6 +68,9 @@ impl Rule {
             Rule::Panic => "panic",
             Rule::Shape => "shape",
             Rule::UnsafeAudit => "unsafe",
+            Rule::Concurrency => "concurrency",
+            Rule::Metrics => "metrics",
+            Rule::Alloc => "alloc",
         }
     }
 
@@ -60,17 +81,23 @@ impl Rule {
             "P" | "panic" => Some(Rule::Panic),
             "S" | "shape" => Some(Rule::Shape),
             "U" | "unsafe" => Some(Rule::UnsafeAudit),
+            "C" | "concurrency" => Some(Rule::Concurrency),
+            "M" | "metrics" => Some(Rule::Metrics),
+            "A" | "alloc" => Some(Rule::Alloc),
             _ => None,
         }
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 4] {
+    pub fn all() -> [Rule; 7] {
         [
             Rule::Determinism,
             Rule::Panic,
             Rule::Shape,
             Rule::UnsafeAudit,
+            Rule::Concurrency,
+            Rule::Metrics,
+            Rule::Alloc,
         ]
     }
 }

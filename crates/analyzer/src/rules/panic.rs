@@ -13,16 +13,16 @@
 //! `Result` (or use `.get(..)`) instead.
 
 use super::{Finding, Rule};
-use crate::lexer::TokKind;
+use crate::lexer::{tok, TokKind};
 use crate::source::{ends_expression, SourceFile};
 
 /// Runs the panic-safety pass over a hot-crate library file.
 pub fn panic_pass(file: &SourceFile) -> Vec<Finding> {
     let mut out = Vec::new();
     for (i, t) in file.tokens.iter().enumerate() {
-        if file.in_test[i] || t.kind != TokKind::Ident {
+        if file.masked(i) || t.kind != TokKind::Ident {
             // Indexing is detected on `[`, a punct; handle it separately.
-            if !file.in_test[i] && t.is_punct('[') && is_indexing(file, i) {
+            if !file.masked(i) && t.is_punct('[') && is_indexing(file, i) {
                 out.push(Finding::new(
                     file,
                     Rule::Panic,
@@ -36,7 +36,7 @@ pub fn panic_pass(file: &SourceFile) -> Vec<Finding> {
             continue;
         }
         let next = file.tokens.get(i + 1);
-        let prev = i.checked_sub(1).map(|p| &file.tokens[p]);
+        let prev = i.checked_sub(1).map(|p| tok(&file.tokens, p));
         let dotted = matches!(prev, Some(p) if p.is_punct('.'));
         let called = matches!(next, Some(n) if n.is_punct('('));
         let banged = matches!(next, Some(n) if n.is_punct('!'));
@@ -80,7 +80,7 @@ pub fn panic_pass(file: &SourceFile) -> Vec<Finding> {
 /// ends an expression) rather than opening an array/slice literal, type,
 /// attribute or pattern.
 fn is_indexing(file: &SourceFile, i: usize) -> bool {
-    let Some(prev) = i.checked_sub(1).map(|p| &file.tokens[p]) else {
+    let Some(prev) = i.checked_sub(1).map(|p| tok(&file.tokens, p)) else {
         return false;
     };
     // `#[..]` attribute and `vec![..]` macro are not indexing; both are

@@ -35,6 +35,7 @@
 //! in a test is still a runtime panic somebody has to debug.
 
 use super::{Finding, Rule};
+use crate::lexer::tok;
 use crate::source::SourceFile;
 
 /// Layer constructors with an `(input, output)` dimension signature, and
@@ -85,7 +86,8 @@ pub fn shape_pass(file: &SourceFile) -> Vec<Finding> {
     let mut i = 0usize;
     while i < toks.len() {
         // Match `Sequential :: new ( vec ! [` (or SeqSequential).
-        let is_stack = (toks[i].is_ident("Sequential") || toks[i].is_ident("SeqSequential"))
+        let is_stack = (tok(toks, i).is_ident("Sequential")
+            || tok(toks, i).is_ident("SeqSequential"))
             && matches!(toks.get(i + 1), Some(t) if t.is_punct(':'))
             && matches!(toks.get(i + 2), Some(t) if t.is_punct(':'))
             && matches!(toks.get(i + 3), Some(t) if t.is_ident("new"))
@@ -99,7 +101,7 @@ pub fn shape_pass(file: &SourceFile) -> Vec<Finding> {
         }
         let body_start = i + 8;
         let body_end = matching_close(toks, body_start, '[', ']');
-        let seq_len = declared_seq_len(file, toks[i].line);
+        let seq_len = declared_seq_len(file, tok(toks, i).line);
         check_stack(file, body_start, body_end, seq_len, &mut out);
         i = body_end;
     }
@@ -111,9 +113,9 @@ fn matching_close(toks: &[crate::lexer::Token], start: usize, open: char, close:
     let mut depth = 1i32;
     let mut j = start;
     while j < toks.len() && depth > 0 {
-        if toks[j].is_punct(open) {
+        if tok(toks, j).is_punct(open) {
             depth += 1;
-        } else if toks[j].is_punct(close) {
+        } else if tok(toks, j).is_punct(close) {
             depth -= 1;
         }
         j += 1;
@@ -128,10 +130,10 @@ fn declared_seq_len(file: &SourceFile, stack_line: u32) -> Option<u64> {
         if c.line > stack_line || c.line + 2 < stack_line {
             return None;
         }
-        let pos = c.text.find("lint:")?;
-        let body = c.text[pos + 5..].trim_start().strip_prefix("seq_len(")?;
-        let close = body.find(')')?;
-        parse_num(body[..close].trim())
+        let (_, after) = c.text.split_once("lint:")?;
+        let body = after.trim_start().strip_prefix("seq_len(")?;
+        let (num, _) = body.split_once(')')?;
+        parse_num(num.trim())
     })
 }
 
@@ -146,7 +148,7 @@ fn check_conv_constructors(file: &SourceFile, out: &mut Vec<Finding>) {
             j += 1;
             continue;
         };
-        let line = toks[j].line;
+        let line = tok(toks, j).line;
         let args = split_args(toks, args_start, args_end.saturating_sub(1));
         let arg_num = |pos: usize| {
             args.get(pos)
@@ -326,7 +328,7 @@ fn element_sig(toks: &[crate::lexer::Token], s: usize, e: usize) -> Sig {
     let mut preserving_seen = false;
     let mut j = s;
     while j < e {
-        let t = &toks[j];
+        let t = tok(toks, j);
         if PRESERVING.iter().any(|p| t.is_ident(p)) {
             preserving_seen = true;
         }
@@ -342,7 +344,7 @@ fn element_sig(toks: &[crate::lexer::Token], s: usize, e: usize) -> Sig {
                 sigs.push((
                     normalize(toks, a.0, a.1),
                     normalize(toks, b.0, b.1),
-                    toks[j].line,
+                    tok(toks, j).line,
                     SeqEffect::Conv {
                         k: num(2),
                         stride: num(3),
@@ -366,7 +368,7 @@ fn element_sig(toks: &[crate::lexer::Token], s: usize, e: usize) -> Sig {
                     sigs.push((
                         normalize(toks, a.0, a.1),
                         normalize(toks, b.0, b.1),
-                        toks[j].line,
+                        tok(toks, j).line,
                         SeqEffect::Preserve,
                     ));
                 }
@@ -380,7 +382,9 @@ fn element_sig(toks: &[crate::lexer::Token], s: usize, e: usize) -> Sig {
         0 if preserving_seen => Sig::Preserving,
         0 => Sig::Unknown,
         _ => {
-            let (i0, o0, line, seq0) = sigs[0].clone();
+            let Some((i0, o0, line, seq0)) = sigs.first().cloned() else {
+                return Sig::Unknown;
+            };
             if sigs
                 .iter()
                 .all(|(a, b, _, sq)| *a == i0 && *b == o0 && *sq == seq0)
@@ -419,7 +423,7 @@ fn split_args(toks: &[crate::lexer::Token], s: usize, e: usize) -> Vec<(usize, u
 /// comparison key (`cfg . tod_hidden` → `cfg.tod_hidden`).
 fn normalize(toks: &[crate::lexer::Token], s: usize, e: usize) -> String {
     let mut out = String::new();
-    for t in &toks[s..e] {
+    for t in toks.get(s..e).unwrap_or(&[]) {
         out.push_str(&t.text);
     }
     out

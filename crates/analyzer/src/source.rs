@@ -1,7 +1,7 @@
 //! Per-file analysis context: lexed tokens, test-region mask, allow
 //! annotations and crate attribution.
 
-use crate::lexer::{lex, Comment, Lexed, TokKind, Token};
+use crate::lexer::{lex, tok, Comment, Lexed, TokKind, Token};
 use crate::rules::Rule;
 
 /// Where a file sits relative to the library/test split.
@@ -61,6 +61,11 @@ impl SourceFile {
             allows,
             lines: src.lines().map(str::to_string).collect(),
         }
+    }
+
+    /// True when token `i` is inside a test region (see [`test_mask`]).
+    pub fn masked(&self, i: usize) -> bool {
+        self.in_test.get(i).copied().unwrap_or(false)
     }
 
     /// The trimmed source text of a 1-based line, for finding snippets.
@@ -136,9 +141,9 @@ fn match_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
     // Skip past this attribute's closing `]`, then any further attributes.
     let mut depth = 0i32;
     while j < tokens.len() {
-        if tokens[j].is_punct('[') {
+        if tok(tokens, j).is_punct('[') {
             depth += 1;
-        } else if tokens[j].is_punct(']') {
+        } else if tok(tokens, j).is_punct(']') {
             if depth == 0 {
                 j += 1;
                 break;
@@ -152,9 +157,9 @@ fn match_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
         let mut k = next;
         let mut d = 0i32;
         while k < tokens.len() {
-            if tokens[k].is_punct('[') {
+            if tok(tokens, k).is_punct('[') {
                 d += 1;
-            } else if tokens[k].is_punct(']') {
+            } else if tok(tokens, k).is_punct(']') {
                 if d == 0 {
                     k += 1;
                     break;
@@ -185,7 +190,7 @@ fn item_end(tokens: &[Token], i: usize) -> usize {
     let mut j = i;
     let mut paren = 0i32;
     while j < tokens.len() {
-        let t = &tokens[j];
+        let t = tok(tokens, j);
         if t.is_punct(';') && paren == 0 {
             return j + 1;
         }
@@ -198,9 +203,9 @@ fn item_end(tokens: &[Token], i: usize) -> usize {
             let mut depth = 1i32;
             j += 1;
             while j < tokens.len() && depth > 0 {
-                if tokens[j].is_punct('{') {
+                if tok(tokens, j).is_punct('{') {
                     depth += 1;
-                } else if tokens[j].is_punct('}') {
+                } else if tok(tokens, j).is_punct('}') {
                     depth -= 1;
                 }
                 j += 1;
@@ -216,20 +221,19 @@ fn item_end(tokens: &[Token], i: usize) -> usize {
 fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
     let mut out = Vec::new();
     for c in comments {
-        let Some(pos) = c.text.find("lint:") else {
+        let Some((_, after_marker)) = c.text.split_once("lint:") else {
             continue;
         };
-        let rest = c.text[pos + 5..].trim_start();
-        let Some(body) = rest.strip_prefix("allow(") else {
+        let Some(body) = after_marker.trim_start().strip_prefix("allow(") else {
             continue;
         };
-        let Some(close) = body.find(')') else {
+        let Some((rule_name, after_close)) = body.split_once(')') else {
             continue;
         };
-        let Some(rule) = Rule::from_name(body[..close].trim()) else {
+        let Some(rule) = Rule::from_name(rule_name.trim()) else {
             continue;
         };
-        let reason = body[close + 1..].trim_matches(|ch: char| !ch.is_alphanumeric());
+        let reason = after_close.trim_matches(|ch: char| !ch.is_alphanumeric());
         out.push(Allow {
             line: c.line,
             rule,

@@ -1,0 +1,24 @@
+//! Seeded rule-C violations: every finding kind exactly once.
+
+use std::sync::{Mutex, RwLock};
+
+static mut TICKS: u64 = 0;
+
+fn helper(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+fn held_across(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let g = a.lock().unwrap();
+    helper(b) + *g
+}
+
+fn upgrade_in_place(l: &RwLock<u32>) -> u32 {
+    let r = l.read().unwrap();
+    let w = l.write().unwrap();
+    *r + *w
+}
+
+fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,19 @@
+//! Seeded rule-A violations: allocations reachable from the step path,
+//! both through the Workspace signature root and a `// lint: hot` root.
+
+use crate::workspace::Workspace;
+
+fn scratch(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}
+
+fn step(ws: &mut Workspace, n: usize) -> f64 {
+    let buf = scratch(n);
+    let copy = buf.clone();
+    copy.iter().sum()
+}
+
+// lint: hot — dyn-dispatched from the step loop
+fn apply(xs: &[f64]) -> String {
+    format!("{}", xs.len())
+}

@@ -1,0 +1,9 @@
+//! Seeded rule-M violations: every finding kind exactly once.
+
+fn register(reg: &obs::Registry, started: std::time::Instant) {
+    reg.counter("sim_runs").inc();
+    reg.timing_histogram("step_latency_ms");
+    reg.counter_with("spawns_total", &[("road", "1"), ("class", "2")])
+        .inc();
+    reg.gauge("uptime").set(started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,32 @@
+//! Clean counterparts to `bad/concurrency.rs`: the same shapes with the
+//! discipline rule C asks for — no finding from any rule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+static TICKS: AtomicU64 = AtomicU64::new(0);
+
+fn helper(m: &Mutex<u32>) -> u32 {
+    m.lock().map(|g| *g).unwrap_or(0)
+}
+
+fn sequential_locks(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let first = { let g = a.lock(); g.map(|v| *v).unwrap_or(0) };
+    TICKS.fetch_add(1, Ordering::Relaxed);
+    helper(b) + first
+}
+
+fn read_then_write(l: &RwLock<u32>) -> u32 {
+    let seen = { let r = l.read(); r.map(|g| *g).unwrap_or(0) };
+    let w = l.write();
+    w.map(|mut g| {
+        *g += seen;
+        *g
+    })
+    .unwrap_or(seen)
+}
+
+fn run_worker() -> u64 {
+    let handle = std::thread::spawn(|| 7u64);
+    handle.join().unwrap_or(0)
+}

@@ -1,0 +1,19 @@
+//! Hot-path code that reuses caller buffers: rule A stays silent, and a
+//! cold builder may still allocate freely.
+
+use crate::workspace::Workspace;
+
+fn step(ws: &mut Workspace, xs: &[f64], out: &mut [f64]) -> f64 {
+    let mut acc = 0.0;
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o = *x * 2.0;
+        acc += *o;
+    }
+    acc
+}
+
+fn build_scratch(n: usize) -> Vec<f64> {
+    let mut v = Vec::with_capacity(n);
+    v.resize(n, 0.0);
+    v
+}

@@ -1,0 +1,10 @@
+//! Clean registrations: every contract rule M enforces, satisfied.
+
+fn register(reg: &obs::Registry, dt_s: f64) {
+    reg.counter("sim_runs_total").inc();
+    reg.timing_histogram("step_latency_seconds");
+    reg.timing_gauge("ticks_per_sec");
+    reg.counter_with("spawns_total", &[("class", "2"), ("road", "1")])
+        .inc();
+    reg.gauge("fleet_size").set(dt_s);
+}

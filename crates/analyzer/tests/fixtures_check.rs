@@ -33,8 +33,11 @@ fn kinds(findings: &[analyzer::rules::Finding]) -> Vec<&str> {
 #[test]
 fn ok_fixtures_produce_no_findings() {
     for rel in [
+        "ok/concurrency.rs",
         "ok/conv_seq.rs",
         "ok/determinism_allowed.rs",
+        "ok/hot_alloc.rs",
+        "ok/metrics.rs",
         "ok/panic_test_only.rs",
         "ok/shape_chain.rs",
         "ok/unsafe_safety.rs",
@@ -112,6 +115,122 @@ fn bad_unsafe_without_safety_comment_is_caught() {
     let findings = check_file(&f, Some(Rule::UnsafeAudit));
     assert_eq!(findings.len(), 1);
     assert_eq!(findings[0].rule, Rule::UnsafeAudit);
+}
+
+#[test]
+fn bad_concurrency_catches_every_kind() {
+    let f = load("bad/concurrency.rs");
+    let findings = check_file(&f, Some(Rule::Concurrency));
+    assert_eq!(
+        kinds(&findings),
+        vec![
+            "guard-across-lock",
+            "spawn-no-join",
+            "static-mut",
+            "write-in-read"
+        ]
+    );
+}
+
+#[test]
+fn bad_metrics_catches_every_kind() {
+    let f = load("bad/metrics.rs");
+    let findings = check_file(&f, Some(Rule::Metrics));
+    assert_eq!(
+        kinds(&findings),
+        vec![
+            "counter-name",
+            "label-order",
+            "stable-from-timing",
+            "timing-name"
+        ]
+    );
+}
+
+#[test]
+fn bad_hot_alloc_is_caught_through_both_roots() {
+    let f = load("bad/hot_alloc.rs");
+    let findings = check_file(&f, Some(Rule::Alloc));
+    assert_eq!(kinds(&findings), vec!["hot-alloc"]);
+    // One through the Workspace-signature root (`step` -> `scratch`), one
+    // direct, one through the `// lint: hot` annotation root.
+    assert_eq!(findings.len(), 3);
+    assert!(findings.iter().any(|f| f.message.contains("vec!")));
+    assert!(findings.iter().any(|f| f.message.contains(".clone()")));
+    assert!(findings.iter().any(|f| f.message.contains("format!")));
+}
+
+// ---- self-lint and hot-set reachability over the real workspace ----------
+
+fn repo_root() -> PathBuf {
+    analyzer::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+}
+
+/// The analyzer holds itself to the protected-crate bar: zero errors and
+/// zero panic-debt in its own sources (the promotion into
+/// `PROTECTED_CRATES` rests on this staying true).
+#[test]
+fn analyzer_crate_self_lints_at_zero_debt() {
+    let rep =
+        analyzer::check_workspace(&repo_root(), &CheckOptions::default()).expect("self-check runs");
+    let ours: Vec<String> = rep
+        .errors
+        .iter()
+        .chain(rep.debt.iter())
+        .filter(|f| f.file.contains("crates/analyzer/"))
+        .map(|f| format!("{}:{} {}/{}", f.file, f.line, f.rule.code(), f.kind))
+        .collect();
+    assert!(ours.is_empty(), "analyzer self-lint findings: {ours:#?}");
+}
+
+/// Rule A's hot set provably covers the functions the counting-allocator
+/// test (`neural/tests/zero_alloc.rs`) exercises: everything its step
+/// helpers call must be reachable from the Workspace step path, or the
+/// lint would go blind exactly where the invariant is enforced.
+#[test]
+fn hot_set_covers_the_neural_step_path() {
+    let src_root = repo_root().join("crates/neural/src");
+    let mut files = Vec::new();
+    let mut stack = vec![src_root.clone()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("neural sources readable") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = path
+                    .strip_prefix(&src_root)
+                    .expect("under src root")
+                    .display()
+                    .to_string();
+                let src = std::fs::read_to_string(&path).expect("neural source reads");
+                files.push(SourceFile::new(&rel, "neural", FileKind::Lib, &src));
+            }
+        }
+    }
+    assert!(!files.is_empty(), "no neural sources found");
+    let idx = analyzer::symbols::WorkspaceIndex::build(&files);
+    let hot = idx.hot_set("neural");
+    // The call surface of `flat_step` / `seq_step` in zero_alloc.rs.
+    for needed in [
+        "forward_ws",
+        "backward_ws",
+        "mse_into",
+        "mse_seq_into",
+        "begin_step",
+        "apply",
+        "visit_params",
+        "zero_grad",
+        "take",
+        "give",
+        "take3",
+        "give3",
+    ] {
+        let covered = hot
+            .iter()
+            .any(|q| q == needed || q.ends_with(&format!("::{needed}")));
+        assert!(covered, "`{needed}` missing from hot set: {hot:#?}");
+    }
 }
 
 // ---- ratchet semantics over a real workspace tree ------------------------

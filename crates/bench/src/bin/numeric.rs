@@ -244,11 +244,7 @@ fn bench_sim_ticks() -> f64 {
 }
 
 /// End-to-end: dataset assembly (simulate) + full OVS training.
-fn bench_end_to_end(
-    name: &str,
-    build: impl FnOnce() -> Dataset,
-    cfg: OvsConfig,
-) -> EndToEnd {
+fn bench_end_to_end(name: &str, build: impl FnOnce() -> Dataset, cfg: OvsConfig) -> EndToEnd {
     let t0 = Instant::now();
     let ds = build();
     let simulate_s = t0.elapsed().as_secs_f64();

@@ -362,6 +362,7 @@ impl SnapshotWatcher {
         if changed {
             // Pin the incoming version before releasing the old pin so an
             // in-process gc can never catch the family unpinned.
+            // lint: allow(concurrency) — lock order is always `current` then the store's internal lock, never the reverse, so pinning under the guard cannot deadlock.
             let fresh_pin = self.store.pin(fresh.name()).ok();
             *cur = Some(fresh);
             *self.pin.lock().unwrap_or_else(|p| p.into_inner()) = fresh_pin;

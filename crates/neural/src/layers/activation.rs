@@ -90,6 +90,7 @@ impl Layer for Activation {
         }
         match &mut self.cache_y {
             Some(c) if c.shape() == y.shape() => c.copy_from(&y),
+            // lint: allow(alloc) — cache warm-up only: first step or shape change; steady-state steps hit the copy branch above.
             slot => *slot = Some(y.clone()),
         }
         y
@@ -163,6 +164,7 @@ impl SeqLayer for SeqActivation {
         }
         match &mut self.cache_y {
             Some(c) if c.shape() == y.shape() => c.as_mut_slice().copy_from_slice(y.as_slice()),
+            // lint: allow(alloc) — cache warm-up only: first step or shape change; steady-state steps hit the copy branch above.
             slot => *slot = Some(y.clone()),
         }
         y

@@ -78,6 +78,7 @@ impl Layer for Dense {
         // is stable (the common case in training loops).
         match &mut self.cache_x {
             Some(c) if c.shape() == x.shape() => c.copy_from(x),
+            // lint: allow(alloc) — cache warm-up only: first step or shape change; steady-state steps hit the copy branch above.
             slot => *slot = Some(x.clone()),
         }
         y

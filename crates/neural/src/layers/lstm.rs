@@ -76,6 +76,7 @@ struct LstmState {
 }
 
 impl LstmState {
+    // lint: cold — state is (re)built only when the batch/time shape changes, never in the steady-state loop
     fn new(batch: usize, time: usize, input: usize, hidden: usize) -> Self {
         let m = |r, c| Matrix::zeros(r, c);
         Self {
@@ -151,7 +152,7 @@ impl Lstm {
     ) -> &mut LstmState {
         let fits = state
             .as_ref()
-            .map_or(false, |s| s.batch == batch && s.time == time);
+            .is_some_and(|s| s.batch == batch && s.time == time);
         if !fits {
             *state = None;
         }
@@ -373,8 +374,10 @@ impl Lstm {
                     .zip(tcr.iter().zip(cpr))
                     .zip(da_i.iter_mut().zip(da_f.iter_mut()))
                     .zip(da_g.iter_mut().zip(da_o.iter_mut()));
-                for ((((((&dhv, &dcv), (&iv, &fv)), (&gv, &ov)), (&tcv, &cpv)), (dai, daf)), (dag, dao)) in
-                    cells
+                for (
+                    (((((&dhv, &dcv), (&iv, &fv)), (&gv, &ov)), (&tcv, &cpv)), (dai, daf)),
+                    (dag, dao),
+                ) in cells
                 {
                     *dao = dhv * tcv * ov * (1.0 - ov);
                     *dai = dcv * gv * iv * (1.0 - iv);

@@ -50,12 +50,14 @@ pub trait Layer {
     /// from a [`Workspace`]; bit-identical to `forward`. Callers should
     /// `ws.give` the returned matrix back once done. The default
     /// delegates to the allocating path for layers without an override.
+    // lint: cold — compat shim into the allocating legacy path; zero-alloc layers override it
     fn forward_ws(&mut self, x: &Matrix, train: bool, _ws: &mut Workspace) -> Matrix {
         self.forward(x, train)
     }
 
     /// [`Self::backward`] drawing buffers from a [`Workspace`];
     /// bit-identical to `backward`.
+    // lint: cold — compat shim into the allocating legacy path; zero-alloc layers override it
     fn backward_ws(&mut self, dy: &Matrix, _ws: &mut Workspace) -> Matrix {
         self.backward(dy)
     }
@@ -64,6 +66,7 @@ pub trait Layer {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix));
 
     /// Clears accumulated gradients.
+    // lint: hot — runs every training step between backward and the next forward
     fn zero_grad(&mut self) {
         self.visit_params(&mut |_, g| g.fill_zero());
     }
@@ -88,12 +91,14 @@ pub trait SeqLayer {
     /// [`Self::forward`] drawing the output tensor from a [`Workspace`];
     /// bit-identical to `forward`. Callers should `ws.give3` the result
     /// back once done.
+    // lint: cold — compat shim into the allocating legacy path; zero-alloc layers override it
     fn forward_ws(&mut self, x: &Tensor3, train: bool, _ws: &mut Workspace) -> Tensor3 {
         self.forward(x, train)
     }
 
     /// [`Self::backward`] drawing buffers from a [`Workspace`];
     /// bit-identical to `backward`.
+    // lint: cold — compat shim into the allocating legacy path; zero-alloc layers override it
     fn backward_ws(&mut self, dy: &Tensor3, _ws: &mut Workspace) -> Tensor3 {
         self.backward(dy)
     }
@@ -102,6 +107,7 @@ pub trait SeqLayer {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix));
 
     /// Clears accumulated gradients.
+    // lint: hot — runs every training step between backward and the next forward
     fn zero_grad(&mut self) {
         self.visit_params(&mut |_, g| g.fill_zero());
     }

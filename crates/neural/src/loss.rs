@@ -21,6 +21,7 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
 
 /// [`mse`] writing the gradient into a caller-provided buffer — same op
 /// order, same bits, no allocation. `grad` must match `pred`'s shape.
+// lint: hot — the zero-alloc training step's loss kernel
 pub fn mse_into(pred: &Matrix, target: &Matrix, grad: &mut Matrix) -> f64 {
     assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
     assert_eq!(grad.shape(), pred.shape(), "mse gradient shape mismatch");
@@ -87,6 +88,7 @@ pub fn mse_seq(pred: &Tensor3, target: &Tensor3) -> (f64, Tensor3) {
 
 /// [`mse_seq`] writing the gradient into a caller-provided buffer — same
 /// op order, same bits, no allocation.
+// lint: hot — the zero-alloc training step's loss kernel
 pub fn mse_seq_into(pred: &Tensor3, target: &Tensor3, grad: &mut Tensor3) -> f64 {
     assert_eq!(pred.shape(), target.shape(), "mse_seq shape mismatch");
     assert_eq!(

@@ -392,6 +392,7 @@ impl Matrix {
     }
 
     /// Applies `f` element-wise, allocating.
+    // lint: cold — legacy allocating API; `_ws` kernels use `map_inplace`. Reaches the hot set only via `.map` conflation with slice iterator adapters.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
         Matrix {
             rows: self.rows,
@@ -544,7 +545,14 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// `+0.0` and IEEE round-to-nearest addition only yields `-0.0` from
 /// `-0.0 + -0.0`) — so bits match the one-`p`-at-a-time kernel for all
 /// finite inputs.
-fn matmul_block_tiled(a: &Matrix, rhs: &Matrix, row0: usize, out: &mut [f64], tp: usize, tj: usize) {
+fn matmul_block_tiled(
+    a: &Matrix,
+    rhs: &Matrix,
+    row0: usize,
+    out: &mut [f64],
+    tp: usize,
+    tj: usize,
+) {
     let k = a.cols;
     let n = rhs.cols;
     if n == 0 {
@@ -886,7 +894,7 @@ mod tests {
     /// element) so the kernels' sparsity skip is exercised.
     fn patterned(rows: usize, cols: usize, salt: usize) -> Matrix {
         Matrix::from_fn(rows, cols, |r, c| {
-            if (r * cols + c + salt) % 5 == 0 {
+            if (r * cols + c + salt).is_multiple_of(5) {
                 0.0
             } else {
                 ((r * 31 + c * 7 + salt) % 23) as f64 * 0.37 - 3.0

@@ -157,6 +157,7 @@ impl Optimizer for Sgd {
 /// state of a *different* shape means the optimiser is being applied to
 /// a model it was not paired with — refuse loudly instead of silently
 /// mis-pairing state.
+// lint: cold — sizes optimiser state on the first step only; steady-state calls return the live slot
 fn slot_state<'s>(
     states: &'s mut Vec<Matrix>,
     slot: usize,
@@ -287,6 +288,7 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
+    // lint: hot — advances the step counter once per zero-alloc training step
     fn begin_step(&mut self) {
         self.t += 1;
         self.steps.inc();
@@ -296,6 +298,7 @@ impl Optimizer for Adam {
         self.m.len()
     }
 
+    // lint: hot — per-parameter update kernel of the zero-alloc training step
     fn apply(&mut self, slot: usize, p: &mut Matrix, g: &Matrix) {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);

@@ -46,7 +46,7 @@ impl Workspace {
         let mut best: Option<(usize, usize)> = None;
         for (ix, buf) in self.pool.iter().enumerate() {
             let cap = buf.capacity();
-            if cap >= n && best.map_or(true, |(_, c)| cap < c) {
+            if cap >= n && best.is_none_or(|(_, c)| cap < c) {
                 best = Some((ix, cap));
             }
         }
@@ -57,6 +57,7 @@ impl Workspace {
             }
             None => {
                 self.misses += 1;
+                // lint: allow(alloc) — pool miss: only until the pool has seen every live shape; steady state recycles via swap_remove above.
                 Vec::with_capacity(n)
             }
         }

@@ -153,12 +153,26 @@ fn training_steps_are_allocation_free_after_warmup() {
     let mut ws_seq = Workspace::new();
     let mut opt_seq = Adam::new(1e-3);
     for _ in 0..3 {
-        seq_step(&mut seq, &mut opt_seq, &xs, &targets, &mut grads, &mut ws_seq);
+        seq_step(
+            &mut seq,
+            &mut opt_seq,
+            &xs,
+            &targets,
+            &mut grads,
+            &mut ws_seq,
+        );
     }
     let before = heap_allocs();
     let mut loss = 0.0;
     for _ in 0..10 {
-        loss += seq_step(&mut seq, &mut opt_seq, &xs, &targets, &mut grads, &mut ws_seq);
+        loss += seq_step(
+            &mut seq,
+            &mut opt_seq,
+            &xs,
+            &targets,
+            &mut grads,
+            &mut ws_seq,
+        );
     }
     let seq_allocs = heap_allocs() - before;
     assert!(loss.is_finite());

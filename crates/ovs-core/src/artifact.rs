@@ -127,12 +127,15 @@ pub fn load_model(
     artifact.expect_kind(OVS_MODEL_KIND)?;
     let cfg = config_from_artifact(artifact)?;
     let geom = artifact.f64s("geometry")?;
-    if geom.len() != 2 || geom[0] < 1.0 || !geom[1].is_finite() {
-        return Err(CheckpointError::Malformed(format!(
-            "geometry section must be [intervals, interval_s], got {geom:?}"
-        )));
-    }
-    let mut model = OvsModel::new(net, ods, geom[0] as usize, geom[1], cfg)
+    let (intervals, interval_s) = match geom.as_slice() {
+        &[n, s] if n >= 1.0 && s.is_finite() => (n, s),
+        _ => {
+            return Err(CheckpointError::Malformed(format!(
+                "geometry section must be [intervals, interval_s], got {geom:?}"
+            )))
+        }
+    };
+    let mut model = OvsModel::new(net, ods, intervals as usize, interval_s, cfg)
         .map_err(|e| CheckpointError::Malformed(format!("model rebuild: {e}")))?;
     import_model(&mut model, artifact)?;
     Ok(model)
@@ -219,21 +222,24 @@ pub fn load_pipeline(
     let stage = Stage::from_tag(&tag)
         .ok_or_else(|| CheckpointError::Malformed(format!("unknown stage tag '{tag}'")))?;
     let scalars = artifact.f64s("stage_scalars")?;
-    if scalars.len() != 3 || scalars[0] < 0.0 || scalars[2] < 0.0 {
-        return Err(CheckpointError::Malformed(format!(
-            "stage_scalars must be [step, best, since_best], got {scalars:?}"
-        )));
-    }
+    let (step, best, since_best) = match scalars.as_slice() {
+        &[step, best, since] if step >= 0.0 && since >= 0.0 => (step, best, since),
+        _ => {
+            return Err(CheckpointError::Malformed(format!(
+                "stage_scalars must be [step, best, since_best], got {scalars:?}"
+            )))
+        }
+    };
     Ok(PipelineCheckpoint {
         model_weights: artifact.matrices("model_weights")?,
         state: StageState {
             stage,
-            step: scalars[0] as usize,
+            step: step as usize,
             weights: artifact.matrices("stage_weights")?,
             opt: artifact.adam("stage_opt")?,
             losses: artifact.f64s("stage_losses")?,
-            best: scalars[1],
-            since_best: scalars[2] as usize,
+            best,
+            since_best: since_best as usize,
         },
         v2s_losses: artifact.f64s("v2s_losses")?,
         tod2v_losses: artifact.f64s("tod2v_losses")?,

@@ -149,10 +149,11 @@ impl OvsModel {
             }
         }
         // Apply.
-        let mut idx = 0usize;
+        let mut remaining = weights.iter();
         let mut write = |p: &mut Matrix| {
-            p.as_mut_slice().copy_from_slice(weights[idx].as_slice());
-            idx += 1;
+            if let Some(w) = remaining.next() {
+                p.as_mut_slice().copy_from_slice(w.as_slice());
+            }
         };
         self.tod_gen.visit_params(&mut |p, _| write(p));
         self.tod2v.visit_params(&mut |p, _| write(p));

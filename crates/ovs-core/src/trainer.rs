@@ -149,6 +149,10 @@ struct StageMetrics {
 impl StageMetrics {
     fn new(reg: &obs::Registry, stage: Stage) -> Self {
         let tag = stage.tag();
+        // Bound separately from the stable-instrument registrations below
+        // so the Timing-class stopwatch never shares a statement with them.
+        // lint: allow(determinism) — Timing-class stage stopwatch.
+        let start = Instant::now();
         Self {
             steps: reg.counter(&format!("trainer_{tag}_steps_total")),
             loss: reg.histogram(&format!("trainer_{tag}_loss"), obs::LOSS_BUCKETS),
@@ -162,8 +166,7 @@ impl StageMetrics {
             lr_backoffs: reg.counter(&format!("trainer_{tag}_lr_backoffs_total")),
             diverged: reg.counter(&format!("trainer_{tag}_diverged_total")),
             ckpt_failures: reg.counter(&format!("trainer_{tag}_ckpt_failures_total")),
-            // lint: allow(determinism) — Timing-class measurement.
-            start: Instant::now(),
+            start,
         }
     }
 
@@ -715,10 +718,7 @@ impl OvsTrainer {
                 )
             })
             .collect();
-        let (vm, vt) = samples
-            .first()
-            .map(|(_, v, _)| v.shape())
-            .unwrap_or((0, 0));
+        let (vm, vt) = samples.first().map(|(_, v, _)| v.shape()).unwrap_or((0, 0));
         let mut ws = Workspace::new();
         let mut dv = Matrix::zeros(vm, vt);
         let mut dq_vol = Matrix::zeros(vm, vt);

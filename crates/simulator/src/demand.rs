@@ -68,14 +68,14 @@ impl DemandSpawner {
             });
         }
         let mut out = Vec::new();
-        for (i, acc) in self.accumulators.iter_mut().enumerate() {
+        let regions = &self.region_nodes;
+        for (i, (acc, pair)) in self.accumulators.iter_mut().zip(&self.pairs).enumerate() {
             let count = tod.get(OdPairId(i), t).max(0.0);
             *acc += count / ticks_per_interval as f64;
             while *acc >= 1.0 {
                 *acc -= 1.0;
-                let pair = self.pairs[i];
-                let from = pick(&self.region_nodes[pair.origin.index()], &mut self.rng);
-                let to = pick(&self.region_nodes[pair.destination.index()], &mut self.rng);
+                let from = pick(region_of(regions, pair.origin.index()), &mut self.rng);
+                let to = pick(region_of(regions, pair.destination.index()), &mut self.rng);
                 if let (Some(from), Some(to)) = (from, to) {
                     if from != to {
                         out.push(SpawnRequest {
@@ -91,11 +91,15 @@ impl DemandSpawner {
     }
 }
 
+fn region_of(regions: &[Vec<NodeId>], r: usize) -> &[NodeId] {
+    regions.get(r).map(Vec::as_slice).unwrap_or(&[])
+}
+
 fn pick(nodes: &[NodeId], rng: &mut StdRng) -> Option<NodeId> {
     if nodes.is_empty() {
         None
     } else {
-        Some(nodes[rng.gen_range(0..nodes.len())])
+        nodes.get(rng.gen_range(0..nodes.len())).copied()
     }
 }
 

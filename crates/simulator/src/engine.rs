@@ -417,7 +417,7 @@ impl<'a> Simulation<'a> {
                         break;
                     }
                     tally.green_checks += 1;
-                    if exit_budget.get(li).map_or(true, |b| *b < 1.0) {
+                    if exit_budget.get(li).is_none_or(|b| *b < 1.0) {
                         tally.satflow_blocked += 1;
                         requeue(&mut links, li, front);
                         break;
@@ -430,7 +430,7 @@ impl<'a> Simulation<'a> {
                     };
                     let ni = next.index();
                     let cap = self.capacity.get(ni).copied().unwrap_or(0);
-                    if !links.get(ni).map_or(false, |d| entrance_clear(d, cap)) {
+                    if !links.get(ni).is_some_and(|d| entrance_clear(d, cap)) {
                         tally.spillback_blocked += 1;
                         requeue(&mut links, li, front);
                         break; // spillback

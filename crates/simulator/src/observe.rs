@@ -118,8 +118,10 @@ impl Observer {
             vehicle_speed_sum / vehicle_count as f64
         };
         let li = link.index();
-        if let (Some(s), Some(c)) = (self.speed_scratch.get_mut(li), self.count_scratch.get_mut(li))
-        {
+        if let (Some(s), Some(c)) = (
+            self.speed_scratch.get_mut(li),
+            self.count_scratch.get_mut(li),
+        ) {
             *s += mean;
             *c += vehicle_count as f64;
         }
