@@ -13,7 +13,11 @@
 //!   trainer's tamper tap and exercising its rollback-and-retry guard;
 //! * **storage** ([`storage`]) — seeded bit-flips and truncation of
 //!   checkpoint artifacts at rest, exercising the store's audit, retry
-//!   and quarantine paths.
+//!   and quarantine paths;
+//! * **network** ([`network`]) — a declarative incident timeline (road
+//!   closures, capacity-cutting incidents, signal outages) replayed
+//!   deterministically by the simulator mid-run, plus a severity ×
+//!   duration sweep template for degradation/recovery grids.
 //!
 //! Everything derives from [`FaultPlan::seed`] through per-index RNG
 //! streams ([`neural::rng::Rng64::for_index`]), so any scenario —
@@ -28,12 +32,14 @@
 
 #![warn(missing_docs)]
 
+pub mod network;
 pub mod observation;
 pub mod plan;
 pub mod report;
 pub mod storage;
 pub mod training;
 
+pub use network::{IncidentSpec, IncidentSweep, NetworkFaults};
 pub use observation::{corrupt_observation, CorruptedObservation, ObservationStats};
 pub use plan::{
     FaultPlan, ObservationFaults, PlanError, StageSel, StorageFaults, SweepGrid, TrainingFaults,

@@ -1,0 +1,302 @@
+//! Layer 4: network faults — a seeded, declarative incident timeline.
+//!
+//! Where the observation layer corrupts what the sensors *report*, the
+//! network layer perturbs what the network *is*: road closures, incidents
+//! that cut a link's discharge capacity, and signal-controller outages.
+//! The plan grammar grows `[[network.incident]]` array-of-table sections,
+//! each one scheduled incident, plus a `[network]` sweep section whose
+//! severity × duration grid drives the incident-sweep mode of
+//! `cityod faults run`.
+//!
+//! The timeline is purely declarative: every effect is a function of
+//! `(schedule, tick)` inside [`simulator`], so a plan replays the same
+//! degradation bit-identically at any worker-thread count — the same
+//! property the other three layers guarantee through seeded RNG streams,
+//! achieved here with no randomness at all.
+
+use crate::plan::PlanError;
+use simulator::{IncidentKind, IncidentSchedule, IncidentTarget, ScheduledIncident};
+
+/// One declarative incident from a `[[network.incident]]` section.
+///
+/// Targets are raw indices (validated against the actual network by
+/// [`simulator::IncidentSchedule::validate`] when the schedule is bound to
+/// a run); exactly one of `link` / `node` must be set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentSpec {
+    /// What kind of perturbation this is.
+    pub kind: IncidentKind,
+    /// Target link index (`closure` / `capacity_drop`, or a single
+    /// approach of a signal outage).
+    pub link: Option<u64>,
+    /// Target node index: the incident applies to every inbound approach
+    /// of the intersection.
+    pub node: Option<u64>,
+    /// First simulation tick at which the incident is in force.
+    pub onset_tick: u64,
+    /// Number of ticks the incident lasts (half-open interval).
+    pub duration_ticks: u64,
+    /// Severity in `(0, 1]`: fraction of capacity/saturation flow removed,
+    /// or for signal outages `>= 0.5` means all-red (else phase-stuck).
+    pub severity: f64,
+}
+
+impl IncidentSpec {
+    /// Plan-level validation: exactly one target, positive duration,
+    /// severity in `(0, 1]`. Index-range checks happen when the schedule
+    /// meets a concrete network.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        match (self.link, self.node) {
+            (Some(_), Some(_)) => {
+                return Err(PlanError::new(
+                    "network.incident: set exactly one of link/node, not both".to_string(),
+                ));
+            }
+            (None, None) => {
+                return Err(PlanError::new(
+                    "network.incident: one of link/node is required".to_string(),
+                ));
+            }
+            _ => {}
+        }
+        if self.duration_ticks == 0 {
+            return Err(PlanError::new(
+                "network.incident: duration_ticks must be >= 1".to_string(),
+            ));
+        }
+        if !(self.severity > 0.0 && self.severity <= 1.0) {
+            return Err(PlanError::new(format!(
+                "network.incident: severity {} is not in (0, 1]",
+                self.severity
+            )));
+        }
+        Ok(())
+    }
+
+    fn scheduled(&self) -> Result<ScheduledIncident, PlanError> {
+        let target = match (self.link, self.node) {
+            (Some(l), None) => IncidentTarget::Link(roadnet::LinkId(l as usize)),
+            (None, Some(n)) => IncidentTarget::Node(roadnet::NodeId(n as usize)),
+            _ => {
+                return Err(PlanError::new(
+                    "network.incident: exactly one of link/node is required".to_string(),
+                ));
+            }
+        };
+        Ok(ScheduledIncident {
+            kind: self.kind,
+            target,
+            onset_tick: self.onset_tick,
+            duration_ticks: self.duration_ticks,
+            severity: self.severity,
+        })
+    }
+}
+
+/// The `[network]` sweep axes: one incident template evaluated over the
+/// cartesian product of severities × durations. An empty axis disables the
+/// sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentSweep {
+    /// Incident kind swept over the grid.
+    pub kind: IncidentKind,
+    /// Link the template incident targets.
+    pub target_link: u64,
+    /// Onset tick shared by every grid point.
+    pub onset_tick: u64,
+    /// Severity axis.
+    pub severities: Vec<f64>,
+    /// Duration axis, in ticks.
+    pub duration_ticks: Vec<u64>,
+}
+
+impl Default for IncidentSweep {
+    fn default() -> Self {
+        Self {
+            kind: IncidentKind::Closure,
+            target_link: 0,
+            onset_tick: 0,
+            severities: Vec::new(),
+            duration_ticks: Vec::new(),
+        }
+    }
+}
+
+impl IncidentSweep {
+    /// Is the sweep grid non-empty?
+    pub fn is_active(&self) -> bool {
+        !self.severities.is_empty() && !self.duration_ticks.is_empty()
+    }
+
+    /// Axis validation shared by parse-time and in-code construction.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        for &s in &self.severities {
+            if !(s > 0.0 && s <= 1.0) {
+                return Err(PlanError::new(format!(
+                    "network sweep severity {s} is not in (0, 1]"
+                )));
+            }
+        }
+        for &d in &self.duration_ticks {
+            if d == 0 {
+                return Err(PlanError::new(
+                    "network sweep durations must be >= 1 tick".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands the grid into one scheduled incident per `(severity,
+    /// duration)` point, in row-major severity-then-duration order.
+    pub fn points(&self) -> Vec<ScheduledIncident> {
+        let mut out = Vec::with_capacity(self.severities.len() * self.duration_ticks.len());
+        for &severity in &self.severities {
+            for &duration_ticks in &self.duration_ticks {
+                out.push(ScheduledIncident {
+                    kind: self.kind,
+                    target: IncidentTarget::Link(roadnet::LinkId(self.target_link as usize)),
+                    onset_tick: self.onset_tick,
+                    duration_ticks,
+                    severity,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Layer 4 of a [`crate::FaultPlan`]: the declarative incident timeline
+/// plus the sweep grid.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetworkFaults {
+    /// The fixed incident timeline, one entry per `[[network.incident]]`.
+    pub incidents: Vec<IncidentSpec>,
+    /// The `[network]` severity × duration sweep template.
+    pub sweep: IncidentSweep,
+}
+
+impl NetworkFaults {
+    /// Is any network fault actually enabled?
+    pub fn is_active(&self) -> bool {
+        !self.incidents.is_empty() || self.sweep.is_active()
+    }
+
+    /// Plan-level validation of every incident and the sweep axes.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        for inc in &self.incidents {
+            inc.validate()?;
+        }
+        self.sweep.validate()
+    }
+
+    /// Builds the simulator schedule from the fixed timeline. Index-range
+    /// validation against a concrete network happens when the schedule is
+    /// attached to a simulation.
+    pub fn schedule(&self) -> Result<IncidentSchedule, PlanError> {
+        let mut scheduled = Vec::with_capacity(self.incidents.len());
+        for inc in &self.incidents {
+            scheduled.push(inc.scheduled()?);
+        }
+        Ok(IncidentSchedule::new(scheduled))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(link: Option<u64>, node: Option<u64>) -> IncidentSpec {
+        IncidentSpec {
+            kind: IncidentKind::Closure,
+            link,
+            node,
+            onset_tick: 10,
+            duration_ticks: 20,
+            severity: 1.0,
+        }
+    }
+
+    #[test]
+    fn exactly_one_target_is_required() {
+        assert!(spec(Some(1), None).validate().is_ok());
+        assert!(spec(None, Some(2)).validate().is_ok());
+        assert!(spec(Some(1), Some(2)).validate().is_err());
+        assert!(spec(None, None).validate().is_err());
+    }
+
+    #[test]
+    fn schedule_converts_targets_and_sorts() {
+        let nf = NetworkFaults {
+            incidents: vec![
+                IncidentSpec {
+                    onset_tick: 30,
+                    ..spec(Some(4), None)
+                },
+                IncidentSpec {
+                    kind: IncidentKind::SignalOutage,
+                    onset_tick: 5,
+                    ..spec(None, Some(2))
+                },
+            ],
+            sweep: IncidentSweep::default(),
+        };
+        let sched = nf.schedule().unwrap();
+        assert_eq!(sched.len(), 2);
+        // Canonical ordering: onset first.
+        assert_eq!(sched.incidents()[0].onset_tick, 5);
+        assert_eq!(
+            sched.incidents()[0].target,
+            IncidentTarget::Node(roadnet::NodeId(2))
+        );
+        assert_eq!(
+            sched.incidents()[1].target,
+            IncidentTarget::Link(roadnet::LinkId(4))
+        );
+    }
+
+    #[test]
+    fn sweep_expands_the_full_grid() {
+        let sweep = IncidentSweep {
+            kind: IncidentKind::CapacityDrop,
+            target_link: 3,
+            onset_tick: 8,
+            severities: vec![0.3, 0.9],
+            duration_ticks: vec![10, 40, 90],
+        };
+        assert!(sweep.is_active());
+        assert!(sweep.validate().is_ok());
+        let pts = sweep.points();
+        assert_eq!(pts.len(), 6);
+        assert!(pts
+            .iter()
+            .all(|p| p.target == IncidentTarget::Link(roadnet::LinkId(3)) && p.onset_tick == 8));
+        assert_eq!(pts[0].severity, 0.3);
+        assert_eq!(pts[0].duration_ticks, 10);
+        assert_eq!(pts[5].severity, 0.9);
+        assert_eq!(pts[5].duration_ticks, 90);
+    }
+
+    #[test]
+    fn sweep_axis_values_are_validated() {
+        let bad = IncidentSweep {
+            severities: vec![1.5],
+            duration_ticks: vec![10],
+            ..IncidentSweep::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = IncidentSweep {
+            severities: vec![0.5],
+            duration_ticks: vec![0],
+            ..IncidentSweep::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn inactive_by_default() {
+        assert!(!NetworkFaults::default().is_active());
+        assert!(NetworkFaults::default().validate().is_ok());
+        assert!(NetworkFaults::default().schedule().unwrap().is_empty());
+    }
+}

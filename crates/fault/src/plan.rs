@@ -8,6 +8,8 @@
 //! from [`FaultPlan::seed`] through per-index RNG streams, so a plan is a
 //! complete, replayable description of an outage scenario.
 
+use crate::network::{IncidentSpec, NetworkFaults};
+use simulator::IncidentKind;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::Path;
@@ -186,41 +188,58 @@ pub struct FaultPlan {
     pub training: TrainingFaults,
     /// Storage-layer faults.
     pub storage: StorageFaults,
+    /// Network-layer faults: the declarative incident timeline and the
+    /// incident-sweep template.
+    pub network: NetworkFaults,
     /// Degradation-sweep axes.
     pub sweep: SweepGrid,
 }
 
-/// A plan-file parse or validation failure, with a line number when the
-/// failure is tied to one.
+/// A plan-file parse or validation failure, with a line number (and a
+/// column when the failure points at a specific token) when the failure
+/// is tied to one.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanError {
     /// Human-readable description.
     pub message: String,
     /// 1-based line of the offending statement, if known.
     pub line: Option<usize>,
+    /// 1-based column of the offending token within that line, if known.
+    pub column: Option<usize>,
 }
 
 impl PlanError {
-    fn new(message: String) -> Self {
+    pub(crate) fn new(message: String) -> Self {
         Self {
             message,
             line: None,
+            column: None,
         }
     }
 
-    fn at(line: usize, message: String) -> Self {
+    pub(crate) fn at(line: usize, message: String) -> Self {
         Self {
             message,
             line: Some(line),
+            column: None,
         }
+    }
+
+    /// Attaches a column span if one is not already present.
+    fn spanned(mut self, column: Option<usize>) -> Self {
+        if self.column.is_none() {
+            self.column = column;
+        }
+        self
     }
 }
 
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.line {
-            Some(n) => write!(f, "fault plan line {n}: {}", self.message),
-            None => write!(f, "fault plan: {}", self.message),
+        match (self.line, self.column) {
+            (Some(n), Some(c)) => write!(f, "fault plan line {n}, col {c}: {}", self.message),
+            (Some(n), None) => write!(f, "fault plan line {n}: {}", self.message),
+            _ => write!(f, "fault plan: {}", self.message),
         }
     }
 }
@@ -310,6 +329,21 @@ impl Value {
         }
     }
 
+    /// An array of positive integer tick counts, order preserved.
+    fn tick_list(&self, key: &str, line: usize) -> Result<Vec<u64>, PlanError> {
+        let mut out = Vec::new();
+        for &v in self.array(key, line)? {
+            if v < 1.0 || v.fract() != 0.0 {
+                return Err(PlanError::at(
+                    line,
+                    format!("{key} expects positive integer tick counts, got {v}"),
+                ));
+            }
+            out.push(v as u64);
+        }
+        Ok(out)
+    }
+
     fn step_list(&self, key: &str, line: usize) -> Result<Vec<usize>, PlanError> {
         let mut out = BTreeSet::new();
         for &v in self.array(key, line)? {
@@ -331,12 +365,34 @@ impl FaultPlan {
     pub fn parse(text: &str) -> Result<Self, PlanError> {
         let mut plan = Self::default();
         let mut section = String::new();
+        let mut drafts: Vec<IncidentDraft> = Vec::new();
         for (idx, raw_line) in text.lines().enumerate() {
             let line_no = idx + 1;
             // A '#' inside a quoted string would be cut too; plan
-            // strings (only `training.stage`) never contain one.
+            // strings (`training.stage`, `network.kind`) never contain one.
             let line = raw_line.split('#').next().unwrap_or_default().trim();
             if line.is_empty() {
+                continue;
+            }
+            // Array-of-tables: each [[network.incident]] opens a fresh
+            // incident whose keys follow until the next section header.
+            if let Some(name) = line.strip_prefix("[[") {
+                let Some(name) = name.strip_suffix("]]") else {
+                    return Err(PlanError::at(
+                        line_no,
+                        format!("malformed array section '{line}'"),
+                    ));
+                };
+                let name = name.trim();
+                if name != "network.incident" {
+                    return Err(PlanError::at(
+                        line_no,
+                        format!("unknown array section [[{name}]]"),
+                    )
+                    .spanned(column_of(raw_line, name)));
+                }
+                drafts.push(IncidentDraft::new(line_no));
+                section = "network.incident".to_string();
                 continue;
             }
             if let Some(name) = line.strip_prefix('[') {
@@ -348,11 +404,12 @@ impl FaultPlan {
                 };
                 let name = name.trim();
                 match name {
-                    "observation" | "training" | "storage" | "sweep" => {
+                    "observation" | "training" | "storage" | "sweep" | "network" => {
                         section = name.to_string();
                     }
                     other => {
-                        return Err(PlanError::at(line_no, format!("unknown section [{other}]")));
+                        return Err(PlanError::at(line_no, format!("unknown section [{other}]"))
+                            .spanned(column_of(raw_line, other)));
                     }
                 }
                 continue;
@@ -365,7 +422,21 @@ impl FaultPlan {
             };
             let key = key.trim();
             let value = Value::parse(raw_value, line_no)?;
-            plan.apply(&section, key, &value, line_no)?;
+            let applied = if section == "network.incident" {
+                match drafts.last_mut() {
+                    Some(draft) => draft.apply(key, &value, line_no),
+                    None => Err(PlanError::at(
+                        line_no,
+                        "incident key outside a [[network.incident]] section".to_string(),
+                    )),
+                }
+            } else {
+                plan.apply(&section, key, &value, line_no)
+            };
+            applied.map_err(|e| e.spanned(column_of(raw_line, key)))?;
+        }
+        for draft in drafts {
+            plan.network.incidents.push(draft.finish()?);
         }
         plan.validate()?;
         Ok(plan)
@@ -409,6 +480,21 @@ impl FaultPlan {
             }
             ("sweep", "dropouts") => self.sweep.dropouts = value.array(key, line)?.to_vec(),
             ("sweep", "noise_stds") => self.sweep.noise_stds = value.array(key, line)?.to_vec(),
+            ("network", "kind") => {
+                self.network.sweep.kind = parse_kind(value.string(key, line)?, line)?;
+            }
+            ("network", "target_link") => {
+                self.network.sweep.target_link = value.uint(key, line)?;
+            }
+            ("network", "onset_tick") => {
+                self.network.sweep.onset_tick = value.uint(key, line)?;
+            }
+            ("network", "sweep_severities") => {
+                self.network.sweep.severities = value.array(key, line)?.to_vec();
+            }
+            ("network", "sweep_durations") => {
+                self.network.sweep.duration_ticks = value.tick_list(key, line)?;
+            }
             _ => {
                 let place = if section.is_empty() {
                     "top level".to_string()
@@ -445,7 +531,101 @@ impl FaultPlan {
                 "sweep axes must be non-empty (use [0.0] to pin an axis)".to_string(),
             ));
         }
+        self.network.validate()?;
         Ok(())
+    }
+}
+
+fn parse_kind(s: &str, line: usize) -> Result<IncidentKind, PlanError> {
+    IncidentKind::parse(s).ok_or_else(|| {
+        PlanError::at(
+            line,
+            format!("unknown incident kind '{s}' (expected closure|capacity_drop|signal_outage)"),
+        )
+    })
+}
+
+/// 1-based column of `token` within `raw_line`, for spanned errors.
+fn column_of(raw_line: &str, token: &str) -> Option<usize> {
+    raw_line.find(token).map(|i| i + 1)
+}
+
+/// Accumulates one `[[network.incident]]` section during parsing; the
+/// required-field checks run in [`IncidentDraft::finish`] once the section
+/// is complete.
+struct IncidentDraft {
+    line: usize,
+    kind: Option<IncidentKind>,
+    link: Option<u64>,
+    node: Option<u64>,
+    onset_tick: u64,
+    duration_ticks: Option<u64>,
+    severity: Option<f64>,
+}
+
+impl IncidentDraft {
+    fn new(line: usize) -> Self {
+        Self {
+            line,
+            kind: None,
+            link: None,
+            node: None,
+            onset_tick: 0,
+            duration_ticks: None,
+            severity: None,
+        }
+    }
+
+    fn apply(&mut self, key: &str, value: &Value, line: usize) -> Result<(), PlanError> {
+        match key {
+            "kind" => self.kind = Some(parse_kind(value.string(key, line)?, line)?),
+            "link" => self.link = Some(value.uint(key, line)?),
+            "node" => self.node = Some(value.uint(key, line)?),
+            "onset_tick" => self.onset_tick = value.uint(key, line)?,
+            "duration_ticks" => self.duration_ticks = Some(value.uint(key, line)?),
+            "severity" => self.severity = Some(value.num(key, line)?),
+            other => {
+                return Err(PlanError::at(
+                    line,
+                    format!("unknown key '{other}' in [[network.incident]]"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<IncidentSpec, PlanError> {
+        let Some(kind) = self.kind else {
+            return Err(PlanError::at(
+                self.line,
+                "[[network.incident]] requires an explicit kind".to_string(),
+            ));
+        };
+        let Some(duration_ticks) = self.duration_ticks else {
+            return Err(PlanError::at(
+                self.line,
+                "[[network.incident]] requires duration_ticks".to_string(),
+            ));
+        };
+        let Some(severity) = self.severity else {
+            return Err(PlanError::at(
+                self.line,
+                "[[network.incident]] requires severity".to_string(),
+            ));
+        };
+        let spec = IncidentSpec {
+            kind,
+            link: self.link,
+            node: self.node,
+            onset_tick: self.onset_tick,
+            duration_ticks,
+            severity,
+        };
+        spec.validate().map_err(|e| PlanError {
+            line: e.line.or(Some(self.line)),
+            ..e
+        })?;
+        Ok(spec)
     }
 }
 
@@ -476,6 +656,27 @@ truncate_bytes = 0
 [sweep]
 dropouts = [0.0, 0.1, 0.3, 0.5]
 noise_stds = [0.0, 0.5]
+
+[network]
+kind = "capacity_drop"
+target_link = 7
+onset_tick = 60
+sweep_severities = [0.3, 0.9]
+sweep_durations = [30, 120]
+
+[[network.incident]]
+kind = "closure"
+link = 4
+onset_tick = 120
+duration_ticks = 240
+severity = 1.0
+
+[[network.incident]]
+kind = "signal_outage"
+node = 2
+onset_tick = 30
+duration_ticks = 60
+severity = 0.8
 "#;
 
     #[test]
@@ -494,6 +695,64 @@ noise_stds = [0.0, 0.5]
         assert!(plan.observation.is_active());
         assert!(plan.training.is_active());
         assert!(plan.storage.is_active());
+        assert!(plan.network.is_active());
+        assert_eq!(plan.network.sweep.kind, IncidentKind::CapacityDrop);
+        assert_eq!(plan.network.sweep.target_link, 7);
+        assert_eq!(plan.network.sweep.severities, vec![0.3, 0.9]);
+        assert_eq!(plan.network.sweep.duration_ticks, vec![30, 120]);
+        assert_eq!(plan.network.incidents.len(), 2);
+        assert_eq!(plan.network.incidents[0].kind, IncidentKind::Closure);
+        assert_eq!(plan.network.incidents[0].link, Some(4));
+        assert_eq!(plan.network.incidents[1].node, Some(2));
+        // The timeline converts into a sorted simulator schedule.
+        let sched = plan.network.schedule().unwrap();
+        assert_eq!(sched.len(), 2);
+        assert_eq!(sched.incidents()[0].onset_tick, 30);
+    }
+
+    #[test]
+    fn incident_sections_require_kind_target_duration_severity() {
+        let err = FaultPlan::parse(
+            "[[network.incident]]\nlink = 1\nduration_ticks = 5\nseverity = 0.5\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("explicit kind"), "{err}");
+        assert_eq!(err.line, Some(1));
+        let err = FaultPlan::parse(
+            "[[network.incident]]\nkind = \"closure\"\nduration_ticks = 5\nseverity = 0.5\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("link/node"), "{err}");
+        let err = FaultPlan::parse(
+            "[[network.incident]]\nkind = \"closure\"\nlink = 1\nnode = 2\nduration_ticks = 5\nseverity = 0.5\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not both"), "{err}");
+        let err = FaultPlan::parse(
+            "[[network.incident]]\nkind = \"closure\"\nlink = 1\nseverity = 0.5\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duration_ticks"), "{err}");
+        let err = FaultPlan::parse(
+            "[[network.incident]]\nkind = \"closure\"\nlink = 1\nduration_ticks = 5\nseverity = 1.5\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("(0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn unknown_incident_keys_and_kinds_are_spanned() {
+        let err = FaultPlan::parse("[[network.incident]]\nkind = \"closure\"\n  severety = 0.5\n")
+            .unwrap_err();
+        assert_eq!(err.line, Some(3));
+        // Column points at the typo'd key, past the indentation.
+        assert_eq!(err.column, Some(3));
+        assert!(err.to_string().contains("col 3"), "{err}");
+        let err = FaultPlan::parse("[[network.incident]]\nkind = \"flood\"\n").unwrap_err();
+        assert!(err.to_string().contains("unknown incident kind"), "{err}");
+        let err = FaultPlan::parse("[[network.accident]]\n").unwrap_err();
+        assert!(err.to_string().contains("unknown array section"), "{err}");
+        assert_eq!(err.column, Some(3));
     }
 
     #[test]

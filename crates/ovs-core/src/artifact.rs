@@ -33,6 +33,15 @@ pub const OVS_MODEL_KIND: &str = "ovs-model";
 /// Artifact kind of an in-flight pipeline snapshot.
 pub const PIPELINE_KIND: &str = "ovs-pipeline";
 
+/// Artifact section recording the network-incident timeline a model
+/// version was estimated under: rows of 7 f64s per incident,
+/// `[kind_code, target_code, target_index, onset_tick, duration_ticks,
+/// severity, status]` with status 0 = cleared before the window,
+/// 1 = active during it, 2 = scheduled after it. The constant lives here
+/// (not in the stream crate that writes it) so the serving layer can read
+/// the section without depending on streaming internals.
+pub const INCIDENTS_SECTION: &str = "network_incidents";
+
 /// JSON of only the *structural* configuration fields — the ones that
 /// determine parameter shapes and data flow. Two configs with equal
 /// structural JSON build weight-compatible models; training

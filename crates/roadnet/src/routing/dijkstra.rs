@@ -161,6 +161,28 @@ pub fn fastest_path(net: &RoadNetwork, from: NodeId, to: NodeId) -> Result<Route
     dijkstra(net, from, to, &|l| l.free_flow_time_s())
 }
 
+/// Shortest path by length avoiding every link for which `masked` returns
+/// true (closed by an incident, say). [`RoadnetError::NoPath`] when the
+/// mask disconnects the pair.
+pub fn shortest_path_masked(
+    net: &RoadNetwork,
+    from: NodeId,
+    to: NodeId,
+    masked: &dyn Fn(LinkId) -> bool,
+) -> Result<Route> {
+    dijkstra_with_bans(net, from, to, &|l| l.length_m, masked, &|_| false)
+}
+
+/// Fastest path by free-flow travel time avoiding masked links.
+pub fn fastest_path_masked(
+    net: &RoadNetwork,
+    from: NodeId,
+    to: NodeId,
+    masked: &dyn Fn(LinkId) -> bool,
+) -> Result<Route> {
+    dijkstra_with_bans(net, from, to, &|l| l.free_flow_time_s(), masked, &|_| false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +255,30 @@ mod tests {
         .unwrap();
         assert_eq!(r.links.len(), 2);
         assert!(!r.contains_link(direct));
+    }
+
+    #[test]
+    fn masked_routes_detour_and_restore() {
+        let (net, a, _b, c) = triangle();
+        let direct = shortest_path(&net, a, c).unwrap().links[0];
+        // Mask in force: the closed direct edge is avoided.
+        let r = shortest_path_masked(&net, a, c, &|l| l == direct).unwrap();
+        assert_eq!(r.links.len(), 2);
+        assert!(!r.contains_link(direct));
+        let r = fastest_path_masked(&net, a, c, &|l| l == direct).unwrap();
+        assert!(!r.contains_link(direct));
+        // Mask cleared: routing restores the original choice.
+        let r = shortest_path_masked(&net, a, c, &|_| false).unwrap();
+        assert_eq!(r.links, vec![direct]);
+    }
+
+    #[test]
+    fn mask_disconnecting_the_pair_is_no_path() {
+        let (net, a, _b, c) = triangle();
+        assert!(matches!(
+            shortest_path_masked(&net, a, c, &|_| true),
+            Err(RoadnetError::NoPath { .. })
+        ));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use super::dijkstra::{dijkstra_with_bans, CostFn};
 use super::path::Route;
 use crate::error::{Result, RoadnetError};
-use crate::ids::NodeId;
+use crate::ids::{LinkId, NodeId};
 use crate::network::RoadNetwork;
 use std::collections::BTreeSet;
 
@@ -21,10 +21,24 @@ pub fn k_shortest_paths(
     k: usize,
     cost: CostFn<'_>,
 ) -> Result<Vec<Route>> {
+    k_shortest_paths_masked(net, from, to, k, cost, &|_| false)
+}
+
+/// [`k_shortest_paths`] under a link mask: every route avoids links for
+/// which `masked` returns true. This is how route sets re-derive when an
+/// incident closes links — the mask changes, the same machinery reruns.
+pub fn k_shortest_paths_masked(
+    net: &RoadNetwork,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
+    cost: CostFn<'_>,
+    masked: &dyn Fn(LinkId) -> bool,
+) -> Result<Vec<Route>> {
     if k == 0 {
         return Ok(Vec::new());
     }
-    let first = dijkstra_with_bans(net, from, to, cost, &|_| false, &|_| false)?;
+    let first = dijkstra_with_bans(net, from, to, cost, masked, &|_| false)?;
     let mut accepted: Vec<Route> = vec![first];
     let mut candidates: Vec<Route> = Vec::new();
 
@@ -71,7 +85,7 @@ pub fn k_shortest_paths(
                 spur_node,
                 to,
                 cost,
-                &|l| banned_links.contains(&l),
+                &|l| masked(l) || banned_links.contains(&l),
                 &|n| banned_nodes.contains(&n),
             ) {
                 Ok(p) => p,
@@ -193,6 +207,24 @@ mod tests {
         assert!(k_shortest_paths(&net, a, z, 0, &|l| l.length_m)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn masked_route_sets_avoid_closed_links() {
+        let (net, a, z) = grid3();
+        let open = k_shortest_paths(&net, a, z, 6, &|l| l.length_m).unwrap();
+        // Close every link the best route uses; the remaining set must
+        // avoid them all and shrink accordingly.
+        let closed: BTreeSet<LinkId> = open[0].links.iter().copied().collect();
+        let masked =
+            k_shortest_paths_masked(&net, a, z, 6, &|l| l.length_m, &|l| closed.contains(&l))
+                .unwrap();
+        assert!(!masked.is_empty());
+        assert!(masked.len() < open.len());
+        for p in &masked {
+            assert!(p.is_simple(&net));
+            assert!(p.links.iter().all(|l| !closed.contains(l)));
+        }
     }
 
     #[test]

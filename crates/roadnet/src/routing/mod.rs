@@ -11,13 +11,19 @@
 //!   (Eq. 3 allows several routes per OD);
 //! * [`time_dependent::fastest_path_at`] — fastest path under observed
 //!   per-interval link speeds, the "based on real-time traffic conditions"
-//!   policy used by the simulator's en-route vehicles.
+//!   policy used by the simulator's en-route vehicles;
+//! * the `_masked` variants — the same searches under a closure mask, so
+//!   route sets re-derive when incidents remove links and restore when
+//!   they clear.
 
 mod dijkstra;
 mod ksp;
 mod path;
 pub mod time_dependent;
 
-pub use dijkstra::{dijkstra, fastest_path, shortest_path, CostFn};
-pub use ksp::k_shortest_paths;
+pub use dijkstra::{
+    dijkstra, dijkstra_with_bans, fastest_path, fastest_path_masked, shortest_path,
+    shortest_path_masked, CostFn,
+};
+pub use ksp::{k_shortest_paths, k_shortest_paths_masked};
 pub use path::Route;

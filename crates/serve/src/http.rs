@@ -7,7 +7,9 @@ use std::collections::BTreeMap;
 use std::io::{self, BufRead, Write};
 
 /// Upper bound on a single request head (request line + headers). A
-/// client exceeding it is answered 400 and disconnected.
+/// client exceeding it is answered 431 and disconnected. The bound is
+/// enforced *while* reading — a request line that never terminates is
+/// cut off at the cap instead of growing an unbounded buffer.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// One parsed request head. Bodies are ignored: every endpoint is a GET.
@@ -51,17 +53,62 @@ pub enum ReadOutcome {
     Closed,
     /// The bytes on the wire were not a parseable HTTP/1.1 head.
     Malformed(String),
+    /// The request head exceeded [`MAX_HEAD_BYTES`] before completing —
+    /// a slow-loris style client or a runaway header block. Answered
+    /// `431` and disconnected; counted in `serve_slow_clients_total`.
+    TooLarge,
+}
+
+/// Reads one `\n`-terminated line into `buf`, consuming at most `limit`
+/// bytes from `reader`. Returns `Ok(Some(n))` with the byte count
+/// appended (0 means EOF before any byte), or `Ok(None)` when the limit
+/// was exhausted before a newline arrived — the caller must treat the
+/// head as too large and stop reading. Invalid UTF-8 is replaced lossily
+/// rather than erroring: the request will fail to parse downstream.
+fn read_line_capped(
+    reader: &mut impl BufRead,
+    buf: &mut String,
+    limit: usize,
+) -> io::Result<Option<usize>> {
+    let mut taken = 0usize;
+    loop {
+        if taken >= limit {
+            return Ok(None);
+        }
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(Some(taken));
+        }
+        let room = (limit - taken).min(available.len());
+        let slice = available.get(..room).unwrap_or(available);
+        match slice.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let end = pos + 1;
+                buf.push_str(&String::from_utf8_lossy(slice.get(..end).unwrap_or(slice)));
+                reader.consume(end);
+                return Ok(Some(taken + end));
+            }
+            None => {
+                let n = slice.len();
+                buf.push_str(&String::from_utf8_lossy(slice));
+                reader.consume(n);
+                taken += n;
+            }
+        }
+    }
 }
 
 /// Reads one request head from `reader`. Blocks until a full head, EOF,
-/// or an IO error (timeouts surface as `Err`).
+/// an IO error (timeouts surface as `Err`), or the [`MAX_HEAD_BYTES`]
+/// budget is exhausted mid-head ([`ReadOutcome::TooLarge`]).
 pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
     let mut line = String::new();
     let mut total = 0usize;
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(ReadOutcome::Closed);
+    match read_line_capped(reader, &mut line, MAX_HEAD_BYTES)? {
+        None => return Ok(ReadOutcome::TooLarge),
+        Some(0) => return Ok(ReadOutcome::Closed),
+        Some(n) => total += n,
     }
-    total += line.len();
     let request_line = line.trim_end_matches(['\r', '\n']).to_string();
     let mut parts = request_line.split_ascii_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
@@ -80,12 +127,14 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
     let mut headers = BTreeMap::new();
     loop {
         line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(ReadOutcome::Malformed("eof inside header block".into()));
-        }
-        total += line.len();
-        if total > MAX_HEAD_BYTES {
-            return Ok(ReadOutcome::Malformed("request head too large".into()));
+        match read_line_capped(
+            reader,
+            &mut line,
+            MAX_HEAD_BYTES - total.min(MAX_HEAD_BYTES),
+        )? {
+            None => return Ok(ReadOutcome::TooLarge),
+            Some(0) => return Ok(ReadOutcome::Malformed("eof inside header block".into())),
+            Some(n) => total += n,
         }
         let trimmed = line.trim_end_matches(['\r', '\n']);
         if trimmed.is_empty() {
@@ -176,6 +225,7 @@ pub fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -284,6 +334,36 @@ mod tests {
             parse("GET / HTTP/1.1\r\nnocolon\r\n\r\n"),
             ReadOutcome::Malformed(_)
         ));
+    }
+
+    #[test]
+    fn runaway_request_line_is_too_large_not_oom() {
+        // A request line that never terminates must be cut off at the
+        // head budget, not buffered indefinitely.
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(64 * 1024));
+        assert!(matches!(parse(&raw), ReadOutcome::TooLarge));
+    }
+
+    #[test]
+    fn oversized_header_block_is_too_large() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..200 {
+            raw.push_str(&format!("X-Pad-{i}: {}\r\n", "b".repeat(200)));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(parse(&raw), ReadOutcome::TooLarge));
+    }
+
+    #[test]
+    fn head_just_under_the_cap_still_parses() {
+        let mut raw = String::from("GET /links HTTP/1.1\r\n");
+        raw.push_str(&format!("X-Pad: {}\r\n", "c".repeat(1024)));
+        raw.push_str("\r\n");
+        let ReadOutcome::Request(req) = parse(&raw) else {
+            panic!("expected request");
+        };
+        assert_eq!(req.path, "/links");
+        assert_eq!(req.header("x-pad").map(str::len), Some(1024));
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub const ENDPOINTS: &[&str] = &[
     "link",
     "od",
     "map_geojson",
+    "incidents",
     "other",
 ];
 
@@ -31,6 +32,7 @@ pub fn endpoint_label(path: &str) -> &'static str {
         "/links" => "links",
         "/od" => "od",
         "/map/geojson" => "map_geojson",
+        "/incidents" => "incidents",
         p if p.starts_with("/links/") => "link",
         _ => "other",
     }
@@ -67,6 +69,7 @@ pub fn handle(view: &ModelView, req: &Request) -> Response {
         "/version" => cacheable(view, req, view.version_json()),
         "/kpis" => cacheable(view, req, view.kpis_json()),
         "/links" => cacheable(view, req, view.links_json()),
+        "/incidents" => cacheable(view, req, view.incidents_json()),
         "/map/geojson" => {
             let mut resp = cacheable(view, req, view.geojson());
             resp.content_type = "application/geo+json";

@@ -20,16 +20,24 @@ use checkpoint::{
 };
 use datagen::Dataset;
 use obs::Registry;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+// lint: allow(determinism) — Instant powers the socket pacing guard only.
+use std::time::{Duration, Instant};
 
 /// How long an idle keep-alive connection may sit before the worker
 /// reclaims the thread.
 const READ_TIMEOUT_MS: u64 = 2_000;
+
+/// Total wall-clock budget for receiving one request head, armed at its
+/// first byte. A client trickling bytes slower than this (slow-loris) is
+/// disconnected and counted in `serve_slow_clients_total` — each worker
+/// thread handles one connection at a time, so a stalled head would
+/// otherwise pin a worker for as long as the peer keeps the socket warm.
+const REQUEST_DEADLINE_MS: u64 = 5_000;
 
 /// Accept-loop back-off while the listener has no pending connection.
 const ACCEPT_IDLE_MS: u64 = 2;
@@ -157,6 +165,70 @@ fn accept_loop(listener: &TcpListener, state: &RwLock<Arc<ModelView>>, shutdown:
     }
 }
 
+/// Read-side wrapper enforcing a per-request total deadline on top of
+/// the per-read socket timeout. The deadline arms when the first byte of
+/// a request head arrives and is cleared after the request is served;
+/// every read in between shrinks its socket timeout to the remaining
+/// budget, so a slow-loris client dribbling one byte per poll cannot
+/// hold a worker past [`REQUEST_DEADLINE_MS`].
+struct PacedStream {
+    inner: TcpStream,
+    // lint: allow(determinism) — wall-clock deadline for socket pacing.
+    deadline: Option<Instant>,
+    expired: bool,
+}
+
+impl PacedStream {
+    fn new(inner: TcpStream) -> Self {
+        Self {
+            inner,
+            deadline: None,
+            expired: false,
+        }
+    }
+
+    /// Disarms the deadline between requests (keep-alive idle time is
+    /// governed by the plain read timeout, not the request budget).
+    fn clear(&mut self) {
+        self.deadline = None;
+    }
+
+    /// True when a read failed because the request deadline lapsed
+    /// rather than the socket breaking.
+    fn expired(&self) -> bool {
+        self.expired
+    }
+}
+
+impl Read for PacedStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        // lint: allow(determinism) — wall-clock pacing guard for the
+        // socket layer only; never reaches a response body.
+        let per_read = match self.deadline {
+            Some(deadline) => {
+                // lint: allow(determinism) — pacing guard, socket layer only.
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    self.expired = true;
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "request head deadline exceeded",
+                    ));
+                }
+                remaining.min(Duration::from_millis(READ_TIMEOUT_MS))
+            }
+            None => Duration::from_millis(READ_TIMEOUT_MS),
+        };
+        self.inner.set_read_timeout(Some(per_read))?;
+        let n = self.inner.read(buf)?;
+        if self.deadline.is_none() && n > 0 {
+            // lint: allow(determinism) — arms the pacing deadline only.
+            self.deadline = Some(Instant::now() + Duration::from_millis(REQUEST_DEADLINE_MS));
+        }
+        Ok(n)
+    }
+}
+
 /// Serves one keep-alive connection until the peer closes, an error
 /// occurs, or shutdown is signalled.
 fn handle_connection(
@@ -164,13 +236,13 @@ fn handle_connection(
     state: &RwLock<Arc<ModelView>>,
     shutdown: &AtomicBool,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(READ_TIMEOUT_MS)))?;
     let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut reader = BufReader::new(PacedStream::new(stream.try_clone()?));
     let mut writer = BufWriter::new(stream);
     while !shutdown.load(Ordering::SeqCst) {
         match read_request(&mut reader) {
             Ok(ReadOutcome::Request(req)) => {
+                reader.get_mut().clear();
                 let keep_alive = !req.wants_close();
                 let view: Arc<ModelView> = state
                     .read()
@@ -193,9 +265,21 @@ fn handle_connection(
                 write_response(&mut writer, &resp, false, false)?;
                 break;
             }
-            // Read timeout on an idle keep-alive connection, or a broken
-            // socket: reclaim the worker.
-            Err(_) => break,
+            Ok(ReadOutcome::TooLarge) => {
+                obs::global().counter("serve_slow_clients_total").inc();
+                let resp = Response::error(431, "request head exceeds the size budget");
+                record_request("other", &resp, Duration::ZERO);
+                write_response(&mut writer, &resp, false, false)?;
+                break;
+            }
+            // Read timeout on an idle keep-alive connection, an expired
+            // request deadline, or a broken socket: reclaim the worker.
+            Err(_) => {
+                if reader.get_ref().expired() {
+                    obs::global().counter("serve_slow_clients_total").inc();
+                }
+                break;
+            }
         }
     }
     Ok(())

@@ -49,6 +49,7 @@ pub struct ModelView {
     kpis_json: String,
     links_json: String,
     geojson: String,
+    incidents_json: String,
 }
 
 impl ModelView {
@@ -73,6 +74,7 @@ impl ModelView {
         let links_json = render_links(&dataset, &out.speed, &out.volume);
         let geojson =
             roadnet::export::to_geojson_fields(&dataset.net, Some(&out.speed), Some(&out.volume));
+        let incidents_json = render_incidents(&snapshot)?;
         Ok(Self {
             snapshot,
             dataset,
@@ -85,6 +87,7 @@ impl ModelView {
             kpis_json,
             links_json,
             geojson,
+            incidents_json,
         })
     }
 
@@ -126,6 +129,13 @@ impl ModelView {
     /// Prerendered `/map/geojson` body.
     pub fn geojson(&self) -> &str {
         &self.geojson
+    }
+
+    /// Prerendered `/incidents` body: the network-incident provenance the
+    /// stream driver published alongside this snapshot's window (empty
+    /// list when the artifact carries no incident section).
+    pub fn incidents_json(&self) -> &str {
+        &self.incidents_json
     }
 
     /// Renders one link's detail body, or `None` for an unknown id.
@@ -281,6 +291,64 @@ fn render_links(dataset: &Dataset, speed: &LinkTensor, volume: &LinkTensor) -> S
     out.push_str(&dataset.n_links().to_string());
     out.push('}');
     out
+}
+
+/// Renders the `/incidents` body from the artifact's
+/// [`ovs_core::artifact::INCIDENTS_SECTION`] rows (7 f64s per incident:
+/// kind code, target code, target index, onset tick, duration ticks,
+/// severity, window-relative status). Artifacts published by a batch run
+/// or an incident-free stream carry no section and serve an empty list.
+fn render_incidents(snapshot: &Snapshot) -> Result<String> {
+    let section = ovs_core::artifact::INCIDENTS_SECTION;
+    let rows = if snapshot.artifact().has(section) {
+        snapshot.artifact().f64s(section)?
+    } else {
+        Vec::new()
+    };
+    let mut out = String::from("{\"artifact\":");
+    push_json_string(&mut out, snapshot.name());
+    out.push_str(",\"incidents\":[");
+    let mut count = 0usize;
+    let mut active = 0usize;
+    for row in rows.chunks_exact(7) {
+        let field = |j: usize| row.get(j).copied().unwrap_or(0.0);
+        if count > 0 {
+            out.push(',');
+        }
+        count += 1;
+        let kind = simulator::IncidentKind::from_code(field(0) as u8)
+            .map(|k| k.label())
+            .unwrap_or("unknown");
+        out.push_str("{\"kind\":");
+        push_json_string(&mut out, kind);
+        out.push(',');
+        push_json_string(&mut out, if field(1) as u8 == 1 { "node" } else { "link" });
+        out.push(':');
+        out.push_str(&(field(2) as u64).to_string());
+        out.push_str(",\"onset_tick\":");
+        out.push_str(&(field(3) as u64).to_string());
+        out.push_str(",\"duration_ticks\":");
+        out.push_str(&(field(4) as u64).to_string());
+        out.push_str(",\"severity\":");
+        push_json_f64(&mut out, field(5));
+        let status = match field(6) as u8 {
+            0 => "past",
+            1 => "active",
+            _ => "scheduled",
+        };
+        if status == "active" {
+            active += 1;
+        }
+        out.push_str(",\"status\":");
+        push_json_string(&mut out, status);
+        out.push('}');
+    }
+    out.push_str("],\"count\":");
+    out.push_str(&count.to_string());
+    out.push_str(",\"active\":");
+    out.push_str(&active.to_string());
+    out.push('}');
+    Ok(out)
 }
 
 fn mean(xs: &[f64]) -> f64 {

@@ -10,7 +10,7 @@ use datagen::dataset::DatasetSpec;
 use datagen::{Dataset, TodPattern};
 use fault::storage::corrupt_artifact_bytes;
 use fault::StorageFaults;
-use ovs_core::artifact::OVS_MODEL_KIND;
+use ovs_core::artifact::{INCIDENTS_SECTION, OVS_MODEL_KIND};
 use ovs_core::estimator::tod_to_matrix;
 use roadnet::TodTensor;
 use serve::{LoadOptions, ServeOptions, Server};
@@ -295,6 +295,7 @@ fn responses_are_byte_identical_across_thread_counts() {
         "/links/1",
         "/od?origin=0&dest=1",
         "/map/geojson",
+        "/incidents",
         "/nope",
     ];
     for path in paths {
@@ -488,5 +489,176 @@ fn load_generator_drives_live_server_without_errors() {
     assert!(report.p50_ms >= 0.0 && report.p99_ms >= report.p50_ms);
     let parsed: serde_json::Value = serde_json::from_str(&report.to_json()).unwrap();
     assert_eq!(parsed["status_5xx"].as_u64(), Some(0));
+    server.shutdown();
+}
+
+/// A `tod` artifact that also carries incident provenance rows (7 f64s
+/// per incident, see [`INCIDENTS_SECTION`]).
+fn incident_artifact(dataset: &Dataset, level: f64, rows: &[f64]) -> ArtifactBuilder {
+    let mut b = tod_artifact(dataset, level);
+    b.add_f64s(INCIDENTS_SECTION, rows);
+    b
+}
+
+#[test]
+fn incidents_endpoint_serves_provenance() {
+    let tmp = TempDir::new("incidents");
+    let store = ArtifactStore::open(tmp.path()).unwrap();
+    let dataset = tiny_dataset();
+    // v001 carries no incident section: the endpoint must serve an empty
+    // list, not an error.
+    store
+        .save_versioned("tod", &tod_artifact(&dataset, 1.0), &provenance())
+        .unwrap();
+    let server = start_server(tmp.path(), 1, 10);
+    let addr = server.addr().to_string();
+
+    let (status, headers, body) = fetch(&addr, "/incidents", &[]);
+    assert_eq!(status, 200);
+    let empty = body_json(&body);
+    assert_eq!(empty["count"].as_u64(), Some(0));
+    assert_eq!(empty["active"].as_u64(), Some(0));
+    assert_eq!(empty["incidents"].as_array().unwrap().len(), 0);
+    let etag = header_value(&headers, "etag").unwrap().to_string();
+
+    // Conditional GET round-trips on the same validator as every other
+    // cacheable endpoint.
+    let inm = format!("If-None-Match: {etag}");
+    let (status, _, body) = fetch(&addr, "/incidents", &[&inm]);
+    assert_eq!(status, 304);
+    assert!(body.is_empty());
+
+    // v002 straddles one active closure and one future signal outage.
+    let rows = [
+        0.0, 0.0, 3.0, 600.0, 300.0, 1.0, 1.0, // active closure on link 3
+        2.0, 1.0, 1.0, 2000.0, 120.0, 0.5, 2.0, // scheduled outage at node 1
+    ];
+    store
+        .save_versioned(
+            "tod",
+            &incident_artifact(&dataset, 2.0, &rows),
+            &provenance(),
+        )
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let incidents = loop {
+        let (status, _, body) = fetch(&addr, "/incidents", &[]);
+        assert_eq!(status, 200);
+        let v = body_json(&body);
+        if v["count"].as_u64() == Some(2) {
+            break v;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "incident version never swapped in"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(incidents["active"].as_u64(), Some(1));
+    let list = incidents["incidents"].as_array().unwrap();
+    assert_eq!(list[0]["kind"].as_str(), Some("closure"));
+    assert_eq!(list[0]["link"].as_u64(), Some(3));
+    assert_eq!(list[0]["onset_tick"].as_u64(), Some(600));
+    assert_eq!(list[0]["duration_ticks"].as_u64(), Some(300));
+    assert_eq!(list[0]["status"].as_str(), Some("active"));
+    assert_eq!(list[1]["kind"].as_str(), Some("signal_outage"));
+    assert_eq!(list[1]["node"].as_u64(), Some(1));
+    assert_eq!(list[1]["status"].as_str(), Some("scheduled"));
+
+    server.shutdown();
+}
+
+#[test]
+fn hot_swap_with_active_incidents_serves_zero_5xx() {
+    let tmp = TempDir::new("incident-swap");
+    let store = ArtifactStore::open(tmp.path()).unwrap();
+    let dataset = tiny_dataset();
+    store
+        .save_versioned("tod", &tod_artifact(&dataset, 1.0), &provenance())
+        .unwrap();
+    let server = start_server(tmp.path(), 4, 10);
+    let addr = server.addr().to_string();
+
+    // Readers hammer the incident and kpi endpoints while a snapshot
+    // with an active incident hot-swaps in: every response must be 200
+    // (or a legitimate 304), never 5xx, and never torn.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for i in 0..4 {
+        let addr = addr.clone();
+        let stop = stop.clone();
+        let path = if i % 2 == 0 { "/incidents" } else { "/kpis" };
+        readers.push(std::thread::spawn(move || {
+            let mut responses = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                let (status, headers, _) = fetch(&addr, path, &[]);
+                assert!(
+                    status == 200,
+                    "{path} answered {status} during incident hot-swap"
+                );
+                assert!(header_value(&headers, "etag").is_some());
+                responses += 1;
+            }
+            responses
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let rows = [0.0, 0.0, 0.0, 0.0, 600.0, 1.0, 1.0];
+    store
+        .save_versioned(
+            "tod",
+            &incident_artifact(&dataset, 3.0, &rows),
+            &provenance(),
+        )
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, _, body) = fetch(&addr, "/incidents", &[]);
+        if body_json(&body)["active"].as_u64() == Some(1) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "incident swap never became visible"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(total > 0, "readers never completed a request");
+
+    server.shutdown();
+}
+
+#[test]
+fn oversized_request_head_is_answered_431() {
+    let tmp = TempDir::new("slow-client");
+    let store = ArtifactStore::open(tmp.path()).unwrap();
+    let dataset = tiny_dataset();
+    store
+        .save_versioned("tod", &tod_artifact(&dataset, 1.0), &provenance())
+        .unwrap();
+    let server = start_server(tmp.path(), 1, 1_000);
+    let addr = server.addr().to_string();
+
+    // A request line far past the head budget: the server must cut the
+    // read off at the cap and answer 431, not buffer indefinitely.
+    let huge_path = format!("/{}", "a".repeat(64 * 1024));
+    let (status, _, body) = fetch(&addr, &huge_path, &[]);
+    assert_eq!(status, 431);
+    assert!(body_json(&body)["error"].as_str().is_some());
+
+    // An oversized header block is rejected the same way.
+    let padding = format!("X-Pad: {}", "b".repeat(32 * 1024));
+    let (status, _, _) = fetch(&addr, "/healthz", &[&padding]);
+    assert_eq!(status, 431);
+
+    // The guard counted both rejects and the server still works.
+    let (status, _, _) = fetch(&addr, "/healthz", &[]);
+    assert_eq!(status, 200);
+    let slow = obs::global().counter("serve_slow_clients_total").get();
+    assert!(slow >= 2, "slow-client counter never moved: {slow}");
+
     server.shutdown();
 }

@@ -20,11 +20,12 @@
 
 use crate::config::{RoutingPolicy, SignalControl, SimConfig};
 use crate::demand::{DemandSpawner, SpawnRequest};
+use crate::incident::{IncidentKind, IncidentSchedule, IncidentTarget};
 use crate::observe::Observer;
 use crate::scenario::Scenario;
 use crate::signal::{ActuatedPlan, SignalPlan};
 use crate::vehicle::{follow, Vehicle, VehicleClass, VehicleId};
-use roadnet::routing::{dijkstra, fastest_path, shortest_path};
+use roadnet::routing::{dijkstra_with_bans, fastest_path_masked, shortest_path_masked};
 use roadnet::{LinkId, LinkTensor, NodeId, OdSet, Result, RoadNetwork, RoadnetError, TodTensor};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -125,8 +126,27 @@ pub struct Simulation<'a> {
     /// Route cache for static routing policies (ordered for the same
     /// reason as [`DynRouteCache`]).
     static_routes: BTreeMap<(NodeId, NodeId), Option<Arc<Vec<LinkId>>>>,
+    /// Scheduled mid-run perturbations; empty means the machinery is
+    /// skipped entirely.
+    incidents: IncidentSchedule,
     /// Metrics sink; defaults to the process-global registry.
     obs: obs::Registry,
+}
+
+/// Time-varying link state derived from the incident schedule, recomputed
+/// only at schedule boundaries. With an empty schedule these are exact
+/// copies of the static per-link vectors and never touched again.
+struct IncidentState {
+    desired_mps: Vec<f64>,
+    capacity: Vec<usize>,
+    sat_flow_per_tick: Vec<f64>,
+    closed: Vec<bool>,
+    all_red: Vec<bool>,
+    /// Signal frozen in the phase it held at this tick (stuck-phase
+    /// outage).
+    stuck_at: Vec<Option<u64>>,
+    /// Any link currently closed (routing must mask).
+    any_closed: bool,
 }
 
 /// Per-run event tallies, flushed to the registry once at the end of
@@ -191,8 +211,27 @@ impl<'a> Simulation<'a> {
             sat_flow_per_tick: sat_flow,
             lanes,
             static_routes: BTreeMap::new(),
+            incidents: IncidentSchedule::default(),
             obs: obs::global().clone(),
         })
+    }
+
+    /// Installs a scheduled-incident timeline. The engine applies each
+    /// incident's effect deterministically over its tick range and
+    /// restores the link when it clears; route caches are invalidated at
+    /// every onset/clearance boundary so route sets re-derive against the
+    /// perturbed network.
+    pub fn with_incidents(mut self, incidents: IncidentSchedule) -> Result<Self> {
+        incidents
+            .validate(self.net.num_links(), self.net.num_nodes())
+            .map_err(RoadnetError::InvalidAttribute)?;
+        self.incidents = incidents;
+        Ok(self)
+    }
+
+    /// The incident schedule in force.
+    pub fn incidents(&self) -> &IncidentSchedule {
+        &self.incidents
     }
 
     /// Redirects metrics to `registry` instead of the process-global one.
@@ -262,9 +301,45 @@ impl<'a> Simulation<'a> {
         let mut class_rng = rand::rngs::StdRng::seed_from_u64(self.cfg.seed ^ 0x5EED_70C5);
         // Per-interval route cache for the time-dependent policy.
         let mut dyn_routes: DynRouteCache = DynRouteCache::new();
+        // Incident machinery: effective per-link state starts as a copy of
+        // the static vectors and is only recomputed when the schedule's
+        // active set changes (onset/clearance boundaries).
+        let has_incidents = !self.incidents.is_empty();
+        let mut inc_state = IncidentState {
+            desired_mps: self.desired_mps.clone(),
+            capacity: self.capacity.clone(),
+            sat_flow_per_tick: self.sat_flow_per_tick.clone(),
+            closed: vec![false; m],
+            all_red: vec![false; m],
+            stuck_at: vec![None; m],
+            any_closed: false,
+        };
+        let boundary_ticks = self.incidents.boundaries();
+        let mut next_boundary = 0usize;
 
         for tick in 0..self.cfg.total_ticks() {
             let interval = (tick / tpi) as usize;
+
+            if has_incidents {
+                // Tick 0 applies incidents already active at the start;
+                // later refreshes happen only when a boundary is crossed.
+                let mut crossed = tick == 0;
+                while boundary_ticks
+                    .get(next_boundary)
+                    .is_some_and(|&b| b <= tick)
+                {
+                    next_boundary += 1;
+                    crossed = true;
+                }
+                if crossed {
+                    self.refresh_incident_state(tick, &mut inc_state);
+                    // Routes derived under the previous network state are
+                    // stale the moment the active set changes: re-derive
+                    // against the perturbed (or restored) network.
+                    self.static_routes.clear();
+                    dyn_routes.clear();
+                }
+            }
 
             // --- 1. demand -------------------------------------------------
             if interval < t_obs {
@@ -272,7 +347,14 @@ impl<'a> Simulation<'a> {
             }
             let mut still_pending = VecDeque::with_capacity(pending.len());
             while let Some(req) = pending.pop_front() {
-                let route = self.route_for(req, interval, &observer, &mut dyn_routes);
+                let route = self.route_for(
+                    req,
+                    interval,
+                    &observer,
+                    &mut dyn_routes,
+                    &inc_state.closed,
+                    inc_state.any_closed,
+                );
                 let Some(route) = route else {
                     stats.unroutable += 1;
                     continue;
@@ -282,7 +364,7 @@ impl<'a> Simulation<'a> {
                     stats.unroutable += 1;
                     continue;
                 };
-                let cap = self.capacity.get(first.index()).copied().unwrap_or(0);
+                let cap = inc_state.capacity.get(first.index()).copied().unwrap_or(0);
                 match links.get_mut(first.index()) {
                     Some(deque) if entrance_clear(deque, cap) => {
                         let class = if self.cfg.truck_fraction > 0.0
@@ -324,7 +406,7 @@ impl<'a> Simulation<'a> {
             let link_rows = links
                 .iter_mut()
                 .zip(self.len_m.iter())
-                .zip(self.desired_mps.iter())
+                .zip(inc_state.desired_mps.iter())
                 .enumerate();
             for (li, ((deque, &len), &desired)) in link_rows {
                 let mut speed_sum = 0.0;
@@ -381,7 +463,7 @@ impl<'a> Simulation<'a> {
             // refills ahead of the loop is behaviour-identical.
             let refills = exit_budget
                 .iter_mut()
-                .zip(self.sat_flow_per_tick.iter())
+                .zip(inc_state.sat_flow_per_tick.iter())
                 .zip(self.lanes.iter());
             for ((budget, &sat), &lanes) in refills {
                 *budget = (*budget + sat).min(lanes.max(1.0));
@@ -407,9 +489,20 @@ impl<'a> Simulation<'a> {
                         }
                         continue;
                     }
-                    let green = match &actuated {
-                        Some(plan) => plan.is_green(LinkId(li)),
-                        None => self.plan.is_green(LinkId(li), tick),
+                    let green = if inc_state.all_red.get(li).copied().unwrap_or(false) {
+                        // Severe signal outage: the approach shows red for
+                        // the whole incident.
+                        false
+                    } else if let Some(frozen) = inc_state.stuck_at.get(li).copied().flatten() {
+                        // Mild outage: the controller is frozen in the
+                        // phase it held at onset (actuated control loses
+                        // its detectors too, so the fixed plan decides).
+                        self.plan.is_green(LinkId(li), frozen)
+                    } else {
+                        match &actuated {
+                            Some(plan) => plan.is_green(LinkId(li)),
+                            None => self.plan.is_green(LinkId(li), tick),
+                        }
                     };
                     if !green {
                         tally.red_checks += 1;
@@ -429,7 +522,7 @@ impl<'a> Simulation<'a> {
                         break;
                     };
                     let ni = next.index();
-                    let cap = self.capacity.get(ni).copied().unwrap_or(0);
+                    let cap = inc_state.capacity.get(ni).copied().unwrap_or(0);
                     if !links.get(ni).is_some_and(|d| entrance_clear(d, cap)) {
                         tally.spillback_blocked += 1;
                         requeue(&mut links, li, front);
@@ -441,7 +534,7 @@ impl<'a> Simulation<'a> {
                     let mut veh = front;
                     veh.leg += 1;
                     veh.pos_m = 0.0;
-                    if let Some(&v_cap) = self.desired_mps.get(ni) {
+                    if let Some(&v_cap) = inc_state.desired_mps.get(ni) {
                         veh.speed_mps = veh.speed_mps.min(v_cap);
                     }
                     if let Some(d) = links.get_mut(ni) {
@@ -511,6 +604,70 @@ impl<'a> Simulation<'a> {
         })
     }
 
+    /// Recomputes the effective link state for `tick` from the static
+    /// vectors and the incidents active at `tick`. Called only at
+    /// schedule boundaries; a pure function of `(schedule, tick)`, which
+    /// is what keeps incident runs bit-identical across thread counts.
+    fn refresh_incident_state(&self, tick: u64, st: &mut IncidentState) {
+        st.desired_mps.copy_from_slice(&self.desired_mps);
+        st.capacity.copy_from_slice(&self.capacity);
+        st.sat_flow_per_tick
+            .copy_from_slice(&self.sat_flow_per_tick);
+        st.closed.fill(false);
+        st.all_red.fill(false);
+        st.stuck_at.fill(None);
+        st.any_closed = false;
+        for inc in self.incidents.incidents() {
+            if !inc.active_at(tick) {
+                continue;
+            }
+            // Severity 1.0 leaves a 5% floor so closures drain instead of
+            // freezing traffic on the link forever.
+            let factor = (1.0 - inc.severity).clamp(0.05, 1.0);
+            let single;
+            let targets: &[LinkId] = match inc.target {
+                IncidentTarget::Link(l) => {
+                    single = [l];
+                    &single
+                }
+                IncidentTarget::Node(n) => self.net.in_links(n),
+            };
+            for &lid in targets {
+                let li = lid.index();
+                match inc.kind {
+                    IncidentKind::Closure => {
+                        if let Some(c) = st.closed.get_mut(li) {
+                            *c = true;
+                        }
+                        st.any_closed = true;
+                        // No entry at all; traffic already on the link
+                        // crawls off at the severity-scaled speed.
+                        if let Some(c) = st.capacity.get_mut(li) {
+                            *c = 0;
+                        }
+                        if let Some(d) = st.desired_mps.get_mut(li) {
+                            *d *= factor;
+                        }
+                    }
+                    IncidentKind::CapacityDrop => {
+                        if let Some(s) = st.sat_flow_per_tick.get_mut(li) {
+                            *s *= factor;
+                        }
+                    }
+                    IncidentKind::SignalOutage => {
+                        if inc.severity >= 0.5 {
+                            if let Some(r) = st.all_red.get_mut(li) {
+                                *r = true;
+                            }
+                        } else if let Some(s) = st.stuck_at.get_mut(li) {
+                            *s = Some(inc.onset_tick);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Publishes one run's stats and event tallies to the registry.
     fn flush_metrics(&self, stats: &SimStats, tally: &RunTally) {
         use crate::metrics as m;
@@ -537,16 +694,36 @@ impl<'a> Simulation<'a> {
             .add(tally.speed_clamp_violations);
         reg.counter(m::NEGATIVE_VOLUME_VIOLATIONS)
             .add(tally.negative_volume_violations);
+        // Incident metrics only exist when a schedule is in force, so
+        // incident-free pipelines keep their golden metric snapshots.
+        if !self.incidents.is_empty() {
+            let total = self.cfg.total_ticks();
+            let incident_ticks: u64 = self
+                .incidents
+                .incidents()
+                .iter()
+                .map(|i| i.end_tick().min(total) - i.onset_tick.min(total))
+                .sum();
+            reg.counter(m::INCIDENT_TICKS).add(incident_ticks);
+            reg.gauge(m::INCIDENTS_ACTIVE)
+                .set(self.incidents.active_count(total.saturating_sub(1)) as f64);
+        }
     }
 
     /// Resolves the route for a spawn request under the configured policy.
+    /// Links closed by an active incident are masked out of every search;
+    /// caches are only consulted within one closure regime (the run loop
+    /// clears them at every schedule boundary).
     fn route_for(
         &mut self,
         req: SpawnRequest,
         interval: usize,
         observer: &Observer,
         dyn_routes: &mut DynRouteCache,
+        closed: &[bool],
+        any_closed: bool,
     ) -> Option<Arc<Vec<LinkId>>> {
+        let masked = |l: LinkId| any_closed && closed.get(l.index()).copied().unwrap_or(false);
         match self.cfg.routing {
             RoutingPolicy::Shortest | RoutingPolicy::FreeFlowFastest => {
                 let key = (req.from, req.to);
@@ -554,8 +731,10 @@ impl<'a> Simulation<'a> {
                     return cached.clone();
                 }
                 let route = match self.cfg.routing {
-                    RoutingPolicy::Shortest => shortest_path(self.net, req.from, req.to),
-                    _ => fastest_path(self.net, req.from, req.to),
+                    RoutingPolicy::Shortest => {
+                        shortest_path_masked(self.net, req.from, req.to, &masked)
+                    }
+                    _ => fastest_path_masked(self.net, req.from, req.to, &masked),
                 };
                 let entry = route
                     .ok()
@@ -570,11 +749,11 @@ impl<'a> Simulation<'a> {
                     return cached.clone();
                 }
                 let route = if interval == 0 {
-                    fastest_path(self.net, req.from, req.to)
+                    fastest_path_masked(self.net, req.from, req.to, &masked)
                 } else {
                     let prev = (interval - 1).min(self.cfg.intervals.saturating_sub(1));
                     let desired = &self.desired_mps;
-                    dijkstra(self.net, req.from, req.to, &|l| {
+                    let cost = |l: &roadnet::Link| {
                         let obs = observer.mean_speed(l.id, prev);
                         // The 0.5 m/s floor also covers the (unreachable)
                         // out-of-range link id, keeping the cost finite.
@@ -585,7 +764,8 @@ impl<'a> Simulation<'a> {
                             v_max
                         };
                         l.length_m / v
-                    })
+                    };
+                    dijkstra_with_bans(self.net, req.from, req.to, &cost, &masked, &|_| false)
                 };
                 let entry = route
                     .ok()
@@ -629,6 +809,7 @@ fn entrance_clear(deque: &VecDeque<Vehicle>, capacity: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::incident::ScheduledIncident;
     use roadnet::presets::synthetic_grid;
 
     fn setup() -> (RoadNetwork, OdSet) {
@@ -807,6 +988,244 @@ mod tests {
         let b = sim.run(&tod).unwrap();
         assert_eq!(a.volume, b.volume, "route cache must not change results");
         assert_eq!(a.speed, b.speed);
+    }
+
+    #[test]
+    fn closure_degrades_link_and_recovery_restores_it() {
+        let (net, ods) = setup();
+        let t = 3;
+        let tod = TodTensor::filled(ods.len(), t, 2.0);
+        let cfg = quick_cfg(t);
+        let tpi = cfg.ticks_per_interval();
+        let target = LinkId(0);
+        let clean = Simulation::new(&net, &ods, cfg.clone())
+            .unwrap()
+            .run(&tod)
+            .unwrap();
+        // Closed for exactly interval 1; intervals 0 and 2 are clean.
+        let schedule = IncidentSchedule::new(vec![ScheduledIncident {
+            kind: IncidentKind::Closure,
+            target: IncidentTarget::Link(target),
+            onset_tick: tpi,
+            duration_ticks: tpi,
+            severity: 1.0,
+        }]);
+        let hit = Simulation::new(&net, &ods, cfg)
+            .unwrap()
+            .with_incidents(schedule)
+            .unwrap()
+            .run(&tod)
+            .unwrap();
+        // During the closure the link reports its crawl speed; before and
+        // after it behaves like the clean run's regime.
+        assert!(
+            hit.speed.get(target, 1) < 0.3 * clean.speed.get(target, 1),
+            "closed link must collapse: {} vs clean {}",
+            hit.speed.get(target, 1),
+            clean.speed.get(target, 1)
+        );
+        assert!(
+            hit.speed.get(target, 2) > 0.5 * clean.speed.get(target, 2),
+            "cleared link must recover: {} vs clean {}",
+            hit.speed.get(target, 2),
+            clean.speed.get(target, 2)
+        );
+        // No vehicle may be stranded: closures drain, they don't trap.
+        assert!(hit.stats.is_conserved(), "{:?}", hit.stats);
+        // The grid is redundant, so closing one link reroutes rather than
+        // dropping demand.
+        assert_eq!(hit.stats.unroutable, 0);
+        // Nothing entered the closed link while it was closed.
+        assert_eq!(hit.volume.get(target, 1), 0.0);
+    }
+
+    #[test]
+    fn incident_runs_are_deterministic_and_replayable() {
+        let (net, ods) = setup();
+        let tod = TodTensor::filled(ods.len(), 2, 3.0);
+        let cfg = quick_cfg(2).with_seed(9);
+        let tpi = cfg.ticks_per_interval();
+        let schedule = || {
+            IncidentSchedule::new(vec![
+                ScheduledIncident {
+                    kind: IncidentKind::Closure,
+                    target: IncidentTarget::Link(LinkId(2)),
+                    onset_tick: tpi / 2,
+                    duration_ticks: tpi,
+                    severity: 0.9,
+                },
+                ScheduledIncident {
+                    kind: IncidentKind::SignalOutage,
+                    target: IncidentTarget::Node(NodeId(4)),
+                    onset_tick: 0,
+                    duration_ticks: tpi / 2,
+                    severity: 0.8,
+                },
+            ])
+        };
+        let run = || {
+            Simulation::new(&net, &ods, cfg.clone())
+                .unwrap()
+                .with_incidents(schedule())
+                .unwrap()
+                .run(&tod)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.volume, b.volume);
+        assert_eq!(a.speed, b.speed);
+        assert_eq!(a.stats, b.stats);
+        // And the perturbation is real: it differs from the clean run.
+        let clean = Simulation::new(&net, &ods, cfg.clone())
+            .unwrap()
+            .run(&tod)
+            .unwrap();
+        assert_ne!(a.speed, clean.speed);
+    }
+
+    fn counter_value(reg: &obs::Registry, name: &str) -> u64 {
+        reg.snapshot(false)
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| match m.value {
+                obs::SnapshotValue::Counter(v) => v,
+                _ => 0,
+            })
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn capacity_drop_slows_discharge() {
+        let (net, ods) = setup();
+        let t = 2;
+        let tod = TodTensor::filled(ods.len(), t, 6.0);
+        let cfg = SimConfig::default()
+            .with_intervals(t)
+            .with_interval_s(300.0);
+        let clean_reg = obs::Registry::new();
+        Simulation::new(&net, &ods, cfg.clone())
+            .unwrap()
+            .with_registry(clean_reg.clone())
+            .run(&tod)
+            .unwrap();
+        // 90% of the saturation flow gone network-wide for the entire run
+        // (cooldown included, so queues cannot quietly drain at the end).
+        let schedule = IncidentSchedule::new(
+            (0..net.num_links())
+                .map(|l| ScheduledIncident {
+                    kind: IncidentKind::CapacityDrop,
+                    target: IncidentTarget::Link(LinkId(l)),
+                    onset_tick: 0,
+                    duration_ticks: cfg.total_ticks(),
+                    severity: 0.9,
+                })
+                .collect(),
+        );
+        let hit_reg = obs::Registry::new();
+        let hit = Simulation::new(&net, &ods, cfg)
+            .unwrap()
+            .with_registry(hit_reg.clone())
+            .with_incidents(schedule)
+            .unwrap()
+            .run(&tod)
+            .unwrap();
+        let clean_blocked = counter_value(&clean_reg, crate::metrics::SATFLOW_BLOCKED_TICKS);
+        let hit_blocked = counter_value(&hit_reg, crate::metrics::SATFLOW_BLOCKED_TICKS);
+        assert!(
+            hit_blocked > clean_blocked,
+            "throttled saturation flow must block more transfers: {hit_blocked} vs {clean_blocked}"
+        );
+        assert!(hit.stats.is_conserved());
+    }
+
+    #[test]
+    fn signal_outage_all_red_blocks_approaches() {
+        let (net, ods) = setup();
+        let t = 2;
+        let tod = TodTensor::filled(ods.len(), t, 2.0);
+        let cfg = quick_cfg(t);
+        // All-red every approach of every node for the whole run: nothing
+        // can ever cross an intersection.
+        let outages: Vec<ScheduledIncident> = (0..net.num_nodes())
+            .map(|n| ScheduledIncident {
+                kind: IncidentKind::SignalOutage,
+                target: IncidentTarget::Node(NodeId(n)),
+                onset_tick: 0,
+                duration_ticks: cfg.total_ticks() * 2,
+                severity: 1.0,
+            })
+            .collect();
+        let reg = obs::Registry::new();
+        let hit = Simulation::new(&net, &ods, cfg)
+            .unwrap()
+            .with_registry(reg.clone())
+            .with_incidents(IncidentSchedule::new(outages))
+            .unwrap()
+            .run(&tod)
+            .unwrap();
+        // Single-link trips still arrive (arrival consumes no intersection
+        // capacity), but not one vehicle crossed a stop line.
+        assert!(hit.stats.is_conserved());
+        assert_eq!(
+            counter_value(&reg, crate::metrics::TRANSFER_CROSSINGS),
+            0,
+            "all-red outage must freeze every crossing"
+        );
+        assert!(counter_value(&reg, crate::metrics::SIGNAL_RED_TICKS) > 0);
+    }
+
+    #[test]
+    fn incident_schedule_is_validated() {
+        let (net, ods) = setup();
+        let bad = IncidentSchedule::new(vec![ScheduledIncident {
+            kind: IncidentKind::Closure,
+            target: IncidentTarget::Link(LinkId(9999)),
+            onset_tick: 0,
+            duration_ticks: 10,
+            severity: 1.0,
+        }]);
+        assert!(Simulation::new(&net, &ods, quick_cfg(2))
+            .unwrap()
+            .with_incidents(bad)
+            .is_err());
+    }
+
+    #[test]
+    fn incident_metrics_only_appear_with_a_schedule() {
+        let (net, ods) = setup();
+        let tod = TodTensor::filled(ods.len(), 2, 1.0);
+        let cfg = quick_cfg(2);
+        let tpi = cfg.ticks_per_interval();
+        let clean_reg = obs::Registry::new();
+        Simulation::new(&net, &ods, cfg.clone())
+            .unwrap()
+            .with_registry(clean_reg.clone())
+            .run(&tod)
+            .unwrap();
+        let json = clean_reg.to_json(false);
+        assert!(!json.contains(crate::metrics::INCIDENT_TICKS));
+        let reg = obs::Registry::new();
+        let schedule = IncidentSchedule::new(vec![ScheduledIncident {
+            kind: IncidentKind::CapacityDrop,
+            target: IncidentTarget::Link(LinkId(1)),
+            onset_tick: 0,
+            duration_ticks: tpi,
+            severity: 0.5,
+        }]);
+        Simulation::new(&net, &ods, cfg)
+            .unwrap()
+            .with_registry(reg.clone())
+            .with_incidents(schedule)
+            .unwrap()
+            .run(&tod)
+            .unwrap();
+        let snap = reg.snapshot(false);
+        let ticks = snap
+            .iter()
+            .find(|m| m.name == crate::metrics::INCIDENT_TICKS)
+            .expect("incident tick counter published");
+        assert_eq!(ticks.value, obs::SnapshotValue::Counter(tpi));
     }
 
     #[test]

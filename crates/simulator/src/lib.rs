@@ -38,6 +38,7 @@
 pub mod config;
 pub mod demand;
 pub mod engine;
+pub mod incident;
 pub mod metrics;
 pub mod observe;
 pub mod scenario;
@@ -46,4 +47,5 @@ pub mod vehicle;
 
 pub use config::{RoutingPolicy, SignalControl, SimConfig};
 pub use engine::{SimOutput, SimStats, Simulation};
+pub use incident::{IncidentKind, IncidentSchedule, IncidentTarget, ScheduledIncident};
 pub use scenario::{LinkDisruption, Scenario};

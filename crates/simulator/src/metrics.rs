@@ -55,5 +55,14 @@ pub const STEP_IN_NETWORK: &str = "sim_step_in_network";
 /// Histogram: finalized per-(link, interval) time-mean occupancy.
 pub const LINK_OCCUPANCY: &str = "sim_link_occupancy";
 
+/// Gauge: incidents active at the final simulated tick. Only published
+/// when the run carried a non-empty incident schedule, so incident-free
+/// pipelines (and their golden metric snapshots) are untouched.
+pub const INCIDENTS_ACTIVE: &str = "sim_incidents_active";
+/// Counter: sum over ticks of the number of active incidents (an
+/// incident-tick is one incident active for one tick). Same gating as
+/// [`INCIDENTS_ACTIVE`].
+pub const INCIDENT_TICKS: &str = "sim_incident_ticks_total";
+
 /// Timing gauge: wall-clock seconds of the most recent run.
 pub const RUN_SECONDS: &str = "sim_run_seconds";

@@ -31,26 +31,8 @@ impl SignalPlan {
     /// Builds the plan for `net` with the given cycle length in ticks.
     pub fn new(net: &RoadNetwork, cycle_ticks: u64) -> Self {
         let cycle_ticks = cycle_ticks.max(2);
-        let link_axis = net
-            .links()
-            .iter()
-            .map(|l| {
-                let to = net.nodes()[l.to.index()].clone();
-                if !to.signalized {
-                    return None;
-                }
-                let from = &net.nodes()[l.from.index()];
-                let dx = (to.point.x - from.point.x).abs();
-                let dy = (to.point.y - from.point.y).abs();
-                Some(if dx >= dy {
-                    Axis::Horizontal
-                } else {
-                    Axis::Vertical
-                })
-            })
-            .collect();
         Self {
-            link_axis,
+            link_axis: axis_per_link(net),
             cycle_ticks,
         }
     }
@@ -59,7 +41,7 @@ impl SignalPlan {
     /// at `tick`.
     #[inline]
     pub fn is_green(&self, link: LinkId, tick: u64) -> bool {
-        match self.link_axis[link.index()] {
+        match self.link_axis.get(link.index()).copied().flatten() {
             None => true,
             Some(axis) => {
                 let half = self.cycle_ticks / 2;
@@ -75,7 +57,7 @@ impl SignalPlan {
     /// Fraction of the cycle during which `link` is green (1.0 when never
     /// gated).
     pub fn green_ratio(&self, link: LinkId) -> f64 {
-        match self.link_axis[link.index()] {
+        match self.link_axis.get(link.index()).copied().flatten() {
             None => 1.0,
             Some(Axis::Horizontal) => (self.cycle_ticks / 2) as f64 / self.cycle_ticks as f64,
             Some(Axis::Vertical) => {
@@ -124,24 +106,7 @@ impl ActuatedPlan {
     /// Builds the controller with common defaults (min 5 s, max 40 s,
     /// gap-out 3 s at 1 s ticks).
     pub fn new(net: &RoadNetwork) -> Self {
-        let link_axis = net
-            .links()
-            .iter()
-            .map(|l| {
-                let to = &net.nodes()[l.to.index()];
-                if !to.signalized {
-                    return None;
-                }
-                let from = &net.nodes()[l.from.index()];
-                let dx = (to.point.x - from.point.x).abs();
-                let dy = (to.point.y - from.point.y).abs();
-                Some(if dx >= dy {
-                    Axis::Horizontal
-                } else {
-                    Axis::Vertical
-                })
-            })
-            .collect();
+        let link_axis = axis_per_link(net);
         let link_node = net.links().iter().map(|l| l.to.index()).collect();
         let nodes = vec![
             ActuatedNode {
@@ -174,7 +139,12 @@ impl ActuatedPlan {
                         Axis::Horizontal => 0,
                         Axis::Vertical => 1,
                     };
-                    phase_demand[self.link_node[li]][p] = true;
+                    let Some(&node) = self.link_node.get(li) else {
+                        continue;
+                    };
+                    if let Some(flag) = phase_demand.get_mut(node).and_then(|d| d.get_mut(p)) {
+                        *flag = true;
+                    }
                 }
             }
         }
@@ -182,14 +152,15 @@ impl ActuatedPlan {
             state.elapsed += 1;
             let green = state.green_phase as usize;
             let red = 1 - green;
-            if phase_demand[node][green] {
+            let node_demand = phase_demand.get(node).copied().unwrap_or([false; 2]);
+            if node_demand.get(green).copied().unwrap_or(false) {
                 state.idle = 0;
             } else {
                 state.idle += 1;
             }
             let gap_out = state.idle >= self.gap_out_ticks;
             let maxed = state.elapsed >= self.max_green_ticks;
-            let competing = phase_demand[node][red];
+            let competing = node_demand.get(red).copied().unwrap_or(false);
             if state.elapsed >= self.min_green_ticks && competing && (gap_out || maxed) {
                 state.green_phase = red as u8;
                 state.elapsed = 0;
@@ -201,17 +172,44 @@ impl ActuatedPlan {
     /// True when vehicles may leave `link` into its downstream node.
     #[inline]
     pub fn is_green(&self, link: LinkId) -> bool {
-        match self.link_axis[link.index()] {
+        match self.link_axis.get(link.index()).copied().flatten() {
             None => true,
             Some(axis) => {
                 let phase = match axis {
                     Axis::Horizontal => 0u8,
                     Axis::Vertical => 1,
                 };
-                self.nodes[self.link_node[link.index()]].green_phase == phase
+                self.link_node
+                    .get(link.index())
+                    .and_then(|&n| self.nodes.get(n))
+                    .map(|s| s.green_phase == phase)
+                    .unwrap_or(true)
             }
         }
     }
+}
+
+/// Per-link approach axis: `None` for links into unsignalised nodes,
+/// otherwise the dominant geometric direction of the approach. Shared by
+/// the fixed-time and actuated controllers so both gate the same way.
+fn axis_per_link(net: &RoadNetwork) -> Vec<Option<Axis>> {
+    net.links()
+        .iter()
+        .map(|l| {
+            let to = net.nodes().get(l.to.index())?;
+            if !to.signalized {
+                return None;
+            }
+            let from = net.nodes().get(l.from.index())?;
+            let dx = (to.point.x - from.point.x).abs();
+            let dy = (to.point.y - from.point.y).abs();
+            Some(if dx >= dy {
+                Axis::Horizontal
+            } else {
+                Axis::Vertical
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -75,9 +75,10 @@ impl Vehicle {
     /// The link the vehicle currently occupies.
     #[inline]
     pub fn current_link(&self) -> LinkId {
-        // lint: allow(panic) — `leg < route.len()` is a construction invariant
-        // (vehicles spawn on a non-empty route and `advance` never walks past
-        // the last leg); a wrong index here must crash, not return a fake link.
+        // `leg < route.len()` is a construction invariant (vehicles spawn on
+        // a non-empty route and `advance` never walks past the last leg); a
+        // wrong index here must crash, not return a fake link.
+        // lint: allow(panic) — construction invariant; crash on violation.
         self.route[self.leg]
     }
 

@@ -40,7 +40,7 @@ use checkpoint::{ArtifactStore, RetryPolicy, SystemClock};
 use datagen::{dataset::simulate, Dataset};
 use eval::metrics::masked_speed_rmse;
 use neural::Matrix;
-use ovs_core::artifact::{model_provenance, model_weights, save_model};
+use ovs_core::artifact::{model_provenance, model_weights, save_model, INCIDENTS_SECTION};
 use ovs_core::config::OvsConfig;
 use ovs_core::estimator::{matrix_to_tod, EstimatorInput};
 use ovs_core::model::OvsModel;
@@ -80,6 +80,13 @@ pub struct StreamConfig {
     pub keep_versions: usize,
     /// Non-finite recovery policy every fit runs under.
     pub recovery: RecoveryPolicy,
+    /// Network-incident timeline the stream runs under, in stream ticks
+    /// (tick 0 = start of interval 0). The same schedule must be
+    /// installed on the [`crate::SimSource`] via
+    /// [`crate::SimSource::with_incidents`]; the driver records it as
+    /// per-version provenance so the serving layer can report which
+    /// incidents a published model was estimated under.
+    pub incidents: simulator::IncidentSchedule,
 }
 
 impl StreamConfig {
@@ -127,6 +134,9 @@ impl<'a> StreamDriver<'a> {
             )));
         }
         ArtifactStore::validate_name(&cfg.family())?;
+        cfg.incidents
+            .validate(ds.n_links(), ds.net.num_nodes())
+            .map_err(StreamError::Config)?;
         let trainer = OvsTrainer::new(cfg.ovs.clone());
         Ok(Self {
             ds,
@@ -370,6 +380,32 @@ impl<'a> StreamDriver<'a> {
                 report.fit_losses.len() as f64,
             ],
         );
+        // Record the incident timeline this window was estimated under,
+        // with each incident's status relative to the window's tick range.
+        if !self.cfg.incidents.is_empty() {
+            let tpi = self.ds.sim_config.ticks_per_interval();
+            let (ws, we) = (window.start * tpi, window.end * tpi);
+            let mut rows = Vec::with_capacity(self.cfg.incidents.len() * 7);
+            for inc in self.cfg.incidents.incidents() {
+                let status = if inc.end_tick() <= ws {
+                    0.0 // cleared before this window
+                } else if inc.onset_tick >= we {
+                    2.0 // scheduled after it
+                } else {
+                    1.0 // active during it
+                };
+                rows.extend_from_slice(&[
+                    inc.kind.code() as f64,
+                    inc.target.code() as f64,
+                    inc.target.index() as f64,
+                    inc.onset_tick as f64,
+                    inc.duration_ticks as f64,
+                    inc.severity,
+                    status,
+                ]);
+            }
+            builder.add_f64s(INCIDENTS_SECTION, &rows);
+        }
         let mut provenance = model_provenance(&mut model, &report)?;
         provenance.note = format!(
             "stream window {} [{},{}) obs={} {} rmse={rmse:.4}",
@@ -431,6 +467,7 @@ mod tests {
             ovs: OvsConfig::tiny(),
             keep_versions: 0,
             recovery: RecoveryPolicy::default(),
+            incidents: simulator::IncidentSchedule::default(),
         };
         assert_eq!(cfg.family(), "stream-demo");
     }

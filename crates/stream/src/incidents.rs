@@ -1,0 +1,387 @@
+//! The incident sweep: degradation and recovery across a severity ×
+//! duration grid.
+//!
+//! For every `(severity, duration)` point of a [`fault::IncidentSweep`]
+//! template this runner replays the same rolling-window stream with one
+//! scheduled incident straddling the *degradation window* (window 1 of
+//! the stream): window 0 establishes the pre-incident baseline, the
+//! windows the incident overlaps measure degradation, and the windows
+//! after clearance prove recovery — the warm→cold fallback heals the
+//! estimator and the masked RMSE returns to within
+//! [`RECOVERED_FACTOR`] of the baseline.
+//!
+//! Everything is deterministic: point `i` draws its source seed from
+//! `Rng64::stream_seed(seed, i)` and the incident schedule is purely
+//! declarative, so the whole grid — including every per-window masked
+//! RMSE — replays bit-identically from `(dataset, sweep, seed)`.
+
+use crate::driver::{StreamConfig, StreamDriver};
+use crate::report::{StreamReport, WindowStatus};
+use crate::source::{SimSource, SimSourceConfig};
+use crate::window::WindowSpec;
+use crate::{Result, StreamError};
+use checkpoint::ArtifactStore;
+use datagen::Dataset;
+use fault::IncidentSweep;
+use neural::rng::Rng64;
+use ovs_core::config::OvsConfig;
+use simulator::{IncidentSchedule, ScheduledIncident};
+use std::fmt;
+use std::path::Path;
+
+/// A window counts as degraded once its masked RMSE exceeds the
+/// pre-incident baseline by this factor.
+pub const DEGRADED_FACTOR: f64 = 1.05;
+
+/// A post-clearance window counts as recovered once its masked RMSE is
+/// back within this factor of the pre-incident baseline.
+pub const RECOVERED_FACTOR: f64 = 1.10;
+
+/// Upper bound on windows per grid point: one pre-incident baseline, the
+/// degradation windows, and one recovery window must fit.
+const MAX_WINDOWS: usize = 8;
+
+/// Outcome of one `(severity, duration)` grid point.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct IncidentSweepPoint {
+    /// Incident severity of this point.
+    pub severity: f64,
+    /// Incident duration in ticks.
+    pub duration_ticks: u64,
+    /// Global onset tick of the incident in the stream's clock.
+    pub onset_tick: u64,
+    /// Windows the point's stream processed.
+    pub windows: usize,
+    /// Masked RMSE of the pre-incident baseline window.
+    pub pre_rmse: Option<f64>,
+    /// Worst masked RMSE across the windows the incident overlaps.
+    pub during_rmse: Option<f64>,
+    /// Masked RMSE of the final (post-clearance) window.
+    pub post_rmse: Option<f64>,
+    /// Did the incident measurably degrade estimation
+    /// (`during > pre * DEGRADED_FACTOR`)?
+    pub degraded: bool,
+    /// Did estimation recover after clearance
+    /// (`post <= pre * RECOVERED_FACTOR`)?
+    pub recovered: bool,
+    /// Did any window fail (both warm and cold fits diverged)?
+    pub diverged: bool,
+}
+
+impl IncidentSweepPoint {
+    /// A run that diverged and never made it back: the one outcome the
+    /// robustness contract forbids.
+    pub fn diverged_unhealed(&self) -> bool {
+        self.diverged && !self.recovered
+    }
+}
+
+/// The full severity × duration grid, in row-major severity-then-duration
+/// order.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct IncidentSweepReport {
+    /// Incident kind label (`closure` / `capacity_drop` /
+    /// `signal_outage`).
+    pub kind: String,
+    /// The link every template incident targets.
+    pub target_link: u64,
+    /// Per-point outcomes.
+    pub points: Vec<IncidentSweepPoint>,
+}
+
+impl IncidentSweepReport {
+    /// Points whose degradation window measurably degraded.
+    pub fn degraded_count(&self) -> usize {
+        self.points.iter().filter(|p| p.degraded).count()
+    }
+
+    /// Points whose post-clearance window recovered to baseline.
+    pub fn recovered_count(&self) -> usize {
+        self.points.iter().filter(|p| p.recovered).count()
+    }
+
+    /// Points that diverged and never healed — must be zero for the
+    /// robustness contract to hold.
+    pub fn diverged_unhealed_count(&self) -> usize {
+        self.points.iter().filter(|p| p.diverged_unhealed()).count()
+    }
+}
+
+fn opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| format!("{x:.4}"))
+}
+
+impl fmt::Display for IncidentSweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "incident sweep: kind={} link={} — {} point(s), {} degraded, {} recovered, {} diverged-unhealed",
+            self.kind,
+            self.target_link,
+            self.points.len(),
+            self.degraded_count(),
+            self.recovered_count(),
+            self.diverged_unhealed_count(),
+        )?;
+        writeln!(
+            f,
+            "{:>9} {:>9} {:>7} {:>10} {:>10} {:>10} {:>9} {:>10} {:>9}",
+            "severity",
+            "duration",
+            "windows",
+            "pre_rmse",
+            "during",
+            "post",
+            "degraded",
+            "recovered",
+            "diverged"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>9.2} {:>9} {:>7} {:>10} {:>10} {:>10} {:>9} {:>10} {:>9}",
+                p.severity,
+                p.duration_ticks,
+                p.windows,
+                opt(p.pre_rmse),
+                opt(p.during_rmse),
+                opt(p.post_rmse),
+                if p.degraded { "yes" } else { "no" },
+                if p.recovered { "yes" } else { "no" },
+                if p.diverged { "yes" } else { "no" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the severity × duration grid of `sweep` against `ds`.
+///
+/// Each grid point gets its own artifact store under
+/// `base_dir/point-<idx>` and its own seeded source stream
+/// (`Rng64::stream_seed(seed, idx)`, zero drift and lateness so the only
+/// thing that varies across windows is the incident). The template's
+/// `onset_tick` is interpreted as an offset *into the degradation
+/// window* — window 1 of the stream — so every point follows the same
+/// baseline → degradation → recovery arc.
+pub fn incident_sweep(
+    ds: &Dataset,
+    ovs: &OvsConfig,
+    sweep: &IncidentSweep,
+    seed: u64,
+    base_dir: &Path,
+) -> Result<IncidentSweepReport> {
+    if !sweep.is_active() {
+        return Err(StreamError::Config(
+            "incident sweep needs non-empty severity and duration axes".into(),
+        ));
+    }
+    let t = ds.n_intervals();
+    let spec = WindowSpec::new(t, t, 0)?;
+    let tpi = ds.sim_config.ticks_per_interval();
+    let span = t as u64 * tpi;
+
+    let mut points = Vec::new();
+    for (idx, template) in sweep.points().into_iter().enumerate() {
+        // Rebase the template onset into window 1; window 0 stays clean
+        // as the pre-incident baseline.
+        if template.onset_tick >= span {
+            return Err(StreamError::Config(format!(
+                "sweep onset_tick {} does not fall inside the degradation window ({span} ticks)",
+                template.onset_tick
+            )));
+        }
+        let onset = span + template.onset_tick;
+        let end = onset + template.duration_ticks;
+        let last_hit_window = (end.saturating_sub(1) / span) as usize;
+        let windows = last_hit_window + 2;
+        if windows > MAX_WINDOWS {
+            return Err(StreamError::Config(format!(
+                "sweep duration {} spans {} windows; at most {MAX_WINDOWS} are allowed \
+                 (shorten the duration or enlarge the dataset's day)",
+                template.duration_ticks,
+                windows - 2
+            )));
+        }
+        let schedule = IncidentSchedule::new(vec![ScheduledIncident {
+            onset_tick: onset,
+            ..template
+        }]);
+
+        let src_cfg = SimSourceConfig {
+            seed: Rng64::stream_seed(seed, idx as u64),
+            drift: 0.0,
+            late_frac: 0.0,
+            late_delay_frames: 2,
+        };
+        let mut source =
+            SimSource::new(ds.clone(), spec, src_cfg)?.with_incidents(schedule.clone());
+        let cfg = StreamConfig {
+            run_id: format!("sweep-{idx}"),
+            windows,
+            spec,
+            ovs: ovs.clone(),
+            keep_versions: 0,
+            recovery: Default::default(),
+            incidents: schedule,
+        };
+        let store = ArtifactStore::open(base_dir.join(format!("point-{idx}")))?;
+        let report = StreamDriver::new(ds, cfg)?.run(&store, &mut source)?;
+        points.push(score_point(&report, &template, onset, span, windows));
+        obs::global().counter("stream_incident_points_total").inc();
+    }
+
+    Ok(IncidentSweepReport {
+        kind: sweep.kind.label().to_string(),
+        target_link: sweep.target_link,
+        points,
+    })
+}
+
+/// Reduces one point's stream report to its degradation/recovery verdict.
+fn score_point(
+    report: &StreamReport,
+    template: &ScheduledIncident,
+    onset: u64,
+    span: u64,
+    windows: usize,
+) -> IncidentSweepPoint {
+    let end = onset + template.duration_ticks;
+    let rmse_of = |w: usize| report.windows.get(w).and_then(|o| o.masked_rmse);
+    let pre = rmse_of(0);
+    let during = report
+        .windows
+        .iter()
+        .filter(|o| {
+            // Tiled windows: window w covers stream ticks
+            // [w * span, (w+1) * span).
+            let w_start = o.window as u64 * span;
+            let w_end = w_start + span;
+            w_start < end && onset < w_end
+        })
+        .filter_map(|o| o.masked_rmse)
+        .fold(None::<f64>, |acc, r| Some(acc.map_or(r, |a| a.max(r))));
+    let post = report.windows.last().and_then(|o| o.masked_rmse);
+    let diverged = report.count(WindowStatus::Failed) > 0;
+    let degraded = matches!((pre, during), (Some(p), Some(d)) if d > p * DEGRADED_FACTOR);
+    let recovered = matches!((pre, post), (Some(p), Some(q)) if q <= p * RECOVERED_FACTOR);
+    IncidentSweepPoint {
+        severity: template.severity,
+        duration_ticks: template.duration_ticks,
+        onset_tick: onset,
+        windows,
+        pre_rmse: pre,
+        during_rmse: during,
+        post_rmse: post,
+        degraded,
+        recovered,
+        diverged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::WindowOutcome;
+
+    fn outcome(window: usize, rmse: Option<f64>, status: WindowStatus) -> WindowOutcome {
+        WindowOutcome {
+            window,
+            start: (window * 4) as u64,
+            end: (window * 4 + 4) as u64,
+            observations: 16,
+            warm: window > 0,
+            fit_steps: 10,
+            steps_to_tol: None,
+            final_fit_loss: None,
+            masked_rmse: rmse,
+            artifact: None,
+            fingerprint: None,
+            status,
+            train_seconds: 0.0,
+        }
+    }
+
+    fn report(rmses: &[Option<f64>]) -> StreamReport {
+        StreamReport {
+            run_id: "sweep-0".into(),
+            family: "stream-sweep-0".into(),
+            windows: rmses
+                .iter()
+                .enumerate()
+                .map(|(w, &r)| {
+                    let status = if r.is_some() {
+                        WindowStatus::Published
+                    } else {
+                        WindowStatus::Failed
+                    };
+                    outcome(w, r, status)
+                })
+                .collect(),
+            late_drops: 0,
+            invalid_drops: 0,
+            resumed_from: None,
+        }
+    }
+
+    fn template(duration: u64) -> ScheduledIncident {
+        ScheduledIncident {
+            kind: simulator::IncidentKind::Closure,
+            target: simulator::IncidentTarget::Link(roadnet::LinkId(0)),
+            onset_tick: 0,
+            duration_ticks: duration,
+            severity: 1.0,
+        }
+    }
+
+    #[test]
+    fn degradation_and_recovery_are_scored_against_baseline() {
+        // span 8 ticks/window, incident [8, 16): window 1 degrades,
+        // window 2 recovers.
+        let r = report(&[Some(1.0), Some(2.0), Some(1.02)]);
+        let p = score_point(&r, &template(8), 8, 8, 3);
+        assert!(p.degraded);
+        assert!(p.recovered);
+        assert!(!p.diverged);
+        assert_eq!(p.pre_rmse, Some(1.0));
+        assert_eq!(p.during_rmse, Some(2.0));
+        assert_eq!(p.post_rmse, Some(1.02));
+    }
+
+    #[test]
+    fn unrecovered_tail_is_flagged() {
+        let r = report(&[Some(1.0), Some(2.0), Some(1.5)]);
+        let p = score_point(&r, &template(8), 8, 8, 3);
+        assert!(p.degraded);
+        assert!(!p.recovered);
+    }
+
+    #[test]
+    fn failed_windows_mark_divergence() {
+        let r = report(&[Some(1.0), None, Some(1.01)]);
+        let p = score_point(&r, &template(8), 8, 8, 3);
+        assert!(p.diverged);
+        assert!(p.recovered, "healed after the failed window");
+        assert!(!p.diverged_unhealed());
+        let r = report(&[Some(1.0), None, Some(9.0)]);
+        let p = score_point(&r, &template(8), 8, 8, 3);
+        assert!(p.diverged_unhealed());
+    }
+
+    #[test]
+    fn report_counts_and_table_render() {
+        let r = report(&[Some(1.0), Some(2.0), Some(1.02)]);
+        let p = score_point(&r, &template(8), 8, 8, 3);
+        let rep = IncidentSweepReport {
+            kind: "closure".into(),
+            target_link: 0,
+            points: vec![p],
+        };
+        assert_eq!(rep.degraded_count(), 1);
+        assert_eq!(rep.recovered_count(), 1);
+        assert_eq!(rep.diverged_unhealed_count(), 0);
+        let text = format!("{rep}");
+        assert!(text.contains("1 degraded, 1 recovered, 0 diverged-unhealed"));
+        assert!(text.contains("severity"));
+    }
+}

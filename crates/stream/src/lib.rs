@@ -36,12 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod incidents;
 pub mod log;
 pub mod report;
 pub mod source;
 pub mod window;
 
 pub use driver::{StreamConfig, StreamDriver};
+pub use incidents::{incident_sweep, IncidentSweepPoint, IncidentSweepReport};
 pub use log::{Observation, ObservationLog};
 pub use report::{StreamReport, WindowOutcome, WindowStatus};
 pub use source::{LogSource, ObservationSource, SimSource, SimSourceConfig};

@@ -66,6 +66,7 @@ fn config(windows: usize) -> StreamConfig {
         ovs: OvsConfig::tiny().with_seed(17),
         keep_versions: 0,
         recovery: RecoveryPolicy::default(),
+        incidents: simulator::IncidentSchedule::default(),
     }
 }
 

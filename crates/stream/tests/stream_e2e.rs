@@ -64,6 +64,7 @@ fn stream_config(run_id: &str, windows: usize) -> StreamConfig {
         ovs: OvsConfig::tiny().with_seed(17),
         keep_versions: 0,
         recovery: RecoveryPolicy::default(),
+        incidents: simulator::IncidentSchedule::default(),
     }
 }
 
@@ -224,6 +225,7 @@ fn empty_and_all_late_windows_do_not_publish() {
         ovs: OvsConfig::tiny().with_seed(17),
         keep_versions: 0,
         recovery: RecoveryPolicy::default(),
+        incidents: simulator::IncidentSchedule::default(),
     };
 
     // A replay log with a hole: window 0 [0,4) observed, window 1 [4,8)

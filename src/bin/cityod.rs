@@ -90,7 +90,9 @@ use city_od::ovs_core::trainer::{OvsEstimator, OvsTrainer, RecoveryPolicy};
 use city_od::ovs_core::{artifact, OvsConfig, TodEstimator};
 use city_od::roadnet::presets;
 use city_od::serve::{LoadOptions, ServeOptions, Server};
-use city_od::stream::{SimSource, SimSourceConfig, StreamConfig, StreamDriver, WindowSpec};
+use city_od::stream::{
+    incident_sweep, SimSource, SimSourceConfig, StreamConfig, StreamDriver, WindowSpec,
+};
 use std::process::ExitCode;
 
 struct Args {
@@ -142,7 +144,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cityod networks\n  cityod simulate <net> [--t N] [--demand F] [--seed S] [--threads N]\n  cityod recover <net> [--method ovs|gravity|genetic|gls|em|nn|lstm|all] [--t N] [--demand F] [--seed S] [--aux] [--threads N]\n  cityod checkpoint save <net> <name> [--versioned] [--t N] [--demand F] [--seed S] [--threads N] [--store DIR]\n  cityod checkpoint list [--store DIR]\n  cityod checkpoint inspect <name> [--store DIR]\n  cityod checkpoint verify [<name>] [--store DIR]\n  cityod checkpoint gc <family> [--keep K] [--store DIR]\n  cityod faults run <net> [--plan FILE] [--seed S] [--json FILE] [--t N] [--demand F] [--threads N]\n  cityod serve <net> (--family F | --artifact A) [--addr HOST:PORT] [--http-threads N] [--poll-ms MS] [--store DIR]\n  cityod serve bench [<net>] [--requests N] [--concurrency C] [--http-threads N] [--out FILE]\n  cityod stream run <net> [--windows N] [--t N] [--stride N] [--watermark N] [--seed S] [--demand F] [--late F] [--delay N] [--drift F] [--run-id ID] [--keep K] [--json [FILE]] [--threads N] [--store DIR]\nnetworks: grid3x3 hangzhou porto manhattan state_college\nstore: --store beats CITYOD_ARTIFACTS beats ./artifacts\nmetrics: every command accepts --metrics FILE (full JSON export) and\n         --metrics-stable FILE (deterministic subset only)"
+        "usage:\n  cityod networks\n  cityod simulate <net> [--t N] [--demand F] [--seed S] [--threads N]\n  cityod recover <net> [--method ovs|gravity|genetic|gls|em|nn|lstm|all] [--t N] [--demand F] [--seed S] [--aux] [--threads N]\n  cityod checkpoint save <net> <name> [--versioned] [--t N] [--demand F] [--seed S] [--threads N] [--store DIR]\n  cityod checkpoint list [--store DIR]\n  cityod checkpoint inspect <name> [--store DIR]\n  cityod checkpoint verify [<name>] [--store DIR]\n  cityod checkpoint gc <family> [--keep K] [--store DIR]\n  cityod faults run <net> [--plan FILE] [--seed S] [--json FILE] [--t N] [--demand F] [--threads N] [--store DIR]\n  cityod serve <net> (--family F | --artifact A) [--addr HOST:PORT] [--http-threads N] [--poll-ms MS] [--store DIR]\n  cityod serve bench [<net>] [--requests N] [--concurrency C] [--http-threads N] [--out FILE]\n  cityod stream run <net> [--windows N] [--t N] [--stride N] [--watermark N] [--seed S] [--demand F] [--late F] [--delay N] [--drift F] [--plan FILE] [--run-id ID] [--keep K] [--json [FILE]] [--threads N] [--store DIR]\nnetworks: grid3x3 hangzhou porto manhattan state_college\nstore: --store beats CITYOD_ARTIFACTS beats ./artifacts\nmetrics: every command accepts --metrics FILE (full JSON export) and\n         --metrics-stable FILE (deterministic subset only)"
     );
     ExitCode::from(2)
 }
@@ -572,6 +574,26 @@ fn stream_cmd(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // --plan FILE installs the fault plan's [[network.incident]] timeline
+    // on both the source (so the simulated traffic actually degrades) and
+    // the driver (so every window's artifact records the incidents it
+    // straddled).
+    let incidents = match args.flags.get("plan") {
+        Some(path) => match FaultPlan::from_file(std::path::Path::new(path)) {
+            Ok(plan) => match plan.network.schedule() {
+                Ok(schedule) => schedule,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => simulator::IncidentSchedule::default(),
+    };
     let cfg = StreamConfig {
         run_id: args
             .flags
@@ -583,6 +605,7 @@ fn stream_cmd(args: &Args) -> ExitCode {
         ovs: cli_ovs_config(spec.seed),
         keep_versions: args.flag_usize("keep", 0),
         recovery: RecoveryPolicy::default(),
+        incidents: incidents.clone(),
     };
     let family = cfg.family();
     let source = SimSource::new(
@@ -602,6 +625,9 @@ fn stream_cmd(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if !incidents.is_empty() {
+        source = source.with_incidents(incidents);
+    }
     let mut driver = match StreamDriver::new(&ds, cfg) {
         Ok(driver) => driver,
         Err(e) => {
@@ -682,6 +708,43 @@ fn faults_cmd(args: &Args) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let cfg = cli_ovs_config(spec.seed);
+    // A plan with a [network] sweep runs the incident degradation /
+    // recovery grid instead of the observation-fault grid: each point
+    // streams windows through one scheduled incident and scores
+    // pre / during / post masked RMSE.
+    if plan.network.sweep.is_active() {
+        let Some(store) = open_store(args) else {
+            return ExitCode::FAILURE;
+        };
+        let base = store.dir().join("incident-sweep");
+        return match incident_sweep(&ds, &cfg, &plan.network.sweep, plan.seed, &base) {
+            Ok(report) => {
+                print!("{report}");
+                if report.diverged_unhealed_count() > 0 {
+                    eprintln!("warning: at least one grid point diverged and never healed");
+                }
+                if let Some(path) = args.flags.get("json") {
+                    match serde_json::to_string_pretty(&report) {
+                        Ok(json) => {
+                            if let Err(e) = std::fs::write(path, json) {
+                                eprintln!("cannot write {path}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("report encode failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("incident sweep failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match degradation_report(&ds, &cfg, &plan) {
         Ok(report) => {
             print!("{report}");
